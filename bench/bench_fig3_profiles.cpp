@@ -1,0 +1,77 @@
+// Reproduces Figure 3: (a) best-attribute coverage and ground-truth coverage,
+// (b) vocabulary size and (c) overall character length under schema-agnostic
+// and schema-based settings, with and without cleaning.
+#include <cstdio>
+
+#include "core/schema.hpp"
+#include "datagen/registry.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace erb;
+
+  std::printf("=== Figure 3(a): best-attribute coverage ===\n");
+  std::printf("%-5s %-10s %10s %14s\n", "id", "attr", "coverage", "gt-coverage");
+  for (int index : bench::SelectedDatasets()) {
+    const auto& dataset = bench::CachedDataset(index);
+    for (const auto& stats : core::ComputeAttributeStats(dataset)) {
+      if (stats.name != dataset.best_attribute()) continue;
+      std::printf("%-5s %-10s %10.3f %14.3f%s\n", dataset.name().c_str(),
+                  stats.name.c_str(), stats.coverage, stats.groundtruth_coverage,
+                  datagen::HasSchemaBasedSettings(index)
+                      ? ""
+                      : "   (schema-based settings excluded)");
+    }
+  }
+
+  std::printf("\n=== Figure 3(b): vocabulary size (distinct tokens) ===\n");
+  std::printf("%-5s %12s %12s %12s %12s\n", "id", "agnostic", "agn+clean",
+              "based", "based+clean");
+  double reduction_vocab = 0.0, reduction_clean = 0.0;
+  int with_based = 0;
+  for (int index : bench::SelectedDatasets()) {
+    const auto& dataset = bench::CachedDataset(index);
+    const auto agnostic =
+        core::ComputeCorpusStats(dataset, core::SchemaMode::kAgnostic, false);
+    const auto agnostic_clean =
+        core::ComputeCorpusStats(dataset, core::SchemaMode::kAgnostic, true);
+    const auto based =
+        core::ComputeCorpusStats(dataset, core::SchemaMode::kBased, false);
+    const auto based_clean =
+        core::ComputeCorpusStats(dataset, core::SchemaMode::kBased, true);
+    std::printf("%-5s %12zu %12zu %12zu %12zu\n", dataset.name().c_str(),
+                agnostic.vocabulary_size, agnostic_clean.vocabulary_size,
+                based.vocabulary_size, based_clean.vocabulary_size);
+    if (datagen::HasSchemaBasedSettings(index)) {
+      ++with_based;
+      reduction_vocab += 1.0 - static_cast<double>(based.vocabulary_size) /
+                                   agnostic.vocabulary_size;
+    }
+    reduction_clean += 1.0 - static_cast<double>(agnostic_clean.vocabulary_size) /
+                                 agnostic.vocabulary_size;
+  }
+  std::printf("avg schema-based vocabulary reduction: %.1f%% (paper: 66.0%%)\n",
+              100.0 * reduction_vocab / std::max(1, with_based));
+  std::printf("avg cleaning vocabulary reduction:     %.1f%% (paper: 11.9%%)\n",
+              100.0 * reduction_clean /
+                  std::max<std::size_t>(1, bench::SelectedDatasets().size()));
+
+  std::printf("\n=== Figure 3(c): overall character length ===\n");
+  std::printf("%-5s %12s %12s %12s %12s\n", "id", "agnostic", "agn+clean",
+              "based", "based+clean");
+  for (int index : bench::SelectedDatasets()) {
+    const auto& dataset = bench::CachedDataset(index);
+    const auto agnostic =
+        core::ComputeCorpusStats(dataset, core::SchemaMode::kAgnostic, false);
+    const auto agnostic_clean =
+        core::ComputeCorpusStats(dataset, core::SchemaMode::kAgnostic, true);
+    const auto based =
+        core::ComputeCorpusStats(dataset, core::SchemaMode::kBased, false);
+    const auto based_clean =
+        core::ComputeCorpusStats(dataset, core::SchemaMode::kBased, true);
+    std::printf("%-5s %12zu %12zu %12zu %12zu\n", dataset.name().c_str(),
+                agnostic.char_length, agnostic_clean.char_length,
+                based.char_length, based_clean.char_length);
+  }
+  return 0;
+}

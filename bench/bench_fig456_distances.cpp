@@ -1,0 +1,164 @@
+// Reproduces Figures 4, 5 and 6: the distribution of the ranking distance of
+// each duplicate pair under syntactic (C5GM + cosine, the DkNN configuration)
+// and semantic (300-d subword embeddings + Euclidean) representations, for
+// both indexing directions and both schema settings.
+//
+// x = rank of the true match among the query's candidates (0 = top); the
+// paper's plots show syntactic representations concentrating duplicates at
+// low ranks — the evidence for conclusion 4.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "datagen/registry.hpp"
+#include "densenn/flat_index.hpp"
+#include "harness.hpp"
+#include "sparsenn/scancount.hpp"
+
+namespace {
+
+using namespace erb;
+
+// Histogram buckets over rank distance: 0, 1, 2-3, 4-7, ..., >=512, missing.
+constexpr int kBuckets = 12;
+
+int BucketOf(int rank) {
+  if (rank < 0) return kBuckets - 1;  // not retrieved at all
+  int bucket = 0;
+  int upper = 1;
+  while (rank >= upper && bucket < kBuckets - 2) {
+    ++bucket;
+    upper <<= 1;
+  }
+  return bucket;
+}
+
+const char* BucketLabel(int bucket) {
+  static const char* kLabels[kBuckets] = {"0",     "1",       "2-3",   "4-7",
+                                          "8-15",  "16-31",   "32-63", "64-127",
+                                          "128-255", "256-511", ">=512", "miss"};
+  return kLabels[bucket];
+}
+
+// Ranks of all duplicates under the syntactic representation (C5GM, cosine).
+std::vector<int> SyntacticRanks(const core::Dataset& dataset,
+                                core::SchemaMode mode, bool reverse) {
+  const int indexed_side = reverse ? 1 : 0;
+  const int query_side = reverse ? 0 : 1;
+  const auto indexed = sparsenn::BuildSideTokenSets(
+      dataset, indexed_side, mode, sparsenn::TokenModel::kC5GM, true);
+  const auto queries = sparsenn::BuildSideTokenSets(
+      dataset, query_side, mode, sparsenn::TokenModel::kC5GM, true);
+  sparsenn::ScanCountIndex index(indexed);
+
+  // match_of[query] = indexed id of the duplicate partner (or -1).
+  std::vector<std::int64_t> match_of(queries.size(), -1);
+  for (const auto& [id1, id2] : dataset.duplicates()) {
+    if (reverse) {
+      match_of[id1] = id2;
+    } else {
+      match_of[id2] = id1;
+    }
+  }
+
+  std::vector<int> ranks;
+  std::vector<std::pair<double, std::uint32_t>> scored;
+  for (core::EntityId q = 0; q < queries.size(); ++q) {
+    if (match_of[q] < 0) continue;
+    scored.clear();
+    index.Probe(queries[q], [&](std::uint32_t id, std::uint32_t overlap,
+                                std::uint32_t size) {
+      scored.emplace_back(
+          sparsenn::SetSimilarity(sparsenn::SimilarityMeasure::kCosine, overlap,
+                                  queries[q].size(), size),
+          id);
+    });
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    int rank = -1;
+    for (std::size_t r = 0; r < scored.size(); ++r) {
+      if (scored[r].second == static_cast<std::uint32_t>(match_of[q])) {
+        rank = static_cast<int>(r);
+        break;
+      }
+    }
+    ranks.push_back(rank);
+  }
+  return ranks;
+}
+
+// Ranks under the semantic representation (300-d embeddings, Euclidean).
+std::vector<int> SemanticRanks(const core::Dataset& dataset,
+                               core::SchemaMode mode, bool reverse) {
+  const int indexed_side = reverse ? 1 : 0;
+  const int query_side = reverse ? 0 : 1;
+  const auto indexed = densenn::EmbedSide(dataset, indexed_side, mode, true);
+  const auto queries = densenn::EmbedSide(dataset, query_side, mode, true);
+  densenn::FlatIndex index(indexed, densenn::DenseMetric::kSquaredL2);
+
+  std::vector<std::int64_t> match_of(queries.size(), -1);
+  for (const auto& [id1, id2] : dataset.duplicates()) {
+    if (reverse) {
+      match_of[id1] = id2;
+    } else {
+      match_of[id2] = id1;
+    }
+  }
+
+  const int k_cap = static_cast<int>(std::min<std::size_t>(indexed.size(), 1024));
+  std::vector<int> ranks;
+  for (core::EntityId q = 0; q < queries.size(); ++q) {
+    if (match_of[q] < 0) continue;
+    const auto ids = index.Search(queries[q], k_cap);
+    int rank = -1;
+    for (std::size_t r = 0; r < ids.size(); ++r) {
+      if (ids[r] == static_cast<std::uint32_t>(match_of[q])) {
+        rank = static_cast<int>(r);
+        break;
+      }
+    }
+    ranks.push_back(rank);
+  }
+  return ranks;
+}
+
+void PrintHistogram(const char* label, const std::vector<int>& ranks) {
+  std::vector<int> counts(kBuckets, 0);
+  for (int rank : ranks) ++counts[BucketOf(rank)];
+  std::printf("  %-10s", label);
+  for (int b = 0; b < kBuckets; ++b) std::printf(" %8d", counts[b]);
+  std::printf("\n");
+}
+
+void RunFigure(const char* title, core::SchemaMode mode, bool reverse) {
+  std::printf("=== %s ===\n", title);
+  std::printf("  %-10s", "repr");
+  for (int b = 0; b < kBuckets; ++b) std::printf(" %8s", BucketLabel(b));
+  std::printf("\n");
+  for (int index : bench::SelectedDatasets()) {
+    if (mode == core::SchemaMode::kBased &&
+        !datagen::HasSchemaBasedSettings(index)) {
+      continue;
+    }
+    const auto& dataset = bench::CachedDataset(index);
+    std::printf(" %s\n", dataset.name().c_str());
+    PrintHistogram("syntactic", SyntacticRanks(dataset, mode, reverse));
+    PrintHistogram("semantic", SemanticRanks(dataset, mode, reverse));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  RunFigure("Figure 4: schema-agnostic, index E1 / query E2",
+            core::SchemaMode::kAgnostic, /*reverse=*/false);
+  RunFigure("Figure 5: schema-agnostic, index E2 / query E1 (reversed)",
+            core::SchemaMode::kAgnostic, /*reverse=*/true);
+  RunFigure("Figure 6 (upper): schema-based, index E1 / query E2",
+            core::SchemaMode::kBased, /*reverse=*/false);
+  RunFigure("Figure 6 (lower): schema-based, index E2 / query E1",
+            core::SchemaMode::kBased, /*reverse=*/true);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Figures 7, 8 and 9: the run-time breakdown of every filtering
+// method — block building / purging / filtering / comparison cleaning for the
+// blocking workflows, preprocessing / training / indexing / querying for the
+// NN methods — per dataset and schema setting.
+#include <cstdio>
+#include <string>
+
+#include "datagen/registry.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace erb;
+
+void PrintBreakdown(const bench::Setting& setting) {
+  std::printf("--- %s ---\n", setting.Label().c_str());
+  std::printf("%-12s %9s | %s\n", "method", "total", "phases");
+  for (auto id : bench::SelectedMethods()) {
+    const auto& r = bench::CachedRun(id, setting);
+    std::printf("%-12s %9s |", std::string(tuning::MethodName(id)).c_str(),
+                bench::FormatMs(r.runtime_ms).c_str());
+    double total = 0.0;
+    for (const auto& [_, ms] : r.phases) total += ms;
+    for (const auto& [phase, ms] : r.phases) {
+      std::printf(" %s=%.1f%%", phase.c_str(),
+                  total > 0 ? 100.0 * ms / total : 0.0);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto settings = bench::AllSettings();
+
+  std::printf("=== Figure 7: schema-agnostic breakdown of D5-D7, D10 ===\n");
+  for (const auto& setting : settings) {
+    if (setting.mode != core::SchemaMode::kAgnostic) continue;
+    if (datagen::HasSchemaBasedSettings(setting.dataset_index)) continue;
+    PrintBreakdown(setting);
+  }
+
+  std::printf("\n=== Figure 8: schema-agnostic breakdown of D1-D4, D8-D9 ===\n");
+  for (const auto& setting : settings) {
+    if (setting.mode != core::SchemaMode::kAgnostic) continue;
+    if (!datagen::HasSchemaBasedSettings(setting.dataset_index)) continue;
+    PrintBreakdown(setting);
+  }
+
+  std::printf("\n=== Figure 9: schema-based breakdown of D1-D4, D8-D9 ===\n");
+  for (const auto& setting : settings) {
+    if (setting.mode != core::SchemaMode::kBased) continue;
+    PrintBreakdown(setting);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Table XI: the number of candidate pairs per method, dataset and
+// schema setting, plus the candidate-reduction-vs-brute-force analysis of
+// conclusion 3 (Section VII).
+#include <cstdio>
+#include <string>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace erb;
+  const auto settings = bench::AllSettings();
+  const auto methods = bench::SelectedMethods();
+
+  std::printf("=== Table XI: |C| per method and setting ('*' = PC < 0.9) ===\n");
+  std::printf("%-12s", "method");
+  for (const auto& setting : settings) std::printf(" %11s", setting.Label().c_str());
+  std::printf("\n");
+  for (auto id : methods) {
+    std::printf("%-12s", std::string(tuning::MethodName(id)).c_str());
+    for (const auto& setting : settings) {
+      const auto& r = bench::CachedRun(id, setting);
+      std::printf(" %10.3e%s", static_cast<double>(r.eff.candidates),
+                  r.reached_target ? " " : "*");
+    }
+    std::printf("\n");
+  }
+
+  // Conclusion 3: candidate reduction relative to the brute-force Cartesian
+  // product, averaged over the schema-agnostic settings.
+  std::printf("\n=== candidate reduction vs brute force (schema-agnostic) ===\n");
+  for (auto id : methods) {
+    double reduction = 0.0;
+    int n = 0;
+    for (const auto& setting : settings) {
+      if (setting.mode != core::SchemaMode::kAgnostic) continue;
+      const auto& dataset = bench::CachedDataset(setting.dataset_index);
+      const auto& r = bench::CachedRun(id, setting);
+      reduction += 1.0 - static_cast<double>(r.eff.candidates) /
+                             static_cast<double>(dataset.CartesianSize());
+      ++n;
+    }
+    std::printf("%-12s avg reduction %.2f%%\n",
+                std::string(tuning::MethodName(id)).c_str(),
+                100.0 * reduction / std::max(1, n));
+  }
+  return 0;
+}

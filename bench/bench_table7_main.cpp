@@ -1,0 +1,79 @@
+// Reproduces Table VII: PC, PQ and RT of all filtering methods over the
+// schema-agnostic and schema-based settings, plus the best configurations
+// (Tables VIII, IX, X).
+//
+// Method rows marked '*' missed the recall target (printed red in the paper).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+
+using erb::bench::AllSettings;
+using erb::bench::CachedRun;
+using erb::bench::Setting;
+
+namespace {
+
+void PrintHeader(const std::vector<Setting>& settings) {
+  std::printf("%-12s", "method");
+  for (const auto& setting : settings) std::printf(" %10s", setting.Label().c_str());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const auto settings = AllSettings();
+  const auto methods = erb::bench::SelectedMethods();
+
+  // Run everything first (cached), so the three sub-tables align.
+  for (const auto& setting : settings) {
+    for (auto id : methods) CachedRun(id, setting);
+  }
+
+  std::printf("=== Table VII(a): PC (recall) — '*' marks PC < 0.9 ===\n");
+  PrintHeader(settings);
+  for (auto id : methods) {
+    std::printf("%-12s", std::string(erb::tuning::MethodName(id)).c_str());
+    for (const auto& setting : settings) {
+      const auto& r = CachedRun(id, setting);
+      std::printf(" %9.3f%s", r.eff.pc, r.reached_target ? " " : "*");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n=== Table VII(b): PQ (precision) ===\n");
+  PrintHeader(settings);
+  for (auto id : methods) {
+    std::printf("%-12s", std::string(erb::tuning::MethodName(id)).c_str());
+    for (const auto& setting : settings) {
+      const auto& r = CachedRun(id, setting);
+      std::printf(" %10s", erb::bench::FormatPq(r.eff.pq).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n=== Table VII(c): RT (run-time of the best configuration) ===\n");
+  PrintHeader(settings);
+  for (auto id : methods) {
+    std::printf("%-12s", std::string(erb::tuning::MethodName(id)).c_str());
+    for (const auto& setting : settings) {
+      const auto& r = CachedRun(id, setting);
+      std::printf(" %10s", erb::bench::FormatMs(r.runtime_ms).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n=== Tables VIII-X: best configuration per method and setting ===\n");
+  for (const auto& setting : settings) {
+    std::printf("--- %s ---\n", setting.Label().c_str());
+    for (auto id : methods) {
+      const auto& r = CachedRun(id, setting);
+      std::printf("  %-12s %s  (%zu configs tried)\n",
+                  std::string(erb::tuning::MethodName(id)).c_str(),
+                  r.config.c_str(), r.configurations_tried);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,212 @@
+#include "harness.hpp"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+#include "datagen/registry.hpp"
+
+namespace erb::bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// On-disk result cache shared by all bench binaries.
+// ---------------------------------------------------------------------------
+
+std::string CacheDir() {
+  const char* dir = std::getenv("ERBENCH_CACHE_DIR");
+  return dir != nullptr ? dir : "bench_cache";
+}
+
+std::string CachePath(tuning::MethodId id, const Setting& setting) {
+  const auto options = tuning::GridOptions::FromEnv();
+  std::ostringstream path;
+  path << CacheDir() << "/" << tuning::MethodName(id) << "_" << setting.Label()
+       << "_s" << static_cast<int>(
+                      datagen::BenchScale(setting.dataset_index) * 1000)
+       << "_g" << (options.full_grid ? 1 : 0) << "_r" << options.repetitions
+       << ".result";
+  return path.str();
+}
+
+bool LoadCachedResult(const std::string& path, tuning::TunedResult* result) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto sep = line.find('\t');
+    if (sep == std::string::npos) continue;
+    const std::string key = line.substr(0, sep);
+    const std::string value = line.substr(sep + 1);
+    if (key == "method") {
+      result->method = value;
+    } else if (key == "config") {
+      result->config = value;
+    } else if (key == "pc") {
+      result->eff.pc = std::atof(value.c_str());
+    } else if (key == "pq") {
+      result->eff.pq = std::atof(value.c_str());
+    } else if (key == "candidates") {
+      result->eff.candidates = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "detected") {
+      result->eff.detected = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "runtime_ms") {
+      result->runtime_ms = std::atof(value.c_str());
+    } else if (key == "reached") {
+      result->reached_target = value == "1";
+    } else if (key == "tried") {
+      result->configurations_tried = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key.rfind("phase.", 0) == 0) {
+      result->phases[key.substr(6)] = std::atof(value.c_str());
+    }
+  }
+  return !result->method.empty();
+}
+
+void StoreCachedResult(const std::string& path, const tuning::TunedResult& result) {
+  ::mkdir(CacheDir().c_str(), 0755);
+  std::ofstream out(path);
+  if (!out) return;
+  out << "method\t" << result.method << "\n";
+  out << "config\t" << result.config << "\n";
+  out << "pc\t" << result.eff.pc << "\n";
+  out << "pq\t" << result.eff.pq << "\n";
+  out << "candidates\t" << result.eff.candidates << "\n";
+  out << "detected\t" << result.eff.detected << "\n";
+  out << "runtime_ms\t" << result.runtime_ms << "\n";
+  out << "reached\t" << (result.reached_target ? 1 : 0) << "\n";
+  out << "tried\t" << result.configurations_tried << "\n";
+  for (const auto& [phase, ms] : result.phases) {
+    out << "phase." << phase << "\t" << ms << "\n";
+  }
+}
+
+std::vector<std::string> EnvList(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return {};
+  std::vector<std::string> items;
+  for (auto& item : SplitChar(value, ',')) {
+    auto trimmed = Trim(item);
+    if (!trimmed.empty()) items.emplace_back(trimmed);
+  }
+  return items;
+}
+
+}  // namespace
+
+std::string Setting::Label() const {
+  return "D" + std::string(mode == core::SchemaMode::kAgnostic ? "a" : "b") +
+         std::to_string(dataset_index);
+}
+
+std::vector<int> SelectedDatasets() {
+  const auto items = EnvList("ERBENCH_DATASETS");
+  if (items.empty()) {
+    std::vector<int> all;
+    for (int i = 1; i <= datagen::kNumDatasets; ++i) all.push_back(i);
+    return all;
+  }
+  std::vector<int> selected;
+  for (const auto& item : items) {
+    const int index = std::atoi(item.c_str());
+    if (index < 1 || index > datagen::kNumDatasets) {
+      throw std::runtime_error("ERBENCH_DATASETS: bad index " + item);
+    }
+    selected.push_back(index);
+  }
+  return selected;
+}
+
+std::vector<tuning::MethodId> SelectedMethods() {
+  const auto items = EnvList("ERBENCH_METHODS");
+  if (items.empty()) return tuning::AllMethods();
+  std::vector<tuning::MethodId> selected;
+  for (const auto& item : items) {
+    bool found = false;
+    for (tuning::MethodId id : tuning::AllMethods()) {
+      if (item == tuning::MethodName(id)) {
+        selected.push_back(id);
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw std::runtime_error("ERBENCH_METHODS: unknown method " + item);
+  }
+  return selected;
+}
+
+std::vector<Setting> AllSettings() {
+  std::vector<Setting> settings;
+  for (int index : SelectedDatasets()) {
+    settings.push_back({index, core::SchemaMode::kAgnostic});
+  }
+  for (int index : SelectedDatasets()) {
+    if (datagen::HasSchemaBasedSettings(index)) {
+      settings.push_back({index, core::SchemaMode::kBased});
+    }
+  }
+  return settings;
+}
+
+const core::Dataset& CachedDataset(int index) {
+  static std::map<int, core::Dataset> cache;
+  auto it = cache.find(index);
+  if (it == cache.end()) {
+    it = cache.emplace(index, datagen::MakeBenchDataset(index)).first;
+  }
+  return it->second;
+}
+
+const tuning::TunedResult& CachedRun(tuning::MethodId id, const Setting& setting) {
+  using Key = std::pair<int, std::pair<int, int>>;
+  static std::map<Key, tuning::TunedResult> cache;
+  const Key key{static_cast<int>(id),
+                {setting.dataset_index, static_cast<int>(setting.mode)}};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    const std::string path = CachePath(id, setting);
+    tuning::TunedResult result;
+    if (LoadCachedResult(path, &result)) {
+      std::fprintf(stderr, "[cache] %-12s %s\n",
+                   std::string(tuning::MethodName(id)).c_str(),
+                   setting.Label().c_str());
+    } else {
+      std::fprintf(stderr, "[run] %-12s %s ...\n",
+                   std::string(tuning::MethodName(id)).c_str(),
+                   setting.Label().c_str());
+      result = tuning::RunMethod(id, CachedDataset(setting.dataset_index),
+                                 setting.mode, tuning::GridOptions::FromEnv());
+      StoreCachedResult(path, result);
+    }
+    it = cache.emplace(key, std::move(result)).first;
+  }
+  return it->second;
+}
+
+std::string FormatMs(double ms) {
+  char buffer[32];
+  if (ms >= 1000.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f s", ms / 1000.0);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0f ms", ms);
+  }
+  return buffer;
+}
+
+std::string FormatPq(double pq) {
+  char buffer[32];
+  if (pq != 0.0 && pq < 0.001) {
+    std::snprintf(buffer, sizeof(buffer), "%.1e", pq);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.3f", pq);
+  }
+  return buffer;
+}
+
+}  // namespace erb::bench

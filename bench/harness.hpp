@@ -1,0 +1,58 @@
+// Shared infrastructure of the benchmark binaries: dataset/method selection
+// via environment variables, result caching, and table formatting.
+//
+// Environment knobs (all optional):
+//   ERBENCH_DATASETS="2,3,4"  subset of datasets (default: all 10)
+//   ERBENCH_METHODS="SBW,kNNJ" subset of methods (default: all 17)
+//   ERBENCH_FAST=1             tiny datasets + 1 repetition (CI smoke)
+//   ERBENCH_FULL=1             paper-scale dataset sizes
+//   ERBENCH_FULL_GRID=1        the exact parameter grids of Tables III-V
+//   ERBENCH_REPS=10            repetitions for stochastic methods
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/entity.hpp"
+#include "tuning/suite.hpp"
+
+namespace erb::bench {
+
+/// One (dataset, schema mode) evaluation setting, e.g. D_a2 or D_b2.
+struct Setting {
+  int dataset_index;
+  core::SchemaMode mode;
+
+  /// Paper-style label: D1..D10 with an a/b subscript.
+  std::string Label() const;
+};
+
+/// The datasets selected via ERBENCH_DATASETS (default: all).
+std::vector<int> SelectedDatasets();
+
+/// The methods selected via ERBENCH_METHODS (default: all of Table VII).
+std::vector<tuning::MethodId> SelectedMethods();
+
+/// All evaluation settings of Table VII for the selected datasets:
+/// schema-agnostic for every dataset, schema-based where coverage allows.
+std::vector<Setting> AllSettings();
+
+/// Generates (and caches) the bench-scale dataset D_i.
+const core::Dataset& CachedDataset(int index);
+
+/// Runs (and caches) one method on one setting with GridOptions::FromEnv().
+///
+/// Results are also persisted under ERBENCH_CACHE_DIR (default:
+/// ./bench_cache), keyed by method, setting, dataset scale and grid options,
+/// so the per-table bench binaries share one tuning pass instead of each
+/// re-running the full grid search. Delete the directory to force re-runs.
+const tuning::TunedResult& CachedRun(tuning::MethodId id, const Setting& setting);
+
+/// Formats milliseconds the way Table VII(c) does ("225 ms" / "3.5 s").
+std::string FormatMs(double ms);
+
+/// Formats a PQ value ("0.216" or "4.5e-04" below 0.001).
+std::string FormatPq(double pq);
+
+}  // namespace erb::bench

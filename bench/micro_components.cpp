@@ -1,0 +1,147 @@
+// google-benchmark micro-benchmarks of the performance-critical components:
+// tokenizers, the Porter stemmer, ScanCount probes, MinHash signatures, the
+// fast Hadamard rotation path (via CP-LSH key computation), flat kNN search
+// and meta-blocking's weighted pass.
+#include <benchmark/benchmark.h>
+
+#include "blocking/builders.hpp"
+#include "blocking/comparison.hpp"
+#include "common/rng.hpp"
+#include "core/entity.hpp"
+#include "datagen/registry.hpp"
+#include "densenn/embedding.hpp"
+#include "densenn/flat_index.hpp"
+#include "sparsenn/scancount.hpp"
+#include "sparsenn/tokenset.hpp"
+#include "text/clean.hpp"
+#include "text/porter.hpp"
+
+namespace {
+
+using namespace erb;
+
+const core::Dataset& Small() {
+  static const core::Dataset dataset =
+      datagen::Generate(datagen::PaperSpec(2).Scaled(0.25));
+  return dataset;
+}
+
+std::string SampleText() {
+  return Small().EntityText(0, 3, core::SchemaMode::kAgnostic);
+}
+
+void BM_NormalizeAndTokenize(benchmark::State& state) {
+  const std::string text = SampleText();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::CleanTokens(text, false));
+  }
+}
+BENCHMARK(BM_NormalizeAndTokenize);
+
+void BM_CleanTokens(benchmark::State& state) {
+  const std::string text = SampleText();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::CleanTokens(text, true));
+  }
+}
+BENCHMARK(BM_CleanTokens);
+
+void BM_PorterStem(benchmark::State& state) {
+  const std::vector<std::string> words = {"filtering",  "entities",
+                                          "resolution", "blocking",
+                                          "generalization", "happiness"};
+  for (auto _ : state) {
+    for (const auto& word : words) {
+      benchmark::DoNotOptimize(text::PorterStem(word));
+    }
+  }
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_ExtractKeys(benchmark::State& state) {
+  const std::string text = SampleText();
+  blocking::BuilderConfig config;
+  config.kind = static_cast<blocking::BuilderKind>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blocking::ExtractKeys(text, config));
+  }
+}
+BENCHMARK(BM_ExtractKeys)->DenseRange(0, 4);  // all five builders
+
+void BM_BuildTokenSet(benchmark::State& state) {
+  const std::string text = SampleText();
+  const auto model = static_cast<sparsenn::TokenModel>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparsenn::BuildTokenSet(text, model, false));
+  }
+}
+BENCHMARK(BM_BuildTokenSet)->Arg(0)->Arg(1)->Arg(8)->Arg(9);  // T1G(M), C5G(M)
+
+void BM_ScanCountProbe(benchmark::State& state) {
+  const auto& dataset = Small();
+  const auto indexed = sparsenn::BuildSideTokenSets(
+      dataset, 0, core::SchemaMode::kAgnostic, sparsenn::TokenModel::kC3G, false);
+  const auto queries = sparsenn::BuildSideTokenSets(
+      dataset, 1, core::SchemaMode::kAgnostic, sparsenn::TokenModel::kC3G, false);
+  sparsenn::ScanCountIndex index(indexed);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    index.Probe(queries[q % queries.size()],
+                [&hits](std::uint32_t, std::uint32_t, std::uint32_t) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+    ++q;
+  }
+}
+BENCHMARK(BM_ScanCountProbe);
+
+void BM_EmbedText(benchmark::State& state) {
+  const std::string text = SampleText();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(densenn::EmbedText(text));
+  }
+}
+BENCHMARK(BM_EmbedText);
+
+void BM_FlatSearch(benchmark::State& state) {
+  const auto& dataset = Small();
+  const auto indexed =
+      densenn::EmbedSide(dataset, 0, core::SchemaMode::kAgnostic, false);
+  const auto queries =
+      densenn::EmbedSide(dataset, 1, core::SchemaMode::kAgnostic, false);
+  densenn::FlatIndex index(indexed, densenn::DenseMetric::kSquaredL2);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.Search(queries[q % queries.size()], static_cast<int>(state.range(0))));
+    ++q;
+  }
+}
+BENCHMARK(BM_FlatSearch)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_BlockBuilding(benchmark::State& state) {
+  const auto& dataset = Small();
+  blocking::BuilderConfig config;
+  config.kind = static_cast<blocking::BuilderKind>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        blocking::BuildBlocks(dataset, core::SchemaMode::kAgnostic, config));
+  }
+}
+BENCHMARK(BM_BlockBuilding)->Arg(0)->Arg(1);
+
+void BM_MetaBlocking(benchmark::State& state) {
+  const auto& dataset = Small();
+  const auto blocks = blocking::BuildBlocks(dataset, core::SchemaMode::kAgnostic,
+                                            blocking::BuilderConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blocking::MetaBlocking(
+        blocks, dataset.e1().size(), dataset.e2().size(),
+        blocking::WeightingScheme::kCbs, blocking::PruningAlgorithm::kWnp));
+  }
+}
+BENCHMARK(BM_MetaBlocking);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Product matching walkthrough: the scenario from the paper's introduction —
+// two online retailers (the Abt/Buy replica) whose catalogues must be linked.
+//
+// Shows the full Problem 1 workflow a practitioner would run:
+//   1. inspect the dataset,
+//   2. fine-tune one filter per family for PC >= 0.9,
+//   3. compare the tuned filters and pick one for production.
+//
+// Build & run: ./build/examples/product_matching
+#include <cstdio>
+
+#include "core/metrics.hpp"
+#include "datagen/registry.hpp"
+#include "tuning/suite.hpp"
+
+int main() {
+  using namespace erb;
+
+  const core::Dataset dataset = datagen::Generate(datagen::PaperSpec(2));
+  std::printf("Linking %zu Abt products against %zu Buy products "
+              "(%zu true matches, %.2e possible pairs)\n\n",
+              dataset.e1().size(), dataset.e2().size(), dataset.NumDuplicates(),
+              static_cast<double>(dataset.CartesianSize()));
+
+  tuning::GridOptions options;  // coarse grids; set ERBENCH_FULL_GRID=1 for Table III-V domains
+  options.repetitions = 1;
+
+  const tuning::MethodId contenders[] = {
+      tuning::MethodId::kQbw,      // best blocking workflow on products
+      tuning::MethodId::kKnnJoin,  // best sparse NN method
+      tuning::MethodId::kFaiss,    // cardinality-based dense NN
+  };
+
+  std::printf("%-8s %-7s %-7s %-10s %-9s best configuration\n", "method", "PC",
+              "PQ", "|C|", "RT(ms)");
+  for (tuning::MethodId id : contenders) {
+    const auto result =
+        tuning::RunMethod(id, dataset, core::SchemaMode::kAgnostic, options);
+    std::printf("%-8s %-7.3f %-7.3f %-10zu %-9.0f %s\n",
+                std::string(tuning::MethodName(id)).c_str(), result.eff.pc,
+                result.eff.pq, result.eff.candidates, result.runtime_ms,
+                result.config.c_str());
+  }
+
+  std::printf(
+      "\nReading the result: every tuned filter reaches the 0.9 recall target;\n"
+      "the winner is whichever prunes the most non-matches (highest PQ). The\n"
+      "surviving candidate pairs would now go to a matching (verification)\n"
+      "step - ~%.0fx less work than comparing every pair.\n",
+      static_cast<double>(dataset.CartesianSize()) /
+          (5.0 * dataset.NumDuplicates()));
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/bin/bash
+# Runs the complete benchmark suite (tuned runs come from bench_cache) and
+# archives the outputs the repository documents in EXPERIMENTS.md.
+set -u
+cd "$(dirname "$0")"
+OUT=${1:-bench_output.txt}
+: > "$OUT"
+for b in bench_table6_datasets bench_fig3_profiles bench_table7_main \
+         bench_table11_candidates bench_fig456_distances \
+         bench_fig789_breakdown bench_scalability bench_ablation; do
+  echo "##### $b #####" >> "$OUT"
+  ./build/bench/$b >> "$OUT" 2>> "$OUT.err"
+  echo >> "$OUT"
+done
+echo "##### micro_components #####" >> "$OUT"
+./build/bench/micro_components --benchmark_min_time=0.05s >> "$OUT" 2>> "$OUT.err"
+echo "ALL_BENCHES_DONE" >> "$OUT"

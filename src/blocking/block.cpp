@@ -1,0 +1,24 @@
+#include "blocking/block.hpp"
+
+#include <algorithm>
+
+namespace erb::blocking {
+
+std::uint64_t TotalComparisons(const BlockCollection& blocks) {
+  std::uint64_t total = 0;
+  for (const auto& block : blocks) total += block.Comparisons();
+  return total;
+}
+
+std::uint64_t TotalAssignments(const BlockCollection& blocks) {
+  std::uint64_t total = 0;
+  for (const auto& block : blocks) total += block.Assignments();
+  return total;
+}
+
+void DropUselessBlocks(BlockCollection* blocks) {
+  std::erase_if(*blocks,
+                [](const Block& b) { return b.e1.empty() || b.e2.empty(); });
+}
+
+}  // namespace erb::blocking

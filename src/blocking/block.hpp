@@ -1,0 +1,41 @@
+// Block collection model for Clean-Clean ER.
+//
+// A block groups the entities that share one signature. In Clean-Clean ER
+// only inter-source comparisons matter, so each block keeps the two sides
+// separate; a block is useful only when both sides are non-empty.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/entity.hpp"
+
+namespace erb::blocking {
+
+/// One block: the entities of each source sharing a signature.
+struct Block {
+  std::vector<core::EntityId> e1;
+  std::vector<core::EntityId> e2;
+
+  /// Number of inter-source comparisons this block induces.
+  std::uint64_t Comparisons() const {
+    return static_cast<std::uint64_t>(e1.size()) * e2.size();
+  }
+
+  /// Total entity assignments (block "size" in the block-cleaning sense).
+  std::size_t Assignments() const { return e1.size() + e2.size(); }
+};
+
+using BlockCollection = std::vector<Block>;
+
+/// Total comparisons across a collection (with redundancy, i.e. the same
+/// pair counted once per shared block) — the BC measure of block cleaning.
+std::uint64_t TotalComparisons(const BlockCollection& blocks);
+
+/// Total entity assignments across a collection.
+std::uint64_t TotalAssignments(const BlockCollection& blocks);
+
+/// Drops blocks that lost one side (no comparisons). Keeps order.
+void DropUselessBlocks(BlockCollection* blocks);
+
+}  // namespace erb::blocking

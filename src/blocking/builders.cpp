@@ -1,0 +1,156 @@
+#include "blocking/builders.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "common/strings.hpp"
+
+namespace erb::blocking {
+namespace {
+
+// Appends the q-grams of `token`; a token shorter than q is its own q-gram,
+// as in JedAI, so short identifiers are not lost.
+void AppendQGrams(std::string_view token, int q, std::vector<std::string>* out) {
+  if (static_cast<int>(token.size()) <= q) {
+    out->emplace_back(token);
+    return;
+  }
+  for (std::size_t i = 0; i + q <= token.size(); ++i) {
+    out->emplace_back(token.substr(i, q));
+  }
+}
+
+// Extended Q-Grams: concatenates every combination of at least
+// L = max(1, floor(k * t)) of the token's k q-grams, preserving order.
+// k is capped to keep the number of combinations bounded (JedAI applies the
+// same safeguard); with t >= 0.8 the combination count stays small.
+void AppendExtendedQGrams(std::string_view token, int q, double t,
+                          std::vector<std::string>* out) {
+  std::vector<std::string> grams;
+  AppendQGrams(token, q, &grams);
+  constexpr std::size_t kMaxGrams = 10;
+  if (grams.size() > kMaxGrams) grams.resize(kMaxGrams);
+  const int k = static_cast<int>(grams.size());
+  const int l = std::max(1, static_cast<int>(k * t));
+  if (l >= k) {
+    // Only the full concatenation qualifies.
+    std::string key;
+    for (const auto& g : grams) {
+      if (!key.empty()) key += '_';
+      key += g;
+    }
+    out->push_back(std::move(key));
+    return;
+  }
+  // Enumerate subsets of size >= l via bitmask (k <= 10 so at most 1024).
+  for (std::uint32_t mask = 1; mask < (1u << k); ++mask) {
+    if (static_cast<int>(std::popcount(mask)) < l) continue;
+    std::string key;
+    for (int bit = 0; bit < k; ++bit) {
+      if (!(mask & (1u << bit))) continue;
+      if (!key.empty()) key += '_';
+      key += grams[static_cast<std::size_t>(bit)];
+    }
+    out->push_back(std::move(key));
+  }
+}
+
+// Suffix Arrays: every suffix of the token of length >= l_min (including the
+// token itself).
+void AppendSuffixes(std::string_view token, int l_min,
+                    std::vector<std::string>* out) {
+  const int n = static_cast<int>(token.size());
+  if (n < l_min) return;
+  for (int start = 0; start + l_min <= n; ++start) {
+    out->emplace_back(token.substr(static_cast<std::size_t>(start)));
+  }
+}
+
+// Extended Suffix Arrays: every substring of length >= l_min.
+void AppendSubstrings(std::string_view token, int l_min,
+                      std::vector<std::string>* out) {
+  const int n = static_cast<int>(token.size());
+  for (int len = l_min; len <= n; ++len) {
+    for (int start = 0; start + len <= n; ++start) {
+      out->emplace_back(token.substr(static_cast<std::size_t>(start),
+                                     static_cast<std::size_t>(len)));
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view BuilderName(BuilderKind kind) {
+  switch (kind) {
+    case BuilderKind::kStandard: return "StandardBlocking";
+    case BuilderKind::kQGrams: return "QGramsBlocking";
+    case BuilderKind::kExtendedQGrams: return "ExtendedQGramsBlocking";
+    case BuilderKind::kSuffixArrays: return "SuffixArraysBlocking";
+    case BuilderKind::kExtendedSuffixArrays: return "ExtendedSuffixArraysBlocking";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> ExtractKeys(std::string_view text,
+                                     const BuilderConfig& config) {
+  std::vector<std::string> keys;
+  const std::vector<std::string> tokens = SplitWhitespace(NormalizeText(text));
+  for (const auto& token : tokens) {
+    switch (config.kind) {
+      case BuilderKind::kStandard:
+        keys.push_back(token);
+        break;
+      case BuilderKind::kQGrams:
+        AppendQGrams(token, config.q, &keys);
+        break;
+      case BuilderKind::kExtendedQGrams:
+        AppendExtendedQGrams(token, config.q, config.t, &keys);
+        break;
+      case BuilderKind::kSuffixArrays:
+        AppendSuffixes(token, config.l_min, &keys);
+        break;
+      case BuilderKind::kExtendedSuffixArrays:
+        AppendSubstrings(token, config.l_min, &keys);
+        break;
+    }
+  }
+  // Each distinct key indexes the entity once.
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+BlockCollection BuildBlocks(const core::Dataset& dataset, core::SchemaMode mode,
+                            const BuilderConfig& config) {
+  BlockCollection blocks;
+  std::unordered_map<std::string, std::size_t> key_to_block;
+
+  auto index_side = [&](int side, std::size_t count) {
+    for (core::EntityId id = 0; id < count; ++id) {
+      const std::string text = dataset.EntityText(side, id, mode);
+      for (auto& key : ExtractKeys(text, config)) {
+        auto [it, inserted] = key_to_block.try_emplace(std::move(key), blocks.size());
+        if (inserted) blocks.emplace_back();
+        Block& block = blocks[it->second];
+        (side == 0 ? block.e1 : block.e2).push_back(id);
+      }
+    }
+  };
+  index_side(0, dataset.e1().size());
+  index_side(1, dataset.e2().size());
+
+  const bool proactive = config.kind == BuilderKind::kSuffixArrays ||
+                         config.kind == BuilderKind::kExtendedSuffixArrays;
+  if (proactive) {
+    // b_max is part of the method definition: a signature appearing in b_max
+    // or more entities produces no block.
+    std::erase_if(blocks, [&config](const Block& b) {
+      return b.Assignments() >= static_cast<std::size_t>(config.b_max);
+    });
+  }
+  DropUselessBlocks(&blocks);
+  return blocks;
+}
+
+}  // namespace erb::blocking

@@ -1,0 +1,54 @@
+// Block building methods (Section IV-B): Standard, Q-Grams, Extended
+// Q-Grams, Suffix Arrays and Extended Suffix Arrays Blocking.
+//
+// All methods derive signatures from the entity's textual representation
+// under the chosen schema mode and cluster entities with identical signatures
+// into blocks.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "blocking/block.hpp"
+#include "core/entity.hpp"
+
+namespace erb::blocking {
+
+/// The five block-building methods of the benchmark.
+enum class BuilderKind {
+  kStandard,
+  kQGrams,
+  kExtendedQGrams,
+  kSuffixArrays,
+  kExtendedSuffixArrays,
+};
+
+/// Human-readable name (for reports and Table VIII output).
+std::string_view BuilderName(BuilderKind kind);
+
+/// Parameters of a block builder (Table III domains).
+struct BuilderConfig {
+  BuilderKind kind = BuilderKind::kStandard;
+  int q = 3;           ///< q-gram length, [2, 6]
+  double t = 0.9;      ///< Extended Q-Grams combination threshold, [0.8, 1.0)
+  int l_min = 3;       ///< minimum suffix/substring length, [2, 6]
+  int b_max = 50;      ///< maximum entities per (extended) suffix block, [2, 100]
+};
+
+/// Extracts the blocking keys (signatures) of one textual value under the
+/// given configuration. Exposed for testing and for the paper's "Joe Biden"
+/// worked example.
+std::vector<std::string> ExtractKeys(std::string_view text,
+                                     const BuilderConfig& config);
+
+/// Builds the block collection of `dataset` under `mode`.
+///
+/// For the proactive Suffix-Arrays-based methods the b_max bound is enforced
+/// here: blocks with b_max or more entities are discarded during building, as
+/// the methods define. Lazy builders return every block with both sides
+/// non-empty, relying on block/comparison cleaning downstream.
+BlockCollection BuildBlocks(const core::Dataset& dataset, core::SchemaMode mode,
+                            const BuilderConfig& config);
+
+}  // namespace erb::blocking

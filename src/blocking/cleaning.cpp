@@ -1,0 +1,101 @@
+#include "blocking/cleaning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace erb::blocking {
+
+void BlockPurging(BlockCollection* blocks, std::size_t n1, std::size_t n2) {
+  if (blocks->empty()) return;
+
+  // Criterion 1: purge blocks with more than half of all input entities.
+  const std::size_t half_entities = (n1 + n2) / 2;
+  std::erase_if(*blocks, [half_entities](const Block& b) {
+    return b.Assignments() > half_entities;
+  });
+  if (blocks->empty()) return;
+
+  // Criterion 2 follows. Aggregate comparisons/assignments per distinct
+  // comparison cardinality.
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> levels;
+  for (const auto& block : *blocks) {
+    auto& [comparisons, assignments] = levels[block.Comparisons()];
+    comparisons += block.Comparisons();
+    assignments += block.Assignments();
+  }
+
+  // Ascending scan over cumulative comparisons-per-assignment. The retained
+  // maximum cardinality is the level just below the *last* disproportionate
+  // jump of that ratio: the oversized stop-word blocks at the top of the
+  // distribution add comparisons much faster than assignments, while the
+  // mid-frequency blocks keep the cumulative ratio nearly flat. Everything
+  // below the last jump is kept — purging is deliberately conservative,
+  // removing only the largest blocks.
+  constexpr double kSmoothing = 1.025;
+  std::uint64_t cum_comparisons = 0;
+  std::uint64_t cum_assignments = 0;
+  double previous_ratio = 0.0;
+  std::uint64_t previous_cardinality = 0;
+  std::uint64_t cut = levels.rbegin()->first;  // no jump -> keep everything
+  for (const auto& [cardinality, totals] : levels) {
+    cum_comparisons += totals.first;
+    cum_assignments += totals.second;
+    const double ratio =
+        static_cast<double>(cum_comparisons) / static_cast<double>(cum_assignments);
+    if (previous_ratio > 0.0 && ratio > kSmoothing * previous_ratio) {
+      cut = previous_cardinality;
+    }
+    previous_ratio = ratio;
+    previous_cardinality = cardinality;
+  }
+  std::erase_if(*blocks, [cut](const Block& b) { return b.Comparisons() > cut; });
+}
+
+void BlockFiltering(BlockCollection* blocks, double ratio, std::size_t n1,
+                    std::size_t n2) {
+  if (ratio >= 1.0 || blocks->empty()) return;
+
+  // Collect each entity's blocks as (cardinality, block index), then keep the
+  // entity in the ceil(ratio * count) smallest ones.
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint32_t>>> per_e1(n1);
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint32_t>>> per_e2(n2);
+  for (std::uint32_t b = 0; b < blocks->size(); ++b) {
+    const std::uint64_t cardinality = (*blocks)[b].Comparisons();
+    for (core::EntityId id : (*blocks)[b].e1) per_e1[id].emplace_back(cardinality, b);
+    for (core::EntityId id : (*blocks)[b].e2) per_e2[id].emplace_back(cardinality, b);
+  }
+
+  BlockCollection filtered(blocks->size());
+  auto retain = [&filtered, ratio](
+                    std::vector<std::vector<std::pair<std::uint64_t, std::uint32_t>>>&
+                        per_entity,
+                    int side) {
+    for (std::size_t id = 0; id < per_entity.size(); ++id) {
+      auto& entity_blocks = per_entity[id];
+      if (entity_blocks.empty()) continue;
+      const std::size_t keep = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::ceil(ratio * static_cast<double>(entity_blocks.size()))));
+      if (keep < entity_blocks.size()) {
+        std::nth_element(entity_blocks.begin(), entity_blocks.begin() + keep - 1,
+                         entity_blocks.end());
+        entity_blocks.resize(keep);
+      }
+      for (const auto& [_, b] : entity_blocks) {
+        auto& block = filtered[b];
+        (side == 0 ? block.e1 : block.e2)
+            .push_back(static_cast<core::EntityId>(id));
+      }
+    }
+  };
+  retain(per_e1, 0);
+  retain(per_e2, 1);
+
+  DropUselessBlocks(&filtered);
+  *blocks = std::move(filtered);
+}
+
+}  // namespace erb::blocking

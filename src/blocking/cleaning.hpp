@@ -1,0 +1,29 @@
+// Block cleaning (Section IV-B): Block Purging and Block Filtering, the two
+// optional coarse-grained steps between block building and comparison
+// cleaning in the workflow of Figure 1.
+#pragma once
+
+#include "blocking/block.hpp"
+
+namespace erb::blocking {
+
+/// Block Purging (parameter-free). Removes the oversized blocks that emanate
+/// from stop-word-like signatures.
+///
+/// Two complementary criteria, both parameter-free:
+///  1. Size: a block holding more than half of all input entities is purged
+///     (the paper's own characterization of stop-word blocks).
+///  2. Comparisons: scanning distinct comparison cardinalities in ascending
+///     order, the cumulative comparisons-per-assignment ratio is tracked;
+///     every level above the last disproportionate jump of that ratio is
+///     purged — those blocks add comparisons much faster than they add
+///     (potentially matching) entity assignments.
+void BlockPurging(BlockCollection* blocks, std::size_t n1, std::size_t n2);
+
+/// Block Filtering. For every entity, retains it only in the
+/// ceil(ratio * |blocks of the entity|) smallest of its blocks. ratio = 1
+/// keeps everything. Blocks that lose one side are dropped.
+void BlockFiltering(BlockCollection* blocks, double ratio,
+                    std::size_t n1, std::size_t n2);
+
+}  // namespace erb::blocking

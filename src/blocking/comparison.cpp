@@ -1,0 +1,240 @@
+#include "blocking/comparison.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace erb::blocking {
+namespace {
+
+using core::EntityId;
+
+// Bounded min-heap keeping the k largest weights seen per node; exposes the
+// k-th largest as the node's cardinality threshold (CNP / RCNP).
+class TopKTracker {
+ public:
+  TopKTracker(std::size_t nodes, std::size_t k) : k_(k), heaps_(nodes) {}
+
+  void Offer(std::size_t node, double weight) {
+    auto& heap = heaps_[node];
+    if (heap.size() < k_) {
+      heap.push_back(weight);
+      std::push_heap(heap.begin(), heap.end(), std::greater<>());
+    } else if (weight > heap.front()) {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+      heap.back() = weight;
+      std::push_heap(heap.begin(), heap.end(), std::greater<>());
+    }
+  }
+
+  /// Minimum weight qualifying for the node's top-k.
+  double Threshold(std::size_t node) const {
+    const auto& heap = heaps_[node];
+    return heap.empty() ? 0.0 : heap.front();
+  }
+
+ private:
+  std::size_t k_;
+  std::vector<std::vector<double>> heaps_;
+};
+
+}  // namespace
+
+std::string_view SchemeName(WeightingScheme scheme) {
+  switch (scheme) {
+    case WeightingScheme::kArcs: return "ARCS";
+    case WeightingScheme::kCbs: return "CBS";
+    case WeightingScheme::kEcbs: return "ECBS";
+    case WeightingScheme::kJs: return "JS";
+    case WeightingScheme::kEjs: return "EJS";
+    case WeightingScheme::kChiSquared: return "X2";
+  }
+  return "unknown";
+}
+
+std::string_view PruningName(PruningAlgorithm algorithm) {
+  switch (algorithm) {
+    case PruningAlgorithm::kBlast: return "BLAST";
+    case PruningAlgorithm::kCep: return "CEP";
+    case PruningAlgorithm::kCnp: return "CNP";
+    case PruningAlgorithm::kRcnp: return "RCNP";
+    case PruningAlgorithm::kRwnp: return "RWNP";
+    case PruningAlgorithm::kWep: return "WEP";
+    case PruningAlgorithm::kWnp: return "WNP";
+  }
+  return "unknown";
+}
+
+double PairWeight(const PairGraph& graph, WeightingScheme scheme, EntityId i,
+                  EntityId j, std::uint32_t common, double arcs) {
+  const double bi = static_cast<double>(graph.BlocksOf1(i));
+  const double bj = static_cast<double>(graph.BlocksOf2(j));
+  const double total_blocks =
+      std::max<double>(1.0, static_cast<double>(graph.NumBlocks()));
+  const double c = static_cast<double>(common);
+  switch (scheme) {
+    case WeightingScheme::kArcs:
+      return arcs;
+    case WeightingScheme::kCbs:
+      return c;
+    case WeightingScheme::kEcbs:
+      return c * std::log(total_blocks / bi) * std::log(total_blocks / bj);
+    case WeightingScheme::kJs:
+      return c / (bi + bj - c);
+    case WeightingScheme::kEjs: {
+      const double js = c / (bi + bj - c);
+      const double total_pairs =
+          std::max<double>(1.0, static_cast<double>(graph.TotalPairs()));
+      const double di = std::max<double>(graph.Degree1(i), 1.0);
+      const double dj = std::max<double>(graph.Degree2(j), 1.0);
+      return js * std::log10(total_pairs / di) * std::log10(total_pairs / dj);
+    }
+    case WeightingScheme::kChiSquared: {
+      // Independence test of the entities' block participations.
+      const double n = total_blocks;
+      const double o11 = c;
+      const double o12 = bi - c;
+      const double o21 = bj - c;
+      const double o22 = n - bi - bj + c;
+      const double denom = bi * bj * (n - bi) * (n - bj);
+      if (denom <= 0.0) return 0.0;
+      const double diff = o11 * o22 - o12 * o21;
+      return n * diff * diff / denom;
+    }
+  }
+  return 0.0;
+}
+
+core::CandidateSet ComparisonPropagation(const BlockCollection& blocks,
+                                         std::size_t n1, std::size_t n2) {
+  PairGraph graph(blocks, n1, n2);
+  core::CandidateSet candidates;
+  graph.ForEachPair([&candidates](EntityId i, EntityId j, std::uint32_t, double) {
+    candidates.Add(i, j);
+  });
+  candidates.Finalize();
+  return candidates;
+}
+
+core::CandidateSet MetaBlocking(const BlockCollection& blocks, std::size_t n1,
+                                std::size_t n2, WeightingScheme scheme,
+                                PruningAlgorithm pruning) {
+  PairGraph graph(blocks, n1, n2);
+  if (scheme == WeightingScheme::kEjs) graph.EnsureDegrees();
+
+  // Cardinality parameters, configured from block characteristics as in the
+  // meta-blocking literature: k = assignments per entity, K = assignments / 2.
+  const std::uint64_t assignments = TotalAssignments(blocks);
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             static_cast<double>(assignments) / std::max<std::size_t>(1, n1 + n2))));
+  const std::uint64_t cep_cap = std::max<std::uint64_t>(1, assignments / 2);
+
+  const bool needs_topk =
+      pruning == PruningAlgorithm::kCnp || pruning == PruningAlgorithm::kRcnp;
+  const bool needs_node_stats = pruning == PruningAlgorithm::kWnp ||
+                                pruning == PruningAlgorithm::kRwnp ||
+                                pruning == PruningAlgorithm::kBlast;
+  const bool needs_global_weights = pruning == PruningAlgorithm::kCep;
+  const bool needs_global_avg = pruning == PruningAlgorithm::kWep;
+
+  TopKTracker topk1(needs_topk ? n1 : 0, k);
+  TopKTracker topk2(needs_topk ? n2 : 0, k);
+  std::vector<double> sum1, sum2, max1, max2;
+  std::vector<std::uint32_t> cnt1, cnt2;
+  if (needs_node_stats) {
+    sum1.assign(n1, 0.0);
+    sum2.assign(n2, 0.0);
+    max1.assign(n1, 0.0);
+    max2.assign(n2, 0.0);
+    cnt1.assign(n1, 0);
+    cnt2.assign(n2, 0);
+  }
+  std::vector<double> all_weights;
+  double global_sum = 0.0;
+  std::uint64_t global_count = 0;
+
+  // Pass 1: statistics.
+  graph.ForEachPair([&](EntityId i, EntityId j, std::uint32_t common, double arcs) {
+    const double w = PairWeight(graph, scheme, i, j, common, arcs);
+    if (needs_topk) {
+      topk1.Offer(i, w);
+      topk2.Offer(j, w);
+    }
+    if (needs_node_stats) {
+      sum1[i] += w;
+      sum2[j] += w;
+      ++cnt1[i];
+      ++cnt2[j];
+      max1[i] = std::max(max1[i], w);
+      max2[j] = std::max(max2[j], w);
+    }
+    if (needs_global_weights) all_weights.push_back(w);
+    if (needs_global_avg) {
+      global_sum += w;
+      ++global_count;
+    }
+  });
+
+  double cep_threshold = 0.0;
+  if (needs_global_weights) {
+    if (all_weights.size() > cep_cap) {
+      std::nth_element(all_weights.begin(), all_weights.begin() + cep_cap - 1,
+                       all_weights.end(), std::greater<>());
+      cep_threshold = all_weights[cep_cap - 1];
+    }
+    all_weights.clear();
+    all_weights.shrink_to_fit();
+  }
+  const double global_avg =
+      global_count == 0 ? 0.0 : global_sum / static_cast<double>(global_count);
+
+  // BLAST's local threshold: a fixed ratio of the sum of the two entities'
+  // maximum weights, as in the loosely schema-aware meta-blocking of Simonini
+  // et al.
+  constexpr double kBlastRatio = 0.35;
+
+  // Pass 2: retention.
+  core::CandidateSet candidates;
+  graph.ForEachPair([&](EntityId i, EntityId j, std::uint32_t common, double arcs) {
+    const double w = PairWeight(graph, scheme, i, j, common, arcs);
+    bool keep = false;
+    switch (pruning) {
+      case PruningAlgorithm::kBlast:
+        keep = w >= kBlastRatio * (max1[i] + max2[j]);
+        break;
+      case PruningAlgorithm::kCep:
+        keep = w >= cep_threshold;
+        break;
+      case PruningAlgorithm::kCnp:
+        keep = w >= topk1.Threshold(i) || w >= topk2.Threshold(j);
+        break;
+      case PruningAlgorithm::kRcnp:
+        keep = w >= topk1.Threshold(i) && w >= topk2.Threshold(j);
+        break;
+      case PruningAlgorithm::kWep:
+        keep = w >= global_avg;
+        break;
+      case PruningAlgorithm::kWnp:
+        keep = (cnt1[i] > 0 && w >= sum1[i] / cnt1[i]) ||
+               (cnt2[j] > 0 && w >= sum2[j] / cnt2[j]);
+        break;
+      case PruningAlgorithm::kRwnp:
+        keep = (cnt1[i] > 0 && w >= sum1[i] / cnt1[i]) &&
+               (cnt2[j] > 0 && w >= sum2[j] / cnt2[j]);
+        break;
+    }
+    if (keep) candidates.Add(i, j);
+  });
+  candidates.Finalize();
+  return candidates;
+}
+
+core::CandidateSet CleanComparisons(const BlockCollection& blocks,
+                                    std::size_t n1, std::size_t n2,
+                                    const ComparisonConfig& config) {
+  if (!config.use_metablocking) return ComparisonPropagation(blocks, n1, n2);
+  return MetaBlocking(blocks, n1, n2, config.scheme, config.pruning);
+}
+
+}  // namespace erb::blocking

@@ -1,0 +1,58 @@
+// Comparison cleaning (Section IV-B): the mandatory last step of a blocking
+// workflow. Either Comparison Propagation (removes redundant pairs only) or
+// Meta-blocking (a weighting scheme scoring each distinct candidate pair by
+// the blocks its entities share, plus a pruning algorithm retaining the
+// best-scored pairs).
+#pragma once
+
+#include <string_view>
+
+#include "blocking/block.hpp"
+#include "blocking/graph.hpp"
+#include "core/candidates.hpp"
+
+namespace erb::blocking {
+
+/// Weighting schemes of Meta-blocking. The more and the rarer the blocks two
+/// entities share, the higher the weight.
+enum class WeightingScheme { kArcs, kCbs, kEcbs, kJs, kEjs, kChiSquared };
+
+/// Pruning algorithms deciding which weighted pairs survive.
+enum class PruningAlgorithm { kBlast, kCep, kCnp, kRcnp, kRwnp, kWep, kWnp };
+
+std::string_view SchemeName(WeightingScheme scheme);
+std::string_view PruningName(PruningAlgorithm algorithm);
+
+/// Configuration of the comparison-cleaning step.
+struct ComparisonConfig {
+  /// false = Comparison Propagation (parameter-free); true = Meta-blocking
+  /// with the scheme/pruning below.
+  bool use_metablocking = false;
+  WeightingScheme scheme = WeightingScheme::kCbs;
+  PruningAlgorithm pruning = PruningAlgorithm::kWep;
+};
+
+/// Comparison Propagation: emits every distinct inter-source pair exactly
+/// once (precision up, recall untouched).
+core::CandidateSet ComparisonPropagation(const BlockCollection& blocks,
+                                         std::size_t n1, std::size_t n2);
+
+/// Meta-blocking: scores every distinct pair with `scheme` and retains those
+/// selected by `pruning`.
+core::CandidateSet MetaBlocking(const BlockCollection& blocks, std::size_t n1,
+                                std::size_t n2, WeightingScheme scheme,
+                                PruningAlgorithm pruning);
+
+/// Dispatches on `config`.
+core::CandidateSet CleanComparisons(const BlockCollection& blocks,
+                                    std::size_t n1, std::size_t n2,
+                                    const ComparisonConfig& config);
+
+/// The weight of pair (i, j) under `scheme`, given the shared-block count and
+/// ARCS accumulator produced by PairGraph::ForEachPair. For EJS the graph's
+/// degrees must have been computed (PairGraph::EnsureDegrees).
+double PairWeight(const PairGraph& graph, WeightingScheme scheme,
+                  core::EntityId i, core::EntityId j, std::uint32_t common,
+                  double arcs);
+
+}  // namespace erb::blocking

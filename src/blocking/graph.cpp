@@ -1,0 +1,29 @@
+#include "blocking/graph.hpp"
+
+namespace erb::blocking {
+
+PairGraph::PairGraph(const BlockCollection& blocks, std::size_t n1,
+                     std::size_t n2)
+    : blocks_(&blocks), n2_(n2) {
+  e1_blocks_.resize(n1);
+  e2_block_counts_.assign(n2, 0);
+  for (std::uint32_t b = 0; b < blocks.size(); ++b) {
+    for (core::EntityId id : blocks[b].e1) e1_blocks_[id].push_back(b);
+    for (core::EntityId id : blocks[b].e2) ++e2_block_counts_[id];
+  }
+}
+
+void PairGraph::EnsureDegrees() const {
+  if (degrees_ready_) return;
+  degree1_.assign(e1_blocks_.size(), 0);
+  degree2_.assign(n2_, 0);
+  total_pairs_ = 0;
+  ForEachPair([this](core::EntityId i, core::EntityId j, std::uint32_t, double) {
+    ++degree1_[i];
+    ++degree2_[j];
+    ++total_pairs_;
+  });
+  degrees_ready_ = true;
+}
+
+}  // namespace erb::blocking

@@ -1,0 +1,76 @@
+// The blocking graph: streaming access to the distinct candidate pairs of a
+// block collection together with the co-occurrence statistics the
+// meta-blocking weighting schemes consume.
+//
+// Exposed separately from comparison.cpp so the configuration optimizer can
+// evaluate every weighting scheme and pruning algorithm over shared passes
+// instead of re-running meta-blocking 42 times per block collection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blocking/block.hpp"
+
+namespace erb::blocking {
+
+/// Entity -> block-index adjacency for both sides plus the pair streamer.
+class PairGraph {
+ public:
+  PairGraph(const BlockCollection& blocks, std::size_t n1, std::size_t n2);
+
+  /// Invokes `fn(i, j, common_blocks, arcs_weight)` exactly once per distinct
+  /// inter-source pair. `arcs_weight` is the ARCS accumulator
+  /// (sum of 1/||b|| over shared blocks).
+  template <typename Fn>
+  void ForEachPair(Fn&& fn) const {
+    std::vector<std::uint32_t> common(n2_, 0);
+    std::vector<double> arcs(n2_, 0.0);
+    std::vector<core::EntityId> touched;
+    for (core::EntityId i = 0; i < e1_blocks_.size(); ++i) {
+      touched.clear();
+      for (std::uint32_t b : e1_blocks_[i]) {
+        const Block& block = (*blocks_)[b];
+        const double inv = 1.0 / static_cast<double>(block.Comparisons());
+        for (core::EntityId j : block.e2) {
+          if (common[j] == 0) touched.push_back(j);
+          ++common[j];
+          arcs[j] += inv;
+        }
+      }
+      for (core::EntityId j : touched) {
+        fn(i, j, common[j], arcs[j]);
+        common[j] = 0;
+        arcs[j] = 0.0;
+      }
+    }
+  }
+
+  std::size_t n1() const { return e1_blocks_.size(); }
+  std::size_t n2() const { return n2_; }
+  std::size_t NumBlocks() const { return blocks_->size(); }
+  std::size_t BlocksOf1(core::EntityId i) const { return e1_blocks_[i].size(); }
+  std::size_t BlocksOf2(core::EntityId j) const { return e2_block_counts_[j]; }
+
+  /// Number of distinct pairs and per-entity degrees (|v_i| of EJS).
+  /// Computed lazily on first call (one extra streaming pass).
+  void EnsureDegrees() const;
+  std::uint64_t TotalPairs() const { return total_pairs_; }
+  std::uint32_t Degree1(core::EntityId i) const { return degree1_[i]; }
+  std::uint32_t Degree2(core::EntityId j) const { return degree2_[j]; }
+
+  const BlockCollection& blocks() const { return *blocks_; }
+
+ private:
+  const BlockCollection* blocks_;
+  std::size_t n2_;
+  std::vector<std::vector<std::uint32_t>> e1_blocks_;
+  std::vector<std::uint32_t> e2_block_counts_;
+
+  mutable bool degrees_ready_ = false;
+  mutable std::uint64_t total_pairs_ = 0;
+  mutable std::vector<std::uint32_t> degree1_;
+  mutable std::vector<std::uint32_t> degree2_;
+};
+
+}  // namespace erb::blocking

@@ -1,0 +1,56 @@
+#include "blocking/sorted_neighborhood.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "blocking/builders.hpp"
+
+namespace erb::blocking {
+
+core::CandidateSet SortedNeighborhood(const core::Dataset& dataset,
+                                      core::SchemaMode mode, int window) {
+  struct Entry {
+    std::string key;
+    core::EntityId id;
+    int side;
+  };
+  std::vector<Entry> entries;
+
+  BuilderConfig standard;  // token keys, as Standard Blocking extracts them
+  auto add_side = [&](int side, std::size_t count) {
+    for (core::EntityId id = 0; id < count; ++id) {
+      const std::string text = dataset.EntityText(side, id, mode);
+      for (auto& key : ExtractKeys(text, standard)) {
+        entries.push_back({std::move(key), id, side});
+      }
+    }
+  };
+  add_side(0, dataset.e1().size());
+  add_side(1, dataset.e2().size());
+
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    if (a.side != b.side) return a.side < b.side;
+    return a.id < b.id;
+  });
+
+  core::CandidateSet candidates;
+  const std::size_t w = static_cast<std::size_t>(std::max(2, window));
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::size_t j = i + 1; j < entries.size() && j < i + w; ++j) {
+      const Entry& a = entries[i];
+      const Entry& b = entries[j];
+      if (a.side == b.side) continue;
+      if (a.side == 0) {
+        candidates.Add(a.id, b.id);
+      } else {
+        candidates.Add(b.id, a.id);
+      }
+    }
+  }
+  candidates.Finalize();
+  return candidates;
+}
+
+}  // namespace erb::blocking

@@ -1,0 +1,23 @@
+// Sorted Neighborhood (Hernandez & Stolfo): entities are sorted by their
+// blocking keys and a fixed-size window slides over the sorted sequence;
+// every cross-source pair inside a window becomes a candidate.
+//
+// The paper evaluated this method but excluded it from the tables because it
+// consistently underperforms the block-building methods (it is incompatible
+// with block/comparison cleaning). It is provided here so that finding can be
+// reproduced (see bench_ablation).
+#pragma once
+
+#include "core/candidates.hpp"
+#include "core/entity.hpp"
+
+namespace erb::blocking {
+
+/// Runs Sorted Neighborhood with the given window size (>= 2). Keys are the
+/// normalized tokens of each entity's text under `mode`; an entity appears in
+/// the sorted sequence once per distinct token, as in the schema-agnostic
+/// adaptations of the method.
+core::CandidateSet SortedNeighborhood(const core::Dataset& dataset,
+                                      core::SchemaMode mode, int window);
+
+}  // namespace erb::blocking

@@ -1,0 +1,81 @@
+#include "blocking/workflow.hpp"
+
+#include <sstream>
+
+namespace erb::blocking {
+
+std::string WorkflowConfig::Describe() const {
+  std::ostringstream out;
+  out << BuilderName(builder.kind);
+  switch (builder.kind) {
+    case BuilderKind::kQGrams:
+      out << "(q=" << builder.q << ")";
+      break;
+    case BuilderKind::kExtendedQGrams:
+      out << "(q=" << builder.q << ",t=" << builder.t << ")";
+      break;
+    case BuilderKind::kSuffixArrays:
+    case BuilderKind::kExtendedSuffixArrays:
+      out << "(lmin=" << builder.l_min << ",bmax=" << builder.b_max << ")";
+      break;
+    default:
+      break;
+  }
+  out << " BP=" << (block_purging ? "on" : "off");
+  out << " BFr=" << filter_ratio;
+  if (cleaning.use_metablocking) {
+    out << " " << PruningName(cleaning.pruning) << "+" << SchemeName(cleaning.scheme);
+  } else {
+    out << " CP";
+  }
+  return out.str();
+}
+
+WorkflowResult RunWorkflow(const core::Dataset& dataset, core::SchemaMode mode,
+                           const WorkflowConfig& config) {
+  WorkflowResult result;
+  const std::size_t n1 = dataset.e1().size();
+  const std::size_t n2 = dataset.e2().size();
+
+  BlockCollection blocks = result.timing.Measure(kPhaseBuild, [&] {
+    return BuildBlocks(dataset, mode, config.builder);
+  });
+  result.blocks_built = blocks.size();
+
+  if (config.block_purging) {
+    result.timing.Measure(kPhasePurge, [&] { BlockPurging(&blocks, n1, n2); });
+  }
+  if (config.filter_ratio < 1.0) {
+    result.timing.Measure(kPhaseFilter,
+                          [&] { BlockFiltering(&blocks, config.filter_ratio, n1, n2); });
+  }
+  result.blocks_after_cleaning = blocks.size();
+
+  result.candidates = result.timing.Measure(kPhaseClean, [&] {
+    return CleanComparisons(blocks, n1, n2, config.cleaning);
+  });
+  return result;
+}
+
+WorkflowConfig ParameterFreeWorkflow() {
+  WorkflowConfig config;
+  config.builder.kind = BuilderKind::kStandard;
+  config.block_purging = true;
+  config.filter_ratio = 1.0;
+  config.cleaning.use_metablocking = false;
+  return config;
+}
+
+WorkflowConfig DefaultWorkflow() {
+  WorkflowConfig config;
+  config.builder.kind = BuilderKind::kQGrams;
+  config.builder.q = 6;
+  config.block_purging = false;
+  config.filter_ratio = 0.5;
+  config.cleaning.use_metablocking = true;
+  config.cleaning.scheme = WeightingScheme::kEcbs;
+  config.cleaning.pruning = PruningAlgorithm::kWep;
+  return config;
+}
+
+}  // namespace erb::blocking

@@ -1,0 +1,56 @@
+// The complete blocking workflow of Figure 1: block building -> optional
+// Block Purging -> optional Block Filtering -> comparison cleaning.
+#pragma once
+
+#include <string>
+
+#include "blocking/builders.hpp"
+#include "blocking/cleaning.hpp"
+#include "blocking/comparison.hpp"
+#include "common/timer.hpp"
+#include "core/candidates.hpp"
+#include "core/entity.hpp"
+
+namespace erb::blocking {
+
+/// Full configuration of one blocking workflow (the search space of
+/// Table III).
+struct WorkflowConfig {
+  BuilderConfig builder;
+  bool block_purging = false;
+  /// Block Filtering ratio in (0, 1]; 1.0 disables the step.
+  double filter_ratio = 1.0;
+  ComparisonConfig cleaning;
+
+  /// Compact description for the configuration tables (Table VIII).
+  std::string Describe() const;
+};
+
+/// Result of running a workflow: candidates plus the per-phase timings that
+/// feed the run-time breakdown of Figures 7-9 (t_b, t_p, t_f, t_c).
+struct WorkflowResult {
+  core::CandidateSet candidates;
+  PhaseTimer timing;
+  std::size_t blocks_built = 0;
+  std::size_t blocks_after_cleaning = 0;
+};
+
+/// Phase names used in WorkflowResult::timing.
+inline constexpr const char* kPhaseBuild = "build";
+inline constexpr const char* kPhasePurge = "purge";
+inline constexpr const char* kPhaseFilter = "filter";
+inline constexpr const char* kPhaseClean = "clean";
+
+/// Runs the workflow on `dataset` under `mode`.
+WorkflowResult RunWorkflow(const core::Dataset& dataset, core::SchemaMode mode,
+                           const WorkflowConfig& config);
+
+/// The Parameter-free Blocking Workflow baseline (PBW): Standard Blocking +
+/// Block Purging + Comparison Propagation.
+WorkflowConfig ParameterFreeWorkflow();
+
+/// The Default Blocking Workflow baseline (DBW): Q-Grams Blocking (q=6) +
+/// Block Filtering (ratio 0.5) + Meta-blocking with WEP + ECBS.
+WorkflowConfig DefaultWorkflow();
+
+}  // namespace erb::blocking

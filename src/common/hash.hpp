@@ -1,0 +1,46 @@
+// Hashing primitives shared by all erbench modules.
+//
+// Everything here is deterministic across runs and platforms: the benchmark
+// harness relies on bit-identical dataset generation and LSH behaviour when
+// re-running an experiment, so std::hash (implementation defined) is never
+// used for anything that influences results.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace erb {
+
+/// 64-bit FNV-1a. Stable, fast for short keys (tokens, q-grams).
+constexpr std::uint64_t FnvHash64(std::string_view data,
+                                  std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer: turns a counter or weak hash into a well-mixed value.
+constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two hashes (order dependent), boost::hash_combine style but 64-bit.
+constexpr std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+/// Hash of a string under one of `n` independent hash functions, used by
+/// MinHash: seeding FNV with a mixed function index yields functions that
+/// behave independently for the Jaccard estimation purposes of LSH.
+inline std::uint64_t SeededHash(std::string_view data, std::uint64_t function_index) {
+  return FnvHash64(data, SplitMix64(function_index ^ 0xa0761d6478bd642fULL));
+}
+
+}  // namespace erb

@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (dataset generators, LSH rotations, autoencoder
+// initialization) draw from Xoshiro256** seeded explicitly, so experiments
+// are reproducible bit-for-bit and the "average of 10 repetitions" protocol
+// of the paper can be driven by seed = repetition index.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <numbers>
+
+#include "common/hash.hpp"
+
+namespace erb {
+
+/// Xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x6a09e667f3bcc908ULL) {
+    // Expand the single seed through splitmix64, the recommended procedure.
+    for (auto& word : state_) {
+      seed = SplitMix64(seed);
+      word = seed;
+    }
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Uses rejection-free Lemire reduction; the bias of
+  /// the multiply-shift trick is < 2^-64, irrelevant for benchmarking.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(NextU64()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Standard normal via Box-Muller (cached second value omitted for
+  /// simplicity; generation cost is negligible against index build cost).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Bernoulli draw.
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+  /// Zipf-like rank draw in [0, n): rank r with probability ~ 1/(r+1)^s.
+  /// Used by the dataset generators to produce realistic token frequency
+  /// skew (stop-word-like heads, long tails).
+  std::uint64_t NextZipf(std::uint64_t n, double s = 1.0) {
+    // Inverse-CDF on the continuous approximation; exact enough for text
+    // synthesis and O(1) per draw.
+    const double u = NextDouble();
+    if (s == 1.0) {
+      const double h = std::log(static_cast<double>(n) + 1.0);
+      auto r = static_cast<std::uint64_t>(std::exp(u * h) - 1.0);
+      return r >= n ? n - 1 : r;
+    }
+    const double one_minus_s = 1.0 - s;
+    const double h = (std::pow(static_cast<double>(n) + 1.0, one_minus_s) - 1.0);
+    auto r = static_cast<std::uint64_t>(
+        std::pow(u * h + 1.0, 1.0 / one_minus_s) - 1.0);
+    return r >= n ? n - 1 : r;
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace erb

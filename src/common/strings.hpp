@@ -1,0 +1,38 @@
+// Small string helpers shared across modules. ASCII-oriented: the paper's
+// datasets are predominantly English product/bibliographic text, and all
+// tokenizers in the benchmark operate on byte-level case-folded text.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace erb {
+
+/// Lower-cases ASCII letters in place; other bytes pass through.
+void ToLowerInPlace(std::string* s);
+
+/// Returns a lower-cased copy.
+std::string ToLower(std::string_view s);
+
+/// Splits on runs of whitespace; no empty tokens are produced.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Splits on a single character delimiter; keeps empty fields (CSV-ish use).
+std::vector<std::string> SplitChar(std::string_view s, char delim);
+
+/// Joins parts with the given separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` consists only of ASCII alphanumerics (used by token cleaning).
+bool IsAlnum(std::string_view s);
+
+/// Replaces every non-alphanumeric byte with a space, lower-cases the rest.
+/// This is the canonical normalization applied before any tokenizer, mirroring
+/// JedAI's default text preprocessing.
+std::string NormalizeText(std::string_view s);
+
+}  // namespace erb

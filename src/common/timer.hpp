@@ -1,0 +1,69 @@
+// Wall-clock timing utilities used by the run-time (RT) measurements and the
+// per-phase breakdown of Figures 7-9.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace erb {
+
+/// Simple monotonic stopwatch. RT in the paper is wall-clock time between
+/// receiving profiles and emitting candidates, excluding data loading.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds since construction or the last Restart().
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase durations, e.g. block building vs comparison
+/// cleaning, or preprocess/index/query for NN methods (Figures 7-9).
+class PhaseTimer {
+ public:
+  /// Measures `fn` and adds its duration to phase `name`. Returns fn().
+  template <typename Fn>
+  auto Measure(const std::string& name, Fn&& fn) {
+    Timer t;
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      fn();
+      phases_[name] += t.ElapsedMs();
+    } else {
+      auto result = fn();
+      phases_[name] += t.ElapsedMs();
+      return result;
+    }
+  }
+
+  void Add(const std::string& name, double ms) { phases_[name] += ms; }
+
+  double Get(const std::string& name) const {
+    auto it = phases_.find(name);
+    return it == phases_.end() ? 0.0 : it->second;
+  }
+
+  double TotalMs() const {
+    double total = 0.0;
+    for (const auto& [_, ms] : phases_) total += ms;
+    return total;
+  }
+
+  const std::map<std::string, double>& phases() const { return phases_; }
+
+  void Clear() { phases_.clear(); }
+
+ private:
+  std::map<std::string, double> phases_;
+};
+
+}  // namespace erb

@@ -1,0 +1,17 @@
+#include "core/candidates.hpp"
+
+#include <algorithm>
+
+namespace erb::core {
+
+void CandidateSet::Finalize() {
+  std::sort(pairs_.begin(), pairs_.end());
+  pairs_.erase(std::unique(pairs_.begin(), pairs_.end()), pairs_.end());
+  finalized_ = true;
+}
+
+bool CandidateSet::Contains(EntityId id1, EntityId id2) const {
+  return std::binary_search(pairs_.begin(), pairs_.end(), MakePair(id1, id2));
+}
+
+}  // namespace erb::core

@@ -1,0 +1,51 @@
+// Candidate set: the common output format of every filtering method.
+//
+// Blocking workflows and NN methods alike reduce the Cartesian product
+// E1 x E2 to a set C of candidate pairs; this container deduplicates and
+// stores them compactly so PC/PQ evaluation is uniform across methods.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/entity.hpp"
+
+namespace erb::core {
+
+/// A deduplicated set of candidate pairs. Building is append-oriented
+/// (methods emit pairs in arbitrary order, possibly with repeats); Finalize()
+/// sorts and deduplicates once, which is far cheaper than hashing every
+/// insertion for the candidate volumes LSH methods produce.
+class CandidateSet {
+ public:
+  CandidateSet() = default;
+
+  void Reserve(std::size_t n) { pairs_.reserve(n); }
+
+  void Add(EntityId id1, EntityId id2) { pairs_.push_back(MakePair(id1, id2)); }
+  void AddKey(PairKey key) { pairs_.push_back(key); }
+
+  /// Sorts and removes duplicate pairs. Must be called before size() or
+  /// iteration is meaningful; idempotent.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  /// Number of distinct candidate pairs |C|.
+  std::size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+
+  std::vector<PairKey>::const_iterator begin() const { return pairs_.begin(); }
+  std::vector<PairKey>::const_iterator end() const { return pairs_.end(); }
+
+  const std::vector<PairKey>& pairs() const { return pairs_; }
+
+  /// True if the (finalized) set contains the pair.
+  bool Contains(EntityId id1, EntityId id2) const;
+
+ private:
+  std::vector<PairKey> pairs_;
+  bool finalized_ = false;
+};
+
+}  // namespace erb::core

@@ -1,0 +1,59 @@
+#include "core/entity.hpp"
+
+#include <stdexcept>
+
+namespace erb::core {
+
+std::string EntityProfile::ValueOf(std::string_view name) const {
+  std::string out;
+  for (const auto& attr : attributes) {
+    if (attr.name == name && !attr.value.empty()) {
+      if (!out.empty()) out += ' ';
+      out += attr.value;
+    }
+  }
+  return out;
+}
+
+std::string EntityProfile::AllValues() const {
+  std::string out;
+  for (const auto& attr : attributes) {
+    if (attr.value.empty()) continue;
+    if (!out.empty()) out += ' ';
+    out += attr.value;
+  }
+  return out;
+}
+
+bool EntityProfile::Covers(std::string_view name) const {
+  for (const auto& attr : attributes) {
+    if (attr.name == name && !attr.value.empty()) return true;
+  }
+  return false;
+}
+
+Dataset::Dataset(std::string name, std::vector<EntityProfile> e1,
+                 std::vector<EntityProfile> e2,
+                 std::vector<std::pair<EntityId, EntityId>> duplicates,
+                 std::string best_attribute)
+    : name_(std::move(name)),
+      e1_(std::move(e1)),
+      e2_(std::move(e2)),
+      duplicates_(std::move(duplicates)),
+      best_attribute_(std::move(best_attribute)) {
+  duplicate_keys_.reserve(duplicates_.size() * 2);
+  for (const auto& [id1, id2] : duplicates_) {
+    if (id1 >= e1_.size() || id2 >= e2_.size()) {
+      throw std::out_of_range("ground-truth pair references missing entity");
+    }
+    duplicate_keys_.insert(MakePair(id1, id2));
+  }
+}
+
+std::string Dataset::EntityText(int side, EntityId id, SchemaMode mode) const {
+  const EntityProfile& profile = side == 0 ? e1_.at(id) : e2_.at(id);
+  return mode == SchemaMode::kAgnostic ? profile.AllValues()
+                                       : profile.ValueOf(best_attribute_);
+}
+
+}  // namespace erb::core

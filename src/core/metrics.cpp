@@ -1,0 +1,24 @@
+#include "core/metrics.hpp"
+
+#include <cassert>
+
+namespace erb::core {
+
+Effectiveness Evaluate(const CandidateSet& candidates, const Dataset& dataset) {
+  assert(candidates.finalized());
+  Effectiveness result;
+  result.candidates = candidates.size();
+  for (PairKey key : candidates) {
+    if (dataset.IsDuplicate(key)) ++result.detected;
+  }
+  const std::size_t total_duplicates = dataset.NumDuplicates();
+  result.pc = total_duplicates == 0
+                  ? 0.0
+                  : static_cast<double>(result.detected) / total_duplicates;
+  result.pq = result.candidates == 0
+                  ? 0.0
+                  : static_cast<double>(result.detected) / result.candidates;
+  return result;
+}
+
+}  // namespace erb::core

@@ -1,0 +1,27 @@
+// Effectiveness measures of Section III: Pair Completeness (recall) and
+// Pairs Quality (precision), plus the derived statistics the evaluation
+// tables report.
+#pragma once
+
+#include "core/candidates.hpp"
+#include "core/entity.hpp"
+
+namespace erb::core {
+
+/// PC, PQ and the raw counts they derive from, for one candidate set against
+/// one dataset's ground truth.
+struct Effectiveness {
+  double pc = 0.0;               ///< |D(C)| / |D(E1 x E2)|   (recall)
+  double pq = 0.0;               ///< |D(C)| / |C|            (precision)
+  std::size_t candidates = 0;    ///< |C|
+  std::size_t detected = 0;      ///< |D(C)|, duplicates covered by C
+};
+
+/// Evaluates a finalized candidate set. The candidate set must be finalized
+/// (deduplicated) so |C| counts distinct pairs as the paper does.
+Effectiveness Evaluate(const CandidateSet& candidates, const Dataset& dataset);
+
+/// The recall target tau of Problem 1 used throughout the paper.
+inline constexpr double kTargetRecall = 0.9;
+
+}  // namespace erb::core

@@ -1,0 +1,96 @@
+#include "core/schema.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "common/hash.hpp"
+#include "text/clean.hpp"
+
+namespace erb::core {
+
+std::vector<AttributeStats> ComputeAttributeStats(const Dataset& dataset) {
+  struct Counts {
+    std::size_t covered = 0;
+    std::unordered_set<std::uint64_t> distinct_values;
+    std::size_t gt_covered = 0;
+  };
+  std::map<std::string, Counts> per_attr;
+
+  auto scan = [&per_attr](const std::vector<EntityProfile>& side) {
+    for (const auto& profile : side) {
+      // An entity counts once per attribute even with repeated names.
+      std::unordered_set<std::uint64_t> seen;
+      for (const auto& attr : profile.attributes) {
+        if (attr.value.empty()) continue;
+        auto& counts = per_attr[attr.name];
+        if (seen.insert(FnvHash64(attr.name)).second) ++counts.covered;
+        counts.distinct_values.insert(FnvHash64(attr.value));
+      }
+    }
+  };
+  scan(dataset.e1());
+  scan(dataset.e2());
+
+  for (auto& [name, counts] : per_attr) {
+    for (const auto& [id1, id2] : dataset.duplicates()) {
+      if (dataset.e1()[id1].Covers(name) && dataset.e2()[id2].Covers(name)) {
+        ++counts.gt_covered;
+      }
+    }
+  }
+
+  const double total_entities =
+      static_cast<double>(dataset.e1().size() + dataset.e2().size());
+  const double total_duplicates =
+      static_cast<double>(std::max<std::size_t>(dataset.NumDuplicates(), 1));
+
+  std::vector<AttributeStats> stats;
+  stats.reserve(per_attr.size());
+  for (const auto& [name, counts] : per_attr) {
+    AttributeStats s;
+    s.name = name;
+    s.coverage = counts.covered / total_entities;
+    s.groundtruth_coverage = counts.gt_covered / total_duplicates;
+    s.distinctiveness =
+        counts.covered == 0
+            ? 0.0
+            : static_cast<double>(counts.distinct_values.size()) / counts.covered;
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
+std::string SelectBestAttribute(const Dataset& dataset) {
+  std::string best;
+  double best_score = -1.0;
+  for (const auto& s : ComputeAttributeStats(dataset)) {
+    const double score = s.coverage * s.distinctiveness;
+    if (score > best_score) {
+      best_score = score;
+      best = s.name;
+    }
+  }
+  return best;
+}
+
+CorpusStats ComputeCorpusStats(const Dataset& dataset, SchemaMode mode,
+                               bool clean) {
+  CorpusStats stats;
+  std::unordered_set<std::uint64_t> vocabulary;
+  auto scan = [&](int side, std::size_t count) {
+    for (EntityId id = 0; id < count; ++id) {
+      const std::string text = dataset.EntityText(side, id, mode);
+      for (const auto& token : text::CleanTokens(text, clean)) {
+        vocabulary.insert(FnvHash64(token));
+        stats.char_length += token.size();
+      }
+    }
+  };
+  scan(0, dataset.e1().size());
+  scan(1, dataset.e2().size());
+  stats.vocabulary_size = vocabulary.size();
+  return stats;
+}
+
+}  // namespace erb::core

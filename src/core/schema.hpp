@@ -1,0 +1,42 @@
+// Schema statistics of Section VI / Figure 3: attribute coverage,
+// ground-truth coverage, distinctiveness, vocabulary size and character
+// length under both schema settings, with and without cleaning.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/entity.hpp"
+
+namespace erb::core {
+
+/// Per-attribute statistics over both sides of a dataset.
+struct AttributeStats {
+  std::string name;
+  double coverage = 0.0;              ///< entities with a non-empty value
+  double groundtruth_coverage = 0.0;  ///< duplicates where both sides covered
+  double distinctiveness = 0.0;       ///< distinct values / covered entities
+};
+
+/// Computes coverage/distinctiveness for every attribute name appearing in
+/// the dataset. Coverage counts entities of E1 u E2 having a non-empty value;
+/// ground-truth coverage counts duplicate pairs whose *both* members have a
+/// non-empty value (a candidate can only be formed from covered entities).
+std::vector<AttributeStats> ComputeAttributeStats(const Dataset& dataset);
+
+/// Selects the attribute maximizing coverage * distinctiveness — the paper's
+/// "most suitable attribute in terms of coverage and distinctiveness".
+std::string SelectBestAttribute(const Dataset& dataset);
+
+/// Corpus-level cost statistics of Figure 3(b,c).
+struct CorpusStats {
+  std::size_t vocabulary_size = 0;  ///< distinct whitespace tokens
+  std::size_t char_length = 0;      ///< total characters of all texts
+};
+
+/// Vocabulary size and character length over both sides under the given
+/// schema mode; `clean` applies stop-word removal + stemming first.
+CorpusStats ComputeCorpusStats(const Dataset& dataset, SchemaMode mode,
+                               bool clean);
+
+}  // namespace erb::core

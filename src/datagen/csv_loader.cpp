@@ -1,0 +1,128 @@
+#include "datagen/csv_loader.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/schema.hpp"
+
+namespace erb::datagen {
+namespace {
+
+// Parses one CSV record, honouring quoted fields with doubled quotes.
+// Returns false at end of stream. A record may span physical lines when a
+// newline is embedded in a quoted field.
+bool ReadCsvRecord(std::istream& in, std::vector<std::string>* fields) {
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  bool any = false;
+  char c;
+  while (in.get(c)) {
+    any = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          in.get(c);
+          field.push_back('"');
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      break;
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+  }
+  if (!any) return false;
+  fields->push_back(std::move(field));
+  return true;
+}
+
+// Loads one side: returns profiles plus a map from external id to EntityId.
+std::vector<core::EntityProfile> LoadSide(
+    const std::string& path,
+    std::unordered_map<std::string, core::EntityId>* id_map) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open CSV file: " + path);
+
+  std::vector<std::string> header;
+  if (!ReadCsvRecord(in, &header) || header.size() < 2) {
+    throw std::runtime_error("CSV needs a header with an id and >=1 attribute: " +
+                             path);
+  }
+
+  std::vector<core::EntityProfile> profiles;
+  std::vector<std::string> fields;
+  while (ReadCsvRecord(in, &fields)) {
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    core::EntityProfile profile;
+    profile.attributes.reserve(header.size() - 1);
+    for (std::size_t i = 1; i < header.size(); ++i) {
+      profile.attributes.push_back(
+          {header[i], i < fields.size() ? fields[i] : std::string()});
+    }
+    const auto [it, inserted] = id_map->emplace(
+        fields[0], static_cast<core::EntityId>(profiles.size()));
+    if (!inserted) {
+      throw std::runtime_error("duplicate record id '" + fields[0] + "' in " +
+                               path);
+    }
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+}  // namespace
+
+core::Dataset LoadCsvDataset(const std::string& name, const std::string& e1_path,
+                             const std::string& e2_path,
+                             const std::string& groundtruth_path,
+                             std::string best_attribute) {
+  std::unordered_map<std::string, core::EntityId> ids1;
+  std::unordered_map<std::string, core::EntityId> ids2;
+  auto e1 = LoadSide(e1_path, &ids1);
+  auto e2 = LoadSide(e2_path, &ids2);
+
+  std::ifstream gt(groundtruth_path);
+  if (!gt) throw std::runtime_error("cannot open ground truth: " + groundtruth_path);
+  std::vector<std::pair<core::EntityId, core::EntityId>> duplicates;
+  std::vector<std::string> fields;
+  bool first = true;
+  while (ReadCsvRecord(gt, &fields)) {
+    if (fields.size() < 2) continue;
+    auto it1 = ids1.find(fields[0]);
+    auto it2 = ids2.find(fields[1]);
+    if (it1 == ids1.end() || it2 == ids2.end()) {
+      // Tolerate a header row; anything else is a data error.
+      if (first) {
+        first = false;
+        continue;
+      }
+      throw std::runtime_error("ground-truth pair references unknown ids: " +
+                               fields[0] + ", " + fields[1]);
+    }
+    first = false;
+    duplicates.emplace_back(it1->second, it2->second);
+  }
+
+  core::Dataset dataset(name, std::move(e1), std::move(e2), std::move(duplicates),
+                        std::move(best_attribute));
+  if (dataset.best_attribute().empty()) {
+    const std::string best = core::SelectBestAttribute(dataset);
+    // Rebuild with the selected attribute (Dataset is immutable by design).
+    dataset = core::Dataset(dataset.name(), dataset.e1(), dataset.e2(),
+                            dataset.duplicates(), best);
+  }
+  return dataset;
+}
+
+}  // namespace erb::datagen

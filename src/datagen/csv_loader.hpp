@@ -1,0 +1,26 @@
+// CSV loading for real Clean-Clean ER datasets.
+//
+// Lets a downstream user run the benchmark on the paper's actual datasets
+// (or their own): two CSV files with headers (first column = record id) and a
+// ground-truth CSV of matching id pairs.
+#pragma once
+
+#include <string>
+
+#include "core/entity.hpp"
+
+namespace erb::datagen {
+
+/// Loads a Clean-Clean ER dataset from three CSV files.
+///
+/// `e1_path` / `e2_path`: header row names the attributes; the first column
+/// is the record identifier. Fields may be quoted with `"` (embedded quotes
+/// doubled). `groundtruth_path`: two columns, id-from-E1, id-from-E2.
+/// `best_attribute` may be empty, in which case it is selected automatically
+/// by coverage x distinctiveness.
+core::Dataset LoadCsvDataset(const std::string& name, const std::string& e1_path,
+                             const std::string& e2_path,
+                             const std::string& groundtruth_path,
+                             std::string best_attribute = "");
+
+}  // namespace erb::datagen

@@ -1,0 +1,68 @@
+#include "datagen/csv_writer.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace erb::datagen {
+namespace {
+
+// Quotes a field if needed (RFC-4180 style: embedded quotes doubled).
+std::string CsvField(const std::string& value) {
+  if (value.find_first_of(",\"\n\r") == std::string::npos) return value;
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+// Union of attribute names over a side, in order of first appearance.
+std::vector<std::string> CollectHeader(const std::vector<core::EntityProfile>& side) {
+  std::vector<std::string> header;
+  for (const auto& profile : side) {
+    for (const auto& attr : profile.attributes) {
+      bool known = false;
+      for (const auto& name : header) known |= name == attr.name;
+      if (!known) header.push_back(attr.name);
+    }
+  }
+  return header;
+}
+
+void WriteSide(const std::string& path, const std::vector<core::EntityProfile>& side,
+               char id_prefix) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write CSV file: " + path);
+  const auto header = CollectHeader(side);
+  out << "id";
+  for (const auto& name : header) out << ',' << CsvField(name);
+  out << '\n';
+  for (std::size_t i = 0; i < side.size(); ++i) {
+    out << id_prefix << i;
+    for (const auto& name : header) {
+      out << ',' << CsvField(side[i].ValueOf(name));
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("write failure: " + path);
+}
+
+}  // namespace
+
+void WriteCsvDataset(const core::Dataset& dataset, const std::string& e1_path,
+                     const std::string& e2_path,
+                     const std::string& groundtruth_path) {
+  WriteSide(e1_path, dataset.e1(), 'a');
+  WriteSide(e2_path, dataset.e2(), 'b');
+  std::ofstream gt(groundtruth_path);
+  if (!gt) throw std::runtime_error("cannot write CSV file: " + groundtruth_path);
+  for (const auto& [id1, id2] : dataset.duplicates()) {
+    gt << 'a' << id1 << ',' << 'b' << id2 << '\n';
+  }
+  if (!gt) throw std::runtime_error("write failure: " + groundtruth_path);
+}
+
+}  // namespace erb::datagen

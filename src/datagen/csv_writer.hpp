@@ -1,0 +1,22 @@
+// CSV export of Clean-Clean ER datasets: lets users materialize the
+// synthetic replicas (or any loaded dataset) for use by other tools, in the
+// same three-file format LoadCsvDataset reads.
+#pragma once
+
+#include <string>
+
+#include "core/entity.hpp"
+
+namespace erb::datagen {
+
+/// Writes `dataset` as e1_path / e2_path / groundtruth_path CSVs.
+///
+/// Record ids are "<side><index>" (e.g. "a17", "b3"). The header is the union
+/// of attribute names in order of first appearance; fields are quoted when
+/// they contain commas, quotes or newlines. Round-trips through
+/// LoadCsvDataset. Throws std::runtime_error on I/O failure.
+void WriteCsvDataset(const core::Dataset& dataset, const std::string& e1_path,
+                     const std::string& e2_path,
+                     const std::string& groundtruth_path);
+
+}  // namespace erb::datagen

@@ -1,0 +1,198 @@
+#include "datagen/generator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/hash.hpp"
+#include "common/strings.hpp"
+#include "datagen/words.hpp"
+
+namespace erb::datagen {
+namespace {
+
+using core::Attribute;
+using core::EntityId;
+using core::EntityProfile;
+
+// Renders the canonical token list of one attribute of one object.
+// Distinctive tokens are derived purely from (object id, attribute, slot), so
+// both sources regenerate them identically; generic tokens are drawn from the
+// Zipf pool with a per-(object, attribute) seed, and the second source
+// re-draws a `redraw` fraction with its own seed to model paraphrasing.
+std::vector<std::string> RenderAttribute(const DatasetSpec& spec,
+                                         const AttributeSpec& attr,
+                                         std::uint64_t object_id, int source,
+                                         double hardness) {
+  std::vector<std::string> tokens;
+  tokens.reserve(static_cast<std::size_t>(attr.distinct_words) +
+                 attr.generic_words + (attr.include_code ? 1 : 0));
+
+  const std::uint64_t attr_seed =
+      HashCombine(spec.seed, FnvHash64(attr.name));
+  const std::uint64_t object_seed = HashCombine(attr_seed, object_id);
+
+  // Distinctive words: deterministic slots in a huge pool. Identical for both
+  // sources — this is the signal that identifies the object. The first
+  // family_share fraction of slots derives from the object's family instead,
+  // so sibling objects (product lines, franchises) share those words.
+  const std::uint64_t family_seed = HashCombine(
+      attr_seed, 0xFA0 + object_id / std::max<std::uint64_t>(1, spec.family_size));
+  const int family_words =
+      static_cast<int>(attr.family_share * attr.distinct_words + 0.5);
+  // Hard duplicates: the second source uses *different surface forms* for
+  // the object-level distinctive words (name variants, alternate spellings)
+  // with probability equal to the object's hardness, removing the easy
+  // signal; only the family-level words and the weak generic overlap remain —
+  // the confusable zone. Hardness is graded, so difficulty forms a continuum
+  // rather than an easy/impossible split.
+  Rng hard_rng(HashCombine(object_seed, 0x6a4d + source));
+  for (int w = 0; w < attr.distinct_words; ++w) {
+    const bool family_slot = w < family_words;
+    std::uint64_t slot_seed = family_slot ? family_seed : object_seed;
+    if (!family_slot && hardness > 0.0 && hard_rng.NextBool(hardness)) {
+      slot_seed = HashCombine(slot_seed, 0xa17e);  // alternative surface form
+    }
+    const std::uint64_t index =
+        SplitMix64(HashCombine(slot_seed, 0x0D15 + w)) % spec.distinct_vocab;
+    tokens.push_back(SynthWord(attr_seed ^ 0xd157, index));
+  }
+  if (attr.include_code) {
+    const bool drop_code =
+        source == 1 && spec.e2_code_drop > 0.0 && hard_rng.NextBool(spec.e2_code_drop);
+    if (!drop_code) {
+      const bool swap_code = hardness > 0.0 && hard_rng.NextBool(hardness);
+      tokens.push_back(SynthCode(attr_seed ^ (swap_code ? 0xa17e : 0), object_id));
+    }
+  }
+
+  // Generic words: shared draw unless this slot is re-drawn by source 2.
+  // Hard duplicates paraphrase almost everything.
+  WordPool generic(spec.seed ^ 0x9e4e41c, spec.generic_vocab, spec.head_words,
+                   spec.head_mass, spec.zipf_s);
+  Rng shared_rng(HashCombine(object_seed, 0x6e4));
+  Rng redraw_rng(HashCombine(object_seed, 0x7e5 + source));
+  const double redraw_p = std::max(attr.redraw, hardness);
+  for (int w = 0; w < attr.generic_words; ++w) {
+    const std::string shared = generic.Draw(shared_rng);
+    if (source == 1 && redraw_rng.NextBool(redraw_p)) {
+      tokens.push_back(generic.Draw(redraw_rng));
+    } else {
+      tokens.push_back(shared);
+    }
+  }
+  return tokens;
+}
+
+// Renders the full profile of `object_id` as seen by `source` (0 or 1).
+EntityProfile RenderProfile(const DatasetSpec& spec, std::uint64_t object_id,
+                            int source) {
+  EntityProfile profile;
+  profile.attributes.reserve(spec.attributes.size());
+  Rng rng(HashCombine(HashCombine(spec.seed, object_id), 0xA0 + source));
+
+  NoiseProfile noise = source == 1 ? spec.e2_noise : spec.e1_noise;
+  const bool is_duplicate_object = object_id < spec.n_duplicates;
+
+  // Hard-case duplicates: the second source renders them with alternative
+  // distinctive surface forms (see RenderAttribute) and extra token noise,
+  // pushing their pair similarity towards non-match territory (deterministic
+  // per object). Hardness is drawn uniformly in (0.55, 1] for the hard
+  // fraction so the difficulty of duplicates forms a continuum.
+  double hardness = 0.0;
+  if (source == 1 && is_duplicate_object && spec.hard_fraction > 0.0) {
+    const std::uint64_t roll =
+        SplitMix64(HashCombine(spec.seed, object_id ^ 0x4a8d)) % 10000;
+    if (roll < static_cast<std::uint64_t>(spec.hard_fraction * 10000)) {
+      hardness =
+          0.55 + 0.45 * (SplitMix64(HashCombine(spec.seed, object_id + 0xb01d)) %
+                         1000) /
+                     1000.0;
+      noise.typo_per_token = spec.hard_typo * hardness;
+      noise.token_drop = spec.hard_drop * hardness;
+      noise.token_reorder = 0.5;
+    }
+  }
+  const bool may_misplace =
+      noise.misplace_best > 0.0 &&
+      !(spec.protect_duplicate_coverage && is_duplicate_object);
+
+  std::string misplaced_value;  // best-attribute value displaced by noise
+  for (const auto& attr : spec.attributes) {
+    std::vector<std::string> tokens =
+        RenderAttribute(spec, attr, object_id, source, hardness);
+    ApplyTokenNoise(&tokens, noise, rng);
+    std::string value = Join(tokens, " ");
+
+    const bool is_best = attr.name == spec.best_attribute;
+    if (is_best && may_misplace && rng.NextBool(noise.misplace_best)) {
+      misplaced_value = std::move(value);
+      value.clear();
+    } else if (!is_best && noise.missing_attr > 0.0 &&
+               rng.NextBool(noise.missing_attr)) {
+      value.clear();
+    }
+    profile.attributes.push_back(Attribute{attr.name, std::move(value)});
+  }
+
+  // A misplaced key value lands in the last non-key attribute, mimicking the
+  // extraction errors the paper describes ("values typically misplaced,
+  // associated with a different attribute").
+  if (!misplaced_value.empty()) {
+    for (auto it = profile.attributes.rbegin(); it != profile.attributes.rend();
+         ++it) {
+      if (it->name != spec.best_attribute) {
+        if (!it->value.empty()) it->value += ' ';
+        it->value += misplaced_value;
+        break;
+      }
+    }
+  }
+  return profile;
+}
+
+}  // namespace
+
+core::Dataset Generate(const DatasetSpec& spec) {
+  const std::size_t n_objects = spec.n1 + spec.n2 - spec.n_duplicates;
+
+  std::vector<EntityProfile> e1;
+  e1.reserve(spec.n1);
+  for (std::uint64_t object = 0; object < spec.n1; ++object) {
+    e1.push_back(RenderProfile(spec, object, 0));
+  }
+
+  // E2 objects: the duplicates [0, n_duplicates) plus the objects unique to
+  // the second source [n1, n_objects).
+  std::vector<std::uint64_t> e2_objects;
+  e2_objects.reserve(spec.n2);
+  for (std::uint64_t object = 0; object < spec.n_duplicates; ++object) {
+    e2_objects.push_back(object);
+  }
+  for (std::uint64_t object = spec.n1; object < n_objects; ++object) {
+    e2_objects.push_back(object);
+  }
+
+  // Deterministic shuffle so entity ids carry no alignment information.
+  Rng shuffle_rng(HashCombine(spec.seed, 0x5af71e));
+  for (std::size_t i = e2_objects.size(); i > 1; --i) {
+    std::swap(e2_objects[i - 1], e2_objects[shuffle_rng.NextBounded(i)]);
+  }
+
+  std::vector<EntityProfile> e2;
+  e2.reserve(spec.n2);
+  std::vector<std::pair<EntityId, EntityId>> duplicates;
+  duplicates.reserve(spec.n_duplicates);
+  for (std::size_t position = 0; position < e2_objects.size(); ++position) {
+    const std::uint64_t object = e2_objects[position];
+    e2.push_back(RenderProfile(spec, object, 1));
+    if (object < spec.n_duplicates) {
+      duplicates.emplace_back(static_cast<EntityId>(object),
+                              static_cast<EntityId>(position));
+    }
+  }
+
+  return core::Dataset(spec.id, std::move(e1), std::move(e2),
+                       std::move(duplicates), spec.best_attribute);
+}
+
+}  // namespace erb::datagen

@@ -1,0 +1,24 @@
+// Synthetic Clean-Clean ER dataset generator.
+//
+// Substitution note (see DESIGN.md §3): the paper evaluates on 10 real
+// datasets that are not redistributable here. This generator produces
+// replicas whose *filtering-relevant* statistics match: entity counts,
+// duplicate counts, token sharing between duplicates, generic-token collisions
+// between non-duplicates, and attribute coverage failures.
+#pragma once
+
+#include "core/entity.hpp"
+#include "datagen/spec.hpp"
+
+namespace erb::datagen {
+
+/// Generates the dataset described by `spec`. Deterministic in spec.seed.
+///
+/// Construction: a pool of n1 + n2 - n_duplicates real-world objects is
+/// synthesized; E1 renders objects [0, n1), E2 renders the first n_duplicates
+/// objects again (through the second source's noise profile) plus the
+/// remaining objects. E2 is deterministically shuffled so entity ids carry no
+/// alignment signal.
+core::Dataset Generate(const DatasetSpec& spec);
+
+}  // namespace erb::datagen

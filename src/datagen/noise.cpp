@@ -1,0 +1,66 @@
+#include "datagen/noise.hpp"
+
+#include <algorithm>
+
+#include "datagen/words.hpp"
+
+namespace erb::datagen {
+
+std::string ApplyTypo(const std::string& token, Rng& rng) {
+  if (token.empty()) return token;
+  std::string out = token;
+  const std::size_t pos = rng.NextBounded(out.size());
+  const char random_char = static_cast<char>('a' + rng.NextBounded(26));
+  switch (rng.NextBounded(4)) {
+    case 0:  // substitution
+      out[pos] = random_char;
+      break;
+    case 1:  // deletion
+      if (out.size() > 1) out.erase(pos, 1);
+      break;
+    case 2:  // insertion
+      out.insert(pos, 1, random_char);
+      break;
+    default:  // adjacent swap
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out;
+}
+
+void ApplyTokenNoise(std::vector<std::string>* tokens, const NoiseProfile& noise,
+                     Rng& rng) {
+  std::vector<std::string> out;
+  out.reserve(tokens->size());
+  for (auto& token : *tokens) {
+    if (noise.token_drop > 0.0 && rng.NextBool(noise.token_drop) &&
+        tokens->size() > 1) {
+      continue;
+    }
+    if (noise.abbreviate > 0.0 && rng.NextBool(noise.abbreviate) &&
+        token.size() > 1) {
+      out.push_back(token.substr(0, 1));
+      continue;
+    }
+    if (noise.typo_per_token > 0.0 && rng.NextBool(noise.typo_per_token)) {
+      out.push_back(ApplyTypo(token, rng));
+      continue;
+    }
+    out.push_back(std::move(token));
+    if (noise.extra_token > 0.0 && rng.NextBool(noise.extra_token)) {
+      // A spurious filler word from a small shared pool: it collides across
+      // unrelated entities, like the boilerplate in product descriptions.
+      out.push_back(SynthWord(0xf111e4, rng.NextBounded(64)));
+    }
+  }
+  if (out.empty() && !tokens->empty()) out.push_back((*tokens)[0]);
+  if (noise.token_reorder > 0.0 && rng.NextBool(noise.token_reorder)) {
+    // Fisher-Yates with the deterministic generator.
+    for (std::size_t i = out.size(); i > 1; --i) {
+      std::swap(out[i - 1], out[rng.NextBounded(i)]);
+    }
+  }
+  *tokens = std::move(out);
+}
+
+}  // namespace erb::datagen

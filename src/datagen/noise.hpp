@@ -1,0 +1,35 @@
+// Noise operators applied when rendering the second source's view of an
+// object. They model the error types the paper's datasets exhibit: character
+// typos, dropped/reordered tokens, abbreviations, missing values, and the
+// misplaced values that cause the best-attribute coverage failures of
+// Figure 3(a).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace erb::datagen {
+
+/// Probabilities controlling how a duplicate's rendering diverges from the
+/// canonical object. All are per-applicable-unit (per token / per value).
+struct NoiseProfile {
+  double typo_per_token = 0.0;   ///< char-level edit inside a token
+  double token_drop = 0.0;       ///< token deleted
+  double token_reorder = 0.0;    ///< whole value shuffled
+  double abbreviate = 0.0;       ///< token reduced to its first letter
+  double missing_attr = 0.0;     ///< non-key attribute left empty
+  double misplace_best = 0.0;    ///< key attribute value moved elsewhere
+  double extra_token = 0.0;      ///< spurious generic token inserted per slot
+};
+
+/// Applies one random character edit (substitute, delete, insert or swap).
+std::string ApplyTypo(const std::string& token, Rng& rng);
+
+/// Applies token-level noise (typos, drops, abbreviation, reorder) to a
+/// token sequence in place.
+void ApplyTokenNoise(std::vector<std::string>* tokens, const NoiseProfile& noise,
+                     Rng& rng);
+
+}  // namespace erb::datagen

@@ -1,0 +1,287 @@
+#include "datagen/registry.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace erb::datagen {
+namespace {
+
+// Shorthand builders keep the specs below readable.
+AttributeSpec Attr(std::string name, int distinct, int generic, double redraw,
+                   bool code = false, double family_share = 0.0) {
+  AttributeSpec a;
+  a.name = std::move(name);
+  a.distinct_words = distinct;
+  a.generic_words = generic;
+  a.redraw = redraw;
+  a.include_code = code;
+  a.family_share = family_share;
+  return a;
+}
+
+// D1 — restaurant descriptions (OAEI 2010): tiny, clean key attribute that
+// covers 2/3 of all profiles but every duplicate.
+DatasetSpec MakeD1() {
+  DatasetSpec s;
+  s.id = "D1";
+  s.description = "Restaurants 1 / Restaurants 2";
+  s.n1 = 339;
+  s.n2 = 2256;
+  s.n_duplicates = 89;
+  s.attributes = {Attr("name", 2, 1, 0.3, false, 0.5), Attr("addr", 1, 2, 0.4),
+                  Attr("city", 0, 1, 0.1), Attr("phone", 0, 0, 0.0, true)};
+  s.best_attribute = "name";
+  s.e1_noise.misplace_best = 0.35;
+  s.e2_noise.typo_per_token = 0.12;
+  s.e2_noise.token_drop = 0.05;
+  s.e2_noise.misplace_best = 0.35;
+  s.protect_duplicate_coverage = true;
+  s.hard_fraction = 0.15;
+  s.seed = 101;
+  s.generic_vocab = 3000;
+  s.head_words = 2;
+  s.head_mass = 0.45;
+  return s;
+}
+
+// D2 — Abt / Buy products: short names with model codes, medium noisy
+// descriptions; duplicates share name tokens strongly.
+DatasetSpec MakeD2() {
+  DatasetSpec s;
+  s.id = "D2";
+  s.description = "Abt / Buy products";
+  s.n1 = 1076;
+  s.n2 = 1076;
+  s.n_duplicates = 1076;
+  s.attributes = {Attr("name", 2, 2, 0.25, true, 1.0),
+                  Attr("description", 1, 12, 0.8, false, 1.0),
+                  Attr("price", 0, 1, 0.8)};
+  s.best_attribute = "name";
+  s.e2_noise.typo_per_token = 0.10;
+  s.e2_noise.token_drop = 0.08;
+  s.e2_noise.token_reorder = 0.2;
+  s.e2_noise.missing_attr = 0.15;
+  s.e2_code_drop = 0.6;
+  s.hard_fraction = 0.22;
+  s.seed = 202;
+  s.generic_vocab = 3000;
+  s.head_words = 4;
+  s.head_mass = 0.3;
+  return s;
+}
+
+// D3 — Amazon / Google Base products: duplicates share mostly generic/noisy
+// content, driving precision down for every method (the paper's hardest
+// dataset for PQ).
+DatasetSpec MakeD3() {
+  DatasetSpec s;
+  s.id = "D3";
+  s.description = "Amazon / Google Base products";
+  s.n1 = 1354;
+  s.n2 = 3039;
+  s.n_duplicates = 1104;
+  s.attributes = {Attr("title", 1, 5, 0.45, false, 1.0),
+                  Attr("description", 0, 18, 0.85),
+                  Attr("manufacturer", 0, 1, 0.3), Attr("price", 0, 1, 0.9)};
+  s.best_attribute = "title";
+  s.e2_noise.typo_per_token = 0.10;
+  s.e2_noise.token_drop = 0.08;
+  s.e2_noise.token_reorder = 0.4;
+  s.e2_noise.missing_attr = 0.25;
+  s.e2_noise.extra_token = 0.1;
+  s.hard_fraction = 0.45;
+  s.seed = 303;
+  s.generic_vocab = 400;  // small pool -> heavy collisions between non-matches
+  s.head_words = 6;
+  s.head_mass = 0.4;
+  return s;
+}
+
+// D4 — DBLP / ACM bibliography: long distinctive titles shared nearly
+// verbatim; the easiest dataset (PQ ~ 0.95 in the paper).
+DatasetSpec MakeD4() {
+  DatasetSpec s;
+  s.id = "D4";
+  s.description = "DBLP / ACM bibliographic records";
+  s.n1 = 2616;
+  s.n2 = 2294;
+  s.n_duplicates = 2224;
+  s.attributes = {Attr("title", 5, 2, 0.1, false, 0.2),
+                  Attr("authors", 3, 0, 0.0, false, 0.34),
+                  Attr("venue", 0, 2, 0.2), Attr("year", 0, 1, 0.05)};
+  s.best_attribute = "title";
+  s.e2_noise.typo_per_token = 0.03;
+  s.e2_noise.token_drop = 0.02;
+  s.hard_fraction = 0.06;
+  s.hard_typo = 0.25;
+  s.hard_drop = 0.15;
+  s.seed = 404;
+  s.generic_vocab = 8000;
+  s.head_words = 2;
+  s.head_mass = 0.3;
+  return s;
+}
+
+// D5/D6/D7 — IMDb / TMDb / TVDB movies and shows: short names, moderate
+// noise, and the misplaced-value problem that breaks schema-based coverage
+// (overall coverage 55-75%, ground-truth coverage 30-53%).
+DatasetSpec MakeMovie(const char* id, const char* desc, std::size_t n1,
+                      std::size_t n2, std::size_t dup, const char* best,
+                      std::uint64_t seed, double misplace) {
+  DatasetSpec s;
+  s.id = id;
+  s.description = desc;
+  s.n1 = n1;
+  s.n2 = n2;
+  s.n_duplicates = dup;
+  s.attributes = {Attr(best, 2, 1, 0.25, false, 0.5), Attr("year", 0, 1, 0.1),
+                  Attr("genre", 0, 2, 0.5), Attr("overview", 1, 9, 0.8)};
+  s.best_attribute = best;
+  s.e1_noise.misplace_best = misplace;
+  s.e2_noise.typo_per_token = 0.10;
+  s.e2_noise.token_drop = 0.08;
+  s.e2_noise.token_reorder = 0.3;
+  s.e2_noise.misplace_best = misplace;
+  s.e2_noise.missing_attr = 0.2;
+  s.hard_fraction = 0.28;
+  s.seed = seed;
+  s.generic_vocab = 2500;
+  s.head_words = 4;
+  s.head_mass = 0.3;
+  return s;
+}
+
+// D8 — Walmart / Amazon products: strong size asymmetry, few duplicates in a
+// sea of similar products.
+DatasetSpec MakeD8() {
+  DatasetSpec s;
+  s.id = "D8";
+  s.description = "Walmart / Amazon products";
+  s.n1 = 2554;
+  s.n2 = 22074;
+  s.n_duplicates = 853;
+  s.attributes = {Attr("title", 2, 4, 0.5, true, 1.0),
+                  Attr("description", 0, 14, 0.8), Attr("brand", 0, 1, 0.2),
+                  Attr("price", 0, 1, 0.9)};
+  s.best_attribute = "title";
+  s.e2_noise.typo_per_token = 0.12;
+  s.e2_noise.token_drop = 0.10;
+  s.e2_noise.token_reorder = 0.35;
+  s.e2_noise.missing_attr = 0.2;
+  s.e2_code_drop = 0.7;
+  s.family_size = 8;
+  s.hard_fraction = 0.35;
+  s.seed = 808;
+  s.generic_vocab = 3500;
+  s.head_words = 6;
+  s.head_mass = 0.35;
+  return s;
+}
+
+// D9 — DBLP / Google Scholar: bibliographic, clean titles, extreme asymmetry.
+DatasetSpec MakeD9() {
+  DatasetSpec s;
+  s.id = "D9";
+  s.description = "DBLP / Google Scholar bibliographic records";
+  s.n1 = 2516;
+  s.n2 = 61353;
+  s.n_duplicates = 2308;
+  s.attributes = {Attr("title", 4, 2, 0.2, false, 0.25),
+                  Attr("authors", 2, 1, 0.3, false, 0.5),
+                  Attr("venue", 0, 2, 0.5), Attr("year", 0, 1, 0.2)};
+  s.best_attribute = "title";
+  s.e2_noise.typo_per_token = 0.07;
+  s.e2_noise.token_drop = 0.06;
+  s.e2_noise.token_reorder = 0.15;
+  s.e2_noise.missing_attr = 0.2;
+  s.hard_fraction = 0.15;
+  s.hard_typo = 0.35;
+  s.seed = 909;
+  s.generic_vocab = 8000;
+  s.head_words = 2;
+  s.head_mass = 0.3;
+  return s;
+}
+
+// D10 — IMDb / DBpedia movies: the largest dataset; most entities are
+// duplicates; coverage failure only on the DBpedia side.
+DatasetSpec MakeD10() {
+  DatasetSpec s;
+  s.id = "D10";
+  s.description = "IMDb / DBpedia movies";
+  s.n1 = 27615;
+  s.n2 = 23182;
+  s.n_duplicates = 22863;
+  s.attributes = {Attr("title", 2, 1, 0.2, false, 0.5),
+                  Attr("director", 1, 0, 0.0, false, 1.0),
+                  Attr("year", 0, 1, 0.1), Attr("abstract", 1, 8, 0.8)};
+  s.best_attribute = "title";
+  s.e2_noise.typo_per_token = 0.08;
+  s.e2_noise.token_drop = 0.08;
+  s.e2_noise.token_reorder = 0.25;
+  s.e2_noise.misplace_best = 0.5;  // one constituent source only
+  s.e2_noise.missing_attr = 0.15;
+  s.hard_fraction = 0.20;
+  s.seed = 1010;
+  s.generic_vocab = 5000;
+  s.head_words = 3;
+  s.head_mass = 0.3;
+  return s;
+}
+
+}  // namespace
+
+DatasetSpec PaperSpec(int index) {
+  switch (index) {
+    case 1: return MakeD1();
+    case 2: return MakeD2();
+    case 3: return MakeD3();
+    case 4: return MakeD4();
+    case 5:
+      return MakeMovie("D5", "IMDb / TMDb movies", 5118, 6056, 1968, "title",
+                       505, 0.35);
+    case 6:
+      return MakeMovie("D6", "IMDb / TVDB shows", 5118, 7810, 1072, "name",
+                       606, 0.40);
+    case 7:
+      return MakeMovie("D7", "TMDb / TVDB shows", 6056, 7810, 1095, "name",
+                       707, 0.42);
+    case 8: return MakeD8();
+    case 9: return MakeD9();
+    case 10: return MakeD10();
+    default:
+      throw std::out_of_range("dataset index must be in [1, 10]");
+  }
+}
+
+std::vector<DatasetSpec> AllPaperSpecs() {
+  std::vector<DatasetSpec> specs;
+  specs.reserve(kNumDatasets);
+  for (int i = 1; i <= kNumDatasets; ++i) specs.push_back(PaperSpec(i));
+  return specs;
+}
+
+bool HasSchemaBasedSettings(int index) {
+  return index != 5 && index != 6 && index != 7 && index != 10;
+}
+
+double BenchScale(int index) {
+  if (std::getenv("ERBENCH_FAST") != nullptr) return index <= 4 ? 0.25 : 0.02;
+  if (std::getenv("ERBENCH_FULL") != nullptr) return 1.0;
+  // Default: paper size for the small clean datasets, reduced for the large
+  // or candidate-heavy ones so the whole suite stays interactive on one core.
+  switch (index) {
+    case 3: return 0.4;
+    case 5: case 6: case 7: return 0.15;
+    case 8: return 0.12;
+    case 9: return 0.08;
+    case 10: return 0.06;
+    default: return 1.0;
+  }
+}
+
+core::Dataset MakeBenchDataset(int index) {
+  return Generate(PaperSpec(index).Scaled(BenchScale(index)));
+}
+
+}  // namespace erb::datagen

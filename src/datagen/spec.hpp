@@ -1,0 +1,86 @@
+// Declarative specification of a synthetic Clean-Clean ER dataset.
+//
+// Each of the paper's 10 datasets (Table VI) is described by one DatasetSpec
+// capturing its size, schema, and the textual statistics that drive filtering
+// behaviour: how distinctive the key attribute is, how long and generic the
+// descriptions are, and how noisy each source's rendering is.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/noise.hpp"
+
+namespace erb::datagen {
+
+/// How one attribute's value is composed for an object.
+struct AttributeSpec {
+  std::string name;
+  int distinct_words = 0;  ///< words from the long-tail distinctive pool
+  int generic_words = 0;   ///< words from the skewed generic pool
+  bool include_code = false;  ///< append a model/SKU-style code
+  /// Fraction of this attribute's *generic* tokens that the duplicate's second
+  /// rendering re-draws independently (0 = identical, 1 = fully re-drawn).
+  /// Distinctive tokens are always shared — they identify the object.
+  double redraw = 0.0;
+  /// Fraction of the distinctive words drawn at the *family* level instead of
+  /// the object level: objects of the same family (product lines, franchises,
+  /// recurring authors) share them, creating the near-duplicate non-matches
+  /// that make real ER datasets hard.
+  double family_share = 0.0;
+};
+
+/// Full dataset specification. Seeds make generation deterministic.
+struct DatasetSpec {
+  std::string id;           ///< "D1" .. "D10"
+  std::string description;  ///< e.g. "Abt / Buy product descriptions"
+  std::size_t n1 = 0;
+  std::size_t n2 = 0;
+  std::size_t n_duplicates = 0;
+  std::vector<AttributeSpec> attributes;
+  std::string best_attribute;
+  NoiseProfile e1_noise;    ///< noise of the first source's rendering
+  NoiseProfile e2_noise;    ///< noise of the second source's rendering
+  /// When true, objects that are duplicates never lose their best-attribute
+  /// value to misplacement (models D1, where the selected attribute covers
+  /// only 2/3 of all profiles but 100% of the duplicate ones).
+  bool protect_duplicate_coverage = false;
+  /// Fraction of duplicates rendered as *hard cases* by the second source:
+  /// heavily corrupted tokens, so their pair similarity falls into the range
+  /// of non-matching pairs. This tail is what separates PQ at the 0.9 recall
+  /// target across datasets — a filter must dig deep (and admit many false
+  /// positives) to recover them.
+  double hard_fraction = 0.0;
+  /// Token corruption applied to hard cases (replaces the regular e2 noise).
+  double hard_typo = 0.35;
+  double hard_drop = 0.25;
+  /// Objects per confusable family (see AttributeSpec::family_share).
+  std::size_t family_size = 6;
+  /// Probability that the second source omits a model/SKU code entirely
+  /// (e.g. Buy.com listings lacking the manufacturer part number that
+  /// Abt.com carries) — removing the only object-unique token of a profile.
+  double e2_code_drop = 0.0;
+  std::uint64_t seed = 1;
+  std::uint64_t generic_vocab = 3000;      ///< flat tail of the generic pool
+  std::uint64_t head_words = 6;            ///< stop-word-like head of the pool
+  double head_mass = 0.3;                  ///< probability mass of the head
+  std::uint64_t distinct_vocab = 1 << 20;  ///< distinctive pool size
+  double zipf_s = 0.0;      ///< skew within the head (0 = uniform head)
+
+  /// Returns a copy with entity and duplicate counts multiplied by `factor`
+  /// (floors applied so the result remains a valid Clean-Clean instance).
+  DatasetSpec Scaled(double factor) const {
+    DatasetSpec out = *this;
+    if (factor == 1.0) return out;
+    out.n1 = std::max<std::size_t>(8, static_cast<std::size_t>(n1 * factor));
+    out.n2 = std::max<std::size_t>(8, static_cast<std::size_t>(n2 * factor));
+    out.n_duplicates = std::max<std::size_t>(
+        4, static_cast<std::size_t>(n_duplicates * factor));
+    out.n_duplicates = std::min({out.n_duplicates, out.n1, out.n2});
+    return out;
+  }
+};
+
+}  // namespace erb::datagen

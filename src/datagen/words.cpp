@@ -1,0 +1,68 @@
+#include "datagen/words.hpp"
+
+#include "common/hash.hpp"
+
+namespace erb::datagen {
+namespace {
+
+constexpr char kConsonants[] = "bcdfghjklmnpqrstvwz";
+constexpr char kVowels[] = "aeiou";
+constexpr std::uint64_t kNumConsonants = sizeof(kConsonants) - 1;
+constexpr std::uint64_t kNumVowels = sizeof(kVowels) - 1;
+
+// English filler words used for the head of a WordPool: like real text, the
+// most frequent tokens are stop-words, which the cleaning step removes and
+// Block Purging's giant blocks stem from.
+constexpr const char* kFillerWords[] = {
+    "the", "and", "with", "for",  "from", "this", "that",  "are",
+    "has", "its", "new",  "all",  "one",  "more", "other", "some"};
+constexpr std::uint64_t kNumFillers = sizeof(kFillerWords) / sizeof(kFillerWords[0]);
+
+// Inflectional suffixes attached to a fraction of tail words so stemming
+// (Porter) merges surface variants, as it does on natural text.
+constexpr const char* kSuffixes[] = {"s", "ing", "ed"};
+
+}  // namespace
+
+std::string SynthWord(std::uint64_t pool_seed, std::uint64_t index) {
+  // The first ranks of every pool are English stop-words (see kFillerWords):
+  // they carry the head probability mass of WordPool draws.
+  if (index < kNumFillers) return kFillerWords[index];
+
+  // Adjacent odd/even indices share a stem: the odd one carries an
+  // inflectional suffix, so stemming merges the two surface forms and shrinks
+  // the vocabulary, as on real text.
+  const std::uint64_t stem_index = index & ~1ULL;
+  std::uint64_t h = SplitMix64(HashCombine(pool_seed, stem_index));
+  // 2-5 syllables; frequent (low-index) words get fewer syllables, mimicking
+  // the length/frequency anticorrelation of natural text.
+  const int syllables = 2 + static_cast<int>((stem_index < 64 ? h % 2 : h % 4));
+  std::string word;
+  word.reserve(static_cast<std::size_t>(syllables) * 3 + 3);
+  for (int s = 0; s < syllables; ++s) {
+    h = SplitMix64(h);
+    word.push_back(kConsonants[h % kNumConsonants]);
+    word.push_back(kVowels[(h >> 8) % kNumVowels]);
+    if ((h >> 16) % 3 == 0) word.push_back(kConsonants[(h >> 24) % kNumConsonants]);
+  }
+  if (index & 1) word += kSuffixes[SplitMix64(h) % 3];
+  return word;
+}
+
+std::string SynthCode(std::uint64_t pool_seed, std::uint64_t index) {
+  std::uint64_t h = SplitMix64(HashCombine(pool_seed ^ 0x5eedc0de, index));
+  std::string code;
+  code.reserve(9);
+  code.push_back(kConsonants[h % kNumConsonants]);
+  code.push_back(kConsonants[(h >> 6) % kNumConsonants]);
+  code.push_back(static_cast<char>('0' + (h >> 12) % 10));
+  code.push_back(static_cast<char>('0' + (h >> 18) % 10));
+  code.push_back('-');
+  code.push_back(static_cast<char>('0' + (h >> 24) % 10));
+  code.push_back(static_cast<char>('0' + (h >> 30) % 10));
+  code.push_back(static_cast<char>('0' + (h >> 36) % 10));
+  code.push_back(kConsonants[(h >> 42) % kNumConsonants]);
+  return code;
+}
+
+}  // namespace erb::datagen

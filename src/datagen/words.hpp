@@ -1,0 +1,65 @@
+// Deterministic synthetic vocabulary.
+//
+// The dataset generators need words whose frequency distribution mimics real
+// text: a small head of very frequent generic words (brand names, units,
+// stop-word-like fillers) and a long tail of distinctive words (model
+// numbers, titles, person names). Words are synthesized from consonant-vowel
+// syllables so tokenizers, q-grams and stemming behave as they would on
+// natural language.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace erb::datagen {
+
+/// Synthesizes the `index`-th word of the pool identified by `pool_seed`.
+/// Deterministic: the same (pool_seed, index) always yields the same word.
+/// Length grows slowly with index so frequent words are short, like real text.
+std::string SynthWord(std::uint64_t pool_seed, std::uint64_t index);
+
+/// Synthesizes an alphanumeric code like "kx42-719b" — model numbers / SKU
+/// identifiers that make product datasets distinctive.
+std::string SynthCode(std::uint64_t pool_seed, std::uint64_t index);
+
+/// A two-tier word source mimicking cleaned natural text: a tiny head of
+/// stop-word-like fillers carrying `head_mass` of the probability (they form
+/// the oversized blocks that Block Purging removes) and a flat tail of
+/// content words (each appearing in a handful of entities — the mid-frequency
+/// blocks that drive both true and superfluous candidate pairs).
+class WordPool {
+ public:
+  WordPool(std::uint64_t pool_seed, std::uint64_t tail_size,
+           std::uint64_t head_words, double head_mass, double head_zipf_s)
+      : pool_seed_(pool_seed),
+        tail_size_(tail_size),
+        head_words_(head_words),
+        head_mass_(head_mass),
+        head_zipf_s_(head_zipf_s) {}
+
+  /// Draws a word: head with probability head_mass, tail otherwise. The tail
+  /// uses a gentle Zipf (s = 0.7) so block sizes form the smooth spectrum of
+  /// real text rather than a bimodal one.
+  std::string Draw(Rng& rng) const {
+    if (head_words_ > 0 && rng.NextBool(head_mass_)) {
+      return SynthWord(pool_seed_, rng.NextZipf(head_words_, head_zipf_s_));
+    }
+    return SynthWord(pool_seed_, head_words_ + rng.NextZipf(tail_size_, 0.7));
+  }
+
+  /// The word at a fixed rank (0-based; ranks below head_words are head).
+  std::string At(std::uint64_t index) const { return SynthWord(pool_seed_, index); }
+
+  std::uint64_t size() const { return head_words_ + tail_size_; }
+
+ private:
+  std::uint64_t pool_seed_;
+  std::uint64_t tail_size_;
+  std::uint64_t head_words_;
+  double head_mass_;
+  double head_zipf_s_;
+};
+
+}  // namespace erb::datagen

@@ -1,0 +1,137 @@
+#include "densenn/autoencoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace erb::densenn {
+
+Autoencoder::Autoencoder(const std::vector<Vector>& samples,
+                         const AutoencoderConfig& config)
+    : config_(config),
+      input_dim_(samples.empty() ? kEmbeddingDim
+                                 : static_cast<int>(samples[0].size())) {
+  const std::size_t h = static_cast<std::size_t>(config_.hidden_dim);
+  const std::size_t d = static_cast<std::size_t>(input_dim_);
+  Rng rng(config_.seed);
+
+  // Xavier-style initialization.
+  auto init = [&rng](std::vector<float>* w, std::size_t rows, std::size_t cols) {
+    w->resize(rows * cols);
+    const float scale = std::sqrt(6.0f / static_cast<float>(rows + cols));
+    for (float& x : *w) {
+      x = static_cast<float>(rng.NextDouble(-1.0, 1.0)) * scale;
+    }
+  };
+  init(&w_enc_, h, d);
+  init(&w_dec_, d, h);
+  b_enc_.assign(h, 0.0f);
+  b_dec_.assign(d, 0.0f);
+
+  if (samples.empty()) return;
+
+  // Training set: a deterministic sample of the inputs.
+  std::vector<std::uint32_t> order(samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBounded(i)]);
+  }
+  const std::size_t train_n = std::min(order.size(), config_.max_training_samples);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const float lr = config_.learning_rate /
+                     (1.0f + 0.3f * static_cast<float>(epoch));
+    for (std::size_t i = 0; i < train_n; ++i) {
+      TrainStep(samples[order[i]], lr);
+    }
+  }
+}
+
+Vector Autoencoder::Forward(const Vector& input, Vector* hidden) const {
+  const std::size_t h = static_cast<std::size_t>(config_.hidden_dim);
+  const std::size_t d = static_cast<std::size_t>(input_dim_);
+  hidden->assign(h, 0.0f);
+  for (std::size_t r = 0; r < h; ++r) {
+    float sum = b_enc_[r];
+    const float* row = &w_enc_[r * d];
+    for (std::size_t c = 0; c < d; ++c) sum += row[c] * input[c];
+    (*hidden)[r] = std::tanh(sum);
+  }
+  Vector output(d, 0.0f);
+  for (std::size_t r = 0; r < d; ++r) {
+    float sum = b_dec_[r];
+    const float* row = &w_dec_[r * h];
+    for (std::size_t c = 0; c < h; ++c) sum += row[c] * (*hidden)[c];
+    output[r] = sum;  // linear decoder
+  }
+  return output;
+}
+
+void Autoencoder::TrainStep(const Vector& input, float lr) {
+  const std::size_t h = static_cast<std::size_t>(config_.hidden_dim);
+  const std::size_t d = static_cast<std::size_t>(input_dim_);
+
+  Vector hidden;
+  const Vector output = Forward(input, &hidden);
+
+  // Backprop of 0.5 * ||output - input||^2.
+  Vector delta_out(d);
+  for (std::size_t r = 0; r < d; ++r) delta_out[r] = output[r] - input[r];
+
+  // Hidden deltas through the decoder and tanh'.
+  Vector delta_hidden(h, 0.0f);
+  for (std::size_t r = 0; r < d; ++r) {
+    const float g = delta_out[r];
+    const float* row = &w_dec_[r * h];
+    for (std::size_t c = 0; c < h; ++c) delta_hidden[c] += g * row[c];
+  }
+  for (std::size_t c = 0; c < h; ++c) {
+    delta_hidden[c] *= 1.0f - hidden[c] * hidden[c];
+  }
+
+  // Decoder update.
+  for (std::size_t r = 0; r < d; ++r) {
+    const float g = lr * delta_out[r];
+    float* row = &w_dec_[r * h];
+    for (std::size_t c = 0; c < h; ++c) row[c] -= g * hidden[c];
+    b_dec_[r] -= g;
+  }
+  // Encoder update.
+  for (std::size_t r = 0; r < h; ++r) {
+    const float g = lr * delta_hidden[r];
+    float* row = &w_enc_[r * d];
+    for (std::size_t c = 0; c < d; ++c) row[c] -= g * input[c];
+    b_enc_[r] -= g;
+  }
+}
+
+Vector Autoencoder::Encode(const Vector& input) const {
+  Vector hidden;
+  Forward(input, &hidden);
+  Normalize(&hidden);
+  return hidden;
+}
+
+double Autoencoder::ReconstructionError(const std::vector<Vector>& samples) const {
+  if (samples.empty()) return 0.0;
+  double total = 0.0;
+  Vector hidden;
+  for (const auto& sample : samples) {
+    const Vector output = Forward(sample, &hidden);
+    total += SquaredL2(output, sample);
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+std::vector<Vector> EncodeAll(const Autoencoder& model,
+                              const std::vector<Vector>& inputs) {
+  std::vector<Vector> encoded;
+  encoded.reserve(inputs.size());
+  for (const auto& input : inputs) encoded.push_back(model.Encode(input));
+  return encoded;
+}
+
+}  // namespace erb::densenn

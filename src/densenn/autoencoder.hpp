@@ -1,0 +1,59 @@
+// Autoencoder tuple embedding — the DeepBlocker substitute (DESIGN.md §3).
+//
+// DeepBlocker's best-performing module converts each entity's fastText
+// vector through an autoencoder trained self-supervised on the dataset
+// itself, then searches the learned space with FAISS. We reproduce the
+// architecture with a single-hidden-layer autoencoder (300 -> h -> 300,
+// tanh activation) trained by minibatch SGD on the union of both sides'
+// embeddings; the tuple embedding is the normalized hidden representation.
+// Random initialization + sampled minibatches make the method stochastic,
+// matching its Table II classification.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "densenn/embedding.hpp"
+
+namespace erb::densenn {
+
+/// Autoencoder hyperparameters. Defaults mirror DeepBlocker's scale: a
+/// bottleneck of half the input dimensionality and a short training run.
+struct AutoencoderConfig {
+  int hidden_dim = 150;
+  int epochs = 8;
+  float learning_rate = 0.05f;
+  std::size_t max_training_samples = 2048;
+  std::uint64_t seed = 1;
+};
+
+/// A trained autoencoder: Encode() maps input vectors to the learned space.
+class Autoencoder {
+ public:
+  /// Trains on `samples` (reconstruction loss, minibatch SGD).
+  Autoencoder(const std::vector<Vector>& samples, const AutoencoderConfig& config);
+
+  /// The normalized hidden representation of `input`.
+  Vector Encode(const Vector& input) const;
+
+  /// Mean squared reconstruction error over `samples` (for tests: training
+  /// must reduce it versus the untrained network).
+  double ReconstructionError(const std::vector<Vector>& samples) const;
+
+  int hidden_dim() const { return config_.hidden_dim; }
+
+ private:
+  Vector Forward(const Vector& input, Vector* hidden) const;
+  void TrainStep(const Vector& input, float lr);
+
+  AutoencoderConfig config_;
+  int input_dim_;
+  // Row-major weight matrices and biases: encoder (h x d), decoder (d x h).
+  std::vector<float> w_enc_, b_enc_, w_dec_, b_dec_;
+};
+
+/// Encodes every vector of `inputs` through a trained autoencoder.
+std::vector<Vector> EncodeAll(const Autoencoder& model,
+                              const std::vector<Vector>& inputs);
+
+}  // namespace erb::densenn

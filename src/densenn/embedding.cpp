@@ -1,0 +1,93 @@
+#include "densenn/embedding.hpp"
+
+#include <cmath>
+
+#include "common/hash.hpp"
+#include "text/clean.hpp"
+
+namespace erb::densenn {
+namespace {
+
+// Adds the deterministic Gaussian-ish basis vector of `hash` to `acc`.
+// Coordinates are derived by mixing (hash, dim) and mapping to a symmetric
+// triangular distribution — cheap, zero-mean, unit-ish variance, and fully
+// reproducible. The sum of many such vectors concentrates like a Gaussian.
+void AccumulateBasis(std::uint64_t hash, std::vector<double>* acc) {
+  std::uint64_t state = SplitMix64(hash);
+  for (std::size_t d = 0; d < acc->size(); ++d) {
+    state = SplitMix64(state + d);
+    // Two uniform halves of the word -> triangular distribution in (-1, 1).
+    const double u1 = static_cast<double>(state & 0xffffffffu) / 4294967296.0;
+    const double u2 = static_cast<double>(state >> 32) / 4294967296.0;
+    (*acc)[d] += u1 - u2;
+  }
+}
+
+}  // namespace
+
+Vector EmbedText(std::string_view text, int dim) {
+  std::vector<double> acc(static_cast<std::size_t>(dim), 0.0);
+  const std::vector<std::string> words =
+      text::CleanTokens(text, /*clean=*/false);
+  std::size_t pieces = 0;
+  for (const auto& word : words) {
+    // fastText-style subword units: the word itself plus its 3..6-grams of
+    // the padded word. Short words contribute the word hash only.
+    const std::string padded = "<" + word + ">";
+    AccumulateBasis(FnvHash64(padded), &acc);
+    ++pieces;
+    for (int n = 3; n <= 6; ++n) {
+      if (static_cast<int>(padded.size()) < n) break;
+      for (std::size_t i = 0; i + n <= padded.size(); ++i) {
+        AccumulateBasis(FnvHash64(std::string_view(padded).substr(i, n)), &acc);
+        ++pieces;
+      }
+    }
+  }
+  Vector out(static_cast<std::size_t>(dim), 0.0f);
+  if (pieces > 0) {
+    for (std::size_t d = 0; d < out.size(); ++d) {
+      out[d] = static_cast<float>(acc[d] / static_cast<double>(pieces));
+    }
+  }
+  Normalize(&out);
+  return out;
+}
+
+std::vector<Vector> EmbedSide(const core::Dataset& dataset, int side,
+                              core::SchemaMode mode, bool clean, int dim) {
+  const std::size_t count =
+      side == 0 ? dataset.e1().size() : dataset.e2().size();
+  std::vector<Vector> vectors;
+  vectors.reserve(count);
+  for (core::EntityId id = 0; id < count; ++id) {
+    const std::string text = dataset.EntityText(side, id, mode);
+    vectors.push_back(EmbedText(text::CleanText(text, clean), dim));
+  }
+  return vectors;
+}
+
+float Dot(const Vector& a, const Vector& b) {
+  float sum = 0.0f;
+  for (std::size_t d = 0; d < a.size(); ++d) sum += a[d] * b[d];
+  return sum;
+}
+
+float SquaredL2(const Vector& a, const Vector& b) {
+  float sum = 0.0f;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    const float diff = a[d] - b[d];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+void Normalize(Vector* v) {
+  double norm = 0.0;
+  for (float x : *v) norm += static_cast<double>(x) * x;
+  if (norm <= 0.0) return;
+  const float inv = static_cast<float>(1.0 / std::sqrt(norm));
+  for (float& x : *v) x *= inv;
+}
+
+}  // namespace erb::densenn

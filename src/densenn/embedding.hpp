@@ -1,0 +1,45 @@
+// Subword-hash embeddings: the repository's substitute for the pre-trained
+// 300-dimensional fastText vectors the paper uses (DESIGN.md §3).
+//
+// fastText represents a word as the sum of its character n-gram vectors;
+// dense filtering methods only rely on the induced property that
+// syntactically close strings map to nearby vectors. We reproduce exactly
+// that property by assigning every character n-gram a deterministic
+// pseudo-random Gaussian basis vector (seeded by the n-gram's hash) and
+// pooling: word vector = mean of its n-gram vectors, entity vector = mean of
+// its word vectors, L2-normalized.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/entity.hpp"
+
+namespace erb::densenn {
+
+/// Dense vector type used across the module.
+using Vector = std::vector<float>;
+
+/// Embedding dimensionality matching the paper's fastText setting.
+inline constexpr int kEmbeddingDim = 300;
+
+/// Embeds one text. Deterministic. `dim` is exposed for the ablation bench.
+Vector EmbedText(std::string_view text, int dim = kEmbeddingDim);
+
+/// Embeds a dataset side under a schema mode; `clean` applies stop-word
+/// removal and stemming first (the CL parameter of Table V).
+std::vector<Vector> EmbedSide(const core::Dataset& dataset, int side,
+                              core::SchemaMode mode, bool clean,
+                              int dim = kEmbeddingDim);
+
+/// Dot product (vectors are produced L2-normalized, so this is also the
+/// cosine similarity).
+float Dot(const Vector& a, const Vector& b);
+
+/// Squared Euclidean distance.
+float SquaredL2(const Vector& a, const Vector& b);
+
+/// L2-normalizes in place (no-op for the zero vector).
+void Normalize(Vector* v);
+
+}  // namespace erb::densenn

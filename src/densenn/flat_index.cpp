@@ -1,0 +1,59 @@
+#include "densenn/flat_index.hpp"
+
+#include <algorithm>
+
+namespace erb::densenn {
+namespace {
+
+// Score where higher is better, regardless of metric.
+float Score(DenseMetric metric, const Vector& a, const Vector& b) {
+  return metric == DenseMetric::kDotProduct ? Dot(a, b) : -SquaredL2(a, b);
+}
+
+}  // namespace
+
+FlatIndex::FlatIndex(std::vector<Vector> vectors, DenseMetric metric)
+    : vectors_(std::move(vectors)), metric_(metric) {}
+
+std::vector<std::uint32_t> FlatIndex::Search(const Vector& query, int k) const {
+  using Entry = std::pair<float, std::uint32_t>;  // (score, id)
+  // Bounded min-heap of the best k scores.
+  std::vector<Entry> heap;
+  heap.reserve(static_cast<std::size_t>(k) + 1);
+  auto cmp = [](const Entry& a, const Entry& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  };
+  for (std::uint32_t id = 0; id < vectors_.size(); ++id) {
+    const float score = Score(metric_, query, vectors_[id]);
+    if (static_cast<int>(heap.size()) < k) {
+      heap.emplace_back(score, id);
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (!heap.empty() && score > heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = {score, id};
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  }
+  // Best first: descending score, ascending id on ties.
+  std::sort(heap.begin(), heap.end(), [](const Entry& a, const Entry& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  std::vector<std::uint32_t> ids;
+  ids.reserve(heap.size());
+  for (const auto& [score, id] : heap) ids.push_back(id);
+  return ids;
+}
+
+std::vector<std::uint32_t> FlatIndex::RangeSearch(const Vector& query,
+                                                  float radius) const {
+  std::vector<std::uint32_t> ids;
+  for (std::uint32_t id = 0; id < vectors_.size(); ++id) {
+    const bool within = metric_ == DenseMetric::kDotProduct
+                            ? Dot(query, vectors_[id]) >= radius
+                            : SquaredL2(query, vectors_[id]) <= radius;
+    if (within) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace erb::densenn

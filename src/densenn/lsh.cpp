@@ -1,0 +1,384 @@
+#include "densenn/lsh.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "densenn/embedding.hpp"
+
+namespace erb::densenn {
+namespace {
+
+using BucketMap = std::unordered_map<std::uint64_t, std::vector<core::EntityId>>;
+
+// ---------------------------------------------------------------------------
+// Hyperplane LSH
+// ---------------------------------------------------------------------------
+
+struct HyperplaneTables {
+  // hyperplanes[t][h] is one dim-sized normal vector.
+  std::vector<std::vector<Vector>> hyperplanes;
+
+  HyperplaneTables(int tables, int hashes, int dim, std::uint64_t seed) {
+    Rng rng(SplitMix64(seed ^ 0x4b1d));
+    hyperplanes.resize(static_cast<std::size_t>(tables));
+    for (auto& table : hyperplanes) {
+      table.resize(static_cast<std::size_t>(hashes));
+      for (auto& normal : table) {
+        normal.resize(static_cast<std::size_t>(dim));
+        for (float& x : normal) x = static_cast<float>(rng.NextGaussian());
+      }
+    }
+  }
+
+  // Returns the bucket key of `v` in table `t` and fills `margins` with the
+  // absolute dot products per bit (the flip order for multiprobing).
+  std::uint64_t Key(const Vector& v, int t, std::vector<float>* margins) const {
+    const auto& table = hyperplanes[static_cast<std::size_t>(t)];
+    std::uint64_t key = 0;
+    margins->clear();
+    for (std::size_t h = 0; h < table.size(); ++h) {
+      const float dot = Dot(table[h], v);
+      if (dot >= 0.0f) key |= (1ULL << h);
+      margins->push_back(std::abs(dot));
+    }
+    return key;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Cross-Polytope LSH
+// ---------------------------------------------------------------------------
+
+// In-place fast Hadamard transform; size must be a power of two.
+void FastHadamard(std::vector<float>* v) {
+  const std::size_t n = v->size();
+  for (std::size_t len = 1; len < n; len <<= 1) {
+    for (std::size_t i = 0; i < n; i += len << 1) {
+      for (std::size_t j = i; j < i + len; ++j) {
+        const float a = (*v)[j];
+        const float b = (*v)[j + len];
+        (*v)[j] = a + b;
+        (*v)[j + len] = a - b;
+      }
+    }
+  }
+  const float scale = 1.0f / std::sqrt(static_cast<float>(n));
+  for (float& x : *v) x *= scale;
+}
+
+struct CrossPolytopeTables {
+  int tables;
+  int hashes;
+  int padded_dim;
+  int last_cp_dim;
+  // signs[t][h][round] is a padded_dim vector of +-1 sign flips.
+  std::vector<std::vector<std::vector<std::vector<float>>>> signs;
+
+  CrossPolytopeTables(int tables_in, int hashes_in, int dim, int last_dim,
+                      std::uint64_t seed)
+      : tables(tables_in), hashes(hashes_in) {
+    padded_dim = static_cast<int>(std::bit_ceil(static_cast<unsigned>(dim)));
+    last_cp_dim = std::clamp(last_dim, 1, padded_dim);
+    Rng rng(SplitMix64(seed ^ 0xc9055));
+    signs.resize(static_cast<std::size_t>(tables));
+    for (auto& table : signs) {
+      table.resize(static_cast<std::size_t>(hashes));
+      for (auto& hash : table) {
+        hash.resize(3);
+        for (auto& round : hash) {
+          round.resize(static_cast<std::size_t>(padded_dim));
+          for (float& s : round) s = rng.NextBool(0.5) ? 1.0f : -1.0f;
+        }
+      }
+    }
+  }
+
+  // The rotated vector of `v` under hash (t, h).
+  std::vector<float> Rotate(const Vector& v, int t, int h) const {
+    std::vector<float> x(static_cast<std::size_t>(padded_dim), 0.0f);
+    std::copy(v.begin(), v.end(), x.begin());
+    for (const auto& round : signs[static_cast<std::size_t>(t)]
+                                  [static_cast<std::size_t>(h)]) {
+      for (std::size_t d = 0; d < x.size(); ++d) x[d] *= round[d];
+      FastHadamard(&x);
+    }
+    return x;
+  }
+
+  // Vertex id of the closest cross-polytope vertex among the first `dims`
+  // coordinates: 2 * argmax + (sign bit). `runner_up` (optional) receives the
+  // second-closest vertex for multiprobing.
+  static std::uint32_t Vertex(const std::vector<float>& x, int dims,
+                              std::uint32_t* runner_up) {
+    int best = 0, second = 0;
+    float best_abs = -1.0f, second_abs = -1.0f;
+    for (int d = 0; d < dims; ++d) {
+      const float a = std::abs(x[static_cast<std::size_t>(d)]);
+      if (a > best_abs) {
+        second = best;
+        second_abs = best_abs;
+        best = d;
+        best_abs = a;
+      } else if (a > second_abs) {
+        second = d;
+        second_abs = a;
+      }
+    }
+    auto encode = [&x](int d) {
+      return static_cast<std::uint32_t>(2 * d) +
+             (x[static_cast<std::size_t>(d)] < 0.0f ? 1u : 0u);
+    };
+    if (runner_up != nullptr) *runner_up = dims > 1 ? encode(second) : encode(best);
+    return encode(best);
+  }
+
+  // Bucket key in table `t`; `alternates` receives per-hash runner-up keys
+  // (key with hash h's vertex replaced by its runner-up), cheapest first is
+  // approximated by order.
+  std::uint64_t Key(const Vector& v, int t,
+                    std::vector<std::uint64_t>* alternates) const {
+    std::vector<std::uint32_t> vertices(static_cast<std::size_t>(hashes));
+    std::vector<std::uint32_t> runners(static_cast<std::size_t>(hashes));
+    for (int h = 0; h < hashes; ++h) {
+      const auto rotated = Rotate(v, t, h);
+      const int dims = h == hashes - 1 ? last_cp_dim : padded_dim;
+      vertices[static_cast<std::size_t>(h)] =
+          Vertex(rotated, dims, &runners[static_cast<std::size_t>(h)]);
+    }
+    auto combine = [&vertices](int replaced, std::uint32_t replacement) {
+      std::uint64_t key = 0xc90;
+      for (std::size_t h = 0; h < vertices.size(); ++h) {
+        const std::uint32_t vertex =
+            static_cast<int>(h) == replaced ? replacement : vertices[h];
+        key = HashCombine(key, vertex + 1);
+      }
+      return key;
+    };
+    if (alternates != nullptr) {
+      alternates->clear();
+      for (int h = hashes - 1; h >= 0; --h) {
+        alternates->push_back(combine(h, runners[static_cast<std::size_t>(h)]));
+      }
+    }
+    return combine(-1, 0);
+  }
+};
+
+// Emits candidates for every query against per-table bucket maps.
+template <typename IndexKeys, typename ProbeKeys>
+DenseResult RunAngularLsh(const core::Dataset& dataset, core::SchemaMode mode,
+                          const AngularLshConfig& config, IndexKeys&& index_keys,
+                          ProbeKeys&& probe_keys) {
+  DenseResult result;
+
+  std::vector<Vector> vectors1, vectors2;
+  result.timing.Measure(kPhasePreprocess, [&] {
+    vectors1 = EmbedSide(dataset, 0, mode, config.clean);
+    vectors2 = EmbedSide(dataset, 1, mode, config.clean);
+  });
+
+  std::vector<BucketMap> buckets(static_cast<std::size_t>(config.tables));
+  result.timing.Measure(kPhaseIndex, [&] {
+    for (core::EntityId id = 0; id < vectors1.size(); ++id) {
+      for (int t = 0; t < config.tables; ++t) {
+        buckets[static_cast<std::size_t>(t)][index_keys(vectors1[id], t)]
+            .push_back(id);
+      }
+    }
+  });
+
+  result.timing.Measure(kPhaseQuery, [&] {
+    std::vector<std::uint64_t> keys;
+    for (core::EntityId id = 0; id < vectors2.size(); ++id) {
+      for (int t = 0; t < config.tables; ++t) {
+        keys.clear();
+        probe_keys(vectors2[id], t, &keys);
+        const auto& table = buckets[static_cast<std::size_t>(t)];
+        for (std::uint64_t key : keys) {
+          auto it = table.find(key);
+          if (it == table.end()) continue;
+          for (core::EntityId indexed : it->second) {
+            result.candidates.Add(indexed, id);
+          }
+        }
+      }
+    }
+  });
+  result.candidates.Finalize();
+  return result;
+}
+
+// Fills `keys` with the probe sequence of vector `v` in table `t`: the base
+// bucket followed by the multiprobe alternates, best first, capped at
+// `max_keys` entries.
+void HpProbeSequence(const HyperplaneTables& tables, const Vector& v, int t,
+                     int max_keys, std::vector<std::uint64_t>* keys) {
+  std::vector<float> margins;
+  const std::uint64_t base = tables.Key(v, t, &margins);
+  keys->push_back(base);
+  std::vector<int> order(margins.size());
+  for (std::size_t i = 0; i < margins.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&margins](int a, int b) {
+    return margins[static_cast<std::size_t>(a)] <
+           margins[static_cast<std::size_t>(b)];
+  });
+  for (int p = 1; p < max_keys && p <= static_cast<int>(order.size()); ++p) {
+    keys->push_back(base ^ (1ULL << order[static_cast<std::size_t>(p - 1)]));
+  }
+}
+
+void CpProbeSequence(const CrossPolytopeTables& tables, const Vector& v, int t,
+                     int max_keys, std::vector<std::uint64_t>* keys) {
+  std::vector<std::uint64_t> alternates;
+  keys->push_back(tables.Key(v, t, &alternates));
+  for (int p = 1; p < max_keys && p <= static_cast<int>(alternates.size()); ++p) {
+    keys->push_back(alternates[static_cast<std::size_t>(p - 1)]);
+  }
+}
+
+}  // namespace
+
+std::vector<ProbeSweepPoint> SweepAngularProbes(
+    const std::vector<Vector>& indexed, const std::vector<Vector>& queries,
+    const core::Dataset& dataset, const AngularLshConfig& config,
+    bool cross_polytope, int max_probes) {
+  // Budget levels: probes_per_table in {1, 2, 4, ..., per_table_cap}.
+  const int per_table_cap = std::max(1, max_probes / std::max(1, config.tables));
+  int num_levels = 1;
+  while ((1 << num_levels) <= per_table_cap) ++num_levels;
+
+  std::optional<HyperplaneTables> hp;
+  std::optional<CrossPolytopeTables> cp;
+  if (cross_polytope) {
+    cp.emplace(config.tables, config.hashes, kEmbeddingDim, config.last_cp_dim,
+               config.seed);
+  } else {
+    hp.emplace(config.tables, config.hashes, kEmbeddingDim, config.seed);
+  }
+  std::vector<float> margins;
+  auto index_key = [&](const Vector& v, int t) {
+    return cross_polytope ? cp->Key(v, t, nullptr) : hp->Key(v, t, &margins);
+  };
+
+  std::vector<BucketMap> buckets(static_cast<std::size_t>(config.tables));
+  for (core::EntityId id = 0; id < indexed.size(); ++id) {
+    for (int t = 0; t < config.tables; ++t) {
+      buckets[static_cast<std::size_t>(t)][index_key(indexed[id], t)].push_back(id);
+    }
+  }
+
+  // min_level[pair] = cheapest budget level that surfaces the pair.
+  std::unordered_map<core::PairKey, std::uint8_t> min_level;
+  std::vector<std::uint64_t> keys;
+  for (core::EntityId q = 0; q < queries.size(); ++q) {
+    for (int t = 0; t < config.tables; ++t) {
+      keys.clear();
+      if (cross_polytope) {
+        CpProbeSequence(*cp, queries[q], t, per_table_cap, &keys);
+      } else {
+        HpProbeSequence(*hp, queries[q], t, per_table_cap, &keys);
+      }
+      const auto& table = buckets[static_cast<std::size_t>(t)];
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        auto it = table.find(keys[i]);
+        if (it == table.end()) continue;
+        // Probe i (0-based) needs a per-table budget of at least i+1, i.e.
+        // level ceil(log2(i+1)).
+        std::uint8_t level = 0;
+        while ((1u << level) < i + 1) ++level;
+        for (core::EntityId id : it->second) {
+          const core::PairKey pair = core::MakePair(id, q);
+          auto [entry, inserted] = min_level.try_emplace(pair, level);
+          if (!inserted && level < entry->second) entry->second = level;
+        }
+      }
+    }
+  }
+
+  // Histogram per level, then cumulative effectiveness per budget.
+  std::vector<std::uint64_t> pairs_at(static_cast<std::size_t>(num_levels), 0);
+  std::vector<std::uint64_t> dups_at(static_cast<std::size_t>(num_levels), 0);
+  for (const auto& [pair, level] : min_level) {
+    const auto l = std::min<std::size_t>(level, num_levels - 1);
+    ++pairs_at[l];
+    if (dataset.IsDuplicate(pair)) ++dups_at[l];
+  }
+  const double total_duplicates =
+      static_cast<double>(std::max<std::size_t>(1, dataset.NumDuplicates()));
+
+  std::vector<ProbeSweepPoint> points;
+  std::uint64_t pairs = 0, detected = 0;
+  for (int level = 0; level < num_levels; ++level) {
+    pairs += pairs_at[static_cast<std::size_t>(level)];
+    detected += dups_at[static_cast<std::size_t>(level)];
+    ProbeSweepPoint point;
+    point.probes = config.tables * (1 << level);
+    point.eff.candidates = pairs;
+    point.eff.detected = detected;
+    point.eff.pc = static_cast<double>(detected) / total_duplicates;
+    point.eff.pq = pairs == 0 ? 0.0 : static_cast<double>(detected) / pairs;
+    points.push_back(point);
+  }
+  return points;
+}
+
+DenseResult HyperplaneLsh(const core::Dataset& dataset, core::SchemaMode mode,
+                          const AngularLshConfig& config) {
+  HyperplaneTables tables(config.tables, config.hashes, kEmbeddingDim,
+                          config.seed);
+  const int probes_per_table =
+      std::max(1, config.probes / std::max(1, config.tables));
+
+  std::vector<float> margins;
+  auto index_keys = [&tables, &margins](const Vector& v, int t) {
+    return tables.Key(v, t, &margins);
+  };
+  auto probe_keys = [&tables, probes_per_table](
+                        const Vector& v, int t, std::vector<std::uint64_t>* keys) {
+    std::vector<float> m;
+    const std::uint64_t base = tables.Key(v, t, &m);
+    keys->push_back(base);
+    // Flip bits in ascending margin order: the most uncertain bits first.
+    std::vector<int> order(m.size());
+    for (std::size_t i = 0; i < m.size(); ++i) order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(),
+              [&m](int a, int b) { return m[static_cast<std::size_t>(a)] <
+                                          m[static_cast<std::size_t>(b)]; });
+    for (int p = 1; p < probes_per_table && p <= static_cast<int>(order.size());
+         ++p) {
+      keys->push_back(base ^ (1ULL << order[static_cast<std::size_t>(p - 1)]));
+    }
+  };
+  return RunAngularLsh(dataset, mode, config, index_keys, probe_keys);
+}
+
+DenseResult CrossPolytopeLsh(const core::Dataset& dataset, core::SchemaMode mode,
+                             const AngularLshConfig& config) {
+  CrossPolytopeTables tables(config.tables, config.hashes, kEmbeddingDim,
+                             config.last_cp_dim, config.seed);
+  const int probes_per_table =
+      std::max(1, config.probes / std::max(1, config.tables));
+
+  auto index_keys = [&tables](const Vector& v, int t) {
+    return tables.Key(v, t, nullptr);
+  };
+  auto probe_keys = [&tables, probes_per_table](
+                        const Vector& v, int t, std::vector<std::uint64_t>* keys) {
+    std::vector<std::uint64_t> alternates;
+    keys->push_back(tables.Key(v, t, &alternates));
+    for (int p = 1; p < probes_per_table &&
+                    p <= static_cast<int>(alternates.size());
+         ++p) {
+      keys->push_back(alternates[static_cast<std::size_t>(p - 1)]);
+    }
+  };
+  return RunAngularLsh(dataset, mode, config, index_keys, probe_keys);
+}
+
+}  // namespace erb::densenn

@@ -1,0 +1,53 @@
+// Hyperplane LSH (Charikar 2002) and Cross-Polytope LSH (Andoni et al. 2015)
+// over embedding vectors, with multiprobing (Section IV-D).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/entity.hpp"
+#include "core/metrics.hpp"
+#include "densenn/embedding.hpp"
+#include "densenn/result.hpp"
+
+namespace erb::densenn {
+
+/// Parameters shared by the two angular LSH families (Table V).
+struct AngularLshConfig {
+  bool clean = false;
+  int tables = 16;    ///< number of independent hash tables
+  int hashes = 8;     ///< hash functions concatenated per table
+  int probes = 32;    ///< total buckets probed across all tables (>= tables)
+  int last_cp_dim = 128;  ///< CP-LSH only: dimensions of the last cross-polytope
+  std::uint64_t seed = 1; ///< repetition seed (the methods are stochastic)
+};
+
+/// Hyperplane LSH: h(v) = sgn(r . v) per random hyperplane; multiprobe flips
+/// the lowest-margin bits first.
+DenseResult HyperplaneLsh(const core::Dataset& dataset, core::SchemaMode mode,
+                          const AngularLshConfig& config);
+
+/// Cross-Polytope LSH: pseudo-random rotations (sign flips + fast Hadamard
+/// transform) followed by the closest cross-polytope vertex; multiprobe
+/// substitutes the runner-up vertex of the weakest hash.
+DenseResult CrossPolytopeLsh(const core::Dataset& dataset, core::SchemaMode mode,
+                             const AngularLshConfig& config);
+
+/// One point of a probe-budget sweep: the effectiveness the method reaches
+/// with `probes` total probed buckets.
+struct ProbeSweepPoint {
+  int probes = 0;
+  core::Effectiveness eff;
+};
+
+/// Evaluates every probe budget {tables, 2*tables, 4*tables, ...} up to
+/// `max_probes` in a single indexing + querying pass over pre-computed
+/// embeddings (E1 indexed, E2 querying, as the LSH methods always do).
+/// Equivalent to running the method once per budget — this is what makes the
+/// auto-probing protocol of the paper's LSH tuning tractable.
+std::vector<ProbeSweepPoint> SweepAngularProbes(
+    const std::vector<Vector>& indexed, const std::vector<Vector>& queries,
+    const core::Dataset& dataset, const AngularLshConfig& config,
+    bool cross_polytope, int max_probes);
+
+}  // namespace erb::densenn

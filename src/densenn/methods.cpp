@@ -1,0 +1,107 @@
+#include "densenn/methods.hpp"
+
+#include "densenn/flat_index.hpp"
+
+namespace erb::densenn {
+namespace {
+
+using core::EntityId;
+
+// Adds one (indexed, query) result in canonical (E1, E2) pair order.
+void EmitPair(core::CandidateSet* candidates, bool reverse, EntityId query,
+              EntityId indexed) {
+  if (reverse) {
+    candidates->Add(query, indexed);
+  } else {
+    candidates->Add(indexed, query);
+  }
+}
+
+// Shared driver: embeds both sides (preprocess), optionally transforms the
+// vectors (train), builds an index over the indexed side (index) and runs the
+// kNN queries (query).
+template <typename MakeIndex, typename Transform>
+DenseResult RunKnnMethod(const core::Dataset& dataset, core::SchemaMode mode,
+                         const KnnSearchConfig& config, Transform&& transform,
+                         MakeIndex&& make_index) {
+  DenseResult result;
+  const int indexed_side = config.reverse ? 1 : 0;
+  const int query_side = config.reverse ? 0 : 1;
+
+  std::vector<Vector> indexed_vectors, query_vectors;
+  result.timing.Measure(kPhasePreprocess, [&] {
+    indexed_vectors = EmbedSide(dataset, indexed_side, mode, config.clean);
+    query_vectors = EmbedSide(dataset, query_side, mode, config.clean);
+  });
+
+  result.timing.Measure(kPhaseTrain,
+                        [&] { transform(&indexed_vectors, &query_vectors); });
+
+  auto index = result.timing.Measure(
+      kPhaseIndex, [&] { return make_index(std::move(indexed_vectors)); });
+
+  result.timing.Measure(kPhaseQuery, [&] {
+    for (EntityId q = 0; q < query_vectors.size(); ++q) {
+      for (std::uint32_t id : index.Search(query_vectors[q], config.k)) {
+        EmitPair(&result.candidates, config.reverse, q, id);
+      }
+    }
+  });
+  result.candidates.Finalize();
+  return result;
+}
+
+void NoTransform(std::vector<Vector>*, std::vector<Vector>*) {}
+
+}  // namespace
+
+DenseResult FaissKnn(const core::Dataset& dataset, core::SchemaMode mode,
+                     const KnnSearchConfig& config) {
+  return RunKnnMethod(dataset, mode, config, NoTransform,
+                      [](std::vector<Vector> vectors) {
+                        return FlatIndex(std::move(vectors),
+                                         DenseMetric::kSquaredL2);
+                      });
+}
+
+DenseResult ScannKnn(const core::Dataset& dataset, core::SchemaMode mode,
+                     const KnnSearchConfig& config,
+                     const PartitionedConfig& scann) {
+  return RunKnnMethod(dataset, mode, config, NoTransform,
+                      [&scann](std::vector<Vector> vectors) {
+                        return PartitionedIndex(std::move(vectors), scann);
+                      });
+}
+
+DenseResult DeepBlockerKnn(const core::Dataset& dataset, core::SchemaMode mode,
+                           const KnnSearchConfig& config,
+                           const AutoencoderConfig& autoencoder) {
+  auto transform = [&autoencoder](std::vector<Vector>* indexed,
+                                  std::vector<Vector>* query) {
+    // Self-supervised training on the union of both sides, as DeepBlocker
+    // trains its tuple-embedding module on the input tables themselves.
+    std::vector<Vector> training = *indexed;
+    training.insert(training.end(), query->begin(), query->end());
+    Autoencoder model(training, autoencoder);
+    *indexed = EncodeAll(model, *indexed);
+    *query = EncodeAll(model, *query);
+  };
+  return RunKnnMethod(dataset, mode, config, transform,
+                      [](std::vector<Vector> vectors) {
+                        return FlatIndex(std::move(vectors),
+                                         DenseMetric::kSquaredL2);
+                      });
+}
+
+DenseResult DefaultDeepBlocker(const core::Dataset& dataset,
+                               core::SchemaMode mode, std::uint64_t seed) {
+  KnnSearchConfig config;
+  config.clean = true;
+  config.k = 5;
+  config.reverse = dataset.e1().size() < dataset.e2().size();
+  AutoencoderConfig autoencoder;
+  autoencoder.seed = seed;
+  return DeepBlockerKnn(dataset, mode, config, autoencoder);
+}
+
+}  // namespace erb::densenn

@@ -1,0 +1,41 @@
+// The cardinality-based dense NN filtering methods (Section IV-D): FAISS-style
+// flat kNN search, SCANN-style partitioned search and the DeepBlocker-style
+// learned tuple embedding, all sharing the RVS/K/CL parameters of Table V(b).
+#pragma once
+
+#include "core/entity.hpp"
+#include "densenn/autoencoder.hpp"
+#include "densenn/partitioned_index.hpp"
+#include "densenn/result.hpp"
+
+namespace erb::densenn {
+
+/// Common parameters of the cardinality-based dense methods.
+struct KnnSearchConfig {
+  bool clean = false;   ///< CL
+  bool reverse = false; ///< RVS: index E2, query with E1
+  int k = 10;           ///< candidates per query entity
+};
+
+/// FAISS substitute: exact kNN over normalized embeddings with Euclidean
+/// distance (the configuration the paper found optimal for the Flat index).
+DenseResult FaissKnn(const core::Dataset& dataset, core::SchemaMode mode,
+                     const KnnSearchConfig& config);
+
+/// SCANN substitute: partitioned search with brute-force or asymmetric-hash
+/// scoring, dot product or squared Euclidean similarity.
+DenseResult ScannKnn(const core::Dataset& dataset, core::SchemaMode mode,
+                     const KnnSearchConfig& config,
+                     const PartitionedConfig& scann);
+
+/// DeepBlocker substitute: autoencoder tuple embeddings searched exactly.
+DenseResult DeepBlockerKnn(const core::Dataset& dataset, core::SchemaMode mode,
+                           const KnnSearchConfig& config,
+                           const AutoencoderConfig& autoencoder);
+
+/// The Default DeepBlocker baseline (DDB): cleaning on, K = 5, smaller side
+/// as the query set.
+DenseResult DefaultDeepBlocker(const core::Dataset& dataset,
+                               core::SchemaMode mode, std::uint64_t seed = 1);
+
+}  // namespace erb::densenn

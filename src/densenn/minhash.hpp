@@ -1,0 +1,28 @@
+// MinHash LSH (Broder 1997; Leskovec et al. 2020): approximates the Jaccard
+// similarity of k-shingle sets and uses the bands/rows decomposition as a
+// high-pass filter over similarity (Section IV-D).
+#pragma once
+
+#include <cstdint>
+
+#include "core/entity.hpp"
+#include "densenn/result.hpp"
+
+namespace erb::densenn {
+
+/// Parameters of MinHash LSH (Table V): signature length = bands * rows is a
+/// power of two in {128, 256, 512}; k is the shingle length.
+struct MinHashConfig {
+  bool clean = false;
+  int bands = 16;
+  int rows = 16;
+  int shingle_k = 3;
+  std::uint64_t seed = 1;  ///< repetition seed (the method is stochastic)
+};
+
+/// Runs MinHash LSH: indexes E1's band buckets and probes them with E2.
+/// Candidates are all pairs colliding in at least one band.
+DenseResult MinHashLsh(const core::Dataset& dataset, core::SchemaMode mode,
+                       const MinHashConfig& config);
+
+}  // namespace erb::densenn

@@ -1,0 +1,192 @@
+#include "densenn/partitioned_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace erb::densenn {
+namespace {
+
+float Score(DenseMetric metric, const Vector& a, const Vector& b) {
+  return metric == DenseMetric::kDotProduct ? Dot(a, b) : -SquaredL2(a, b);
+}
+
+}  // namespace
+
+PartitionedIndex::PartitionedIndex(std::vector<Vector> vectors,
+                                   const PartitionedConfig& config)
+    : vectors_(std::move(vectors)), config_(config) {
+  Train(config.seed, config.kmeans_iterations);
+  if (config_.asymmetric_hashing) Quantize();
+}
+
+void PartitionedIndex::Train(std::uint64_t seed, int iterations) {
+  const std::size_t n = vectors_.size();
+  // SCANN sizes partitions around sqrt(n); at least one.
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::sqrt(static_cast<double>(n))));
+  Rng rng(seed);
+
+  // Initialize centroids from random distinct vectors.
+  centroids_.clear();
+  centroids_.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    centroids_.push_back(vectors_[rng.NextBounded(std::max<std::size_t>(1, n))]);
+  }
+
+  std::vector<std::uint32_t> assignment(n, 0);
+  for (int iter = 0; iter < iterations; ++iter) {
+    // Assign.
+    for (std::size_t i = 0; i < n; ++i) {
+      float best = -1e30f;
+      std::uint32_t best_c = 0;
+      for (std::uint32_t c = 0; c < centroids_.size(); ++c) {
+        const float score = -SquaredL2(vectors_[i], centroids_[c]);
+        if (score > best) {
+          best = score;
+          best_c = c;
+        }
+      }
+      assignment[i] = best_c;
+    }
+    // Update.
+    std::vector<Vector> sums(centroids_.size(),
+                             Vector(vectors_.empty() ? 0 : vectors_[0].size(), 0.0f));
+    std::vector<std::size_t> counts(centroids_.size(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& sum = sums[assignment[i]];
+      for (std::size_t d = 0; d < sum.size(); ++d) sum[d] += vectors_[i][d];
+      ++counts[assignment[i]];
+    }
+    for (std::size_t c = 0; c < centroids_.size(); ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty partition with a random vector.
+        if (n > 0) centroids_[c] = vectors_[rng.NextBounded(n)];
+        continue;
+      }
+      for (std::size_t d = 0; d < sums[c].size(); ++d) {
+        centroids_[c][d] = sums[c][d] / static_cast<float>(counts[c]);
+      }
+    }
+  }
+
+  partitions_.assign(centroids_.size(), {});
+  for (std::size_t i = 0; i < n; ++i) {
+    partitions_[assignment[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+void PartitionedIndex::Quantize() {
+  const std::size_t n = vectors_.size();
+  const std::size_t dim = n == 0 ? 0 : vectors_[0].size();
+  codes_.resize(n * dim);
+  scales_.resize(n);
+  offsets_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    float lo = 0.0f, hi = 0.0f;
+    for (float x : vectors_[i]) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    const float scale = (hi - lo) > 1e-12f ? (hi - lo) / 254.0f : 1.0f;
+    scales_[i] = scale;
+    offsets_[i] = lo;
+    for (std::size_t d = 0; d < dim; ++d) {
+      const float q = (vectors_[i][d] - lo) / scale - 127.0f;
+      codes_[i * dim + d] = static_cast<std::int8_t>(
+          std::clamp(std::lround(q), -127L, 127L));
+    }
+  }
+}
+
+std::vector<std::uint32_t> PartitionedIndex::Search(const Vector& query,
+                                                    int k) const {
+  // Rank partitions by centroid proximity and probe a fixed budget of the
+  // top ~sqrt(#partitions). The budget is deliberately independent of k so
+  // result prefixes are consistent across k (Search(q, k) equals the first k
+  // entries of Search(q, k') for k' > k under brute-force scoring).
+  std::vector<std::pair<float, std::uint32_t>> centroid_scores;
+  centroid_scores.reserve(centroids_.size());
+  for (std::uint32_t c = 0; c < centroids_.size(); ++c) {
+    centroid_scores.emplace_back(Score(config_.metric, query, centroids_[c]), c);
+  }
+  std::sort(centroid_scores.begin(), centroid_scores.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::size_t probes = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::sqrt(static_cast<double>(centroids_.size()))) + 1);
+  probes = std::min(probes, centroid_scores.size());
+
+  const std::size_t dim = vectors_.empty() ? 0 : vectors_[0].size();
+  using Entry = std::pair<float, std::uint32_t>;
+  std::vector<Entry> scored;
+
+  std::size_t probed = 0;
+  for (std::size_t p = 0; p < centroid_scores.size(); ++p) {
+    if (probed >= probes) break;
+    const auto& partition = partitions_[centroid_scores[p].second];
+    for (std::uint32_t id : partition) {
+      float score;
+      if (config_.asymmetric_hashing) {
+        // Asymmetric scoring: full-precision query against quantized vector.
+        const std::int8_t* code = &codes_[id * dim];
+        const float scale = scales_[id];
+        const float offset = offsets_[id];
+        if (config_.metric == DenseMetric::kDotProduct) {
+          float dot = 0.0f;
+          for (std::size_t d = 0; d < dim; ++d) {
+            dot += query[d] * ((code[d] + 127.0f) * scale + offset);
+          }
+          score = dot;
+        } else {
+          float dist = 0.0f;
+          for (std::size_t d = 0; d < dim; ++d) {
+            const float diff = query[d] - ((code[d] + 127.0f) * scale + offset);
+            dist += diff * diff;
+          }
+          score = -dist;
+        }
+      } else {
+        score = Score(config_.metric, query, vectors_[id]);
+      }
+      scored.emplace_back(score, id);
+    }
+    ++probed;
+  }
+
+  // Short-list selection; with asymmetric hashing, exact re-scoring of the
+  // top max(4k, 100) mirrors SCANN's reordering stage (the floor keeps the
+  // re-scoring effective when quantization error is large relative to the
+  // vector scale, e.g. sparse near-zero embeddings).
+  const std::size_t shortlist =
+      config_.asymmetric_hashing
+          ? std::min<std::size_t>(scored.size(),
+                                  std::max<std::size_t>(
+                                      4 * static_cast<std::size_t>(k), 100))
+          : std::min<std::size_t>(scored.size(), static_cast<std::size_t>(k));
+  std::partial_sort(scored.begin(), scored.begin() + shortlist, scored.end(),
+                    [](const Entry& a, const Entry& b) {
+                      return a.first != b.first ? a.first > b.first
+                                                : a.second < b.second;
+                    });
+  scored.resize(shortlist);
+  if (config_.asymmetric_hashing) {
+    for (auto& [score, id] : scored) {
+      score = Score(config_.metric, query, vectors_[id]);
+    }
+    std::sort(scored.begin(), scored.end(), [](const Entry& a, const Entry& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+  }
+
+  std::vector<std::uint32_t> ids;
+  ids.reserve(std::min<std::size_t>(scored.size(), static_cast<std::size_t>(k)));
+  for (std::size_t i = 0; i < scored.size() && i < static_cast<std::size_t>(k);
+       ++i) {
+    ids.push_back(scored[i].second);
+  }
+  return ids;
+}
+
+}  // namespace erb::densenn

@@ -1,0 +1,49 @@
+// Partitioned approximate kNN index — the SCANN substitute (DESIGN.md §3).
+//
+// Mirrors SCANN's architecture: the indexed set is split into disjoint
+// partitions by k-means; a query scores only the most relevant partitions,
+// using either exact (brute-force) scoring or asymmetric hashing, where the
+// indexed vectors are stored 8-bit-quantized and scored against the
+// full-precision query, followed by exact re-scoring of the short list.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "densenn/flat_index.hpp"
+
+namespace erb::densenn {
+
+/// SCANN-style configuration (Table V(b)): scoring mode and similarity.
+struct PartitionedConfig {
+  bool asymmetric_hashing = true;  ///< AH (approximate) vs BF (exact) scoring
+  DenseMetric metric = DenseMetric::kSquaredL2;
+  int kmeans_iterations = 8;
+  std::uint64_t seed = 7;
+};
+
+class PartitionedIndex {
+ public:
+  PartitionedIndex(std::vector<Vector> vectors, const PartitionedConfig& config);
+
+  /// The ids of the (approximately) k nearest vectors, best first.
+  std::vector<std::uint32_t> Search(const Vector& query, int k) const;
+
+  std::size_t size() const { return vectors_.size(); }
+  std::size_t NumPartitions() const { return centroids_.size(); }
+
+ private:
+  void Train(std::uint64_t seed, int iterations);
+  void Quantize();
+
+  std::vector<Vector> vectors_;
+  PartitionedConfig config_;
+  std::vector<Vector> centroids_;
+  std::vector<std::vector<std::uint32_t>> partitions_;
+  // Asymmetric hashing codebook: per-vector int8 codes + scale/offset.
+  std::vector<std::int8_t> codes_;
+  std::vector<float> scales_;
+  std::vector<float> offsets_;
+};
+
+}  // namespace erb::densenn

@@ -1,0 +1,20 @@
+// Common result type of the dense NN methods: candidates plus the
+// preprocess / train / index / query timing breakdown of Figures 7-9.
+#pragma once
+
+#include "common/timer.hpp"
+#include "core/candidates.hpp"
+
+namespace erb::densenn {
+
+struct DenseResult {
+  core::CandidateSet candidates;
+  PhaseTimer timing;
+};
+
+inline constexpr const char* kPhasePreprocess = "preprocess";
+inline constexpr const char* kPhaseTrain = "train";
+inline constexpr const char* kPhaseIndex = "index";
+inline constexpr const char* kPhaseQuery = "query";
+
+}  // namespace erb::densenn

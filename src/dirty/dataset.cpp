@@ -1,0 +1,69 @@
+#include "dirty/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace erb::dirty {
+
+DirtyDataset::DirtyDataset(
+    std::string name, std::vector<core::EntityProfile> entities,
+    std::vector<std::pair<core::EntityId, core::EntityId>> duplicates,
+    std::string best_attribute)
+    : name_(std::move(name)),
+      entities_(std::move(entities)),
+      duplicates_(std::move(duplicates)),
+      best_attribute_(std::move(best_attribute)) {
+  duplicate_keys_.reserve(duplicates_.size() * 2);
+  for (const auto& [a, b] : duplicates_) {
+    if (a >= entities_.size() || b >= entities_.size() || a == b) {
+      throw std::out_of_range("invalid dirty ground-truth pair");
+    }
+    duplicate_keys_.insert(MakeDirtyPair(a, b));
+  }
+}
+
+std::string DirtyDataset::EntityText(core::EntityId id,
+                                     core::SchemaMode mode) const {
+  const core::EntityProfile& profile = entities_.at(id);
+  return mode == core::SchemaMode::kAgnostic ? profile.AllValues()
+                                             : profile.ValueOf(best_attribute_);
+}
+
+void DirtyCandidateSet::Finalize() {
+  std::sort(pairs_.begin(), pairs_.end());
+  pairs_.erase(std::unique(pairs_.begin(), pairs_.end()), pairs_.end());
+}
+
+bool DirtyCandidateSet::Contains(core::EntityId a, core::EntityId b) const {
+  return std::binary_search(pairs_.begin(), pairs_.end(), MakeDirtyPair(a, b));
+}
+
+core::Effectiveness Evaluate(const DirtyCandidateSet& candidates,
+                             const DirtyDataset& dataset) {
+  core::Effectiveness result;
+  result.candidates = candidates.size();
+  for (PairKey key : candidates) {
+    if (dataset.IsDuplicate(key)) ++result.detected;
+  }
+  const std::size_t total = dataset.NumDuplicates();
+  result.pc = total == 0 ? 0.0 : static_cast<double>(result.detected) / total;
+  result.pq = result.candidates == 0
+                  ? 0.0
+                  : static_cast<double>(result.detected) / result.candidates;
+  return result;
+}
+
+DirtyDataset MergeToDirty(const core::Dataset& dataset) {
+  std::vector<core::EntityProfile> entities = dataset.e1();
+  entities.insert(entities.end(), dataset.e2().begin(), dataset.e2().end());
+  const auto offset = static_cast<core::EntityId>(dataset.e1().size());
+  std::vector<std::pair<core::EntityId, core::EntityId>> duplicates;
+  duplicates.reserve(dataset.NumDuplicates());
+  for (const auto& [id1, id2] : dataset.duplicates()) {
+    duplicates.emplace_back(id1, id2 + offset);
+  }
+  return DirtyDataset(dataset.name() + "-dirty", std::move(entities),
+                      std::move(duplicates), dataset.best_attribute());
+}
+
+}  // namespace erb::dirty

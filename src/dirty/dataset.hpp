@@ -1,0 +1,94 @@
+// Dirty ER (Deduplication) — the paper's second ER task (Section III): one
+// entity collection E that contains duplicates in itself. The paper's
+// evaluation focuses on Clean-Clean ER; this module extends the library with
+// first-class Dirty ER support so a downstream user can also deduplicate a
+// single table with the same filter families.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/entity.hpp"
+#include "core/metrics.hpp"
+
+namespace erb::dirty {
+
+/// An unordered within-collection pair (i, j), canonicalized to i < j.
+using PairKey = std::uint64_t;
+
+constexpr PairKey MakeDirtyPair(core::EntityId a, core::EntityId b) {
+  const core::EntityId lo = a < b ? a : b;
+  const core::EntityId hi = a < b ? b : a;
+  return (static_cast<PairKey>(lo) << 32) | hi;
+}
+
+/// A single entity collection with duplicates in itself.
+class DirtyDataset {
+ public:
+  DirtyDataset() = default;
+  DirtyDataset(std::string name, std::vector<core::EntityProfile> entities,
+               std::vector<std::pair<core::EntityId, core::EntityId>> duplicates,
+               std::string best_attribute);
+
+  const std::string& name() const { return name_; }
+  const std::vector<core::EntityProfile>& entities() const { return entities_; }
+  const std::vector<std::pair<core::EntityId, core::EntityId>>& duplicates()
+      const {
+    return duplicates_;
+  }
+  const std::string& best_attribute() const { return best_attribute_; }
+
+  std::size_t size() const { return entities_.size(); }
+  std::size_t NumDuplicates() const { return duplicates_.size(); }
+
+  /// n * (n - 1) / 2 — the brute-force comparison count.
+  std::uint64_t TotalPairs() const {
+    const std::uint64_t n = entities_.size();
+    return n * (n - 1) / 2;
+  }
+
+  bool IsDuplicate(PairKey key) const { return duplicate_keys_.contains(key); }
+
+  /// The textual representation of entity `id` under `mode`.
+  std::string EntityText(core::EntityId id, core::SchemaMode mode) const;
+
+ private:
+  std::string name_;
+  std::vector<core::EntityProfile> entities_;
+  std::vector<std::pair<core::EntityId, core::EntityId>> duplicates_;
+  std::unordered_set<PairKey> duplicate_keys_;
+  std::string best_attribute_;
+};
+
+/// A deduplicated set of within-collection candidate pairs.
+class DirtyCandidateSet {
+ public:
+  void Add(core::EntityId a, core::EntityId b) {
+    if (a == b) return;
+    pairs_.push_back(MakeDirtyPair(a, b));
+  }
+  void Finalize();
+  std::size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+  std::vector<PairKey>::const_iterator begin() const { return pairs_.begin(); }
+  std::vector<PairKey>::const_iterator end() const { return pairs_.end(); }
+  bool Contains(core::EntityId a, core::EntityId b) const;
+
+ private:
+  std::vector<PairKey> pairs_;
+};
+
+/// PC / PQ over a dirty candidate set.
+core::Effectiveness Evaluate(const DirtyCandidateSet& candidates,
+                             const DirtyDataset& dataset);
+
+/// Builds a Dirty ER instance by pooling both sides of a Clean-Clean dataset
+/// (the standard construction of deduplication benchmarks): E2 entities get
+/// ids offset by |E1|, and the cross-source matches become within-set
+/// duplicates.
+DirtyDataset MergeToDirty(const core::Dataset& dataset);
+
+}  // namespace erb::dirty

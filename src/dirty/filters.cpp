@@ -1,0 +1,244 @@
+#include "dirty/filters.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "densenn/embedding.hpp"
+#include "text/clean.hpp"
+#include "densenn/flat_index.hpp"
+#include "sparsenn/scancount.hpp"
+
+namespace erb::dirty {
+namespace {
+
+using core::EntityId;
+
+// A dirty block: one entity list; comparisons = n*(n-1)/2.
+struct DirtyBlock {
+  std::vector<EntityId> entities;
+  std::uint64_t Comparisons() const {
+    const std::uint64_t n = entities.size();
+    return n * (n - 1) / 2;
+  }
+};
+
+std::vector<DirtyBlock> BuildDirtyBlocks(const DirtyDataset& dataset,
+                                         core::SchemaMode mode,
+                                         const blocking::BuilderConfig& builder) {
+  std::vector<DirtyBlock> blocks;
+  std::unordered_map<std::string, std::size_t> key_to_block;
+  for (EntityId id = 0; id < dataset.size(); ++id) {
+    const std::string text = dataset.EntityText(id, mode);
+    for (auto& key : blocking::ExtractKeys(text, builder)) {
+      auto [it, inserted] = key_to_block.try_emplace(std::move(key), blocks.size());
+      if (inserted) blocks.emplace_back();
+      blocks[it->second].entities.push_back(id);
+    }
+  }
+  // A block needs >= 2 entities to induce any comparison.
+  std::erase_if(blocks,
+                [](const DirtyBlock& b) { return b.entities.size() < 2; });
+  const bool proactive =
+      builder.kind == blocking::BuilderKind::kSuffixArrays ||
+      builder.kind == blocking::BuilderKind::kExtendedSuffixArrays;
+  if (proactive) {
+    std::erase_if(blocks, [&builder](const DirtyBlock& b) {
+      return b.entities.size() >= static_cast<std::size_t>(builder.b_max);
+    });
+  }
+  return blocks;
+}
+
+// Block Purging for dirty blocks: the half-collection rule plus the
+// comparisons-per-assignment knee, mirroring the Clean-Clean implementation.
+void PurgeDirtyBlocks(std::vector<DirtyBlock>* blocks, std::size_t n) {
+  const std::size_t half = n / 2;
+  std::erase_if(*blocks,
+                [half](const DirtyBlock& b) { return b.entities.size() > half; });
+  if (blocks->empty()) return;
+
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> levels;
+  for (const auto& block : *blocks) {
+    auto& [comparisons, assignments] = levels[block.Comparisons()];
+    comparisons += block.Comparisons();
+    assignments += block.entities.size();
+  }
+  constexpr double kSmoothing = 1.025;
+  std::uint64_t cut = levels.rbegin()->first;
+  std::uint64_t cum_c = 0, cum_a = 0;
+  double previous_ratio = 0.0;
+  std::uint64_t previous_cardinality = 0;
+  for (const auto& [cardinality, totals] : levels) {
+    cum_c += totals.first;
+    cum_a += totals.second;
+    const double ratio = static_cast<double>(cum_c) / static_cast<double>(cum_a);
+    if (previous_ratio > 0.0 && ratio > kSmoothing * previous_ratio) {
+      cut = previous_cardinality;
+    }
+    previous_ratio = ratio;
+    previous_cardinality = cardinality;
+  }
+  std::erase_if(*blocks,
+                [cut](const DirtyBlock& b) { return b.Comparisons() > cut; });
+}
+
+// Block Filtering for dirty blocks: keep each entity in the smallest
+// ceil(ratio * #blocks) of its blocks.
+void FilterDirtyBlocks(std::vector<DirtyBlock>* blocks, double ratio,
+                       std::size_t n) {
+  if (ratio >= 1.0 || blocks->empty()) return;
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint32_t>>> per_entity(n);
+  for (std::uint32_t b = 0; b < blocks->size(); ++b) {
+    for (EntityId id : (*blocks)[b].entities) {
+      per_entity[id].emplace_back((*blocks)[b].Comparisons(), b);
+    }
+  }
+  std::vector<DirtyBlock> filtered(blocks->size());
+  for (std::size_t id = 0; id < n; ++id) {
+    auto& entity_blocks = per_entity[id];
+    if (entity_blocks.empty()) continue;
+    const std::size_t keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(ratio * static_cast<double>(entity_blocks.size()))));
+    if (keep < entity_blocks.size()) {
+      std::nth_element(entity_blocks.begin(), entity_blocks.begin() + keep - 1,
+                       entity_blocks.end());
+      entity_blocks.resize(keep);
+    }
+    for (const auto& [_, b] : entity_blocks) {
+      filtered[b].entities.push_back(static_cast<EntityId>(id));
+    }
+  }
+  std::erase_if(filtered,
+                [](const DirtyBlock& b) { return b.entities.size() < 2; });
+  *blocks = std::move(filtered);
+}
+
+}  // namespace
+
+DirtyResult DirtyBlockingWorkflow(const DirtyDataset& dataset,
+                                  core::SchemaMode mode,
+                                  const blocking::BuilderConfig& builder,
+                                  bool purge, double filter_ratio) {
+  DirtyResult result;
+  auto blocks = result.timing.Measure(
+      "build", [&] { return BuildDirtyBlocks(dataset, mode, builder); });
+  if (purge) {
+    result.timing.Measure("purge", [&] { PurgeDirtyBlocks(&blocks, dataset.size()); });
+  }
+  if (filter_ratio < 1.0) {
+    result.timing.Measure(
+        "filter", [&] { FilterDirtyBlocks(&blocks, filter_ratio, dataset.size()); });
+  }
+  result.timing.Measure("clean", [&] {
+    for (const auto& block : blocks) {
+      for (std::size_t i = 0; i < block.entities.size(); ++i) {
+        for (std::size_t j = i + 1; j < block.entities.size(); ++j) {
+          result.candidates.Add(block.entities[i], block.entities[j]);
+        }
+      }
+    }
+    result.candidates.Finalize();
+  });
+  return result;
+}
+
+DirtyResult DirtyKnnJoin(const DirtyDataset& dataset, core::SchemaMode mode,
+                         const sparsenn::SparseConfig& config, int k) {
+  DirtyResult result;
+  std::vector<sparsenn::TokenSet> sets;
+  result.timing.Measure("preprocess", [&] {
+    sets.reserve(dataset.size());
+    for (EntityId id = 0; id < dataset.size(); ++id) {
+      sets.push_back(sparsenn::BuildTokenSet(dataset.EntityText(id, mode),
+                                             config.model, config.clean));
+    }
+  });
+  auto index = result.timing.Measure(
+      "index", [&] { return sparsenn::ScanCountIndex(sets); });
+  result.timing.Measure("query", [&] {
+    std::vector<std::pair<EntityId, double>> matches;
+    for (EntityId q = 0; q < sets.size(); ++q) {
+      matches.clear();
+      index.Probe(sets[q], [&](std::uint32_t id, std::uint32_t overlap,
+                               std::uint32_t size) {
+        if (id == q) return;  // self-match
+        matches.emplace_back(id, sparsenn::SetSimilarity(config.measure, overlap,
+                                                         sets[q].size(), size));
+      });
+      std::sort(matches.begin(), matches.end(),
+                [](const auto& a, const auto& b) { return a.second > b.second; });
+      int distinct = 0;
+      double previous = -1.0;
+      for (const auto& [id, sim] : matches) {
+        if (sim != previous) {
+          if (++distinct > k) break;
+          previous = sim;
+        }
+        result.candidates.Add(q, id);
+      }
+    }
+    result.candidates.Finalize();
+  });
+  return result;
+}
+
+DirtyResult DirtyEpsilonJoin(const DirtyDataset& dataset, core::SchemaMode mode,
+                             const sparsenn::SparseConfig& config,
+                             double threshold) {
+  DirtyResult result;
+  std::vector<sparsenn::TokenSet> sets;
+  result.timing.Measure("preprocess", [&] {
+    sets.reserve(dataset.size());
+    for (EntityId id = 0; id < dataset.size(); ++id) {
+      sets.push_back(sparsenn::BuildTokenSet(dataset.EntityText(id, mode),
+                                             config.model, config.clean));
+    }
+  });
+  auto index = result.timing.Measure(
+      "index", [&] { return sparsenn::ScanCountIndex(sets); });
+  result.timing.Measure("query", [&] {
+    for (EntityId q = 0; q < sets.size(); ++q) {
+      index.Probe(sets[q], [&](std::uint32_t id, std::uint32_t overlap,
+                               std::uint32_t size) {
+        if (id <= q) return;  // each unordered pair once, no self-match
+        if (sparsenn::SetSimilarity(config.measure, overlap, sets[q].size(),
+                                    size) >= threshold) {
+          result.candidates.Add(q, id);
+        }
+      });
+    }
+    result.candidates.Finalize();
+  });
+  return result;
+}
+
+DirtyResult DirtyDenseKnn(const DirtyDataset& dataset, core::SchemaMode mode,
+                          bool clean, int k) {
+  DirtyResult result;
+  std::vector<densenn::Vector> vectors;
+  result.timing.Measure("preprocess", [&] {
+    vectors.reserve(dataset.size());
+    for (EntityId id = 0; id < dataset.size(); ++id) {
+      vectors.push_back(densenn::EmbedText(
+          text::CleanText(dataset.EntityText(id, mode), clean)));
+    }
+  });
+  auto index = result.timing.Measure("index", [&] {
+    return densenn::FlatIndex(vectors, densenn::DenseMetric::kSquaredL2);
+  });
+  result.timing.Measure("query", [&] {
+    for (EntityId q = 0; q < vectors.size(); ++q) {
+      // k + 1 because the entity itself is its own nearest neighbour.
+      for (auto id : index.Search(vectors[q], k + 1)) {
+        if (id != q) result.candidates.Add(q, id);
+      }
+    }
+    result.candidates.Finalize();
+  });
+  return result;
+}
+
+}  // namespace erb::dirty

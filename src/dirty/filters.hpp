@@ -1,0 +1,43 @@
+// Dirty ER filtering methods: the main filter of each family adapted to a
+// single entity collection. Blocks hold one entity list and candidates are
+// unordered within-set pairs; everything else mirrors the Clean-Clean
+// implementations.
+#pragma once
+
+#include "blocking/builders.hpp"
+#include "common/timer.hpp"
+#include "dirty/dataset.hpp"
+#include "sparsenn/joins.hpp"
+
+namespace erb::dirty {
+
+/// Result of a dirty filter run.
+struct DirtyResult {
+  DirtyCandidateSet candidates;
+  PhaseTimer timing;
+};
+
+/// Token-blocking workflow for Dirty ER: block building with any of the five
+/// builders, parameter-free Block Purging (half-collection rule + comparison
+/// ratio), optional Block Filtering, and Comparison Propagation.
+DirtyResult DirtyBlockingWorkflow(const DirtyDataset& dataset,
+                                  core::SchemaMode mode,
+                                  const blocking::BuilderConfig& builder,
+                                  bool purge = true, double filter_ratio = 1.0);
+
+/// Self kNN-join: every entity queries the index built over the whole
+/// collection; self-matches are excluded; ties at the k-th distinct
+/// similarity are retained, as in the Clean-Clean kNN-Join.
+DirtyResult DirtyKnnJoin(const DirtyDataset& dataset, core::SchemaMode mode,
+                         const sparsenn::SparseConfig& config, int k);
+
+/// Self ε-join: all within-collection pairs with similarity >= threshold.
+DirtyResult DirtyEpsilonJoin(const DirtyDataset& dataset, core::SchemaMode mode,
+                             const sparsenn::SparseConfig& config,
+                             double threshold);
+
+/// Dense self kNN-search over subword embeddings (exact flat index).
+DirtyResult DirtyDenseKnn(const DirtyDataset& dataset, core::SchemaMode mode,
+                          bool clean, int k);
+
+}  // namespace erb::dirty

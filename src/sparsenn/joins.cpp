@@ -1,0 +1,136 @@
+#include "sparsenn/joins.hpp"
+
+#include <algorithm>
+
+#include "sparsenn/scancount.hpp"
+
+namespace erb::sparsenn {
+namespace {
+
+using core::EntityId;
+
+// Builds both sides' token sets, indexes one and probes with the other,
+// handing each query's scored matches to `collect(query_id, matches)` where
+// matches are (indexed_id, similarity) pairs with overlap >= 1.
+template <typename Collect>
+SparseResult RunJoin(const core::Dataset& dataset, core::SchemaMode mode,
+                     const SparseConfig& config, bool reverse, Collect&& collect) {
+  SparseResult result;
+
+  const int indexed_side = reverse ? 1 : 0;
+  const int query_side = reverse ? 0 : 1;
+  auto indexed_sets = result.timing.Measure(kPhasePreprocess, [&] {
+    return BuildSideTokenSets(dataset, indexed_side, mode, config.model,
+                              config.clean);
+  });
+  std::vector<TokenSet> query_sets;
+  result.timing.Measure(kPhasePreprocess, [&] {
+    query_sets = BuildSideTokenSets(dataset, query_side, mode, config.model,
+                                    config.clean);
+  });
+
+  auto index = result.timing.Measure(
+      kPhaseIndex, [&] { return ScanCountIndex(indexed_sets); });
+
+  result.timing.Measure(kPhaseQuery, [&] {
+    std::vector<std::pair<EntityId, double>> matches;
+    for (EntityId q = 0; q < query_sets.size(); ++q) {
+      matches.clear();
+      const TokenSet& query = query_sets[q];
+      index.Probe(query, [&](std::uint32_t id, std::uint32_t overlap,
+                             std::uint32_t indexed_size) {
+        matches.emplace_back(
+            id, SetSimilarity(config.measure, overlap, query.size(), indexed_size));
+      });
+      collect(q, matches, result.candidates);
+    }
+  });
+  result.candidates.Finalize();
+  return result;
+}
+
+// Adds the pair in canonical (E1, E2) order given the join direction.
+void EmitPair(core::CandidateSet* candidates, bool reverse, EntityId query,
+              EntityId indexed) {
+  if (reverse) {
+    candidates->Add(query, indexed);
+  } else {
+    candidates->Add(indexed, query);
+  }
+}
+
+}  // namespace
+
+SparseResult EpsilonJoin(const core::Dataset& dataset, core::SchemaMode mode,
+                         const SparseConfig& config, double threshold) {
+  return RunJoin(dataset, mode, config, /*reverse=*/false,
+                 [threshold](EntityId q,
+                             const std::vector<std::pair<EntityId, double>>& matches,
+                             core::CandidateSet& candidates) {
+                   for (const auto& [id, sim] : matches) {
+                     if (sim >= threshold) candidates.Add(id, q);
+                   }
+                 });
+}
+
+SparseResult KnnJoin(const core::Dataset& dataset, core::SchemaMode mode,
+                     const SparseConfig& config, int k, bool reverse) {
+  return RunJoin(
+      dataset, mode, config, reverse,
+      [k, reverse](EntityId q, std::vector<std::pair<EntityId, double>>& matches,
+                   core::CandidateSet& candidates) {
+        // Retain the entities carrying the k highest distinct similarity
+        // values; equidistant entities beyond position k are all kept.
+        std::sort(matches.begin(), matches.end(),
+                  [](const auto& a, const auto& b) { return a.second > b.second; });
+        int distinct_values = 0;
+        double previous = -1.0;
+        for (const auto& [id, sim] : matches) {
+          if (sim != previous) {
+            if (++distinct_values > k) break;
+            previous = sim;
+          }
+          EmitPair(&candidates, reverse, q, id);
+        }
+      });
+}
+
+SparseResult GlobalTopKJoin(const core::Dataset& dataset, core::SchemaMode mode,
+                            const SparseConfig& config, std::size_t global_k) {
+  // Pass 1 finds the K-th best similarity with a bounded min-heap; pass 2
+  // emits every pair at or above it (ties included, like the kNN-Join's
+  // distinct-value semantics).
+  std::vector<double> heap;  // min-heap of the best K similarities
+  SparseResult probe = RunJoin(
+      dataset, mode, config, /*reverse=*/false,
+      [&heap, global_k](EntityId, const std::vector<std::pair<EntityId, double>>& matches,
+                        core::CandidateSet&) {
+        for (const auto& [id, sim] : matches) {
+          if (heap.size() < global_k) {
+            heap.push_back(sim);
+            std::push_heap(heap.begin(), heap.end(), std::greater<>());
+          } else if (!heap.empty() && sim > heap.front()) {
+            std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+            heap.back() = sim;
+            std::push_heap(heap.begin(), heap.end(), std::greater<>());
+          }
+        }
+      });
+  const double threshold = heap.empty() ? 1.0 : heap.front();
+  SparseResult result = EpsilonJoin(dataset, mode, config, threshold);
+  // Account the extra scoring pass in the reported timing.
+  result.timing.Add(kPhaseQuery, probe.timing.Get(kPhaseQuery));
+  return result;
+}
+
+SparseResult DefaultKnnJoin(const core::Dataset& dataset, core::SchemaMode mode) {
+  SparseConfig config;
+  config.clean = true;
+  config.model = TokenModel::kC5GM;
+  config.measure = SimilarityMeasure::kCosine;
+  // Query with the smaller side so |C| = K * min(|E1|, |E2|).
+  const bool reverse = dataset.e1().size() < dataset.e2().size();
+  return KnnJoin(dataset, mode, config, /*k=*/5, reverse);
+}
+
+}  // namespace erb::sparsenn

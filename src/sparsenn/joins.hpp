@@ -1,0 +1,53 @@
+// The two sparse NN matching principles (Section IV-C): range join (ε-Join)
+// and k-nearest-neighbour join (kNN-Join), both driven by ScanCount.
+#pragma once
+
+#include "common/timer.hpp"
+#include "core/candidates.hpp"
+#include "core/entity.hpp"
+#include "sparsenn/tokenset.hpp"
+
+namespace erb::sparsenn {
+
+/// Parameters shared by both joins (Table IV, common block).
+struct SparseConfig {
+  bool clean = false;                    ///< CL: stop-words + stemming
+  TokenModel model = TokenModel::kT1G;   ///< RM
+  SimilarityMeasure measure = SimilarityMeasure::kCosine;  ///< SM
+};
+
+/// Result of a sparse join: candidates plus the preprocess/index/query
+/// timing breakdown of the Appendix C analysis.
+struct SparseResult {
+  core::CandidateSet candidates;
+  PhaseTimer timing;
+};
+
+/// Phase names used in SparseResult::timing.
+inline constexpr const char* kPhasePreprocess = "preprocess";
+inline constexpr const char* kPhaseIndex = "index";
+inline constexpr const char* kPhaseQuery = "query";
+
+/// ε-Join: indexes E1 and pairs every query entity of E2 with all indexed
+/// entities of similarity >= `threshold`.
+SparseResult EpsilonJoin(const core::Dataset& dataset, core::SchemaMode mode,
+                         const SparseConfig& config, double threshold);
+
+/// kNN-Join: pairs each query entity with the indexed entities holding the k
+/// highest *distinct* similarity values (ties beyond k are all retained, per
+/// the paper's definition). `reverse` (RVS) indexes E2 and queries with E1.
+SparseResult KnnJoin(const core::Dataset& dataset, core::SchemaMode mode,
+                     const SparseConfig& config, int k, bool reverse);
+
+/// The Default kNN-Join baseline (DkNN): cosine similarity, cleaning on,
+/// C5GM, K=5, smaller side as query set.
+SparseResult DefaultKnnJoin(const core::Dataset& dataset, core::SchemaMode mode);
+
+/// Global top-K set-similarity join (Section IV-C's related matching
+/// principle): the K highest-similarity pairs across the whole E1 x E2,
+/// equivalent to an ε-Join whose threshold is the K-th best similarity. Ties
+/// with the K-th similarity are all retained.
+SparseResult GlobalTopKJoin(const core::Dataset& dataset, core::SchemaMode mode,
+                            const SparseConfig& config, std::size_t global_k);
+
+}  // namespace erb::sparsenn

@@ -1,0 +1,53 @@
+#include "sparsenn/scancount.hpp"
+
+#include <bit>
+
+#include "common/hash.hpp"
+
+namespace erb::sparsenn {
+
+ScanCountIndex::ScanCountIndex(const std::vector<TokenSet>& sets) {
+  std::size_t total_tokens = 0;
+  set_sizes_.reserve(sets.size());
+  for (const auto& set : sets) {
+    set_sizes_.push_back(static_cast<std::uint32_t>(set.size()));
+    total_tokens += set.size();
+  }
+
+  // Size the open-addressed table at >= 2x the (upper bound of) distinct
+  // tokens; power of two for mask addressing.
+  const std::size_t capacity =
+      std::bit_ceil(std::max<std::size_t>(16, total_tokens * 2));
+  slots_.resize(capacity);
+  const std::size_t mask = capacity - 1;
+
+  for (std::uint32_t id = 0; id < sets.size(); ++id) {
+    for (std::uint64_t token : sets[id]) {
+      std::size_t pos = SplitMix64(token) & mask;
+      while (slots_[pos].used && slots_[pos].token != token) pos = (pos + 1) & mask;
+      if (!slots_[pos].used) {
+        slots_[pos].used = true;
+        slots_[pos].token = token;
+        slots_[pos].list_index = static_cast<std::uint32_t>(posting_lists_.size());
+        posting_lists_.emplace_back();
+      }
+      posting_lists_[slots_[pos].list_index].push_back(id);
+    }
+  }
+
+  counts_.assign(sets.size(), 0);
+  touched_.reserve(sets.size());
+}
+
+const std::vector<std::uint32_t>* ScanCountIndex::PostingList(
+    std::uint64_t token) const {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t pos = SplitMix64(token) & mask;
+  while (slots_[pos].used) {
+    if (slots_[pos].token == token) return &posting_lists_[slots_[pos].list_index];
+    pos = (pos + 1) & mask;
+  }
+  return nullptr;
+}
+
+}  // namespace erb::sparsenn

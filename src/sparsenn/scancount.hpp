@@ -1,0 +1,62 @@
+// ScanCount (Li, Lu, Lu — ICDE 2008): an inverted index over token sets with
+// merge-count lookups. Chosen by the paper because it stays efficient at the
+// low similarity thresholds ER requires, unlike prefix-filter joins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparsenn/tokenset.hpp"
+
+namespace erb::sparsenn {
+
+/// Inverted index over a collection of token sets.
+class ScanCountIndex {
+ public:
+  /// Builds the index over `sets` (the collection being probed, i.e. the
+  /// indexed side of the join).
+  explicit ScanCountIndex(const std::vector<TokenSet>& sets);
+
+  /// Overlap of `query` with every indexed set that shares at least one
+  /// token: invokes `fn(indexed_id, overlap, indexed_size)` per such set.
+  /// One merge-count scan over the query tokens' posting lists.
+  template <typename Fn>
+  void Probe(const TokenSet& query, Fn&& fn) const {
+    touched_.clear();
+    for (std::uint64_t token : query) {
+      const auto* list = PostingList(token);
+      if (list == nullptr) continue;
+      for (std::uint32_t id : *list) {
+        if (counts_[id] == 0) touched_.push_back(id);
+        ++counts_[id];
+      }
+    }
+    for (std::uint32_t id : touched_) {
+      fn(id, counts_[id], set_sizes_[id]);
+      counts_[id] = 0;
+    }
+  }
+
+  std::size_t NumSets() const { return set_sizes_.size(); }
+  std::size_t SetSize(std::uint32_t id) const { return set_sizes_[id]; }
+
+ private:
+  const std::vector<std::uint32_t>* PostingList(std::uint64_t token) const;
+
+  // Open-addressed token -> posting-list map, laid out for probe locality.
+  struct Slot {
+    std::uint64_t token = 0;
+    std::uint32_t list_index = 0;
+    bool used = false;
+  };
+  std::vector<Slot> slots_;
+  std::vector<std::vector<std::uint32_t>> posting_lists_;
+  std::vector<std::uint32_t> set_sizes_;
+
+  // Probe scratch (counts per indexed set + dirty list); mutable so Probe can
+  // stay const for callers holding a const index.
+  mutable std::vector<std::uint32_t> counts_;
+  mutable std::vector<std::uint32_t> touched_;
+};
+
+}  // namespace erb::sparsenn

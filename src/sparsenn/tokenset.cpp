@@ -1,0 +1,124 @@
+#include "sparsenn/tokenset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/hash.hpp"
+#include "text/clean.hpp"
+
+namespace erb::sparsenn {
+
+std::string_view ModelName(TokenModel model) {
+  switch (model) {
+    case TokenModel::kT1G: return "T1G";
+    case TokenModel::kT1GM: return "T1GM";
+    case TokenModel::kC2G: return "C2G";
+    case TokenModel::kC2GM: return "C2GM";
+    case TokenModel::kC3G: return "C3G";
+    case TokenModel::kC3GM: return "C3GM";
+    case TokenModel::kC4G: return "C4G";
+    case TokenModel::kC4GM: return "C4GM";
+    case TokenModel::kC5G: return "C5G";
+    case TokenModel::kC5GM: return "C5GM";
+  }
+  return "unknown";
+}
+
+bool IsMultiset(TokenModel model) {
+  switch (model) {
+    case TokenModel::kT1GM:
+    case TokenModel::kC2GM:
+    case TokenModel::kC3GM:
+    case TokenModel::kC4GM:
+    case TokenModel::kC5GM:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int ModelGramLength(TokenModel model) {
+  switch (model) {
+    case TokenModel::kC2G: case TokenModel::kC2GM: return 2;
+    case TokenModel::kC3G: case TokenModel::kC3GM: return 3;
+    case TokenModel::kC4G: case TokenModel::kC4GM: return 4;
+    case TokenModel::kC5G: case TokenModel::kC5GM: return 5;
+    default: return 0;
+  }
+}
+
+TokenSet BuildTokenSet(std::string_view text, TokenModel model, bool clean) {
+  const std::string cleaned = text::CleanText(text, clean);
+  std::vector<std::uint64_t> raw;
+  const int n = ModelGramLength(model);
+  if (n == 0) {
+    for (const auto& token : text::CleanTokens(cleaned, /*clean=*/false)) {
+      raw.push_back(FnvHash64(token));
+    }
+  } else {
+    if (static_cast<int>(cleaned.size()) < n) {
+      if (!cleaned.empty()) raw.push_back(FnvHash64(cleaned));
+    } else {
+      raw.reserve(cleaned.size());
+      for (std::size_t i = 0; i + n <= cleaned.size(); ++i) {
+        raw.push_back(FnvHash64(std::string_view(cleaned).substr(i, n)));
+      }
+    }
+  }
+
+  TokenSet set;
+  set.reserve(raw.size());
+  if (IsMultiset(model)) {
+    // {a, a, b} -> {a#1, a#2, b#1}: occurrences become distinct elements, so
+    // set overlap equals multiset intersection cardinality.
+    std::unordered_map<std::uint64_t, std::uint32_t> occurrence;
+    for (std::uint64_t h : raw) {
+      set.push_back(HashCombine(h, ++occurrence[h]));
+    }
+  } else {
+    set = std::move(raw);
+  }
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  return set;
+}
+
+std::vector<TokenSet> BuildSideTokenSets(const core::Dataset& dataset, int side,
+                                         core::SchemaMode mode, TokenModel model,
+                                         bool clean) {
+  const std::size_t count =
+      side == 0 ? dataset.e1().size() : dataset.e2().size();
+  std::vector<TokenSet> sets;
+  sets.reserve(count);
+  for (core::EntityId id = 0; id < count; ++id) {
+    sets.push_back(BuildTokenSet(dataset.EntityText(side, id, mode), model, clean));
+  }
+  return sets;
+}
+
+std::string_view MeasureName(SimilarityMeasure measure) {
+  switch (measure) {
+    case SimilarityMeasure::kCosine: return "Cosine";
+    case SimilarityMeasure::kDice: return "Dice";
+    case SimilarityMeasure::kJaccard: return "Jaccard";
+  }
+  return "unknown";
+}
+
+double SetSimilarity(SimilarityMeasure measure, std::size_t overlap,
+                     std::size_t size_a, std::size_t size_b) {
+  if (size_a == 0 || size_b == 0) return 0.0;
+  const double o = static_cast<double>(overlap);
+  switch (measure) {
+    case SimilarityMeasure::kCosine:
+      return o / std::sqrt(static_cast<double>(size_a) * size_b);
+    case SimilarityMeasure::kDice:
+      return 2.0 * o / static_cast<double>(size_a + size_b);
+    case SimilarityMeasure::kJaccard:
+      return o / static_cast<double>(size_a + size_b - overlap);
+  }
+  return 0.0;
+}
+
+}  // namespace erb::sparsenn

@@ -1,0 +1,56 @@
+// Token-set representations for the sparse vector-based NN methods
+// (Section IV-C): whitespace tokens or character n-grams, as a set or a
+// multiset (duplicate tokens disambiguated by an occurrence counter).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/entity.hpp"
+
+namespace erb::sparsenn {
+
+/// The 10 representation models of Table IV.
+enum class TokenModel {
+  kT1G,   ///< whitespace tokens, set semantics
+  kT1GM,  ///< whitespace tokens, multiset
+  kC2G, kC2GM,
+  kC3G, kC3GM,
+  kC4G, kC4GM,
+  kC5G, kC5GM,
+};
+
+std::string_view ModelName(TokenModel model);
+
+/// True for the multiset variants (M-suffixed).
+bool IsMultiset(TokenModel model);
+
+/// Character n-gram length of a CnG model; 0 for the T1G variants.
+int ModelGramLength(TokenModel model);
+
+/// A tokenized entity: 64-bit token hashes, sorted, with multiset occurrence
+/// counters folded into the hash (the {a,a,b} -> {a1,a2,b1} construction).
+using TokenSet = std::vector<std::uint64_t>;
+
+/// Builds the token set of `text` under `model`, optionally after cleaning
+/// (stop-word removal + Porter stemming). Character n-grams are taken over
+/// the cleaned, space-joined text so they capture word boundaries.
+TokenSet BuildTokenSet(std::string_view text, TokenModel model, bool clean);
+
+/// Token sets of one dataset side under a schema mode.
+std::vector<TokenSet> BuildSideTokenSets(const core::Dataset& dataset, int side,
+                                         core::SchemaMode mode, TokenModel model,
+                                         bool clean);
+
+/// Set-similarity measures of Section IV-C.
+enum class SimilarityMeasure { kCosine, kDice, kJaccard };
+
+std::string_view MeasureName(SimilarityMeasure measure);
+
+/// Similarity from overlap and set sizes; all measures map to [0, 1].
+double SetSimilarity(SimilarityMeasure measure, std::size_t overlap,
+                     std::size_t size_a, std::size_t size_b);
+
+}  // namespace erb::sparsenn

@@ -1,0 +1,25 @@
+#include "text/clean.hpp"
+
+#include "common/strings.hpp"
+#include "text/porter.hpp"
+#include "text/stopwords.hpp"
+
+namespace erb::text {
+
+std::vector<std::string> CleanTokens(std::string_view text, bool clean) {
+  std::vector<std::string> tokens = SplitWhitespace(NormalizeText(text));
+  if (!clean) return tokens;
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (auto& token : tokens) {
+    if (IsStopWord(token)) continue;
+    out.push_back(PorterStem(token));
+  }
+  return out;
+}
+
+std::string CleanText(std::string_view text, bool clean) {
+  return Join(CleanTokens(text, clean), " ");
+}
+
+}  // namespace erb::text

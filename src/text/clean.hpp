@@ -1,0 +1,21 @@
+// Text cleaning pipeline: normalization, optional stop-word removal and
+// stemming. This is the optional preprocessing stage shared by the sparse and
+// dense NN workflows (Figure 2) and the CL parameter in Tables IV and V.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace erb::text {
+
+/// Tokenizes `text` on whitespace after normalization (lower-case, strip
+/// punctuation). With `clean` set, additionally removes stop words and stems
+/// each remaining token with the Porter stemmer.
+std::vector<std::string> CleanTokens(std::string_view text, bool clean);
+
+/// Applies CleanTokens and re-joins with single spaces: the cleaned textual
+/// form an NN method indexes (E1' / E2' in the paper's notation).
+std::string CleanText(std::string_view text, bool clean);
+
+}  // namespace erb::text

@@ -1,0 +1,289 @@
+#include "text/porter.hpp"
+
+namespace erb::text {
+namespace {
+
+// The implementation follows the step structure of Porter's original paper
+// and reference C implementation. `b` holds the word being stemmed; `k` is
+// the index of its last character; `j` marks the end of the stem a suffix
+// rule applies to. Indices are signed because `j` legitimately becomes -1
+// when a suffix spans the whole word.
+class Stemmer {
+ public:
+  explicit Stemmer(std::string_view word)
+      : b_(word), k_(static_cast<int>(b_.size()) - 1), j_(0) {}
+
+  std::string Run() {
+    if (k_ <= 1) return b_;
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    return b_.substr(0, static_cast<std::size_t>(k_) + 1);
+  }
+
+ private:
+  bool IsConsonant(int i) const {
+    switch (b_[static_cast<std::size_t>(i)]) {
+      case 'a': case 'e': case 'i': case 'o': case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the stem b[0..j_]: the number of VC sequences.
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j_) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j_) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j_) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleConsonant(int i) const {
+    if (i < 1) return false;
+    if (b_[static_cast<std::size_t>(i)] != b_[static_cast<std::size_t>(i) - 1]) {
+      return false;
+    }
+    return IsConsonant(i);
+  }
+
+  // cvc(i) is true when i-2,i-1,i is consonant-vowel-consonant and the final
+  // consonant is not w, x or y; restores an e at the end of short words, e.g.
+  // cav(e), lov(e), hop(e).
+  bool Cvc(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    char ch = b_[static_cast<std::size_t>(i)];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  bool Ends(std::string_view s) {
+    const int len = static_cast<int>(s.size());
+    if (len > k_ + 1) return false;
+    if (b_.compare(static_cast<std::size_t>(k_ + 1 - len), s.size(), s) != 0) {
+      return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  void SetTo(std::string_view s) {
+    b_.replace(static_cast<std::size_t>(j_ + 1),
+               static_cast<std::size_t>(k_ - j_), s);
+    k_ = j_ + static_cast<int>(s.size());
+  }
+
+  void ReplaceIfM(std::string_view s) {
+    if (Measure() > 0) SetTo(s);
+  }
+
+  char At(int i) const { return b_[static_cast<std::size_t>(i)]; }
+
+  // Step 1ab: plurals and -ed / -ing, e.g. caresses -> caress, ponies -> poni,
+  // agreed -> agree, plastered -> plaster, motoring -> motor.
+  void Step1ab() {
+    if (At(k_) == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (At(k_ - 1) != 's') {
+        --k_;
+      }
+    }
+    if (Ends("eed")) {
+      if (Measure() > 0) --k_;
+    } else if ((Ends("ed") || Ends("ing")) && VowelInStem()) {
+      k_ = j_;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        char ch = At(k_);
+        if (ch != 'l' && ch != 's' && ch != 'z') --k_;
+      } else if (Measure() == 1 && Cvc(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  // Step 1c: terminal y -> i when there is another vowel in the stem.
+  void Step1c() {
+    if (Ends("y") && VowelInStem()) b_[static_cast<std::size_t>(k_)] = 'i';
+  }
+
+  // Step 2: double suffixes to single ones, e.g. -ization -> -ize.
+  void Step2() {
+    if (k_ < 2) return;
+    switch (At(k_ - 1)) {
+      case 'a':
+        if (Ends("ational")) { ReplaceIfM("ate"); break; }
+        if (Ends("tional")) { ReplaceIfM("tion"); }
+        break;
+      case 'c':
+        if (Ends("enci")) { ReplaceIfM("ence"); break; }
+        if (Ends("anci")) { ReplaceIfM("ance"); }
+        break;
+      case 'e':
+        if (Ends("izer")) { ReplaceIfM("ize"); }
+        break;
+      case 'l':
+        if (Ends("bli")) { ReplaceIfM("ble"); break; }
+        if (Ends("alli")) { ReplaceIfM("al"); break; }
+        if (Ends("entli")) { ReplaceIfM("ent"); break; }
+        if (Ends("eli")) { ReplaceIfM("e"); break; }
+        if (Ends("ousli")) { ReplaceIfM("ous"); }
+        break;
+      case 'o':
+        if (Ends("ization")) { ReplaceIfM("ize"); break; }
+        if (Ends("ation")) { ReplaceIfM("ate"); break; }
+        if (Ends("ator")) { ReplaceIfM("ate"); }
+        break;
+      case 's':
+        if (Ends("alism")) { ReplaceIfM("al"); break; }
+        if (Ends("iveness")) { ReplaceIfM("ive"); break; }
+        if (Ends("fulness")) { ReplaceIfM("ful"); break; }
+        if (Ends("ousness")) { ReplaceIfM("ous"); }
+        break;
+      case 't':
+        if (Ends("aliti")) { ReplaceIfM("al"); break; }
+        if (Ends("iviti")) { ReplaceIfM("ive"); break; }
+        if (Ends("biliti")) { ReplaceIfM("ble"); }
+        break;
+      case 'g':
+        if (Ends("logi")) { ReplaceIfM("log"); }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 3: -icate, -ative, etc.
+  void Step3() {
+    switch (At(k_)) {
+      case 'e':
+        if (Ends("icate")) { ReplaceIfM("ic"); break; }
+        if (Ends("ative")) { ReplaceIfM(""); break; }
+        if (Ends("alize")) { ReplaceIfM("al"); }
+        break;
+      case 'i':
+        if (Ends("iciti")) { ReplaceIfM("ic"); }
+        break;
+      case 'l':
+        if (Ends("ical")) { ReplaceIfM("ic"); break; }
+        if (Ends("ful")) { ReplaceIfM(""); }
+        break;
+      case 's':
+        if (Ends("ness")) { ReplaceIfM(""); }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 4: drop -ant, -ence, etc. when the measure is > 1.
+  void Step4() {
+    if (k_ < 1) return;
+    switch (At(k_ - 1)) {
+      case 'a':
+        if (Ends("al")) break;
+        return;
+      case 'c':
+        if (Ends("ance") || Ends("ence")) break;
+        return;
+      case 'e':
+        if (Ends("er")) break;
+        return;
+      case 'i':
+        if (Ends("ic")) break;
+        return;
+      case 'l':
+        if (Ends("able") || Ends("ible")) break;
+        return;
+      case 'n':
+        if (Ends("ant") || Ends("ement") || Ends("ment") || Ends("ent")) break;
+        return;
+      case 'o':
+        if (Ends("ion") && j_ >= 0 && (At(j_) == 's' || At(j_) == 't')) break;
+        if (Ends("ou")) break;
+        return;
+      case 's':
+        if (Ends("ism")) break;
+        return;
+      case 't':
+        if (Ends("ate") || Ends("iti")) break;
+        return;
+      case 'u':
+        if (Ends("ous")) break;
+        return;
+      case 'v':
+        if (Ends("ive")) break;
+        return;
+      case 'z':
+        if (Ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure() > 1) k_ = j_;
+  }
+
+  // Step 5: remove a final -e if m > 1, and reduce a terminal double l.
+  void Step5() {
+    j_ = k_;
+    if (At(k_) == 'e') {
+      int m = Measure();
+      if (m > 1 || (m == 1 && !Cvc(k_ - 1))) --k_;
+    }
+    if (At(k_) == 'l' && DoubleConsonant(k_) && Measure() > 1) --k_;
+  }
+
+  std::string b_;
+  int k_;
+  int j_;
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() <= 2) return std::string(word);
+  return Stemmer(word).Run();
+}
+
+}  // namespace erb::text

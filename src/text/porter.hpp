@@ -1,0 +1,18 @@
+// Porter stemming algorithm (Porter, 1980), implemented from scratch.
+//
+// The paper's NN workflow (Figure 2) optionally cleans attribute values by
+// removing stop-words and stemming every token; the reference implementation
+// used nltk's PorterStemmer. This is a faithful C++ port of the original
+// algorithm's five steps.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace erb::text {
+
+/// Returns the Porter stem of a lower-case ASCII word. Words shorter than
+/// 3 characters are returned unchanged, per the original algorithm.
+std::string PorterStem(std::string_view word);
+
+}  // namespace erb::text

@@ -1,0 +1,48 @@
+#include "text/stopwords.hpp"
+
+#include <array>
+#include <string_view>
+#include <unordered_set>
+
+namespace erb::text {
+namespace {
+
+// nltk's English stop-word list (contractions excluded: the text normalizer
+// strips apostrophes before tokenization, so they can never appear here).
+constexpr std::array<std::string_view, 127> kStopWords = {
+    "i",       "me",      "my",      "myself",  "we",       "our",
+    "ours",    "ourselves", "you",   "your",    "yours",    "yourself",
+    "yourselves", "he",   "him",     "his",     "himself",  "she",
+    "her",     "hers",    "herself", "it",      "its",      "itself",
+    "they",    "them",    "their",   "theirs",  "themselves", "what",
+    "which",   "who",     "whom",    "this",    "that",     "these",
+    "those",   "am",      "is",      "are",     "was",      "were",
+    "be",      "been",    "being",   "have",    "has",      "had",
+    "having",  "do",      "does",    "did",     "doing",    "a",
+    "an",      "the",     "and",     "but",     "if",       "or",
+    "because", "as",      "until",   "while",   "of",       "at",
+    "by",      "for",     "with",    "about",   "against",  "between",
+    "into",    "through", "during",  "before",  "after",    "above",
+    "below",   "to",      "from",    "up",      "down",     "in",
+    "out",     "on",      "off",     "over",    "under",    "again",
+    "further", "then",    "once",    "here",    "there",    "when",
+    "where",   "why",     "how",     "all",     "any",      "both",
+    "each",    "few",     "more",    "most",    "other",    "some",
+    "such",    "no",      "nor",     "not",     "only",     "own",
+    "same",    "so",      "than",    "too",     "very",     "s",
+    "t",       "can",     "will",    "just",    "don",      "should",
+    "now"};
+
+const std::unordered_set<std::string_view>& StopWordSet() {
+  static const std::unordered_set<std::string_view> set(kStopWords.begin(),
+                                                        kStopWords.end());
+  return set;
+}
+
+}  // namespace
+
+bool IsStopWord(std::string_view word) { return StopWordSet().contains(word); }
+
+std::size_t StopWordCount() { return StopWordSet().size(); }
+
+}  // namespace erb::text

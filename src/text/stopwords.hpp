@@ -1,0 +1,16 @@
+// English stop-word list used by the optional cleaning step of the NN
+// workflow (Figure 2 in the paper). Mirrors nltk's English list, which the
+// reference implementation used.
+#pragma once
+
+#include <string_view>
+
+namespace erb::text {
+
+/// True if `word` (lower-case) is an English stop word.
+bool IsStopWord(std::string_view word);
+
+/// Number of entries in the stop-word list (for tests).
+std::size_t StopWordCount();
+
+}  // namespace erb::text

@@ -1,0 +1,212 @@
+#include "tuning/blocking_tuner.hpp"
+
+#include <vector>
+
+#include "blocking/cleaning.hpp"
+#include "common/timer.hpp"
+#include "tuning/metaeval.hpp"
+
+namespace erb::tuning {
+namespace {
+
+using blocking::BlockCollection;
+using blocking::BuilderConfig;
+using blocking::BuilderKind;
+using blocking::WorkflowConfig;
+
+// The builder parameter combinations of Table III, coarsened unless
+// `full` is set. b_max is handled separately (see TuneBlockingWorkflow).
+std::vector<BuilderConfig> BuilderGrid(BuilderKind kind, bool full) {
+  std::vector<BuilderConfig> grid;
+  auto qs = full ? std::vector<int>{2, 3, 4, 5, 6} : std::vector<int>{3, 4, 6};
+  auto ts = full ? std::vector<double>{0.8, 0.85, 0.9, 0.95}
+                 : std::vector<double>{0.8, 0.9};
+  auto lmins = full ? std::vector<int>{2, 3, 4, 5, 6} : std::vector<int>{2, 3, 4, 6};
+  switch (kind) {
+    case BuilderKind::kStandard: {
+      grid.push_back({kind});
+      break;
+    }
+    case BuilderKind::kQGrams: {
+      for (int q : qs) {
+        BuilderConfig c{kind};
+        c.q = q;
+        grid.push_back(c);
+      }
+      break;
+    }
+    case BuilderKind::kExtendedQGrams: {
+      for (int q : qs) {
+        for (double t : ts) {
+          BuilderConfig c{kind};
+          c.q = q;
+          c.t = t;
+          grid.push_back(c);
+        }
+      }
+      break;
+    }
+    case BuilderKind::kSuffixArrays:
+    case BuilderKind::kExtendedSuffixArrays: {
+      for (int l : lmins) {
+        BuilderConfig c{kind};
+        c.l_min = l;
+        grid.push_back(c);
+      }
+      break;
+    }
+  }
+  return grid;
+}
+
+std::vector<int> BMaxGrid(bool full) {
+  if (full) {
+    std::vector<int> grid;  // the paper's [2, 100] step 1, descending
+    for (int b = 100; b >= 2; --b) grid.push_back(b);
+    return grid;
+  }
+  return {100, 50, 25, 10, 5};
+}
+
+std::vector<double> FilterRatioGrid(bool full) {
+  std::vector<double> grid;
+  if (full) {
+    for (int i = 40; i >= 1; --i) grid.push_back(0.025 * i);
+  } else {
+    grid = {1.0, 0.8, 0.6, 0.4, 0.2};
+  }
+  return grid;
+}
+
+const char* WorkflowAbbrev(BuilderKind kind) {
+  switch (kind) {
+    case BuilderKind::kStandard: return "SBW";
+    case BuilderKind::kQGrams: return "QBW";
+    case BuilderKind::kExtendedQGrams: return "EQBW";
+    case BuilderKind::kSuffixArrays: return "SABW";
+    case BuilderKind::kExtendedSuffixArrays: return "ESABW";
+  }
+  return "?";
+}
+
+// Applies b_max to a proactively built collection (blocks are independent, so
+// deriving the sub-collection is equivalent to rebuilding with that b_max).
+BlockCollection ApplyBMax(const BlockCollection& blocks, int b_max) {
+  BlockCollection out;
+  out.reserve(blocks.size());
+  for (const auto& block : blocks) {
+    if (block.Assignments() < static_cast<std::size_t>(b_max)) out.push_back(block);
+  }
+  return out;
+}
+
+// Runs the final (winning) configuration once to measure RT and phases.
+void MeasureWinner(const core::Dataset& dataset, core::SchemaMode mode,
+                   const WorkflowConfig& config, TunedResult* result) {
+  const auto run = blocking::RunWorkflow(dataset, mode, config);
+  result->eff = core::Evaluate(run.candidates, dataset);
+  result->runtime_ms = run.timing.TotalMs();
+  result->phases = run.timing.phases();
+  result->config = config.Describe();
+}
+
+}  // namespace
+
+TunedResult TuneBlockingWorkflow(const core::Dataset& dataset,
+                                 core::SchemaMode mode, BuilderKind kind,
+                                 const GridOptions& options) {
+  TunedResult result;
+  result.method = WorkflowAbbrev(kind);
+
+  const bool proactive = kind == BuilderKind::kSuffixArrays ||
+                         kind == BuilderKind::kExtendedSuffixArrays;
+  const std::size_t n1 = dataset.e1().size();
+  const std::size_t n2 = dataset.e2().size();
+
+  WorkflowConfig best_config;
+  core::Effectiveness best_eff;  // pc = 0 initially, any config beats it
+  bool have_best = false;
+
+  // Evaluates every cleaning configuration of one block collection and folds
+  // the outcomes into the incumbent best. Returns the collection's recall
+  // ceiling so callers can implement the grid's early-termination rules.
+  auto consider = [&](const BlockCollection& blocks, const WorkflowConfig& base) {
+    const CleaningSweep sweep = EvaluateAllCleaning(blocks, dataset);
+    for (const auto& outcome : sweep) {
+      ++result.configurations_tried;
+      if (!have_best || IsBetter(outcome.eff, best_eff, options.target_recall)) {
+        have_best = true;
+        best_eff = outcome.eff;
+        best_config = base;
+        best_config.cleaning = outcome.config;
+      }
+    }
+    return sweep[0].eff.pc;  // Comparison Propagation PC == recall ceiling
+  };
+
+  for (const BuilderConfig& builder : BuilderGrid(kind, options.full_grid)) {
+    WorkflowConfig base;
+    base.builder = builder;
+
+    if (proactive) {
+      // Build once with the loosest b_max, derive tighter ones by filtering.
+      BuilderConfig loose = builder;
+      const auto b_grid = BMaxGrid(options.full_grid);
+      loose.b_max = b_grid.front() + 1;
+      const BlockCollection all_blocks =
+          blocking::BuildBlocks(dataset, mode, loose);
+      for (int b_max : b_grid) {  // descending: recall shrinks with b_max
+        base.builder.b_max = b_max;
+        const BlockCollection blocks = ApplyBMax(all_blocks, b_max);
+        const double ceiling = consider(blocks, base);
+        if (ceiling < options.target_recall) break;
+      }
+      continue;
+    }
+
+    const BlockCollection built = blocking::BuildBlocks(dataset, mode, builder);
+    for (bool purge : {false, true}) {
+      base.block_purging = purge;
+      BlockCollection purged = built;
+      if (purge) {
+        blocking::BlockPurging(&purged, n1, n2);
+        // Purging was a no-op: this branch duplicates BP=off exactly.
+        if (purged.size() == built.size()) continue;
+      }
+      for (double ratio : FilterRatioGrid(options.full_grid)) {  // descending
+        base.filter_ratio = ratio;
+        BlockCollection blocks = purged;
+        if (ratio < 1.0) blocking::BlockFiltering(&blocks, ratio, n1, n2);
+        const double ceiling = consider(blocks, base);
+        // Early termination (paper protocol): block cleaning bounds the
+        // recall of every later step; once the ceiling breaks the target,
+        // smaller ratios cannot recover it.
+        if (ceiling < options.target_recall) break;
+      }
+    }
+  }
+
+  if (have_best) MeasureWinner(dataset, mode, best_config, &result);
+  result.reached_target = result.eff.pc >= options.target_recall;
+  return result;
+}
+
+TunedResult RunPbwBaseline(const core::Dataset& dataset, core::SchemaMode mode) {
+  TunedResult result;
+  result.method = "PBW";
+  result.configurations_tried = 1;
+  MeasureWinner(dataset, mode, blocking::ParameterFreeWorkflow(), &result);
+  result.reached_target = result.eff.pc >= core::kTargetRecall;
+  return result;
+}
+
+TunedResult RunDbwBaseline(const core::Dataset& dataset, core::SchemaMode mode) {
+  TunedResult result;
+  result.method = "DBW";
+  result.configurations_tried = 1;
+  MeasureWinner(dataset, mode, blocking::DefaultWorkflow(), &result);
+  result.reached_target = result.eff.pc >= core::kTargetRecall;
+  return result;
+}
+
+}  // namespace erb::tuning

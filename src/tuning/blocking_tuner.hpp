@@ -1,0 +1,26 @@
+// Holistic grid search over blocking workflows (Table III): all steps are
+// fine-tuned simultaneously, not step-by-step, following the paper's
+// configuration-optimization protocol.
+#pragma once
+
+#include "blocking/workflow.hpp"
+#include "core/entity.hpp"
+#include "tuning/result.hpp"
+
+namespace erb::tuning {
+
+/// Fine-tunes the blocking workflow rooted at `kind` for Problem 1 and
+/// reports the best configuration's performance (with RT re-measured by one
+/// clean run of the winning configuration).
+TunedResult TuneBlockingWorkflow(const core::Dataset& dataset,
+                                 core::SchemaMode mode,
+                                 blocking::BuilderKind kind,
+                                 const GridOptions& options);
+
+/// Runs the PBW baseline (no tuning).
+TunedResult RunPbwBaseline(const core::Dataset& dataset, core::SchemaMode mode);
+
+/// Runs the DBW baseline (no tuning).
+TunedResult RunDbwBaseline(const core::Dataset& dataset, core::SchemaMode mode);
+
+}  // namespace erb::tuning

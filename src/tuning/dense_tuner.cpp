@@ -1,0 +1,503 @@
+#include "tuning/dense_tuner.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <vector>
+
+#include "densenn/flat_index.hpp"
+#include "densenn/lsh.hpp"
+#include "densenn/methods.hpp"
+#include "densenn/minhash.hpp"
+
+namespace erb::tuning {
+namespace {
+
+using core::EntityId;
+using densenn::AngularLshConfig;
+using densenn::DenseResult;
+using densenn::KnnSearchConfig;
+using densenn::MinHashConfig;
+using densenn::PartitionedConfig;
+
+// Re-measures a (possibly stochastic) winner: averages effectiveness and
+// run-time over `repetitions` seeded runs; phases come from the last run.
+void MeasureStochasticWinner(const std::function<DenseResult(std::uint64_t)>& run,
+                             const core::Dataset& dataset, int repetitions,
+                             TunedResult* result) {
+  double pc = 0.0, pq = 0.0, rt = 0.0, candidates = 0.0, detected = 0.0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    DenseResult r = run(static_cast<std::uint64_t>(rep) + 1);
+    const auto eff = core::Evaluate(r.candidates, dataset);
+    pc += eff.pc;
+    pq += eff.pq;
+    candidates += static_cast<double>(eff.candidates);
+    detected += static_cast<double>(eff.detected);
+    rt += r.timing.TotalMs();
+    result->phases = r.timing.phases();
+  }
+  const double n = static_cast<double>(std::max(1, repetitions));
+  result->eff.pc = pc / n;
+  result->eff.pq = pq / n;
+  result->eff.candidates = static_cast<std::size_t>(candidates / n);
+  result->eff.detected = static_cast<std::size_t>(detected / n);
+  result->runtime_ms = rt / n;
+}
+
+// ---------------------------------------------------------------------------
+// Cardinality-based methods (FAISS / SCANN / DeepBlocker)
+// ---------------------------------------------------------------------------
+
+// Per-(clean, reverse) sweep over the cardinality threshold K: runs the
+// search once at k_max and derives PC/PQ for every smaller K from the rank
+// positions of the duplicates — identical to re-running per K.
+struct CardinalitySweep {
+  std::vector<std::uint64_t> added_dups;   // duplicates first seen at rank r
+  std::vector<std::uint64_t> queries_with; // queries with >= r results
+  std::size_t total_duplicates = 0;
+
+  core::Effectiveness At(int k) const {
+    core::Effectiveness eff;
+    std::uint64_t pairs = 0, detected = 0;
+    for (int r = 0; r < k && r < static_cast<int>(added_dups.size()); ++r) {
+      pairs += queries_with[static_cast<std::size_t>(r)];
+      detected += added_dups[static_cast<std::size_t>(r)];
+    }
+    eff.candidates = pairs;
+    eff.detected = detected;
+    eff.pc = static_cast<double>(detected) /
+             std::max<std::size_t>(1, total_duplicates);
+    eff.pq = pairs == 0 ? 0.0 : static_cast<double>(detected) / pairs;
+    return eff;
+  }
+};
+
+// Runs `search(query_vectors[q], k_max)` per query and accumulates the sweep.
+template <typename SearchFn>
+CardinalitySweep SweepCardinality(const core::Dataset& dataset, bool reverse,
+                                  std::size_t num_queries, int k_max,
+                                  SearchFn&& search) {
+  CardinalitySweep sweep;
+  sweep.added_dups.assign(static_cast<std::size_t>(k_max), 0);
+  sweep.queries_with.assign(static_cast<std::size_t>(k_max), 0);
+  sweep.total_duplicates = dataset.NumDuplicates();
+  for (EntityId q = 0; q < num_queries; ++q) {
+    const std::vector<std::uint32_t> ids = search(q, k_max);
+    for (std::size_t r = 0; r < ids.size(); ++r) {
+      ++sweep.queries_with[r];
+      const core::PairKey key =
+          reverse ? core::MakePair(q, ids[r]) : core::MakePair(ids[r], q);
+      if (dataset.IsDuplicate(key)) ++sweep.added_dups[r];
+    }
+  }
+  return sweep;
+}
+
+// The K grid of Table V(b): every value in [1,100], then coarser steps.
+std::vector<int> KGrid(bool full, int k_max) {
+  std::vector<int> grid;
+  for (int k = 1; k <= 100 && k <= k_max; ++k) grid.push_back(k);
+  if (full) {
+    for (int k = 105; k <= 1000 && k <= k_max; k += 5) grid.push_back(k);
+    for (int k = 1010; k <= 5000 && k <= k_max; k += 10) grid.push_back(k);
+  } else {
+    for (int k = 110; k <= k_max; k += 10) grid.push_back(k);
+  }
+  return grid;
+}
+
+struct CardinalityChoice {
+  bool clean = false;
+  bool reverse = false;
+  int k = 1;
+  int scann_variant = 0;  // SCANN only: index x similarity
+  core::Effectiveness eff;
+  bool valid = false;
+};
+
+// Folds one sweep into the incumbent choice: ascending K, stop at target.
+void ConsiderSweep(const CardinalitySweep& sweep, bool clean, bool reverse,
+                   int scann_variant, int k_max, const GridOptions& options,
+                   std::size_t* tried, CardinalityChoice* best) {
+  for (int k : KGrid(options.full_grid, k_max)) {
+    ++*tried;
+    const core::Effectiveness eff = sweep.At(k);
+    if (!best->valid || IsBetter(eff, best->eff, options.target_recall)) {
+      best->valid = true;
+      best->eff = eff;
+      best->clean = clean;
+      best->reverse = reverse;
+      best->k = k;
+      best->scann_variant = scann_variant;
+    }
+    if (eff.pc >= options.target_recall) break;
+  }
+}
+
+std::string DescribeKnn(const CardinalityChoice& choice) {
+  std::ostringstream out;
+  out << "CL=" << (choice.clean ? "on" : "off")
+      << " RVS=" << (choice.reverse ? "on" : "off") << " K=" << choice.k;
+  return out.str();
+}
+
+int MaxK(const core::Dataset& dataset, bool reverse, bool full) {
+  const std::size_t indexed =
+      reverse ? dataset.e2().size() : dataset.e1().size();
+  const int cap = full ? 5000 : 200;
+  return static_cast<int>(std::min<std::size_t>(indexed, cap));
+}
+
+// ---------------------------------------------------------------------------
+// Shared embedding cache (per clean flag and side) for one tuner invocation.
+// ---------------------------------------------------------------------------
+
+class EmbeddingCache {
+ public:
+  EmbeddingCache(const core::Dataset& dataset, core::SchemaMode mode)
+      : dataset_(&dataset), mode_(mode) {}
+
+  const std::vector<densenn::Vector>& Side(int side, bool clean) {
+    auto& slot = cache_[side][clean ? 1 : 0];
+    if (slot.empty()) {
+      slot = densenn::EmbedSide(*dataset_, side, mode_, clean);
+    }
+    return slot;
+  }
+
+ private:
+  const core::Dataset* dataset_;
+  core::SchemaMode mode_;
+  std::vector<densenn::Vector> cache_[2][2];
+};
+
+std::string DescribeAngular(const AngularLshConfig& config, bool cross_polytope) {
+  std::ostringstream out;
+  out << "CL=" << (config.clean ? "on" : "off") << " #tables=" << config.tables
+      << " #hashes=" << config.hashes << " #probes=" << config.probes;
+  if (cross_polytope) out << " cpdim=" << config.last_cp_dim;
+  return out.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MinHash LSH
+// ---------------------------------------------------------------------------
+
+TunedResult TuneMinHashLsh(const core::Dataset& dataset, core::SchemaMode mode,
+                           const GridOptions& options) {
+  TunedResult result;
+  result.method = "MH-LSH";
+
+  // (bands, rows) with both powers of two and product in {128, 256, 512}.
+  std::vector<std::pair<int, int>> band_grid;
+  if (options.full_grid) {
+    for (int product : {128, 256, 512}) {
+      for (int bands = 2; bands <= product / 2; bands *= 2) {
+        band_grid.emplace_back(bands, product / bands);
+      }
+    }
+  } else {
+    band_grid = {{16, 16}, {32, 8}, {128, 2}};
+  }
+  const std::vector<int> shingle_grid =
+      options.full_grid ? std::vector<int>{2, 3, 4, 5} : std::vector<int>{3, 5};
+
+  MinHashConfig best_config;
+  core::Effectiveness best_eff;
+  bool have_best = false;
+  for (bool clean : {false, true}) {
+    for (const auto& [bands, rows] : band_grid) {
+      for (int k : shingle_grid) {
+        ++result.configurations_tried;
+        MinHashConfig config;
+        config.clean = clean;
+        config.bands = bands;
+        config.rows = rows;
+        config.shingle_k = k;
+        config.seed = 1;
+        DenseResult run = densenn::MinHashLsh(dataset, mode, config);
+        const auto eff = core::Evaluate(run.candidates, dataset);
+        if (!have_best || IsBetter(eff, best_eff, options.target_recall)) {
+          have_best = true;
+          best_eff = eff;
+          best_config = config;
+        }
+      }
+    }
+  }
+
+  MeasureStochasticWinner(
+      [&](std::uint64_t seed) {
+        MinHashConfig config = best_config;
+        config.seed = seed;
+        return densenn::MinHashLsh(dataset, mode, config);
+      },
+      dataset, options.repetitions, &result);
+  std::ostringstream desc;
+  desc << "CL=" << (best_config.clean ? "on" : "off")
+       << " #bands=" << best_config.bands << " #rows=" << best_config.rows
+       << " k=" << best_config.shingle_k;
+  result.config = desc.str();
+  result.reached_target = result.eff.pc >= options.target_recall;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Hyperplane / Cross-Polytope LSH
+// ---------------------------------------------------------------------------
+
+namespace {
+
+TunedResult TuneAngular(const core::Dataset& dataset, core::SchemaMode mode,
+                        const GridOptions& options, bool cross_polytope) {
+  TunedResult result;
+  result.method = cross_polytope ? "CP-LSH" : "HP-LSH";
+
+  // Full grids follow Table V exactly (see tuning/gridspec.cpp); the coarse
+  // defaults keep the dimensions but probe far fewer points.
+  std::vector<int> table_grid;
+  if (options.full_grid) {
+    for (int t = 1; t <= 512; t *= 2) table_grid.push_back(t);
+  } else {
+    table_grid = {16};
+  }
+  std::vector<int> hash_grid;
+  if (options.full_grid) {
+    for (int h = 1; h <= 20; ++h) hash_grid.push_back(h);
+  } else {
+    hash_grid = cross_polytope ? std::vector<int>{1, 2} : std::vector<int>{8, 12};
+    // (single-table-count coarse grid: the probe sweep supplies the recall
+    // dimension, so varying #tables adds little at bench scale)
+  }
+  const std::vector<int> cp_dim_grid =
+      cross_polytope ? (options.full_grid ? std::vector<int>{32, 64, 128, 256, 512}
+                                          : std::vector<int>{128})
+                     : std::vector<int>{128};
+
+  auto run_method = [&](const AngularLshConfig& config) {
+    return cross_polytope ? densenn::CrossPolytopeLsh(dataset, mode, config)
+                          : densenn::HyperplaneLsh(dataset, mode, config);
+  };
+
+  EmbeddingCache embeddings(dataset, mode);
+  AngularLshConfig best_config;
+  core::Effectiveness best_eff;
+  bool have_best = false;
+  for (bool clean : {false, true}) {
+    const auto& indexed = embeddings.Side(0, clean);
+    const auto& queries = embeddings.Side(1, clean);
+    for (int tables : table_grid) {
+      for (int hashes : hash_grid) {
+        for (int cp_dim : cp_dim_grid) {
+          AngularLshConfig config;
+          config.clean = clean;
+          config.tables = tables;
+          config.hashes = hashes;
+          config.last_cp_dim = cp_dim;
+          config.seed = 1;
+          // One pass evaluates every probe budget; the paper's protocol
+          // raises probes until the recall target is met.
+          const auto sweep = densenn::SweepAngularProbes(
+              indexed, queries, dataset, config, cross_polytope, tables * 32);
+          for (const auto& point : sweep) {
+            ++result.configurations_tried;
+            if (!have_best || IsBetter(point.eff, best_eff, options.target_recall)) {
+              have_best = true;
+              best_eff = point.eff;
+              best_config = config;
+              best_config.probes = point.probes;
+            }
+            if (point.eff.pc >= options.target_recall) break;
+          }
+        }
+      }
+    }
+  }
+
+  MeasureStochasticWinner(
+      [&](std::uint64_t seed) {
+        AngularLshConfig config = best_config;
+        config.seed = seed;
+        return run_method(config);
+      },
+      dataset, options.repetitions, &result);
+  result.config = DescribeAngular(best_config, cross_polytope);
+  result.reached_target = result.eff.pc >= options.target_recall;
+  return result;
+}
+
+}  // namespace
+
+TunedResult TuneHyperplaneLsh(const core::Dataset& dataset, core::SchemaMode mode,
+                              const GridOptions& options) {
+  return TuneAngular(dataset, mode, options, /*cross_polytope=*/false);
+}
+
+TunedResult TuneCrossPolytopeLsh(const core::Dataset& dataset,
+                                 core::SchemaMode mode,
+                                 const GridOptions& options) {
+  return TuneAngular(dataset, mode, options, /*cross_polytope=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// FAISS
+// ---------------------------------------------------------------------------
+
+TunedResult TuneFaiss(const core::Dataset& dataset, core::SchemaMode mode,
+                      const GridOptions& options) {
+  TunedResult result;
+  result.method = "FAISS";
+
+  EmbeddingCache embeddings(dataset, mode);
+  CardinalityChoice best;
+  for (bool clean : {false, true}) {
+    for (bool reverse : {false, true}) {
+      const int k_max = MaxK(dataset, reverse, options.full_grid);
+      const auto& indexed = embeddings.Side(reverse ? 1 : 0, clean);
+      const auto& queries = embeddings.Side(reverse ? 0 : 1, clean);
+      densenn::FlatIndex index(indexed, densenn::DenseMetric::kSquaredL2);
+      const auto sweep = SweepCardinality(
+          dataset, reverse, queries.size(), k_max,
+          [&](EntityId q, int k) { return index.Search(queries[q], k); });
+      ConsiderSweep(sweep, clean, reverse, 0, k_max, options,
+                    &result.configurations_tried, &best);
+    }
+  }
+
+  KnnSearchConfig config;
+  config.clean = best.clean;
+  config.reverse = best.reverse;
+  config.k = best.k;
+  DenseResult run = densenn::FaissKnn(dataset, mode, config);
+  result.eff = core::Evaluate(run.candidates, dataset);
+  result.runtime_ms = run.timing.TotalMs();
+  result.phases = run.timing.phases();
+  result.config = DescribeKnn(best);
+  result.reached_target = result.eff.pc >= options.target_recall;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// SCANN
+// ---------------------------------------------------------------------------
+
+TunedResult TuneScann(const core::Dataset& dataset, core::SchemaMode mode,
+                      const GridOptions& options) {
+  TunedResult result;
+  result.method = "SCANN";
+
+  // variant = 2 * asymmetric_hashing + dot_product.
+  auto variant_config = [](int variant) {
+    PartitionedConfig scann;
+    scann.asymmetric_hashing = (variant & 2) != 0;
+    scann.metric = (variant & 1) != 0 ? densenn::DenseMetric::kDotProduct
+                                      : densenn::DenseMetric::kSquaredL2;
+    return scann;
+  };
+
+  EmbeddingCache embeddings(dataset, mode);
+  CardinalityChoice best;
+  for (bool clean : {false, true}) {
+    for (bool reverse : {false, true}) {
+      const int k_max = MaxK(dataset, reverse, options.full_grid);
+      const auto& indexed = embeddings.Side(reverse ? 1 : 0, clean);
+      const auto& queries = embeddings.Side(reverse ? 0 : 1, clean);
+      for (int variant = 0; variant < 4; ++variant) {
+        densenn::PartitionedIndex index(indexed, variant_config(variant));
+        const auto sweep = SweepCardinality(
+            dataset, reverse, queries.size(), k_max,
+            [&](EntityId q, int k) { return index.Search(queries[q], k); });
+        ConsiderSweep(sweep, clean, reverse, variant, k_max, options,
+                      &result.configurations_tried, &best);
+      }
+    }
+  }
+
+  KnnSearchConfig config;
+  config.clean = best.clean;
+  config.reverse = best.reverse;
+  config.k = best.k;
+  DenseResult run = densenn::ScannKnn(dataset, mode, config,
+                                      variant_config(best.scann_variant));
+  result.eff = core::Evaluate(run.candidates, dataset);
+  result.runtime_ms = run.timing.TotalMs();
+  result.phases = run.timing.phases();
+  std::ostringstream desc;
+  desc << DescribeKnn(best)
+       << " index=" << ((best.scann_variant & 2) != 0 ? "AH" : "BF")
+       << " sim=" << ((best.scann_variant & 1) != 0 ? "DP" : "L2^2");
+  result.config = desc.str();
+  result.reached_target = result.eff.pc >= options.target_recall;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// DeepBlocker
+// ---------------------------------------------------------------------------
+
+TunedResult TuneDeepBlocker(const core::Dataset& dataset, core::SchemaMode mode,
+                            const GridOptions& options) {
+  TunedResult result;
+  result.method = "DeepBlocker";
+
+  densenn::AutoencoderConfig autoencoder;  // AutoEncoder tuple-embedding module
+  autoencoder.seed = 1;
+
+  EmbeddingCache embeddings(dataset, mode);
+  CardinalityChoice best;
+  for (bool clean : {false, true}) {
+    // The autoencoder trains on the union of both sides, which is identical
+    // for both RVS directions — one training per cleaning setting suffices.
+    std::vector<densenn::Vector> training = embeddings.Side(0, clean);
+    const auto& side2 = embeddings.Side(1, clean);
+    training.insert(training.end(), side2.begin(), side2.end());
+    densenn::Autoencoder model(training, autoencoder);
+    const auto encoded1 = densenn::EncodeAll(model, embeddings.Side(0, clean));
+    const auto encoded2 = densenn::EncodeAll(model, embeddings.Side(1, clean));
+    for (bool reverse : {false, true}) {
+      const int k_max = MaxK(dataset, reverse, options.full_grid);
+      const auto& indexed = reverse ? encoded2 : encoded1;
+      const auto& queries = reverse ? encoded1 : encoded2;
+      densenn::FlatIndex index(indexed, densenn::DenseMetric::kSquaredL2);
+      const auto sweep = SweepCardinality(
+          dataset, reverse, queries.size(), k_max,
+          [&](EntityId q, int k) { return index.Search(queries[q], k); });
+      ConsiderSweep(sweep, clean, reverse, 0, k_max, options,
+                    &result.configurations_tried, &best);
+    }
+  }
+
+  KnnSearchConfig config;
+  config.clean = best.clean;
+  config.reverse = best.reverse;
+  config.k = best.k;
+  MeasureStochasticWinner(
+      [&](std::uint64_t seed) {
+        densenn::AutoencoderConfig ae = autoencoder;
+        ae.seed = seed;
+        return densenn::DeepBlockerKnn(dataset, mode, config, ae);
+      },
+      dataset, options.repetitions, &result);
+  result.config = DescribeKnn(best);
+  result.reached_target = result.eff.pc >= options.target_recall;
+  return result;
+}
+
+TunedResult RunDdbBaseline(const core::Dataset& dataset, core::SchemaMode mode,
+                           const GridOptions& options) {
+  TunedResult result;
+  result.method = "DDB";
+  result.configurations_tried = 1;
+  MeasureStochasticWinner(
+      [&](std::uint64_t seed) {
+        return densenn::DefaultDeepBlocker(dataset, mode, seed);
+      },
+      dataset, options.repetitions, &result);
+  result.config = "CL=on K=5 (smaller side queries)";
+  result.reached_target = result.eff.pc >= core::kTargetRecall;
+  return result;
+}
+
+}  // namespace erb::tuning

@@ -1,0 +1,40 @@
+// Grid search over the dense NN methods (Table V).
+//
+// Protocol for stochastic methods (MinHash/HP-/CP-LSH, DeepBlocker): the grid
+// is explored with a fixed seed and the winning configuration is re-measured
+// as the average of `GridOptions::repetitions` seeded runs, mirroring the
+// paper's average-of-10-repetitions reporting.
+#pragma once
+
+#include "core/entity.hpp"
+#include "tuning/result.hpp"
+
+namespace erb::tuning {
+
+TunedResult TuneMinHashLsh(const core::Dataset& dataset, core::SchemaMode mode,
+                           const GridOptions& options);
+
+/// Hyperplane LSH; the number of probes is auto-raised (doubling) per
+/// configuration until the recall target is met, as in the FALCONN recipe
+/// the paper follows.
+TunedResult TuneHyperplaneLsh(const core::Dataset& dataset, core::SchemaMode mode,
+                              const GridOptions& options);
+
+TunedResult TuneCrossPolytopeLsh(const core::Dataset& dataset,
+                                 core::SchemaMode mode,
+                                 const GridOptions& options);
+
+TunedResult TuneFaiss(const core::Dataset& dataset, core::SchemaMode mode,
+                      const GridOptions& options);
+
+TunedResult TuneScann(const core::Dataset& dataset, core::SchemaMode mode,
+                      const GridOptions& options);
+
+TunedResult TuneDeepBlocker(const core::Dataset& dataset, core::SchemaMode mode,
+                            const GridOptions& options);
+
+/// Runs the DDB baseline (no tuning; averaged over repetitions).
+TunedResult RunDdbBaseline(const core::Dataset& dataset, core::SchemaMode mode,
+                           const GridOptions& options);
+
+}  // namespace erb::tuning

@@ -1,0 +1,114 @@
+#include "tuning/gridspec.hpp"
+
+namespace erb::tuning {
+namespace {
+
+std::vector<double> Steps(double lo, double hi, double step) {
+  std::vector<double> out;
+  for (double v = lo; v <= hi + 1e-9; v += step) out.push_back(v);
+  return out;
+}
+
+std::vector<int> IntRange(int lo, int hi, int step = 1) {
+  std::vector<int> out;
+  for (int v = lo; v <= hi; v += step) out.push_back(v);
+  return out;
+}
+
+}  // namespace
+
+BlockingGridSpec PaperBlockingGrid() {
+  BlockingGridSpec spec;
+  spec.filter_ratios = Steps(0.025, 1.0, 0.025);  // 40 values, 1.0 = off
+  spec.q = IntRange(2, 6);
+  spec.t = Steps(0.8, 0.95, 0.05);  // [0.8, 1.0) step 0.05 -> 4 values
+  spec.l_min = IntRange(2, 6);
+  spec.b_max = IntRange(2, 100);
+  return spec;
+}
+
+SparseGridSpec PaperSparseGrid() {
+  SparseGridSpec spec;
+  spec.thresholds = Steps(0.01, 1.0, 0.01);  // 100 values
+  spec.k = IntRange(1, 100);
+  return spec;
+}
+
+DenseGridSpec PaperDenseGrid() {
+  DenseGridSpec spec;
+  for (int product : {128, 256, 512}) {
+    // Both factors are powers of two >= 2.
+    for (int bands = 2; bands <= product / 2; bands *= 2) {
+      spec.minhash_bands_rows.emplace_back(bands, product / bands);
+    }
+  }
+  spec.minhash_shingle_k = IntRange(2, 5);
+  for (int t = 1; t <= 512; t *= 2) spec.lsh_tables.push_back(t);
+  spec.lsh_hashes = IntRange(1, 20);
+  spec.cp_last_dims = {32, 64, 128, 256, 512};
+  spec.cardinality_k = IntRange(1, 100);
+  for (int k : IntRange(105, 1000, 5)) spec.cardinality_k.push_back(k);
+  for (int k : IntRange(1010, 5000, 10)) spec.cardinality_k.push_back(k);
+  return spec;
+}
+
+std::uint64_t MaxConfigurations(MethodId id) {
+  const BlockingGridSpec blocking = PaperBlockingGrid();
+  const SparseGridSpec sparse = PaperSparseGrid();
+  const DenseGridSpec dense = PaperDenseGrid();
+
+  // Common factor of the lazy blocking workflows: BP x BFr x cleaning.
+  const std::uint64_t lazy_common =
+      static_cast<std::uint64_t>(blocking.block_purging_options) *
+      blocking.filter_ratios.size() * blocking.comparison_cleaning_options;
+  // Proactive workflows: no block cleaning, only comparison cleaning.
+  const std::uint64_t proactive_common = blocking.comparison_cleaning_options;
+
+  const std::uint64_t sparse_common =
+      static_cast<std::uint64_t>(sparse.cleaning_options) *
+      sparse.similarity_measures * sparse.representation_models;
+  const std::uint64_t cardinality_common =
+      static_cast<std::uint64_t>(dense.cleaning_options) *
+      dense.reverse_options * dense.cardinality_k.size();
+
+  switch (id) {
+    case MethodId::kSbw:
+      return lazy_common;  // 3,440
+    case MethodId::kQbw:
+      return lazy_common * blocking.q.size();  // 17,200
+    case MethodId::kEqbw:
+      return lazy_common * blocking.q.size() * blocking.t.size();  // 68,800
+    case MethodId::kSabw:
+    case MethodId::kEsabw:
+      return proactive_common * blocking.l_min.size() *
+             blocking.b_max.size();  // 21,285
+    case MethodId::kEpsilonJoin:
+      return sparse_common * sparse.thresholds.size();  // 6,000
+    case MethodId::kKnnJoin:
+      return sparse_common * sparse.k.size() * sparse.reverse_options;  // 12,000
+    case MethodId::kMhLsh:
+      return static_cast<std::uint64_t>(dense.cleaning_options) *
+             dense.minhash_bands_rows.size() *
+             dense.minhash_shingle_k.size();  // 168
+    case MethodId::kHpLsh:
+      return static_cast<std::uint64_t>(dense.cleaning_options) *
+             dense.lsh_tables.size() * dense.lsh_hashes.size();  // 400
+    case MethodId::kCpLsh:
+      return static_cast<std::uint64_t>(dense.cleaning_options) *
+             dense.lsh_tables.size() * dense.lsh_hashes.size() *
+             dense.cp_last_dims.size();  // 2,000
+    case MethodId::kFaiss:
+    case MethodId::kDeepBlocker:
+      return cardinality_common;  // 2,720
+    case MethodId::kScann:
+      return cardinality_common * dense.scann_variants;  // 10,880
+    case MethodId::kPbw:
+    case MethodId::kDbw:
+    case MethodId::kDknn:
+    case MethodId::kDdb:
+      return 1;
+  }
+  return 0;
+}
+
+}  // namespace erb::tuning

@@ -1,0 +1,65 @@
+// The exact configuration spaces of Tables III, IV and V, as introspectable
+// data. The counts these domains induce match the "Maximum Configurations"
+// rows of the paper (verified in tests/gridspec_test.cpp):
+//   Standard BW 3,440 - QGrams BW 17,200 - Ext. QGrams BW 68,800 -
+//   (Ex.)Suffix Arrays BW 21,285 - eps-Join 6,000 - kNN-Join 12,000 -
+//   MH-LSH 168 - HP-LSH 400 - CP-LSH 2,000 - FAISS 2,720 - SCANN 10,880 -
+//   DeepBlocker 2,720.
+//
+// The run-time tuners (blocking_tuner, sparse_tuner, dense_tuner) use
+// coarsened versions of these domains by default and these exact domains
+// under ERBENCH_FULL_GRID; this module is the single reference for what
+// "full grid" means.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tuning/suite.hpp"
+
+namespace erb::tuning {
+
+/// Table III common domains.
+struct BlockingGridSpec {
+  std::vector<double> filter_ratios;     ///< (0, 1] step 0.025 (1 = off)
+  int block_purging_options = 2;         ///< off / on
+  int comparison_cleaning_options = 43;  ///< CP + 6 schemes x 7 prunings
+  std::vector<int> q;                    ///< [2, 6]
+  std::vector<double> t;                 ///< [0.8, 1.0) step 0.05
+  std::vector<int> l_min;                ///< [2, 6]
+  std::vector<int> b_max;                ///< [2, 100] step 1
+};
+
+/// Table IV domains.
+struct SparseGridSpec {
+  int cleaning_options = 2;
+  int similarity_measures = 3;
+  int representation_models = 10;
+  std::vector<double> thresholds;  ///< (0, 1] step 0.01 (eps-Join)
+  std::vector<int> k;              ///< [1, 100] (kNN-Join)
+  int reverse_options = 2;         ///< kNN-Join only
+};
+
+/// Table V domains.
+struct DenseGridSpec {
+  int cleaning_options = 2;
+  std::vector<std::pair<int, int>> minhash_bands_rows;  ///< product in {128,256,512}
+  std::vector<int> minhash_shingle_k;                   ///< [2, 5]
+  std::vector<int> lsh_tables;                          ///< 2^0 .. 2^9
+  std::vector<int> lsh_hashes;                          ///< [1, 20]
+  std::vector<int> cp_last_dims;                        ///< 5 powers of two
+  std::vector<int> cardinality_k;  ///< [1,100] + [105,1000]/5 + [1010,5000]/10
+  int reverse_options = 2;
+  int scann_variants = 4;  ///< {AH, BF} x {DP, L2^2}
+};
+
+BlockingGridSpec PaperBlockingGrid();
+SparseGridSpec PaperSparseGrid();
+DenseGridSpec PaperDenseGrid();
+
+/// Maximum number of configurations of `id` under the paper's grids (the
+/// "Maximum Configurations" rows of Tables III-V). Baselines return 1;
+/// parameter-free combinations count as one configuration.
+std::uint64_t MaxConfigurations(MethodId id);
+
+}  // namespace erb::tuning

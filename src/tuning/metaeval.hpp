@@ -1,0 +1,45 @@
+// Fast evaluation of every comparison-cleaning configuration over one block
+// collection.
+//
+// The holistic grid search of the paper evaluates Comparison Propagation plus
+// all 42 Meta-blocking combinations (6 weighting schemes x 7 pruning
+// algorithms) for every block-cleaning variant. Running MetaBlocking() 42
+// times would stream the blocking graph 84 times; this evaluator computes,
+// per scheme, the statistics of all 7 pruning algorithms in one pass and
+// their PC/PQ counts in a second, i.e. 13 passes total — identical results,
+// ~6x faster tuning.
+#pragma once
+
+#include <array>
+
+#include "blocking/comparison.hpp"
+#include "core/metrics.hpp"
+
+namespace erb::tuning {
+
+/// Effectiveness of one cleaning configuration (counts only; candidate sets
+/// are not materialized during tuning).
+struct CleaningOutcome {
+  blocking::ComparisonConfig config;
+  core::Effectiveness eff;
+};
+
+inline constexpr int kNumSchemes = 6;
+inline constexpr int kNumPrunings = 7;
+
+/// All 43 outcomes: index 0 is Comparison Propagation, then scheme-major
+/// meta-blocking combinations.
+using CleaningSweep = std::array<CleaningOutcome, 1 + kNumSchemes * kNumPrunings>;
+
+/// Evaluates every cleaning configuration of `blocks` against the ground
+/// truth of `dataset`. The Comparison Propagation entry doubles as the block
+/// collection's recall ceiling (no cleaning configuration can exceed its PC).
+CleaningSweep EvaluateAllCleaning(const blocking::BlockCollection& blocks,
+                                  const core::Dataset& dataset);
+
+/// Only the recall ceiling (the Comparison Propagation PC): cheap check used
+/// for the grid's early-termination rule.
+double RecallCeiling(const blocking::BlockCollection& blocks,
+                     const core::Dataset& dataset);
+
+}  // namespace erb::tuning

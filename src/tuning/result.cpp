@@ -1,0 +1,28 @@
+#include "tuning/result.hpp"
+
+#include <cstdlib>
+
+namespace erb::tuning {
+
+GridOptions GridOptions::FromEnv() {
+  GridOptions options;
+  options.full_grid = std::getenv("ERBENCH_FULL_GRID") != nullptr;
+  if (const char* reps = std::getenv("ERBENCH_REPS")) {
+    const int value = std::atoi(reps);
+    if (value > 0) options.repetitions = value;
+  }
+  if (std::getenv("ERBENCH_FAST") != nullptr) options.repetitions = 1;
+  return options;
+}
+
+bool IsBetter(const core::Effectiveness& challenger,
+              const core::Effectiveness& incumbent, double target_recall) {
+  const bool challenger_ok = challenger.pc >= target_recall;
+  const bool incumbent_ok = incumbent.pc >= target_recall;
+  if (challenger_ok != incumbent_ok) return challenger_ok;
+  if (challenger_ok) return challenger.pq > incumbent.pq;
+  if (challenger.pc != incumbent.pc) return challenger.pc > incumbent.pc;
+  return challenger.pq > incumbent.pq;
+}
+
+}  // namespace erb::tuning

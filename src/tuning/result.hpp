@@ -1,0 +1,44 @@
+// Shared types of the configuration optimization layer (Problem 1 of the
+// paper): grid options and the tuned-method result records that feed
+// Tables VII-XI.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/metrics.hpp"
+
+namespace erb::tuning {
+
+/// Grid-search granularity. The default grids keep the paper's parameter
+/// dimensions but use coarser steps so the full suite runs interactively;
+/// `full_grid` restores the exact domains of Tables III-V.
+struct GridOptions {
+  bool full_grid = false;
+  /// Repetitions averaged for stochastic methods (the paper uses 10).
+  int repetitions = 2;
+  double target_recall = core::kTargetRecall;
+
+  /// Reads ERBENCH_FULL_GRID / ERBENCH_REPS from the environment.
+  static GridOptions FromEnv();
+};
+
+/// Outcome of tuning (or of running a baseline): the best configuration's
+/// effectiveness, run-time and per-phase breakdown.
+struct TunedResult {
+  std::string method;        ///< e.g. "SBW", "kNNJ", "FAISS"
+  std::string config;        ///< best configuration (Tables VIII-X)
+  core::Effectiveness eff;   ///< PC, PQ, |C| of the best configuration
+  double runtime_ms = 0.0;   ///< RT of one run of the best configuration
+  std::map<std::string, double> phases;  ///< phase -> ms (Figures 7-9)
+  bool reached_target = false;           ///< PC >= target achieved
+  std::size_t configurations_tried = 0;
+};
+
+/// Candidate-selection rule of Problem 1: prefer configurations meeting the
+/// recall target, then maximize PQ; among configurations missing the target,
+/// prefer the higher PC (ties by PQ).
+bool IsBetter(const core::Effectiveness& challenger,
+              const core::Effectiveness& incumbent, double target_recall);
+
+}  // namespace erb::tuning

@@ -1,0 +1,248 @@
+#include "tuning/sparse_tuner.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <vector>
+
+#include "sparsenn/joins.hpp"
+#include "sparsenn/scancount.hpp"
+
+namespace erb::tuning {
+namespace {
+
+using core::EntityId;
+using sparsenn::SimilarityMeasure;
+using sparsenn::SparseConfig;
+using sparsenn::TokenModel;
+
+constexpr std::array<TokenModel, 10> kModels = {
+    TokenModel::kT1G,  TokenModel::kT1GM, TokenModel::kC2G, TokenModel::kC2GM,
+    TokenModel::kC3G,  TokenModel::kC3GM, TokenModel::kC4G, TokenModel::kC4GM,
+    TokenModel::kC5G,  TokenModel::kC5GM};
+
+constexpr std::array<SimilarityMeasure, 3> kMeasures = {
+    SimilarityMeasure::kCosine, SimilarityMeasure::kDice,
+    SimilarityMeasure::kJaccard};
+
+// The representation-model subset explored by the coarse grid: one set and
+// one multiset variant per tokenization family.
+constexpr std::array<TokenModel, 6> kCoarseModels = {
+    TokenModel::kT1G, TokenModel::kT1GM, TokenModel::kC3G,
+    TokenModel::kC3GM, TokenModel::kC5G, TokenModel::kC5GM};
+
+std::string DescribeSparse(const SparseConfig& config) {
+  std::ostringstream out;
+  out << "CL=" << (config.clean ? "on" : "off")
+      << " RM=" << sparsenn::ModelName(config.model)
+      << " SM=" << sparsenn::MeasureName(config.measure);
+  return out.str();
+}
+
+std::vector<std::pair<bool, TokenModel>> RepresentationGrid(bool full) {
+  std::vector<std::pair<bool, TokenModel>> grid;
+  const auto& models = full ? std::vector<TokenModel>(kModels.begin(), kModels.end())
+                            : std::vector<TokenModel>(kCoarseModels.begin(),
+                                                      kCoarseModels.end());
+  for (bool clean : {false, true}) {
+    for (TokenModel model : models) grid.emplace_back(clean, model);
+  }
+  return grid;
+}
+
+core::Effectiveness MakeEff(std::uint64_t pairs, std::uint64_t detected,
+                            std::size_t total_duplicates) {
+  core::Effectiveness eff;
+  eff.candidates = pairs;
+  eff.detected = detected;
+  eff.pc = static_cast<double>(detected) / std::max<std::size_t>(1, total_duplicates);
+  eff.pq = pairs == 0 ? 0.0 : static_cast<double>(detected) / pairs;
+  return eff;
+}
+
+}  // namespace
+
+TunedResult TuneEpsilonJoin(const core::Dataset& dataset, core::SchemaMode mode,
+                            const GridOptions& options) {
+  TunedResult result;
+  result.method = "eJoin";
+  const std::size_t total_duplicates = dataset.NumDuplicates();
+
+  SparseConfig best_config;
+  double best_threshold = 1.0;
+  core::Effectiveness best_eff;
+  bool have_best = false;
+
+  // The threshold grid is [0, 1] with step 0.01 (Table IV): similarities are
+  // binned so one scoring pass evaluates all 101 thresholds exactly; all
+  // three similarity measures share that pass (the probe only yields
+  // overlaps — the measures differ in a final formula).
+  constexpr int kBins = 101;
+  for (const auto& [clean, model] : RepresentationGrid(options.full_grid)) {
+    const auto indexed = sparsenn::BuildSideTokenSets(
+        dataset, 0, mode, model, clean);
+    const auto queries = sparsenn::BuildSideTokenSets(
+        dataset, 1, mode, model, clean);
+    sparsenn::ScanCountIndex index(indexed);
+
+    std::array<std::array<std::uint64_t, kBins>, 3> pair_bins{};
+    std::array<std::array<std::uint64_t, kBins>, 3> dup_bins{};
+    for (EntityId q = 0; q < queries.size(); ++q) {
+      index.Probe(queries[q], [&](std::uint32_t id, std::uint32_t overlap,
+                                  std::uint32_t indexed_size) {
+        const bool dup = dataset.IsDuplicate(core::MakePair(id, q));
+        for (std::size_t m = 0; m < kMeasures.size(); ++m) {
+          const double sim = sparsenn::SetSimilarity(
+              kMeasures[m], overlap, queries[q].size(), indexed_size);
+          const int bin = std::clamp(static_cast<int>(sim * 100.0), 0, kBins - 1);
+          ++pair_bins[m][static_cast<std::size_t>(bin)];
+          if (dup) ++dup_bins[m][static_cast<std::size_t>(bin)];
+        }
+      });
+    }
+
+    // Cumulate from the highest threshold down; per combo the best threshold
+    // is the largest one whose PC meets the target (lowering it only adds
+    // candidates and erodes PQ) — the paper's early-termination rule.
+    for (std::size_t m = 0; m < kMeasures.size(); ++m) {
+      std::uint64_t pairs = 0, detected = 0;
+      for (int bin = kBins - 1; bin >= 0; --bin) {
+        ++result.configurations_tried;
+        pairs += pair_bins[m][static_cast<std::size_t>(bin)];
+        detected += dup_bins[m][static_cast<std::size_t>(bin)];
+        const auto eff = MakeEff(pairs, detected, total_duplicates);
+        if (!have_best || IsBetter(eff, best_eff, options.target_recall)) {
+          have_best = true;
+          best_eff = eff;
+          best_config.clean = clean;
+          best_config.model = model;
+          best_config.measure = kMeasures[m];
+          best_threshold = bin / 100.0;
+        }
+        if (eff.pc >= options.target_recall) break;
+      }
+    }
+  }
+
+  // Re-run the winner for RT and the authoritative candidate set.
+  auto run = sparsenn::EpsilonJoin(dataset, mode, best_config, best_threshold);
+  result.eff = core::Evaluate(run.candidates, dataset);
+  result.runtime_ms = run.timing.TotalMs();
+  result.phases = run.timing.phases();
+  std::ostringstream desc;
+  desc << DescribeSparse(best_config) << " t=" << best_threshold;
+  result.config = desc.str();
+  result.reached_target = result.eff.pc >= options.target_recall;
+  return result;
+}
+
+TunedResult TuneKnnJoin(const core::Dataset& dataset, core::SchemaMode mode,
+                        const GridOptions& options) {
+  TunedResult result;
+  result.method = "kNNJ";
+  const std::size_t total_duplicates = dataset.NumDuplicates();
+  constexpr int kMaxK = 100;
+
+  SparseConfig best_config;
+  int best_k = 1;
+  bool best_reverse = false;
+  core::Effectiveness best_eff;
+  bool have_best = false;
+
+  for (const auto& [clean, model] : RepresentationGrid(options.full_grid)) {
+    // Token sets are built once per representation and shared by both join
+    // directions and all three similarity measures.
+    const auto sets1 = sparsenn::BuildSideTokenSets(dataset, 0, mode, model, clean);
+    const auto sets2 = sparsenn::BuildSideTokenSets(dataset, 1, mode, model, clean);
+
+    for (bool reverse : {false, true}) {
+      const auto& indexed = reverse ? sets2 : sets1;
+      const auto& queries = reverse ? sets1 : sets2;
+      sparsenn::ScanCountIndex index(indexed);
+
+      // added_pairs[m][k] / added_dups[m][k]: contribution of the k-th
+      // distinct-similarity rank group under measure m.
+      std::array<std::array<std::uint64_t, kMaxK>, 3> added_pairs{};
+      std::array<std::array<std::uint64_t, kMaxK>, 3> added_dups{};
+      std::vector<std::pair<EntityId, std::uint32_t>> matches;  // (id, overlap)
+      std::vector<std::pair<double, bool>> scored;              // (sim, is_dup)
+      for (EntityId q = 0; q < queries.size(); ++q) {
+        matches.clear();
+        index.Probe(queries[q],
+                    [&matches](std::uint32_t id, std::uint32_t overlap,
+                               std::uint32_t) { matches.emplace_back(id, overlap); });
+        for (std::size_t m = 0; m < kMeasures.size(); ++m) {
+          scored.clear();
+          for (const auto& [id, overlap] : matches) {
+            const core::PairKey key =
+                reverse ? core::MakePair(q, id) : core::MakePair(id, q);
+            scored.emplace_back(
+                sparsenn::SetSimilarity(kMeasures[m], overlap, queries[q].size(),
+                                        index.SetSize(id)),
+                dataset.IsDuplicate(key));
+          }
+          std::sort(scored.begin(), scored.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+          int rank_group = -1;
+          double previous = -1.0;
+          for (const auto& [sim, dup] : scored) {
+            if (sim != previous) {
+              if (++rank_group >= kMaxK) break;
+              previous = sim;
+            }
+            ++added_pairs[m][static_cast<std::size_t>(rank_group)];
+            if (dup) ++added_dups[m][static_cast<std::size_t>(rank_group)];
+          }
+        }
+      }
+
+      // Ascending k; the paper terminates the sweep at the first k meeting
+      // the recall target.
+      for (std::size_t m = 0; m < kMeasures.size(); ++m) {
+        std::uint64_t pairs = 0, detected = 0;
+        for (int k = 1; k <= kMaxK; ++k) {
+          ++result.configurations_tried;
+          pairs += added_pairs[m][static_cast<std::size_t>(k - 1)];
+          detected += added_dups[m][static_cast<std::size_t>(k - 1)];
+          const auto eff = MakeEff(pairs, detected, total_duplicates);
+          if (!have_best || IsBetter(eff, best_eff, options.target_recall)) {
+            have_best = true;
+            best_eff = eff;
+            best_config.clean = clean;
+            best_config.model = model;
+            best_config.measure = kMeasures[m];
+            best_k = k;
+            best_reverse = reverse;
+          }
+          if (eff.pc >= options.target_recall) break;
+        }
+      }
+    }
+  }
+
+  auto run = sparsenn::KnnJoin(dataset, mode, best_config, best_k, best_reverse);
+  result.eff = core::Evaluate(run.candidates, dataset);
+  result.runtime_ms = run.timing.TotalMs();
+  result.phases = run.timing.phases();
+  std::ostringstream desc;
+  desc << DescribeSparse(best_config) << " K=" << best_k
+       << " RVS=" << (best_reverse ? "on" : "off");
+  result.config = desc.str();
+  result.reached_target = result.eff.pc >= options.target_recall;
+  return result;
+}
+
+TunedResult RunDknnBaseline(const core::Dataset& dataset, core::SchemaMode mode) {
+  TunedResult result;
+  result.method = "DkNN";
+  result.configurations_tried = 1;
+  auto run = sparsenn::DefaultKnnJoin(dataset, mode);
+  result.eff = core::Evaluate(run.candidates, dataset);
+  result.runtime_ms = run.timing.TotalMs();
+  result.phases = run.timing.phases();
+  result.config = "CL=on RM=C5GM SM=Cosine K=5 (smaller side queries)";
+  result.reached_target = result.eff.pc >= core::kTargetRecall;
+  return result;
+}
+
+}  // namespace erb::tuning

@@ -1,0 +1,26 @@
+// Grid search over the sparse NN methods (Table IV): ε-Join and kNN-Join.
+//
+// Both tuners exploit that, for a fixed (cleaning, model, measure)
+// combination, every threshold of the sweep can be evaluated from one pass
+// over the scored candidate pairs: thresholds are binned for ε-Join and rank
+// groups are accumulated for kNN-Join. Results are identical to running the
+// join once per threshold.
+#pragma once
+
+#include "core/entity.hpp"
+#include "tuning/result.hpp"
+
+namespace erb::tuning {
+
+/// Fine-tunes ε-Join for Problem 1.
+TunedResult TuneEpsilonJoin(const core::Dataset& dataset, core::SchemaMode mode,
+                            const GridOptions& options);
+
+/// Fine-tunes kNN-Join for Problem 1 (including the RVS direction).
+TunedResult TuneKnnJoin(const core::Dataset& dataset, core::SchemaMode mode,
+                        const GridOptions& options);
+
+/// Runs the DkNN baseline (no tuning).
+TunedResult RunDknnBaseline(const core::Dataset& dataset, core::SchemaMode mode);
+
+}  // namespace erb::tuning

@@ -1,0 +1,120 @@
+#include "tuning/suite.hpp"
+
+#include <stdexcept>
+
+#include "tuning/blocking_tuner.hpp"
+#include "tuning/dense_tuner.hpp"
+#include "tuning/sparse_tuner.hpp"
+
+namespace erb::tuning {
+
+std::string_view MethodName(MethodId id) {
+  switch (id) {
+    case MethodId::kSbw: return "SBW";
+    case MethodId::kQbw: return "QBW";
+    case MethodId::kEqbw: return "EQBW";
+    case MethodId::kSabw: return "SABW";
+    case MethodId::kEsabw: return "ESABW";
+    case MethodId::kPbw: return "PBW";
+    case MethodId::kDbw: return "DBW";
+    case MethodId::kEpsilonJoin: return "eJoin";
+    case MethodId::kKnnJoin: return "kNNJ";
+    case MethodId::kDknn: return "DkNN";
+    case MethodId::kMhLsh: return "MH-LSH";
+    case MethodId::kCpLsh: return "CP-LSH";
+    case MethodId::kHpLsh: return "HP-LSH";
+    case MethodId::kFaiss: return "FAISS";
+    case MethodId::kScann: return "SCANN";
+    case MethodId::kDeepBlocker: return "DeepBlocker";
+    case MethodId::kDdb: return "DDB";
+  }
+  return "unknown";
+}
+
+std::vector<MethodId> AllMethods() {
+  return {MethodId::kSbw,   MethodId::kQbw,         MethodId::kEqbw,
+          MethodId::kSabw,  MethodId::kEsabw,       MethodId::kPbw,
+          MethodId::kDbw,   MethodId::kEpsilonJoin, MethodId::kKnnJoin,
+          MethodId::kDknn,  MethodId::kMhLsh,       MethodId::kCpLsh,
+          MethodId::kHpLsh, MethodId::kFaiss,       MethodId::kScann,
+          MethodId::kDeepBlocker, MethodId::kDdb};
+}
+
+bool IsBlockingMethod(MethodId id) {
+  switch (id) {
+    case MethodId::kSbw: case MethodId::kQbw: case MethodId::kEqbw:
+    case MethodId::kSabw: case MethodId::kEsabw: case MethodId::kPbw:
+    case MethodId::kDbw:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSparseMethod(MethodId id) {
+  return id == MethodId::kEpsilonJoin || id == MethodId::kKnnJoin ||
+         id == MethodId::kDknn;
+}
+
+bool IsDenseMethod(MethodId id) {
+  switch (id) {
+    case MethodId::kMhLsh: case MethodId::kCpLsh: case MethodId::kHpLsh:
+    case MethodId::kFaiss: case MethodId::kScann: case MethodId::kDeepBlocker:
+    case MethodId::kDdb:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsBaseline(MethodId id) {
+  return id == MethodId::kPbw || id == MethodId::kDbw || id == MethodId::kDknn ||
+         id == MethodId::kDdb;
+}
+
+TunedResult RunMethod(MethodId id, const core::Dataset& dataset,
+                      core::SchemaMode mode, const GridOptions& options) {
+  using blocking::BuilderKind;
+  switch (id) {
+    case MethodId::kSbw:
+      return TuneBlockingWorkflow(dataset, mode, BuilderKind::kStandard, options);
+    case MethodId::kQbw:
+      return TuneBlockingWorkflow(dataset, mode, BuilderKind::kQGrams, options);
+    case MethodId::kEqbw:
+      return TuneBlockingWorkflow(dataset, mode, BuilderKind::kExtendedQGrams,
+                                  options);
+    case MethodId::kSabw:
+      return TuneBlockingWorkflow(dataset, mode, BuilderKind::kSuffixArrays,
+                                  options);
+    case MethodId::kEsabw:
+      return TuneBlockingWorkflow(dataset, mode,
+                                  BuilderKind::kExtendedSuffixArrays, options);
+    case MethodId::kPbw:
+      return RunPbwBaseline(dataset, mode);
+    case MethodId::kDbw:
+      return RunDbwBaseline(dataset, mode);
+    case MethodId::kEpsilonJoin:
+      return TuneEpsilonJoin(dataset, mode, options);
+    case MethodId::kKnnJoin:
+      return TuneKnnJoin(dataset, mode, options);
+    case MethodId::kDknn:
+      return RunDknnBaseline(dataset, mode);
+    case MethodId::kMhLsh:
+      return TuneMinHashLsh(dataset, mode, options);
+    case MethodId::kCpLsh:
+      return TuneCrossPolytopeLsh(dataset, mode, options);
+    case MethodId::kHpLsh:
+      return TuneHyperplaneLsh(dataset, mode, options);
+    case MethodId::kFaiss:
+      return TuneFaiss(dataset, mode, options);
+    case MethodId::kScann:
+      return TuneScann(dataset, mode, options);
+    case MethodId::kDeepBlocker:
+      return TuneDeepBlocker(dataset, mode, options);
+    case MethodId::kDdb:
+      return RunDdbBaseline(dataset, mode, options);
+  }
+  throw std::invalid_argument("unknown method id");
+}
+
+}  // namespace erb::tuning

@@ -1,0 +1,38 @@
+// The full method roster of Table VII: 15 fine-tuned filters plus 4 baseline
+// methods, with a uniform run interface for the benchmark harness.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/entity.hpp"
+#include "tuning/result.hpp"
+
+namespace erb::tuning {
+
+/// Every method evaluated in Table VII, in the table's row order.
+enum class MethodId {
+  kSbw, kQbw, kEqbw, kSabw, kEsabw,   // fine-tuned blocking workflows
+  kPbw, kDbw,                          // baseline blocking workflows
+  kEpsilonJoin, kKnnJoin, kDknn,       // sparse NN (+ baseline)
+  kMhLsh, kCpLsh, kHpLsh,              // similarity-based dense NN
+  kFaiss, kScann, kDeepBlocker, kDdb,  // cardinality-based dense NN (+ baseline)
+};
+
+std::string_view MethodName(MethodId id);
+
+/// All methods in Table VII order.
+std::vector<MethodId> AllMethods();
+
+/// True for the similarity/cardinality and blocking groups as the paper's
+/// qualitative taxonomy defines them.
+bool IsBlockingMethod(MethodId id);
+bool IsSparseMethod(MethodId id);
+bool IsDenseMethod(MethodId id);
+bool IsBaseline(MethodId id);
+
+/// Tunes (or, for baselines, runs) one method on one dataset/schema setting.
+TunedResult RunMethod(MethodId id, const core::Dataset& dataset,
+                      core::SchemaMode mode, const GridOptions& options);
+
+}  // namespace erb::tuning

@@ -1,0 +1,345 @@
+// Tests for src/blocking: key extraction (against the paper's worked
+// example), block building, cleaning, meta-blocking and workflows.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "blocking/builders.hpp"
+#include "blocking/cleaning.hpp"
+#include "blocking/comparison.hpp"
+#include "blocking/graph.hpp"
+#include "blocking/workflow.hpp"
+#include "core/metrics.hpp"
+#include "datagen/registry.hpp"
+
+namespace erb::blocking {
+namespace {
+
+std::set<std::string> KeySet(std::string_view text, const BuilderConfig& config) {
+  const auto keys = ExtractKeys(text, config);
+  return {keys.begin(), keys.end()};
+}
+
+// The "Joe Biden" example of Section IV-B. Our normalizer lower-cases, so the
+// expected keys are the paper's in lower case.
+TEST(ExtractKeysTest, PaperExampleStandard) {
+  BuilderConfig config;
+  config.kind = BuilderKind::kStandard;
+  EXPECT_EQ(KeySet("Joe Biden", config), (std::set<std::string>{"joe", "biden"}));
+}
+
+TEST(ExtractKeysTest, PaperExampleQGrams) {
+  BuilderConfig config;
+  config.kind = BuilderKind::kQGrams;
+  config.q = 3;
+  EXPECT_EQ(KeySet("Joe Biden", config),
+            (std::set<std::string>{"joe", "bid", "ide", "den"}));
+}
+
+TEST(ExtractKeysTest, PaperExampleExtendedQGrams) {
+  BuilderConfig config;
+  config.kind = BuilderKind::kExtendedQGrams;
+  config.q = 3;
+  config.t = 0.9;
+  // L = max(1, floor(3 * 0.9)) = 2 for "biden" (3 q-grams): combinations of
+  // >= 2 q-grams; "joe" has a single q-gram.
+  EXPECT_EQ(KeySet("Joe Biden", config),
+            (std::set<std::string>{"joe", "bid_ide_den", "bid_ide", "bid_den",
+                                   "ide_den"}));
+}
+
+TEST(ExtractKeysTest, PaperExampleSuffixArrays) {
+  BuilderConfig config;
+  config.kind = BuilderKind::kSuffixArrays;
+  config.l_min = 3;
+  EXPECT_EQ(KeySet("Joe Biden", config),
+            (std::set<std::string>{"joe", "biden", "iden", "den"}));
+}
+
+TEST(ExtractKeysTest, PaperExampleExtendedSuffixArrays) {
+  BuilderConfig config;
+  config.kind = BuilderKind::kExtendedSuffixArrays;
+  config.l_min = 3;
+  EXPECT_EQ(KeySet("Joe Biden", config),
+            (std::set<std::string>{"joe", "biden", "bide", "iden", "bid", "ide",
+                                   "den"}));
+}
+
+TEST(ExtractKeysTest, DeduplicatesKeys) {
+  BuilderConfig config;
+  config.kind = BuilderKind::kStandard;
+  EXPECT_EQ(ExtractKeys("red red red", config).size(), 1u);
+}
+
+TEST(ExtractKeysTest, EmptyText) {
+  BuilderConfig config;
+  EXPECT_TRUE(ExtractKeys("", config).empty());
+  EXPECT_TRUE(ExtractKeys("  !!! ", config).empty());
+}
+
+core::Dataset ToyDataset() {
+  using core::EntityProfile;
+  auto p = [](const char* v) {
+    EntityProfile e;
+    e.attributes.push_back({"t", v});
+    return e;
+  };
+  std::vector<EntityProfile> e1 = {p("alpha beta"), p("gamma delta"),
+                                   p("epsilon")};
+  std::vector<EntityProfile> e2 = {p("alpha beta extra"), p("gamma other"),
+                                   p("unrelated")};
+  return core::Dataset("toy", std::move(e1), std::move(e2), {{0, 0}, {1, 1}},
+                       "t");
+}
+
+TEST(BuildBlocksTest, GroupsEntitiesBySharedToken) {
+  const auto dataset = ToyDataset();
+  BuilderConfig config;
+  const auto blocks = BuildBlocks(dataset, core::SchemaMode::kAgnostic, config);
+  // Useful blocks: alpha, beta (e1#0 + e2#0), gamma (e1#1 + e2#1).
+  EXPECT_EQ(blocks.size(), 3u);
+  for (const auto& block : blocks) {
+    EXPECT_FALSE(block.e1.empty());
+    EXPECT_FALSE(block.e2.empty());
+  }
+  EXPECT_EQ(TotalComparisons(blocks), 3u);
+}
+
+TEST(BuildBlocksTest, ProactiveBMaxDiscardsBigBlocks) {
+  const auto dataset = ToyDataset();
+  BuilderConfig config;
+  config.kind = BuilderKind::kSuffixArrays;
+  config.l_min = 2;
+  config.b_max = 2;
+  for (const auto& block :
+       BuildBlocks(dataset, core::SchemaMode::kAgnostic, config)) {
+    EXPECT_LT(block.Assignments(), 2u) << "b_max violated";
+  }
+}
+
+TEST(BlockPurgingTest, RemovesOversizedBlocks) {
+  BlockCollection blocks;
+  // A stop-word-like block holding every entity.
+  Block giant;
+  for (core::EntityId i = 0; i < 50; ++i) giant.e1.push_back(i);
+  for (core::EntityId i = 0; i < 50; ++i) giant.e2.push_back(i);
+  blocks.push_back(giant);
+  for (int b = 0; b < 20; ++b) {
+    Block small;
+    small.e1 = {static_cast<core::EntityId>(b)};
+    small.e2 = {static_cast<core::EntityId>(b)};
+    blocks.push_back(small);
+  }
+  BlockPurging(&blocks, 50, 50);
+  EXPECT_EQ(blocks.size(), 20u);
+  for (const auto& block : blocks) EXPECT_EQ(block.Comparisons(), 1u);
+}
+
+TEST(BlockPurgingTest, KeepsHomogeneousCollection) {
+  BlockCollection blocks;
+  for (int b = 0; b < 30; ++b) {
+    Block block;
+    block.e1 = {static_cast<core::EntityId>(b), static_cast<core::EntityId>(b + 1)};
+    block.e2 = {static_cast<core::EntityId>(b)};
+    blocks.push_back(block);
+  }
+  BlockPurging(&blocks, 100, 100);
+  EXPECT_EQ(blocks.size(), 30u);
+}
+
+TEST(BlockFilteringTest, RatioOneIsIdentity) {
+  const auto dataset = ToyDataset();
+  auto blocks = BuildBlocks(dataset, core::SchemaMode::kAgnostic, BuilderConfig{});
+  const auto before = TotalComparisons(blocks);
+  BlockFiltering(&blocks, 1.0, dataset.e1().size(), dataset.e2().size());
+  EXPECT_EQ(TotalComparisons(blocks), before);
+}
+
+TEST(BlockFilteringTest, RetainsSmallestBlocksPerEntity) {
+  // Entity 0 of E1 participates in blocks of sizes 2 and 6; with ratio 0.5 it
+  // must stay only in the smaller one.
+  BlockCollection blocks(2);
+  blocks[0].e1 = {0};
+  blocks[0].e2 = {0};
+  blocks[1].e1 = {0, 1, 2};
+  blocks[1].e2 = {0, 1, 2};
+  BlockFiltering(&blocks, 0.5, 3, 3);
+  std::size_t assignments_of_entity0 = 0;
+  for (const auto& block : blocks) {
+    assignments_of_entity0 +=
+        std::count(block.e1.begin(), block.e1.end(), core::EntityId{0});
+  }
+  EXPECT_EQ(assignments_of_entity0, 1u);
+}
+
+TEST(BlockFilteringTest, ReducesComparisons) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(2).Scaled(0.1));
+  auto blocks = BuildBlocks(dataset, core::SchemaMode::kAgnostic, BuilderConfig{});
+  const auto before = TotalComparisons(blocks);
+  BlockFiltering(&blocks, 0.5, dataset.e1().size(), dataset.e2().size());
+  EXPECT_LT(TotalComparisons(blocks), before);
+}
+
+TEST(ComparisonPropagationTest, EmitsDistinctPairsExactlyOnce) {
+  BlockCollection blocks(2);
+  blocks[0].e1 = {0, 1};
+  blocks[0].e2 = {0};
+  blocks[1].e1 = {0};
+  blocks[1].e2 = {0, 1};  // pair (0,0) redundant across both blocks
+  const auto candidates = ComparisonPropagation(blocks, 2, 2);
+  // Distinct pairs: (0,0), (1,0), (0,1).
+  EXPECT_EQ(candidates.size(), 3u);
+  EXPECT_TRUE(candidates.Contains(0, 0));
+  EXPECT_TRUE(candidates.Contains(1, 0));
+  EXPECT_TRUE(candidates.Contains(0, 1));
+}
+
+TEST(PairGraphTest, CommonBlockCountsAndArcs) {
+  BlockCollection blocks(2);
+  blocks[0].e1 = {0};
+  blocks[0].e2 = {0};          // 1 comparison
+  blocks[1].e1 = {0, 1};
+  blocks[1].e2 = {0, 1};       // 4 comparisons
+  PairGraph graph(blocks, 2, 2);
+  bool saw_pair00 = false;
+  graph.ForEachPair([&](core::EntityId i, core::EntityId j, std::uint32_t common,
+                        double arcs) {
+    if (i == 0 && j == 0) {
+      saw_pair00 = true;
+      EXPECT_EQ(common, 2u);
+      EXPECT_DOUBLE_EQ(arcs, 1.0 / 1.0 + 1.0 / 4.0);
+    } else {
+      EXPECT_EQ(common, 1u);
+    }
+  });
+  EXPECT_TRUE(saw_pair00);
+  EXPECT_EQ(graph.BlocksOf1(0), 2u);
+  EXPECT_EQ(graph.BlocksOf2(1), 1u);
+  graph.EnsureDegrees();
+  EXPECT_EQ(graph.TotalPairs(), 4u);
+  EXPECT_EQ(graph.Degree1(0), 2u);
+}
+
+TEST(PairWeightTest, SchemesMatchFormulas) {
+  BlockCollection blocks(3);
+  blocks[0].e1 = {0};
+  blocks[0].e2 = {0};
+  blocks[1].e1 = {0};
+  blocks[1].e2 = {0};
+  blocks[2].e1 = {0};
+  blocks[2].e2 = {1};
+  PairGraph graph(blocks, 1, 2);
+  // Pair (0,0): common = 2, |B0| = 3, |B_0 of e2| = 2, total blocks = 3.
+  EXPECT_DOUBLE_EQ(PairWeight(graph, WeightingScheme::kCbs, 0, 0, 2, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(PairWeight(graph, WeightingScheme::kJs, 0, 0, 2, 2.0),
+                   2.0 / (3 + 2 - 2));
+  EXPECT_DOUBLE_EQ(PairWeight(graph, WeightingScheme::kArcs, 0, 0, 2, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(
+      PairWeight(graph, WeightingScheme::kEcbs, 0, 0, 2, 2.0),
+      2.0 * std::log(3.0 / 3.0) * std::log(3.0 / 2.0));
+  EXPECT_GE(PairWeight(graph, WeightingScheme::kChiSquared, 0, 0, 2, 2.0), 0.0);
+}
+
+class PruningSubsetTest
+    : public ::testing::TestWithParam<std::pair<WeightingScheme, PruningAlgorithm>> {};
+
+TEST_P(PruningSubsetTest, MetaBlockingIsSubsetOfPropagation) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(1).Scaled(0.3));
+  const auto blocks =
+      BuildBlocks(dataset, core::SchemaMode::kAgnostic, BuilderConfig{});
+  const auto all = ComparisonPropagation(blocks, dataset.e1().size(),
+                                         dataset.e2().size());
+  const auto pruned =
+      MetaBlocking(blocks, dataset.e1().size(), dataset.e2().size(),
+                   GetParam().first, GetParam().second);
+  EXPECT_LE(pruned.size(), all.size());
+  EXPECT_GT(pruned.size(), 0u);
+  for (core::PairKey key : pruned) {
+    EXPECT_TRUE(all.Contains(core::PairFirst(key), core::PairSecond(key)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, PruningSubsetTest,
+    ::testing::Values(
+        std::pair{WeightingScheme::kCbs, PruningAlgorithm::kWep},
+        std::pair{WeightingScheme::kCbs, PruningAlgorithm::kWnp},
+        std::pair{WeightingScheme::kCbs, PruningAlgorithm::kRwnp},
+        std::pair{WeightingScheme::kArcs, PruningAlgorithm::kCep},
+        std::pair{WeightingScheme::kJs, PruningAlgorithm::kCnp},
+        std::pair{WeightingScheme::kEjs, PruningAlgorithm::kRcnp},
+        std::pair{WeightingScheme::kEcbs, PruningAlgorithm::kBlast},
+        std::pair{WeightingScheme::kChiSquared, PruningAlgorithm::kWnp}));
+
+TEST(MetaBlockingTest, ReciprocalVariantsAreStricter) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(2).Scaled(0.1));
+  const auto blocks =
+      BuildBlocks(dataset, core::SchemaMode::kAgnostic, BuilderConfig{});
+  const std::size_t n1 = dataset.e1().size(), n2 = dataset.e2().size();
+  const auto wnp = MetaBlocking(blocks, n1, n2, WeightingScheme::kCbs,
+                                PruningAlgorithm::kWnp);
+  const auto rwnp = MetaBlocking(blocks, n1, n2, WeightingScheme::kCbs,
+                                 PruningAlgorithm::kRwnp);
+  const auto cnp = MetaBlocking(blocks, n1, n2, WeightingScheme::kCbs,
+                                PruningAlgorithm::kCnp);
+  const auto rcnp = MetaBlocking(blocks, n1, n2, WeightingScheme::kCbs,
+                                 PruningAlgorithm::kRcnp);
+  EXPECT_LE(rwnp.size(), wnp.size());
+  EXPECT_LE(rcnp.size(), cnp.size());
+}
+
+TEST(WorkflowTest, PhasesAreRecorded) {
+  const auto dataset = ToyDataset();
+  WorkflowConfig config;
+  config.block_purging = true;
+  config.filter_ratio = 0.8;
+  config.cleaning.use_metablocking = true;
+  const auto result = RunWorkflow(dataset, core::SchemaMode::kAgnostic, config);
+  EXPECT_GT(result.blocks_built, 0u);
+  EXPECT_TRUE(result.timing.phases().contains(kPhaseBuild));
+  EXPECT_TRUE(result.timing.phases().contains(kPhasePurge));
+  EXPECT_TRUE(result.timing.phases().contains(kPhaseFilter));
+  EXPECT_TRUE(result.timing.phases().contains(kPhaseClean));
+}
+
+TEST(WorkflowTest, PbwFindsAllTokenSharingDuplicates) {
+  const auto dataset = ToyDataset();
+  const auto result = RunWorkflow(dataset, core::SchemaMode::kAgnostic,
+                                  ParameterFreeWorkflow());
+  const auto eff = core::Evaluate(result.candidates, dataset);
+  EXPECT_DOUBLE_EQ(eff.pc, 1.0);
+}
+
+TEST(WorkflowTest, DescribeMentionsAllSteps) {
+  const auto config = DefaultWorkflow();
+  const std::string desc = config.Describe();
+  EXPECT_NE(desc.find("QGramsBlocking"), std::string::npos);
+  EXPECT_NE(desc.find("q=6"), std::string::npos);
+  EXPECT_NE(desc.find("WEP"), std::string::npos);
+  EXPECT_NE(desc.find("ECBS"), std::string::npos);
+}
+
+TEST(WorkflowTest, SchemaBasedUsesOnlyBestAttribute) {
+  using core::EntityProfile;
+  auto p = [](const char* name, const char* other) {
+    EntityProfile e;
+    e.attributes.push_back({"name", name});
+    e.attributes.push_back({"other", other});
+    return e;
+  };
+  std::vector<EntityProfile> e1 = {p("unique1", "shared")};
+  std::vector<EntityProfile> e2 = {p("unique2", "shared")};
+  core::Dataset d("t", std::move(e1), std::move(e2), {{0, 0}}, "name");
+  // No Block Purging: with only two entities, any shared block holds them
+  // all and would be purged as stop-word-like.
+  WorkflowConfig config;
+  config.cleaning.use_metablocking = false;
+  const auto agnostic = RunWorkflow(d, core::SchemaMode::kAgnostic, config);
+  const auto based = RunWorkflow(d, core::SchemaMode::kBased, config);
+  EXPECT_EQ(core::Evaluate(agnostic.candidates, d).pc, 1.0);  // via "shared"
+  EXPECT_EQ(core::Evaluate(based.candidates, d).pc, 0.0);     // names differ
+}
+
+}  // namespace
+}  // namespace erb::blocking

@@ -1,0 +1,101 @@
+// Calibration regression tests: pin the dataset-shape properties that the
+// paper's findings depend on, so accidental generator drift is caught by CI
+// rather than by a misshapen Table VII.
+#include <gtest/gtest.h>
+
+#include "blocking/workflow.hpp"
+#include "core/metrics.hpp"
+#include "core/schema.hpp"
+#include "datagen/registry.hpp"
+#include "sparsenn/joins.hpp"
+
+namespace erb {
+namespace {
+
+double BestAttrCoverage(const core::Dataset& d, bool groundtruth) {
+  for (const auto& s : core::ComputeAttributeStats(d)) {
+    if (s.name == d.best_attribute()) {
+      return groundtruth ? s.groundtruth_coverage : s.coverage;
+    }
+  }
+  return 0.0;
+}
+
+double PbwPq(const core::Dataset& d) {
+  const auto run = blocking::RunWorkflow(d, core::SchemaMode::kAgnostic,
+                                         blocking::ParameterFreeWorkflow());
+  return core::Evaluate(run.candidates, d).pq;
+}
+
+TEST(CalibrationTest, D1CoverageMatchesFigure3a) {
+  // Paper: the name attribute covers ~2/3 of all profiles but every duplicate.
+  const auto d = datagen::Generate(datagen::PaperSpec(1));
+  EXPECT_GT(BestAttrCoverage(d, false), 0.55);
+  EXPECT_LT(BestAttrCoverage(d, false), 0.78);
+  EXPECT_DOUBLE_EQ(BestAttrCoverage(d, true), 1.0);
+}
+
+TEST(CalibrationTest, MovieDatasetsFailSchemaBasedCoverage) {
+  // Paper: D5-D7 overall coverage 55-75%, ground-truth coverage 30-53%.
+  for (int index : {5, 6, 7}) {
+    const auto d = datagen::Generate(datagen::PaperSpec(index).Scaled(0.25));
+    const double coverage = BestAttrCoverage(d, false);
+    const double gt = BestAttrCoverage(d, true);
+    EXPECT_GT(coverage, 0.5) << d.name();
+    EXPECT_LT(coverage, 0.8) << d.name();
+    EXPECT_LT(gt, 0.7) << d.name();
+    EXPECT_LT(gt, coverage) << d.name();
+  }
+}
+
+TEST(CalibrationTest, HardnessOrderingD3HardestD4Easiest) {
+  // Paper Table VII(b): D3 yields the lowest PQ among D1-D4 for nearly every
+  // method, D4 the highest. PBW's precision is a cheap proxy for that shape.
+  const auto d2 = datagen::Generate(datagen::PaperSpec(2).Scaled(0.5));
+  const auto d3 = datagen::Generate(datagen::PaperSpec(3).Scaled(0.5));
+  const auto d4 = datagen::Generate(datagen::PaperSpec(4).Scaled(0.5));
+  const double pq2 = PbwPq(d2), pq3 = PbwPq(d3), pq4 = PbwPq(d4);
+  EXPECT_LT(pq3, pq2);
+  EXPECT_LT(pq2, pq4);
+}
+
+TEST(CalibrationTest, TokenBlockingRecallCeilingHoldsEverywhere) {
+  // Problem 1 must be solvable in the schema-agnostic settings: the token
+  // co-occurrence ceiling stays above the 0.9 target on every dataset.
+  for (int index = 1; index <= datagen::kNumDatasets; ++index) {
+    const auto d = datagen::Generate(datagen::PaperSpec(index).Scaled(
+        index <= 4 ? 0.5 : 0.15));
+    const auto run = blocking::RunWorkflow(d, core::SchemaMode::kAgnostic,
+                                           blocking::ParameterFreeWorkflow());
+    EXPECT_GE(core::Evaluate(run.candidates, d).pc, 0.9) << d.name();
+  }
+}
+
+TEST(CalibrationTest, DknnBaselineLandsInPaperRange) {
+  // DkNN (K=5, C5GM, cosine) reaches 0.8-1.0 recall on the small datasets,
+  // as in Table VII(a)'s baseline rows.
+  for (int index : {1, 2, 4}) {
+    const auto d = datagen::Generate(datagen::PaperSpec(index).Scaled(0.5));
+    const auto run = sparsenn::DefaultKnnJoin(d, core::SchemaMode::kAgnostic);
+    const auto eff = core::Evaluate(run.candidates, d);
+    EXPECT_GT(eff.pc, 0.8) << d.name();
+    EXPECT_GT(eff.pq, 0.05) << d.name();
+  }
+}
+
+TEST(CalibrationTest, DuplicateHardnessIsGraded) {
+  // The hard tail must form a continuum: with K=1 a kNN join catches most
+  // but clearly not all duplicates on D2 (no cliff at the easy fraction, no
+  // perfect separability either).
+  const auto d = datagen::Generate(datagen::PaperSpec(2).Scaled(0.5));
+  sparsenn::SparseConfig config;
+  config.model = sparsenn::TokenModel::kC5GM;
+  const auto run = sparsenn::KnnJoin(d, core::SchemaMode::kAgnostic, config, 1,
+                                     false);
+  const double pc = core::Evaluate(run.candidates, d).pc;
+  EXPECT_GT(pc, 0.70);
+  EXPECT_LT(pc, 0.97);
+}
+
+}  // namespace
+}  // namespace erb

@@ -1,0 +1,186 @@
+// Unit tests for src/common: hashing, deterministic RNG, timers, strings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/timer.hpp"
+
+namespace erb {
+namespace {
+
+TEST(HashTest, FnvIsDeterministic) {
+  EXPECT_EQ(FnvHash64("hello"), FnvHash64("hello"));
+  EXPECT_NE(FnvHash64("hello"), FnvHash64("hellO"));
+  EXPECT_NE(FnvHash64("ab"), FnvHash64("ba"));
+}
+
+TEST(HashTest, FnvSeedChangesValue) {
+  EXPECT_NE(FnvHash64("hello", 1), FnvHash64("hello", 2));
+}
+
+TEST(HashTest, EmptyStringHashesToSeed) {
+  EXPECT_EQ(FnvHash64("", 42), 42u);
+}
+
+TEST(HashTest, SplitMixAvoidsTrivialFixpoints) {
+  EXPECT_NE(SplitMix64(0), 0u);
+  EXPECT_NE(SplitMix64(1), 1u);
+  EXPECT_NE(SplitMix64(0), SplitMix64(1));
+}
+
+TEST(HashTest, HashCombineOrderDependent) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(HashTest, SeededHashIndependentFunctions) {
+  // Different function indices must behave like independent hash functions:
+  // the minima of MinHash rely on it.
+  std::set<std::uint64_t> values;
+  for (std::uint64_t f = 0; f < 64; ++f) values.insert(SeededHash("token", f));
+  EXPECT_EQ(values.size(), 64u);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.NextU64() == b.NextU64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.NextBounded(17), 17u);
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(4);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.05);
+}
+
+TEST(RngTest, ZipfStaysInRangeAndSkewsLow) {
+  Rng rng(5);
+  std::size_t low_ranks = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const auto r = rng.NextZipf(1000, 1.0);
+    ASSERT_LT(r, 1000u);
+    low_ranks += r < 10;
+  }
+  // Under Zipf(1.0, 1000) the top-10 ranks carry ~31% of the mass.
+  EXPECT_GT(low_ranks, kN / 5);
+}
+
+TEST(RngTest, ZipfWithZeroSkewIsUniformish) {
+  Rng rng(6);
+  std::size_t low_ranks = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) low_ranks += rng.NextZipf(100, 0.0) < 10;
+  EXPECT_NEAR(static_cast<double>(low_ranks) / kN, 0.1, 0.03);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.ElapsedMs(), 15.0);
+}
+
+TEST(PhaseTimerTest, AccumulatesNamedPhases) {
+  PhaseTimer timer;
+  timer.Add("a", 5.0);
+  timer.Add("a", 7.0);
+  timer.Add("b", 1.0);
+  EXPECT_DOUBLE_EQ(timer.Get("a"), 12.0);
+  EXPECT_DOUBLE_EQ(timer.Get("b"), 1.0);
+  EXPECT_DOUBLE_EQ(timer.Get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(timer.TotalMs(), 13.0);
+}
+
+TEST(PhaseTimerTest, MeasureReturnsValueAndRecords) {
+  PhaseTimer timer;
+  const int result = timer.Measure("phase", [] { return 42; });
+  EXPECT_EQ(result, 42);
+  EXPECT_GE(timer.Get("phase"), 0.0);
+  EXPECT_EQ(timer.phases().size(), 1u);
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(ToLower("MiXeD 123 Case!"), "mixed 123 case!");
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmptyTokens) {
+  const auto tokens = SplitWhitespace("  a  b\t\nc ");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[2], "c");
+}
+
+TEST(StringsTest, SplitWhitespaceEmptyInput) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringsTest, SplitCharKeepsEmptyFields) {
+  const auto fields = SplitChar("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+}
+
+TEST(StringsTest, IsAlnum) {
+  EXPECT_TRUE(IsAlnum("abc123"));
+  EXPECT_FALSE(IsAlnum("abc-123"));
+  EXPECT_FALSE(IsAlnum(""));
+}
+
+TEST(StringsTest, NormalizeTextStripsPunctuationAndCases) {
+  EXPECT_EQ(NormalizeText("Hello, World! (v2.0)"), "hello  world   v2 0 ");
+}
+
+}  // namespace
+}  // namespace erb

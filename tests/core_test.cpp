@@ -1,0 +1,208 @@
+// Unit tests for src/core: entity model, candidate sets, metrics, schema
+// statistics.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/candidates.hpp"
+#include "core/entity.hpp"
+#include "core/metrics.hpp"
+#include "core/schema.hpp"
+
+namespace erb::core {
+namespace {
+
+EntityProfile Profile(std::initializer_list<std::pair<const char*, const char*>> attrs) {
+  EntityProfile p;
+  for (const auto& [n, v] : attrs) p.attributes.push_back({n, v});
+  return p;
+}
+
+Dataset ToyDataset() {
+  std::vector<EntityProfile> e1 = {
+      Profile({{"name", "alpha beta"}, {"desc", "red camera"}}),
+      Profile({{"name", "gamma"}, {"desc", ""}}),
+      Profile({{"name", ""}, {"desc", "blue phone"}}),
+  };
+  std::vector<EntityProfile> e2 = {
+      Profile({{"name", "alpha beta"}, {"desc", "red camera new"}}),
+      Profile({{"name", "delta"}, {"desc", "green tv"}}),
+  };
+  return Dataset("toy", std::move(e1), std::move(e2), {{0, 0}}, "name");
+}
+
+TEST(PairKeyTest, RoundTrip) {
+  const PairKey key = MakePair(123456, 654321);
+  EXPECT_EQ(PairFirst(key), 123456u);
+  EXPECT_EQ(PairSecond(key), 654321u);
+}
+
+TEST(PairKeyTest, MaxIds) {
+  const PairKey key = MakePair(0xffffffffu, 0xfffffffeu);
+  EXPECT_EQ(PairFirst(key), 0xffffffffu);
+  EXPECT_EQ(PairSecond(key), 0xfffffffeu);
+}
+
+TEST(EntityProfileTest, ValueOfConcatenatesMatchingAttributes) {
+  EntityProfile p = Profile({{"a", "x"}, {"b", "y"}, {"a", "z"}});
+  EXPECT_EQ(p.ValueOf("a"), "x z");
+  EXPECT_EQ(p.ValueOf("missing"), "");
+}
+
+TEST(EntityProfileTest, AllValuesSkipsEmpty) {
+  EntityProfile p = Profile({{"a", "x"}, {"b", ""}, {"c", "y"}});
+  EXPECT_EQ(p.AllValues(), "x y");
+}
+
+TEST(EntityProfileTest, Covers) {
+  EntityProfile p = Profile({{"a", "x"}, {"b", ""}});
+  EXPECT_TRUE(p.Covers("a"));
+  EXPECT_FALSE(p.Covers("b"));
+  EXPECT_FALSE(p.Covers("c"));
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  const Dataset d = ToyDataset();
+  EXPECT_EQ(d.name(), "toy");
+  EXPECT_EQ(d.e1().size(), 3u);
+  EXPECT_EQ(d.e2().size(), 2u);
+  EXPECT_EQ(d.NumDuplicates(), 1u);
+  EXPECT_EQ(d.CartesianSize(), 6u);
+  EXPECT_TRUE(d.IsDuplicate(MakePair(0, 0)));
+  EXPECT_FALSE(d.IsDuplicate(MakePair(1, 1)));
+}
+
+TEST(DatasetTest, RejectsOutOfRangeGroundTruth) {
+  std::vector<EntityProfile> e1 = {Profile({{"a", "x"}})};
+  std::vector<EntityProfile> e2 = {Profile({{"a", "x"}})};
+  EXPECT_THROW(Dataset("bad", e1, e2, {{0, 5}}, "a"), std::out_of_range);
+}
+
+TEST(DatasetTest, EntityTextModes) {
+  const Dataset d = ToyDataset();
+  EXPECT_EQ(d.EntityText(0, 0, SchemaMode::kAgnostic), "alpha beta red camera");
+  EXPECT_EQ(d.EntityText(0, 0, SchemaMode::kBased), "alpha beta");
+  EXPECT_EQ(d.EntityText(0, 2, SchemaMode::kBased), "");
+  EXPECT_EQ(d.EntityText(1, 1, SchemaMode::kAgnostic), "delta green tv");
+}
+
+TEST(CandidateSetTest, FinalizeDeduplicatesAndSorts) {
+  CandidateSet set;
+  set.Add(2, 3);
+  set.Add(1, 1);
+  set.Add(2, 3);
+  set.Add(1, 1);
+  set.Finalize();
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(1, 1));
+  EXPECT_TRUE(set.Contains(2, 3));
+  EXPECT_FALSE(set.Contains(3, 2));
+}
+
+TEST(CandidateSetTest, FinalizeIdempotent) {
+  CandidateSet set;
+  set.Add(1, 2);
+  set.Finalize();
+  set.Finalize();
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(CandidateSetTest, EmptySetBehaves) {
+  CandidateSet set;
+  set.Finalize();
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.Contains(0, 0));
+}
+
+TEST(MetricsTest, PerfectFilter) {
+  const Dataset d = ToyDataset();
+  CandidateSet set;
+  set.Add(0, 0);
+  set.Finalize();
+  const auto eff = Evaluate(set, d);
+  EXPECT_DOUBLE_EQ(eff.pc, 1.0);
+  EXPECT_DOUBLE_EQ(eff.pq, 1.0);
+  EXPECT_EQ(eff.candidates, 1u);
+  EXPECT_EQ(eff.detected, 1u);
+}
+
+TEST(MetricsTest, MixedCandidates) {
+  const Dataset d = ToyDataset();
+  CandidateSet set;
+  set.Add(0, 0);  // duplicate
+  set.Add(1, 1);  // not
+  set.Add(2, 1);  // not
+  set.Add(2, 0);  // not
+  set.Finalize();
+  const auto eff = Evaluate(set, d);
+  EXPECT_DOUBLE_EQ(eff.pc, 1.0);
+  EXPECT_DOUBLE_EQ(eff.pq, 0.25);
+}
+
+TEST(MetricsTest, EmptyCandidates) {
+  const Dataset d = ToyDataset();
+  CandidateSet set;
+  set.Finalize();
+  const auto eff = Evaluate(set, d);
+  EXPECT_DOUBLE_EQ(eff.pc, 0.0);
+  EXPECT_DOUBLE_EQ(eff.pq, 0.0);
+}
+
+TEST(SchemaTest, CoverageAndDistinctiveness) {
+  const Dataset d = ToyDataset();
+  const auto stats = ComputeAttributeStats(d);
+  // Attributes: name (4 covered of 5 entities), desc (4 covered of 5).
+  for (const auto& s : stats) {
+    if (s.name == "name") {
+      EXPECT_NEAR(s.coverage, 4.0 / 5.0, 1e-9);
+      EXPECT_NEAR(s.groundtruth_coverage, 1.0, 1e-9);
+      // Values: "alpha beta" x2, "gamma", "delta" -> 3 distinct / 4 covered.
+      EXPECT_NEAR(s.distinctiveness, 3.0 / 4.0, 1e-9);
+    }
+  }
+  EXPECT_EQ(stats.size(), 2u);
+}
+
+TEST(SchemaTest, GroundTruthCoverageRequiresBothSides) {
+  std::vector<EntityProfile> e1 = {Profile({{"name", ""}, {"x", "v"}})};
+  std::vector<EntityProfile> e2 = {Profile({{"name", "n"}, {"x", "v"}})};
+  Dataset d("t", std::move(e1), std::move(e2), {{0, 0}}, "name");
+  for (const auto& s : ComputeAttributeStats(d)) {
+    if (s.name == "name") EXPECT_DOUBLE_EQ(s.groundtruth_coverage, 0.0);
+    if (s.name == "x") EXPECT_DOUBLE_EQ(s.groundtruth_coverage, 1.0);
+  }
+}
+
+TEST(SchemaTest, SelectBestAttributePrefersCoverageAndDistinctiveness) {
+  std::vector<EntityProfile> e1 = {
+      Profile({{"id", "a"}, {"year", "2001"}}),
+      Profile({{"id", "b"}, {"year", "2001"}}),
+      Profile({{"id", "c"}, {"year", "2001"}}),
+  };
+  std::vector<EntityProfile> e2 = {Profile({{"id", "d"}, {"year", "2001"}})};
+  Dataset d("t", std::move(e1), std::move(e2), {}, "");
+  EXPECT_EQ(SelectBestAttribute(d), "id");
+}
+
+TEST(SchemaTest, CorpusStatsCountDistinctTokensAndChars) {
+  const Dataset d = ToyDataset();
+  const auto stats = ComputeCorpusStats(d, SchemaMode::kBased, false);
+  // Tokens in "name": alpha beta (x2), gamma, delta -> 4 distinct.
+  EXPECT_EQ(stats.vocabulary_size, 4u);
+  // Characters: alpha+beta twice, gamma, delta = 9+9+5+5.
+  EXPECT_EQ(stats.char_length, 28u);
+}
+
+TEST(SchemaTest, CleaningShrinksCorpus) {
+  std::vector<EntityProfile> e1 = {
+      Profile({{"t", "the quick brown foxes are running"}})};
+  std::vector<EntityProfile> e2 = {Profile({{"t", "the lazy dogs"}})};
+  Dataset d("t", std::move(e1), std::move(e2), {}, "t");
+  const auto raw = ComputeCorpusStats(d, SchemaMode::kAgnostic, false);
+  const auto clean = ComputeCorpusStats(d, SchemaMode::kAgnostic, true);
+  EXPECT_LT(clean.vocabulary_size, raw.vocabulary_size);
+  EXPECT_LT(clean.char_length, raw.char_length);
+}
+
+}  // namespace
+}  // namespace erb::core

@@ -1,0 +1,61 @@
+// Round-trip tests: a dataset written with WriteCsvDataset and re-loaded with
+// LoadCsvDataset must be equivalent (profiles, ground truth, metrics).
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "datagen/csv_loader.hpp"
+#include "datagen/csv_writer.hpp"
+#include "datagen/registry.hpp"
+
+namespace erb::datagen {
+namespace {
+
+class CsvRoundTripTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::string Path(const std::string& name) const {
+    return ::testing::TempDir() + "/" + name;
+  }
+};
+
+TEST_P(CsvRoundTripTest, PreservesDatasetExactly) {
+  const auto original = Generate(PaperSpec(GetParam()).Scaled(0.1));
+  WriteCsvDataset(original, Path("e1.csv"), Path("e2.csv"), Path("gt.csv"));
+  const auto loaded =
+      LoadCsvDataset(original.name(), Path("e1.csv"), Path("e2.csv"),
+                     Path("gt.csv"), original.best_attribute());
+
+  ASSERT_EQ(loaded.e1().size(), original.e1().size());
+  ASSERT_EQ(loaded.e2().size(), original.e2().size());
+  ASSERT_EQ(loaded.NumDuplicates(), original.NumDuplicates());
+
+  // Profiles preserve every attribute value (ValueOf covers repeated names).
+  for (std::size_t i = 0; i < original.e1().size(); ++i) {
+    for (const auto& attr : original.e1()[i].attributes) {
+      EXPECT_EQ(loaded.e1()[i].ValueOf(attr.name),
+                original.e1()[i].ValueOf(attr.name));
+    }
+  }
+  // Ground truth preserved pair-by-pair.
+  for (const auto& [id1, id2] : original.duplicates()) {
+    EXPECT_TRUE(loaded.IsDuplicate(core::MakePair(id1, id2)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, CsvRoundTripTest, ::testing::Values(1, 2, 4));
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  std::vector<core::EntityProfile> e1(1), e2(1);
+  e1[0].attributes.push_back({"text", "has, comma and \"quotes\""});
+  e2[0].attributes.push_back({"text", "line\nbreak"});
+  core::Dataset d("special", std::move(e1), std::move(e2), {{0, 0}}, "text");
+
+  const std::string dir = ::testing::TempDir();
+  WriteCsvDataset(d, dir + "/s1.csv", dir + "/s2.csv", dir + "/sgt.csv");
+  const auto loaded = LoadCsvDataset("special", dir + "/s1.csv", dir + "/s2.csv",
+                                     dir + "/sgt.csv", "text");
+  EXPECT_EQ(loaded.e1()[0].ValueOf("text"), "has, comma and \"quotes\"");
+  EXPECT_EQ(loaded.e2()[0].ValueOf("text"), "line\nbreak");
+}
+
+}  // namespace
+}  // namespace erb::datagen

@@ -1,0 +1,295 @@
+// Tests for src/datagen: deterministic generation, Clean-Clean invariants,
+// noise operators, coverage modelling and the CSV loader.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "common/strings.hpp"
+#include "core/schema.hpp"
+#include "datagen/csv_loader.hpp"
+#include "datagen/noise.hpp"
+#include "datagen/registry.hpp"
+#include "datagen/words.hpp"
+
+namespace erb::datagen {
+namespace {
+
+DatasetSpec TinySpec() {
+  DatasetSpec spec = PaperSpec(2).Scaled(0.1);
+  return spec;
+}
+
+TEST(WordsTest, SynthWordDeterministic) {
+  // Ranks below 16 are English filler words shared by every pool; tail ranks
+  // are pool-specific synthetic words.
+  EXPECT_EQ(SynthWord(1, 5), SynthWord(2, 5));
+  EXPECT_EQ(SynthWord(1, 100), SynthWord(1, 100));
+  EXPECT_NE(SynthWord(1, 100), SynthWord(1, 102));
+  EXPECT_NE(SynthWord(1, 100), SynthWord(2, 100));
+}
+
+TEST(WordsTest, OddIndexIsSuffixedVariantOfEvenStem) {
+  const std::string stem = SynthWord(3, 100);
+  const std::string inflected = SynthWord(3, 101);
+  EXPECT_EQ(inflected.rfind(stem, 0), 0u) << stem << " / " << inflected;
+  EXPECT_GT(inflected.size(), stem.size());
+}
+
+TEST(WordsTest, SynthWordIsLowercaseAlpha) {
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    for (char c : SynthWord(42, i)) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z');
+    }
+  }
+}
+
+TEST(WordsTest, SynthCodeLooksLikeSku) {
+  const std::string code = SynthCode(1, 7);
+  EXPECT_EQ(code.size(), 9u);
+  EXPECT_EQ(code[4], '-');
+}
+
+TEST(WordsTest, PoolHeadIsFrequent) {
+  WordPool pool(9, /*tail=*/1000, /*head=*/4, /*mass=*/0.5, 0.0);
+  Rng rng(3);
+  std::size_t head_draws = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const std::string w = pool.Draw(rng);
+    for (std::uint64_t h = 0; h < 4; ++h) {
+      if (w == pool.At(h)) {
+        ++head_draws;
+        break;
+      }
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(head_draws) / kN, 0.5, 0.05);
+}
+
+TEST(NoiseTest, TypoChangesToken) {
+  Rng rng(1);
+  int changed = 0;
+  for (int i = 0; i < 100; ++i) changed += ApplyTypo("example", rng) != "example";
+  EXPECT_GT(changed, 80);  // substitution to the same char is rare
+}
+
+TEST(NoiseTest, TypoNeverEmptiesToken) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) EXPECT_FALSE(ApplyTypo("ab", rng).empty());
+}
+
+TEST(NoiseTest, DropReducesTokens) {
+  Rng rng(3);
+  NoiseProfile noise;
+  noise.token_drop = 0.5;
+  std::vector<std::string> tokens(20, "word");
+  ApplyTokenNoise(&tokens, noise, rng);
+  EXPECT_LT(tokens.size(), 20u);
+  EXPECT_GE(tokens.size(), 1u);
+}
+
+TEST(NoiseTest, NeverDropsEverything) {
+  Rng rng(4);
+  NoiseProfile noise;
+  noise.token_drop = 1.0;
+  std::vector<std::string> tokens = {"only"};
+  ApplyTokenNoise(&tokens, noise, rng);
+  EXPECT_EQ(tokens.size(), 1u);
+}
+
+TEST(NoiseTest, AbbreviationShortensToken) {
+  Rng rng(5);
+  NoiseProfile noise;
+  noise.abbreviate = 1.0;
+  std::vector<std::string> tokens = {"example"};
+  ApplyTokenNoise(&tokens, noise, rng);
+  EXPECT_EQ(tokens[0], "e");
+}
+
+TEST(GeneratorTest, DeterministicForSpec) {
+  const auto a = Generate(TinySpec());
+  const auto b = Generate(TinySpec());
+  ASSERT_EQ(a.e1().size(), b.e1().size());
+  for (std::size_t i = 0; i < a.e1().size(); ++i) {
+    EXPECT_EQ(a.e1()[i].AllValues(), b.e1()[i].AllValues());
+  }
+  EXPECT_EQ(a.duplicates(), b.duplicates());
+}
+
+TEST(GeneratorTest, SeedChangesContent) {
+  DatasetSpec spec = TinySpec();
+  const auto a = Generate(spec);
+  spec.seed ^= 0x9999;
+  const auto b = Generate(spec);
+  EXPECT_NE(a.e1()[0].AllValues(), b.e1()[0].AllValues());
+}
+
+TEST(GeneratorTest, RespectsSpecSizes) {
+  const DatasetSpec spec = TinySpec();
+  const auto d = Generate(spec);
+  EXPECT_EQ(d.e1().size(), spec.n1);
+  EXPECT_EQ(d.e2().size(), spec.n2);
+  EXPECT_EQ(d.NumDuplicates(), spec.n_duplicates);
+}
+
+TEST(GeneratorTest, CleanCleanGroundTruthIsBijective) {
+  const auto d = Generate(PaperSpec(3).Scaled(0.2));
+  std::set<core::EntityId> seen1, seen2;
+  for (const auto& [id1, id2] : d.duplicates()) {
+    EXPECT_TRUE(seen1.insert(id1).second) << "E1 entity matched twice";
+    EXPECT_TRUE(seen2.insert(id2).second) << "E2 entity matched twice";
+    EXPECT_LT(id1, d.e1().size());
+    EXPECT_LT(id2, d.e2().size());
+  }
+}
+
+TEST(GeneratorTest, DuplicatesShareMoreContentThanRandomPairs) {
+  const auto d = Generate(TinySpec());
+  // Compare the average token overlap of duplicates against shifted pairs.
+  auto overlap = [&d](core::EntityId i, core::EntityId j) {
+    const auto t1 = SplitWhitespace(d.EntityText(0, i, core::SchemaMode::kAgnostic));
+    const auto t2 = SplitWhitespace(d.EntityText(1, j, core::SchemaMode::kAgnostic));
+    const std::set<std::string> s1(t1.begin(), t1.end());
+    std::size_t shared = 0;
+    for (const auto& t : t2) shared += s1.count(t);
+    return static_cast<double>(shared);
+  };
+  double dup_overlap = 0.0, random_overlap = 0.0;
+  for (const auto& [id1, id2] : d.duplicates()) {
+    dup_overlap += overlap(id1, id2);
+    random_overlap += overlap(id1, (id2 + 7) % d.e2().size());
+  }
+  EXPECT_GT(dup_overlap, 2.0 * random_overlap);
+}
+
+TEST(GeneratorTest, MisplacementLowersBestAttributeCoverage) {
+  const auto d5 = Generate(PaperSpec(5).Scaled(0.2));
+  for (const auto& s : core::ComputeAttributeStats(d5)) {
+    if (s.name != d5.best_attribute()) continue;
+    EXPECT_LT(s.coverage, 0.85);
+    EXPECT_LT(s.groundtruth_coverage, 0.7);
+    EXPECT_GT(s.coverage, 0.3);
+  }
+}
+
+TEST(GeneratorTest, ProtectedCoverageKeepsDuplicatesCovered) {
+  const auto d1 = Generate(PaperSpec(1));
+  for (const auto& s : core::ComputeAttributeStats(d1)) {
+    if (s.name != d1.best_attribute()) continue;
+    EXPECT_LT(s.coverage, 0.85);  // overall coverage drops...
+    EXPECT_DOUBLE_EQ(s.groundtruth_coverage, 1.0);  // ...but duplicates keep it
+  }
+}
+
+TEST(SpecTest, ScalingKeepsValidInstance) {
+  const DatasetSpec spec = PaperSpec(9).Scaled(0.01);
+  EXPECT_GE(spec.n1, 8u);
+  EXPECT_LE(spec.n_duplicates, std::min(spec.n1, spec.n2));
+  EXPECT_GT(spec.n_duplicates, 0u);
+}
+
+TEST(SpecTest, ScaleOneIsIdentity) {
+  const DatasetSpec spec = PaperSpec(4);
+  const DatasetSpec scaled = spec.Scaled(1.0);
+  EXPECT_EQ(scaled.n1, spec.n1);
+  EXPECT_EQ(scaled.n2, spec.n2);
+  EXPECT_EQ(scaled.n_duplicates, spec.n_duplicates);
+}
+
+TEST(RegistryTest, AllSpecsAreValid) {
+  for (const auto& spec : AllPaperSpecs()) {
+    EXPECT_FALSE(spec.id.empty());
+    EXPECT_GT(spec.n1, 0u);
+    EXPECT_GT(spec.n2, 0u);
+    EXPECT_LE(spec.n_duplicates, std::min(spec.n1, spec.n2));
+    EXPECT_FALSE(spec.best_attribute.empty());
+    // The best attribute must exist in the schema.
+    bool found = false;
+    for (const auto& attr : spec.attributes) found |= attr.name == spec.best_attribute;
+    EXPECT_TRUE(found) << spec.id;
+  }
+}
+
+TEST(RegistryTest, PaperSizesMatchTableVI) {
+  const DatasetSpec d2 = PaperSpec(2);
+  EXPECT_EQ(d2.n1, 1076u);
+  EXPECT_EQ(d2.n2, 1076u);
+  EXPECT_EQ(d2.n_duplicates, 1076u);
+  const DatasetSpec d9 = PaperSpec(9);
+  EXPECT_EQ(d9.n1, 2516u);
+  EXPECT_EQ(d9.n2, 61353u);
+  EXPECT_EQ(d9.n_duplicates, 2308u);
+}
+
+TEST(RegistryTest, SchemaBasedAvailability) {
+  EXPECT_TRUE(HasSchemaBasedSettings(1));
+  EXPECT_TRUE(HasSchemaBasedSettings(4));
+  EXPECT_FALSE(HasSchemaBasedSettings(5));
+  EXPECT_FALSE(HasSchemaBasedSettings(10));
+}
+
+TEST(RegistryTest, InvalidIndexThrows) {
+  EXPECT_THROW(PaperSpec(0), std::out_of_range);
+  EXPECT_THROW(PaperSpec(11), std::out_of_range);
+}
+
+class CsvLoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    Write("e1.csv", "id,name,desc\n1,alpha,\"red, big\"\n2,beta,small\n");
+    Write("e2.csv", "id,name,desc\nx,alpha,\"says \"\"hi\"\"\"\ny,gamma,tiny\n");
+    Write("gt.csv", "1,x\n");
+  }
+
+  void Write(const std::string& name, const std::string& content) {
+    std::ofstream out(dir_ + "/" + name);
+    out << content;
+  }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+TEST_F(CsvLoaderTest, LoadsProfilesAndGroundTruth) {
+  const auto d = LoadCsvDataset("csv", Path("e1.csv"), Path("e2.csv"),
+                                Path("gt.csv"), "name");
+  EXPECT_EQ(d.e1().size(), 2u);
+  EXPECT_EQ(d.e2().size(), 2u);
+  EXPECT_EQ(d.NumDuplicates(), 1u);
+  EXPECT_EQ(d.e1()[0].ValueOf("desc"), "red, big");   // quoted comma
+  EXPECT_EQ(d.e2()[0].ValueOf("desc"), "says \"hi\"");  // doubled quotes
+  EXPECT_TRUE(d.IsDuplicate(core::MakePair(0, 0)));
+}
+
+TEST_F(CsvLoaderTest, AutoSelectsBestAttribute) {
+  const auto d =
+      LoadCsvDataset("csv", Path("e1.csv"), Path("e2.csv"), Path("gt.csv"));
+  EXPECT_FALSE(d.best_attribute().empty());
+}
+
+TEST_F(CsvLoaderTest, MissingFileThrows) {
+  EXPECT_THROW(
+      LoadCsvDataset("csv", Path("nope.csv"), Path("e2.csv"), Path("gt.csv")),
+      std::runtime_error);
+}
+
+TEST_F(CsvLoaderTest, DuplicateIdThrows) {
+  Write("bad.csv", "id,name\n1,a\n1,b\n");
+  EXPECT_THROW(
+      LoadCsvDataset("csv", Path("bad.csv"), Path("e2.csv"), Path("gt.csv")),
+      std::runtime_error);
+}
+
+TEST_F(CsvLoaderTest, UnknownGroundTruthIdThrows) {
+  Write("badgt.csv", "1,x\n9,y\n");
+  EXPECT_THROW(LoadCsvDataset("csv", Path("e1.csv"), Path("e2.csv"),
+                              Path("badgt.csv")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace erb::datagen

@@ -1,0 +1,326 @@
+// Tests for src/densenn: embeddings, the three LSH families, the flat and
+// partitioned kNN indexes and the autoencoder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/metrics.hpp"
+#include "datagen/registry.hpp"
+#include "densenn/autoencoder.hpp"
+#include "densenn/embedding.hpp"
+#include "densenn/flat_index.hpp"
+#include "densenn/lsh.hpp"
+#include "densenn/methods.hpp"
+#include "densenn/minhash.hpp"
+#include "densenn/partitioned_index.hpp"
+
+namespace erb::densenn {
+namespace {
+
+TEST(EmbeddingTest, DeterministicAndNormalized) {
+  const Vector a = EmbedText("sony bravia television");
+  const Vector b = EmbedText("sony bravia television");
+  EXPECT_EQ(a, b);
+  double norm = 0.0;
+  for (float x : a) norm += static_cast<double>(x) * x;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+  EXPECT_EQ(a.size(), static_cast<std::size_t>(kEmbeddingDim));
+}
+
+TEST(EmbeddingTest, EmptyTextIsZeroVector) {
+  const Vector v = EmbedText("");
+  for (float x : v) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(EmbeddingTest, SyntacticallyCloseStringsAreCloser) {
+  const Vector base = EmbedText("panasonic lumix camera");
+  const Vector typo = EmbedText("panasonik lumix camera");
+  const Vector other = EmbedText("leather office chair");
+  EXPECT_GT(Dot(base, typo), Dot(base, other) + 0.2);
+}
+
+TEST(EmbeddingTest, SharedWordsRaiseSimilarity) {
+  const Vector a = EmbedText("alpha beta gamma");
+  const Vector b = EmbedText("alpha beta delta");
+  const Vector c = EmbedText("epsilon zeta eta");
+  EXPECT_GT(Dot(a, b), Dot(a, c));
+}
+
+TEST(EmbeddingTest, CustomDimension) {
+  EXPECT_EQ(EmbedText("word", 64).size(), 64u);
+}
+
+TEST(VectorMathTest, DotAndL2Consistency) {
+  // For unit vectors, ||a-b||^2 = 2 - 2 a.b.
+  const Vector a = EmbedText("first text");
+  const Vector b = EmbedText("second text");
+  EXPECT_NEAR(SquaredL2(a, b), 2.0f - 2.0f * Dot(a, b), 1e-4);
+}
+
+TEST(MinHashTest, IdenticalTextsAlwaysCollide) {
+  using core::EntityProfile;
+  auto p = [](const char* v) {
+    EntityProfile e;
+    e.attributes.push_back({"t", v});
+    return e;
+  };
+  std::vector<EntityProfile> e1 = {p("identical text content here")};
+  std::vector<EntityProfile> e2 = {p("identical text content here"),
+                                   p("completely different words appear")};
+  core::Dataset d("t", std::move(e1), std::move(e2), {{0, 0}}, "t");
+  MinHashConfig config;
+  config.bands = 8;
+  config.rows = 4;
+  const auto run = MinHashLsh(d, core::SchemaMode::kAgnostic, config);
+  EXPECT_TRUE(run.candidates.Contains(0, 0));
+}
+
+TEST(MinHashTest, RecallGrowsWithMoreBands) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(1).Scaled(0.4));
+  MinHashConfig few;
+  few.bands = 4;
+  few.rows = 32;
+  MinHashConfig many;
+  many.bands = 64;
+  many.rows = 2;
+  const auto strict = MinHashLsh(dataset, core::SchemaMode::kAgnostic, few);
+  const auto loose = MinHashLsh(dataset, core::SchemaMode::kAgnostic, many);
+  const auto strict_eff = core::Evaluate(strict.candidates, dataset);
+  const auto loose_eff = core::Evaluate(loose.candidates, dataset);
+  EXPECT_GE(loose_eff.pc, strict_eff.pc);
+  EXPECT_GE(loose.candidates.size(), strict.candidates.size());
+}
+
+TEST(MinHashTest, SeedChangesCandidatesSlightly) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(1).Scaled(0.3));
+  MinHashConfig a;
+  a.seed = 1;
+  MinHashConfig b;
+  b.seed = 2;
+  const auto ra = MinHashLsh(dataset, core::SchemaMode::kAgnostic, a);
+  const auto rb = MinHashLsh(dataset, core::SchemaMode::kAgnostic, b);
+  // Stochastic: results may differ, but both must be non-trivial.
+  EXPECT_GT(ra.candidates.size(), 0u);
+  EXPECT_GT(rb.candidates.size(), 0u);
+}
+
+class AngularLshTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(AngularLshTest, FindsExactDuplicatePairs) {
+  const bool cross_polytope = GetParam();
+  const auto dataset = datagen::Generate(datagen::PaperSpec(1).Scaled(0.3));
+  AngularLshConfig config;
+  config.tables = 32;
+  config.hashes = cross_polytope ? 1 : 6;
+  config.probes = 64;
+  const auto run = cross_polytope
+                       ? CrossPolytopeLsh(dataset, core::SchemaMode::kAgnostic, config)
+                       : HyperplaneLsh(dataset, core::SchemaMode::kAgnostic, config);
+  const auto eff = core::Evaluate(run.candidates, dataset);
+  EXPECT_GT(eff.pc, 0.5);
+  EXPECT_LT(run.candidates.size(), dataset.CartesianSize());
+}
+
+TEST_P(AngularLshTest, MoreProbesNeverLowerRecall) {
+  const bool cross_polytope = GetParam();
+  const auto dataset = datagen::Generate(datagen::PaperSpec(1).Scaled(0.2));
+  AngularLshConfig narrow;
+  narrow.tables = 8;
+  narrow.hashes = cross_polytope ? 2 : 10;
+  narrow.probes = 8;
+  AngularLshConfig wide = narrow;
+  wide.probes = 128;
+  auto run = [&](const AngularLshConfig& c) {
+    return cross_polytope ? CrossPolytopeLsh(dataset, core::SchemaMode::kAgnostic, c)
+                          : HyperplaneLsh(dataset, core::SchemaMode::kAgnostic, c);
+  };
+  const auto narrow_eff = core::Evaluate(run(narrow).candidates, dataset);
+  const auto wide_eff = core::Evaluate(run(wide).candidates, dataset);
+  EXPECT_GE(wide_eff.pc, narrow_eff.pc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, AngularLshTest, ::testing::Bool());
+
+std::vector<Vector> RandomVectors(std::size_t n, int dim, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vector> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector v(static_cast<std::size_t>(dim));
+    for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+    Normalize(&v);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+TEST(FlatIndexTest, MatchesBruteForceNearestNeighbours) {
+  const auto vectors = RandomVectors(200, 32, 5);
+  const auto queries = RandomVectors(20, 32, 6);
+  FlatIndex index(vectors, DenseMetric::kSquaredL2);
+  for (const auto& q : queries) {
+    const auto ids = index.Search(q, 5);
+    ASSERT_EQ(ids.size(), 5u);
+    // Brute-force reference.
+    std::vector<std::pair<float, std::uint32_t>> scored;
+    for (std::uint32_t i = 0; i < vectors.size(); ++i) {
+      scored.emplace_back(SquaredL2(q, vectors[i]), i);
+    }
+    std::sort(scored.begin(), scored.end());
+    for (int r = 0; r < 5; ++r) EXPECT_EQ(ids[r], scored[r].second);
+  }
+}
+
+TEST(FlatIndexTest, DotProductMetric) {
+  const auto vectors = RandomVectors(50, 16, 7);
+  FlatIndex index(vectors, DenseMetric::kDotProduct);
+  const auto q = RandomVectors(1, 16, 8)[0];
+  const auto ids = index.Search(q, 1);
+  float best = -1e30f;
+  std::uint32_t best_id = 0;
+  for (std::uint32_t i = 0; i < vectors.size(); ++i) {
+    if (Dot(q, vectors[i]) > best) {
+      best = Dot(q, vectors[i]);
+      best_id = i;
+    }
+  }
+  EXPECT_EQ(ids[0], best_id);
+}
+
+TEST(FlatIndexTest, KLargerThanIndexReturnsEverything) {
+  const auto vectors = RandomVectors(5, 8, 9);
+  FlatIndex index(vectors, DenseMetric::kSquaredL2);
+  EXPECT_EQ(index.Search(vectors[0], 50).size(), 5u);
+}
+
+TEST(PartitionedIndexTest, BruteForceScoringHasHighRecallVsExact) {
+  const auto vectors = RandomVectors(400, 32, 10);
+  const auto queries = RandomVectors(25, 32, 11);
+  FlatIndex exact(vectors, DenseMetric::kSquaredL2);
+  PartitionedConfig config;
+  config.asymmetric_hashing = false;
+  PartitionedIndex approx(vectors, config);
+  EXPECT_GT(approx.NumPartitions(), 1u);
+
+  std::size_t hits = 0, total = 0;
+  for (const auto& q : queries) {
+    const auto expected = exact.Search(q, 10);
+    const auto got = approx.Search(q, 10);
+    for (auto id : expected) {
+      ++total;
+      hits += std::count(got.begin(), got.end(), id);
+    }
+  }
+  EXPECT_GT(static_cast<double>(hits) / total, 0.6);
+}
+
+TEST(PartitionedIndexTest, AsymmetricHashingApproximatesWell) {
+  const auto vectors = RandomVectors(300, 32, 12);
+  FlatIndex exact(vectors, DenseMetric::kSquaredL2);
+  PartitionedConfig config;
+  config.asymmetric_hashing = true;
+  PartitionedIndex approx(vectors, config);
+  std::size_t hits = 0, total = 0;
+  for (int q = 0; q < 20; ++q) {
+    const auto expected = exact.Search(vectors[q], 5);
+    const auto got = approx.Search(vectors[q], 5);
+    for (auto id : expected) {
+      ++total;
+      hits += std::count(got.begin(), got.end(), id);
+    }
+  }
+  EXPECT_GT(static_cast<double>(hits) / total, 0.5);
+  // Identity queries must find themselves despite quantization (re-scoring).
+  EXPECT_EQ(approx.Search(vectors[0], 1)[0], 0u);
+}
+
+TEST(AutoencoderTest, TrainingReducesReconstructionError) {
+  const auto samples = RandomVectors(300, 64, 13);
+  AutoencoderConfig config;
+  config.hidden_dim = 32;
+  config.epochs = 0;
+  Autoencoder untrained(samples, config);
+  config.epochs = 10;
+  Autoencoder trained(samples, config);
+  EXPECT_LT(trained.ReconstructionError(samples),
+            0.7 * untrained.ReconstructionError(samples));
+}
+
+TEST(AutoencoderTest, EncodeIsNormalizedAndDeterministicPerSeed) {
+  const auto samples = RandomVectors(100, 32, 14);
+  AutoencoderConfig config;
+  config.hidden_dim = 16;
+  config.epochs = 3;
+  Autoencoder a(samples, config), b(samples, config);
+  const Vector ea = a.Encode(samples[0]);
+  const Vector eb = b.Encode(samples[0]);
+  EXPECT_EQ(ea, eb);
+  double norm = 0.0;
+  for (float x : ea) norm += static_cast<double>(x) * x;
+  EXPECT_NEAR(norm, 1.0, 1e-4);
+  EXPECT_EQ(ea.size(), 16u);
+}
+
+TEST(AutoencoderTest, PreservesNeighbourhoodStructure) {
+  // Nearby inputs should stay nearby in the encoded space.
+  const auto dataset = datagen::Generate(datagen::PaperSpec(1).Scaled(0.2));
+  auto inputs = EmbedSide(dataset, 0, core::SchemaMode::kAgnostic, false);
+  AutoencoderConfig config;
+  config.epochs = 6;
+  Autoencoder model(inputs, config);
+  const Vector base = model.Encode(EmbedText("palumo keskato vanora"));
+  const Vector near = model.Encode(EmbedText("palumo keskato vanor"));
+  const Vector far = model.Encode(EmbedText("zyxwvu tsrqpo nmlkji"));
+  EXPECT_GT(Dot(base, near), Dot(base, far));
+}
+
+TEST(DenseMethodsTest, FaissKnnRespectsK) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(1).Scaled(0.3));
+  KnnSearchConfig config;
+  config.k = 3;
+  const auto run = FaissKnn(dataset, core::SchemaMode::kAgnostic, config);
+  EXPECT_LE(run.candidates.size(), 3 * dataset.e2().size());
+  EXPECT_TRUE(run.timing.phases().contains(kPhasePreprocess));
+  EXPECT_TRUE(run.timing.phases().contains(kPhaseQuery));
+}
+
+TEST(DenseMethodsTest, ReverseBoundsByOtherSide) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(1).Scaled(0.3));
+  KnnSearchConfig config;
+  config.k = 2;
+  config.reverse = true;
+  const auto run = FaissKnn(dataset, core::SchemaMode::kAgnostic, config);
+  EXPECT_LE(run.candidates.size(), 2 * dataset.e1().size());
+}
+
+TEST(DenseMethodsTest, ScannCloseToFaiss) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(1).Scaled(0.3));
+  KnnSearchConfig config;
+  config.k = 5;
+  const auto faiss = FaissKnn(dataset, core::SchemaMode::kAgnostic, config);
+  PartitionedConfig scann_config;
+  scann_config.asymmetric_hashing = false;
+  const auto scann = ScannKnn(dataset, core::SchemaMode::kAgnostic, config,
+                              scann_config);
+  const auto faiss_eff = core::Evaluate(faiss.candidates, dataset);
+  const auto scann_eff = core::Evaluate(scann.candidates, dataset);
+  EXPECT_NEAR(faiss_eff.pc, scann_eff.pc, 0.15);
+}
+
+TEST(DenseMethodsTest, DeepBlockerProducesCandidatesAndTrainPhase) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(1).Scaled(0.2));
+  KnnSearchConfig config;
+  config.k = 3;
+  AutoencoderConfig autoencoder;
+  autoencoder.epochs = 3;
+  const auto run =
+      DeepBlockerKnn(dataset, core::SchemaMode::kAgnostic, config, autoencoder);
+  EXPECT_GT(run.candidates.size(), 0u);
+  EXPECT_GT(run.timing.Get(kPhaseTrain), 0.0);
+  const auto eff = core::Evaluate(run.candidates, dataset);
+  EXPECT_GT(eff.pc, 0.3);
+}
+
+}  // namespace
+}  // namespace erb::densenn

@@ -1,0 +1,114 @@
+// Tests for the Dirty ER (deduplication) extension.
+#include <gtest/gtest.h>
+
+#include "datagen/registry.hpp"
+#include "dirty/dataset.hpp"
+#include "dirty/filters.hpp"
+
+namespace erb::dirty {
+namespace {
+
+const DirtyDataset& Merged() {
+  static const DirtyDataset dataset =
+      MergeToDirty(datagen::Generate(datagen::PaperSpec(1).Scaled(0.3)));
+  return dataset;
+}
+
+TEST(DirtyPairTest, CanonicalOrder) {
+  EXPECT_EQ(MakeDirtyPair(3, 7), MakeDirtyPair(7, 3));
+  EXPECT_NE(MakeDirtyPair(3, 7), MakeDirtyPair(3, 8));
+}
+
+TEST(DirtyDatasetTest, MergePreservesCounts) {
+  const auto clean = datagen::Generate(datagen::PaperSpec(1).Scaled(0.3));
+  const auto dirty = MergeToDirty(clean);
+  EXPECT_EQ(dirty.size(), clean.e1().size() + clean.e2().size());
+  EXPECT_EQ(dirty.NumDuplicates(), clean.NumDuplicates());
+  EXPECT_EQ(dirty.best_attribute(), clean.best_attribute());
+  // Every ground-truth pair references the merged ids correctly.
+  for (const auto& [a, b] : dirty.duplicates()) {
+    EXPECT_LT(a, clean.e1().size());
+    EXPECT_GE(b, clean.e1().size());
+    EXPECT_TRUE(dirty.IsDuplicate(MakeDirtyPair(a, b)));
+  }
+}
+
+TEST(DirtyDatasetTest, RejectsSelfPairs) {
+  std::vector<core::EntityProfile> entities(3);
+  EXPECT_THROW(DirtyDataset("bad", entities, {{1, 1}}, "x"), std::out_of_range);
+}
+
+TEST(DirtyDatasetTest, TotalPairsFormula) {
+  std::vector<core::EntityProfile> entities(5);
+  DirtyDataset d("t", entities, {}, "x");
+  EXPECT_EQ(d.TotalPairs(), 10u);
+}
+
+TEST(DirtyCandidateSetTest, DeduplicatesUnorderedPairs) {
+  DirtyCandidateSet set;
+  set.Add(1, 2);
+  set.Add(2, 1);
+  set.Add(1, 1);  // self-pair ignored
+  set.Finalize();
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.Contains(2, 1));
+}
+
+TEST(DirtyBlockingTest, FindsDuplicatesWithHighRecall) {
+  const auto result = DirtyBlockingWorkflow(Merged(), core::SchemaMode::kAgnostic,
+                                            blocking::BuilderConfig{});
+  const auto eff = Evaluate(result.candidates, Merged());
+  EXPECT_GE(eff.pc, 0.9);
+  EXPECT_LT(result.candidates.size(), Merged().TotalPairs());
+  EXPECT_TRUE(result.timing.phases().contains("build"));
+}
+
+TEST(DirtyBlockingTest, FilteringReducesCandidates) {
+  const auto full = DirtyBlockingWorkflow(Merged(), core::SchemaMode::kAgnostic,
+                                          blocking::BuilderConfig{}, true, 1.0);
+  const auto filtered = DirtyBlockingWorkflow(
+      Merged(), core::SchemaMode::kAgnostic, blocking::BuilderConfig{}, true, 0.5);
+  EXPECT_LE(filtered.candidates.size(), full.candidates.size());
+}
+
+TEST(DirtyKnnJoinTest, NoSelfPairsAndBoundedCandidates) {
+  sparsenn::SparseConfig config;
+  config.model = sparsenn::TokenModel::kC3G;
+  const auto result = DirtyKnnJoin(Merged(), core::SchemaMode::kAgnostic, config, 2);
+  // Bounded by k * n (ties add a little; unordered halves it).
+  EXPECT_LE(result.candidates.size(), 4 * Merged().size());
+  const auto eff = Evaluate(result.candidates, Merged());
+  EXPECT_GT(eff.pc, 0.5);
+}
+
+TEST(DirtyEpsilonJoinTest, MonotoneInThreshold) {
+  sparsenn::SparseConfig config;
+  config.model = sparsenn::TokenModel::kC3G;
+  const auto loose =
+      DirtyEpsilonJoin(Merged(), core::SchemaMode::kAgnostic, config, 0.2);
+  const auto strict =
+      DirtyEpsilonJoin(Merged(), core::SchemaMode::kAgnostic, config, 0.6);
+  EXPECT_LE(strict.candidates.size(), loose.candidates.size());
+}
+
+TEST(DirtyDenseKnnTest, FindsDuplicates) {
+  const auto result =
+      DirtyDenseKnn(Merged(), core::SchemaMode::kAgnostic, true, 5);
+  const auto eff = Evaluate(result.candidates, Merged());
+  EXPECT_GT(eff.pc, 0.5);
+  EXPECT_LE(result.candidates.size(), 5u * Merged().size());
+}
+
+TEST(DirtyEvaluateTest, CountsAgainstGroundTruth) {
+  DirtyCandidateSet set;
+  const auto& [a, b] = Merged().duplicates()[0];
+  set.Add(a, b);
+  set.Add(a, b == 0 ? 1 : 0);  // one non-duplicate filler pair
+  set.Finalize();
+  const auto eff = Evaluate(set, Merged());
+  EXPECT_EQ(eff.detected, 1u);
+  EXPECT_DOUBLE_EQ(eff.pq, 0.5);
+}
+
+}  // namespace
+}  // namespace erb::dirty

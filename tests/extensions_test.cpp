@@ -1,0 +1,123 @@
+// Tests for the extension features beyond the paper's main tables: Sorted
+// Neighborhood, FAISS-style range search and the global top-K join.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "blocking/sorted_neighborhood.hpp"
+#include "blocking/workflow.hpp"
+#include "core/metrics.hpp"
+#include "datagen/registry.hpp"
+#include "densenn/embedding.hpp"
+#include "densenn/flat_index.hpp"
+#include "sparsenn/joins.hpp"
+
+namespace erb {
+namespace {
+
+const core::Dataset& SmallD1() {
+  static const core::Dataset dataset =
+      datagen::Generate(datagen::PaperSpec(1).Scaled(0.3));
+  return dataset;
+}
+
+TEST(SortedNeighborhoodTest, FindsTokenSharingDuplicates) {
+  const auto candidates =
+      blocking::SortedNeighborhood(SmallD1(), core::SchemaMode::kAgnostic, 10);
+  const auto eff = core::Evaluate(candidates, SmallD1());
+  EXPECT_GT(eff.pc, 0.5);
+  EXPECT_LT(candidates.size(), SmallD1().CartesianSize());
+}
+
+TEST(SortedNeighborhoodTest, WindowGrowsCandidates) {
+  const auto narrow =
+      blocking::SortedNeighborhood(SmallD1(), core::SchemaMode::kAgnostic, 3);
+  const auto wide =
+      blocking::SortedNeighborhood(SmallD1(), core::SchemaMode::kAgnostic, 20);
+  EXPECT_GT(wide.size(), narrow.size());
+  EXPECT_GE(core::Evaluate(wide, SmallD1()).pc,
+            core::Evaluate(narrow, SmallD1()).pc);
+}
+
+TEST(SortedNeighborhoodTest, OnlyCrossSourcePairs) {
+  const auto candidates =
+      blocking::SortedNeighborhood(SmallD1(), core::SchemaMode::kAgnostic, 6);
+  for (core::PairKey key : candidates) {
+    EXPECT_LT(core::PairFirst(key), SmallD1().e1().size());
+    EXPECT_LT(core::PairSecond(key), SmallD1().e2().size());
+  }
+}
+
+TEST(SortedNeighborhoodTest, UnderperformsTunedBlockingWorkflows) {
+  // The reason the paper excludes the method: it cannot be combined with
+  // block/comparison cleaning, so at comparable recall it admits many more
+  // superfluous pairs than PBW does.
+  const auto& dataset = SmallD1();
+  const auto sn =
+      blocking::SortedNeighborhood(dataset, core::SchemaMode::kAgnostic, 40);
+  const auto pbw = blocking::RunWorkflow(dataset, core::SchemaMode::kAgnostic,
+                                         blocking::ParameterFreeWorkflow());
+  const auto sn_eff = core::Evaluate(sn, dataset);
+  const auto pbw_eff = core::Evaluate(pbw.candidates, dataset);
+  if (sn_eff.pc >= pbw_eff.pc - 0.05) {
+    EXPECT_LT(sn_eff.pq, pbw_eff.pq * 1.5);
+  }
+}
+
+TEST(RangeSearchTest, MatchesBruteForcePredicate) {
+  const auto& dataset = SmallD1();
+  const auto vectors = densenn::EmbedSide(dataset, 0, core::SchemaMode::kAgnostic,
+                                          false);
+  densenn::FlatIndex index(vectors, densenn::DenseMetric::kSquaredL2);
+  const auto query =
+      densenn::EmbedText(dataset.EntityText(1, 0, core::SchemaMode::kAgnostic));
+  const float radius = 1.2f;
+  const auto ids = index.RangeSearch(query, radius);
+  for (std::uint32_t id = 0; id < vectors.size(); ++id) {
+    const bool within = densenn::SquaredL2(query, vectors[id]) <= radius;
+    const bool reported = std::count(ids.begin(), ids.end(), id) > 0;
+    EXPECT_EQ(within, reported) << id;
+  }
+}
+
+TEST(RangeSearchTest, DotProductVariant) {
+  const auto vectors = densenn::EmbedSide(SmallD1(), 0,
+                                          core::SchemaMode::kAgnostic, false);
+  densenn::FlatIndex index(vectors, densenn::DenseMetric::kDotProduct);
+  // Radius 1.0 on normalized vectors: only (near-)identical ones qualify.
+  const auto ids = index.RangeSearch(vectors[0], 0.999f);
+  EXPECT_GE(ids.size(), 1u);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), 0u), 1);
+}
+
+TEST(GlobalTopKJoinTest, ReturnsAtLeastKPairs) {
+  sparsenn::SparseConfig config;
+  config.model = sparsenn::TokenModel::kC3G;
+  const auto run =
+      sparsenn::GlobalTopKJoin(SmallD1(), core::SchemaMode::kAgnostic, config, 50);
+  EXPECT_GE(run.candidates.size(), 50u);
+}
+
+TEST(GlobalTopKJoinTest, TopPairsAreMostlyDuplicates) {
+  // With K ~ the number of duplicates, the globally best-scored pairs should
+  // be dominated by true matches.
+  const auto& dataset = SmallD1();
+  sparsenn::SparseConfig config;
+  config.model = sparsenn::TokenModel::kC3G;
+  const auto run = sparsenn::GlobalTopKJoin(dataset, core::SchemaMode::kAgnostic,
+                                            config, dataset.NumDuplicates());
+  const auto eff = core::Evaluate(run.candidates, dataset);
+  EXPECT_GT(eff.pq, 0.3);
+}
+
+TEST(GlobalTopKJoinTest, GrowsWithK) {
+  sparsenn::SparseConfig config;
+  const auto small =
+      sparsenn::GlobalTopKJoin(SmallD1(), core::SchemaMode::kAgnostic, config, 10);
+  const auto large =
+      sparsenn::GlobalTopKJoin(SmallD1(), core::SchemaMode::kAgnostic, config, 200);
+  EXPECT_LE(small.candidates.size(), large.candidates.size());
+}
+
+}  // namespace
+}  // namespace erb

@@ -1,0 +1,65 @@
+// Verifies that the encoded configuration spaces reproduce the "Maximum
+// Configurations" counts of the paper's Tables III, IV and V exactly.
+#include <gtest/gtest.h>
+
+#include "tuning/gridspec.hpp"
+
+namespace erb::tuning {
+namespace {
+
+TEST(GridSpecTest, TableIIIBlockingCounts) {
+  EXPECT_EQ(MaxConfigurations(MethodId::kSbw), 3440u);
+  EXPECT_EQ(MaxConfigurations(MethodId::kQbw), 17200u);
+  EXPECT_EQ(MaxConfigurations(MethodId::kEqbw), 68800u);
+  EXPECT_EQ(MaxConfigurations(MethodId::kSabw), 21285u);
+  EXPECT_EQ(MaxConfigurations(MethodId::kEsabw), 21285u);
+}
+
+TEST(GridSpecTest, TableIVSparseCounts) {
+  EXPECT_EQ(MaxConfigurations(MethodId::kEpsilonJoin), 6000u);
+  EXPECT_EQ(MaxConfigurations(MethodId::kKnnJoin), 12000u);
+}
+
+TEST(GridSpecTest, TableVDenseCounts) {
+  EXPECT_EQ(MaxConfigurations(MethodId::kMhLsh), 168u);
+  EXPECT_EQ(MaxConfigurations(MethodId::kHpLsh), 400u);
+  EXPECT_EQ(MaxConfigurations(MethodId::kCpLsh), 2000u);
+  EXPECT_EQ(MaxConfigurations(MethodId::kFaiss), 2720u);
+  EXPECT_EQ(MaxConfigurations(MethodId::kScann), 10880u);
+  EXPECT_EQ(MaxConfigurations(MethodId::kDeepBlocker), 2720u);
+}
+
+TEST(GridSpecTest, BaselinesHaveOneConfiguration) {
+  EXPECT_EQ(MaxConfigurations(MethodId::kPbw), 1u);
+  EXPECT_EQ(MaxConfigurations(MethodId::kDbw), 1u);
+  EXPECT_EQ(MaxConfigurations(MethodId::kDknn), 1u);
+  EXPECT_EQ(MaxConfigurations(MethodId::kDdb), 1u);
+}
+
+TEST(GridSpecTest, DomainsMatchTableDefinitions) {
+  const auto blocking = PaperBlockingGrid();
+  EXPECT_EQ(blocking.filter_ratios.size(), 40u);
+  EXPECT_DOUBLE_EQ(blocking.filter_ratios.front(), 0.025);
+  EXPECT_NEAR(blocking.filter_ratios.back(), 1.0, 1e-9);
+  EXPECT_EQ(blocking.q, (std::vector<int>{2, 3, 4, 5, 6}));
+  EXPECT_EQ(blocking.t.size(), 4u);  // [0.8, 1.0) step 0.05
+  EXPECT_EQ(blocking.b_max.size(), 99u);
+
+  const auto sparse = PaperSparseGrid();
+  EXPECT_EQ(sparse.thresholds.size(), 100u);
+  EXPECT_EQ(sparse.k.size(), 100u);
+
+  const auto dense = PaperDenseGrid();
+  EXPECT_EQ(dense.minhash_bands_rows.size(), 21u);  // 6 + 7 + 8 factor pairs
+  for (const auto& [bands, rows] : dense.minhash_bands_rows) {
+    const int product = bands * rows;
+    EXPECT_TRUE(product == 128 || product == 256 || product == 512);
+    EXPECT_GE(bands, 2);
+    EXPECT_GE(rows, 2);
+  }
+  EXPECT_EQ(dense.lsh_tables.size(), 10u);  // 2^0 .. 2^9
+  EXPECT_EQ(dense.cardinality_k.size(), 680u);  // 100 + 180 + 400
+}
+
+}  // namespace
+}  // namespace erb::tuning

@@ -1,0 +1,132 @@
+// Integration and cross-dataset property tests: every filtering method run
+// end-to-end on generated replicas, with the paper's structural invariants
+// checked per dataset.
+#include <gtest/gtest.h>
+
+#include "blocking/workflow.hpp"
+#include "core/metrics.hpp"
+#include "core/schema.hpp"
+#include "datagen/registry.hpp"
+#include "sparsenn/joins.hpp"
+#include "tuning/suite.hpp"
+
+namespace erb {
+namespace {
+
+const core::Dataset& TestDataset(int index, double scale) {
+  static std::map<std::pair<int, int>, core::Dataset> cache;
+  const std::pair<int, int> key{index, static_cast<int>(scale * 1000)};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, datagen::Generate(datagen::PaperSpec(index).Scaled(scale)))
+             .first;
+  }
+  return it->second;
+}
+
+// --- every method produces sane output on a small dataset ------------------
+
+class AllMethodsTest : public ::testing::TestWithParam<tuning::MethodId> {};
+
+TEST_P(AllMethodsTest, RunsEndToEndOnD1) {
+  const auto& dataset = TestDataset(1, 0.35);
+  tuning::GridOptions options;
+  options.repetitions = 1;
+  const auto result =
+      tuning::RunMethod(GetParam(), dataset, core::SchemaMode::kAgnostic, options);
+  EXPECT_EQ(result.method, tuning::MethodName(GetParam()));
+  EXPECT_GT(result.eff.pc, 0.0);
+  EXPECT_GT(result.eff.candidates, 0u);
+  EXPECT_LE(result.eff.detected, dataset.NumDuplicates());
+  EXPECT_LE(result.eff.detected, result.eff.candidates);
+  EXPECT_GE(result.runtime_ms, 0.0);
+  EXPECT_FALSE(result.config.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, AllMethodsTest, ::testing::ValuesIn(tuning::AllMethods()),
+    [](const ::testing::TestParamInfo<tuning::MethodId>& info) {
+      std::string name(tuning::MethodName(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// --- structural invariants across datasets ----------------------------------
+
+class DatasetPropertiesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatasetPropertiesTest, TokenBlockingCeilingSupportsTargetRecall) {
+  const auto& dataset = TestDataset(GetParam(), 0.25);
+  const auto run = blocking::RunWorkflow(dataset, core::SchemaMode::kAgnostic,
+                                         blocking::ParameterFreeWorkflow());
+  const auto eff = core::Evaluate(run.candidates, dataset);
+  // The paper's Problem 1 requires PC >= 0.9 to be reachable in the
+  // schema-agnostic settings of every dataset.
+  EXPECT_GE(eff.pc, 0.9) << dataset.name();
+}
+
+TEST_P(DatasetPropertiesTest, SchemaBasedReducesCorpusSize) {
+  const auto& dataset = TestDataset(GetParam(), 0.25);
+  const auto agnostic =
+      core::ComputeCorpusStats(dataset, core::SchemaMode::kAgnostic, false);
+  const auto based =
+      core::ComputeCorpusStats(dataset, core::SchemaMode::kBased, false);
+  EXPECT_LT(based.char_length, agnostic.char_length) << dataset.name();
+  EXPECT_LT(based.vocabulary_size, agnostic.vocabulary_size) << dataset.name();
+}
+
+TEST_P(DatasetPropertiesTest, CleaningReducesCorpusSize) {
+  const auto& dataset = TestDataset(GetParam(), 0.25);
+  const auto raw =
+      core::ComputeCorpusStats(dataset, core::SchemaMode::kAgnostic, false);
+  const auto cleaned =
+      core::ComputeCorpusStats(dataset, core::SchemaMode::kAgnostic, true);
+  EXPECT_LE(cleaned.vocabulary_size, raw.vocabulary_size) << dataset.name();
+}
+
+TEST_P(DatasetPropertiesTest, CardinalityMethodsScaleLinearly) {
+  const auto& dataset = TestDataset(GetParam(), 0.25);
+  // |C| of a kNN join is bounded by k * queries (plus ties); the similarity
+  // join has no such bound. This is conclusion 3 of the paper.
+  sparsenn::SparseConfig config;
+  config.model = sparsenn::TokenModel::kC3G;
+  const auto knn =
+      sparsenn::KnnJoin(dataset, core::SchemaMode::kAgnostic, config, 2, false);
+  EXPECT_LE(knn.candidates.size(), 4 * dataset.e2().size()) << dataset.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(D1toD4, DatasetPropertiesTest, ::testing::Range(1, 5));
+
+// --- fine-tuning dominates defaults (the paper's conclusion 1) -------------
+
+TEST(FineTuningTest, TunedKnnBeatsDefaultOnD2) {
+  const auto& dataset = TestDataset(2, 0.3);
+  tuning::GridOptions options;
+  options.repetitions = 1;
+  const auto tuned =
+      tuning::RunMethod(tuning::MethodId::kKnnJoin, dataset,
+                        core::SchemaMode::kAgnostic, options);
+  const auto baseline = tuning::RunMethod(tuning::MethodId::kDknn, dataset,
+                                          core::SchemaMode::kAgnostic, options);
+  ASSERT_TRUE(tuned.reached_target);
+  if (baseline.reached_target) {
+    EXPECT_GE(tuned.eff.pq, baseline.eff.pq * 0.8);
+  }
+}
+
+TEST(FineTuningTest, TunedBlockingBeatsPbwPrecisionOnD2) {
+  const auto& dataset = TestDataset(2, 0.3);
+  tuning::GridOptions options;
+  options.repetitions = 1;
+  const auto tuned = tuning::RunMethod(tuning::MethodId::kSbw, dataset,
+                                       core::SchemaMode::kAgnostic, options);
+  const auto pbw = tuning::RunMethod(tuning::MethodId::kPbw, dataset,
+                                     core::SchemaMode::kAgnostic, options);
+  ASSERT_TRUE(tuned.reached_target);
+  EXPECT_GT(tuned.eff.pq, pbw.eff.pq);
+}
+
+}  // namespace
+}  // namespace erb

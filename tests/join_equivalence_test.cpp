@@ -1,0 +1,117 @@
+// Brute-force equivalence properties: the ScanCount-driven joins must return
+// exactly the pairs a quadratic scan over the token sets returns. Run on a
+// small dataset so the quadratic reference stays fast.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/metrics.hpp"
+#include "datagen/registry.hpp"
+#include "sparsenn/joins.hpp"
+#include "sparsenn/tokenset.hpp"
+
+namespace erb::sparsenn {
+namespace {
+
+const core::Dataset& Tiny() {
+  static const core::Dataset dataset =
+      datagen::Generate(datagen::PaperSpec(1).Scaled(0.15));
+  return dataset;
+}
+
+double BruteSimilarity(const TokenSet& a, const TokenSet& b,
+                       SimilarityMeasure measure) {
+  std::size_t overlap = 0;
+  for (auto token : a) {
+    overlap += std::binary_search(b.begin(), b.end(), token);
+  }
+  return SetSimilarity(measure, overlap, a.size(), b.size());
+}
+
+class JoinEquivalence
+    : public ::testing::TestWithParam<std::pair<TokenModel, SimilarityMeasure>> {};
+
+TEST_P(JoinEquivalence, EpsilonJoinMatchesQuadraticScan) {
+  const auto& dataset = Tiny();
+  SparseConfig config;
+  config.model = GetParam().first;
+  config.measure = GetParam().second;
+  const double threshold = 0.3;
+
+  const auto run = EpsilonJoin(dataset, core::SchemaMode::kAgnostic, config,
+                               threshold);
+
+  const auto sets1 = BuildSideTokenSets(dataset, 0, core::SchemaMode::kAgnostic,
+                                        config.model, config.clean);
+  const auto sets2 = BuildSideTokenSets(dataset, 1, core::SchemaMode::kAgnostic,
+                                        config.model, config.clean);
+  std::set<core::PairKey> expected;
+  for (core::EntityId i = 0; i < sets1.size(); ++i) {
+    for (core::EntityId j = 0; j < sets2.size(); ++j) {
+      if (BruteSimilarity(sets1[i], sets2[j], config.measure) >= threshold) {
+        expected.insert(core::MakePair(i, j));
+      }
+    }
+  }
+
+  ASSERT_EQ(run.candidates.size(), expected.size());
+  for (core::PairKey key : run.candidates) {
+    EXPECT_TRUE(expected.contains(key));
+  }
+}
+
+TEST_P(JoinEquivalence, KnnJoinMatchesQuadraticScan) {
+  const auto& dataset = Tiny();
+  SparseConfig config;
+  config.model = GetParam().first;
+  config.measure = GetParam().second;
+  const int k = 2;
+
+  const auto run =
+      KnnJoin(dataset, core::SchemaMode::kAgnostic, config, k, false);
+
+  const auto sets1 = BuildSideTokenSets(dataset, 0, core::SchemaMode::kAgnostic,
+                                        config.model, config.clean);
+  const auto sets2 = BuildSideTokenSets(dataset, 1, core::SchemaMode::kAgnostic,
+                                        config.model, config.clean);
+  // Reference: per query, retain indexed entities holding the k highest
+  // distinct non-zero similarities.
+  std::set<core::PairKey> expected;
+  for (core::EntityId j = 0; j < sets2.size(); ++j) {
+    std::vector<std::pair<double, core::EntityId>> scored;
+    for (core::EntityId i = 0; i < sets1.size(); ++i) {
+      const double sim = BruteSimilarity(sets1[i], sets2[j], config.measure);
+      if (sim > 0.0) scored.emplace_back(sim, i);
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    int distinct = 0;
+    double previous = -1.0;
+    for (const auto& [sim, i] : scored) {
+      if (sim != previous) {
+        if (++distinct > k) break;
+        previous = sim;
+      }
+      expected.insert(core::MakePair(i, j));
+    }
+  }
+
+  ASSERT_EQ(run.candidates.size(), expected.size());
+  for (core::PairKey key : run.candidates) {
+    EXPECT_TRUE(expected.contains(key));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndMeasures, JoinEquivalence,
+    ::testing::Values(
+        std::pair{TokenModel::kT1G, SimilarityMeasure::kCosine},
+        std::pair{TokenModel::kT1GM, SimilarityMeasure::kJaccard},
+        std::pair{TokenModel::kC3G, SimilarityMeasure::kDice},
+        std::pair{TokenModel::kC3GM, SimilarityMeasure::kCosine},
+        std::pair{TokenModel::kC5G, SimilarityMeasure::kJaccard},
+        std::pair{TokenModel::kC5GM, SimilarityMeasure::kDice}));
+
+}  // namespace
+}  // namespace erb::sparsenn

@@ -1,0 +1,63 @@
+// Consistency tests for the LSH probe-budget sweep: each sweep point must
+// match running the corresponding method once with that probe budget.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "datagen/registry.hpp"
+#include "densenn/embedding.hpp"
+#include "densenn/lsh.hpp"
+
+namespace erb::densenn {
+namespace {
+
+class ProbeSweepConsistency : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ProbeSweepConsistency, SweepPointsMatchDirectRuns) {
+  const bool cross_polytope = GetParam();
+  const auto dataset = datagen::Generate(datagen::PaperSpec(1).Scaled(0.25));
+
+  AngularLshConfig config;
+  config.clean = false;
+  config.tables = 4;
+  config.hashes = cross_polytope ? 2 : 6;
+  config.seed = 3;
+
+  const auto indexed = EmbedSide(dataset, 0, core::SchemaMode::kAgnostic, false);
+  const auto queries = EmbedSide(dataset, 1, core::SchemaMode::kAgnostic, false);
+  const auto sweep = SweepAngularProbes(indexed, queries, dataset, config,
+                                        cross_polytope, config.tables * 8);
+  ASSERT_GE(sweep.size(), 3u);
+
+  for (const auto& point : sweep) {
+    AngularLshConfig direct = config;
+    direct.probes = point.probes;
+    const DenseResult run =
+        cross_polytope
+            ? CrossPolytopeLsh(dataset, core::SchemaMode::kAgnostic, direct)
+            : HyperplaneLsh(dataset, core::SchemaMode::kAgnostic, direct);
+    const auto eff = core::Evaluate(run.candidates, dataset);
+    EXPECT_EQ(point.eff.candidates, eff.candidates) << "probes=" << point.probes;
+    EXPECT_EQ(point.eff.detected, eff.detected) << "probes=" << point.probes;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, ProbeSweepConsistency, ::testing::Bool());
+
+TEST(ProbeSweepTest, MonotoneInBudget) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(1).Scaled(0.2));
+  AngularLshConfig config;
+  config.tables = 8;
+  config.hashes = 8;
+  const auto indexed = EmbedSide(dataset, 0, core::SchemaMode::kAgnostic, false);
+  const auto queries = EmbedSide(dataset, 1, core::SchemaMode::kAgnostic, false);
+  const auto sweep =
+      SweepAngularProbes(indexed, queries, dataset, config, false, 8 * 16);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GE(sweep[i].eff.candidates, sweep[i - 1].eff.candidates);
+    EXPECT_GE(sweep[i].eff.pc, sweep[i - 1].eff.pc);
+    EXPECT_GT(sweep[i].probes, sweep[i - 1].probes);
+  }
+}
+
+}  // namespace
+}  // namespace erb::densenn

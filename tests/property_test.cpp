@@ -1,0 +1,171 @@
+// Randomized property tests: invariants that must hold for arbitrary inputs,
+// exercised with deterministic fuzz data.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "blocking/builders.hpp"
+#include "blocking/cleaning.hpp"
+#include "common/rng.hpp"
+#include "core/candidates.hpp"
+#include "datagen/registry.hpp"
+#include "densenn/embedding.hpp"
+#include "sparsenn/tokenset.hpp"
+#include "text/clean.hpp"
+#include "text/porter.hpp"
+
+namespace erb {
+namespace {
+
+std::string RandomText(Rng& rng, std::size_t max_len) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .,-_'\"!";
+  std::string text;
+  const std::size_t len = rng.NextBounded(max_len + 1);
+  for (std::size_t i = 0; i < len; ++i) {
+    text.push_back(kAlphabet[rng.NextBounded(sizeof(kAlphabet) - 1)]);
+  }
+  return text;
+}
+
+TEST(FuzzTest, PorterStemNeverGrowsOrCrashes) {
+  Rng rng(71);
+  for (int i = 0; i < 2000; ++i) {
+    std::string word;
+    const std::size_t len = rng.NextBounded(24);
+    for (std::size_t c = 0; c < len; ++c) {
+      word.push_back(static_cast<char>('a' + rng.NextBounded(26)));
+    }
+    const std::string stem = text::PorterStem(word);
+    EXPECT_LE(stem.size(), word.size() + 1) << word;  // +1: bl -> ble rules
+    EXPECT_EQ(text::PorterStem(stem), text::PorterStem(text::PorterStem(stem)))
+        << word;  // stemming stabilizes after at most one extra application
+  }
+}
+
+TEST(FuzzTest, CleanTokensProducesNormalizedTokens) {
+  Rng rng(72);
+  for (int i = 0; i < 500; ++i) {
+    const std::string text = RandomText(rng, 120);
+    for (const auto& token : text::CleanTokens(text, rng.NextBool(0.5))) {
+      EXPECT_FALSE(token.empty());
+      for (char c : token) {
+        EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'))
+            << "token '" << token << "' from: " << text;
+      }
+    }
+  }
+}
+
+class ExtractKeysFuzz : public ::testing::TestWithParam<blocking::BuilderKind> {};
+
+TEST_P(ExtractKeysFuzz, KeysAreSortedUniqueNonEmpty) {
+  Rng rng(73);
+  blocking::BuilderConfig config;
+  config.kind = GetParam();
+  config.q = 3;
+  config.l_min = 2;
+  for (int i = 0; i < 300; ++i) {
+    const auto keys = blocking::ExtractKeys(RandomText(rng, 80), config);
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+    EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+    for (const auto& key : keys) EXPECT_FALSE(key.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBuilders, ExtractKeysFuzz,
+    ::testing::Values(blocking::BuilderKind::kStandard,
+                      blocking::BuilderKind::kQGrams,
+                      blocking::BuilderKind::kExtendedQGrams,
+                      blocking::BuilderKind::kSuffixArrays,
+                      blocking::BuilderKind::kExtendedSuffixArrays));
+
+TEST(PropertyTest, PurgingIsMonotoneAndNearlyStable) {
+  // Comparison-based purging recomputes its knee from the (already purged)
+  // cardinality distribution, so it is not strictly idempotent — but a second
+  // application must never add blocks and may only trim marginally.
+  const auto dataset = datagen::Generate(datagen::PaperSpec(2).Scaled(0.15));
+  auto blocks = blocking::BuildBlocks(dataset, core::SchemaMode::kAgnostic,
+                                      blocking::BuilderConfig{});
+  const std::size_t built = blocks.size();
+  const std::size_t n1 = dataset.e1().size(), n2 = dataset.e2().size();
+  blocking::BlockPurging(&blocks, n1, n2);
+  const std::size_t after_first = blocks.size();
+  EXPECT_LE(after_first, built);
+  blocking::BlockPurging(&blocks, n1, n2);
+  EXPECT_LE(blocks.size(), after_first);
+  EXPECT_GE(blocks.size(), after_first * 99 / 100);
+}
+
+TEST(PropertyTest, FilteringMonotoneInRatio) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(2).Scaled(0.15));
+  const auto base = blocking::BuildBlocks(dataset, core::SchemaMode::kAgnostic,
+                                          blocking::BuilderConfig{});
+  const std::size_t n1 = dataset.e1().size(), n2 = dataset.e2().size();
+  std::uint64_t previous = 0;
+  for (double ratio : {0.2, 0.5, 0.8, 1.0}) {
+    auto blocks = base;
+    blocking::BlockFiltering(&blocks, ratio, n1, n2);
+    const auto comparisons = blocking::TotalComparisons(blocks);
+    EXPECT_GE(comparisons, previous) << ratio;
+    previous = comparisons;
+  }
+}
+
+TEST(PropertyTest, CandidateSetOrderInsensitive) {
+  Rng rng(74);
+  core::CandidateSet a, b;
+  std::vector<std::pair<core::EntityId, core::EntityId>> pairs;
+  for (int i = 0; i < 500; ++i) {
+    pairs.emplace_back(static_cast<core::EntityId>(rng.NextBounded(50)),
+                       static_cast<core::EntityId>(rng.NextBounded(50)));
+  }
+  for (const auto& [x, y] : pairs) a.Add(x, y);
+  std::reverse(pairs.begin(), pairs.end());
+  for (const auto& [x, y] : pairs) b.Add(x, y);
+  a.Finalize();
+  b.Finalize();
+  EXPECT_EQ(a.pairs(), b.pairs());
+}
+
+TEST(PropertyTest, TokenSetOverlapIsSymmetricInModel) {
+  // For any two texts, overlap(A,B) == overlap(B,A) under every model.
+  Rng rng(75);
+  for (int i = 0; i < 100; ++i) {
+    const std::string t1 = RandomText(rng, 60);
+    const std::string t2 = RandomText(rng, 60);
+    for (auto model : {sparsenn::TokenModel::kT1GM, sparsenn::TokenModel::kC3G}) {
+      const auto a = sparsenn::BuildTokenSet(t1, model, false);
+      const auto b = sparsenn::BuildTokenSet(t2, model, false);
+      std::size_t ab = 0, ba = 0;
+      for (auto t : a) ab += std::binary_search(b.begin(), b.end(), t);
+      for (auto t : b) ba += std::binary_search(a.begin(), a.end(), t);
+      EXPECT_EQ(ab, ba);
+    }
+  }
+}
+
+TEST(PropertyTest, EmbeddingIsScaleFreeOverWordOrder) {
+  // Averaging words makes the embedding order-insensitive.
+  const auto a = densenn::EmbedText("alpha beta gamma");
+  const auto b = densenn::EmbedText("gamma alpha beta");
+  EXPECT_NEAR(densenn::Dot(a, b), 1.0f, 1e-5);
+}
+
+TEST(PropertyTest, EmbedTextHandlesArbitraryBytes) {
+  Rng rng(76);
+  for (int i = 0; i < 200; ++i) {
+    std::string text;
+    const std::size_t len = rng.NextBounded(100);
+    for (std::size_t c = 0; c < len; ++c) {
+      text.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    const auto v = densenn::EmbedText(text);
+    for (float x : v) EXPECT_TRUE(std::isfinite(x));
+  }
+}
+
+}  // namespace
+}  // namespace erb

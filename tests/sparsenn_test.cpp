@@ -1,0 +1,226 @@
+// Tests for src/sparsenn: token models, similarity measures, ScanCount and
+// both join principles (with brute-force reference checks).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.hpp"
+#include "core/metrics.hpp"
+#include "datagen/registry.hpp"
+#include "sparsenn/joins.hpp"
+#include "sparsenn/scancount.hpp"
+#include "sparsenn/tokenset.hpp"
+
+namespace erb::sparsenn {
+namespace {
+
+TEST(TokenModelTest, NamesAndGramLengths) {
+  EXPECT_EQ(ModelName(TokenModel::kT1GM), "T1GM");
+  EXPECT_EQ(ModelGramLength(TokenModel::kT1G), 0);
+  EXPECT_EQ(ModelGramLength(TokenModel::kC4GM), 4);
+  EXPECT_TRUE(IsMultiset(TokenModel::kC5GM));
+  EXPECT_FALSE(IsMultiset(TokenModel::kC5G));
+}
+
+TEST(TokenSetTest, WhitespaceSetSemantics) {
+  const auto set = BuildTokenSet("red red blue", TokenModel::kT1G, false);
+  EXPECT_EQ(set.size(), 2u);  // {red, blue}
+}
+
+TEST(TokenSetTest, WhitespaceMultisetSemantics) {
+  const auto set = BuildTokenSet("red red blue", TokenModel::kT1GM, false);
+  EXPECT_EQ(set.size(), 3u);  // {red#1, red#2, blue#1}
+}
+
+TEST(TokenSetTest, MultisetOverlapCountsOccurrences) {
+  // {a,a,b} vs {a,b,b}: multiset intersection = {a#1, b#1} -> overlap 2.
+  const auto s1 = BuildTokenSet("a a b", TokenModel::kT1GM, false);
+  const auto s2 = BuildTokenSet("a b b", TokenModel::kT1GM, false);
+  std::size_t overlap = 0;
+  for (auto t : s1) overlap += std::binary_search(s2.begin(), s2.end(), t);
+  EXPECT_EQ(overlap, 2u);
+}
+
+TEST(TokenSetTest, CharacterGramCount) {
+  // "abcd ef" normalized -> "abcd ef" (7 chars) -> 5 distinct 3-grams.
+  const auto set = BuildTokenSet("abcd ef", TokenModel::kC3G, false);
+  EXPECT_EQ(set.size(), 5u);
+}
+
+TEST(TokenSetTest, ShortTextFallsBackToWholeString) {
+  const auto set = BuildTokenSet("ab", TokenModel::kC5G, false);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(TokenSetTest, CleaningChangesTokens) {
+  const auto raw = BuildTokenSet("the cameras", TokenModel::kT1G, false);
+  const auto clean = BuildTokenSet("the cameras", TokenModel::kT1G, true);
+  EXPECT_EQ(raw.size(), 2u);
+  EXPECT_EQ(clean.size(), 1u);  // stop word removed, "cameras" stemmed
+}
+
+TEST(SimilarityTest, Formulas) {
+  // |A| = 4, |B| = 2, overlap = 2.
+  EXPECT_DOUBLE_EQ(SetSimilarity(SimilarityMeasure::kCosine, 2, 4, 2),
+                   2.0 / std::sqrt(8.0));
+  EXPECT_DOUBLE_EQ(SetSimilarity(SimilarityMeasure::kDice, 2, 4, 2),
+                   4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(SetSimilarity(SimilarityMeasure::kJaccard, 2, 4, 2),
+                   2.0 / 4.0);
+}
+
+TEST(SimilarityTest, BoundsAndDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(SetSimilarity(SimilarityMeasure::kJaccard, 0, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(SetSimilarity(SimilarityMeasure::kCosine, 3, 3, 3), 1.0);
+  EXPECT_DOUBLE_EQ(SetSimilarity(SimilarityMeasure::kDice, 3, 3, 3), 1.0);
+  EXPECT_DOUBLE_EQ(SetSimilarity(SimilarityMeasure::kJaccard, 3, 3, 3), 1.0);
+}
+
+// Property: ScanCount's overlap counts equal brute-force set intersection.
+TEST(ScanCountTest, MatchesBruteForceOnRandomSets) {
+  Rng rng(11);
+  std::vector<TokenSet> indexed;
+  for (int i = 0; i < 60; ++i) {
+    TokenSet set;
+    const std::size_t n = 1 + rng.NextBounded(20);
+    for (std::size_t t = 0; t < n; ++t) set.push_back(rng.NextBounded(50));
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    indexed.push_back(std::move(set));
+  }
+  ScanCountIndex index(indexed);
+
+  for (int q = 0; q < 30; ++q) {
+    TokenSet query;
+    const std::size_t n = 1 + rng.NextBounded(15);
+    for (std::size_t t = 0; t < n; ++t) query.push_back(rng.NextBounded(50));
+    std::sort(query.begin(), query.end());
+    query.erase(std::unique(query.begin(), query.end()), query.end());
+
+    std::map<std::uint32_t, std::uint32_t> reported;
+    index.Probe(query, [&](std::uint32_t id, std::uint32_t overlap, std::uint32_t) {
+      reported[id] = overlap;
+    });
+    for (std::uint32_t id = 0; id < indexed.size(); ++id) {
+      std::uint32_t expected = 0;
+      for (auto t : query) {
+        expected += std::binary_search(indexed[id].begin(), indexed[id].end(), t);
+      }
+      const auto it = reported.find(id);
+      EXPECT_EQ(it == reported.end() ? 0 : it->second, expected)
+          << "query " << q << " id " << id;
+    }
+  }
+}
+
+TEST(ScanCountTest, ProbeIsRepeatable) {
+  std::vector<TokenSet> indexed = {{1, 2, 3}, {3, 4}};
+  ScanCountIndex index(indexed);
+  for (int round = 0; round < 3; ++round) {
+    std::size_t hits = 0;
+    index.Probe({3}, [&](std::uint32_t, std::uint32_t overlap, std::uint32_t) {
+      EXPECT_EQ(overlap, 1u);
+      ++hits;
+    });
+    EXPECT_EQ(hits, 2u);
+  }
+}
+
+core::Dataset SmallDataset() {
+  return datagen::Generate(datagen::PaperSpec(1).Scaled(0.4));
+}
+
+TEST(EpsilonJoinTest, ThresholdOneKeepsOnlyIdenticalSets) {
+  const auto dataset = SmallDataset();
+  SparseConfig config;
+  const auto all = EpsilonJoin(dataset, core::SchemaMode::kAgnostic, config, 0.0);
+  const auto exact = EpsilonJoin(dataset, core::SchemaMode::kAgnostic, config, 1.0);
+  EXPECT_LT(exact.candidates.size(), all.candidates.size());
+}
+
+TEST(EpsilonJoinTest, MonotoneInThreshold) {
+  const auto dataset = SmallDataset();
+  SparseConfig config;
+  config.model = TokenModel::kC3G;
+  std::size_t previous = SIZE_MAX;
+  for (double t : {0.2, 0.4, 0.6, 0.8}) {
+    const auto run = EpsilonJoin(dataset, core::SchemaMode::kAgnostic, config, t);
+    EXPECT_LE(run.candidates.size(), previous);
+    previous = run.candidates.size();
+  }
+}
+
+TEST(EpsilonJoinTest, RecordsPhaseTimings) {
+  const auto dataset = SmallDataset();
+  const auto run =
+      EpsilonJoin(dataset, core::SchemaMode::kAgnostic, SparseConfig{}, 0.5);
+  EXPECT_TRUE(run.timing.phases().contains(kPhasePreprocess));
+  EXPECT_TRUE(run.timing.phases().contains(kPhaseIndex));
+  EXPECT_TRUE(run.timing.phases().contains(kPhaseQuery));
+}
+
+TEST(KnnJoinTest, CandidatesGrowWithK) {
+  const auto dataset = SmallDataset();
+  SparseConfig config;
+  config.model = TokenModel::kC4GM;
+  std::size_t previous = 0;
+  for (int k : {1, 3, 10}) {
+    const auto run = KnnJoin(dataset, core::SchemaMode::kAgnostic, config, k, false);
+    EXPECT_GE(run.candidates.size(), previous);
+    previous = run.candidates.size();
+  }
+}
+
+TEST(KnnJoinTest, AtLeastKValuesPerQueryWithTies) {
+  // Two indexed entities equidistant from the query must both be returned
+  // even with k = 1 (the paper's distinct-similarity-values semantics).
+  using core::EntityProfile;
+  auto p = [](const char* v) {
+    EntityProfile e;
+    e.attributes.push_back({"t", v});
+    return e;
+  };
+  std::vector<EntityProfile> e1 = {p("alpha beta"), p("alpha gamma")};
+  std::vector<EntityProfile> e2 = {p("alpha")};
+  core::Dataset d("t", std::move(e1), std::move(e2), {{0, 0}}, "t");
+  SparseConfig config;  // T1G cosine: both share exactly {alpha}
+  const auto run = KnnJoin(d, core::SchemaMode::kAgnostic, config, 1, false);
+  EXPECT_EQ(run.candidates.size(), 2u);
+}
+
+TEST(KnnJoinTest, ReverseSwapsQuerySide) {
+  const auto dataset = SmallDataset();  // |E1| < |E2|
+  SparseConfig config;
+  const auto fwd = KnnJoin(dataset, core::SchemaMode::kAgnostic, config, 1, false);
+  const auto rev = KnnJoin(dataset, core::SchemaMode::kAgnostic, config, 1, true);
+  // Queries = E2 (larger) forward, E1 (smaller) reversed; with k = 1 and few
+  // ties, candidate counts differ accordingly.
+  EXPECT_GT(fwd.candidates.size(), rev.candidates.size());
+}
+
+TEST(KnnJoinTest, PairsAlwaysInCanonicalOrder) {
+  const auto dataset = SmallDataset();
+  SparseConfig config;
+  for (bool reverse : {false, true}) {
+    const auto run =
+        KnnJoin(dataset, core::SchemaMode::kAgnostic, config, 2, reverse);
+    for (core::PairKey key : run.candidates) {
+      EXPECT_LT(core::PairFirst(key), dataset.e1().size());
+      EXPECT_LT(core::PairSecond(key), dataset.e2().size());
+    }
+  }
+}
+
+TEST(DefaultKnnJoinTest, UsesSmallerSideAsQueries) {
+  const auto dataset = SmallDataset();
+  const auto run = DefaultKnnJoin(dataset, core::SchemaMode::kAgnostic);
+  // |C| <= K * min(|E1|,|E2|) + ties; sanity bound with slack for ties.
+  EXPECT_LE(run.candidates.size(),
+            10 * std::min(dataset.e1().size(), dataset.e2().size()));
+  const auto eff = core::Evaluate(run.candidates, dataset);
+  EXPECT_GT(eff.pc, 0.5);
+}
+
+}  // namespace
+}  // namespace erb::sparsenn

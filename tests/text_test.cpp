@@ -1,0 +1,123 @@
+// Unit tests for src/text: Porter stemmer, stop words, cleaning pipeline.
+#include <gtest/gtest.h>
+
+#include "text/clean.hpp"
+#include "text/porter.hpp"
+#include "text/stopwords.hpp"
+
+namespace erb::text {
+namespace {
+
+struct StemCase {
+  const char* word;
+  const char* stem;
+};
+
+// Classic vectors from Porter's paper and the reference implementation's
+// vocabulary list.
+class PorterVectors : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterVectors, StemsAsReference) {
+  EXPECT_EQ(PorterStem(GetParam().word), GetParam().stem)
+      << "word: " << GetParam().word;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Classic, PorterVectors,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"}, StemCase{"hesitanci", "hesit"},
+        StemCase{"digitizer", "digit"}, StemCase{"conformabli", "conform"},
+        StemCase{"radicalli", "radic"}, StemCase{"differentli", "differ"},
+        StemCase{"vileli", "vile"}, StemCase{"analogousli", "analog"},
+        StemCase{"vietnamization", "vietnam"}, StemCase{"predication", "predic"},
+        StemCase{"operator", "oper"}, StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"}, StemCase{"hopefulness", "hope"},
+        StemCase{"callousness", "callous"}, StemCase{"formaliti", "formal"},
+        StemCase{"sensitiviti", "sensit"}, StemCase{"sensibiliti", "sensibl"},
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electriciti", "electr"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"}, StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"}, StemCase{"gyroscopic", "gyroscop"},
+        StemCase{"adjustable", "adjust"}, StemCase{"defensible", "defens"},
+        StemCase{"irritant", "irrit"}, StemCase{"replacement", "replac"},
+        StemCase{"adjustment", "adjust"}, StemCase{"dependent", "depend"},
+        StemCase{"adoption", "adopt"}, StemCase{"homologou", "homolog"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"}, StemCase{"homologous", "homolog"},
+        StemCase{"effective", "effect"}, StemCase{"bowdlerize", "bowdler"},
+        StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}));
+
+TEST(PorterTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("as"), "as");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(PorterTest, IdempotentOnCommonStems) {
+  for (const char* word : {"blocks", "filtering", "entities", "resolution"}) {
+    const std::string once = PorterStem(word);
+    EXPECT_EQ(PorterStem(once), once) << word;
+  }
+}
+
+TEST(StopWordsTest, CommonWordsAreStopWords) {
+  for (const char* word : {"the", "and", "of", "is", "a", "in"}) {
+    EXPECT_TRUE(IsStopWord(word)) << word;
+  }
+}
+
+TEST(StopWordsTest, ContentWordsAreNot) {
+  for (const char* word : {"entity", "blocking", "camera", "sony"}) {
+    EXPECT_FALSE(IsStopWord(word)) << word;
+  }
+}
+
+TEST(StopWordsTest, ListSizeMatchesNltk) { EXPECT_EQ(StopWordCount(), 127u); }
+
+TEST(CleanTest, WithoutCleaningOnlyNormalizes) {
+  const auto tokens = CleanTokens("The Quick, Brown FOX!", false);
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "the");
+  EXPECT_EQ(tokens[3], "fox");
+}
+
+TEST(CleanTest, CleaningRemovesStopWordsAndStems) {
+  const auto tokens = CleanTokens("the blocks are filtering entities", true);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "block");
+  EXPECT_EQ(tokens[1], "filter");
+  EXPECT_EQ(tokens[2], "entiti");
+}
+
+TEST(CleanTest, CleanTextJoinsWithSpaces) {
+  EXPECT_EQ(CleanText("the blocks are filtering", true), "block filter");
+}
+
+TEST(CleanTest, EmptyInput) {
+  EXPECT_TRUE(CleanTokens("", true).empty());
+  EXPECT_EQ(CleanText("", true), "");
+}
+
+TEST(CleanTest, AllStopWordsYieldEmpty) {
+  EXPECT_TRUE(CleanTokens("the of and is", true).empty());
+}
+
+}  // namespace
+}  // namespace erb::text

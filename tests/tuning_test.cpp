@@ -1,0 +1,163 @@
+// Tests for src/tuning: selection rule, the fast multi-configuration
+// evaluator's consistency with the real MetaBlocking, and tuner smoke tests.
+#include <gtest/gtest.h>
+
+#include "blocking/builders.hpp"
+#include "blocking/comparison.hpp"
+#include "core/metrics.hpp"
+#include "datagen/registry.hpp"
+#include "tuning/blocking_tuner.hpp"
+#include "tuning/dense_tuner.hpp"
+#include "tuning/metaeval.hpp"
+#include "tuning/sparse_tuner.hpp"
+#include "tuning/suite.hpp"
+
+namespace erb::tuning {
+namespace {
+
+core::Effectiveness Eff(double pc, double pq) {
+  core::Effectiveness e;
+  e.pc = pc;
+  e.pq = pq;
+  return e;
+}
+
+TEST(IsBetterTest, TargetMetBeatsTargetMissed) {
+  EXPECT_TRUE(IsBetter(Eff(0.91, 0.01), Eff(0.89, 0.99), 0.9));
+  EXPECT_FALSE(IsBetter(Eff(0.89, 0.99), Eff(0.91, 0.01), 0.9));
+}
+
+TEST(IsBetterTest, AmongTargetMetHigherPqWins) {
+  EXPECT_TRUE(IsBetter(Eff(0.90, 0.5), Eff(0.99, 0.4), 0.9));
+  EXPECT_FALSE(IsBetter(Eff(0.99, 0.4), Eff(0.90, 0.5), 0.9));
+}
+
+TEST(IsBetterTest, AmongTargetMissedHigherPcWins) {
+  EXPECT_TRUE(IsBetter(Eff(0.8, 0.1), Eff(0.7, 0.9), 0.9));
+  EXPECT_TRUE(IsBetter(Eff(0.8, 0.9), Eff(0.8, 0.1), 0.9));
+}
+
+TEST(GridOptionsTest, DefaultsAreSane) {
+  const GridOptions options;
+  EXPECT_FALSE(options.full_grid);
+  EXPECT_GT(options.repetitions, 0);
+  EXPECT_DOUBLE_EQ(options.target_recall, 0.9);
+}
+
+// The cornerstone consistency property: the tuner's shared-pass evaluator
+// must report exactly the counts of running each configuration for real.
+TEST(MetaEvalTest, MatchesRealMetaBlockingForEveryConfiguration) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(1).Scaled(0.3));
+  const auto blocks = blocking::BuildBlocks(dataset, core::SchemaMode::kAgnostic,
+                                            blocking::BuilderConfig{});
+  const std::size_t n1 = dataset.e1().size();
+  const std::size_t n2 = dataset.e2().size();
+
+  const CleaningSweep sweep = EvaluateAllCleaning(blocks, dataset);
+  for (const auto& outcome : sweep) {
+    const auto candidates =
+        blocking::CleanComparisons(blocks, n1, n2, outcome.config);
+    const auto eff = core::Evaluate(candidates, dataset);
+    std::string label =
+        outcome.config.use_metablocking
+            ? std::string(blocking::PruningName(outcome.config.pruning)) + "+" +
+                  std::string(blocking::SchemeName(outcome.config.scheme))
+            : "CP";
+    EXPECT_EQ(outcome.eff.candidates, eff.candidates) << label;
+    EXPECT_EQ(outcome.eff.detected, eff.detected) << label;
+    EXPECT_DOUBLE_EQ(outcome.eff.pc, eff.pc) << label;
+  }
+}
+
+TEST(MetaEvalTest, RecallCeilingEqualsComparisonPropagationPc) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(2).Scaled(0.1));
+  const auto blocks = blocking::BuildBlocks(dataset, core::SchemaMode::kAgnostic,
+                                            blocking::BuilderConfig{});
+  const CleaningSweep sweep = EvaluateAllCleaning(blocks, dataset);
+  EXPECT_DOUBLE_EQ(RecallCeiling(blocks, dataset), sweep[0].eff.pc);
+}
+
+TEST(MetaEvalTest, NoCleaningBeatsThePropagationCeiling) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(2).Scaled(0.1));
+  const auto blocks = blocking::BuildBlocks(dataset, core::SchemaMode::kAgnostic,
+                                            blocking::BuilderConfig{});
+  const CleaningSweep sweep = EvaluateAllCleaning(blocks, dataset);
+  for (const auto& outcome : sweep) {
+    EXPECT_LE(outcome.eff.pc, sweep[0].eff.pc);
+    EXPECT_LE(outcome.eff.candidates, sweep[0].eff.candidates);
+  }
+}
+
+GridOptions FastOptions() {
+  GridOptions options;
+  options.repetitions = 1;
+  return options;
+}
+
+TEST(BlockingTunerTest, ReachesTargetOnEasyDataset) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(4).Scaled(0.2));
+  const auto result = TuneBlockingWorkflow(dataset, core::SchemaMode::kAgnostic,
+                                           blocking::BuilderKind::kStandard,
+                                           FastOptions());
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_GE(result.eff.pc, 0.9);
+  EXPECT_GT(result.eff.pq, 0.1);
+  EXPECT_GT(result.configurations_tried, 40u);
+  EXPECT_FALSE(result.config.empty());
+  EXPECT_GT(result.runtime_ms, 0.0);
+}
+
+TEST(BlockingTunerTest, BaselinesRunWithoutTuning) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(1).Scaled(0.3));
+  const auto pbw = RunPbwBaseline(dataset, core::SchemaMode::kAgnostic);
+  EXPECT_EQ(pbw.method, "PBW");
+  EXPECT_EQ(pbw.configurations_tried, 1u);
+  EXPECT_GT(pbw.eff.pc, 0.8);
+  const auto dbw = RunDbwBaseline(dataset, core::SchemaMode::kAgnostic);
+  EXPECT_EQ(dbw.method, "DBW");
+  EXPECT_GT(dbw.eff.candidates, 0u);
+}
+
+TEST(SparseTunerTest, KnnJoinFindsSmallK) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(4).Scaled(0.2));
+  const auto result =
+      TuneKnnJoin(dataset, core::SchemaMode::kAgnostic, FastOptions());
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_NE(result.config.find("K="), std::string::npos);
+  EXPECT_GT(result.eff.pq, 0.2);
+}
+
+TEST(SparseTunerTest, EpsilonJoinReportsThreshold) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(4).Scaled(0.15));
+  const auto result =
+      TuneEpsilonJoin(dataset, core::SchemaMode::kAgnostic, FastOptions());
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_NE(result.config.find("t="), std::string::npos);
+}
+
+TEST(DenseTunerTest, FaissReachesTargetOnEasyDataset) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(4).Scaled(0.1));
+  const auto result = TuneFaiss(dataset, core::SchemaMode::kAgnostic, FastOptions());
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_GT(result.eff.pq, 0.05);
+}
+
+TEST(SuiteTest, MethodNamesRoundTrip) {
+  for (MethodId id : AllMethods()) {
+    EXPECT_FALSE(MethodName(id).empty());
+  }
+  EXPECT_EQ(AllMethods().size(), 17u);
+}
+
+TEST(SuiteTest, TaxonomyPartitionsAllMethods) {
+  for (MethodId id : AllMethods()) {
+    const int groups = IsBlockingMethod(id) + IsSparseMethod(id) + IsDenseMethod(id);
+    EXPECT_EQ(groups, 1) << MethodName(id);
+  }
+  EXPECT_TRUE(IsBaseline(MethodId::kPbw));
+  EXPECT_TRUE(IsBaseline(MethodId::kDdb));
+  EXPECT_FALSE(IsBaseline(MethodId::kSbw));
+}
+
+}  // namespace
+}  // namespace erb::tuning

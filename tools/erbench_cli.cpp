@@ -1,0 +1,141 @@
+// erbench command-line interface.
+//
+//   erbench list
+//       Datasets and methods available.
+//   erbench generate <dataset 1-10> <out_dir> [scale]
+//       Materialize a synthetic replica as e1.csv / e2.csv / groundtruth.csv.
+//   erbench tune <method|ALL> <e1.csv> <e2.csv> <gt.csv> [--schema-based]
+//       Fine-tune filtering method(s) on a CSV dataset (Problem 1).
+//   erbench stats <e1.csv> <e2.csv> <gt.csv>
+//       Dataset profile: attribute coverage, vocabulary, corpus size.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/schema.hpp"
+#include "datagen/csv_loader.hpp"
+#include "datagen/csv_writer.hpp"
+#include "datagen/registry.hpp"
+#include "tuning/suite.hpp"
+
+namespace {
+
+using namespace erb;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  erbench list\n"
+               "  erbench generate <dataset 1-10> <out_dir> [scale]\n"
+               "  erbench tune <method|ALL> <e1.csv> <e2.csv> <gt.csv> "
+               "[--schema-based]\n"
+               "  erbench stats <e1.csv> <e2.csv> <gt.csv>\n");
+  return 1;
+}
+
+int CmdList() {
+  std::printf("datasets (synthetic replicas of the ICDE 2023 benchmark):\n");
+  for (int i = 1; i <= datagen::kNumDatasets; ++i) {
+    const auto spec = datagen::PaperSpec(i);
+    std::printf("  %2d  %-45s |E1|=%zu |E2|=%zu dups=%zu\n", i,
+                spec.description.c_str(), spec.n1, spec.n2, spec.n_duplicates);
+  }
+  std::printf("\nmethods:\n ");
+  for (auto id : tuning::AllMethods()) {
+    std::printf(" %s", std::string(tuning::MethodName(id)).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const int index = std::atoi(argv[2]);
+  const std::string dir = argv[3];
+  const double scale = argc > 4 ? std::atof(argv[4]) : 1.0;
+  if (index < 1 || index > datagen::kNumDatasets || scale <= 0.0) return Usage();
+  const auto dataset = datagen::Generate(datagen::PaperSpec(index).Scaled(scale));
+  datagen::WriteCsvDataset(dataset, dir + "/e1.csv", dir + "/e2.csv",
+                           dir + "/groundtruth.csv");
+  std::printf("wrote %s/{e1,e2,groundtruth}.csv  (|E1|=%zu |E2|=%zu dups=%zu)\n",
+              dir.c_str(), dataset.e1().size(), dataset.e2().size(),
+              dataset.NumDuplicates());
+  return 0;
+}
+
+int CmdTune(int argc, char** argv) {
+  if (argc < 6) return Usage();
+  const std::string method = argv[2];
+  core::SchemaMode mode = core::SchemaMode::kAgnostic;
+  for (int i = 6; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--schema-based") == 0) {
+      mode = core::SchemaMode::kBased;
+    }
+  }
+  const auto dataset = datagen::LoadCsvDataset("csv", argv[3], argv[4], argv[5]);
+  const auto options = tuning::GridOptions::FromEnv();
+
+  auto run_one = [&](tuning::MethodId id) {
+    const auto result = tuning::RunMethod(id, dataset, mode, options);
+    std::printf("%-12s PC=%.3f PQ=%.4f |C|=%zu RT=%.0fms  %s%s\n",
+                std::string(tuning::MethodName(id)).c_str(), result.eff.pc,
+                result.eff.pq, result.eff.candidates, result.runtime_ms,
+                result.config.c_str(),
+                result.reached_target ? "" : "  [missed recall target]");
+  };
+
+  if (method == "ALL") {
+    for (auto id : tuning::AllMethods()) run_one(id);
+    return 0;
+  }
+  for (auto id : tuning::AllMethods()) {
+    if (method == tuning::MethodName(id)) {
+      run_one(id);
+      return 0;
+    }
+  }
+  std::fprintf(stderr, "unknown method '%s' (try: erbench list)\n",
+               method.c_str());
+  return 1;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const auto dataset = datagen::LoadCsvDataset("csv", argv[2], argv[3], argv[4]);
+  std::printf("|E1|=%zu |E2|=%zu duplicates=%zu cartesian=%.2e\n",
+              dataset.e1().size(), dataset.e2().size(), dataset.NumDuplicates(),
+              static_cast<double>(dataset.CartesianSize()));
+  std::printf("best attribute: %s\n\n", dataset.best_attribute().c_str());
+  std::printf("%-16s %9s %12s %15s\n", "attribute", "coverage", "gt-coverage",
+              "distinctiveness");
+  for (const auto& s : core::ComputeAttributeStats(dataset)) {
+    std::printf("%-16s %9.3f %12.3f %15.3f\n", s.name.c_str(), s.coverage,
+                s.groundtruth_coverage, s.distinctiveness);
+  }
+  for (auto mode : {core::SchemaMode::kAgnostic, core::SchemaMode::kBased}) {
+    const auto stats = core::ComputeCorpusStats(dataset, mode, false);
+    std::printf("\n%s: vocabulary=%zu characters=%zu",
+                mode == core::SchemaMode::kAgnostic ? "schema-agnostic"
+                                                    : "schema-based",
+                stats.vocabulary_size, stats.char_length);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "list") return CmdList();
+    if (command == "generate") return CmdGenerate(argc, argv);
+    if (command == "tune") return CmdTune(argc, argv);
+    if (command == "stats") return CmdStats(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}
