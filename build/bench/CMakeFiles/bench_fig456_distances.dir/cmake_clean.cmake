@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig456_distances.dir/bench_fig456_distances.cpp.o"
+  "CMakeFiles/bench_fig456_distances.dir/bench_fig456_distances.cpp.o.d"
+  "bench_fig456_distances"
+  "bench_fig456_distances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig456_distances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erb_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/erb_bench_harness.dir/harness.cpp.o.d"
+  "liberb_bench_harness.a"
+  "liberb_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erb_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liberb_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_benchmark.dir/csv_benchmark.cpp.o"
+  "CMakeFiles/csv_benchmark.dir/csv_benchmark.cpp.o.d"
+  "csv_benchmark"
+  "csv_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dataset_report.cpp" "examples/CMakeFiles/dataset_report.dir/dataset_report.cpp.o" "gcc" "examples/CMakeFiles/dataset_report.dir/dataset_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuning/CMakeFiles/erb_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/dirty/CMakeFiles/erb_dirty.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/erb_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocking/CMakeFiles/erb_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparsenn/CMakeFiles/erb_sparsenn.dir/DependInfo.cmake"
+  "/root/repo/build/src/densenn/CMakeFiles/erb_densenn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/erb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/erb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/erb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deduplication.dir/deduplication.cpp.o"
+  "CMakeFiles/deduplication.dir/deduplication.cpp.o.d"
+  "deduplication"
+  "deduplication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deduplication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

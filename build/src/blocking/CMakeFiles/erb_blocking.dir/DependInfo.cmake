@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blocking/block.cpp" "src/blocking/CMakeFiles/erb_blocking.dir/block.cpp.o" "gcc" "src/blocking/CMakeFiles/erb_blocking.dir/block.cpp.o.d"
+  "/root/repo/src/blocking/builders.cpp" "src/blocking/CMakeFiles/erb_blocking.dir/builders.cpp.o" "gcc" "src/blocking/CMakeFiles/erb_blocking.dir/builders.cpp.o.d"
+  "/root/repo/src/blocking/cleaning.cpp" "src/blocking/CMakeFiles/erb_blocking.dir/cleaning.cpp.o" "gcc" "src/blocking/CMakeFiles/erb_blocking.dir/cleaning.cpp.o.d"
+  "/root/repo/src/blocking/comparison.cpp" "src/blocking/CMakeFiles/erb_blocking.dir/comparison.cpp.o" "gcc" "src/blocking/CMakeFiles/erb_blocking.dir/comparison.cpp.o.d"
+  "/root/repo/src/blocking/graph.cpp" "src/blocking/CMakeFiles/erb_blocking.dir/graph.cpp.o" "gcc" "src/blocking/CMakeFiles/erb_blocking.dir/graph.cpp.o.d"
+  "/root/repo/src/blocking/sorted_neighborhood.cpp" "src/blocking/CMakeFiles/erb_blocking.dir/sorted_neighborhood.cpp.o" "gcc" "src/blocking/CMakeFiles/erb_blocking.dir/sorted_neighborhood.cpp.o.d"
+  "/root/repo/src/blocking/workflow.cpp" "src/blocking/CMakeFiles/erb_blocking.dir/workflow.cpp.o" "gcc" "src/blocking/CMakeFiles/erb_blocking.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/erb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/erb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/erb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erb_blocking.dir/block.cpp.o"
+  "CMakeFiles/erb_blocking.dir/block.cpp.o.d"
+  "CMakeFiles/erb_blocking.dir/builders.cpp.o"
+  "CMakeFiles/erb_blocking.dir/builders.cpp.o.d"
+  "CMakeFiles/erb_blocking.dir/cleaning.cpp.o"
+  "CMakeFiles/erb_blocking.dir/cleaning.cpp.o.d"
+  "CMakeFiles/erb_blocking.dir/comparison.cpp.o"
+  "CMakeFiles/erb_blocking.dir/comparison.cpp.o.d"
+  "CMakeFiles/erb_blocking.dir/graph.cpp.o"
+  "CMakeFiles/erb_blocking.dir/graph.cpp.o.d"
+  "CMakeFiles/erb_blocking.dir/sorted_neighborhood.cpp.o"
+  "CMakeFiles/erb_blocking.dir/sorted_neighborhood.cpp.o.d"
+  "CMakeFiles/erb_blocking.dir/workflow.cpp.o"
+  "CMakeFiles/erb_blocking.dir/workflow.cpp.o.d"
+  "liberb_blocking.a"
+  "liberb_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erb_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erb_common.dir/strings.cpp.o"
+  "CMakeFiles/erb_common.dir/strings.cpp.o.d"
+  "liberb_common.a"
+  "liberb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

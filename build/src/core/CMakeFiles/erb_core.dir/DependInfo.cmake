@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/candidates.cpp" "src/core/CMakeFiles/erb_core.dir/candidates.cpp.o" "gcc" "src/core/CMakeFiles/erb_core.dir/candidates.cpp.o.d"
+  "/root/repo/src/core/entity.cpp" "src/core/CMakeFiles/erb_core.dir/entity.cpp.o" "gcc" "src/core/CMakeFiles/erb_core.dir/entity.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/erb_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/erb_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/schema.cpp" "src/core/CMakeFiles/erb_core.dir/schema.cpp.o" "gcc" "src/core/CMakeFiles/erb_core.dir/schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/erb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/erb_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erb_core.dir/candidates.cpp.o"
+  "CMakeFiles/erb_core.dir/candidates.cpp.o.d"
+  "CMakeFiles/erb_core.dir/entity.cpp.o"
+  "CMakeFiles/erb_core.dir/entity.cpp.o.d"
+  "CMakeFiles/erb_core.dir/metrics.cpp.o"
+  "CMakeFiles/erb_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/erb_core.dir/schema.cpp.o"
+  "CMakeFiles/erb_core.dir/schema.cpp.o.d"
+  "liberb_core.a"
+  "liberb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/csv_loader.cpp" "src/datagen/CMakeFiles/erb_datagen.dir/csv_loader.cpp.o" "gcc" "src/datagen/CMakeFiles/erb_datagen.dir/csv_loader.cpp.o.d"
+  "/root/repo/src/datagen/csv_writer.cpp" "src/datagen/CMakeFiles/erb_datagen.dir/csv_writer.cpp.o" "gcc" "src/datagen/CMakeFiles/erb_datagen.dir/csv_writer.cpp.o.d"
+  "/root/repo/src/datagen/generator.cpp" "src/datagen/CMakeFiles/erb_datagen.dir/generator.cpp.o" "gcc" "src/datagen/CMakeFiles/erb_datagen.dir/generator.cpp.o.d"
+  "/root/repo/src/datagen/noise.cpp" "src/datagen/CMakeFiles/erb_datagen.dir/noise.cpp.o" "gcc" "src/datagen/CMakeFiles/erb_datagen.dir/noise.cpp.o.d"
+  "/root/repo/src/datagen/registry.cpp" "src/datagen/CMakeFiles/erb_datagen.dir/registry.cpp.o" "gcc" "src/datagen/CMakeFiles/erb_datagen.dir/registry.cpp.o.d"
+  "/root/repo/src/datagen/words.cpp" "src/datagen/CMakeFiles/erb_datagen.dir/words.cpp.o" "gcc" "src/datagen/CMakeFiles/erb_datagen.dir/words.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/erb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/erb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/erb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

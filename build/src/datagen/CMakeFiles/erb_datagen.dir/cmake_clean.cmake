@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erb_datagen.dir/csv_loader.cpp.o"
+  "CMakeFiles/erb_datagen.dir/csv_loader.cpp.o.d"
+  "CMakeFiles/erb_datagen.dir/csv_writer.cpp.o"
+  "CMakeFiles/erb_datagen.dir/csv_writer.cpp.o.d"
+  "CMakeFiles/erb_datagen.dir/generator.cpp.o"
+  "CMakeFiles/erb_datagen.dir/generator.cpp.o.d"
+  "CMakeFiles/erb_datagen.dir/noise.cpp.o"
+  "CMakeFiles/erb_datagen.dir/noise.cpp.o.d"
+  "CMakeFiles/erb_datagen.dir/registry.cpp.o"
+  "CMakeFiles/erb_datagen.dir/registry.cpp.o.d"
+  "CMakeFiles/erb_datagen.dir/words.cpp.o"
+  "CMakeFiles/erb_datagen.dir/words.cpp.o.d"
+  "liberb_datagen.a"
+  "liberb_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erb_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

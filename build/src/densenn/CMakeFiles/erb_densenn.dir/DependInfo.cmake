@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/densenn/autoencoder.cpp" "src/densenn/CMakeFiles/erb_densenn.dir/autoencoder.cpp.o" "gcc" "src/densenn/CMakeFiles/erb_densenn.dir/autoencoder.cpp.o.d"
+  "/root/repo/src/densenn/embedding.cpp" "src/densenn/CMakeFiles/erb_densenn.dir/embedding.cpp.o" "gcc" "src/densenn/CMakeFiles/erb_densenn.dir/embedding.cpp.o.d"
+  "/root/repo/src/densenn/flat_index.cpp" "src/densenn/CMakeFiles/erb_densenn.dir/flat_index.cpp.o" "gcc" "src/densenn/CMakeFiles/erb_densenn.dir/flat_index.cpp.o.d"
+  "/root/repo/src/densenn/lsh.cpp" "src/densenn/CMakeFiles/erb_densenn.dir/lsh.cpp.o" "gcc" "src/densenn/CMakeFiles/erb_densenn.dir/lsh.cpp.o.d"
+  "/root/repo/src/densenn/methods.cpp" "src/densenn/CMakeFiles/erb_densenn.dir/methods.cpp.o" "gcc" "src/densenn/CMakeFiles/erb_densenn.dir/methods.cpp.o.d"
+  "/root/repo/src/densenn/minhash.cpp" "src/densenn/CMakeFiles/erb_densenn.dir/minhash.cpp.o" "gcc" "src/densenn/CMakeFiles/erb_densenn.dir/minhash.cpp.o.d"
+  "/root/repo/src/densenn/partitioned_index.cpp" "src/densenn/CMakeFiles/erb_densenn.dir/partitioned_index.cpp.o" "gcc" "src/densenn/CMakeFiles/erb_densenn.dir/partitioned_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/erb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/erb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/erb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

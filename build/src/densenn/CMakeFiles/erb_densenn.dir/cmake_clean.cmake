@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erb_densenn.dir/autoencoder.cpp.o"
+  "CMakeFiles/erb_densenn.dir/autoencoder.cpp.o.d"
+  "CMakeFiles/erb_densenn.dir/embedding.cpp.o"
+  "CMakeFiles/erb_densenn.dir/embedding.cpp.o.d"
+  "CMakeFiles/erb_densenn.dir/flat_index.cpp.o"
+  "CMakeFiles/erb_densenn.dir/flat_index.cpp.o.d"
+  "CMakeFiles/erb_densenn.dir/lsh.cpp.o"
+  "CMakeFiles/erb_densenn.dir/lsh.cpp.o.d"
+  "CMakeFiles/erb_densenn.dir/methods.cpp.o"
+  "CMakeFiles/erb_densenn.dir/methods.cpp.o.d"
+  "CMakeFiles/erb_densenn.dir/minhash.cpp.o"
+  "CMakeFiles/erb_densenn.dir/minhash.cpp.o.d"
+  "CMakeFiles/erb_densenn.dir/partitioned_index.cpp.o"
+  "CMakeFiles/erb_densenn.dir/partitioned_index.cpp.o.d"
+  "liberb_densenn.a"
+  "liberb_densenn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erb_densenn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

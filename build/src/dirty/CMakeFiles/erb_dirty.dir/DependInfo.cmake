@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dirty/dataset.cpp" "src/dirty/CMakeFiles/erb_dirty.dir/dataset.cpp.o" "gcc" "src/dirty/CMakeFiles/erb_dirty.dir/dataset.cpp.o.d"
+  "/root/repo/src/dirty/filters.cpp" "src/dirty/CMakeFiles/erb_dirty.dir/filters.cpp.o" "gcc" "src/dirty/CMakeFiles/erb_dirty.dir/filters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blocking/CMakeFiles/erb_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparsenn/CMakeFiles/erb_sparsenn.dir/DependInfo.cmake"
+  "/root/repo/build/src/densenn/CMakeFiles/erb_densenn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/erb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/erb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/erb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

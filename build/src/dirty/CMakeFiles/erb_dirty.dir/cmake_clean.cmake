@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erb_dirty.dir/dataset.cpp.o"
+  "CMakeFiles/erb_dirty.dir/dataset.cpp.o.d"
+  "CMakeFiles/erb_dirty.dir/filters.cpp.o"
+  "CMakeFiles/erb_dirty.dir/filters.cpp.o.d"
+  "liberb_dirty.a"
+  "liberb_dirty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erb_dirty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

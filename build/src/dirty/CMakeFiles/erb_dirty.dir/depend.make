@@ -1,0 +1,2 @@
+# Empty dependencies file for erb_dirty.
+# This may be replaced when dependencies are built.

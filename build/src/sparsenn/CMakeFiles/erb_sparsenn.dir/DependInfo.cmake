@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparsenn/joins.cpp" "src/sparsenn/CMakeFiles/erb_sparsenn.dir/joins.cpp.o" "gcc" "src/sparsenn/CMakeFiles/erb_sparsenn.dir/joins.cpp.o.d"
+  "/root/repo/src/sparsenn/scancount.cpp" "src/sparsenn/CMakeFiles/erb_sparsenn.dir/scancount.cpp.o" "gcc" "src/sparsenn/CMakeFiles/erb_sparsenn.dir/scancount.cpp.o.d"
+  "/root/repo/src/sparsenn/tokenset.cpp" "src/sparsenn/CMakeFiles/erb_sparsenn.dir/tokenset.cpp.o" "gcc" "src/sparsenn/CMakeFiles/erb_sparsenn.dir/tokenset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/erb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/erb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/erb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erb_sparsenn.dir/joins.cpp.o"
+  "CMakeFiles/erb_sparsenn.dir/joins.cpp.o.d"
+  "CMakeFiles/erb_sparsenn.dir/scancount.cpp.o"
+  "CMakeFiles/erb_sparsenn.dir/scancount.cpp.o.d"
+  "CMakeFiles/erb_sparsenn.dir/tokenset.cpp.o"
+  "CMakeFiles/erb_sparsenn.dir/tokenset.cpp.o.d"
+  "liberb_sparsenn.a"
+  "liberb_sparsenn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erb_sparsenn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/clean.cpp" "src/text/CMakeFiles/erb_text.dir/clean.cpp.o" "gcc" "src/text/CMakeFiles/erb_text.dir/clean.cpp.o.d"
+  "/root/repo/src/text/porter.cpp" "src/text/CMakeFiles/erb_text.dir/porter.cpp.o" "gcc" "src/text/CMakeFiles/erb_text.dir/porter.cpp.o.d"
+  "/root/repo/src/text/stopwords.cpp" "src/text/CMakeFiles/erb_text.dir/stopwords.cpp.o" "gcc" "src/text/CMakeFiles/erb_text.dir/stopwords.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/erb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erb_text.dir/clean.cpp.o"
+  "CMakeFiles/erb_text.dir/clean.cpp.o.d"
+  "CMakeFiles/erb_text.dir/porter.cpp.o"
+  "CMakeFiles/erb_text.dir/porter.cpp.o.d"
+  "CMakeFiles/erb_text.dir/stopwords.cpp.o"
+  "CMakeFiles/erb_text.dir/stopwords.cpp.o.d"
+  "liberb_text.a"
+  "liberb_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erb_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erb_tuning.dir/blocking_tuner.cpp.o"
+  "CMakeFiles/erb_tuning.dir/blocking_tuner.cpp.o.d"
+  "CMakeFiles/erb_tuning.dir/dense_tuner.cpp.o"
+  "CMakeFiles/erb_tuning.dir/dense_tuner.cpp.o.d"
+  "CMakeFiles/erb_tuning.dir/gridspec.cpp.o"
+  "CMakeFiles/erb_tuning.dir/gridspec.cpp.o.d"
+  "CMakeFiles/erb_tuning.dir/metaeval.cpp.o"
+  "CMakeFiles/erb_tuning.dir/metaeval.cpp.o.d"
+  "CMakeFiles/erb_tuning.dir/result.cpp.o"
+  "CMakeFiles/erb_tuning.dir/result.cpp.o.d"
+  "CMakeFiles/erb_tuning.dir/sparse_tuner.cpp.o"
+  "CMakeFiles/erb_tuning.dir/sparse_tuner.cpp.o.d"
+  "CMakeFiles/erb_tuning.dir/suite.cpp.o"
+  "CMakeFiles/erb_tuning.dir/suite.cpp.o.d"
+  "liberb_tuning.a"
+  "liberb_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erb_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

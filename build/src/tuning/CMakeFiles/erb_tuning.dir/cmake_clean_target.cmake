@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liberb_tuning.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for erb_tuning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/blocking_test.cpp" "tests/CMakeFiles/erbench_tests.dir/blocking_test.cpp.o" "gcc" "tests/CMakeFiles/erbench_tests.dir/blocking_test.cpp.o.d"
+  "/root/repo/tests/calibration_test.cpp" "tests/CMakeFiles/erbench_tests.dir/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/erbench_tests.dir/calibration_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/erbench_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/erbench_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/erbench_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/erbench_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/csv_roundtrip_test.cpp" "tests/CMakeFiles/erbench_tests.dir/csv_roundtrip_test.cpp.o" "gcc" "tests/CMakeFiles/erbench_tests.dir/csv_roundtrip_test.cpp.o.d"
+  "/root/repo/tests/datagen_test.cpp" "tests/CMakeFiles/erbench_tests.dir/datagen_test.cpp.o" "gcc" "tests/CMakeFiles/erbench_tests.dir/datagen_test.cpp.o.d"
+  "/root/repo/tests/densenn_test.cpp" "tests/CMakeFiles/erbench_tests.dir/densenn_test.cpp.o" "gcc" "tests/CMakeFiles/erbench_tests.dir/densenn_test.cpp.o.d"
+  "/root/repo/tests/dirty_test.cpp" "tests/CMakeFiles/erbench_tests.dir/dirty_test.cpp.o" "gcc" "tests/CMakeFiles/erbench_tests.dir/dirty_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/erbench_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/erbench_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/gridspec_test.cpp" "tests/CMakeFiles/erbench_tests.dir/gridspec_test.cpp.o" "gcc" "tests/CMakeFiles/erbench_tests.dir/gridspec_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/erbench_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/erbench_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/join_equivalence_test.cpp" "tests/CMakeFiles/erbench_tests.dir/join_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/erbench_tests.dir/join_equivalence_test.cpp.o.d"
+  "/root/repo/tests/probesweep_test.cpp" "tests/CMakeFiles/erbench_tests.dir/probesweep_test.cpp.o" "gcc" "tests/CMakeFiles/erbench_tests.dir/probesweep_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/erbench_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/erbench_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/sparsenn_test.cpp" "tests/CMakeFiles/erbench_tests.dir/sparsenn_test.cpp.o" "gcc" "tests/CMakeFiles/erbench_tests.dir/sparsenn_test.cpp.o.d"
+  "/root/repo/tests/text_test.cpp" "tests/CMakeFiles/erbench_tests.dir/text_test.cpp.o" "gcc" "tests/CMakeFiles/erbench_tests.dir/text_test.cpp.o.d"
+  "/root/repo/tests/tuning_test.cpp" "tests/CMakeFiles/erbench_tests.dir/tuning_test.cpp.o" "gcc" "tests/CMakeFiles/erbench_tests.dir/tuning_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuning/CMakeFiles/erb_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/dirty/CMakeFiles/erb_dirty.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/erb_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocking/CMakeFiles/erb_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparsenn/CMakeFiles/erb_sparsenn.dir/DependInfo.cmake"
+  "/root/repo/build/src/densenn/CMakeFiles/erb_densenn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/erb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/erb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/erb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

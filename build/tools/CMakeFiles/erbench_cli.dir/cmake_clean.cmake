@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erbench_cli.dir/erbench_cli.cpp.o"
+  "CMakeFiles/erbench_cli.dir/erbench_cli.cpp.o.d"
+  "erbench"
+  "erbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erbench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
