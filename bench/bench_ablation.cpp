@@ -220,7 +220,8 @@ void AblationSortedNeighborhood(const core::Dataset& dataset) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  erb::bench::InitBench(argc, argv);
   for (int index : bench::SelectedDatasets()) {
     if (index > 4) continue;  // ablations target the four small datasets
     const auto& dataset = bench::CachedDataset(index);

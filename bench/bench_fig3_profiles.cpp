@@ -7,7 +7,8 @@
 #include "datagen/registry.hpp"
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  erb::bench::InitBench(argc, argv);
   using namespace erb;
 
   std::printf("=== Figure 3(a): best-attribute coverage ===\n");

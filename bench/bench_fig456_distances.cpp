@@ -151,7 +151,8 @@ void RunFigure(const char* title, core::SchemaMode mode, bool reverse) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  erb::bench::InitBench(argc, argv);
   RunFigure("Figure 4: schema-agnostic, index E1 / query E2",
             core::SchemaMode::kAgnostic, /*reverse=*/false);
   RunFigure("Figure 5: schema-agnostic, index E2 / query E1 (reversed)",

@@ -31,7 +31,8 @@ void PrintBreakdown(const bench::Setting& setting) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  erb::bench::InitBench(argc, argv);
   const auto settings = bench::AllSettings();
 
   std::printf("=== Figure 7: schema-agnostic breakdown of D5-D7, D10 ===\n");

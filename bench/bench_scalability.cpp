@@ -10,7 +10,8 @@
 #include "harness.hpp"
 #include "sparsenn/joins.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  erb::bench::InitBench(argc, argv);
   using namespace erb;
 
   std::printf("=== conclusion 3: |C| growth vs input size (D2 replica) ===\n");

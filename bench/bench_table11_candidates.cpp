@@ -6,7 +6,8 @@
 
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  erb::bench::InitBench(argc, argv);
   using namespace erb;
   const auto settings = bench::AllSettings();
   const auto methods = bench::SelectedMethods();

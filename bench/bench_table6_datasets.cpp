@@ -6,7 +6,8 @@
 #include "datagen/registry.hpp"
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  erb::bench::InitBench(argc, argv);
   using namespace erb;
   std::printf("=== Table VI: dataset characteristics ===\n");
   std::printf("%-5s %-42s %9s %9s %10s %14s %-10s\n", "id", "E1 / E2", "|E1|",

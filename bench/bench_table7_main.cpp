@@ -23,7 +23,8 @@ void PrintHeader(const std::vector<Setting>& settings) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  erb::bench::InitBench(argc, argv);
   const auto settings = AllSettings();
   const auto methods = erb::bench::SelectedMethods();
 

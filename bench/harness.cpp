@@ -9,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "common/strings.hpp"
 #include "datagen/registry.hpp"
 
@@ -31,6 +32,7 @@ std::string CachePath(tuning::MethodId id, const Setting& setting) {
        << "_s" << static_cast<int>(
                       datagen::BenchScale(setting.dataset_index) * 1000)
        << "_g" << (options.full_grid ? 1 : 0) << "_r" << options.repetitions
+       << "_t" << NumThreads()  // RT depends on the pool size
        << ".result";
   return path.str();
 }
@@ -98,7 +100,113 @@ std::vector<std::string> EnvList(const char* name) {
   return items;
 }
 
+// ---------------------------------------------------------------------------
+// JSON result log (--json=PATH / ERBENCH_JSON).
+// ---------------------------------------------------------------------------
+
+struct JsonRecord {
+  std::string method;
+  std::string setting;
+  std::size_t threads;  // pool size the record was produced with
+  tuning::TunedResult result;
+};
+
+// Both singletons are leaked: FlushJson runs from atexit, which would race
+// static destruction if these had destructors registered.
+std::string& JsonPath() {
+  static std::string* path = new std::string([] {
+    const char* env = std::getenv("ERBENCH_JSON");
+    return env != nullptr ? std::string(env) : std::string();
+  }());
+  return *path;
+}
+
+std::vector<JsonRecord>& JsonRecords() {
+  static std::vector<JsonRecord>* records = new std::vector<JsonRecord>();
+  return *records;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void FlushJson() {
+  if (JsonPath().empty()) return;
+  std::ofstream out(JsonPath());
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", JsonPath().c_str());
+    return;
+  }
+  out << "[\n";
+  bool first = true;
+  for (const auto& record : JsonRecords()) {
+    if (!first) out << ",\n";
+    first = false;
+    const auto& r = record.result;
+    out << "  {\"method\": \"" << JsonEscape(record.method) << "\""
+        << ", \"setting\": \"" << JsonEscape(record.setting) << "\""
+        << ", \"threads\": " << record.threads
+        << ", \"pc\": " << r.eff.pc << ", \"pq\": " << r.eff.pq
+        << ", \"candidates\": " << r.eff.candidates
+        << ", \"detected\": " << r.eff.detected
+        << ", \"runtime_ms\": " << r.runtime_ms
+        << ", \"reached_target\": " << (r.reached_target ? "true" : "false")
+        << ", \"configurations_tried\": " << r.configurations_tried
+        << ", \"config\": \"" << JsonEscape(r.config) << "\""
+        << ", \"phases\": {";
+    bool first_phase = true;
+    for (const auto& [phase, ms] : r.phases) {
+      if (!first_phase) out << ", ";
+      first_phase = false;
+      out << "\"" << JsonEscape(phase) << "\": " << ms;
+    }
+    out << "}}";
+  }
+  out << "\n]\n";
+}
+
+void RecordJson(tuning::MethodId id, const Setting& setting,
+                const tuning::TunedResult& result) {
+  if (JsonPath().empty()) return;
+  static const bool registered = [] {
+    std::atexit(FlushJson);
+    return true;
+  }();
+  (void)registered;
+  JsonRecords().push_back({std::string(tuning::MethodName(id)),
+                           setting.Label(), NumThreads(), result});
+}
+
 }  // namespace
+
+void InitBench(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      SetNumThreads(std::strtoull(arg.c_str() + 10, nullptr, 10));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      JsonPath() = arg.substr(7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--threads=N] [--json=PATH]\n"
+                   "unknown argument: %s\n",
+                   argv[0], arg.c_str());
+      std::exit(2);
+    }
+  }
+}
 
 std::string Setting::Label() const {
   return "D" + std::string(mode == core::SchemaMode::kAgnostic ? "a" : "b") +
@@ -184,6 +292,7 @@ const tuning::TunedResult& CachedRun(tuning::MethodId id, const Setting& setting
                                  setting.mode, tuning::GridOptions::FromEnv());
       StoreCachedResult(path, result);
     }
+    RecordJson(id, setting, result);
     it = cache.emplace(key, std::move(result)).first;
   }
   return it->second;

@@ -8,6 +8,7 @@
 //   ERBENCH_FULL=1             paper-scale dataset sizes
 //   ERBENCH_FULL_GRID=1        the exact parameter grids of Tables III-V
 //   ERBENCH_REPS=10            repetitions for stochastic methods
+//   ERBENCH_JSON=out.json      machine-readable results (see InitBench)
 #pragma once
 
 #include <optional>
@@ -27,6 +28,17 @@ struct Setting {
   /// Paper-style label: D1..D10 with an a/b subscript.
   std::string Label() const;
 };
+
+/// Parses the command-line flags shared by every bench binary and applies
+/// them:
+///   --threads=N  size of the parallel runtime's thread pool for this run
+///                (overrides ERB_THREADS; 0 restores the default)
+///   --json=PATH  write every result produced this run as a JSON array to
+///                PATH at exit (ERBENCH_JSON=PATH is the env equivalent;
+///                the flag wins). Each record carries the thread count it
+///                was measured with.
+/// Call at the top of main. Unknown --flags print usage and exit.
+void InitBench(int argc, char** argv);
 
 /// The datasets selected via ERBENCH_DATASETS (default: all).
 std::vector<int> SelectedDatasets();

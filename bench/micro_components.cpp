@@ -4,7 +4,11 @@
 // and meta-blocking's weighted pass.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "blocking/builders.hpp"
+#include "common/parallel.hpp"
 #include "blocking/comparison.hpp"
 #include "common/rng.hpp"
 #include "core/entity.hpp"
@@ -144,4 +148,21 @@ BENCHMARK(BM_MetaBlocking);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with a --threads=N preamble: the flag sizes the parallel
+// runtime's pool and is stripped before google-benchmark sees the arguments.
+int main(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      erb::SetNumThreads(std::strtoull(argv[i] + 10, nullptr, 10));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
+
+#include "common/parallel.hpp"
 
 namespace erb::blocking {
 namespace {
@@ -13,6 +16,7 @@ using core::EntityId;
 // k-th largest as the node's cardinality threshold (CNP / RCNP).
 class TopKTracker {
  public:
+  TopKTracker() = default;
   TopKTracker(std::size_t nodes, std::size_t k) : k_(k), heaps_(nodes) {}
 
   void Offer(std::size_t node, double weight) {
@@ -20,7 +24,7 @@ class TopKTracker {
     if (heap.size() < k_) {
       heap.push_back(weight);
       std::push_heap(heap.begin(), heap.end(), std::greater<>());
-    } else if (weight > heap.front()) {
+    } else if (!heap.empty() && weight > heap.front()) {
       std::pop_heap(heap.begin(), heap.end(), std::greater<>());
       heap.back() = weight;
       std::push_heap(heap.begin(), heap.end(), std::greater<>());
@@ -33,9 +37,32 @@ class TopKTracker {
     return heap.empty() ? 0.0 : heap.front();
   }
 
+  /// Folds another tracker's per-node heaps into this one. The retained
+  /// top-k multiset per node is independent of offer order, so merging
+  /// chunk-local trackers reproduces the single-pass thresholds.
+  void MergeFrom(const TopKTracker& other) {
+    for (std::size_t node = 0; node < other.heaps_.size(); ++node) {
+      for (double weight : other.heaps_[node]) Offer(node, weight);
+    }
+  }
+
  private:
-  std::size_t k_;
+  std::size_t k_ = 0;
   std::vector<std::vector<double>> heaps_;
+};
+
+// Chunk-private pass-1 statistics for the E2 side of the blocking graph.
+// Pairs stream grouped by their E1 node, so E1-side statistics are written
+// to disjoint slots by disjoint chunks and live in shared arrays; the E2
+// side is touched by every chunk and is accumulated privately, then merged
+// in ascending chunk order (deterministic at any thread count).
+struct Side2Stats {
+  TopKTracker topk2;
+  std::vector<double> sum2, max2;
+  std::vector<std::uint32_t> cnt2;
+  std::vector<double> all_weights;  // CEP's global weight pool
+  double global_sum = 0.0;
+  std::uint64_t global_count = 0;
 };
 
 }  // namespace
@@ -108,10 +135,20 @@ double PairWeight(const PairGraph& graph, WeightingScheme scheme, EntityId i,
 core::CandidateSet ComparisonPropagation(const BlockCollection& blocks,
                                          std::size_t n1, std::size_t n2) {
   PairGraph graph(blocks, n1, n2);
-  core::CandidateSet candidates;
-  graph.ForEachPair([&candidates](EntityId i, EntityId j, std::uint32_t, double) {
-    candidates.Add(i, j);
-  });
+  core::CandidateSet candidates = ParallelMapReduce<core::CandidateSet>(
+      0, n1, /*grain=*/0,
+      [&graph](std::size_t i_begin, std::size_t i_end) {
+        core::CandidateSet chunk;
+        graph.ForEachPairInRange(
+            i_begin, i_end,
+            [&chunk](EntityId i, EntityId j, std::uint32_t, double) {
+              chunk.Add(i, j);
+            });
+        return chunk;
+      },
+      [](core::CandidateSet& into, core::CandidateSet&& from) {
+        into.Merge(std::move(from));
+      });
   candidates.Finalize();
   return candidates;
 }
@@ -138,43 +175,84 @@ core::CandidateSet MetaBlocking(const BlockCollection& blocks, std::size_t n1,
   const bool needs_global_weights = pruning == PruningAlgorithm::kCep;
   const bool needs_global_avg = pruning == PruningAlgorithm::kWep;
 
+  // E1-side statistics: pairs are grouped by their E1 node, so parallel
+  // chunks over disjoint i ranges write disjoint slots of these shared
+  // arrays without synchronization.
   TopKTracker topk1(needs_topk ? n1 : 0, k);
-  TopKTracker topk2(needs_topk ? n2 : 0, k);
-  std::vector<double> sum1, sum2, max1, max2;
-  std::vector<std::uint32_t> cnt1, cnt2;
+  std::vector<double> sum1, max1;
+  std::vector<std::uint32_t> cnt1;
   if (needs_node_stats) {
     sum1.assign(n1, 0.0);
-    sum2.assign(n2, 0.0);
     max1.assign(n1, 0.0);
-    max2.assign(n2, 0.0);
     cnt1.assign(n1, 0);
-    cnt2.assign(n2, 0);
   }
-  std::vector<double> all_weights;
-  double global_sum = 0.0;
-  std::uint64_t global_count = 0;
 
-  // Pass 1: statistics.
-  graph.ForEachPair([&](EntityId i, EntityId j, std::uint32_t common, double arcs) {
-    const double w = PairWeight(graph, scheme, i, j, common, arcs);
-    if (needs_topk) {
-      topk1.Offer(i, w);
-      topk2.Offer(j, w);
-    }
-    if (needs_node_stats) {
-      sum1[i] += w;
-      sum2[j] += w;
-      ++cnt1[i];
-      ++cnt2[j];
-      max1[i] = std::max(max1[i], w);
-      max2[j] = std::max(max2[j], w);
-    }
-    if (needs_global_weights) all_weights.push_back(w);
-    if (needs_global_avg) {
-      global_sum += w;
-      ++global_count;
-    }
-  });
+  // Pass 1: statistics. The E2 side (and the global accumulators) are
+  // chunk-private and merged in ascending chunk order. The grain bounds the
+  // number of n2-sized chunk accumulators alive at once; it depends only on
+  // n1, never on the thread count, so the merged statistics are identical
+  // at 1, 2 or 64 threads.
+  constexpr std::size_t kStatsChunks = 16;
+  const std::size_t stats_grain = std::max<std::size_t>(
+      1, (n1 + kStatsChunks - 1) / kStatsChunks);
+  Side2Stats stats = ParallelMapReduce<Side2Stats>(
+      0, n1, stats_grain,
+      [&](std::size_t i_begin, std::size_t i_end) {
+        Side2Stats chunk;
+        if (needs_topk) chunk.topk2 = TopKTracker(n2, k);
+        if (needs_node_stats) {
+          chunk.sum2.assign(n2, 0.0);
+          chunk.max2.assign(n2, 0.0);
+          chunk.cnt2.assign(n2, 0);
+        }
+        graph.ForEachPairInRange(
+            i_begin, i_end,
+            [&](EntityId i, EntityId j, std::uint32_t common, double arcs) {
+              const double w = PairWeight(graph, scheme, i, j, common, arcs);
+              if (needs_topk) {
+                topk1.Offer(i, w);
+                chunk.topk2.Offer(j, w);
+              }
+              if (needs_node_stats) {
+                sum1[i] += w;
+                ++cnt1[i];
+                max1[i] = std::max(max1[i], w);
+                chunk.sum2[j] += w;
+                ++chunk.cnt2[j];
+                chunk.max2[j] = std::max(chunk.max2[j], w);
+              }
+              if (needs_global_weights) chunk.all_weights.push_back(w);
+              if (needs_global_avg) {
+                chunk.global_sum += w;
+                ++chunk.global_count;
+              }
+            });
+        return chunk;
+      },
+      [&](Side2Stats& into, Side2Stats&& from) {
+        if (needs_topk) into.topk2.MergeFrom(from.topk2);
+        if (needs_node_stats) {
+          for (std::size_t j = 0; j < n2; ++j) {
+            into.sum2[j] += from.sum2[j];
+            into.cnt2[j] += from.cnt2[j];
+            into.max2[j] = std::max(into.max2[j], from.max2[j]);
+          }
+        }
+        if (needs_global_weights) {
+          into.all_weights.insert(into.all_weights.end(),
+                                  from.all_weights.begin(),
+                                  from.all_weights.end());
+        }
+        into.global_sum += from.global_sum;
+        into.global_count += from.global_count;
+      });
+  const TopKTracker& topk2 = stats.topk2;
+  const std::vector<double>& sum2 = stats.sum2;
+  const std::vector<double>& max2 = stats.max2;
+  const std::vector<std::uint32_t>& cnt2 = stats.cnt2;
+  std::vector<double>& all_weights = stats.all_weights;
+  const double global_sum = stats.global_sum;
+  const std::uint64_t global_count = stats.global_count;
 
   double cep_threshold = 0.0;
   if (needs_global_weights) {
@@ -194,38 +272,50 @@ core::CandidateSet MetaBlocking(const BlockCollection& blocks, std::size_t n1,
   // et al.
   constexpr double kBlastRatio = 0.35;
 
-  // Pass 2: retention.
-  core::CandidateSet candidates;
-  graph.ForEachPair([&](EntityId i, EntityId j, std::uint32_t common, double arcs) {
-    const double w = PairWeight(graph, scheme, i, j, common, arcs);
-    bool keep = false;
-    switch (pruning) {
-      case PruningAlgorithm::kBlast:
-        keep = w >= kBlastRatio * (max1[i] + max2[j]);
-        break;
-      case PruningAlgorithm::kCep:
-        keep = w >= cep_threshold;
-        break;
-      case PruningAlgorithm::kCnp:
-        keep = w >= topk1.Threshold(i) || w >= topk2.Threshold(j);
-        break;
-      case PruningAlgorithm::kRcnp:
-        keep = w >= topk1.Threshold(i) && w >= topk2.Threshold(j);
-        break;
-      case PruningAlgorithm::kWep:
-        keep = w >= global_avg;
-        break;
-      case PruningAlgorithm::kWnp:
-        keep = (cnt1[i] > 0 && w >= sum1[i] / cnt1[i]) ||
-               (cnt2[j] > 0 && w >= sum2[j] / cnt2[j]);
-        break;
-      case PruningAlgorithm::kRwnp:
-        keep = (cnt1[i] > 0 && w >= sum1[i] / cnt1[i]) &&
-               (cnt2[j] > 0 && w >= sum2[j] / cnt2[j]);
-        break;
-    }
-    if (keep) candidates.Add(i, j);
-  });
+  // Pass 2: retention. The pass-1 statistics are read-only now, so chunks
+  // only need a private candidate buffer (merged in chunk order; Finalize
+  // sorts, so the emitted set is order-independent anyway).
+  core::CandidateSet candidates = ParallelMapReduce<core::CandidateSet>(
+      0, n1, /*grain=*/0,
+      [&](std::size_t i_begin, std::size_t i_end) {
+        core::CandidateSet chunk;
+        graph.ForEachPairInRange(
+            i_begin, i_end,
+            [&](EntityId i, EntityId j, std::uint32_t common, double arcs) {
+              const double w = PairWeight(graph, scheme, i, j, common, arcs);
+              bool keep = false;
+              switch (pruning) {
+                case PruningAlgorithm::kBlast:
+                  keep = w >= kBlastRatio * (max1[i] + max2[j]);
+                  break;
+                case PruningAlgorithm::kCep:
+                  keep = w >= cep_threshold;
+                  break;
+                case PruningAlgorithm::kCnp:
+                  keep = w >= topk1.Threshold(i) || w >= topk2.Threshold(j);
+                  break;
+                case PruningAlgorithm::kRcnp:
+                  keep = w >= topk1.Threshold(i) && w >= topk2.Threshold(j);
+                  break;
+                case PruningAlgorithm::kWep:
+                  keep = w >= global_avg;
+                  break;
+                case PruningAlgorithm::kWnp:
+                  keep = (cnt1[i] > 0 && w >= sum1[i] / cnt1[i]) ||
+                         (cnt2[j] > 0 && w >= sum2[j] / cnt2[j]);
+                  break;
+                case PruningAlgorithm::kRwnp:
+                  keep = (cnt1[i] > 0 && w >= sum1[i] / cnt1[i]) &&
+                         (cnt2[j] > 0 && w >= sum2[j] / cnt2[j]);
+                  break;
+              }
+              if (keep) chunk.Add(i, j);
+            });
+        return chunk;
+      },
+      [](core::CandidateSet& into, core::CandidateSet&& from) {
+        into.Merge(std::move(from));
+      });
   candidates.Finalize();
   return candidates;
 }

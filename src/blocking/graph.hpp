@@ -7,7 +7,9 @@
 // instead of re-running meta-blocking 42 times per block collection.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "blocking/block.hpp"
@@ -20,14 +22,18 @@ class PairGraph {
   PairGraph(const BlockCollection& blocks, std::size_t n1, std::size_t n2);
 
   /// Invokes `fn(i, j, common_blocks, arcs_weight)` exactly once per distinct
-  /// inter-source pair. `arcs_weight` is the ARCS accumulator
-  /// (sum of 1/||b|| over shared blocks).
+  /// inter-source pair whose E1 node lies in [i_begin, i_end). `arcs_weight`
+  /// is the ARCS accumulator (sum of 1/||b|| over shared blocks). Pairs are
+  /// grouped by i in ascending order; the co-occurrence scratch is local to
+  /// the call, so disjoint ranges can be streamed from different threads
+  /// concurrently (the parallel meta-blocking passes do exactly that).
   template <typename Fn>
-  void ForEachPair(Fn&& fn) const {
+  void ForEachPairInRange(std::size_t i_begin, std::size_t i_end, Fn&& fn) const {
     std::vector<std::uint32_t> common(n2_, 0);
     std::vector<double> arcs(n2_, 0.0);
     std::vector<core::EntityId> touched;
-    for (core::EntityId i = 0; i < e1_blocks_.size(); ++i) {
+    i_end = std::min(i_end, e1_blocks_.size());
+    for (std::size_t i = i_begin; i < i_end; ++i) {
       touched.clear();
       for (std::uint32_t b : e1_blocks_[i]) {
         const Block& block = (*blocks_)[b];
@@ -39,11 +45,17 @@ class PairGraph {
         }
       }
       for (core::EntityId j : touched) {
-        fn(i, j, common[j], arcs[j]);
+        fn(static_cast<core::EntityId>(i), j, common[j], arcs[j]);
         common[j] = 0;
         arcs[j] = 0.0;
       }
     }
+  }
+
+  /// Streams every distinct inter-source pair (all of E1's nodes).
+  template <typename Fn>
+  void ForEachPair(Fn&& fn) const {
+    ForEachPairInRange(0, e1_blocks_.size(), std::forward<Fn>(fn));
   }
 
   std::size_t n1() const { return e1_blocks_.size(); }

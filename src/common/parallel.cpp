@@ -1,0 +1,187 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace erb {
+namespace {
+
+// Set while a thread executes chunks of some region; nested regions started
+// from such a thread run inline instead of re-entering the pool.
+thread_local bool t_in_parallel_region = false;
+
+// 0 = no override active.
+std::atomic<std::size_t> g_thread_override{0};
+
+std::size_t DefaultThreads() {
+  static const std::size_t threads = [] {
+    if (const char* env = std::getenv("ERB_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed >= 1) return static_cast<std::size_t>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hw == 0 ? 1 : hw);
+  }();
+  return threads;
+}
+
+// The global pool. Workers sleep between regions; one region runs at a time
+// (top-level regions from distinct threads serialize on region_mu_). The
+// singleton leaks deliberately so detached workers never race a static
+// destructor at process exit.
+class ThreadPool {
+ public:
+  static ThreadPool& Instance() {
+    static ThreadPool* pool = new ThreadPool();
+    return *pool;
+  }
+
+  // Runs fn(chunk) for every chunk in [0, num_chunks) using up to `threads`
+  // threads (the caller plus threads - 1 workers). fn must not throw.
+  void Run(std::size_t num_chunks, const std::function<void(std::size_t)>& fn,
+           std::size_t threads) {
+    std::lock_guard<std::mutex> region_lock(region_mu_);
+    EnsureWorkers(threads - 1);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      task_ = &fn;
+      num_chunks_ = num_chunks;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      slots_ = std::min(threads - 1, workers_.size());
+    }
+    work_cv_.notify_all();
+
+    // The caller participates as one of the region's threads.
+    t_in_parallel_region = true;
+    DrainChunks(fn, num_chunks);
+    t_in_parallel_region = false;
+
+    std::unique_lock<std::mutex> lock(mu_);
+    task_ = nullptr;  // no further workers may join this region
+    slots_ = 0;
+    done_cv_.wait(lock, [this] { return active_ == 0; });
+  }
+
+ private:
+  ThreadPool() = default;
+
+  static void DrainChunks(const std::function<void(std::size_t)>& fn,
+                          std::size_t num_chunks) {
+    ThreadPool& pool = Instance();
+    for (;;) {
+      const std::size_t chunk =
+          pool.next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) break;
+      fn(chunk);
+    }
+  }
+
+  void EnsureWorkers(std::size_t wanted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (workers_.size() < wanted) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+      workers_.back().detach();
+    }
+  }
+
+  void WorkerLoop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      work_cv_.wait(lock, [this] { return task_ != nullptr && slots_ > 0; });
+      --slots_;
+      ++active_;
+      const std::function<void(std::size_t)>* task = task_;
+      const std::size_t num_chunks = num_chunks_;
+      lock.unlock();
+
+      t_in_parallel_region = true;
+      DrainChunks(*task, num_chunks);
+      t_in_parallel_region = false;
+
+      lock.lock();
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  std::mutex region_mu_;  // serializes top-level regions
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+
+  // Current region, guarded by mu_ (next_chunk_ is claimed lock-free).
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t num_chunks_ = 0;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::size_t slots_ = 0;   // workers still allowed to join the region
+  std::size_t active_ = 0;  // workers currently inside the region
+};
+
+}  // namespace
+
+std::size_t NumThreads() {
+  const std::size_t override_threads =
+      g_thread_override.load(std::memory_order_relaxed);
+  return override_threads != 0 ? override_threads : DefaultThreads();
+}
+
+void SetNumThreads(std::size_t n) {
+  g_thread_override.store(n, std::memory_order_relaxed);
+}
+
+ScopedThreadLimit::ScopedThreadLimit(std::size_t n)
+    : previous_(g_thread_override.load(std::memory_order_relaxed)) {
+  g_thread_override.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+}
+
+ScopedThreadLimit::~ScopedThreadLimit() {
+  g_thread_override.store(previous_, std::memory_order_relaxed);
+}
+
+namespace parallel_internal {
+
+std::size_t EffectiveGrain(std::size_t n, std::size_t grain) {
+  // 64 chunks by default: enough slack for dynamic load balancing at any
+  // realistic core count while keeping per-chunk scratch costs negligible.
+  constexpr std::size_t kDefaultChunks = 64;
+  if (grain == 0) grain = (n + kDefaultChunks - 1) / kDefaultChunks;
+  return std::max<std::size_t>(1, grain);
+}
+
+void RunChunks(std::size_t num_chunks,
+               const std::function<void(std::size_t)>& fn) {
+  if (num_chunks == 0) return;
+  const std::size_t threads = std::min(NumThreads(), num_chunks);
+  if (threads <= 1 || num_chunks <= 1 || t_in_parallel_region) {
+    for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) fn(chunk);
+    return;
+  }
+
+  // Capture exceptions per chunk; rethrow the lowest-indexed one so error
+  // behaviour matches the sequential ascending scan. Once a chunk throws,
+  // not-yet-started chunks are skipped (best effort).
+  std::vector<std::exception_ptr> errors(num_chunks);
+  std::atomic<bool> failed{false};
+  const std::function<void(std::size_t)> guarded = [&](std::size_t chunk) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    try {
+      fn(chunk);
+    } catch (...) {
+      errors[chunk] = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  };
+  ThreadPool::Instance().Run(num_chunks, guarded, threads);
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace parallel_internal
+
+}  // namespace erb

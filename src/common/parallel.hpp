@@ -1,0 +1,113 @@
+// Deterministic parallel runtime: a lazily-initialized global thread pool
+// plus the two loop primitives every parallelized kernel is built on.
+//
+// Determinism contract: the index range [begin, end) is statically cut into
+// chunks whose boundaries depend only on the range and the grain — never on
+// the thread count — and ParallelMapReduce merges the per-chunk accumulators
+// in ascending chunk order. A run with 8 threads therefore produces exactly
+// the same bytes as a run with 1 thread (or with the pool bypassed
+// entirely), which is what lets the parallel kernels keep the paper's PC/PQ
+// numbers bit-identical across machines.
+//
+// Pool sizing: ERB_THREADS environment variable if set, otherwise
+// std::thread::hardware_concurrency(). Tests (and the bench --threads flag)
+// override it with ScopedThreadLimit / SetNumThreads; the pool grows on
+// demand when an override asks for more workers than were spawned so far.
+//
+// Nested parallel regions run inline on the calling worker: a tuning grid
+// fanned across the pool does not oversubscribe when the joins it evaluates
+// are themselves parallelized.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace erb {
+
+/// Effective thread count used by the next parallel region: the active
+/// override if one is set, else ERB_THREADS, else hardware_concurrency.
+std::size_t NumThreads();
+
+/// Sets (n >= 1) or clears (n == 0) the global thread-count override.
+void SetNumThreads(std::size_t n);
+
+/// RAII thread-count override for tests: forces every parallel region inside
+/// the scope to use exactly `n` threads, restoring the previous setting on
+/// destruction.
+class ScopedThreadLimit {
+ public:
+  explicit ScopedThreadLimit(std::size_t n);
+  ~ScopedThreadLimit();
+
+  ScopedThreadLimit(const ScopedThreadLimit&) = delete;
+  ScopedThreadLimit& operator=(const ScopedThreadLimit&) = delete;
+
+ private:
+  std::size_t previous_;
+};
+
+namespace parallel_internal {
+
+/// Chunk size for a range of `n` elements: the caller's grain, or (grain 0)
+/// a fixed fan-out of kDefaultChunks chunks. Pure function of (n, grain) so
+/// the chunk decomposition is identical at every thread count.
+std::size_t EffectiveGrain(std::size_t n, std::size_t grain);
+
+/// Executes fn(chunk_index) for every chunk in [0, num_chunks), distributing
+/// chunks over the pool (work is claimed via an atomic counter; each chunk
+/// runs exactly once). Exceptions are captured per chunk and the one from
+/// the lowest-indexed throwing chunk is rethrown after the region completes.
+/// Runs inline when only one thread is effective, the range has one chunk,
+/// or the caller is itself a pool worker (nested region).
+void RunChunks(std::size_t num_chunks, const std::function<void(std::size_t)>& fn);
+
+}  // namespace parallel_internal
+
+/// Parallel loop over [begin, end): `body(chunk_begin, chunk_end)` is invoked
+/// once per chunk with disjoint sub-ranges covering the input in ascending
+/// order of chunk index. `grain` is the maximum chunk length (0 = automatic).
+/// The body owns any per-chunk scratch; chunk boundaries are independent of
+/// the thread count.
+template <typename Body>
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 Body&& body) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  const std::size_t g = parallel_internal::EffectiveGrain(n, grain);
+  const std::size_t num_chunks = (n + g - 1) / g;
+  parallel_internal::RunChunks(num_chunks, [&](std::size_t chunk) {
+    const std::size_t b = begin + chunk * g;
+    const std::size_t e = std::min(end, b + g);
+    body(b, e);
+  });
+}
+
+/// Deterministic map-reduce over [begin, end): `chunk_fn(chunk_begin,
+/// chunk_end)` produces one private accumulator per chunk and
+/// `merge(into, from)` folds them in ascending chunk order, so the result is
+/// byte-identical regardless of how many threads executed the chunks.
+/// Returns a default-constructed Acc for an empty range.
+template <typename Acc, typename ChunkFn, typename MergeFn>
+Acc ParallelMapReduce(std::size_t begin, std::size_t end, std::size_t grain,
+                      ChunkFn&& chunk_fn, MergeFn&& merge) {
+  if (end <= begin) return Acc{};
+  const std::size_t n = end - begin;
+  const std::size_t g = parallel_internal::EffectiveGrain(n, grain);
+  const std::size_t num_chunks = (n + g - 1) / g;
+  std::vector<Acc> results(num_chunks);
+  parallel_internal::RunChunks(num_chunks, [&](std::size_t chunk) {
+    const std::size_t b = begin + chunk * g;
+    const std::size_t e = std::min(end, b + g);
+    results[chunk] = chunk_fn(b, e);
+  });
+  Acc out = std::move(results[0]);
+  for (std::size_t chunk = 1; chunk < num_chunks; ++chunk) {
+    merge(out, std::move(results[chunk]));
+  }
+  return out;
+}
+
+}  // namespace erb

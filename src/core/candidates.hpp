@@ -25,6 +25,13 @@ class CandidateSet {
   void Add(EntityId id1, EntityId id2) { pairs_.push_back(MakePair(id1, id2)); }
   void AddKey(PairKey key) { pairs_.push_back(key); }
 
+  /// Appends every pair of `other` (the ordered per-chunk merge of the
+  /// parallel kernels; the final Finalize() sorts and deduplicates, so the
+  /// finalized set is independent of merge order).
+  void Merge(CandidateSet&& other) {
+    pairs_.insert(pairs_.end(), other.pairs_.begin(), other.pairs_.end());
+  }
+
   /// Sorts and removes duplicate pairs. Must be called before size() or
   /// iteration is meaningful; idempotent.
   void Finalize();

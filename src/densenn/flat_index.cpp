@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/parallel.hpp"
+
 namespace erb::densenn {
 namespace {
 
@@ -42,6 +44,18 @@ std::vector<std::uint32_t> FlatIndex::Search(const Vector& query, int k) const {
   ids.reserve(heap.size());
   for (const auto& [score, id] : heap) ids.push_back(id);
   return ids;
+}
+
+std::vector<std::vector<std::uint32_t>> FlatIndex::SearchBatch(
+    const std::vector<Vector>& queries, int k) const {
+  std::vector<std::vector<std::uint32_t>> results(queries.size());
+  ParallelFor(0, queries.size(), /*grain=*/0,
+              [&](std::size_t begin, std::size_t end) {
+                for (std::size_t q = begin; q < end; ++q) {
+                  results[q] = Search(queries[q], k);
+                }
+              });
+  return results;
 }
 
 std::vector<std::uint32_t> FlatIndex::RangeSearch(const Vector& query,

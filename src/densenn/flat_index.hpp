@@ -25,6 +25,12 @@ class FlatIndex {
   /// id for determinism.
   std::vector<std::uint32_t> Search(const Vector& query, int k) const;
 
+  /// Search() for every query, fanned across the thread pool; results[q] is
+  /// exactly Search(queries[q], k) (queries are independent, so the batch is
+  /// deterministic at any thread count).
+  std::vector<std::vector<std::uint32_t>> SearchBatch(
+      const std::vector<Vector>& queries, int k) const;
+
   /// Range (similarity) search: all ids within squared-L2 `radius` of the
   /// query (kSquaredL2) or with dot product >= `radius` (kDotProduct). The
   /// paper reports that FAISS's range search consistently underperforms kNN

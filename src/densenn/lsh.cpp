@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "densenn/embedding.hpp"
 
@@ -194,21 +195,32 @@ DenseResult RunAngularLsh(const core::Dataset& dataset, core::SchemaMode mode,
   });
 
   result.timing.Measure(kPhaseQuery, [&] {
-    std::vector<std::uint64_t> keys;
-    for (core::EntityId id = 0; id < vectors2.size(); ++id) {
-      for (int t = 0; t < config.tables; ++t) {
-        keys.clear();
-        probe_keys(vectors2[id], t, &keys);
-        const auto& table = buckets[static_cast<std::size_t>(t)];
-        for (std::uint64_t key : keys) {
-          auto it = table.find(key);
-          if (it == table.end()) continue;
-          for (core::EntityId indexed : it->second) {
-            result.candidates.Add(indexed, id);
+    // Queries only read the bucket maps; each chunk collects into a private
+    // CandidateSet, merged in ascending chunk order.
+    result.candidates = ParallelMapReduce<core::CandidateSet>(
+        0, vectors2.size(), /*grain=*/0,
+        [&](std::size_t begin, std::size_t end) {
+          core::CandidateSet chunk;
+          std::vector<std::uint64_t> keys;
+          for (std::size_t id = begin; id < end; ++id) {
+            for (int t = 0; t < config.tables; ++t) {
+              keys.clear();
+              probe_keys(vectors2[id], t, &keys);
+              const auto& table = buckets[static_cast<std::size_t>(t)];
+              for (std::uint64_t key : keys) {
+                auto it = table.find(key);
+                if (it == table.end()) continue;
+                for (core::EntityId indexed : it->second) {
+                  chunk.Add(indexed, static_cast<core::EntityId>(id));
+                }
+              }
+            }
           }
-        }
-      }
-    }
+          return chunk;
+        },
+        [](core::CandidateSet& into, core::CandidateSet&& from) {
+          into.Merge(std::move(from));
+        });
   });
   result.candidates.Finalize();
   return result;
@@ -273,33 +285,49 @@ std::vector<ProbeSweepPoint> SweepAngularProbes(
     }
   }
 
-  // min_level[pair] = cheapest budget level that surfaces the pair.
-  std::unordered_map<core::PairKey, std::uint8_t> min_level;
-  std::vector<std::uint64_t> keys;
-  for (core::EntityId q = 0; q < queries.size(); ++q) {
-    for (int t = 0; t < config.tables; ++t) {
-      keys.clear();
-      if (cross_polytope) {
-        CpProbeSequence(*cp, queries[q], t, per_table_cap, &keys);
-      } else {
-        HpProbeSequence(*hp, queries[q], t, per_table_cap, &keys);
-      }
-      const auto& table = buckets[static_cast<std::size_t>(t)];
-      for (std::size_t i = 0; i < keys.size(); ++i) {
-        auto it = table.find(keys[i]);
-        if (it == table.end()) continue;
-        // Probe i (0-based) needs a per-table budget of at least i+1, i.e.
-        // level ceil(log2(i+1)).
-        std::uint8_t level = 0;
-        while ((1u << level) < i + 1) ++level;
-        for (core::EntityId id : it->second) {
-          const core::PairKey pair = core::MakePair(id, q);
-          auto [entry, inserted] = min_level.try_emplace(pair, level);
+  // min_level[pair] = cheapest budget level that surfaces the pair. Each
+  // chunk of queries builds a private map; the merge takes the minimum per
+  // pair, which is commutative, so the map's contents (and the histogram
+  // below) are independent of the thread count.
+  using LevelMap = std::unordered_map<core::PairKey, std::uint8_t>;
+  const LevelMap min_level = ParallelMapReduce<LevelMap>(
+      0, queries.size(), /*grain=*/0,
+      [&](std::size_t q_begin, std::size_t q_end) {
+        LevelMap chunk;
+        std::vector<std::uint64_t> keys;
+        for (std::size_t q = q_begin; q < q_end; ++q) {
+          for (int t = 0; t < config.tables; ++t) {
+            keys.clear();
+            if (cross_polytope) {
+              CpProbeSequence(*cp, queries[q], t, per_table_cap, &keys);
+            } else {
+              HpProbeSequence(*hp, queries[q], t, per_table_cap, &keys);
+            }
+            const auto& table = buckets[static_cast<std::size_t>(t)];
+            for (std::size_t i = 0; i < keys.size(); ++i) {
+              auto it = table.find(keys[i]);
+              if (it == table.end()) continue;
+              // Probe i (0-based) needs a per-table budget of at least i+1,
+              // i.e. level ceil(log2(i+1)).
+              std::uint8_t level = 0;
+              while ((1u << level) < i + 1) ++level;
+              for (core::EntityId id : it->second) {
+                const core::PairKey pair =
+                    core::MakePair(id, static_cast<core::EntityId>(q));
+                auto [entry, inserted] = chunk.try_emplace(pair, level);
+                if (!inserted && level < entry->second) entry->second = level;
+              }
+            }
+          }
+        }
+        return chunk;
+      },
+      [](LevelMap& into, LevelMap&& from) {
+        for (const auto& [pair, level] : from) {
+          auto [entry, inserted] = into.try_emplace(pair, level);
           if (!inserted && level < entry->second) entry->second = level;
         }
-      }
-    }
-  }
+      });
 
   // Histogram per level, then cumulative effectiveness per budget.
   std::vector<std::uint64_t> pairs_at(static_cast<std::size_t>(num_levels), 0);

@@ -41,9 +41,14 @@ DenseResult RunKnnMethod(const core::Dataset& dataset, core::SchemaMode mode,
       kPhaseIndex, [&] { return make_index(std::move(indexed_vectors)); });
 
   result.timing.Measure(kPhaseQuery, [&] {
-    for (EntityId q = 0; q < query_vectors.size(); ++q) {
-      for (std::uint32_t id : index.Search(query_vectors[q], config.k)) {
-        EmitPair(&result.candidates, config.reverse, q, id);
+    // The batch fans the searches across the thread pool; emission stays
+    // sequential in query order (Finalize() makes the final order canonical
+    // regardless, but this keeps the pre-Finalize state deterministic too).
+    const auto neighbors = index.SearchBatch(query_vectors, config.k);
+    for (std::size_t q = 0; q < neighbors.size(); ++q) {
+      for (std::uint32_t id : neighbors[q]) {
+        EmitPair(&result.candidates, config.reverse, static_cast<EntityId>(q),
+                 id);
       }
     }
   });

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/parallel.hpp"
 #include "text/clean.hpp"
 
 namespace erb::densenn {
@@ -58,12 +59,17 @@ DenseResult MinHashLsh(const core::Dataset& dataset, core::SchemaMode mode,
   result.timing.Measure(kPhasePreprocess, [&] {
     auto build = [&](int side, std::size_t count,
                      std::vector<std::vector<std::uint64_t>>* out) {
-      out->reserve(count);
-      for (core::EntityId id = 0; id < count; ++id) {
-        const std::string text = text::CleanText(
-            dataset.EntityText(side, id, mode), config.clean);
-        out->push_back(Shingles(text, config.shingle_k));
-      }
+      out->resize(count);
+      ParallelFor(0, count, /*grain=*/0,
+                  [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t id = begin; id < end; ++id) {
+                      const std::string text = text::CleanText(
+                          dataset.EntityText(side, static_cast<core::EntityId>(id),
+                                             mode),
+                          config.clean);
+                      (*out)[id] = Shingles(text, config.shingle_k);
+                    }
+                  });
     };
     build(0, dataset.e1().size(), &shingles1);
     build(1, dataset.e2().size(), &shingles2);
@@ -73,35 +79,64 @@ DenseResult MinHashLsh(const core::Dataset& dataset, core::SchemaMode mode,
   std::vector<std::unordered_map<std::uint64_t, std::vector<core::EntityId>>>
       band_buckets(static_cast<std::size_t>(config.bands));
   result.timing.Measure(kPhaseIndex, [&] {
-    for (core::EntityId id = 0; id < shingles1.size(); ++id) {
-      const auto sig = Signature(shingles1[id], functions, config.seed);
+    // Signatures (the expensive part) are computed in parallel; the bucket
+    // inserts stay sequential in ascending id so every bucket's id list is
+    // identical at any thread count.
+    std::vector<std::vector<std::uint64_t>> band_keys(shingles1.size());
+    ParallelFor(0, shingles1.size(), /*grain=*/0,
+                [&](std::size_t begin, std::size_t end) {
+                  for (std::size_t id = begin; id < end; ++id) {
+                    const auto sig =
+                        Signature(shingles1[id], functions, config.seed);
+                    auto& keys = band_keys[id];
+                    keys.resize(static_cast<std::size_t>(config.bands));
+                    for (int band = 0; band < config.bands; ++band) {
+                      std::uint64_t key = 0x9d2c;
+                      for (int r = 0; r < config.rows; ++r) {
+                        key = HashCombine(
+                            key, sig[static_cast<std::size_t>(
+                                     band * config.rows + r)]);
+                      }
+                      keys[static_cast<std::size_t>(band)] = key;
+                    }
+                  }
+                });
+    for (std::size_t id = 0; id < band_keys.size(); ++id) {
       for (int band = 0; band < config.bands; ++band) {
-        std::uint64_t key = 0x9d2c;
-        for (int r = 0; r < config.rows; ++r) {
-          key = HashCombine(key, sig[static_cast<std::size_t>(band * config.rows + r)]);
-        }
-        band_buckets[static_cast<std::size_t>(band)][key].push_back(id);
+        band_buckets[static_cast<std::size_t>(band)]
+                    [band_keys[id][static_cast<std::size_t>(band)]]
+                        .push_back(static_cast<core::EntityId>(id));
       }
     }
   });
 
   // Query: E2 probes every band's bucket.
   result.timing.Measure(kPhaseQuery, [&] {
-    for (core::EntityId id = 0; id < shingles2.size(); ++id) {
-      const auto sig = Signature(shingles2[id], functions, config.seed);
-      for (int band = 0; band < config.bands; ++band) {
-        std::uint64_t key = 0x9d2c;
-        for (int r = 0; r < config.rows; ++r) {
-          key = HashCombine(key, sig[static_cast<std::size_t>(band * config.rows + r)]);
-        }
-        const auto& buckets = band_buckets[static_cast<std::size_t>(band)];
-        auto it = buckets.find(key);
-        if (it == buckets.end()) continue;
-        for (core::EntityId indexed : it->second) {
-          result.candidates.Add(indexed, id);
-        }
-      }
-    }
+    result.candidates = ParallelMapReduce<core::CandidateSet>(
+        0, shingles2.size(), /*grain=*/0,
+        [&](std::size_t begin, std::size_t end) {
+          core::CandidateSet chunk;
+          for (std::size_t id = begin; id < end; ++id) {
+            const auto sig = Signature(shingles2[id], functions, config.seed);
+            for (int band = 0; band < config.bands; ++band) {
+              std::uint64_t key = 0x9d2c;
+              for (int r = 0; r < config.rows; ++r) {
+                key = HashCombine(
+                    key, sig[static_cast<std::size_t>(band * config.rows + r)]);
+              }
+              const auto& buckets = band_buckets[static_cast<std::size_t>(band)];
+              auto it = buckets.find(key);
+              if (it == buckets.end()) continue;
+              for (core::EntityId indexed : it->second) {
+                chunk.Add(indexed, static_cast<core::EntityId>(id));
+              }
+            }
+          }
+          return chunk;
+        },
+        [](core::CandidateSet& into, core::CandidateSet&& from) {
+          into.Merge(std::move(from));
+        });
   });
   result.candidates.Finalize();
   return result;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 
 namespace erb::densenn {
@@ -37,19 +38,22 @@ void PartitionedIndex::Train(std::uint64_t seed, int iterations) {
 
   std::vector<std::uint32_t> assignment(n, 0);
   for (int iter = 0; iter < iterations; ++iter) {
-    // Assign.
-    for (std::size_t i = 0; i < n; ++i) {
-      float best = -1e30f;
-      std::uint32_t best_c = 0;
-      for (std::uint32_t c = 0; c < centroids_.size(); ++c) {
-        const float score = -SquaredL2(vectors_[i], centroids_[c]);
-        if (score > best) {
-          best = score;
-          best_c = c;
+    // Assign. Each vector's nearest centroid is independent; the centroid
+    // update below stays sequential so its float accumulation order is fixed.
+    ParallelFor(0, n, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        float best = -1e30f;
+        std::uint32_t best_c = 0;
+        for (std::uint32_t c = 0; c < centroids_.size(); ++c) {
+          const float score = -SquaredL2(vectors_[i], centroids_[c]);
+          if (score > best) {
+            best = score;
+            best_c = c;
+          }
         }
+        assignment[i] = best_c;
       }
-      assignment[i] = best_c;
-    }
+    });
     // Update.
     std::vector<Vector> sums(centroids_.size(),
                              Vector(vectors_.empty() ? 0 : vectors_[0].size(), 0.0f));
@@ -98,6 +102,18 @@ void PartitionedIndex::Quantize() {
           std::clamp(std::lround(q), -127L, 127L));
     }
   }
+}
+
+std::vector<std::vector<std::uint32_t>> PartitionedIndex::SearchBatch(
+    const std::vector<Vector>& queries, int k) const {
+  std::vector<std::vector<std::uint32_t>> results(queries.size());
+  ParallelFor(0, queries.size(), /*grain=*/0,
+              [&](std::size_t begin, std::size_t end) {
+                for (std::size_t q = begin; q < end; ++q) {
+                  results[q] = Search(queries[q], k);
+                }
+              });
+  return results;
 }
 
 std::vector<std::uint32_t> PartitionedIndex::Search(const Vector& query,

@@ -29,6 +29,11 @@ class PartitionedIndex {
   /// The ids of the (approximately) k nearest vectors, best first.
   std::vector<std::uint32_t> Search(const Vector& query, int k) const;
 
+  /// Search() for every query, fanned across the thread pool; results[q] is
+  /// exactly Search(queries[q], k).
+  std::vector<std::vector<std::uint32_t>> SearchBatch(
+      const std::vector<Vector>& queries, int k) const;
+
   std::size_t size() const { return vectors_.size(); }
   std::size_t NumPartitions() const { return centroids_.size(); }
 

@@ -1,7 +1,9 @@
 #include "sparsenn/joins.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/parallel.hpp"
 #include "sparsenn/scancount.hpp"
 
 namespace erb::sparsenn {
@@ -9,9 +11,44 @@ namespace {
 
 using core::EntityId;
 
+// Probes the index with every query set in parallel and folds the scored
+// matches into one accumulator per chunk: `collect(query_id, matches, acc)`
+// receives (indexed_id, similarity) pairs with overlap >= 1, and `merge`
+// folds the chunk accumulators in ascending chunk order (so the result is
+// deterministic at any thread count). Each chunk owns its probe scratch.
+template <typename Acc, typename Collect, typename Merge>
+Acc ParallelProbe(const ScanCountIndex& index,
+                  const std::vector<TokenSet>& query_sets,
+                  const SparseConfig& config, Collect&& collect, Merge&& merge) {
+  return ParallelMapReduce<Acc>(
+      0, query_sets.size(), /*grain=*/0,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        Acc acc;
+        ScanCountIndex::ProbeScratch scratch;
+        std::vector<std::pair<EntityId, double>> matches;
+        for (std::size_t q = chunk_begin; q < chunk_end; ++q) {
+          matches.clear();
+          const TokenSet& query = query_sets[q];
+          index.Probe(query, &scratch,
+                      [&](std::uint32_t id, std::uint32_t overlap,
+                          std::uint32_t indexed_size) {
+                        matches.emplace_back(
+                            id, SetSimilarity(config.measure, overlap,
+                                              query.size(), indexed_size));
+                      });
+          collect(static_cast<EntityId>(q), matches, acc);
+        }
+        return acc;
+      },
+      merge);
+}
+
+void MergeCandidates(core::CandidateSet& into, core::CandidateSet&& from) {
+  into.Merge(std::move(from));
+}
+
 // Builds both sides' token sets, indexes one and probes with the other,
-// handing each query's scored matches to `collect(query_id, matches)` where
-// matches are (indexed_id, similarity) pairs with overlap >= 1.
+// handing each query's scored matches to `collect(query_id, matches, acc)`.
 template <typename Collect>
 SparseResult RunJoin(const core::Dataset& dataset, core::SchemaMode mode,
                      const SparseConfig& config, bool reverse, Collect&& collect) {
@@ -33,17 +70,8 @@ SparseResult RunJoin(const core::Dataset& dataset, core::SchemaMode mode,
       kPhaseIndex, [&] { return ScanCountIndex(indexed_sets); });
 
   result.timing.Measure(kPhaseQuery, [&] {
-    std::vector<std::pair<EntityId, double>> matches;
-    for (EntityId q = 0; q < query_sets.size(); ++q) {
-      matches.clear();
-      const TokenSet& query = query_sets[q];
-      index.Probe(query, [&](std::uint32_t id, std::uint32_t overlap,
-                             std::uint32_t indexed_size) {
-        matches.emplace_back(
-            id, SetSimilarity(config.measure, overlap, query.size(), indexed_size));
-      });
-      collect(q, matches, result.candidates);
-    }
+    result.candidates = ParallelProbe<core::CandidateSet>(
+        index, query_sets, config, collect, MergeCandidates);
   });
   result.candidates.Finalize();
   return result;
@@ -56,6 +84,18 @@ void EmitPair(core::CandidateSet* candidates, bool reverse, EntityId query,
     candidates->Add(query, indexed);
   } else {
     candidates->Add(indexed, query);
+  }
+}
+
+// Bounded min-heap insert keeping the k largest similarities.
+void OfferTopK(std::vector<double>* heap, std::size_t k, double sim) {
+  if (heap->size() < k) {
+    heap->push_back(sim);
+    std::push_heap(heap->begin(), heap->end(), std::greater<>());
+  } else if (!heap->empty() && sim > heap->front()) {
+    std::pop_heap(heap->begin(), heap->end(), std::greater<>());
+    heap->back() = sim;
+    std::push_heap(heap->begin(), heap->end(), std::greater<>());
   }
 }
 
@@ -97,29 +137,50 @@ SparseResult KnnJoin(const core::Dataset& dataset, core::SchemaMode mode,
 
 SparseResult GlobalTopKJoin(const core::Dataset& dataset, core::SchemaMode mode,
                             const SparseConfig& config, std::size_t global_k) {
-  // Pass 1 finds the K-th best similarity with a bounded min-heap; pass 2
-  // emits every pair at or above it (ties included, like the kNN-Join's
-  // distinct-value semantics).
-  std::vector<double> heap;  // min-heap of the best K similarities
-  SparseResult probe = RunJoin(
-      dataset, mode, config, /*reverse=*/false,
-      [&heap, global_k](EntityId, const std::vector<std::pair<EntityId, double>>& matches,
-                        core::CandidateSet&) {
-        for (const auto& [id, sim] : matches) {
-          if (heap.size() < global_k) {
-            heap.push_back(sim);
-            std::push_heap(heap.begin(), heap.end(), std::greater<>());
-          } else if (!heap.empty() && sim > heap.front()) {
-            std::pop_heap(heap.begin(), heap.end(), std::greater<>());
-            heap.back() = sim;
-            std::push_heap(heap.begin(), heap.end(), std::greater<>());
-          }
-        }
-      });
+  // Pass 1 finds the K-th best similarity with bounded min-heaps (one per
+  // chunk, merged in chunk order); pass 2 emits every pair at or above it
+  // (ties included, like the kNN-Join's distinct-value semantics). Both
+  // passes probe the same index over the same token sets, so preprocessing
+  // and indexing are paid — and reported — exactly once.
+  SparseResult result;
+
+  auto indexed_sets = result.timing.Measure(kPhasePreprocess, [&] {
+    return BuildSideTokenSets(dataset, 0, mode, config.model, config.clean);
+  });
+  std::vector<TokenSet> query_sets;
+  result.timing.Measure(kPhasePreprocess, [&] {
+    query_sets = BuildSideTokenSets(dataset, 1, mode, config.model, config.clean);
+  });
+  auto index = result.timing.Measure(
+      kPhaseIndex, [&] { return ScanCountIndex(indexed_sets); });
+
+  const std::vector<double> heap = result.timing.Measure(kPhaseQuery, [&] {
+    return ParallelProbe<std::vector<double>>(
+        index, query_sets, config,
+        [global_k](EntityId,
+                   const std::vector<std::pair<EntityId, double>>& matches,
+                   std::vector<double>& heap) {
+          for (const auto& match : matches) OfferTopK(&heap, global_k, match.second);
+        },
+        [global_k](std::vector<double>& into, std::vector<double>&& from) {
+          for (double sim : from) OfferTopK(&into, global_k, sim);
+        });
+  });
   const double threshold = heap.empty() ? 1.0 : heap.front();
-  SparseResult result = EpsilonJoin(dataset, mode, config, threshold);
-  // Account the extra scoring pass in the reported timing.
-  result.timing.Add(kPhaseQuery, probe.timing.Get(kPhaseQuery));
+
+  result.timing.Measure(kPhaseQuery, [&] {
+    result.candidates = ParallelProbe<core::CandidateSet>(
+        index, query_sets, config,
+        [threshold](EntityId q,
+                    const std::vector<std::pair<EntityId, double>>& matches,
+                    core::CandidateSet& candidates) {
+          for (const auto& [id, sim] : matches) {
+            if (sim >= threshold) candidates.Add(id, q);
+          }
+        },
+        MergeCandidates);
+  });
+  result.candidates.Finalize();
   return result;
 }
 

@@ -35,8 +35,8 @@ ScanCountIndex::ScanCountIndex(const std::vector<TokenSet>& sets) {
     }
   }
 
-  counts_.assign(sets.size(), 0);
-  touched_.reserve(sets.size());
+  scratch_.counts.assign(sets.size(), 0);
+  scratch_.touched.reserve(sets.size());
 }
 
 const std::vector<std::uint32_t>* ScanCountIndex::PostingList(

@@ -17,24 +17,42 @@ class ScanCountIndex {
   /// indexed side of the join).
   explicit ScanCountIndex(const std::vector<TokenSet>& sets);
 
+  /// Per-thread probe scratch: the merge-count array plus its dirty list.
+  /// Parallel probe loops give each chunk its own scratch so concurrent
+  /// Probe() calls against one shared index never touch common state.
+  struct ProbeScratch {
+    std::vector<std::uint32_t> counts;
+    std::vector<std::uint32_t> touched;
+  };
+
   /// Overlap of `query` with every indexed set that shares at least one
   /// token: invokes `fn(indexed_id, overlap, indexed_size)` per such set.
-  /// One merge-count scan over the query tokens' posting lists.
+  /// One merge-count scan over the query tokens' posting lists. Thread-safe
+  /// as long as each concurrent caller passes its own scratch.
   template <typename Fn>
-  void Probe(const TokenSet& query, Fn&& fn) const {
-    touched_.clear();
+  void Probe(const TokenSet& query, ProbeScratch* scratch, Fn&& fn) const {
+    auto& counts = scratch->counts;
+    auto& touched = scratch->touched;
+    counts.resize(set_sizes_.size(), 0);
+    touched.clear();
     for (std::uint64_t token : query) {
       const auto* list = PostingList(token);
       if (list == nullptr) continue;
       for (std::uint32_t id : *list) {
-        if (counts_[id] == 0) touched_.push_back(id);
-        ++counts_[id];
+        if (counts[id] == 0) touched.push_back(id);
+        ++counts[id];
       }
     }
-    for (std::uint32_t id : touched_) {
-      fn(id, counts_[id], set_sizes_[id]);
-      counts_[id] = 0;
+    for (std::uint32_t id : touched) {
+      fn(id, counts[id], set_sizes_[id]);
+      counts[id] = 0;
     }
+  }
+
+  /// Single-threaded convenience overload using the index's own scratch.
+  template <typename Fn>
+  void Probe(const TokenSet& query, Fn&& fn) const {
+    Probe(query, &scratch_, std::forward<Fn>(fn));
   }
 
   std::size_t NumSets() const { return set_sizes_.size(); }
@@ -53,10 +71,9 @@ class ScanCountIndex {
   std::vector<std::vector<std::uint32_t>> posting_lists_;
   std::vector<std::uint32_t> set_sizes_;
 
-  // Probe scratch (counts per indexed set + dirty list); mutable so Probe can
+  // Scratch for the single-threaded Probe overload; mutable so Probe can
   // stay const for callers holding a const index.
-  mutable std::vector<std::uint32_t> counts_;
-  mutable std::vector<std::uint32_t> touched_;
+  mutable ProbeScratch scratch_;
 };
 
 }  // namespace erb::sparsenn

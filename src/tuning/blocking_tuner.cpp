@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "blocking/cleaning.hpp"
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "tuning/metaeval.hpp"
 
@@ -127,61 +128,84 @@ TunedResult TuneBlockingWorkflow(const core::Dataset& dataset,
   core::Effectiveness best_eff;  // pc = 0 initially, any config beats it
   bool have_best = false;
 
-  // Evaluates every cleaning configuration of one block collection and folds
-  // the outcomes into the incumbent best. Returns the collection's recall
-  // ceiling so callers can implement the grid's early-termination rules.
-  auto consider = [&](const BlockCollection& blocks, const WorkflowConfig& base) {
-    const CleaningSweep sweep = EvaluateAllCleaning(blocks, dataset);
-    for (const auto& outcome : sweep) {
+  // Builders are independent: the early-termination rules inside one builder
+  // depend only on that builder's own recall ceilings, never on the incumbent
+  // best. So each builder is evaluated on its own pool chunk, recording every
+  // (effectiveness, config) outcome it considered in sweep order; the
+  // incumbent-best fold below then replays them sequentially in grid order,
+  // reproducing the sequential tuner's selection exactly.
+  const auto builder_grid = BuilderGrid(kind, options.full_grid);
+  using Outcome = std::pair<core::Effectiveness, WorkflowConfig>;
+  std::vector<std::vector<Outcome>> per_builder(builder_grid.size());
+  ParallelFor(0, builder_grid.size(), /*grain=*/1,
+              [&](std::size_t g_begin, std::size_t g_end) {
+    for (std::size_t g = g_begin; g < g_end; ++g) {
+      const BuilderConfig& builder = builder_grid[g];
+      auto& outcomes = per_builder[g];
+
+      // Evaluates every cleaning configuration of one block collection.
+      // Returns the collection's recall ceiling so the loops below can
+      // implement the grid's early-termination rules.
+      auto consider = [&](const BlockCollection& blocks,
+                          const WorkflowConfig& base) {
+        const CleaningSweep sweep = EvaluateAllCleaning(blocks, dataset);
+        for (const auto& outcome : sweep) {
+          WorkflowConfig config = base;
+          config.cleaning = outcome.config;
+          outcomes.emplace_back(outcome.eff, config);
+        }
+        return sweep[0].eff.pc;  // Comparison Propagation PC == recall ceiling
+      };
+
+      WorkflowConfig base;
+      base.builder = builder;
+
+      if (proactive) {
+        // Build once with the loosest b_max, derive tighter ones by filtering.
+        BuilderConfig loose = builder;
+        const auto b_grid = BMaxGrid(options.full_grid);
+        loose.b_max = b_grid.front() + 1;
+        const BlockCollection all_blocks =
+            blocking::BuildBlocks(dataset, mode, loose);
+        for (int b_max : b_grid) {  // descending: recall shrinks with b_max
+          base.builder.b_max = b_max;
+          const BlockCollection blocks = ApplyBMax(all_blocks, b_max);
+          const double ceiling = consider(blocks, base);
+          if (ceiling < options.target_recall) break;
+        }
+        continue;
+      }
+
+      const BlockCollection built = blocking::BuildBlocks(dataset, mode, builder);
+      for (bool purge : {false, true}) {
+        base.block_purging = purge;
+        BlockCollection purged = built;
+        if (purge) {
+          blocking::BlockPurging(&purged, n1, n2);
+          // Purging was a no-op: this branch duplicates BP=off exactly.
+          if (purged.size() == built.size()) continue;
+        }
+        for (double ratio : FilterRatioGrid(options.full_grid)) {  // descending
+          base.filter_ratio = ratio;
+          BlockCollection blocks = purged;
+          if (ratio < 1.0) blocking::BlockFiltering(&blocks, ratio, n1, n2);
+          const double ceiling = consider(blocks, base);
+          // Early termination (paper protocol): block cleaning bounds the
+          // recall of every later step; once the ceiling breaks the target,
+          // smaller ratios cannot recover it.
+          if (ceiling < options.target_recall) break;
+        }
+      }
+    }
+  });
+
+  for (const auto& outcomes : per_builder) {
+    for (const auto& [eff, config] : outcomes) {
       ++result.configurations_tried;
-      if (!have_best || IsBetter(outcome.eff, best_eff, options.target_recall)) {
+      if (!have_best || IsBetter(eff, best_eff, options.target_recall)) {
         have_best = true;
-        best_eff = outcome.eff;
-        best_config = base;
-        best_config.cleaning = outcome.config;
-      }
-    }
-    return sweep[0].eff.pc;  // Comparison Propagation PC == recall ceiling
-  };
-
-  for (const BuilderConfig& builder : BuilderGrid(kind, options.full_grid)) {
-    WorkflowConfig base;
-    base.builder = builder;
-
-    if (proactive) {
-      // Build once with the loosest b_max, derive tighter ones by filtering.
-      BuilderConfig loose = builder;
-      const auto b_grid = BMaxGrid(options.full_grid);
-      loose.b_max = b_grid.front() + 1;
-      const BlockCollection all_blocks =
-          blocking::BuildBlocks(dataset, mode, loose);
-      for (int b_max : b_grid) {  // descending: recall shrinks with b_max
-        base.builder.b_max = b_max;
-        const BlockCollection blocks = ApplyBMax(all_blocks, b_max);
-        const double ceiling = consider(blocks, base);
-        if (ceiling < options.target_recall) break;
-      }
-      continue;
-    }
-
-    const BlockCollection built = blocking::BuildBlocks(dataset, mode, builder);
-    for (bool purge : {false, true}) {
-      base.block_purging = purge;
-      BlockCollection purged = built;
-      if (purge) {
-        blocking::BlockPurging(&purged, n1, n2);
-        // Purging was a no-op: this branch duplicates BP=off exactly.
-        if (purged.size() == built.size()) continue;
-      }
-      for (double ratio : FilterRatioGrid(options.full_grid)) {  // descending
-        base.filter_ratio = ratio;
-        BlockCollection blocks = purged;
-        if (ratio < 1.0) blocking::BlockFiltering(&blocks, ratio, n1, n2);
-        const double ceiling = consider(blocks, base);
-        // Early termination (paper protocol): block cleaning bounds the
-        // recall of every later step; once the ceiling breaks the target,
-        // smaller ratios cannot recover it.
-        if (ceiling < options.target_recall) break;
+        best_eff = eff;
+        best_config = config;
       }
     }
   }

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "densenn/flat_index.hpp"
 #include "densenn/lsh.hpp"
 #include "densenn/methods.hpp"
@@ -73,23 +74,42 @@ struct CardinalitySweep {
 };
 
 // Runs `search(query_vectors[q], k_max)` per query and accumulates the sweep.
+// Queries fan across the pool; per-chunk histograms merge by elementwise
+// addition (commutative over integers), so the sweep is thread-count
+// independent.
 template <typename SearchFn>
 CardinalitySweep SweepCardinality(const core::Dataset& dataset, bool reverse,
                                   std::size_t num_queries, int k_max,
                                   SearchFn&& search) {
-  CardinalitySweep sweep;
-  sweep.added_dups.assign(static_cast<std::size_t>(k_max), 0);
-  sweep.queries_with.assign(static_cast<std::size_t>(k_max), 0);
-  sweep.total_duplicates = dataset.NumDuplicates();
-  for (EntityId q = 0; q < num_queries; ++q) {
-    const std::vector<std::uint32_t> ids = search(q, k_max);
-    for (std::size_t r = 0; r < ids.size(); ++r) {
-      ++sweep.queries_with[r];
-      const core::PairKey key =
-          reverse ? core::MakePair(q, ids[r]) : core::MakePair(ids[r], q);
-      if (dataset.IsDuplicate(key)) ++sweep.added_dups[r];
-    }
+  CardinalitySweep sweep = ParallelMapReduce<CardinalitySweep>(
+      0, num_queries, /*grain=*/0,
+      [&](std::size_t q_begin, std::size_t q_end) {
+        CardinalitySweep chunk;
+        chunk.added_dups.assign(static_cast<std::size_t>(k_max), 0);
+        chunk.queries_with.assign(static_cast<std::size_t>(k_max), 0);
+        for (std::size_t q = q_begin; q < q_end; ++q) {
+          const auto qid = static_cast<EntityId>(q);
+          const std::vector<std::uint32_t> ids = search(qid, k_max);
+          for (std::size_t r = 0; r < ids.size(); ++r) {
+            ++chunk.queries_with[r];
+            const core::PairKey key = reverse ? core::MakePair(qid, ids[r])
+                                              : core::MakePair(ids[r], qid);
+            if (dataset.IsDuplicate(key)) ++chunk.added_dups[r];
+          }
+        }
+        return chunk;
+      },
+      [](CardinalitySweep& into, CardinalitySweep&& from) {
+        for (std::size_t r = 0; r < into.added_dups.size(); ++r) {
+          into.added_dups[r] += from.added_dups[r];
+          into.queries_with[r] += from.queries_with[r];
+        }
+      });
+  if (sweep.added_dups.empty()) {  // empty query range
+    sweep.added_dups.assign(static_cast<std::size_t>(k_max), 0);
+    sweep.queries_with.assign(static_cast<std::size_t>(k_max), 0);
   }
+  sweep.total_duplicates = dataset.NumDuplicates();
   return sweep;
 }
 
@@ -204,27 +224,41 @@ TunedResult TuneMinHashLsh(const core::Dataset& dataset, core::SchemaMode mode,
   const std::vector<int> shingle_grid =
       options.full_grid ? std::vector<int>{2, 3, 4, 5} : std::vector<int>{3, 5};
 
-  MinHashConfig best_config;
-  core::Effectiveness best_eff;
-  bool have_best = false;
+  // The grid is flattened in its original nesting order; each config runs on
+  // its own pool chunk and the argmax fold below replays the sequential
+  // tie-breaking (first win on equal effectiveness) exactly.
+  std::vector<MinHashConfig> grid;
   for (bool clean : {false, true}) {
     for (const auto& [bands, rows] : band_grid) {
       for (int k : shingle_grid) {
-        ++result.configurations_tried;
         MinHashConfig config;
         config.clean = clean;
         config.bands = bands;
         config.rows = rows;
         config.shingle_k = k;
         config.seed = 1;
-        DenseResult run = densenn::MinHashLsh(dataset, mode, config);
-        const auto eff = core::Evaluate(run.candidates, dataset);
-        if (!have_best || IsBetter(eff, best_eff, options.target_recall)) {
-          have_best = true;
-          best_eff = eff;
-          best_config = config;
-        }
+        grid.push_back(config);
       }
+    }
+  }
+  std::vector<core::Effectiveness> effs(grid.size());
+  ParallelFor(0, grid.size(), /*grain=*/1,
+              [&](std::size_t g_begin, std::size_t g_end) {
+                for (std::size_t g = g_begin; g < g_end; ++g) {
+                  DenseResult run = densenn::MinHashLsh(dataset, mode, grid[g]);
+                  effs[g] = core::Evaluate(run.candidates, dataset);
+                }
+              });
+
+  MinHashConfig best_config;
+  core::Effectiveness best_eff;
+  bool have_best = false;
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    ++result.configurations_tried;
+    if (!have_best || IsBetter(effs[g], best_eff, options.target_recall)) {
+      have_best = true;
+      best_eff = effs[g];
+      best_config = grid[g];
     }
   }
 
@@ -281,13 +315,17 @@ TunedResult TuneAngular(const core::Dataset& dataset, core::SchemaMode mode,
                           : densenn::HyperplaneLsh(dataset, mode, config);
   };
 
+  // The lazily-filled embedding cache is not thread-safe, so both cleaning
+  // variants are materialized up front; the flattened config grid then fans
+  // across the pool (one probe sweep per config) and the fold below replays
+  // the sequential selection, including its per-config early termination.
   EmbeddingCache embeddings(dataset, mode);
-  AngularLshConfig best_config;
-  core::Effectiveness best_eff;
-  bool have_best = false;
   for (bool clean : {false, true}) {
-    const auto& indexed = embeddings.Side(0, clean);
-    const auto& queries = embeddings.Side(1, clean);
+    embeddings.Side(0, clean);
+    embeddings.Side(1, clean);
+  }
+  std::vector<AngularLshConfig> grid;
+  for (bool clean : {false, true}) {
     for (int tables : table_grid) {
       for (int hashes : hash_grid) {
         for (int cp_dim : cp_dim_grid) {
@@ -297,22 +335,38 @@ TunedResult TuneAngular(const core::Dataset& dataset, core::SchemaMode mode,
           config.hashes = hashes;
           config.last_cp_dim = cp_dim;
           config.seed = 1;
-          // One pass evaluates every probe budget; the paper's protocol
-          // raises probes until the recall target is met.
-          const auto sweep = densenn::SweepAngularProbes(
-              indexed, queries, dataset, config, cross_polytope, tables * 32);
-          for (const auto& point : sweep) {
-            ++result.configurations_tried;
-            if (!have_best || IsBetter(point.eff, best_eff, options.target_recall)) {
-              have_best = true;
-              best_eff = point.eff;
-              best_config = config;
-              best_config.probes = point.probes;
-            }
-            if (point.eff.pc >= options.target_recall) break;
-          }
+          grid.push_back(config);
         }
       }
+    }
+  }
+  std::vector<std::vector<densenn::ProbeSweepPoint>> sweeps(grid.size());
+  ParallelFor(0, grid.size(), /*grain=*/1,
+              [&](std::size_t g_begin, std::size_t g_end) {
+                for (std::size_t g = g_begin; g < g_end; ++g) {
+                  const AngularLshConfig& config = grid[g];
+                  // One pass evaluates every probe budget; the paper's
+                  // protocol raises probes until the recall target is met.
+                  sweeps[g] = densenn::SweepAngularProbes(
+                      embeddings.Side(0, config.clean),
+                      embeddings.Side(1, config.clean), dataset, config,
+                      cross_polytope, config.tables * 32);
+                }
+              });
+
+  AngularLshConfig best_config;
+  core::Effectiveness best_eff;
+  bool have_best = false;
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    for (const auto& point : sweeps[g]) {
+      ++result.configurations_tried;
+      if (!have_best || IsBetter(point.eff, best_eff, options.target_recall)) {
+        have_best = true;
+        best_eff = point.eff;
+        best_config = grid[g];
+        best_config.probes = point.probes;
+      }
+      if (point.eff.pc >= options.target_recall) break;
     }
   }
 

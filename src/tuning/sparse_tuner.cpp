@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "sparsenn/joins.hpp"
 #include "sparsenn/scancount.hpp"
 
@@ -77,30 +78,49 @@ TunedResult TuneEpsilonJoin(const core::Dataset& dataset, core::SchemaMode mode,
   // binned so one scoring pass evaluates all 101 thresholds exactly; all
   // three similarity measures share that pass (the probe only yields
   // overlaps — the measures differ in a final formula).
+  //
+  // The expensive part — building token sets and probing the index — is
+  // fanned across the pool, one (clean, model) combo per chunk. Selection
+  // folds the per-combo bins sequentially in grid order afterwards, so the
+  // winner is exactly the one the sequential sweep would pick.
   constexpr int kBins = 101;
-  for (const auto& [clean, model] : RepresentationGrid(options.full_grid)) {
-    const auto indexed = sparsenn::BuildSideTokenSets(
-        dataset, 0, mode, model, clean);
-    const auto queries = sparsenn::BuildSideTokenSets(
-        dataset, 1, mode, model, clean);
-    sparsenn::ScanCountIndex index(indexed);
-
+  struct ComboBins {
     std::array<std::array<std::uint64_t, kBins>, 3> pair_bins{};
     std::array<std::array<std::uint64_t, kBins>, 3> dup_bins{};
-    for (EntityId q = 0; q < queries.size(); ++q) {
-      index.Probe(queries[q], [&](std::uint32_t id, std::uint32_t overlap,
-                                  std::uint32_t indexed_size) {
-        const bool dup = dataset.IsDuplicate(core::MakePair(id, q));
-        for (std::size_t m = 0; m < kMeasures.size(); ++m) {
-          const double sim = sparsenn::SetSimilarity(
-              kMeasures[m], overlap, queries[q].size(), indexed_size);
-          const int bin = std::clamp(static_cast<int>(sim * 100.0), 0, kBins - 1);
-          ++pair_bins[m][static_cast<std::size_t>(bin)];
-          if (dup) ++dup_bins[m][static_cast<std::size_t>(bin)];
-        }
-      });
+  };
+  const auto grid = RepresentationGrid(options.full_grid);
+  std::vector<ComboBins> combos(grid.size());
+  ParallelFor(0, grid.size(), /*grain=*/1,
+              [&](std::size_t g_begin, std::size_t g_end) {
+    for (std::size_t g = g_begin; g < g_end; ++g) {
+      const auto& [clean, model] = grid[g];
+      const auto indexed = sparsenn::BuildSideTokenSets(
+          dataset, 0, mode, model, clean);
+      const auto queries = sparsenn::BuildSideTokenSets(
+          dataset, 1, mode, model, clean);
+      sparsenn::ScanCountIndex index(indexed);
+      ComboBins& bins = combos[g];
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        index.Probe(queries[q], [&](std::uint32_t id, std::uint32_t overlap,
+                                    std::uint32_t indexed_size) {
+          const bool dup = dataset.IsDuplicate(
+              core::MakePair(id, static_cast<EntityId>(q)));
+          for (std::size_t m = 0; m < kMeasures.size(); ++m) {
+            const double sim = sparsenn::SetSimilarity(
+                kMeasures[m], overlap, queries[q].size(), indexed_size);
+            const int bin =
+                std::clamp(static_cast<int>(sim * 100.0), 0, kBins - 1);
+            ++bins.pair_bins[m][static_cast<std::size_t>(bin)];
+            if (dup) ++bins.dup_bins[m][static_cast<std::size_t>(bin)];
+          }
+        });
+      }
     }
+  });
 
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    const auto& [clean, model] = grid[g];
+    const ComboBins& bins = combos[g];
     // Cumulate from the highest threshold down; per combo the best threshold
     // is the largest one whose PC meets the target (lowering it only adds
     // candidates and erodes PQ) — the paper's early-termination rule.
@@ -108,8 +128,8 @@ TunedResult TuneEpsilonJoin(const core::Dataset& dataset, core::SchemaMode mode,
       std::uint64_t pairs = 0, detected = 0;
       for (int bin = kBins - 1; bin >= 0; --bin) {
         ++result.configurations_tried;
-        pairs += pair_bins[m][static_cast<std::size_t>(bin)];
-        detected += dup_bins[m][static_cast<std::size_t>(bin)];
+        pairs += bins.pair_bins[m][static_cast<std::size_t>(bin)];
+        detected += bins.dup_bins[m][static_cast<std::size_t>(bin)];
         const auto eff = MakeEff(pairs, detected, total_duplicates);
         if (!have_best || IsBetter(eff, best_eff, options.target_recall)) {
           have_best = true;
@@ -149,53 +169,78 @@ TunedResult TuneKnnJoin(const core::Dataset& dataset, core::SchemaMode mode,
   core::Effectiveness best_eff;
   bool have_best = false;
 
-  for (const auto& [clean, model] : RepresentationGrid(options.full_grid)) {
-    // Token sets are built once per representation and shared by both join
-    // directions and all three similarity measures.
-    const auto sets1 = sparsenn::BuildSideTokenSets(dataset, 0, mode, model, clean);
-    const auto sets2 = sparsenn::BuildSideTokenSets(dataset, 1, mode, model, clean);
+  // Rank-group histograms per combo, computed in parallel (one (clean,
+  // model) combo per chunk so the token sets are still built once and
+  // shared by both join directions); selection folds sequentially below.
+  struct ComboRanks {
+    // [reverse][m][k]: contribution of the k-th distinct-similarity rank
+    // group under measure m for that join direction.
+    std::array<std::array<std::array<std::uint64_t, kMaxK>, 3>, 2> added_pairs{};
+    std::array<std::array<std::array<std::uint64_t, kMaxK>, 3>, 2> added_dups{};
+  };
+  const auto grid = RepresentationGrid(options.full_grid);
+  std::vector<ComboRanks> combos(grid.size());
+  ParallelFor(0, grid.size(), /*grain=*/1,
+              [&](std::size_t g_begin, std::size_t g_end) {
+    for (std::size_t g = g_begin; g < g_end; ++g) {
+      const auto& [clean, model] = grid[g];
+      const auto sets1 =
+          sparsenn::BuildSideTokenSets(dataset, 0, mode, model, clean);
+      const auto sets2 =
+          sparsenn::BuildSideTokenSets(dataset, 1, mode, model, clean);
 
-    for (bool reverse : {false, true}) {
-      const auto& indexed = reverse ? sets2 : sets1;
-      const auto& queries = reverse ? sets1 : sets2;
-      sparsenn::ScanCountIndex index(indexed);
+      for (bool reverse : {false, true}) {
+        const auto& indexed = reverse ? sets2 : sets1;
+        const auto& queries = reverse ? sets1 : sets2;
+        sparsenn::ScanCountIndex index(indexed);
+        auto& added_pairs = combos[g].added_pairs[reverse ? 1 : 0];
+        auto& added_dups = combos[g].added_dups[reverse ? 1 : 0];
 
-      // added_pairs[m][k] / added_dups[m][k]: contribution of the k-th
-      // distinct-similarity rank group under measure m.
-      std::array<std::array<std::uint64_t, kMaxK>, 3> added_pairs{};
-      std::array<std::array<std::uint64_t, kMaxK>, 3> added_dups{};
-      std::vector<std::pair<EntityId, std::uint32_t>> matches;  // (id, overlap)
-      std::vector<std::pair<double, bool>> scored;              // (sim, is_dup)
-      for (EntityId q = 0; q < queries.size(); ++q) {
-        matches.clear();
-        index.Probe(queries[q],
-                    [&matches](std::uint32_t id, std::uint32_t overlap,
-                               std::uint32_t) { matches.emplace_back(id, overlap); });
-        for (std::size_t m = 0; m < kMeasures.size(); ++m) {
-          scored.clear();
-          for (const auto& [id, overlap] : matches) {
-            const core::PairKey key =
-                reverse ? core::MakePair(q, id) : core::MakePair(id, q);
-            scored.emplace_back(
-                sparsenn::SetSimilarity(kMeasures[m], overlap, queries[q].size(),
-                                        index.SetSize(id)),
-                dataset.IsDuplicate(key));
-          }
-          std::sort(scored.begin(), scored.end(),
-                    [](const auto& a, const auto& b) { return a.first > b.first; });
-          int rank_group = -1;
-          double previous = -1.0;
-          for (const auto& [sim, dup] : scored) {
-            if (sim != previous) {
-              if (++rank_group >= kMaxK) break;
-              previous = sim;
+        std::vector<std::pair<EntityId, std::uint32_t>> matches;  // (id, overlap)
+        std::vector<std::pair<double, bool>> scored;              // (sim, is_dup)
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+          matches.clear();
+          index.Probe(queries[q], [&matches](std::uint32_t id,
+                                             std::uint32_t overlap,
+                                             std::uint32_t) {
+            matches.emplace_back(id, overlap);
+          });
+          for (std::size_t m = 0; m < kMeasures.size(); ++m) {
+            scored.clear();
+            for (const auto& [id, overlap] : matches) {
+              const auto qid = static_cast<EntityId>(q);
+              const core::PairKey key =
+                  reverse ? core::MakePair(qid, id) : core::MakePair(id, qid);
+              scored.emplace_back(
+                  sparsenn::SetSimilarity(kMeasures[m], overlap,
+                                          queries[q].size(), index.SetSize(id)),
+                  dataset.IsDuplicate(key));
             }
-            ++added_pairs[m][static_cast<std::size_t>(rank_group)];
-            if (dup) ++added_dups[m][static_cast<std::size_t>(rank_group)];
+            std::sort(scored.begin(), scored.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+            int rank_group = -1;
+            double previous = -1.0;
+            for (const auto& [sim, dup] : scored) {
+              if (sim != previous) {
+                if (++rank_group >= kMaxK) break;
+                previous = sim;
+              }
+              ++added_pairs[m][static_cast<std::size_t>(rank_group)];
+              if (dup) ++added_dups[m][static_cast<std::size_t>(rank_group)];
+            }
           }
         }
       }
+    }
+  });
 
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    const auto& [clean, model] = grid[g];
+    for (bool reverse : {false, true}) {
+      const auto& added_pairs = combos[g].added_pairs[reverse ? 1 : 0];
+      const auto& added_dups = combos[g].added_dups[reverse ? 1 : 0];
       // Ascending k; the paper terminates the sweep at the first k meeting
       // the recall target.
       for (std::size_t m = 0; m < kMeasures.size(); ++m) {

@@ -1,0 +1,256 @@
+// Tests of the deterministic parallel runtime (common/parallel.hpp): loop
+// primitives, exception propagation, and the end-to-end guarantee that the
+// parallelized filtering kernels produce byte-identical candidate sets at
+// every thread count.
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/workflow.hpp"
+#include "common/parallel.hpp"
+#include "core/candidates.hpp"
+#include "core/entity.hpp"
+#include "datagen/generator.hpp"
+#include "datagen/registry.hpp"
+#include "densenn/minhash.hpp"
+#include "sparsenn/joins.hpp"
+
+namespace erb {
+namespace {
+
+TEST(ParallelForTest, EmptyRangeNeverInvokesBody) {
+  bool called = false;
+  ParallelFor(5, 5, 1, [&](std::size_t, std::size_t) { called = true; });
+  ParallelFor(7, 3, 1, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleElementRange) {
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  ParallelFor(4, 5, 1, [&](std::size_t b, std::size_t e) {
+    chunks.emplace_back(b, e);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 4u);
+  EXPECT_EQ(chunks[0].second, 5u);
+}
+
+TEST(ParallelForTest, GrainLargerThanRangeYieldsOneChunk) {
+  std::atomic<int> calls{0};
+  ParallelFor(0, 10, 1000, [&](std::size_t b, std::size_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 10u);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelForTest, ChunksAreDisjointAndCoverTheRange) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ScopedThreadLimit limit(threads);
+    constexpr std::size_t kN = 1003;
+    std::vector<std::atomic<int>> visits(kN);
+    ParallelFor(0, kN, 17, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) ++visits[i];
+    });
+    for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1);
+  }
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCaller) {
+  ScopedThreadLimit limit(4);
+  EXPECT_THROW(
+      ParallelFor(0, 64, 1,
+                  [&](std::size_t b, std::size_t) {
+                    if (b == 8) throw std::runtime_error("chunk failed");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, LowestIndexedExceptionWins) {
+  // Chunks >= 8 all throw; the rethrown exception must be chunk 8's (the
+  // lowest-indexed thrower), at any thread count.
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ScopedThreadLimit limit(threads);
+    try {
+      ParallelFor(0, 64, 1, [&](std::size_t b, std::size_t) {
+        if (b >= 8) throw std::runtime_error(std::to_string(b));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "8");
+    }
+  }
+}
+
+TEST(ParallelMapReduceTest, EmptyRangeReturnsDefault) {
+  const int sum = ParallelMapReduce<int>(
+      3, 3, 1, [](std::size_t, std::size_t) { return 42; },
+      [](int& into, int&& from) { into += from; });
+  EXPECT_EQ(sum, 0);
+}
+
+TEST(ParallelMapReduceTest, SumMatchesSequentialAtAnyThreadCount) {
+  constexpr std::size_t kN = 12345;
+  const long long expected = static_cast<long long>(kN) * (kN - 1) / 2;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ScopedThreadLimit limit(threads);
+    const long long sum = ParallelMapReduce<long long>(
+        0, kN, 100,
+        [](std::size_t b, std::size_t e) {
+          long long s = 0;
+          for (std::size_t i = b; i < e; ++i) s += static_cast<long long>(i);
+          return s;
+        },
+        [](long long& into, long long&& from) { into += from; });
+    EXPECT_EQ(sum, expected);
+  }
+}
+
+TEST(ParallelMapReduceTest, MergesInAscendingChunkOrder) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ScopedThreadLimit limit(threads);
+    const std::vector<std::size_t> order = ParallelMapReduce<
+        std::vector<std::size_t>>(
+        0, 40, 4,
+        [](std::size_t b, std::size_t) { return std::vector<std::size_t>{b}; },
+        [](std::vector<std::size_t>& into, std::vector<std::size_t>&& from) {
+          into.insert(into.end(), from.begin(), from.end());
+        });
+    std::vector<std::size_t> expected;
+    for (std::size_t b = 0; b < 40; b += 4) expected.push_back(b);
+    EXPECT_EQ(order, expected);
+  }
+}
+
+TEST(ScopedThreadLimitTest, RestoresPreviousSetting) {
+  const std::size_t before = NumThreads();
+  {
+    ScopedThreadLimit limit(3);
+    EXPECT_EQ(NumThreads(), 3u);
+    {
+      ScopedThreadLimit inner(7);
+      EXPECT_EQ(NumThreads(), 7u);
+    }
+    EXPECT_EQ(NumThreads(), 3u);
+  }
+  EXPECT_EQ(NumThreads(), before);
+}
+
+TEST(ParallelForTest, NestedRegionRunsInline) {
+  ScopedThreadLimit limit(4);
+  std::atomic<int> inner_total{0};
+  ParallelFor(0, 8, 1, [&](std::size_t, std::size_t) {
+    // A nested region must complete correctly (it runs inline on the worker).
+    ParallelFor(0, 10, 1, [&](std::size_t b, std::size_t e) {
+      inner_total += static_cast<int>(e - b);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: parallelized kernels must produce identical
+// candidate sets at 1, 2 and 8 threads.
+// ---------------------------------------------------------------------------
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  // Runs `method` under thread limits 1, 2 and 8 and asserts the finalized
+  // pair lists are identical.
+  template <typename Method>
+  static void ExpectIdenticalCandidates(Method&& method, const char* label) {
+    std::vector<std::vector<core::PairKey>> runs;
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      ScopedThreadLimit limit(threads);
+      runs.push_back(method());
+      ASSERT_FALSE(runs.back().empty()) << label << ": empty candidate set";
+    }
+    EXPECT_EQ(runs[0], runs[1]) << label << ": 1 thread vs 2 threads";
+    EXPECT_EQ(runs[0], runs[2]) << label << ": 1 thread vs 8 threads";
+  }
+
+  static const core::Dataset& TestDataset() {
+    static const core::Dataset dataset =
+        datagen::Generate(datagen::PaperSpec(2).Scaled(0.1));
+    return dataset;
+  }
+};
+
+TEST_F(ParallelDeterminismTest, EpsilonJoin) {
+  const auto& dataset = TestDataset();
+  ExpectIdenticalCandidates(
+      [&] {
+        sparsenn::SparseConfig config;
+        config.model = sparsenn::TokenModel::kC3G;
+        auto run = sparsenn::EpsilonJoin(dataset, core::SchemaMode::kAgnostic,
+                                         config, 0.5);
+        return run.candidates.pairs();
+      },
+      "eJoin");
+}
+
+TEST_F(ParallelDeterminismTest, KnnJoin) {
+  const auto& dataset = TestDataset();
+  ExpectIdenticalCandidates(
+      [&] {
+        sparsenn::SparseConfig config;
+        config.model = sparsenn::TokenModel::kC3G;
+        auto run = sparsenn::KnnJoin(dataset, core::SchemaMode::kAgnostic,
+                                     config, 3, /*reverse=*/false);
+        return run.candidates.pairs();
+      },
+      "kNNJ");
+}
+
+TEST_F(ParallelDeterminismTest, GlobalTopKJoin) {
+  const auto& dataset = TestDataset();
+  ExpectIdenticalCandidates(
+      [&] {
+        sparsenn::SparseConfig config;
+        config.model = sparsenn::TokenModel::kC3G;
+        auto run = sparsenn::GlobalTopKJoin(dataset, core::SchemaMode::kAgnostic,
+                                            config, 200);
+        return run.candidates.pairs();
+      },
+      "TopK");
+}
+
+TEST_F(ParallelDeterminismTest, WnpMetaBlockingWorkflow) {
+  const auto& dataset = TestDataset();
+  ExpectIdenticalCandidates(
+      [&] {
+        blocking::WorkflowConfig config;
+        config.builder.kind = blocking::BuilderKind::kQGrams;
+        config.builder.q = 4;
+        config.cleaning.use_metablocking = true;
+        config.cleaning.scheme = blocking::WeightingScheme::kEcbs;
+        config.cleaning.pruning = blocking::PruningAlgorithm::kWnp;
+        auto run = blocking::RunWorkflow(dataset, core::SchemaMode::kAgnostic,
+                                         config);
+        return run.candidates.pairs();
+      },
+      "WNP");
+}
+
+TEST_F(ParallelDeterminismTest, MinHashLsh) {
+  const auto& dataset = TestDataset();
+  ExpectIdenticalCandidates(
+      [&] {
+        densenn::MinHashConfig config;
+        config.bands = 32;
+        config.rows = 4;
+        auto run = densenn::MinHashLsh(dataset, core::SchemaMode::kAgnostic,
+                                       config);
+        return run.candidates.pairs();
+      },
+      "MH-LSH");
+}
+
+}  // namespace
+}  // namespace erb
