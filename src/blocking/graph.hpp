@@ -23,8 +23,8 @@ class PairGraph {
 
   /// Invokes `fn(i, j, common_blocks, arcs_weight)` exactly once per distinct
   /// inter-source pair whose E1 node lies in [i_begin, i_end). `arcs_weight`
-  /// is the ARCS accumulator (sum of 1/||b|| over shared blocks). Pairs are
-  /// grouped by i in ascending order; the co-occurrence scratch is local to
+  /// is the ARCS accumulator (sum of 1/||b|| over shared blocks). Pairs
+  /// stream in ascending (i, j) order; the co-occurrence scratch is local to
   /// the call, so disjoint ranges can be streamed from different threads
   /// concurrently (the parallel meta-blocking passes do exactly that).
   template <typename Fn>
@@ -44,6 +44,11 @@ class PairGraph {
           arcs[j] += inv;
         }
       }
+      // Emit in ascending j, not first-touch order: the weighted sums the
+      // meta-blocking statistics pass accumulates from this stream are then
+      // associated the same way no matter how the blocks order their
+      // members, which pins the floating-point results exactly.
+      std::sort(touched.begin(), touched.end());
       for (core::EntityId j : touched) {
         fn(static_cast<core::EntityId>(i), j, common[j], arcs[j]);
         common[j] = 0;

@@ -1,7 +1,9 @@
 #include "common/parallel.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -19,12 +21,9 @@ std::atomic<std::size_t> g_thread_override{0};
 
 std::size_t DefaultThreads() {
   static const std::size_t threads = [] {
-    if (const char* env = std::getenv("ERB_THREADS")) {
-      const long parsed = std::strtol(env, nullptr, 10);
-      if (parsed >= 1) return static_cast<std::size_t>(parsed);
-    }
     const unsigned hw = std::thread::hardware_concurrency();
-    return static_cast<std::size_t>(hw == 0 ? 1 : hw);
+    const std::size_t fallback = static_cast<std::size_t>(hw == 0 ? 1 : hw);
+    return ParseThreadCount(std::getenv("ERB_THREADS"), fallback);
   }();
   return threads;
 }
@@ -132,6 +131,30 @@ std::size_t NumThreads() {
 
 void SetNumThreads(std::size_t n) {
   g_thread_override.store(n, std::memory_order_relaxed);
+}
+
+std::size_t ParseThreadCount(const char* text, std::size_t fallback) {
+  if (text == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(text, &end, 10);
+  bool valid = end != text;                      // at least one digit consumed
+  if (valid) {
+    while (*end == ' ' || *end == '\t' || *end == '\n' || *end == '\r') ++end;
+    valid = *end == '\0';                        // nothing but whitespace left
+  }
+  if (valid && (errno == ERANGE || parsed < 1 ||
+                static_cast<unsigned long>(parsed) > kMaxThreadOverride)) {
+    valid = false;
+  }
+  if (!valid) {
+    std::fprintf(stderr,
+                 "erbench: ignoring invalid ERB_THREADS value '%s' (expected "
+                 "an integer in [1, %zu]); using %zu thread(s)\n",
+                 text, kMaxThreadOverride, fallback);
+    return fallback;
+  }
+  return static_cast<std::size_t>(parsed);
 }
 
 ScopedThreadLimit::ScopedThreadLimit(std::size_t n)

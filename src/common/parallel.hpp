@@ -34,6 +34,18 @@ std::size_t NumThreads();
 /// Sets (n >= 1) or clears (n == 0) the global thread-count override.
 void SetNumThreads(std::size_t n);
 
+/// Upper bound accepted for an ERB_THREADS override. A value above this is a
+/// configuration error (e.g. LONG_MAX from a broken script), not a request
+/// to actually spawn that many workers.
+inline constexpr std::size_t kMaxThreadOverride = 4096;
+
+/// Parses a thread-count override in the ERB_THREADS format: a positive
+/// decimal integer in [1, kMaxThreadOverride], optionally surrounded by
+/// ASCII whitespace. Null, empty, non-numeric, trailing-junk ("3abc"), zero,
+/// negative and out-of-range inputs all return `fallback` (warning on stderr
+/// for non-null invalid input).
+std::size_t ParseThreadCount(const char* text, std::size_t fallback);
+
 /// RAII thread-count override for tests: forces every parallel region inside
 /// the scope to use exactly `n` threads, restoring the previous setting on
 /// destruction.

@@ -41,13 +41,20 @@ Dataset::Dataset(std::string name, std::vector<EntityProfile> e1,
       e2_(std::move(e2)),
       duplicates_(std::move(duplicates)),
       best_attribute_(std::move(best_attribute)) {
+  // Collapse repeated ground-truth rows (first occurrence kept): a pair
+  // listed twice would inflate NumDuplicates() and cap PC below 1 even for
+  // the full Cartesian product.
   duplicate_keys_.reserve(duplicates_.size() * 2);
+  std::size_t kept = 0;
   for (const auto& [id1, id2] : duplicates_) {
     if (id1 >= e1_.size() || id2 >= e2_.size()) {
       throw std::out_of_range("ground-truth pair references missing entity");
     }
-    duplicate_keys_.insert(MakePair(id1, id2));
+    if (duplicate_keys_.insert(MakePair(id1, id2)).second) {
+      duplicates_[kept++] = {id1, id2};
+    }
   }
+  duplicates_.resize(kept);
 }
 
 std::string Dataset::EntityText(int side, EntityId id, SchemaMode mode) const {

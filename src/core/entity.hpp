@@ -72,6 +72,8 @@ class Dataset {
   const std::string& name() const { return name_; }
   const std::vector<EntityProfile>& e1() const { return e1_; }
   const std::vector<EntityProfile>& e2() const { return e2_; }
+  /// Ground truth with repeated input rows collapsed (first occurrence
+  /// kept), so NumDuplicates() counts distinct matching pairs.
   const std::vector<std::pair<EntityId, EntityId>>& duplicates() const {
     return duplicates_;
   }

@@ -11,9 +11,12 @@ Effectiveness Evaluate(const CandidateSet& candidates, const Dataset& dataset) {
   for (PairKey key : candidates) {
     if (dataset.IsDuplicate(key)) ++result.detected;
   }
+  // An empty ground truth is vacuously complete: there is nothing to miss,
+  // so PC is 1 (0 would wrongly report a perfect candidate set as missing
+  // everything). PQ stays 0 when there are no candidates. Neither is NaN.
   const std::size_t total_duplicates = dataset.NumDuplicates();
   result.pc = total_duplicates == 0
-                  ? 0.0
+                  ? 1.0
                   : static_cast<double>(result.detected) / total_duplicates;
   result.pq = result.candidates == 0
                   ? 0.0

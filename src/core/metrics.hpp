@@ -11,8 +11,8 @@ namespace erb::core {
 /// PC, PQ and the raw counts they derive from, for one candidate set against
 /// one dataset's ground truth.
 struct Effectiveness {
-  double pc = 0.0;               ///< |D(C)| / |D(E1 x E2)|   (recall)
-  double pq = 0.0;               ///< |D(C)| / |C|            (precision)
+  double pc = 0.0;               ///< |D(C)| / |D(E1 x E2)|   (recall; 1 when GT is empty)
+  double pq = 0.0;               ///< |D(C)| / |C|            (precision; 0 when C is empty)
   std::size_t candidates = 0;    ///< |C|
   std::size_t detected = 0;      ///< |D(C)|, duplicates covered by C
 };

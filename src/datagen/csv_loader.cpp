@@ -12,14 +12,19 @@ namespace {
 // Parses one CSV record, honouring quoted fields with doubled quotes.
 // Returns false at end of stream. A record may span physical lines when a
 // newline is embedded in a quoted field.
+//
+// Blank physical lines are skipped here, where they are distinguishable from
+// records: a record whose only content is a quoted empty field ("") or a
+// bare comma also yields empty strings, but it *starts* with a quote or
+// comma and must not be mistaken for a blank line. A final record cut off by
+// EOF — even inside an unterminated quoted field — is still emitted.
 bool ReadCsvRecord(std::istream& in, std::vector<std::string>* fields) {
   fields->clear();
   std::string field;
   bool in_quotes = false;
-  bool any = false;
+  bool started = false;  // a quote, separator or field byte was seen
   char c;
   while (in.get(c)) {
-    any = true;
     if (in_quotes) {
       if (c == '"') {
         if (in.peek() == '"') {
@@ -33,16 +38,19 @@ bool ReadCsvRecord(std::istream& in, std::vector<std::string>* fields) {
       }
     } else if (c == '"') {
       in_quotes = true;
+      started = true;
     } else if (c == ',') {
       fields->push_back(std::move(field));
       field.clear();
+      started = true;
     } else if (c == '\n') {
-      break;
+      if (started) break;  // record complete; otherwise skip the blank line
     } else if (c != '\r') {
       field.push_back(c);
+      started = true;
     }
   }
-  if (!any) return false;
+  if (!started) return false;
   fields->push_back(std::move(field));
   return true;
 }
@@ -63,7 +71,6 @@ std::vector<core::EntityProfile> LoadSide(
   std::vector<core::EntityProfile> profiles;
   std::vector<std::string> fields;
   while (ReadCsvRecord(in, &fields)) {
-    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
     core::EntityProfile profile;
     profile.attributes.reserve(header.size() - 1);
     for (std::size_t i = 1; i < header.size(); ++i) {

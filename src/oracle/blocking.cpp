@@ -1,0 +1,502 @@
+#include "oracle/blocking.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+namespace erb::oracle {
+namespace {
+
+using blocking::Block;
+using blocking::BlockCollection;
+using blocking::BuilderConfig;
+using blocking::BuilderKind;
+using core::EntityId;
+
+// Independent text normalization: ASCII case-fold, every other byte becomes
+// a space. Intentionally re-derived rather than calling NormalizeText().
+std::string NormalizeOracle(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (c >= 'a' && c <= 'z') {
+      out.push_back(ch);
+    } else if (c >= 'A' && c <= 'Z') {
+      out.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else if (c >= '0' && c <= '9') {
+      out.push_back(ch);
+    } else {
+      out.push_back(' ');
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> TokenizeOracle(std::string_view normalized) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : normalized) {
+    if (c == ' ') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+// Character q-grams by definition; a token no longer than q is one gram.
+std::vector<std::string> QGramsOf(const std::string& token, int q) {
+  std::vector<std::string> grams;
+  if (static_cast<int>(token.size()) <= q) {
+    grams.push_back(token);
+    return grams;
+  }
+  for (std::size_t i = 0; i + static_cast<std::size_t>(q) <= token.size(); ++i) {
+    grams.push_back(token.substr(i, static_cast<std::size_t>(q)));
+  }
+  return grams;
+}
+
+// All order-preserving combinations of >= l of the k grams, enumerated
+// recursively (the production code uses bitmasks; both enumerate the same
+// subsets, and keys are deduplicated afterwards).
+void Combinations(const std::vector<std::string>& grams, std::size_t next,
+                  std::size_t min_size, std::vector<std::string>* chosen,
+                  std::vector<std::string>* out) {
+  if (next == grams.size()) {
+    if (chosen->size() >= min_size && !chosen->empty()) {
+      std::string key;
+      for (const std::string& g : *chosen) {
+        if (!key.empty()) key += '_';
+        key += g;
+      }
+      out->push_back(std::move(key));
+    }
+    return;
+  }
+  chosen->push_back(grams[next]);
+  Combinations(grams, next + 1, min_size, chosen, out);
+  chosen->pop_back();
+  Combinations(grams, next + 1, min_size, chosen, out);
+}
+
+}  // namespace
+
+std::vector<std::string> ExtractKeysOracle(std::string_view text,
+                                           const BuilderConfig& config) {
+  std::vector<std::string> keys;
+  for (const std::string& token : TokenizeOracle(NormalizeOracle(text))) {
+    switch (config.kind) {
+      case BuilderKind::kStandard:
+        keys.push_back(token);
+        break;
+      case BuilderKind::kQGrams:
+        for (std::string& g : QGramsOf(token, config.q)) keys.push_back(std::move(g));
+        break;
+      case BuilderKind::kExtendedQGrams: {
+        std::vector<std::string> grams = QGramsOf(token, config.q);
+        if (grams.size() > 10) grams.resize(10);
+        const std::size_t k = grams.size();
+        const std::size_t l = std::max<std::size_t>(
+            1, static_cast<std::size_t>(static_cast<int>(
+                   static_cast<double>(k) * config.t)));
+        if (l >= k) {
+          std::string key;
+          for (const std::string& g : grams) {
+            if (!key.empty()) key += '_';
+            key += g;
+          }
+          keys.push_back(std::move(key));
+        } else {
+          std::vector<std::string> chosen;
+          Combinations(grams, 0, l, &chosen, &keys);
+        }
+        break;
+      }
+      case BuilderKind::kSuffixArrays: {
+        const std::size_t n = token.size();
+        for (std::size_t start = 0;
+             start + static_cast<std::size_t>(config.l_min) <= n; ++start) {
+          keys.push_back(token.substr(start));
+        }
+        break;
+      }
+      case BuilderKind::kExtendedSuffixArrays: {
+        const std::size_t n = token.size();
+        for (std::size_t len = static_cast<std::size_t>(config.l_min); len <= n;
+             ++len) {
+          for (std::size_t start = 0; start + len <= n; ++start) {
+            keys.push_back(token.substr(start, len));
+          }
+        }
+        break;
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+BlockCollection BuildBlocksOracle(const core::Dataset& dataset,
+                                  core::SchemaMode mode,
+                                  const BuilderConfig& config) {
+  // Ordered map: the oracle's block order is lexicographic by key, not the
+  // production hash-map discovery order — compare through CanonicalBlocks().
+  std::map<std::string, Block> by_key;
+  for (int side = 0; side < 2; ++side) {
+    const std::size_t count =
+        side == 0 ? dataset.e1().size() : dataset.e2().size();
+    for (EntityId id = 0; id < count; ++id) {
+      const std::string text = dataset.EntityText(side, id, mode);
+      for (const std::string& key : ExtractKeysOracle(text, config)) {
+        Block& block = by_key[key];
+        (side == 0 ? block.e1 : block.e2).push_back(id);
+      }
+    }
+  }
+
+  const bool proactive = config.kind == BuilderKind::kSuffixArrays ||
+                         config.kind == BuilderKind::kExtendedSuffixArrays;
+  BlockCollection blocks;
+  for (auto& [key, block] : by_key) {
+    if (block.e1.empty() || block.e2.empty()) continue;
+    if (proactive &&
+        block.Assignments() >= static_cast<std::size_t>(config.b_max)) {
+      continue;
+    }
+    blocks.push_back(std::move(block));
+  }
+  return blocks;
+}
+
+std::vector<std::pair<std::vector<EntityId>, std::vector<EntityId>>>
+CanonicalBlocks(const BlockCollection& blocks) {
+  std::vector<std::pair<std::vector<EntityId>, std::vector<EntityId>>> out;
+  out.reserve(blocks.size());
+  for (const Block& block : blocks) {
+    auto e1 = block.e1;
+    auto e2 = block.e2;
+    std::sort(e1.begin(), e1.end());
+    std::sort(e2.begin(), e2.end());
+    out.emplace_back(std::move(e1), std::move(e2));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void BlockPurgingOracle(BlockCollection* blocks, std::size_t n1,
+                        std::size_t n2) {
+  if (blocks->empty()) return;
+
+  // Criterion 1, by definition: a block holding more than half of all input
+  // entities is a stop-word block. 2 * |b| > n1 + n2 is the integer form.
+  const std::size_t total_entities = n1 + n2;
+  std::erase_if(*blocks, [total_entities](const Block& b) {
+    return 2 * b.Assignments() > total_entities;
+  });
+  if (blocks->empty()) return;
+
+  // Criterion 2: ascending over distinct comparison cardinalities, track the
+  // cumulative comparisons-per-assignment ratio and purge every level above
+  // the last jump exceeding the smoothing factor.
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> levels;
+  for (const Block& block : *blocks) {
+    auto& [comparisons, assignments] = levels[block.Comparisons()];
+    comparisons += block.Comparisons();
+    assignments += block.Assignments();
+  }
+  constexpr double kSmoothing = 1.025;
+  std::uint64_t cum_comparisons = 0;
+  std::uint64_t cum_assignments = 0;
+  double previous_ratio = 0.0;
+  std::uint64_t previous_cardinality = 0;
+  std::uint64_t cut = levels.rbegin()->first;
+  for (const auto& [cardinality, totals] : levels) {
+    cum_comparisons += totals.first;
+    cum_assignments += totals.second;
+    const double ratio = static_cast<double>(cum_comparisons) /
+                         static_cast<double>(cum_assignments);
+    if (previous_ratio > 0.0 && ratio > kSmoothing * previous_ratio) {
+      cut = previous_cardinality;
+    }
+    previous_ratio = ratio;
+    previous_cardinality = cardinality;
+  }
+  std::erase_if(*blocks, [cut](const Block& b) { return b.Comparisons() > cut; });
+}
+
+void BlockFilteringOracle(BlockCollection* blocks, double ratio, std::size_t n1,
+                          std::size_t n2) {
+  if (ratio >= 1.0 || blocks->empty()) return;
+
+  // For each entity, the set of blocks it stays in: the ceil(ratio * count)
+  // smallest by (cardinality, block index) — a full sort where the production
+  // code uses nth_element; the retained *set* is identical because the
+  // block index breaks every cardinality tie.
+  const auto retained = [blocks, ratio](int side, std::size_t count) {
+    std::vector<std::vector<std::uint32_t>> keep_blocks(count);
+    for (std::size_t id = 0; id < count; ++id) {
+      std::vector<std::pair<std::uint64_t, std::uint32_t>> mine;
+      for (std::uint32_t b = 0; b < blocks->size(); ++b) {
+        const auto& members = side == 0 ? (*blocks)[b].e1 : (*blocks)[b].e2;
+        if (std::find(members.begin(), members.end(),
+                      static_cast<EntityId>(id)) != members.end()) {
+          mine.emplace_back((*blocks)[b].Comparisons(), b);
+        }
+      }
+      if (mine.empty()) continue;
+      std::sort(mine.begin(), mine.end());
+      const std::size_t keep = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::ceil(ratio * static_cast<double>(mine.size()))));
+      mine.resize(std::min(keep, mine.size()));
+      for (const auto& [_, b] : mine) keep_blocks[id].push_back(b);
+    }
+    return keep_blocks;
+  };
+  const auto keep1 = retained(0, n1);
+  const auto keep2 = retained(1, n2);
+
+  // Rebuild with the original block indices; entities are appended in
+  // ascending id order, so the surviving blocks' member lists match the
+  // production rebuild byte for byte.
+  BlockCollection filtered(blocks->size());
+  for (std::size_t id = 0; id < n1; ++id) {
+    for (std::uint32_t b : keep1[id]) {
+      filtered[b].e1.push_back(static_cast<EntityId>(id));
+    }
+  }
+  for (std::size_t id = 0; id < n2; ++id) {
+    for (std::uint32_t b : keep2[id]) {
+      filtered[b].e2.push_back(static_cast<EntityId>(id));
+    }
+  }
+  std::erase_if(filtered,
+                [](const Block& b) { return b.e1.empty() || b.e2.empty(); });
+  *blocks = std::move(filtered);
+}
+
+core::CandidateSet ComparisonPropagationOracle(const BlockCollection& blocks,
+                                               std::size_t n1, std::size_t n2) {
+  core::CandidateSet out;
+  for (EntityId i = 0; i < n1; ++i) {
+    for (EntityId j = 0; j < n2; ++j) {
+      for (const Block& block : blocks) {
+        const bool has_i = std::find(block.e1.begin(), block.e1.end(), i) !=
+                           block.e1.end();
+        const bool has_j = std::find(block.e2.begin(), block.e2.end(), j) !=
+                           block.e2.end();
+        if (has_i && has_j) {
+          out.Add(i, j);
+          break;
+        }
+      }
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+namespace {
+
+// Per-pair co-occurrence recomputed from the raw collection: number of
+// shared blocks and the ARCS sum (1 / ||b|| accumulated in ascending block
+// index order, the same order the production streamer uses).
+struct PairStats {
+  std::vector<std::vector<std::uint32_t>> common;
+  std::vector<std::vector<double>> arcs;
+  std::vector<std::uint32_t> blocks_of_1, blocks_of_2;
+};
+
+PairStats CollectPairStats(const BlockCollection& blocks, std::size_t n1,
+                           std::size_t n2) {
+  PairStats s;
+  s.common.assign(n1, std::vector<std::uint32_t>(n2, 0));
+  s.arcs.assign(n1, std::vector<double>(n2, 0.0));
+  s.blocks_of_1.assign(n1, 0);
+  s.blocks_of_2.assign(n2, 0);
+  for (const Block& block : blocks) {
+    const double inv = 1.0 / static_cast<double>(block.Comparisons());
+    for (EntityId i : block.e1) ++s.blocks_of_1[i];
+    for (EntityId j : block.e2) ++s.blocks_of_2[j];
+    for (EntityId i : block.e1) {
+      for (EntityId j : block.e2) {
+        ++s.common[i][j];
+        s.arcs[i][j] += inv;
+      }
+    }
+  }
+  return s;
+}
+
+// The six weighting schemes by their published formulas, recomputed per pair
+// from the PairStats co-occurrence counts.
+double WeightOracle(const PairStats& s, const BlockCollection& blocks,
+                    std::uint64_t total_pairs,
+                    const std::vector<std::uint32_t>& degree1,
+                    const std::vector<std::uint32_t>& degree2,
+                    blocking::WeightingScheme scheme, EntityId i, EntityId j) {
+  const double bi = static_cast<double>(s.blocks_of_1[i]);
+  const double bj = static_cast<double>(s.blocks_of_2[j]);
+  const double total_blocks =
+      std::max<double>(1.0, static_cast<double>(blocks.size()));
+  const double c = static_cast<double>(s.common[i][j]);
+  switch (scheme) {
+    case blocking::WeightingScheme::kArcs:
+      return s.arcs[i][j];
+    case blocking::WeightingScheme::kCbs:
+      return c;
+    case blocking::WeightingScheme::kEcbs:
+      return c * std::log(total_blocks / bi) * std::log(total_blocks / bj);
+    case blocking::WeightingScheme::kJs:
+      return c / (bi + bj - c);
+    case blocking::WeightingScheme::kEjs: {
+      const double js = c / (bi + bj - c);
+      const double pairs = std::max<double>(1.0, static_cast<double>(total_pairs));
+      const double di = std::max<double>(degree1[i], 1.0);
+      const double dj = std::max<double>(degree2[j], 1.0);
+      return js * std::log10(pairs / di) * std::log10(pairs / dj);
+    }
+    case blocking::WeightingScheme::kChiSquared: {
+      const double n = total_blocks;
+      const double o11 = c;
+      const double o12 = bi - c;
+      const double o21 = bj - c;
+      const double o22 = n - bi - bj + c;
+      const double denom = bi * bj * (n - bi) * (n - bj);
+      if (denom <= 0.0) return 0.0;
+      const double diff = o11 * o22 - o12 * o21;
+      return n * diff * diff / denom;
+    }
+  }
+  return 0.0;
+}
+
+// k-th largest of a weight multiset (0 when empty, the minimum when fewer
+// than k values exist) — the value the production bounded heap exposes.
+double KthLargest(std::vector<double> weights, std::size_t k) {
+  if (weights.empty()) return 0.0;
+  std::sort(weights.begin(), weights.end(), std::greater<>());
+  return weights[std::min(k, weights.size()) - 1];
+}
+
+}  // namespace
+
+core::CandidateSet MetaBlockingOracle(const BlockCollection& blocks,
+                                      std::size_t n1, std::size_t n2,
+                                      blocking::WeightingScheme scheme,
+                                      blocking::PruningAlgorithm pruning) {
+  const PairStats s = CollectPairStats(blocks, n1, n2);
+
+  // EJS degrees and the pair count, from the co-occurrence matrix.
+  std::vector<std::uint32_t> degree1(n1, 0), degree2(n2, 0);
+  std::uint64_t total_pairs = 0;
+  for (EntityId i = 0; i < n1; ++i) {
+    for (EntityId j = 0; j < n2; ++j) {
+      if (s.common[i][j] == 0) continue;
+      ++degree1[i];
+      ++degree2[j];
+      ++total_pairs;
+    }
+  }
+
+  // Cardinality parameters from block characteristics, as in the literature.
+  std::uint64_t assignments = 0;
+  for (const Block& block : blocks) assignments += block.Assignments();
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(static_cast<double>(assignments) /
+                          static_cast<double>(std::max<std::size_t>(1, n1 + n2)))));
+  const std::uint64_t cep_cap = std::max<std::uint64_t>(1, assignments / 2);
+
+  const auto weight = [&](EntityId i, EntityId j) {
+    return WeightOracle(s, blocks, total_pairs, degree1, degree2, scheme, i, j);
+  };
+
+  // Per-node statistics over the weighted pair graph. Sums run left-to-right
+  // in ascending j per node, and node partial sums accumulate in ascending i
+  // — the exact association order of the production kernel once each pass-1
+  // chunk holds a single E1 node (guaranteed for |E1| <= corpus
+  // kMaxCorpusE1), so every double here is bit-identical, not just close.
+  std::vector<double> sum1(n1, 0.0), max1(n1, 0.0);
+  std::vector<double> sum2(n2, 0.0), max2(n2, 0.0);
+  std::vector<std::uint32_t> cnt1(n1, 0), cnt2(n2, 0);
+  std::vector<std::vector<double>> node1_weights(n1), node2_weights(n2);
+  std::vector<double> all_weights;
+  double global_sum = 0.0;
+  std::uint64_t global_count = 0;
+  for (EntityId i = 0; i < n1; ++i) {
+    double node_sum = 0.0;
+    for (EntityId j = 0; j < n2; ++j) {
+      if (s.common[i][j] == 0) continue;
+      const double w = weight(i, j);
+      sum1[i] += w;
+      node_sum += w;
+      max1[i] = std::max(max1[i], w);
+      ++cnt1[i];
+      sum2[j] += w;
+      max2[j] = std::max(max2[j], w);
+      ++cnt2[j];
+      node1_weights[i].push_back(w);
+      node2_weights[j].push_back(w);
+      all_weights.push_back(w);
+      ++global_count;
+    }
+    global_sum += node_sum;
+  }
+
+  const double global_avg =
+      global_count == 0 ? 0.0 : global_sum / static_cast<double>(global_count);
+  double cep_threshold = 0.0;
+  if (all_weights.size() > cep_cap) {
+    std::sort(all_weights.begin(), all_weights.end(), std::greater<>());
+    cep_threshold = all_weights[cep_cap - 1];
+  }
+
+  core::CandidateSet out;
+  for (EntityId i = 0; i < n1; ++i) {
+    for (EntityId j = 0; j < n2; ++j) {
+      if (s.common[i][j] == 0) continue;
+      const double w = weight(i, j);
+      bool keep = false;
+      switch (pruning) {
+        case blocking::PruningAlgorithm::kBlast:
+          keep = w >= 0.35 * (max1[i] + max2[j]);
+          break;
+        case blocking::PruningAlgorithm::kCep:
+          keep = w >= cep_threshold;
+          break;
+        case blocking::PruningAlgorithm::kCnp:
+          keep = w >= KthLargest(node1_weights[i], k) ||
+                 w >= KthLargest(node2_weights[j], k);
+          break;
+        case blocking::PruningAlgorithm::kRcnp:
+          keep = w >= KthLargest(node1_weights[i], k) &&
+                 w >= KthLargest(node2_weights[j], k);
+          break;
+        case blocking::PruningAlgorithm::kWep:
+          keep = w >= global_avg;
+          break;
+        case blocking::PruningAlgorithm::kWnp:
+          keep = (cnt1[i] > 0 && w >= sum1[i] / cnt1[i]) ||
+                 (cnt2[j] > 0 && w >= sum2[j] / cnt2[j]);
+          break;
+        case blocking::PruningAlgorithm::kRwnp:
+          keep = (cnt1[i] > 0 && w >= sum1[i] / cnt1[i]) &&
+                 (cnt2[j] > 0 && w >= sum2[j] / cnt2[j]);
+          break;
+      }
+      if (keep) out.Add(i, j);
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+}  // namespace erb::oracle

@@ -1,0 +1,72 @@
+// First-principles references for the blocking workflow stages (Section
+// IV-B): block building by literal method definition, Block Purging and
+// Block Filtering re-derived from their published descriptions, Comparison
+// Propagation by pairwise co-occurrence test, and meta-blocking with every
+// edge weight recomputed from scratch per pair.
+//
+// Stage-wise differential design: the cleaning and comparison references
+// operate on the *same* block collection as the production code (block
+// indices are part of the tie-breaking contract), while built collections —
+// whose block order depends on key discovery order — are compared through
+// CanonicalBlocks().
+#pragma once
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "blocking/block.hpp"
+#include "blocking/builders.hpp"
+#include "blocking/comparison.hpp"
+#include "core/candidates.hpp"
+#include "core/entity.hpp"
+
+namespace erb::oracle {
+
+/// Blocking keys of one textual value by literal definition (independent
+/// normalization, tokenization and key enumeration; combinations enumerated
+/// recursively instead of via bitmasks). Returned deduplicated and sorted.
+std::vector<std::string> ExtractKeysOracle(std::string_view text,
+                                           const blocking::BuilderConfig& config);
+
+/// Block building by definition: one block per distinct key, entities in
+/// ascending id order; Suffix-Arrays-family blocks reaching b_max
+/// assignments are discarded; one-sided blocks are dropped.
+blocking::BlockCollection BuildBlocksOracle(const core::Dataset& dataset,
+                                            core::SchemaMode mode,
+                                            const blocking::BuilderConfig& config);
+
+/// Order-independent canonical form of a collection: each block as its
+/// (sorted e1, sorted e2) id lists, blocks sorted lexicographically.
+std::vector<std::pair<std::vector<core::EntityId>, std::vector<core::EntityId>>>
+CanonicalBlocks(const blocking::BlockCollection& blocks);
+
+/// Block Purging re-derived: (1) drop blocks holding more than half of all
+/// input entities; (2) ascending scan over distinct comparison cardinalities
+/// tracking the cumulative comparisons-per-assignment ratio, purging every
+/// level above the last disproportionate jump (factor 1.025).
+void BlockPurgingOracle(blocking::BlockCollection* blocks, std::size_t n1,
+                        std::size_t n2);
+
+/// Block Filtering re-derived: each entity stays in the ceil(ratio * count)
+/// smallest of its blocks (minimum one), ties on cardinality broken by
+/// ascending block index; one-sided blocks are then dropped.
+void BlockFilteringOracle(blocking::BlockCollection* blocks, double ratio,
+                          std::size_t n1, std::size_t n2);
+
+/// Comparison Propagation by pairwise test: (i, j) is a candidate iff some
+/// block contains i on the E1 side and j on the E2 side.
+core::CandidateSet ComparisonPropagationOracle(
+    const blocking::BlockCollection& blocks, std::size_t n1, std::size_t n2);
+
+/// Meta-blocking with per-pair recomputation: for every (i, j) the shared
+/// blocks, weight and pruning thresholds are derived from scratch. Node and
+/// global weight sums accumulate left-to-right in ascending (i, j) order,
+/// matching the production kernel's pinned streaming order bit-for-bit for
+/// collections with n1 <= corpus::kMaxCorpusE1.
+core::CandidateSet MetaBlockingOracle(const blocking::BlockCollection& blocks,
+                                      std::size_t n1, std::size_t n2,
+                                      blocking::WeightingScheme scheme,
+                                      blocking::PruningAlgorithm pruning);
+
+}  // namespace erb::oracle

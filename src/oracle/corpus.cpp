@@ -1,0 +1,118 @@
+#include "oracle/corpus.hpp"
+
+#include <utility>
+
+#include "datagen/generator.hpp"
+#include "datagen/registry.hpp"
+
+namespace erb::oracle {
+namespace {
+
+using core::Dataset;
+using core::EntityId;
+using core::EntityProfile;
+
+using Row = std::vector<std::pair<std::string, std::string>>;
+using Gt = std::vector<std::pair<EntityId, EntityId>>;
+
+std::vector<EntityProfile> Profiles(const std::vector<Row>& rows) {
+  std::vector<EntityProfile> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    EntityProfile profile;
+    for (const auto& [name, value] : row) profile.attributes.push_back({name, value});
+    out.push_back(std::move(profile));
+  }
+  return out;
+}
+
+CorpusCase Make(std::string name, const std::vector<Row>& e1,
+                const std::vector<Row>& e2, Gt gt, std::string best) {
+  return {name, Dataset(std::move(name), Profiles(e1), Profiles(e2),
+                        std::move(gt), std::move(best))};
+}
+
+}  // namespace
+
+std::vector<CorpusCase> BuildCorpus(std::uint64_t seed) {
+  std::vector<CorpusCase> corpus;
+
+  // Degenerate sizes: no entities at all, and one side empty. Every method
+  // must return an empty candidate set without touching invalid memory.
+  corpus.push_back(Make("empty-both", {}, {}, {}, "name"));
+  corpus.push_back(Make("empty-e2",
+                        {{{"name", "acme widget"}, {"desc", "blue"}},
+                         {{"name", "bolt cutter"}, {"desc", "steel tool"}},
+                         {{"name", "gamma ray"}, {"desc", ""}}},
+                        {}, {}, "name"));
+
+  // Single-entity sources: the smallest non-trivial join.
+  corpus.push_back(Make("single-pair",
+                        {{{"name", "acme widget 42"}}},
+                        {{{"name", "acme widget 42"}}},
+                        {{0, 0}}, "name"));
+
+  // All records identical: every similarity is exactly 1, every block holds
+  // everything, every meta-blocking weight ties. Purging's half-of-all-
+  // entities criterion and the kNN distinct-value semantics are both live.
+  {
+    std::vector<Row> e1, e2;
+    for (int i = 0; i < 5; ++i) e1.push_back({{"name", "acme widget pro max"}});
+    for (int i = 0; i < 4; ++i) e2.push_back({{"name", "acme widget pro max"}});
+    corpus.push_back(Make("all-identical", e1, e2, {{0, 0}, {1, 1}, {2, 2}, {3, 3}},
+                          "name"));
+  }
+
+  // Similarity ties: values drawn from a four-token alphabet so many pairs
+  // land on exactly the same Cosine/Dice/Jaccard value. This is where the
+  // >= vs > threshold boundary and the kNN tie retention rules bite.
+  corpus.push_back(Make(
+      "similarity-ties",
+      {{{"name", "aa bb"}}, {{"name", "aa cc"}}, {{"name", "bb cc"}},
+       {{"name", "aa dd"}}, {{"name", "cc dd"}}},
+      {{{"name", "aa bb"}}, {{"name", "bb dd"}}, {{"name", "cc dd"}},
+       {{"name", "aa bb cc"}}, {{"name", "dd"}}},
+      {{0, 0}, {4, 2}}, "name"));
+
+  // Strings shorter than any q-gram length in the grid (q in [2, 6]), empty
+  // values, and single characters. Q-Grams blocking treats a short token as
+  // its own gram; Suffix Arrays must drop tokens shorter than l_min.
+  corpus.push_back(Make(
+      "short-strings",
+      {{{"name", "x"}}, {{"name", "ab"}}, {{"name", ""}}, {{"name", "a b c"}},
+       {{"name", "q"}}},
+      {{{"name", "x"}}, {{"name", "abc"}}, {{"name", "z"}},
+       {{"name", "a b"}}},
+      {{0, 0}, {1, 1}}, "name"));
+
+  // Unicode and control characters inside attribute values: multi-byte UTF-8
+  // (normalized byte-wise to spaces by the ASCII pipeline), CRLF line breaks,
+  // tabs, embedded quotes and commas. Tokenizers must neither crash nor
+  // split differently between the production and reference paths.
+  corpus.push_back(Make(
+      "unicode-crlf",
+      {{{"name", "M\xc3\xbcller stra\xc3\x9f""e 42"}, {"desc", "first\r\nsecond line"}},
+       {{"name", "na\xc3\xafve caf\xc3\xa9"}, {"desc", "tab\tseparated\tvalue"}},
+       {{"name", "\"quoted, name\""}, {"desc", "a,b,c"}}},
+      {{{"name", "muller strasse 42"}, {"desc", "first second line"}},
+       {{"name", "naive cafe"}, {"desc", "tab separated value"}},
+       {{"name", "quoted name"}, {"desc", "a b c"}}},
+      {{0, 0}, {1, 1}, {2, 2}}, "name"));
+
+  // Seeded random instances at the generator's minimum size (8 x 8 with 4
+  // duplicates): realistic token distributions, hard cases and coverage
+  // holes, still small enough that the O(n^2 * blocks) oracles stay instant
+  // and |E1| <= kMaxCorpusE1 keeps the meta-blocking sums bit-comparable.
+  for (int spec_index : {1, 4}) {
+    for (std::uint64_t rep = 0; rep < 2; ++rep) {
+      datagen::DatasetSpec spec = datagen::PaperSpec(spec_index).Scaled(0.0);
+      spec.seed = seed + 17 * static_cast<std::uint64_t>(spec_index) + rep;
+      corpus.push_back({"random-" + spec.id + "-s" + std::to_string(rep),
+                        datagen::Generate(spec)});
+    }
+  }
+
+  return corpus;
+}
+
+}  // namespace erb::oracle

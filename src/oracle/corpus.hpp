@@ -1,0 +1,36 @@
+// Adversarial corpus for differential testing: small Clean-Clean ER datasets
+// concentrated on the boundaries where filtering methods disagree (empty
+// inputs, single-entity sources, all-identical records, similarity ties,
+// strings shorter than the q-gram length, Unicode/CRLF attribute values),
+// plus seeded random instances from the synthetic generator.
+//
+// Every production filtering method is expected to match its brute-force
+// oracle on every case of this corpus — see tests/oracle_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/entity.hpp"
+
+namespace erb::oracle {
+
+/// One adversarial instance: a named dataset exercising a boundary the
+/// optimized kernels are most likely to get wrong.
+struct CorpusCase {
+  std::string name;
+  core::Dataset dataset;
+};
+
+/// Maximum |E1| of any corpus case. Kept at 16 so every pass-1 chunk of the
+/// parallel meta-blocking kernel holds exactly one E1 node (kStatsChunks is
+/// 16), which makes the kernel's chunk-merged floating-point accumulations
+/// bit-identical to the oracle's per-node left-to-right sums.
+inline constexpr std::size_t kMaxCorpusE1 = 16;
+
+/// Builds the full corpus: the handcrafted edge cases plus seeded random
+/// datasets. Deterministic in `seed`.
+std::vector<CorpusCase> BuildCorpus(std::uint64_t seed);
+
+}  // namespace erb::oracle

@@ -1,0 +1,90 @@
+#include "oracle/dense.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "densenn/embedding.hpp"
+
+namespace erb::oracle {
+
+using densenn::DenseMetric;
+using densenn::Vector;
+
+float DotOracle(const Vector& a, const Vector& b) {
+  float sum = 0.0f;
+  for (std::size_t d = 0; d < a.size(); ++d) sum += a[d] * b[d];
+  return sum;
+}
+
+float SquaredL2Oracle(const Vector& a, const Vector& b) {
+  float sum = 0.0f;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    const float diff = a[d] - b[d];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+std::vector<std::uint32_t> ExactKnnOracle(const std::vector<Vector>& vectors,
+                                          const Vector& query,
+                                          DenseMetric metric, int k) {
+  if (k <= 0) return {};
+  std::vector<std::pair<float, std::uint32_t>> scored;
+  scored.reserve(vectors.size());
+  for (std::uint32_t id = 0; id < vectors.size(); ++id) {
+    const float score = metric == DenseMetric::kDotProduct
+                            ? DotOracle(query, vectors[id])
+                            : -SquaredL2Oracle(query, vectors[id]);
+    scored.emplace_back(score, id);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  if (scored.size() > static_cast<std::size_t>(k)) {
+    scored.resize(static_cast<std::size_t>(k));
+  }
+  std::vector<std::uint32_t> ids;
+  ids.reserve(scored.size());
+  for (const auto& [score, id] : scored) ids.push_back(id);
+  return ids;
+}
+
+std::vector<std::uint32_t> RangeSearchOracle(const std::vector<Vector>& vectors,
+                                             const Vector& query,
+                                             DenseMetric metric, float radius) {
+  std::vector<std::uint32_t> ids;
+  for (std::uint32_t id = 0; id < vectors.size(); ++id) {
+    const bool within = metric == DenseMetric::kDotProduct
+                            ? DotOracle(query, vectors[id]) >= radius
+                            : SquaredL2Oracle(query, vectors[id]) <= radius;
+    if (within) ids.push_back(id);
+  }
+  return ids;
+}
+
+core::CandidateSet FaissKnnOracle(const core::Dataset& dataset,
+                                  core::SchemaMode mode,
+                                  const densenn::KnnSearchConfig& config) {
+  const int indexed_side = config.reverse ? 1 : 0;
+  const int query_side = config.reverse ? 0 : 1;
+  const std::vector<Vector> indexed =
+      densenn::EmbedSide(dataset, indexed_side, mode, config.clean);
+  const std::vector<Vector> queries =
+      densenn::EmbedSide(dataset, query_side, mode, config.clean);
+
+  core::CandidateSet out;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (std::uint32_t id :
+         ExactKnnOracle(indexed, queries[q], DenseMetric::kSquaredL2, config.k)) {
+      if (config.reverse) {
+        out.Add(static_cast<core::EntityId>(q), id);
+      } else {
+        out.Add(id, static_cast<core::EntityId>(q));
+      }
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+}  // namespace erb::oracle

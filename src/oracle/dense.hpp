@@ -1,0 +1,45 @@
+// Brute-force references for the dense NN methods (Section IV-D): exact kNN
+// by full pairwise distance computation with an explicit sort — no bounded
+// heap, no partitioning, no batching. The embeddings themselves are shared
+// with production (they are the input under test, not the filter), but every
+// score is recomputed with an independent replica of the float arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/candidates.hpp"
+#include "core/entity.hpp"
+#include "densenn/flat_index.hpp"
+#include "densenn/methods.hpp"
+
+namespace erb::oracle {
+
+/// Independent replicas of the production score kernels: plain ascending-d
+/// float loops, so the values are bit-identical to densenn::Dot /
+/// densenn::SquaredL2 (no fused or reassociated arithmetic on either side).
+float DotOracle(const densenn::Vector& a, const densenn::Vector& b);
+float SquaredL2Oracle(const densenn::Vector& a, const densenn::Vector& b);
+
+/// Exact kNN by definition: score the query against every vector, sort by
+/// (score descending, id ascending) and keep the first min(k, n). Ties at
+/// the k-th score resolve to the lowest ids — the pinned tie-breaking
+/// contract every production index must honor. k <= 0 returns nothing.
+std::vector<std::uint32_t> ExactKnnOracle(const std::vector<densenn::Vector>& vectors,
+                                          const densenn::Vector& query,
+                                          densenn::DenseMetric metric, int k);
+
+/// Range search by literal predicate: dot product >= radius (kDotProduct) or
+/// squared L2 distance <= radius (kSquaredL2), ids ascending.
+std::vector<std::uint32_t> RangeSearchOracle(
+    const std::vector<densenn::Vector>& vectors, const densenn::Vector& query,
+    densenn::DenseMetric metric, float radius);
+
+/// End-to-end reference for the FAISS-substitute method: embed both sides,
+/// run the exact kNN per query entity, emit pairs in canonical (E1, E2)
+/// order.
+core::CandidateSet FaissKnnOracle(const core::Dataset& dataset,
+                                  core::SchemaMode mode,
+                                  const densenn::KnnSearchConfig& config);
+
+}  // namespace erb::oracle

@@ -1,0 +1,23 @@
+#include "oracle/metrics.hpp"
+
+namespace erb::oracle {
+
+core::Effectiveness EvaluateOracle(const core::CandidateSet& candidates,
+                                   const core::Dataset& dataset) {
+  core::Effectiveness result;
+  result.candidates = candidates.size();
+  for (const auto& [id1, id2] : dataset.duplicates()) {
+    if (candidates.Contains(id1, id2)) ++result.detected;
+  }
+  const std::size_t total = dataset.NumDuplicates();
+  result.pc = total == 0 ? 1.0
+                         : static_cast<double>(result.detected) /
+                               static_cast<double>(total);
+  result.pq = result.candidates == 0
+                  ? 0.0
+                  : static_cast<double>(result.detected) /
+                        static_cast<double>(result.candidates);
+  return result;
+}
+
+}  // namespace erb::oracle

@@ -1,0 +1,20 @@
+// Reference PC/PQ evaluation: iterates the ground truth and probes the
+// candidate set — the opposite direction from the production Evaluate(),
+// which iterates candidates and probes the ground-truth hash set. Both must
+// agree exactly on every corpus case and every candidate set.
+#pragma once
+
+#include "core/candidates.hpp"
+#include "core/entity.hpp"
+#include "core/metrics.hpp"
+
+namespace erb::oracle {
+
+/// Evaluates a finalized candidate set against the dataset's ground truth by
+/// definition: detected = |{(a, b) in GT : (a, b) in C}|, PC = detected /
+/// |GT| (vacuously 1 when the ground truth is empty), PQ = detected / |C|
+/// (0 when there are no candidates). Never NaN.
+core::Effectiveness EvaluateOracle(const core::CandidateSet& candidates,
+                                   const core::Dataset& dataset);
+
+}  // namespace erb::oracle

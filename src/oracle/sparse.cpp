@@ -1,0 +1,156 @@
+#include "oracle/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace erb::oracle {
+namespace {
+
+using core::CandidateSet;
+using core::EntityId;
+using sparsenn::SimilarityMeasure;
+using sparsenn::TokenSet;
+
+// |A ∩ B| by merging the two sorted, deduplicated token vectors.
+std::size_t Overlap(const TokenSet& a, const TokenSet& b) {
+  std::size_t overlap = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++overlap;
+      ++i;
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+struct Sides {
+  std::vector<TokenSet> e1;
+  std::vector<TokenSet> e2;
+};
+
+Sides BuildSides(const core::Dataset& dataset, core::SchemaMode mode,
+                 const sparsenn::SparseConfig& config) {
+  return {sparsenn::BuildSideTokenSets(dataset, 0, mode, config.model,
+                                       config.clean),
+          sparsenn::BuildSideTokenSets(dataset, 1, mode, config.model,
+                                       config.clean)};
+}
+
+}  // namespace
+
+double TokenSetSimilarity(SimilarityMeasure measure, const TokenSet& a,
+                          const TokenSet& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const double o = static_cast<double>(Overlap(a, b));
+  switch (measure) {
+    case SimilarityMeasure::kCosine:
+      return o / std::sqrt(static_cast<double>(a.size()) * b.size());
+    case SimilarityMeasure::kDice:
+      return 2.0 * o / static_cast<double>(a.size() + b.size());
+    case SimilarityMeasure::kJaccard:
+      return o / (static_cast<double>(a.size() + b.size()) - o);
+  }
+  return 0.0;
+}
+
+CandidateSet EpsilonJoinOracle(const core::Dataset& dataset,
+                               core::SchemaMode mode,
+                               const sparsenn::SparseConfig& config,
+                               double threshold) {
+  const Sides sides = BuildSides(dataset, mode, config);
+  CandidateSet out;
+  for (EntityId i = 0; i < sides.e1.size(); ++i) {
+    for (EntityId j = 0; j < sides.e2.size(); ++j) {
+      if (TokenSetSimilarity(config.measure, sides.e1[i], sides.e2[j]) >=
+          threshold) {
+        out.Add(i, j);
+      }
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+CandidateSet KnnJoinOracle(const core::Dataset& dataset, core::SchemaMode mode,
+                           const sparsenn::SparseConfig& config, int k,
+                           bool reverse) {
+  const Sides sides = BuildSides(dataset, mode, config);
+  const std::vector<TokenSet>& queries = reverse ? sides.e1 : sides.e2;
+  const std::vector<TokenSet>& indexed = reverse ? sides.e2 : sides.e1;
+
+  CandidateSet out;
+  std::vector<std::pair<double, EntityId>> scored;
+  for (EntityId q = 0; q < queries.size(); ++q) {
+    scored.clear();
+    for (EntityId id = 0; id < indexed.size(); ++id) {
+      const double sim =
+          TokenSetSimilarity(config.measure, queries[q], indexed[id]);
+      if (sim > 0.0) scored.emplace_back(sim, id);
+    }
+    // Pinned order: descending similarity, ascending entity id on ties.
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first > b.first
+                                          : a.second < b.second;
+              });
+    int distinct = 0;
+    double previous = -1.0;
+    for (const auto& [sim, id] : scored) {
+      if (sim != previous) {
+        if (++distinct > k) break;
+        previous = sim;
+      }
+      if (reverse) {
+        out.Add(q, id);
+      } else {
+        out.Add(id, q);
+      }
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+CandidateSet GlobalTopKJoinOracle(const core::Dataset& dataset,
+                                  core::SchemaMode mode,
+                                  const sparsenn::SparseConfig& config,
+                                  std::size_t global_k) {
+  CandidateSet out;
+  if (global_k == 0) {
+    out.Finalize();
+    return out;
+  }
+  const Sides sides = BuildSides(dataset, mode, config);
+  std::vector<double> sims;
+  for (const TokenSet& a : sides.e1) {
+    for (const TokenSet& b : sides.e2) {
+      const double sim = TokenSetSimilarity(config.measure, a, b);
+      if (sim > 0.0) sims.push_back(sim);
+    }
+  }
+  if (sims.empty()) {
+    out.Finalize();
+    return out;
+  }
+  std::sort(sims.begin(), sims.end(), std::greater<>());
+  const double threshold =
+      global_k < sims.size() ? sims[global_k - 1] : sims.back();
+  for (EntityId i = 0; i < sides.e1.size(); ++i) {
+    for (EntityId j = 0; j < sides.e2.size(); ++j) {
+      const double sim =
+          TokenSetSimilarity(config.measure, sides.e1[i], sides.e2[j]);
+      if (sim > 0.0 && sim >= threshold) out.Add(i, j);
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+}  // namespace erb::oracle

@@ -1,0 +1,50 @@
+// Brute-force references for the sparse NN joins (Section IV-C): direct
+// pairwise Cosine/Dice/Jaccard over token sets, no inverted index, no
+// ScanCount, no heaps. Obviously correct by inspection; every optimized
+// implementation in src/sparsenn must produce byte-identical candidate sets
+// (tests/oracle_test.cpp).
+#pragma once
+
+#include "core/candidates.hpp"
+#include "core/entity.hpp"
+#include "sparsenn/joins.hpp"
+#include "sparsenn/tokenset.hpp"
+
+namespace erb::oracle {
+
+/// Pairwise set similarity by the literal textbook formulas: overlap via a
+/// two-pointer merge of the sorted token sets (independent of the ScanCount
+/// merge-count machinery), then Cosine = o / sqrt(|A| |B|),
+/// Dice = 2 o / (|A| + |B|), Jaccard = o / (|A| + |B| - o). Empty sets have
+/// similarity 0 under every measure.
+double TokenSetSimilarity(sparsenn::SimilarityMeasure measure,
+                          const sparsenn::TokenSet& a,
+                          const sparsenn::TokenSet& b);
+
+/// ε-Join reference: every pair (i, j) of E1 x E2 with similarity >=
+/// `threshold`. At threshold <= 0 this is the full Cartesian product —
+/// similarities are non-negative, so every pair qualifies, including pairs
+/// with no shared token.
+core::CandidateSet EpsilonJoinOracle(const core::Dataset& dataset,
+                                     core::SchemaMode mode,
+                                     const sparsenn::SparseConfig& config,
+                                     double threshold);
+
+/// kNN-Join reference. For each query entity, the indexed entities carrying
+/// the k highest *distinct* positive similarity values are retained (ties
+/// beyond position k are all kept, per the paper's definition); pairs with
+/// zero similarity are never candidates — "nearest" is defined over the
+/// overlap graph. `reverse` indexes E2 and queries with E1.
+core::CandidateSet KnnJoinOracle(const core::Dataset& dataset,
+                                 core::SchemaMode mode,
+                                 const sparsenn::SparseConfig& config, int k,
+                                 bool reverse);
+
+/// Global top-K reference: the K highest-similarity overlapping pairs across
+/// E1 x E2, ties with the K-th value all retained. K = 0 selects nothing.
+core::CandidateSet GlobalTopKJoinOracle(const core::Dataset& dataset,
+                                        core::SchemaMode mode,
+                                        const sparsenn::SparseConfig& config,
+                                        std::size_t global_k);
+
+}  // namespace erb::oracle

@@ -103,6 +103,22 @@ void OfferTopK(std::vector<double>* heap, std::size_t k, double sim) {
 
 SparseResult EpsilonJoin(const core::Dataset& dataset, core::SchemaMode mode,
                          const SparseConfig& config, double threshold) {
+  if (threshold <= 0.0) {
+    // Similarities are non-negative, so a non-positive threshold admits every
+    // pair of E1 x E2 — including pairs with no shared token, which the
+    // inverted index never surfaces.
+    SparseResult result;
+    result.timing.Measure(kPhaseQuery, [&] {
+      result.candidates.Reserve(dataset.CartesianSize());
+      for (EntityId i = 0; i < dataset.e1().size(); ++i) {
+        for (EntityId j = 0; j < dataset.e2().size(); ++j) {
+          result.candidates.Add(i, j);
+        }
+      }
+    });
+    result.candidates.Finalize();
+    return result;
+  }
   return RunJoin(dataset, mode, config, /*reverse=*/false,
                  [threshold](EntityId q,
                              const std::vector<std::pair<EntityId, double>>& matches,
@@ -120,9 +136,14 @@ SparseResult KnnJoin(const core::Dataset& dataset, core::SchemaMode mode,
       [k, reverse](EntityId q, std::vector<std::pair<EntityId, double>>& matches,
                    core::CandidateSet& candidates) {
         // Retain the entities carrying the k highest distinct similarity
-        // values; equidistant entities beyond position k are all kept.
+        // values; equidistant entities beyond position k are all kept. Ties
+        // sort by ascending entity id so the pre-Finalize emission order is
+        // pinned, not left to the sort implementation.
         std::sort(matches.begin(), matches.end(),
-                  [](const auto& a, const auto& b) { return a.second > b.second; });
+                  [](const auto& a, const auto& b) {
+                    return a.second != b.second ? a.second > b.second
+                                                : a.first < b.first;
+                  });
         int distinct_values = 0;
         double previous = -1.0;
         for (const auto& [id, sim] : matches) {
@@ -143,6 +164,13 @@ SparseResult GlobalTopKJoin(const core::Dataset& dataset, core::SchemaMode mode,
   // passes probe the same index over the same token sets, so preprocessing
   // and indexing are paid — and reported — exactly once.
   SparseResult result;
+  if (global_k == 0) {
+    // K = 0 selects nothing. Without this guard the empty pass-1 heap would
+    // fall through to the exact-match threshold below and emit every pair
+    // with similarity 1.
+    result.candidates.Finalize();
+    return result;
+  }
 
   auto indexed_sets = result.timing.Measure(kPhasePreprocess, [&] {
     return BuildSideTokenSets(dataset, 0, mode, config.model, config.clean);

@@ -1,0 +1,573 @@
+// Differential test suite: every production filtering method runs against
+// its brute-force oracle (src/oracle/) over the adversarial corpus, at 1 and
+// 8 threads, asserting byte-identical candidate sets and PC/PQ metrics.
+// The named regression tests at the bottom pin the boundary bugs this suite
+// flushed out of the original implementations.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/builders.hpp"
+#include "blocking/cleaning.hpp"
+#include "blocking/comparison.hpp"
+#include "common/parallel.hpp"
+#include "core/metrics.hpp"
+#include "datagen/csv_loader.hpp"
+#include "densenn/embedding.hpp"
+#include "densenn/flat_index.hpp"
+#include "densenn/methods.hpp"
+#include "oracle/blocking.hpp"
+#include "oracle/corpus.hpp"
+#include "oracle/dense.hpp"
+#include "oracle/metrics.hpp"
+#include "oracle/sparse.hpp"
+#include "sparsenn/joins.hpp"
+
+namespace erb {
+namespace {
+
+using blocking::BlockCollection;
+using blocking::BuilderConfig;
+using blocking::BuilderKind;
+using blocking::PruningAlgorithm;
+using blocking::WeightingScheme;
+using core::CandidateSet;
+using core::Dataset;
+using core::SchemaMode;
+using sparsenn::SimilarityMeasure;
+using sparsenn::SparseConfig;
+using sparsenn::TokenModel;
+
+constexpr std::uint64_t kCorpusSeed = 20230406;
+
+const std::vector<oracle::CorpusCase>& Corpus() {
+  static const auto* corpus =
+      new std::vector<oracle::CorpusCase>(oracle::BuildCorpus(kCorpusSeed));
+  return *corpus;
+}
+
+// Byte-identical candidate sets: the finalized pair vectors must be equal,
+// element for element.
+void ExpectSameCandidates(const CandidateSet& production,
+                          const CandidateSet& reference) {
+  EXPECT_EQ(production.pairs(), reference.pairs());
+}
+
+// The production evaluation and the reference evaluation must agree exactly
+// (and never produce NaN) for the given candidate set.
+void ExpectSameEffectiveness(const CandidateSet& candidates,
+                             const Dataset& dataset) {
+  const core::Effectiveness production = core::Evaluate(candidates, dataset);
+  const core::Effectiveness reference =
+      oracle::EvaluateOracle(candidates, dataset);
+  EXPECT_EQ(production.detected, reference.detected);
+  EXPECT_EQ(production.candidates, reference.candidates);
+  EXPECT_EQ(production.pc, reference.pc);
+  EXPECT_EQ(production.pq, reference.pq);
+  EXPECT_FALSE(std::isnan(production.pc));
+  EXPECT_FALSE(std::isnan(production.pq));
+}
+
+void ExpectSameBlocks(const BlockCollection& production,
+                      const BlockCollection& reference) {
+  ASSERT_EQ(production.size(), reference.size());
+  for (std::size_t b = 0; b < production.size(); ++b) {
+    EXPECT_EQ(production[b].e1, reference[b].e1) << "block " << b << " (E1)";
+    EXPECT_EQ(production[b].e2, reference[b].e2) << "block " << b << " (E2)";
+  }
+}
+
+// The production blocking pipeline stages applied to one case: build (each
+// tested against the canonical oracle separately), then purge + filter so
+// the comparison-cleaning differentials run on realistic mid-pipeline
+// collections with production block indices.
+BlockCollection PipelineBlocks(const Dataset& dataset) {
+  BuilderConfig config;
+  config.kind = BuilderKind::kStandard;
+  BlockCollection blocks =
+      blocking::BuildBlocks(dataset, SchemaMode::kAgnostic, config);
+  blocking::BlockPurging(&blocks, dataset.e1().size(), dataset.e2().size());
+  blocking::BlockFiltering(&blocks, 0.8, dataset.e1().size(),
+                           dataset.e2().size());
+  return blocks;
+}
+
+// Thread-count parameterization: the full differential suite runs once with
+// the pool pinned to a single thread and once fanned over 8.
+class OracleTest : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Threads, OracleTest,
+                         ::testing::Values<std::size_t>(1, 8),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return "T" + std::to_string(info.param);
+                         });
+
+TEST_P(OracleTest, CorpusStaysWithinMetaBlockingBitExactBound) {
+  for (const auto& c : Corpus()) {
+    EXPECT_LE(c.dataset.e1().size(), oracle::kMaxCorpusE1) << c.name;
+  }
+}
+
+TEST_P(OracleTest, EpsilonJoinMatchesOracle) {
+  ScopedThreadLimit limit(GetParam());
+  for (const auto& c : Corpus()) {
+    SCOPED_TRACE(c.name);
+    for (SimilarityMeasure measure :
+         {SimilarityMeasure::kCosine, SimilarityMeasure::kDice,
+          SimilarityMeasure::kJaccard}) {
+      for (TokenModel model : {TokenModel::kT1G, TokenModel::kC3GM}) {
+        for (double threshold : {0.0, 0.3, 0.5, 1.0}) {
+          SCOPED_TRACE(std::string(MeasureName(measure)) + "/" +
+                       std::string(ModelName(model)) + "/t=" +
+                       std::to_string(threshold));
+          SparseConfig config;
+          config.measure = measure;
+          config.model = model;
+          const CandidateSet production =
+              sparsenn::EpsilonJoin(c.dataset, SchemaMode::kAgnostic, config,
+                                    threshold)
+                  .candidates;
+          const CandidateSet reference = oracle::EpsilonJoinOracle(
+              c.dataset, SchemaMode::kAgnostic, config, threshold);
+          ExpectSameCandidates(production, reference);
+          ExpectSameEffectiveness(production, c.dataset);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(OracleTest, KnnJoinMatchesOracle) {
+  ScopedThreadLimit limit(GetParam());
+  for (const auto& c : Corpus()) {
+    SCOPED_TRACE(c.name);
+    for (SimilarityMeasure measure :
+         {SimilarityMeasure::kCosine, SimilarityMeasure::kJaccard}) {
+      for (TokenModel model : {TokenModel::kT1G, TokenModel::kC3G}) {
+        for (int k : {1, 2, 5}) {
+          for (bool reverse : {false, true}) {
+            SCOPED_TRACE(std::string(MeasureName(measure)) + "/" +
+                         std::string(ModelName(model)) + "/k=" +
+                         std::to_string(k) + (reverse ? "/rvs" : ""));
+            SparseConfig config;
+            config.measure = measure;
+            config.model = model;
+            const CandidateSet production =
+                sparsenn::KnnJoin(c.dataset, SchemaMode::kAgnostic, config, k,
+                                  reverse)
+                    .candidates;
+            const CandidateSet reference = oracle::KnnJoinOracle(
+                c.dataset, SchemaMode::kAgnostic, config, k, reverse);
+            ExpectSameCandidates(production, reference);
+            ExpectSameEffectiveness(production, c.dataset);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(OracleTest, GlobalTopKJoinMatchesOracle) {
+  ScopedThreadLimit limit(GetParam());
+  for (const auto& c : Corpus()) {
+    SCOPED_TRACE(c.name);
+    for (std::size_t global_k : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                                 std::size_t{1000}}) {
+      SCOPED_TRACE("K=" + std::to_string(global_k));
+      SparseConfig config;
+      config.model = TokenModel::kT1G;
+      const CandidateSet production =
+          sparsenn::GlobalTopKJoin(c.dataset, SchemaMode::kAgnostic, config,
+                                   global_k)
+              .candidates;
+      const CandidateSet reference = oracle::GlobalTopKJoinOracle(
+          c.dataset, SchemaMode::kAgnostic, config, global_k);
+      ExpectSameCandidates(production, reference);
+      ExpectSameEffectiveness(production, c.dataset);
+    }
+  }
+}
+
+TEST_P(OracleTest, BlockBuildersMatchOracle) {
+  ScopedThreadLimit limit(GetParam());
+  for (const auto& c : Corpus()) {
+    SCOPED_TRACE(c.name);
+    for (BuilderKind kind :
+         {BuilderKind::kStandard, BuilderKind::kQGrams,
+          BuilderKind::kExtendedQGrams, BuilderKind::kSuffixArrays,
+          BuilderKind::kExtendedSuffixArrays}) {
+      SCOPED_TRACE(blocking::BuilderName(kind));
+      BuilderConfig config;
+      config.kind = kind;
+      config.q = 3;
+      config.t = 0.9;
+      config.l_min = 2;
+      config.b_max = 8;  // small enough that the proactive bound is live
+      const auto production = oracle::CanonicalBlocks(
+          blocking::BuildBlocks(c.dataset, SchemaMode::kAgnostic, config));
+      const auto reference = oracle::CanonicalBlocks(
+          oracle::BuildBlocksOracle(c.dataset, SchemaMode::kAgnostic, config));
+      EXPECT_EQ(production, reference);
+    }
+  }
+}
+
+TEST_P(OracleTest, BlockPurgingMatchesOracle) {
+  ScopedThreadLimit limit(GetParam());
+  for (const auto& c : Corpus()) {
+    SCOPED_TRACE(c.name);
+    for (BuilderKind kind : {BuilderKind::kStandard, BuilderKind::kQGrams}) {
+      SCOPED_TRACE(blocking::BuilderName(kind));
+      BuilderConfig config;
+      config.kind = kind;
+      const BlockCollection built =
+          blocking::BuildBlocks(c.dataset, SchemaMode::kAgnostic, config);
+      BlockCollection production = built;
+      BlockCollection reference = built;
+      blocking::BlockPurging(&production, c.dataset.e1().size(),
+                             c.dataset.e2().size());
+      oracle::BlockPurgingOracle(&reference, c.dataset.e1().size(),
+                                 c.dataset.e2().size());
+      ExpectSameBlocks(production, reference);
+    }
+  }
+}
+
+TEST_P(OracleTest, BlockFilteringMatchesOracle) {
+  ScopedThreadLimit limit(GetParam());
+  for (const auto& c : Corpus()) {
+    SCOPED_TRACE(c.name);
+    for (double ratio : {0.5, 0.8}) {
+      SCOPED_TRACE("ratio=" + std::to_string(ratio));
+      BuilderConfig config;
+      config.kind = BuilderKind::kQGrams;
+      const BlockCollection built =
+          blocking::BuildBlocks(c.dataset, SchemaMode::kAgnostic, config);
+      BlockCollection production = built;
+      BlockCollection reference = built;
+      blocking::BlockFiltering(&production, ratio, c.dataset.e1().size(),
+                               c.dataset.e2().size());
+      oracle::BlockFilteringOracle(&reference, ratio, c.dataset.e1().size(),
+                                   c.dataset.e2().size());
+      ExpectSameBlocks(production, reference);
+    }
+  }
+}
+
+TEST_P(OracleTest, ComparisonPropagationMatchesOracle) {
+  ScopedThreadLimit limit(GetParam());
+  for (const auto& c : Corpus()) {
+    SCOPED_TRACE(c.name);
+    const BlockCollection blocks = PipelineBlocks(c.dataset);
+    const CandidateSet production = blocking::ComparisonPropagation(
+        blocks, c.dataset.e1().size(), c.dataset.e2().size());
+    const CandidateSet reference = oracle::ComparisonPropagationOracle(
+        blocks, c.dataset.e1().size(), c.dataset.e2().size());
+    ExpectSameCandidates(production, reference);
+    ExpectSameEffectiveness(production, c.dataset);
+  }
+}
+
+TEST_P(OracleTest, MetaBlockingMatchesOracle) {
+  ScopedThreadLimit limit(GetParam());
+  for (const auto& c : Corpus()) {
+    SCOPED_TRACE(c.name);
+    const BlockCollection blocks = PipelineBlocks(c.dataset);
+    for (WeightingScheme scheme :
+         {WeightingScheme::kArcs, WeightingScheme::kCbs, WeightingScheme::kEcbs,
+          WeightingScheme::kJs, WeightingScheme::kEjs,
+          WeightingScheme::kChiSquared}) {
+      for (PruningAlgorithm pruning :
+           {PruningAlgorithm::kBlast, PruningAlgorithm::kCep,
+            PruningAlgorithm::kCnp, PruningAlgorithm::kRcnp,
+            PruningAlgorithm::kRwnp, PruningAlgorithm::kWep,
+            PruningAlgorithm::kWnp}) {
+        SCOPED_TRACE(std::string(blocking::SchemeName(scheme)) + "/" +
+                     std::string(blocking::PruningName(pruning)));
+        const CandidateSet production =
+            blocking::MetaBlocking(blocks, c.dataset.e1().size(),
+                                   c.dataset.e2().size(), scheme, pruning);
+        const CandidateSet reference =
+            oracle::MetaBlockingOracle(blocks, c.dataset.e1().size(),
+                                       c.dataset.e2().size(), scheme, pruning);
+        ExpectSameCandidates(production, reference);
+        ExpectSameEffectiveness(production, c.dataset);
+      }
+    }
+  }
+}
+
+TEST_P(OracleTest, DenseKnnSearchMatchesOracle) {
+  ScopedThreadLimit limit(GetParam());
+  for (const auto& c : Corpus()) {
+    SCOPED_TRACE(c.name);
+    const auto indexed = densenn::EmbedSide(c.dataset, 0, SchemaMode::kAgnostic,
+                                            /*clean=*/false);
+    const auto queries = densenn::EmbedSide(c.dataset, 1, SchemaMode::kAgnostic,
+                                            /*clean=*/false);
+    for (densenn::DenseMetric metric :
+         {densenn::DenseMetric::kSquaredL2, densenn::DenseMetric::kDotProduct}) {
+      const densenn::FlatIndex index(indexed, metric);
+      for (int k : {1, 3, 10}) {
+        SCOPED_TRACE("k=" + std::to_string(k));
+        const auto batch = index.SearchBatch(queries, k);
+        ASSERT_EQ(batch.size(), queries.size());
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+          EXPECT_EQ(batch[q],
+                    oracle::ExactKnnOracle(indexed, queries[q], metric, k))
+              << "query " << q;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(OracleTest, DenseRangeSearchMatchesOracle) {
+  ScopedThreadLimit limit(GetParam());
+  for (const auto& c : Corpus()) {
+    SCOPED_TRACE(c.name);
+    const auto indexed = densenn::EmbedSide(c.dataset, 0, SchemaMode::kAgnostic,
+                                            /*clean=*/false);
+    const auto queries = densenn::EmbedSide(c.dataset, 1, SchemaMode::kAgnostic,
+                                            /*clean=*/false);
+    const densenn::FlatIndex l2_index(indexed, densenn::DenseMetric::kSquaredL2);
+    const densenn::FlatIndex dot_index(indexed, densenn::DenseMetric::kDotProduct);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      for (float radius : {0.5f, 2.0f}) {
+        EXPECT_EQ(l2_index.RangeSearch(queries[q], radius),
+                  oracle::RangeSearchOracle(indexed, queries[q],
+                                            densenn::DenseMetric::kSquaredL2,
+                                            radius))
+            << "query " << q;
+      }
+      EXPECT_EQ(dot_index.RangeSearch(queries[q], 0.6f),
+                oracle::RangeSearchOracle(indexed, queries[q],
+                                          densenn::DenseMetric::kDotProduct,
+                                          0.6f))
+          << "query " << q;
+    }
+  }
+}
+
+TEST_P(OracleTest, FaissKnnMatchesOracle) {
+  ScopedThreadLimit limit(GetParam());
+  for (const auto& c : Corpus()) {
+    SCOPED_TRACE(c.name);
+    for (bool reverse : {false, true}) {
+      for (bool clean : {false, true}) {
+        SCOPED_TRACE(std::string(reverse ? "rvs" : "fwd") +
+                     (clean ? "/clean" : ""));
+        densenn::KnnSearchConfig config;
+        config.k = 2;
+        config.reverse = reverse;
+        config.clean = clean;
+        const CandidateSet production =
+            densenn::FaissKnn(c.dataset, SchemaMode::kAgnostic, config)
+                .candidates;
+        const CandidateSet reference =
+            oracle::FaissKnnOracle(c.dataset, SchemaMode::kAgnostic, config);
+        ExpectSameCandidates(production, reference);
+        ExpectSameEffectiveness(production, c.dataset);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Named regression tests for the bugs the differential suite flushed out.
+// ---------------------------------------------------------------------------
+
+const Dataset& TiesDataset() {
+  for (const auto& c : Corpus()) {
+    if (c.name == "similarity-ties") return c.dataset;
+  }
+  ADD_FAILURE() << "similarity-ties case missing from corpus";
+  static const Dataset empty;
+  return empty;
+}
+
+// GlobalTopKJoin used to fall through to an exact-match threshold of 1.0
+// when K = 0 (the empty pass-1 heap), emitting every similarity-1 pair
+// instead of nothing.
+TEST(OracleRegressionTest, GlobalTopKZeroSelectsNothing) {
+  SparseConfig config;
+  config.model = TokenModel::kT1G;
+  const auto result = sparsenn::GlobalTopKJoin(
+      TiesDataset(), SchemaMode::kAgnostic, config, /*global_k=*/0);
+  EXPECT_TRUE(result.candidates.empty());
+}
+
+// EpsilonJoin used to return only overlapping pairs at threshold 0, because
+// the inverted index never surfaces zero-overlap pairs; the literal
+// predicate sim >= 0 admits the full Cartesian product.
+TEST(OracleRegressionTest, EpsilonJoinZeroThresholdIsCartesian) {
+  const Dataset& dataset = TiesDataset();
+  SparseConfig config;
+  config.model = TokenModel::kT1G;
+  const auto result =
+      sparsenn::EpsilonJoin(dataset, SchemaMode::kAgnostic, config, 0.0);
+  EXPECT_EQ(result.candidates.size(), dataset.CartesianSize());
+  // ("aa bb", "dd") shares no token — exactly the kind of pair the index
+  // path missed.
+  EXPECT_TRUE(result.candidates.Contains(0, 4));
+}
+
+// kNN-Join defines k over *distinct* similarity values: neighbors tied with
+// the k-th value are all retained, and the tie order is pinned to ascending
+// entity id.
+TEST(OracleRegressionTest, KnnJoinRetainsAllTiedNeighbors) {
+  const Dataset& dataset = TiesDataset();
+  SparseConfig config;
+  config.model = TokenModel::kT1G;
+  config.measure = SimilarityMeasure::kJaccard;
+  // Query "aa bb cc" (E2 id 3) has Jaccard 2/3 with E1 ids 0, 1 and 2 alike;
+  // k = 1 must keep all three.
+  const auto result = sparsenn::KnnJoin(dataset, SchemaMode::kAgnostic, config,
+                                        /*k=*/1, /*reverse=*/false);
+  EXPECT_TRUE(result.candidates.Contains(0, 3));
+  EXPECT_TRUE(result.candidates.Contains(1, 3));
+  EXPECT_TRUE(result.candidates.Contains(2, 3));
+}
+
+// Dense top-k boundary ties resolve to the lowest entity ids.
+TEST(OracleRegressionTest, DenseTopKBoundaryTiesKeepLowestIds) {
+  const std::vector<densenn::Vector> vectors = {
+      {1.0f, 0.0f}, {1.0f, 0.0f}, {1.0f, 0.0f}, {0.0f, 1.0f}};
+  for (densenn::DenseMetric metric :
+       {densenn::DenseMetric::kSquaredL2, densenn::DenseMetric::kDotProduct}) {
+    const densenn::FlatIndex index(vectors, metric);
+    const std::vector<std::uint32_t> expected = {0, 1};
+    EXPECT_EQ(index.Search({1.0f, 0.0f}, 2), expected);
+    EXPECT_EQ(oracle::ExactKnnOracle(vectors, {1.0f, 0.0f}, metric, 2),
+              expected);
+  }
+}
+
+class CsvLoaderRegressionTest : public ::testing::Test {
+ protected:
+  std::string Write(const std::string& name, const std::string& content) {
+    const std::string path = testing::TempDir() + "/oracle_csv_" + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+    return path;
+  }
+};
+
+// The loader used to conflate records made of quoted empty fields with blank
+// lines and silently drop them — including a final record cut off at EOF.
+TEST_F(CsvLoaderRegressionTest, QuotedEmptyRecordIsNotABlankLine) {
+  const std::string e1 = Write("e1a.csv",
+                               "id,name\n"
+                               "1,alpha\n"
+                               "\n"             // true blank line: skipped
+                               "2,beta\n"
+                               "\"\"\n");       // record with a quoted empty id
+  const std::string e2 = Write("e2a.csv", "id,name\n9,alpha\n");
+  const std::string gt = Write("gta.csv", "id1,id2\n1,9\n");
+  const auto dataset = datagen::LoadCsvDataset("quoted-empty", e1, e2, gt, "name");
+  EXPECT_EQ(dataset.e1().size(), 3u);
+  EXPECT_EQ(dataset.e2().size(), 1u);
+  EXPECT_EQ(dataset.NumDuplicates(), 1u);
+}
+
+TEST_F(CsvLoaderRegressionTest, UnterminatedQuoteAtEofKeepsFinalRecord) {
+  const std::string e1 = Write("e1b.csv",
+                               "id,name\n"
+                               "1,alpha\n"
+                               "2,\"bet");  // EOF inside the quoted field
+  const std::string e2 = Write("e2b.csv", "id,name\n9,alpha\n");
+  const std::string gt = Write("gtb.csv", "id1,id2\n2,9\n");
+  const auto dataset =
+      datagen::LoadCsvDataset("unterminated", e1, e2, gt, "name");
+  ASSERT_EQ(dataset.e1().size(), 2u);
+  EXPECT_EQ(dataset.e1()[1].attributes.at(0).value, "bet");
+  EXPECT_EQ(dataset.NumDuplicates(), 1u);
+}
+
+// ERB_THREADS parsing: reject junk, zero, negatives and absurd values with a
+// clear fallback instead of honouring whatever strtol happened to return.
+TEST(ParseThreadCountTest, AcceptsOnlySaneValues) {
+  constexpr std::size_t kFallback = 7;
+  EXPECT_EQ(ParseThreadCount("8", kFallback), 8u);
+  EXPECT_EQ(ParseThreadCount("1", kFallback), 1u);
+  EXPECT_EQ(ParseThreadCount(" 8 \n", kFallback), 8u);
+  EXPECT_EQ(ParseThreadCount("4096", kFallback), 4096u);
+  EXPECT_EQ(ParseThreadCount(nullptr, kFallback), kFallback);
+  EXPECT_EQ(ParseThreadCount("", kFallback), kFallback);
+  EXPECT_EQ(ParseThreadCount("0", kFallback), kFallback);
+  EXPECT_EQ(ParseThreadCount("-3", kFallback), kFallback);
+  EXPECT_EQ(ParseThreadCount("abc", kFallback), kFallback);
+  EXPECT_EQ(ParseThreadCount("3abc", kFallback), kFallback);
+  EXPECT_EQ(ParseThreadCount("4097", kFallback), kFallback);
+  // Overflows strtol on every platform (errno = ERANGE).
+  EXPECT_EQ(ParseThreadCount("999999999999999999999999", kFallback), kFallback);
+}
+
+core::EntityProfile NamedProfile(const std::string& value) {
+  core::EntityProfile profile;
+  profile.attributes.push_back({"name", value});
+  return profile;
+}
+
+// Metrics degenerate cases: PC/PQ are always finite, an empty ground truth
+// is vacuously complete, and repeated ground-truth rows collapse so PC can
+// reach 1.
+TEST(MetricsRegressionTest, ZeroCandidatesGiveFiniteZeroes) {
+  const Dataset dataset("gt", {NamedProfile("a")}, {NamedProfile("a")},
+                        {{0, 0}}, "name");
+  CandidateSet empty;
+  empty.Finalize();
+  const auto production = core::Evaluate(empty, dataset);
+  EXPECT_EQ(production.pc, 0.0);
+  EXPECT_EQ(production.pq, 0.0);
+  ExpectSameEffectiveness(empty, dataset);
+}
+
+TEST(MetricsRegressionTest, EmptyGroundTruthIsVacuouslyComplete) {
+  const Dataset dataset("no-gt", {NamedProfile("a")}, {NamedProfile("b")}, {},
+                        "name");
+  CandidateSet candidates;
+  candidates.Add(0, 0);
+  candidates.Finalize();
+  const auto production = core::Evaluate(candidates, dataset);
+  EXPECT_EQ(production.pc, 1.0);
+  EXPECT_EQ(production.pq, 0.0);
+  EXPECT_FALSE(std::isnan(production.pc));
+  ExpectSameEffectiveness(candidates, dataset);
+}
+
+TEST(MetricsRegressionTest, SupersetOfDuplicatesReachesFullRecall) {
+  const Dataset dataset("full", {NamedProfile("a"), NamedProfile("b")},
+                        {NamedProfile("a"), NamedProfile("b")},
+                        {{0, 0}, {1, 1}}, "name");
+  CandidateSet cartesian;
+  for (core::EntityId i = 0; i < 2; ++i) {
+    for (core::EntityId j = 0; j < 2; ++j) cartesian.Add(i, j);
+  }
+  cartesian.Finalize();
+  const auto production = core::Evaluate(cartesian, dataset);
+  EXPECT_EQ(production.pc, 1.0);
+  EXPECT_EQ(production.pq, 0.5);
+  ExpectSameEffectiveness(cartesian, dataset);
+}
+
+TEST(MetricsRegressionTest, RepeatedGroundTruthRowsCollapse) {
+  const Dataset dataset("dup-gt", {NamedProfile("a")},
+                        {NamedProfile("a"), NamedProfile("b")},
+                        {{0, 0}, {0, 0}, {0, 1}}, "name");
+  EXPECT_EQ(dataset.NumDuplicates(), 2u);
+  CandidateSet candidates;
+  candidates.Add(0, 0);
+  candidates.Add(0, 1);
+  candidates.Finalize();
+  const auto production = core::Evaluate(candidates, dataset);
+  EXPECT_EQ(production.pc, 1.0);  // was capped at 2/3 before the collapse
+  ExpectSameEffectiveness(candidates, dataset);
+}
+
+}  // namespace
+}  // namespace erb
