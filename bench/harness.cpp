@@ -12,6 +12,8 @@
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
 #include "datagen/registry.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 namespace erb::bench {
 namespace {
@@ -19,6 +21,11 @@ namespace {
 // ---------------------------------------------------------------------------
 // On-disk result cache shared by all bench binaries.
 // ---------------------------------------------------------------------------
+
+// Bump whenever the serialized TunedResult layout or the semantics of any
+// field change. Entries with a different (or missing) version are ignored
+// with a stderr note instead of being deserialized into garbage.
+constexpr int kCacheFormatVersion = 2;
 
 std::string CacheDir() {
   const char* dir = std::getenv("ERBENCH_CACHE_DIR");
@@ -41,6 +48,16 @@ bool LoadCachedResult(const std::string& path, tuning::TunedResult* result) {
   std::ifstream in(path);
   if (!in) return false;
   std::string line;
+  // The first line must declare a matching format version; legacy files
+  // (no version line) predate the field and are equally unreadable.
+  if (!std::getline(in, line) ||
+      line != "version\t" + std::to_string(kCacheFormatVersion)) {
+    std::fprintf(stderr,
+                 "[cache] ignoring %s: format version mismatch "
+                 "(want %d); it will be regenerated\n",
+                 path.c_str(), kCacheFormatVersion);
+    return false;
+  }
   while (std::getline(in, line)) {
     const auto sep = line.find('\t');
     if (sep == std::string::npos) continue;
@@ -75,6 +92,7 @@ void StoreCachedResult(const std::string& path, const tuning::TunedResult& resul
   ::mkdir(CacheDir().c_str(), 0755);
   std::ofstream out(path);
   if (!out) return;
+  out << "version\t" << kCacheFormatVersion << "\n";
   out << "method\t" << result.method << "\n";
   out << "config\t" << result.config << "\n";
   out << "pc\t" << result.eff.pc << "\n";
@@ -109,6 +127,10 @@ struct JsonRecord {
   std::string setting;
   std::size_t threads;  // pool size the record was produced with
   tuning::TunedResult result;
+  // Collector stats for this run: counter deltas attributable to it, the
+  // gauges as of its end, and the process peak RSS. Empty (apart from RSS)
+  // when tracing is off.
+  obs::Snapshot stats;
 };
 
 // Both singletons are leaked: FlushJson runs from atexit, which would race
@@ -172,13 +194,13 @@ void FlushJson() {
       first_phase = false;
       out << "\"" << JsonEscape(phase) << "\": " << ms;
     }
-    out << "}}";
+    out << "}, \"stats\": " << obs::StatsJson(record.stats) << "}";
   }
   out << "\n]\n";
 }
 
 void RecordJson(tuning::MethodId id, const Setting& setting,
-                const tuning::TunedResult& result) {
+                const tuning::TunedResult& result, const obs::Snapshot& stats) {
   if (JsonPath().empty()) return;
   static const bool registered = [] {
     std::atexit(FlushJson);
@@ -186,7 +208,40 @@ void RecordJson(tuning::MethodId id, const Setting& setting,
   }();
   (void)registered;
   JsonRecords().push_back({std::string(tuning::MethodName(id)),
-                           setting.Label(), NumThreads(), result});
+                           setting.Label(), NumThreads(), result, stats});
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace output (ERB_TRACE / --trace).
+// ---------------------------------------------------------------------------
+
+// Leaked for the same atexit reason as the JSON singletons.
+std::string& TracePath() {
+  static std::string* path = new std::string([] {
+    const char* env = std::getenv("ERB_TRACE_OUT");
+    return env != nullptr && *env != '\0' ? std::string(env)
+                                          : std::string("erb_trace.json");
+  }());
+  return *path;
+}
+
+void FlushTrace() {
+  if (!obs::TraceEnabled()) return;
+  const obs::Snapshot snapshot = obs::Collect();
+  if (!obs::WriteChromeTraceFile(snapshot, TracePath())) {
+    std::fprintf(stderr, "cannot write %s\n", TracePath().c_str());
+    return;
+  }
+  std::fprintf(stderr, "[trace] %zu spans -> %s\n", snapshot.spans.size(),
+               TracePath().c_str());
+}
+
+void RegisterTraceFlush() {
+  static const bool registered = [] {
+    std::atexit(FlushTrace);
+    return true;
+  }();
+  (void)registered;
 }
 
 }  // namespace
@@ -198,14 +253,22 @@ void InitBench(int argc, char** argv) {
       SetNumThreads(std::strtoull(arg.c_str() + 10, nullptr, 10));
     } else if (arg.rfind("--json=", 0) == 0) {
       JsonPath() = arg.substr(7);
+    } else if (arg == "--trace") {
+      obs::SetTraceEnabled(true);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      obs::SetTraceEnabled(true);
+      TracePath() = arg.substr(8);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--threads=N] [--json=PATH]\n"
+                   "usage: %s [--threads=N] [--json=PATH] [--trace[=PATH]]\n"
                    "unknown argument: %s\n",
                    argv[0], arg.c_str());
       std::exit(2);
     }
   }
+  // Covers both the flag and ERB_TRACE=1; registering when tracing is off
+  // would be harmless (FlushTrace no-ops) but pointless.
+  if (obs::TraceEnabled()) RegisterTraceFlush();
 }
 
 std::string Setting::Label() const {
@@ -266,6 +329,9 @@ const core::Dataset& CachedDataset(int index) {
   static std::map<int, core::Dataset> cache;
   auto it = cache.find(index);
   if (it == cache.end()) {
+    // Generation shows up in the trace under its own span, clearly separated
+    // from any method's timed phases.
+    obs::Span span("dataset/generate");
     it = cache.emplace(index, datagen::MakeBenchDataset(index)).first;
   }
   return it->second;
@@ -280,6 +346,7 @@ const tuning::TunedResult& CachedRun(tuning::MethodId id, const Setting& setting
   if (it == cache.end()) {
     const std::string path = CachePath(id, setting);
     tuning::TunedResult result;
+    obs::Snapshot stats;
     if (LoadCachedResult(path, &result)) {
       std::fprintf(stderr, "[cache] %-12s %s\n",
                    std::string(tuning::MethodName(id)).c_str(),
@@ -288,11 +355,28 @@ const tuning::TunedResult& CachedRun(tuning::MethodId id, const Setting& setting
       std::fprintf(stderr, "[run] %-12s %s ...\n",
                    std::string(tuning::MethodName(id)).c_str(),
                    setting.Label().c_str());
-      result = tuning::RunMethod(id, CachedDataset(setting.dataset_index),
-                                 setting.mode, tuning::GridOptions::FromEnv());
+      // The dataset's first touch (generation) must happen before the run
+      // span opens and before any method timer starts: RT is wall-clock
+      // between receiving profiles and emitting candidates, excluding data
+      // loading (common/timer.hpp).
+      const core::Dataset& dataset = CachedDataset(setting.dataset_index);
+      const auto counters_before = obs::CounterSnapshot();
+      {
+        obs::Span span("run/" + std::string(tuning::MethodName(id)) + "/" +
+                       setting.Label());
+        result = tuning::RunMethod(id, dataset, setting.mode,
+                                   tuning::GridOptions::FromEnv());
+      }
+      stats = obs::Collect();
+      for (const auto& [name, before] : counters_before) {
+        auto sit = stats.counters.find(name);
+        if (sit != stats.counters.end()) sit->second -= before;
+      }
       StoreCachedResult(path, result);
     }
-    RecordJson(id, setting, result);
+    stats.spans.clear();  // JSON records carry scalars; spans go to the trace
+    stats.peak_rss_bytes = obs::PeakRssBytes();
+    RecordJson(id, setting, result, stats);
     it = cache.emplace(key, std::move(result)).first;
   }
   return it->second;

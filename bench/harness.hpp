@@ -9,6 +9,10 @@
 //   ERBENCH_FULL_GRID=1        the exact parameter grids of Tables III-V
 //   ERBENCH_REPS=10            repetitions for stochastic methods
 //   ERBENCH_JSON=out.json      machine-readable results (see InitBench)
+//   ERB_TRACE=1                record trace spans/counters (src/obs/)
+//   ERB_TRACE_OUT=trace.json   Chrome trace output path (default:
+//                              erb_trace.json; open in chrome://tracing or
+//                              Perfetto)
 #pragma once
 
 #include <optional>
@@ -36,7 +40,11 @@ struct Setting {
 ///   --json=PATH  write every result produced this run as a JSON array to
 ///                PATH at exit (ERBENCH_JSON=PATH is the env equivalent;
 ///                the flag wins). Each record carries the thread count it
-///                was measured with.
+///                was measured with plus a "stats" block of collector
+///                counters/gauges and the peak RSS.
+///   --trace[=PATH]  enable the obs collector (like ERB_TRACE=1) and write
+///                a Chrome trace_event JSON to PATH (default: ERB_TRACE_OUT
+///                or erb_trace.json) at exit.
 /// Call at the top of main. Unknown --flags print usage and exit.
 void InitBench(int argc, char** argv);
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/trace.hpp"
+
 namespace erb::blocking {
 
 std::string WorkflowConfig::Describe() const {
@@ -41,6 +43,7 @@ WorkflowResult RunWorkflow(const core::Dataset& dataset, core::SchemaMode mode,
     return BuildBlocks(dataset, mode, config.builder);
   });
   result.blocks_built = blocks.size();
+  obs::CounterAdd("blocking.blocks_built", blocks.size());
 
   if (config.block_purging) {
     result.timing.Measure(kPhasePurge, [&] { BlockPurging(&blocks, n1, n2); });
@@ -50,10 +53,12 @@ WorkflowResult RunWorkflow(const core::Dataset& dataset, core::SchemaMode mode,
                           [&] { BlockFiltering(&blocks, config.filter_ratio, n1, n2); });
   }
   result.blocks_after_cleaning = blocks.size();
+  obs::GaugeSet("blocking.blocks_after_cleaning", blocks.size());
 
   result.candidates = result.timing.Measure(kPhaseClean, [&] {
     return CleanComparisons(blocks, n1, n2, config.cleaning);
   });
+  obs::CounterAdd("blocking.candidates", result.candidates.size());
   return result;
 }
 

@@ -7,6 +7,8 @@
 #include <map>
 #include <string>
 
+#include "obs/phase.hpp"
+
 namespace erb {
 
 /// Simple monotonic stopwatch. RT in the paper is wall-clock time between
@@ -29,41 +31,34 @@ class Timer {
 
 /// Accumulates named phase durations, e.g. block building vs comparison
 /// cleaning, or preprocess/index/query for NN methods (Figures 7-9).
+///
+/// Compatibility shim over obs::PhaseAccumulator: measurements land in the
+/// obs collector's per-thread buffers, so Measure/Add are safe to call from
+/// inside ParallelFor bodies, recording survives exceptions thrown by `fn`
+/// (the RAII guard fires during unwinding), and every Measure call site
+/// doubles as a trace span when ERB_TRACE=1.
 class PhaseTimer {
  public:
   /// Measures `fn` and adds its duration to phase `name`. Returns fn().
+  /// The duration is recorded even if `fn` throws.
   template <typename Fn>
   auto Measure(const std::string& name, Fn&& fn) {
-    Timer t;
-    if constexpr (std::is_void_v<decltype(fn())>) {
-      fn();
-      phases_[name] += t.ElapsedMs();
-    } else {
-      auto result = fn();
-      phases_[name] += t.ElapsedMs();
-      return result;
-    }
+    obs::ScopedPhase phase(&acc_, name);
+    return fn();
   }
 
-  void Add(const std::string& name, double ms) { phases_[name] += ms; }
+  void Add(const std::string& name, double ms) { acc_.Add(name, ms); }
 
-  double Get(const std::string& name) const {
-    auto it = phases_.find(name);
-    return it == phases_.end() ? 0.0 : it->second;
-  }
+  double Get(const std::string& name) const { return acc_.Get(name); }
 
-  double TotalMs() const {
-    double total = 0.0;
-    for (const auto& [_, ms] : phases_) total += ms;
-    return total;
-  }
+  double TotalMs() const { return acc_.TotalMs(); }
 
-  const std::map<std::string, double>& phases() const { return phases_; }
+  const std::map<std::string, double>& phases() const { return acc_.phases(); }
 
-  void Clear() { phases_.clear(); }
+  void Clear() { acc_.Clear(); }
 
  private:
-  std::map<std::string, double> phases_;
+  obs::PhaseAccumulator acc_;
 };
 
 }  // namespace erb

@@ -11,6 +11,7 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "densenn/embedding.hpp"
+#include "obs/trace.hpp"
 
 namespace erb::densenn {
 namespace {
@@ -221,8 +222,11 @@ DenseResult RunAngularLsh(const core::Dataset& dataset, core::SchemaMode mode,
         [](core::CandidateSet& into, core::CandidateSet&& from) {
           into.Merge(std::move(from));
         });
+    // Sort + dedup is part of emitting candidates: keep it inside timed RT.
+    result.candidates.Finalize();
   });
-  result.candidates.Finalize();
+  obs::GaugeSet("dense.index_vectors", vectors1.size());
+  obs::CounterAdd("dense.candidates", result.candidates.size());
   return result;
 }
 

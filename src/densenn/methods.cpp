@@ -1,6 +1,7 @@
 #include "densenn/methods.hpp"
 
 #include "densenn/flat_index.hpp"
+#include "obs/trace.hpp"
 
 namespace erb::densenn {
 namespace {
@@ -37,8 +38,10 @@ DenseResult RunKnnMethod(const core::Dataset& dataset, core::SchemaMode mode,
   result.timing.Measure(kPhaseTrain,
                         [&] { transform(&indexed_vectors, &query_vectors); });
 
+  const std::size_t indexed_count = indexed_vectors.size();
   auto index = result.timing.Measure(
       kPhaseIndex, [&] { return make_index(std::move(indexed_vectors)); });
+  obs::GaugeSet("dense.index_vectors", indexed_count);
 
   result.timing.Measure(kPhaseQuery, [&] {
     // The batch fans the searches across the thread pool; emission stays
@@ -51,8 +54,10 @@ DenseResult RunKnnMethod(const core::Dataset& dataset, core::SchemaMode mode,
                  id);
       }
     }
+    // Sort + dedup is part of emitting candidates: keep it inside timed RT.
+    result.candidates.Finalize();
   });
-  result.candidates.Finalize();
+  obs::CounterAdd("dense.candidates", result.candidates.size());
   return result;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/hash.hpp"
 #include "common/parallel.hpp"
+#include "obs/trace.hpp"
 #include "text/clean.hpp"
 
 namespace erb::densenn {
@@ -137,8 +138,11 @@ DenseResult MinHashLsh(const core::Dataset& dataset, core::SchemaMode mode,
         [](core::CandidateSet& into, core::CandidateSet&& from) {
           into.Merge(std::move(from));
         });
+    // Sort + dedup is part of emitting candidates: keep it inside timed RT.
+    result.candidates.Finalize();
   });
-  result.candidates.Finalize();
+  obs::GaugeSet("dense.index_vectors", shingles1.size());
+  obs::CounterAdd("dense.candidates", result.candidates.size());
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "densenn/embedding.hpp"
+#include "obs/trace.hpp"
 #include "text/clean.hpp"
 #include "densenn/flat_index.hpp"
 #include "sparsenn/scancount.hpp"
@@ -142,6 +143,7 @@ DirtyResult DirtyBlockingWorkflow(const DirtyDataset& dataset,
     }
     result.candidates.Finalize();
   });
+  obs::CounterAdd("dirty.candidates", result.candidates.size());
   return result;
 }
 
@@ -182,6 +184,7 @@ DirtyResult DirtyKnnJoin(const DirtyDataset& dataset, core::SchemaMode mode,
     }
     result.candidates.Finalize();
   });
+  obs::CounterAdd("dirty.candidates", result.candidates.size());
   return result;
 }
 
@@ -212,6 +215,7 @@ DirtyResult DirtyEpsilonJoin(const DirtyDataset& dataset, core::SchemaMode mode,
     }
     result.candidates.Finalize();
   });
+  obs::CounterAdd("dirty.candidates", result.candidates.size());
   return result;
 }
 
@@ -238,6 +242,7 @@ DirtyResult DirtyDenseKnn(const DirtyDataset& dataset, core::SchemaMode mode,
     }
     result.candidates.Finalize();
   });
+  obs::CounterAdd("dirty.candidates", result.candidates.size());
   return result;
 }
 

@@ -1,0 +1,117 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace erb::obs {
+namespace {
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Nanoseconds as trace_event microseconds with fixed 3-decimal precision,
+/// so output bytes don't depend on locale or stream state.
+std::string Micros(std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+void WriteChromeTrace(const Snapshot& snapshot, std::ostream& out) {
+  // Counter samples are stamped at the end of the last span so they appear
+  // at the right edge of the timeline.
+  std::uint64_t end_ns = 0;
+  for (const auto& span : snapshot.spans) {
+    end_ns = std::max(end_ns, span.start_ns + span.duration_ns);
+  }
+
+  out << "{\n";
+  out << "  \"displayTimeUnit\": \"ms\",\n";
+  out << "  \"otherData\": {\"peak_rss_bytes\": " << snapshot.peak_rss_bytes
+      << "},\n";
+  out << "  \"traceEvents\": [";
+  bool first = true;
+  for (const auto& span : snapshot.spans) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"name\": \"" << JsonEscape(span.name)
+        << "\", \"cat\": \"erb\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+        << span.tid << ", \"ts\": " << Micros(span.start_ns)
+        << ", \"dur\": " << Micros(span.duration_ns) << "}";
+  }
+  for (const auto& [name, value] : snapshot.counters) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"name\": \"" << JsonEscape(name)
+        << "\", \"cat\": \"erb\", \"ph\": \"C\", \"pid\": 1, \"tid\": 0, "
+        << "\"ts\": " << Micros(end_ns) << ", \"args\": {\"value\": " << value
+        << "}}";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"name\": \"" << JsonEscape(name)
+        << "\", \"cat\": \"erb\", \"ph\": \"C\", \"pid\": 1, \"tid\": 0, "
+        << "\"ts\": " << Micros(end_ns) << ", \"args\": {\"value\": " << value
+        << "}}";
+  }
+  out << "\n  ]\n";
+  out << "}\n";
+}
+
+bool WriteChromeTraceFile(const Snapshot& snapshot, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  WriteChromeTrace(snapshot, out);
+  return static_cast<bool>(out);
+}
+
+std::string StatsJson(const Snapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"peak_rss_bytes\": " << snapshot.peak_rss_bytes;
+  out << ", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\": " << value;
+  }
+  out << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\": " << value;
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace erb::obs

@@ -1,0 +1,29 @@
+// Exporters for the obs collector: Chrome trace_event JSON (load the file in
+// chrome://tracing or https://ui.perfetto.dev) and a flat JSON stats block
+// for embedding into ERBENCH_JSON records.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace erb::obs {
+
+/// Writes `snapshot` as a Chrome trace_event JSON object. Spans become "X"
+/// (complete) events on pid 1 with tid = buffer id; counters and gauges
+/// become "C" (counter) events sampled at the end of the trace; the peak RSS
+/// is recorded under otherData.peak_rss_bytes. Output is byte-deterministic
+/// for a given snapshot.
+void WriteChromeTrace(const Snapshot& snapshot, std::ostream& out);
+
+/// WriteChromeTrace to `path`. Returns false (and writes nothing) if the
+/// file cannot be opened.
+bool WriteChromeTraceFile(const Snapshot& snapshot, const std::string& path);
+
+/// Flat JSON object with the snapshot's scalar stats:
+/// {"peak_rss_bytes":N,"counters":{...},"gauges":{...}}. Intended to be
+/// embedded verbatim as the "stats" field of an ERBENCH_JSON record.
+std::string StatsJson(const Snapshot& snapshot);
+
+}  // namespace erb::obs

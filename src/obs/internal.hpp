@@ -1,0 +1,49 @@
+// Shared internals of the obs collector: the per-thread buffers that back
+// trace spans, counters, gauges AND the always-on phase samples of
+// obs/phase.hpp. Not part of the public API.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace erb::obs::internal {
+
+/// One phase duration recorded by a PhaseAccumulator on some thread, pending
+/// until that accumulator folds or discards it.
+struct PhaseSample {
+  std::uint64_t owner = 0;  ///< PhaseAccumulator id
+  std::string name;
+  double ms = 0.0;
+};
+
+/// Per-thread event buffer. The owning thread appends under `mu`; Collect()
+/// and PhaseAccumulator folds lock the same mutex from other threads. The
+/// buffer outlives its thread (the registry owns it), so detached pool
+/// workers never race a destructor.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::uint32_t id = 0;  ///< registration index: the deterministic merge key
+  std::vector<SpanRecord> spans;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::uint64_t> gauges;
+  std::vector<PhaseSample> phases;
+};
+
+/// The calling thread's buffer, registering it on first use.
+ThreadBuffer& LocalBuffer();
+
+/// All registered buffers in ascending id order. The returned vector is
+/// append-only snapshots of stable pointers; lock each buffer's `mu` before
+/// touching its contents.
+std::vector<ThreadBuffer*> AllBuffers();
+
+/// Allocates a fresh nonzero PhaseAccumulator id.
+std::uint64_t NextAccumulatorId();
+
+}  // namespace erb::obs::internal

@@ -1,0 +1,132 @@
+#include "obs/phase.hpp"
+
+#include <cstddef>
+#include <utility>
+
+#include "obs/internal.hpp"
+
+namespace erb::obs {
+
+PhaseAccumulator::PhaseAccumulator() : id_(internal::NextAccumulatorId()) {}
+
+PhaseAccumulator::~PhaseAccumulator() { Scrub(); }
+
+PhaseAccumulator::PhaseAccumulator(const PhaseAccumulator& other)
+    : id_(internal::NextAccumulatorId()) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  other.FoldLocked();
+  folded_ = other.folded_;
+}
+
+PhaseAccumulator& PhaseAccumulator::operator=(const PhaseAccumulator& other) {
+  if (this == &other) return *this;
+  std::map<std::string, double> copy;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    other.FoldLocked();
+    copy = other.folded_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Scrub();  // drop our pending samples; the copy replaces everything
+  folded_ = std::move(copy);
+  return *this;
+}
+
+PhaseAccumulator::PhaseAccumulator(PhaseAccumulator&& other) noexcept
+    : id_(internal::NextAccumulatorId()) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  // Take the id so pending thread-buffer samples follow us; leave the source
+  // with the fresh id (it owns no samples and an empty map).
+  std::swap(id_, other.id_);
+  folded_ = std::move(other.folded_);
+  other.folded_.clear();
+}
+
+PhaseAccumulator& PhaseAccumulator::operator=(PhaseAccumulator&& other) noexcept {
+  if (this == &other) return *this;
+  std::lock_guard<std::mutex> lock(mu_);
+  Scrub();
+  std::lock_guard<std::mutex> other_lock(other.mu_);
+  std::swap(id_, other.id_);
+  folded_ = std::move(other.folded_);
+  other.folded_.clear();
+  return *this;
+}
+
+void PhaseAccumulator::Add(const std::string& name, double ms) {
+  internal::ThreadBuffer& buffer = internal::LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.phases.push_back({id_, name, ms});
+}
+
+double PhaseAccumulator::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FoldLocked();
+  auto it = folded_.find(name);
+  return it == folded_.end() ? 0.0 : it->second;
+}
+
+double PhaseAccumulator::TotalMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FoldLocked();
+  double total = 0.0;
+  for (const auto& [_, ms] : folded_) total += ms;
+  return total;
+}
+
+const std::map<std::string, double>& PhaseAccumulator::phases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FoldLocked();
+  return folded_;
+}
+
+void PhaseAccumulator::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Scrub();
+  folded_.clear();
+}
+
+void PhaseAccumulator::FoldLocked() const {
+  // Buffers are visited in ascending registration order and each buffer's
+  // samples in append order, so the fold is deterministic.
+  for (internal::ThreadBuffer* buffer : internal::AllBuffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    auto& pending = buffer->phases;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (pending[i].owner == id_) {
+        folded_[pending[i].name] += pending[i].ms;
+      } else {
+        if (kept != i) pending[kept] = std::move(pending[i]);
+        ++kept;
+      }
+    }
+    pending.resize(kept);
+  }
+}
+
+void PhaseAccumulator::Scrub() {
+  for (internal::ThreadBuffer* buffer : internal::AllBuffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    auto& pending = buffer->phases;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (pending[i].owner != id_) {
+        if (kept != i) pending[kept] = std::move(pending[i]);
+        ++kept;
+      }
+    }
+    pending.resize(kept);
+  }
+}
+
+ScopedPhase::ScopedPhase(PhaseAccumulator* acc, std::string name)
+    : acc_(acc), name_(std::move(name)), span_(name_), start_ns_(NowNs()) {}
+
+ScopedPhase::~ScopedPhase() {
+  // Runs during exception unwinding too: a throwing grid point still records
+  // the time it consumed.
+  acc_->Add(name_, static_cast<double>(NowNs() - start_ns_) / 1e6);
+}
+
+}  // namespace erb::obs

@@ -1,0 +1,79 @@
+// Always-on phase timing over the obs collector. This is the substrate under
+// common/timer.hpp's PhaseTimer: durations are recorded into the collector's
+// per-thread buffers (no shared map mutation), so phases can be timed from
+// inside parallel regions without a data race.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace erb::obs {
+
+/// Accumulates named phase durations (ms). Each accumulator has a unique id;
+/// recording appends an (id, name, ms) sample to the calling thread's buffer,
+/// and the accessors fold pending samples back into this instance. Recording
+/// is thread-safe; the fold in the accessors is meant for after parallel
+/// regions complete (the usual read point), though concurrent recorders stay
+/// memory-safe either way.
+class PhaseAccumulator {
+ public:
+  PhaseAccumulator();
+  ~PhaseAccumulator();
+
+  /// Copy folds the source first; the copy gets a fresh id (pending samples
+  /// stay with the source).
+  PhaseAccumulator(const PhaseAccumulator& other);
+  PhaseAccumulator& operator=(const PhaseAccumulator& other);
+
+  /// Move transfers the id, so samples still pending in thread buffers follow
+  /// the moved-to instance. The source is left empty with a fresh id.
+  PhaseAccumulator(PhaseAccumulator&& other) noexcept;
+  PhaseAccumulator& operator=(PhaseAccumulator&& other) noexcept;
+
+  /// Adds `ms` to phase `name`. Safe from any thread.
+  void Add(const std::string& name, double ms);
+
+  double Get(const std::string& name) const;
+  double TotalMs() const;
+
+  /// Folded view of all phases. The reference stays valid for the
+  /// accumulator's lifetime; read it after parallel work has completed.
+  const std::map<std::string, double>& phases() const;
+
+  void Clear();
+
+ private:
+  void FoldLocked() const;  // requires mu_
+  void Scrub();             // drop this id's pending samples from all buffers
+
+  std::uint64_t id_;
+  mutable std::mutex mu_;
+  mutable std::map<std::string, double> folded_;
+};
+
+/// RAII phase measurement: times from construction to destruction and records
+/// into `acc` even while unwinding an exception, so a failed grid point still
+/// contributes its elapsed time instead of silently dropping it. Also opens a
+/// trace span of the same name when ERB_TRACE is on (a disabled span costs
+/// one relaxed atomic load), which is how every PhaseTimer::Measure call site
+/// shows up in the Chrome trace for free.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseAccumulator* acc, std::string name);
+  ~ScopedPhase();
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseAccumulator* acc_;
+  std::string name_;
+  Span span_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace erb::obs

@@ -1,0 +1,186 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <sys/resource.h>
+#endif
+
+#include "obs/internal.hpp"
+
+namespace erb::obs {
+namespace {
+
+// -1 = not yet read from ERB_TRACE; 0/1 afterwards. SetTraceEnabled stores
+// directly, so an explicit override always wins over the environment.
+std::atomic<int> g_enabled{-1};
+
+// Registry of all thread buffers. Leaked (like the thread pool) so detached
+// workers flushing at process exit never race a static destructor.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<internal::ThreadBuffer>> buffers;
+  Snapshot aggregate;  // guarded by mu
+};
+
+Registry& TheRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+thread_local internal::ThreadBuffer* t_buffer = nullptr;
+
+void RecordSpan(std::string name, std::uint64_t start_ns, std::uint64_t dur_ns) {
+  internal::ThreadBuffer& buffer = internal::LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.spans.push_back(
+      {std::move(name), buffer.id, start_ns, dur_ns});
+}
+
+}  // namespace
+
+namespace internal {
+
+ThreadBuffer& LocalBuffer() {
+  if (t_buffer == nullptr) {
+    Registry& registry = TheRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.buffers.push_back(std::make_unique<ThreadBuffer>());
+    registry.buffers.back()->id =
+        static_cast<std::uint32_t>(registry.buffers.size() - 1);
+    t_buffer = registry.buffers.back().get();
+  }
+  return *t_buffer;
+}
+
+std::vector<ThreadBuffer*> AllBuffers() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<ThreadBuffer*> out;
+  out.reserve(registry.buffers.size());
+  for (const auto& buffer : registry.buffers) out.push_back(buffer.get());
+  return out;
+}
+
+std::uint64_t NextAccumulatorId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+bool TraceEnabled() {
+  int enabled = g_enabled.load(std::memory_order_relaxed);
+  if (enabled < 0) {
+    const char* env = std::getenv("ERB_TRACE");
+    enabled = (env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0)
+                  ? 1
+                  : 0;
+    g_enabled.store(enabled, std::memory_order_relaxed);
+  }
+  return enabled == 1;
+}
+
+void SetTraceEnabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::uint64_t NowNs() {
+  using Clock = std::chrono::steady_clock;
+  // All timestamps share one origin so spans from different threads align.
+  static const Clock::time_point origin = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           origin)
+          .count());
+}
+
+Span::Span(std::string_view name) : active_(TraceEnabled()) {
+  if (active_) {
+    name_.assign(name);
+    start_ns_ = NowNs();
+  }
+}
+
+Span::~Span() {
+  if (active_) RecordSpan(std::move(name_), start_ns_, NowNs() - start_ns_);
+}
+
+void CounterAdd(std::string_view name, std::uint64_t delta) {
+  if (!TraceEnabled()) return;
+  internal::ThreadBuffer& buffer = internal::LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.counters[std::string(name)] += delta;
+}
+
+void GaugeSet(std::string_view name, std::uint64_t value) {
+  if (!TraceEnabled()) return;
+  internal::ThreadBuffer& buffer = internal::LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.gauges[std::string(name)] = value;
+}
+
+Snapshot Collect() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  // registry.buffers is append-only and ascending in id, so iterating it is
+  // the deterministic (buffer-id, sequence) merge order.
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    for (auto& span : buffer->spans) {
+      registry.aggregate.spans.push_back(std::move(span));
+    }
+    buffer->spans.clear();
+    for (const auto& [name, value] : buffer->counters) {
+      registry.aggregate.counters[name] += value;
+    }
+    buffer->counters.clear();
+    for (const auto& [name, value] : buffer->gauges) {
+      registry.aggregate.gauges[name] = value;
+    }
+    buffer->gauges.clear();
+  }
+  const std::uint64_t rss = PeakRssBytes();
+  if (rss > registry.aggregate.peak_rss_bytes) {
+    registry.aggregate.peak_rss_bytes = rss;
+  }
+  return registry.aggregate;
+}
+
+std::map<std::string, std::uint64_t> CounterSnapshot() {
+  return Collect().counters;
+}
+
+void ResetCollected() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  registry.aggregate = Snapshot{};
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->spans.clear();
+    buffer->counters.clear();
+    buffer->gauges.clear();
+    // buffer->phases stays: those samples belong to live PhaseAccumulators.
+  }
+}
+
+std::uint64_t PeakRssBytes() {
+#if defined(_WIN32)
+  return 0;
+#else
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  // Linux (and the BSDs) report kilobytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+#endif
+#endif
+}
+
+}  // namespace erb::obs

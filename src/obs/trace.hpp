@@ -1,0 +1,104 @@
+// Lightweight tracing/metrics substrate behind every run-time (RT) and
+// candidate-set measurement: nestable trace spans, named counters and gauges,
+// and a peak-RSS probe.
+//
+// Threading model: every event is appended to a per-thread buffer (one small
+// mutex per buffer, never contended across threads) and merged on Collect()
+// in deterministic (buffer-id, sequence) order, where the buffer id is the
+// thread's registration index. Counters merge by unsigned addition and gauges
+// by ascending buffer id, so the merged counter/gauge values are
+// byte-identical at any ERB_THREADS — the same determinism contract as the
+// parallel runtime (common/parallel.hpp).
+//
+// Overhead: tracing is off by default (ERB_TRACE unset or "0"). A disabled
+// Span construction is one relaxed atomic load plus a branch; CounterAdd and
+// GaugeSet return on the same branch. Phase timing (obs/phase.hpp) is always
+// on — it feeds the paper's RT numbers — but shares the same buffers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace erb::obs {
+
+/// True when trace spans / counters / gauges are being recorded. Initialized
+/// from ERB_TRACE on first use (unset, empty or "0" = off).
+bool TraceEnabled();
+
+/// Overrides the ERB_TRACE setting (tests and the bench --trace flag).
+void SetTraceEnabled(bool on);
+
+/// One completed span: [start_ns, start_ns + duration_ns) on buffer `tid`.
+/// Timestamps are nanoseconds on the steady clock, relative to the process's
+/// first observation point.
+struct SpanRecord {
+  std::string name;
+  std::uint32_t tid = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+};
+
+/// Everything the collector has merged so far: spans in (buffer-id, sequence)
+/// order, counters summed, gauges resolved by ascending buffer id, and the
+/// high-water peak RSS observed at collection points.
+struct Snapshot {
+  std::vector<SpanRecord> spans;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::uint64_t> gauges;
+  std::uint64_t peak_rss_bytes = 0;
+};
+
+/// RAII trace span. Nestable: concurrent spans on different threads land in
+/// different buffers; nested spans on one thread are reconstructed from their
+/// timestamps (Chrome trace "X" events nest by containment). The destructor
+/// records the span even when unwinding an exception.
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::string name_;
+  std::uint64_t start_ns_ = 0;
+  bool active_;
+};
+
+/// Adds `delta` to the named counter (thread-local; merged by addition).
+/// No-op when tracing is disabled.
+void CounterAdd(std::string_view name, std::uint64_t delta);
+
+/// Sets the named gauge (e.g. an index size). Merge resolves multiple
+/// writers by ascending buffer id, last write per buffer wins; gauges are
+/// meant to be set from one thread per name. No-op when tracing is disabled.
+void GaugeSet(std::string_view name, std::uint64_t value);
+
+/// Drains every thread buffer into the global aggregate and returns a copy of
+/// it. Call after parallel regions have completed (the pool's region barrier
+/// guarantees workers are quiescent; the per-buffer mutexes make a concurrent
+/// writer safe regardless). Also refreshes the peak-RSS high-water mark.
+Snapshot Collect();
+
+/// Convenience: Collect() and return just the counters.
+std::map<std::string, std::uint64_t> CounterSnapshot();
+
+/// Clears the aggregate and every thread buffer's spans/counters/gauges
+/// (pending phase samples are left alone — they belong to live
+/// PhaseAccumulators). For tests and between bench repetitions.
+void ResetCollected();
+
+/// Current peak resident set size of the process in bytes, via getrusage.
+/// ru_maxrss is kilobytes on Linux and bytes on macOS; both are normalized
+/// to bytes. Returns 0 where the probe is unsupported.
+std::uint64_t PeakRssBytes();
+
+/// Monotonic nanoseconds since the process's first observation point.
+/// All span timestamps share this origin.
+std::uint64_t NowNs();
+
+}  // namespace erb::obs

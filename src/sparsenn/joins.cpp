@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/parallel.hpp"
+#include "obs/trace.hpp"
 #include "sparsenn/scancount.hpp"
 
 namespace erb::sparsenn {
@@ -68,12 +69,16 @@ SparseResult RunJoin(const core::Dataset& dataset, core::SchemaMode mode,
 
   auto index = result.timing.Measure(
       kPhaseIndex, [&] { return ScanCountIndex(indexed_sets); });
+  obs::GaugeSet("sparse.index_sets", indexed_sets.size());
 
   result.timing.Measure(kPhaseQuery, [&] {
     result.candidates = ParallelProbe<core::CandidateSet>(
         index, query_sets, config, collect, MergeCandidates);
+    // Finalize (sort + dedup) is part of emitting candidates, so it belongs
+    // inside the timed query phase — RT must cover it.
+    result.candidates.Finalize();
   });
-  result.candidates.Finalize();
+  obs::CounterAdd("sparse.candidates", result.candidates.size());
   return result;
 }
 
@@ -115,8 +120,9 @@ SparseResult EpsilonJoin(const core::Dataset& dataset, core::SchemaMode mode,
           result.candidates.Add(i, j);
         }
       }
+      result.candidates.Finalize();
     });
-    result.candidates.Finalize();
+    obs::CounterAdd("sparse.candidates", result.candidates.size());
     return result;
   }
   return RunJoin(dataset, mode, config, /*reverse=*/false,
@@ -181,6 +187,7 @@ SparseResult GlobalTopKJoin(const core::Dataset& dataset, core::SchemaMode mode,
   });
   auto index = result.timing.Measure(
       kPhaseIndex, [&] { return ScanCountIndex(indexed_sets); });
+  obs::GaugeSet("sparse.index_sets", indexed_sets.size());
 
   const std::vector<double> heap = result.timing.Measure(kPhaseQuery, [&] {
     return ParallelProbe<std::vector<double>>(
@@ -207,8 +214,9 @@ SparseResult GlobalTopKJoin(const core::Dataset& dataset, core::SchemaMode mode,
           }
         },
         MergeCandidates);
+    result.candidates.Finalize();
   });
-  result.candidates.Finalize();
+  obs::CounterAdd("sparse.candidates", result.candidates.size());
   return result;
 }
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <functional>
+#include <map>
 #include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.hpp"
@@ -21,12 +24,15 @@ using densenn::KnnSearchConfig;
 using densenn::MinHashConfig;
 using densenn::PartitionedConfig;
 
-// Re-measures a (possibly stochastic) winner: averages effectiveness and
-// run-time over `repetitions` seeded runs; phases come from the last run.
+// Re-measures a (possibly stochastic) winner: averages effectiveness,
+// run-time AND the per-phase breakdown over `repetitions` seeded runs.
+// Phases must be averaged the same way as runtime_ms — taking them from a
+// single rep would make the phase sum drift away from the reported RT.
 void MeasureStochasticWinner(const std::function<DenseResult(std::uint64_t)>& run,
                              const core::Dataset& dataset, int repetitions,
                              TunedResult* result) {
   double pc = 0.0, pq = 0.0, rt = 0.0, candidates = 0.0, detected = 0.0;
+  std::map<std::string, double> phase_sums;
   for (int rep = 0; rep < repetitions; ++rep) {
     DenseResult r = run(static_cast<std::uint64_t>(rep) + 1);
     const auto eff = core::Evaluate(r.candidates, dataset);
@@ -35,7 +41,7 @@ void MeasureStochasticWinner(const std::function<DenseResult(std::uint64_t)>& ru
     candidates += static_cast<double>(eff.candidates);
     detected += static_cast<double>(eff.detected);
     rt += r.timing.TotalMs();
-    result->phases = r.timing.phases();
+    for (const auto& [name, ms] : r.timing.phases()) phase_sums[name] += ms;
   }
   const double n = static_cast<double>(std::max(1, repetitions));
   result->eff.pc = pc / n;
@@ -43,6 +49,8 @@ void MeasureStochasticWinner(const std::function<DenseResult(std::uint64_t)>& ru
   result->eff.candidates = static_cast<std::size_t>(candidates / n);
   result->eff.detected = static_cast<std::size_t>(detected / n);
   result->runtime_ms = rt / n;
+  for (auto& [_, ms] : phase_sums) ms /= n;
+  result->phases = std::move(phase_sums);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,7 +1,9 @@
 #include "tuning/suite.hpp"
 
 #include <stdexcept>
+#include <string>
 
+#include "obs/trace.hpp"
 #include "tuning/blocking_tuner.hpp"
 #include "tuning/dense_tuner.hpp"
 #include "tuning/sparse_tuner.hpp"
@@ -72,8 +74,10 @@ bool IsBaseline(MethodId id) {
          id == MethodId::kDdb;
 }
 
-TunedResult RunMethod(MethodId id, const core::Dataset& dataset,
-                      core::SchemaMode mode, const GridOptions& options) {
+namespace {
+
+TunedResult DispatchMethod(MethodId id, const core::Dataset& dataset,
+                           core::SchemaMode mode, const GridOptions& options) {
   using blocking::BuilderKind;
   switch (id) {
     case MethodId::kSbw:
@@ -115,6 +119,18 @@ TunedResult RunMethod(MethodId id, const core::Dataset& dataset,
       return RunDdbBaseline(dataset, mode, options);
   }
   throw std::invalid_argument("unknown method id");
+}
+
+}  // namespace
+
+TunedResult RunMethod(MethodId id, const core::Dataset& dataset,
+                      core::SchemaMode mode, const GridOptions& options) {
+  // One span per tuner invocation covers that method's whole grid loop; the
+  // per-phase Measure spans of the winning run nest inside it.
+  obs::Span span("tune/" + std::string(MethodName(id)));
+  TunedResult result = DispatchMethod(id, dataset, mode, options);
+  obs::CounterAdd("tuning.configurations", result.configurations_tried);
+  return result;
 }
 
 }  // namespace erb::tuning

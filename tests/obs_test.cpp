@@ -1,0 +1,232 @@
+// Tests of the observability subsystem (src/obs/): exporter golden files,
+// counter determinism across thread counts, and the PhaseTimer regressions
+// this layer exists to fix — thread-safety under ParallelFor (the old
+// std::map race; run under TSan via the obs label) and exception-safe
+// recording.
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "datagen/generator.hpp"
+#include "datagen/registry.hpp"
+#include "obs/export.hpp"
+#include "obs/phase.hpp"
+#include "obs/trace.hpp"
+#include "sparsenn/joins.hpp"
+
+namespace erb {
+namespace {
+
+// Enables tracing for one test and restores the disabled default afterwards,
+// leaving the collector empty either way.
+class ScopedTracing {
+ public:
+  ScopedTracing() {
+    obs::SetTraceEnabled(true);
+    obs::ResetCollected();
+  }
+  ~ScopedTracing() {
+    obs::SetTraceEnabled(false);
+    obs::ResetCollected();
+  }
+};
+
+obs::Snapshot GoldenSnapshot() {
+  obs::Snapshot snapshot;
+  snapshot.spans.push_back({"build", 0, 1'000'000, 2'000'000});
+  snapshot.spans.push_back({"query", 1, 3'500'000, 500'000});
+  snapshot.counters["blocking.candidates"] = 42;
+  snapshot.counters["sparse.candidates"] = 7;
+  snapshot.peak_rss_bytes = 1048576;
+  return snapshot;
+}
+
+TEST(ChromeTraceExportTest, MatchesGoldenFile) {
+  std::ostringstream out;
+  obs::WriteChromeTrace(GoldenSnapshot(), out);
+
+  std::ifstream golden(ERB_OBS_GOLDEN);
+  ASSERT_TRUE(golden) << "missing golden file: " << ERB_OBS_GOLDEN;
+  std::ostringstream expected;
+  expected << golden.rdbuf();
+  EXPECT_EQ(out.str(), expected.str());
+}
+
+TEST(ChromeTraceExportTest, EscapesSpecialCharacters) {
+  obs::Snapshot snapshot;
+  snapshot.spans.push_back({"a\"b\\c\nd", 0, 0, 1000});
+  std::ostringstream out;
+  obs::WriteChromeTrace(snapshot, out);
+  EXPECT_NE(out.str().find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+TEST(StatsJsonExportTest, FlatObjectWithCountersAndGauges) {
+  obs::Snapshot snapshot = GoldenSnapshot();
+  snapshot.gauges["sparse.index_sets"] = 100;
+  EXPECT_EQ(obs::StatsJson(snapshot),
+            "{\"peak_rss_bytes\": 1048576"
+            ", \"counters\": {\"blocking.candidates\": 42"
+            ", \"sparse.candidates\": 7}"
+            ", \"gauges\": {\"sparse.index_sets\": 100}}");
+}
+
+TEST(TraceCollectorTest, DisabledRecordsNothing) {
+  obs::SetTraceEnabled(false);
+  obs::ResetCollected();
+  {
+    obs::Span span("ignored");
+    obs::CounterAdd("ignored.counter", 5);
+    obs::GaugeSet("ignored.gauge", 5);
+  }
+  const obs::Snapshot snapshot = obs::Collect();
+  EXPECT_TRUE(snapshot.spans.empty());
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.gauges.empty());
+  obs::ResetCollected();
+}
+
+TEST(TraceCollectorTest, SpanAndCounterRoundTrip) {
+  ScopedTracing tracing;
+  { obs::Span span("phase/x"); }
+  obs::CounterAdd("x.count", 3);
+  obs::CounterAdd("x.count", 4);
+  obs::GaugeSet("x.size", 9);
+
+  const obs::Snapshot snapshot = obs::Collect();
+  ASSERT_EQ(snapshot.spans.size(), 1u);
+  EXPECT_EQ(snapshot.spans[0].name, "phase/x");
+  EXPECT_EQ(snapshot.counters.at("x.count"), 7u);
+  EXPECT_EQ(snapshot.gauges.at("x.size"), 9u);
+}
+
+TEST(TraceCollectorTest, PeakRssProbeReportsBytes) {
+  // getrusage is available on every platform this repo builds on; the probe
+  // must report a sane process footprint (more than 1 MiB, normalized from
+  // the platform's native unit to bytes).
+  EXPECT_GT(obs::PeakRssBytes(), 1u << 20);
+}
+
+// The acceptance bar for the collector: counters merged from worker-thread
+// buffers are byte-identical at 1 and 8 threads because the merge is
+// (buffer-id, sequence)-ordered unsigned addition.
+TEST(TraceCollectorTest, WorkerCountersIdenticalAt1And8Threads) {
+  ScopedTracing tracing;
+  std::map<std::string, std::uint64_t> reference;
+  for (std::size_t threads : {1u, 8u}) {
+    ScopedThreadLimit limit(threads);
+    obs::ResetCollected();
+    ParallelFor(0, 1000, /*grain=*/1, [](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        obs::CounterAdd("test.items", 1);
+        obs::CounterAdd("test.weight", i);
+      }
+    });
+    const auto counters = obs::CounterSnapshot();
+    EXPECT_EQ(counters.at("test.items"), 1000u);
+    EXPECT_EQ(counters.at("test.weight"), 999u * 1000u / 2);
+    if (threads == 1u) {
+      reference = counters;
+    } else {
+      EXPECT_EQ(counters, reference);
+    }
+  }
+}
+
+TEST(TraceCollectorTest, FilteringCountersIdenticalAt1And8Threads) {
+  ScopedTracing tracing;
+  const core::Dataset dataset =
+      datagen::Generate(datagen::PaperSpec(1).Scaled(0.2));
+  std::map<std::string, std::uint64_t> reference;
+  for (std::size_t threads : {1u, 8u}) {
+    ScopedThreadLimit limit(threads);
+    obs::ResetCollected();
+    const auto result = sparsenn::DefaultKnnJoin(
+        dataset, core::SchemaMode::kAgnostic);
+    const auto counters = obs::CounterSnapshot();
+    EXPECT_EQ(counters.at("sparse.candidates"), result.candidates.size());
+    if (threads == 1u) {
+      reference = counters;
+    } else {
+      EXPECT_EQ(counters, reference);
+    }
+  }
+}
+
+// Regression: PhaseTimer::Measure used to mutate a shared std::map with no
+// synchronization — a data race the moment it wraps a ParallelFor body. With
+// the collector's thread-local buffers this must be clean under TSan (the
+// obs label runs in the TSan CI job) and lose no measurement.
+TEST(PhaseTimerTest, MeasureIsThreadSafeInsideParallelFor) {
+  ScopedThreadLimit limit(8);
+  PhaseTimer timer;
+  std::atomic<int> calls{0};
+  ParallelFor(0, 256, /*grain=*/1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      timer.Measure("parallel_work", [&] { ++calls; });
+      timer.Add("parallel_add", 0.5);
+    }
+  });
+  EXPECT_EQ(calls.load(), 256);
+  EXPECT_GT(timer.Get("parallel_work"), 0.0);
+  EXPECT_DOUBLE_EQ(timer.Get("parallel_add"), 128.0);
+  EXPECT_EQ(timer.phases().size(), 2u);
+}
+
+// Regression: Measure used to drop the sample if fn threw, corrupting phase
+// totals for failed grid points. The RAII guard records during unwinding.
+TEST(PhaseTimerTest, MeasureRecordsPhaseWhenFnThrows) {
+  PhaseTimer timer;
+  EXPECT_THROW(
+      timer.Measure("throwing_phase",
+                    []() -> int { throw std::runtime_error("grid point"); }),
+      std::runtime_error);
+  EXPECT_EQ(timer.phases().count("throwing_phase"), 1u);
+  EXPECT_GT(timer.Get("throwing_phase"), 0.0);
+}
+
+TEST(PhaseTimerTest, MeasureReturnsFnResult) {
+  PhaseTimer timer;
+  EXPECT_EQ(timer.Measure("f", [] { return 41 + 1; }), 42);
+  EXPECT_GT(timer.TotalMs(), 0.0);
+}
+
+TEST(PhaseAccumulatorTest, CopyTakesSnapshotMoveTransfersPending) {
+  obs::PhaseAccumulator source;
+  source.Add("a", 1.0);
+
+  obs::PhaseAccumulator copied(source);
+  source.Add("a", 2.0);
+  EXPECT_DOUBLE_EQ(copied.Get("a"), 1.0);
+  EXPECT_DOUBLE_EQ(source.Get("a"), 3.0);
+
+  obs::PhaseAccumulator moved(std::move(source));
+  EXPECT_DOUBLE_EQ(moved.Get("a"), 3.0);
+
+  moved.Clear();
+  EXPECT_DOUBLE_EQ(moved.TotalMs(), 0.0);
+}
+
+TEST(PhaseAccumulatorTest, ResultStructsCarryTimingAcrossReturns) {
+  // PhaseTimer lives inside result structs returned by value from the
+  // filtering methods; the accumulator's move semantics must keep samples
+  // that are still pending in thread buffers attached to the result.
+  auto make = [] {
+    PhaseTimer timer;
+    timer.Measure("inner", [] {});
+    return timer;
+  };
+  PhaseTimer timer = make();
+  EXPECT_EQ(timer.phases().count("inner"), 1u);
+}
+
+}  // namespace
+}  // namespace erb

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON file against a schema.
+
+Usage: validate_trace.py SCHEMA_JSON TRACE_JSON
+
+Implements the subset of JSON Schema the checked-in schema uses — type,
+required, properties, items, enum, minimum — with only the standard library,
+so CI needs no third-party packages. Exits 0 on success, 1 with a list of
+violations otherwise.
+"""
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+}
+
+
+def validate(instance, schema, path, errors):
+    expected = schema.get("type")
+    if expected is not None:
+        python_type = TYPES[expected]
+        ok = isinstance(instance, python_type)
+        # bool is an int subclass in Python; a JSON boolean is not a number.
+        if ok and isinstance(instance, bool) and expected in ("integer", "number"):
+            ok = False
+        if not ok:
+            errors.append(f"{path}: expected {expected}, got {type(instance).__name__}")
+            return
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool) and instance < schema["minimum"]:
+        errors.append(f"{path}: {instance} < minimum {schema['minimum']}")
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append(f"{path}: missing required property {key!r}")
+        for key, subschema in schema.get("properties", {}).items():
+            if key in instance:
+                validate(instance[key], subschema, f"{path}.{key}", errors)
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        schema = json.load(f)
+    with open(argv[2]) as f:
+        trace = json.load(f)
+    errors = []
+    validate(trace, schema, "$", errors)
+    if errors:
+        for error in errors[:50]:
+            print(f"FAIL {error}", file=sys.stderr)
+        print(f"{argv[2]}: {len(errors)} schema violation(s)", file=sys.stderr)
+        return 1
+    events = trace.get("traceEvents", [])
+    spans = sum(1 for e in events if e.get("ph") == "X")
+    counters = sum(1 for e in events if e.get("ph") == "C")
+    print(f"{argv[2]}: OK ({spans} spans, {counters} counter samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
