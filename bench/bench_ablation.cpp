@@ -155,8 +155,9 @@ void AblationEmbeddingDim(const core::Dataset& dataset) {
         densenn::EmbedSide(dataset, 1, core::SchemaMode::kAgnostic, true, dim);
     densenn::FlatIndex index(indexed, densenn::DenseMetric::kSquaredL2);
     core::CandidateSet candidates;
+    const auto neighbors = index.SearchBatch(queries, 10);
     for (core::EntityId q = 0; q < queries.size(); ++q) {
-      for (auto id : index.Search(queries[q], 10)) candidates.Add(id, q);
+      for (auto id : neighbors[q]) candidates.Add(id, q);
     }
     candidates.Finalize();
     const auto eff = core::Evaluate(candidates, dataset);
@@ -178,8 +179,9 @@ void AblationRangeVsKnn(const core::Dataset& dataset) {
   densenn::FlatIndex index(indexed, densenn::DenseMetric::kSquaredL2);
 
   core::CandidateSet knn;
+  const auto neighbors = index.SearchBatch(queries, 10);
   for (core::EntityId q = 0; q < queries.size(); ++q) {
-    for (auto id : index.Search(queries[q], 10)) knn.Add(id, q);
+    for (auto id : neighbors[q]) knn.Add(id, q);
   }
   knn.Finalize();
   const auto knn_eff = core::Evaluate(knn, dataset);
@@ -188,8 +190,9 @@ void AblationRangeVsKnn(const core::Dataset& dataset) {
   float chosen_radius = 0.0f;
   for (float radius : {0.4f, 0.8f, 1.2f, 1.6f, 2.0f}) {
     core::CandidateSet range;
+    const auto in_range = index.RangeSearchBatch(queries, radius);
     for (core::EntityId q = 0; q < queries.size(); ++q) {
-      for (auto id : index.RangeSearch(queries[q], radius)) range.Add(id, q);
+      for (auto id : in_range[q]) range.Add(id, q);
     }
     range.Finalize();
     range_eff = core::Evaluate(range, dataset);

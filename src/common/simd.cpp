@@ -1,0 +1,323 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/trace.hpp"
+
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+#define ERB_SIMD_HAVE_AVX2 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#define ERB_SIMD_HAVE_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace erb::simd {
+namespace {
+
+// Folds the 8 accumulator lanes in the canonical tree. Every backend must
+// reduce through exactly this association order.
+inline float FoldLanes(const float l[kLanes]) {
+  return ((l[0] + l[4]) + (l[2] + l[6])) + ((l[1] + l[5]) + (l[3] + l[7]));
+}
+
+#if ERB_SIMD_HAVE_AVX2
+
+// Horizontal sum of one 8-lane vector in the FoldLanes association order:
+// adding the 128-bit halves pairs lane j with lane j+4, movehl pairs the
+// results two apart, and the final scalar add joins the remaining two.
+__attribute__((target("avx2"))) inline float HsumAvx2(__m256 v) {
+  const __m128 half = _mm_add_ps(_mm256_castps256_ps128(v),
+                                 _mm256_extractf128_ps(v, 1));
+  const __m128 pair = _mm_add_ps(half, _mm_movehl_ps(half, half));
+  const __m128 one = _mm_add_ss(pair, _mm_shuffle_ps(pair, pair, 1));
+  return _mm_cvtss_f32(one);
+}
+
+// mul + add rather than FMA: the fused rounding would diverge from the
+// scalar backend's lanes and break the cross-backend parity contract.
+__attribute__((target("avx2"))) float DotAvx2(const float* a, const float* b,
+                                              std::size_t n) {
+  const std::size_t main = n - n % kLanes;
+  __m256 acc = _mm256_setzero_ps();
+  for (std::size_t i = 0; i < main; i += kLanes) {
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                           _mm256_loadu_ps(b + i)));
+  }
+  float total = HsumAvx2(acc);
+  for (std::size_t i = main; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+__attribute__((target("avx2"))) float SquaredL2Avx2(const float* a,
+                                                    const float* b,
+                                                    std::size_t n) {
+  const std::size_t main = n - n % kLanes;
+  __m256 acc = _mm256_setzero_ps();
+  for (std::size_t i = 0; i < main; i += kLanes) {
+    const __m256 diff =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(diff, diff));
+  }
+  float total = HsumAvx2(acc);
+  for (std::size_t i = main; i < n; ++i) {
+    const float diff = a[i] - b[i];
+    total += diff * diff;
+  }
+  return total;
+}
+
+__attribute__((target("avx2"))) void AxpyAvx2(float a, const float* x,
+                                              float* y, std::size_t n) {
+  const std::size_t main = n - n % kLanes;
+  const __m256 va = _mm256_set1_ps(a);
+  for (std::size_t i = 0; i < main; i += kLanes) {
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(_mm256_loadu_ps(y + i),
+                             _mm256_mul_ps(va, _mm256_loadu_ps(x + i))));
+  }
+  for (std::size_t i = main; i < n; ++i) y[i] += a * x[i];
+}
+
+#endif  // ERB_SIMD_HAVE_AVX2
+
+#if ERB_SIMD_HAVE_NEON
+
+// Two 4-lane registers hold lanes 0..3 and 4..7; their sum pairs lane j with
+// lane j+4 exactly like the AVX2 half-add, and the lane extracts finish in
+// the FoldLanes order.
+inline float HsumNeon(float32x4_t lo, float32x4_t hi) {
+  const float32x4_t half = vaddq_f32(lo, hi);
+  return (vgetq_lane_f32(half, 0) + vgetq_lane_f32(half, 2)) +
+         (vgetq_lane_f32(half, 1) + vgetq_lane_f32(half, 3));
+}
+
+float DotNeon(const float* a, const float* b, std::size_t n) {
+  const std::size_t main = n - n % kLanes;
+  float32x4_t acc0 = vdupq_n_f32(0.0f);
+  float32x4_t acc1 = vdupq_n_f32(0.0f);
+  for (std::size_t i = 0; i < main; i += kLanes) {
+    acc0 = vaddq_f32(acc0, vmulq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+    acc1 = vaddq_f32(acc1, vmulq_f32(vld1q_f32(a + i + 4), vld1q_f32(b + i + 4)));
+  }
+  float total = HsumNeon(acc0, acc1);
+  for (std::size_t i = main; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+float SquaredL2Neon(const float* a, const float* b, std::size_t n) {
+  const std::size_t main = n - n % kLanes;
+  float32x4_t acc0 = vdupq_n_f32(0.0f);
+  float32x4_t acc1 = vdupq_n_f32(0.0f);
+  for (std::size_t i = 0; i < main; i += kLanes) {
+    const float32x4_t d0 = vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    const float32x4_t d1 = vsubq_f32(vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+    acc0 = vaddq_f32(acc0, vmulq_f32(d0, d0));
+    acc1 = vaddq_f32(acc1, vmulq_f32(d1, d1));
+  }
+  float total = HsumNeon(acc0, acc1);
+  for (std::size_t i = main; i < n; ++i) {
+    const float diff = a[i] - b[i];
+    total += diff * diff;
+  }
+  return total;
+}
+
+void AxpyNeon(float a, const float* x, float* y, std::size_t n) {
+  const std::size_t main = n - n % 4;
+  const float32x4_t va = vdupq_n_f32(a);
+  for (std::size_t i = 0; i < main; i += 4) {
+    vst1q_f32(y + i, vaddq_f32(vld1q_f32(y + i),
+                               vmulq_f32(va, vld1q_f32(x + i))));
+  }
+  for (std::size_t i = main; i < n; ++i) y[i] += a * x[i];
+}
+
+#endif  // ERB_SIMD_HAVE_NEON
+
+// The active backend, resolved lazily from ERB_SIMD. -1 = unresolved.
+// Resolution is idempotent, so a racing double-init is harmless.
+std::atomic<int> g_active{-1};
+
+Kind ResolveRequest(Kind request) {
+  if (request != Kind::kAuto) {
+    if (KindSupported(request)) return request;
+    std::fprintf(stderr,
+                 "erbench: ERB_SIMD backend '%s' unavailable on this "
+                 "build/CPU; falling back to auto\n",
+                 std::string(KindName(request)).c_str());
+  }
+#if ERB_SIMD_HAVE_AVX2
+  if (__builtin_cpu_supports("avx2")) return Kind::kAvx2;
+#endif
+#if ERB_SIMD_HAVE_NEON
+  return Kind::kNeon;
+#endif
+  return Kind::kScalar;
+}
+
+Kind Resolved() {
+  int kind = g_active.load(std::memory_order_relaxed);
+  if (kind < 0) {
+    const Kind request = ParseSimdKind(std::getenv("ERB_SIMD"), Kind::kAuto);
+    kind = static_cast<int>(ResolveRequest(request));
+    g_active.store(kind, std::memory_order_relaxed);
+  }
+  return static_cast<Kind>(kind);
+}
+
+}  // namespace
+
+std::string_view KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kAuto: return "auto";
+    case Kind::kScalar: return "scalar";
+    case Kind::kAvx2: return "avx2";
+    case Kind::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+Kind ParseSimdKind(const char* text, Kind fallback) {
+  if (text == nullptr) return Kind::kAuto;
+  std::string value;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (!std::isspace(static_cast<unsigned char>(*p))) {
+      value.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(*p))));
+    }
+  }
+  if (value.empty() || value == "auto") return Kind::kAuto;
+  if (value == "scalar") return Kind::kScalar;
+  if (value == "avx2") return Kind::kAvx2;
+  if (value == "neon") return Kind::kNeon;
+  std::fprintf(stderr,
+               "erbench: invalid ERB_SIMD value '%s' (want scalar|avx2|neon|"
+               "auto); using %s\n",
+               text, std::string(KindName(fallback)).c_str());
+  return fallback;
+}
+
+bool KindSupported(Kind kind) {
+  switch (kind) {
+    case Kind::kAuto:
+      return true;
+    case Kind::kScalar:
+      return true;
+    case Kind::kAvx2:
+#if ERB_SIMD_HAVE_AVX2
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case Kind::kNeon:
+#if ERB_SIMD_HAVE_NEON
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Kind ActiveKind() { return Resolved(); }
+
+void SetKind(Kind kind) {
+  g_active.store(static_cast<int>(ResolveRequest(kind)),
+                 std::memory_order_relaxed);
+}
+
+ScopedSimdKind::ScopedSimdKind(Kind kind) : previous_(ActiveKind()) {
+  SetKind(kind);
+}
+
+ScopedSimdKind::~ScopedSimdKind() {
+  g_active.store(static_cast<int>(previous_), std::memory_order_relaxed);
+}
+
+void RecordDispatch() {
+  obs::CounterAdd("simd.dispatch", 1);
+  obs::GaugeSet("simd.kernel", static_cast<std::uint64_t>(ActiveKind()));
+}
+
+// The scalar backend is the reduction's definition, kept honestly scalar:
+// without the attribute -O3 auto-vectorizes the lane loop, which keeps the
+// same bits (lanes are independent chains) but would make ERB_SIMD=scalar a
+// covert SSE build and the microbench baseline meaningless.
+__attribute__((optimize("no-tree-vectorize")))
+float DotScalar(const float* a, const float* b, std::size_t n) {
+  const std::size_t main = n - n % kLanes;
+  float lanes[kLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (std::size_t i = 0; i < main; i += kLanes) {
+    for (std::size_t j = 0; j < kLanes; ++j) lanes[j] += a[i + j] * b[i + j];
+  }
+  float total = FoldLanes(lanes);
+  for (std::size_t i = main; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+__attribute__((optimize("no-tree-vectorize")))
+float SquaredL2Scalar(const float* a, const float* b, std::size_t n) {
+  const std::size_t main = n - n % kLanes;
+  float lanes[kLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (std::size_t i = 0; i < main; i += kLanes) {
+    for (std::size_t j = 0; j < kLanes; ++j) {
+      const float diff = a[i + j] - b[i + j];
+      lanes[j] += diff * diff;
+    }
+  }
+  float total = FoldLanes(lanes);
+  for (std::size_t i = main; i < n; ++i) {
+    const float diff = a[i] - b[i];
+    total += diff * diff;
+  }
+  return total;
+}
+
+__attribute__((optimize("no-tree-vectorize")))
+void AxpyScalar(float a, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+float Dot(const float* a, const float* b, std::size_t n) {
+  switch (Resolved()) {
+#if ERB_SIMD_HAVE_AVX2
+    case Kind::kAvx2: return DotAvx2(a, b, n);
+#endif
+#if ERB_SIMD_HAVE_NEON
+    case Kind::kNeon: return DotNeon(a, b, n);
+#endif
+    default: return DotScalar(a, b, n);
+  }
+}
+
+float SquaredL2(const float* a, const float* b, std::size_t n) {
+  switch (Resolved()) {
+#if ERB_SIMD_HAVE_AVX2
+    case Kind::kAvx2: return SquaredL2Avx2(a, b, n);
+#endif
+#if ERB_SIMD_HAVE_NEON
+    case Kind::kNeon: return SquaredL2Neon(a, b, n);
+#endif
+    default: return SquaredL2Scalar(a, b, n);
+  }
+}
+
+void Axpy(float a, const float* x, float* y, std::size_t n) {
+  switch (Resolved()) {
+#if ERB_SIMD_HAVE_AVX2
+    case Kind::kAvx2: AxpyAvx2(a, x, y, n); return;
+#endif
+#if ERB_SIMD_HAVE_NEON
+    case Kind::kNeon: AxpyNeon(a, x, y, n); return;
+#endif
+    default: AxpyScalar(a, x, y, n); return;
+  }
+}
+
+}  // namespace erb::simd

@@ -1,0 +1,86 @@
+// Runtime-dispatched dense float kernels: Dot, SquaredL2 and Axpy, the three
+// primitives under every dense hot path (flat/partitioned kNN scans, LSH
+// projections, the autoencoder forward/backward passes).
+//
+// Parity contract: every backend computes the SAME arithmetic expression in
+// the SAME association order, so switching ERB_SIMD never changes a single
+// bit of any score — and therefore never changes a candidate set. The
+// canonical reduction strips the input across kLanes (8) accumulator lanes
+// (lane j sums elements j, j+8, j+16, ...), folds the lanes in the fixed
+// tree ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)), then adds the < kLanes tail
+// elements sequentially. The AVX2 backend is that reduction verbatim (one
+// 8-float vector of lanes, mul + add — deliberately no FMA, whose fused
+// rounding would diverge from the scalar lanes); the scalar backend keeps 8
+// explicit accumulators. Axpy is element-wise (no reduction), so it is
+// trivially bit-identical across backends.
+//
+// Dispatch: ERB_SIMD environment variable — "scalar", "avx2", "neon" or
+// "auto" (default). Auto picks the widest backend the CPU supports. A
+// requested backend the build or CPU cannot provide, or junk input, warns on
+// stderr and falls back to auto — the ParseThreadCount policy.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace erb::simd {
+
+/// Kernel backends. kAuto is a request, never an active kind.
+enum class Kind { kAuto, kScalar, kAvx2, kNeon };
+
+std::string_view KindName(Kind kind);
+
+/// Parses an ERB_SIMD value. Null/empty/"auto" return kAuto; junk returns
+/// `fallback` with a warning on stderr (mirrors ParseThreadCount).
+Kind ParseSimdKind(const char* text, Kind fallback);
+
+/// The backend the dispatched kernels are currently using: the active
+/// override if set, else the ERB_SIMD request resolved against CPU support.
+/// Never returns kAuto.
+Kind ActiveKind();
+
+/// Sets (any concrete kind or kAuto to re-resolve) the dispatch override.
+/// An unsupported concrete kind falls back to auto resolution with a
+/// warning. Not thread-safe against concurrent kernel calls — call between
+/// parallel regions (tests, bench setup).
+void SetKind(Kind kind);
+
+/// True when this build + CPU can run the given backend.
+bool KindSupported(Kind kind);
+
+/// RAII dispatch override for tests: forces `kind` inside the scope and
+/// restores the previous resolution on destruction.
+class ScopedSimdKind {
+ public:
+  explicit ScopedSimdKind(Kind kind);
+  ~ScopedSimdKind();
+
+  ScopedSimdKind(const ScopedSimdKind&) = delete;
+  ScopedSimdKind& operator=(const ScopedSimdKind&) = delete;
+
+ private:
+  Kind previous_;
+};
+
+/// Records the resolved backend into the observability layer: bumps the
+/// `simd.dispatch` counter and sets the `simd.kernel` gauge to the active
+/// Kind's enum value. Call sites are index constructors, so every traced
+/// dense run carries the dispatch decision.
+void RecordDispatch();
+
+/// Accumulator lanes of the canonical reduction.
+inline constexpr std::size_t kLanes = 8;
+
+/// Dispatched kernels. `n` is the logical element count; inputs need no
+/// alignment or padding (aligned rows just make the vector loads cheaper).
+float Dot(const float* a, const float* b, std::size_t n);
+float SquaredL2(const float* a, const float* b, std::size_t n);
+/// y[i] += a * x[i] for i in [0, n).
+void Axpy(float a, const float* x, float* y, std::size_t n);
+
+/// Fixed backends, exposed so tests can pin parity against the dispatcher.
+float DotScalar(const float* a, const float* b, std::size_t n);
+float SquaredL2Scalar(const float* a, const float* b, std::size_t n);
+void AxpyScalar(float a, const float* x, float* y, std::size_t n);
+
+}  // namespace erb::simd

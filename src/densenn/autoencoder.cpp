@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 
 namespace erb::densenn {
 
@@ -14,6 +15,7 @@ Autoencoder::Autoencoder(const std::vector<Vector>& samples,
                                  : static_cast<int>(samples[0].size())) {
   const std::size_t h = static_cast<std::size_t>(config_.hidden_dim);
   const std::size_t d = static_cast<std::size_t>(input_dim_);
+  simd::RecordDispatch();
   Rng rng(config_.seed);
 
   // Xavier-style initialization.
@@ -55,17 +57,13 @@ Vector Autoencoder::Forward(const Vector& input, Vector* hidden) const {
   const std::size_t d = static_cast<std::size_t>(input_dim_);
   hidden->assign(h, 0.0f);
   for (std::size_t r = 0; r < h; ++r) {
-    float sum = b_enc_[r];
-    const float* row = &w_enc_[r * d];
-    for (std::size_t c = 0; c < d; ++c) sum += row[c] * input[c];
+    const float sum = b_enc_[r] + simd::Dot(&w_enc_[r * d], input.data(), d);
     (*hidden)[r] = std::tanh(sum);
   }
   Vector output(d, 0.0f);
   for (std::size_t r = 0; r < d; ++r) {
-    float sum = b_dec_[r];
-    const float* row = &w_dec_[r * h];
-    for (std::size_t c = 0; c < h; ++c) sum += row[c] * (*hidden)[c];
-    output[r] = sum;  // linear decoder
+    // linear decoder
+    output[r] = b_dec_[r] + simd::Dot(&w_dec_[r * h], hidden->data(), h);
   }
   return output;
 }
@@ -81,12 +79,11 @@ void Autoencoder::TrainStep(const Vector& input, float lr) {
   Vector delta_out(d);
   for (std::size_t r = 0; r < d; ++r) delta_out[r] = output[r] - input[r];
 
-  // Hidden deltas through the decoder and tanh'.
+  // Hidden deltas through the decoder and tanh'. Axpy is element-wise, so
+  // these match the hand-written loops bit for bit.
   Vector delta_hidden(h, 0.0f);
   for (std::size_t r = 0; r < d; ++r) {
-    const float g = delta_out[r];
-    const float* row = &w_dec_[r * h];
-    for (std::size_t c = 0; c < h; ++c) delta_hidden[c] += g * row[c];
+    simd::Axpy(delta_out[r], &w_dec_[r * h], delta_hidden.data(), h);
   }
   for (std::size_t c = 0; c < h; ++c) {
     delta_hidden[c] *= 1.0f - hidden[c] * hidden[c];
@@ -95,15 +92,13 @@ void Autoencoder::TrainStep(const Vector& input, float lr) {
   // Decoder update.
   for (std::size_t r = 0; r < d; ++r) {
     const float g = lr * delta_out[r];
-    float* row = &w_dec_[r * h];
-    for (std::size_t c = 0; c < h; ++c) row[c] -= g * hidden[c];
+    simd::Axpy(-g, hidden.data(), &w_dec_[r * h], h);
     b_dec_[r] -= g;
   }
   // Encoder update.
   for (std::size_t r = 0; r < h; ++r) {
     const float g = lr * delta_hidden[r];
-    float* row = &w_enc_[r * d];
-    for (std::size_t c = 0; c < d; ++c) row[c] -= g * input[c];
+    simd::Axpy(-g, input.data(), &w_enc_[r * d], d);
     b_enc_[r] -= g;
   }
 }

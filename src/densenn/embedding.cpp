@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/hash.hpp"
+#include "common/simd.hpp"
 #include "text/clean.hpp"
 
 namespace erb::densenn {
@@ -68,18 +69,11 @@ std::vector<Vector> EmbedSide(const core::Dataset& dataset, int side,
 }
 
 float Dot(const Vector& a, const Vector& b) {
-  float sum = 0.0f;
-  for (std::size_t d = 0; d < a.size(); ++d) sum += a[d] * b[d];
-  return sum;
+  return simd::Dot(a.data(), b.data(), a.size());
 }
 
 float SquaredL2(const Vector& a, const Vector& b) {
-  float sum = 0.0f;
-  for (std::size_t d = 0; d < a.size(); ++d) {
-    const float diff = a[d] - b[d];
-    sum += diff * diff;
-  }
-  return sum;
+  return simd::SquaredL2(a.data(), b.data(), a.size());
 }
 
 void Normalize(Vector* v) {

@@ -1,58 +1,152 @@
 #include "densenn/flat_index.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 
 namespace erb::densenn {
 namespace {
 
-// Score where higher is better, regardless of metric.
-float Score(DenseMetric metric, const Vector& a, const Vector& b) {
-  return metric == DenseMetric::kDotProduct ? Dot(a, b) : -SquaredL2(a, b);
+using Entry = std::pair<float, std::uint32_t>;  // (score, id)
+
+// Scoring policies: higher is better for both, so the scan loop below can be
+// instantiated once per metric and carry no per-pair branch.
+struct DotScore {
+  static float Score(const float* q, const float* v, std::size_t n) {
+    return simd::Dot(q, v, n);
+  }
+};
+struct L2Score {
+  static float Score(const float* q, const float* v, std::size_t n) {
+    return -simd::SquaredL2(q, v, n);
+  }
+};
+
+bool HeapCmp(const Entry& a, const Entry& b) {
+  return a.first != b.first ? a.first > b.first : a.second < b.second;
+}
+
+// Offers (score, id) to a bounded min-heap of the best k entries. Ids must be
+// offered in ascending order; ties keep the earlier id.
+void OfferTopK(std::vector<Entry>* heap, int k, float score, std::uint32_t id) {
+  if (static_cast<int>(heap->size()) < k) {
+    heap->emplace_back(score, id);
+    std::push_heap(heap->begin(), heap->end(), HeapCmp);
+  } else if (!heap->empty() && score > heap->front().first) {
+    std::pop_heap(heap->begin(), heap->end(), HeapCmp);
+    heap->back() = {score, id};
+    std::push_heap(heap->begin(), heap->end(), HeapCmp);
+  }
+}
+
+// Best first: descending score, ascending id on ties.
+std::vector<std::uint32_t> FinishTopK(std::vector<Entry>* heap) {
+  std::sort(heap->begin(), heap->end(), HeapCmp);
+  std::vector<std::uint32_t> ids;
+  ids.reserve(heap->size());
+  for (const auto& [score, id] : *heap) ids.push_back(id);
+  return ids;
+}
+
+// Scans the tile [row_begin, row_end) for every query in [query_begin,
+// query_end), updating each query's heap. The tile of indexed rows stays
+// cache-resident across the whole query block.
+template <typename Policy>
+void ScanTile(const VectorMatrix& matrix, std::size_t row_begin,
+              std::size_t row_end, const std::vector<Vector>& queries,
+              std::size_t query_begin, std::size_t query_end, int k,
+              std::vector<std::vector<Entry>>* heaps) {
+  const std::size_t dim = matrix.dim();
+  for (std::size_t q = query_begin; q < query_end; ++q) {
+    const float* query = queries[q].data();
+    std::vector<Entry>& heap = (*heaps)[q - query_begin];
+    for (std::size_t id = row_begin; id < row_end; ++id) {
+      OfferTopK(&heap, k, Policy::Score(query, matrix.row(id), dim),
+                static_cast<std::uint32_t>(id));
+    }
+  }
+}
+
+// Tiled kNN for one block of queries. Each query visits ids in ascending
+// order (tiles ascend, rows within a tile ascend), so per-query results are
+// exactly those of the single-query scan.
+template <typename Policy>
+void SearchBlock(const VectorMatrix& matrix, const std::vector<Vector>& queries,
+                 std::size_t query_begin, std::size_t query_end, int k,
+                 std::vector<std::vector<std::uint32_t>>* results) {
+  std::vector<std::vector<Entry>> heaps(query_end - query_begin);
+  for (auto& heap : heaps) heap.reserve(static_cast<std::size_t>(k) + 1);
+  for (std::size_t row = 0; row < matrix.rows(); row += FlatIndex::kTileRows) {
+    const std::size_t row_end =
+        std::min(matrix.rows(), row + FlatIndex::kTileRows);
+    ScanTile<Policy>(matrix, row, row_end, queries, query_begin, query_end, k,
+                     &heaps);
+  }
+  for (std::size_t q = query_begin; q < query_end; ++q) {
+    (*results)[q] = FinishTopK(&heaps[q - query_begin]);
+  }
+}
+
+// Tiled range search for one block of queries: every id whose score reaches
+// `min_score` (ids ascend per query, matching the single-query scan).
+template <typename Policy>
+void RangeBlock(const VectorMatrix& matrix, const std::vector<Vector>& queries,
+                std::size_t query_begin, std::size_t query_end, float min_score,
+                std::vector<std::vector<std::uint32_t>>* results) {
+  const std::size_t dim = matrix.dim();
+  for (std::size_t row = 0; row < matrix.rows(); row += FlatIndex::kTileRows) {
+    const std::size_t row_end =
+        std::min(matrix.rows(), row + FlatIndex::kTileRows);
+    for (std::size_t q = query_begin; q < query_end; ++q) {
+      const float* query = queries[q].data();
+      std::vector<std::uint32_t>& out = (*results)[q];
+      for (std::size_t id = row; id < row_end; ++id) {
+        if (Policy::Score(query, matrix.row(id), dim) >= min_score) {
+          out.push_back(static_cast<std::uint32_t>(id));
+        }
+      }
+    }
+  }
 }
 
 }  // namespace
 
-FlatIndex::FlatIndex(std::vector<Vector> vectors, DenseMetric metric)
-    : vectors_(std::move(vectors)), metric_(metric) {}
+FlatIndex::FlatIndex(const std::vector<Vector>& vectors, DenseMetric metric)
+    : vectors_(vectors), metric_(metric) {
+  simd::RecordDispatch();
+}
 
 std::vector<std::uint32_t> FlatIndex::Search(const Vector& query, int k) const {
-  using Entry = std::pair<float, std::uint32_t>;  // (score, id)
-  // Bounded min-heap of the best k scores.
   std::vector<Entry> heap;
   heap.reserve(static_cast<std::size_t>(k) + 1);
-  auto cmp = [](const Entry& a, const Entry& b) {
-    return a.first != b.first ? a.first > b.first : a.second < b.second;
-  };
-  for (std::uint32_t id = 0; id < vectors_.size(); ++id) {
-    const float score = Score(metric_, query, vectors_[id]);
-    if (static_cast<int>(heap.size()) < k) {
-      heap.emplace_back(score, id);
-      std::push_heap(heap.begin(), heap.end(), cmp);
-    } else if (!heap.empty() && score > heap.front().first) {
-      std::pop_heap(heap.begin(), heap.end(), cmp);
-      heap.back() = {score, id};
-      std::push_heap(heap.begin(), heap.end(), cmp);
+  const std::size_t dim = vectors_.dim();
+  if (metric_ == DenseMetric::kDotProduct) {
+    for (std::uint32_t id = 0; id < vectors_.rows(); ++id) {
+      OfferTopK(&heap, k, DotScore::Score(query.data(), vectors_.row(id), dim),
+                id);
+    }
+  } else {
+    for (std::uint32_t id = 0; id < vectors_.rows(); ++id) {
+      OfferTopK(&heap, k, L2Score::Score(query.data(), vectors_.row(id), dim),
+                id);
     }
   }
-  // Best first: descending score, ascending id on ties.
-  std::sort(heap.begin(), heap.end(), [](const Entry& a, const Entry& b) {
-    return a.first != b.first ? a.first > b.first : a.second < b.second;
-  });
-  std::vector<std::uint32_t> ids;
-  ids.reserve(heap.size());
-  for (const auto& [score, id] : heap) ids.push_back(id);
-  return ids;
+  return FinishTopK(&heap);
 }
 
 std::vector<std::vector<std::uint32_t>> FlatIndex::SearchBatch(
     const std::vector<Vector>& queries, int k) const {
   std::vector<std::vector<std::uint32_t>> results(queries.size());
-  ParallelFor(0, queries.size(), /*grain=*/0,
+  ParallelFor(0, queries.size(), /*grain=*/kQueryBlock,
               [&](std::size_t begin, std::size_t end) {
-                for (std::size_t q = begin; q < end; ++q) {
-                  results[q] = Search(queries[q], k);
+                if (metric_ == DenseMetric::kDotProduct) {
+                  SearchBlock<DotScore>(vectors_, queries, begin, end, k,
+                                        &results);
+                } else {
+                  SearchBlock<L2Score>(vectors_, queries, begin, end, k,
+                                       &results);
                 }
               });
   return results;
@@ -60,14 +154,40 @@ std::vector<std::vector<std::uint32_t>> FlatIndex::SearchBatch(
 
 std::vector<std::uint32_t> FlatIndex::RangeSearch(const Vector& query,
                                                   float radius) const {
+  // Both metrics reduce to "score >= min_score": dot scores directly, and
+  // SquaredL2 <= radius is -SquaredL2 >= -radius (float negation is exact).
   std::vector<std::uint32_t> ids;
-  for (std::uint32_t id = 0; id < vectors_.size(); ++id) {
-    const bool within = metric_ == DenseMetric::kDotProduct
-                            ? Dot(query, vectors_[id]) >= radius
-                            : SquaredL2(query, vectors_[id]) <= radius;
-    if (within) ids.push_back(id);
+  const std::size_t dim = vectors_.dim();
+  if (metric_ == DenseMetric::kDotProduct) {
+    for (std::uint32_t id = 0; id < vectors_.rows(); ++id) {
+      if (DotScore::Score(query.data(), vectors_.row(id), dim) >= radius) {
+        ids.push_back(id);
+      }
+    }
+  } else {
+    for (std::uint32_t id = 0; id < vectors_.rows(); ++id) {
+      if (L2Score::Score(query.data(), vectors_.row(id), dim) >= -radius) {
+        ids.push_back(id);
+      }
+    }
   }
   return ids;
+}
+
+std::vector<std::vector<std::uint32_t>> FlatIndex::RangeSearchBatch(
+    const std::vector<Vector>& queries, float radius) const {
+  std::vector<std::vector<std::uint32_t>> results(queries.size());
+  ParallelFor(0, queries.size(), /*grain=*/kQueryBlock,
+              [&](std::size_t begin, std::size_t end) {
+                if (metric_ == DenseMetric::kDotProduct) {
+                  RangeBlock<DotScore>(vectors_, queries, begin, end, radius,
+                                       &results);
+                } else {
+                  RangeBlock<L2Score>(vectors_, queries, begin, end, -radius,
+                                      &results);
+                }
+              });
+  return results;
 }
 
 }  // namespace erb::densenn

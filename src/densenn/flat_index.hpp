@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "densenn/embedding.hpp"
+#include "densenn/vector_matrix.hpp"
 
 namespace erb::densenn {
 
@@ -16,18 +17,25 @@ enum class DenseMetric {
   kDotProduct,  ///< maximum inner product
 };
 
-/// A brute-force kNN index: exact by construction.
+/// A brute-force kNN index: exact by construction. Vectors live in a
+/// contiguous row-major VectorMatrix and are scanned with the dispatched
+/// SIMD kernels; the metric is hoisted out of the scan loop (the loop is
+/// instantiated per metric), so the per-pair work is one kernel call and one
+/// heap compare.
 class FlatIndex {
  public:
-  FlatIndex(std::vector<Vector> vectors, DenseMetric metric);
+  FlatIndex(const std::vector<Vector>& vectors, DenseMetric metric);
 
   /// The ids of the k nearest vectors to `query`, best first. Ties broken by
   /// id for determinism.
   std::vector<std::uint32_t> Search(const Vector& query, int k) const;
 
-  /// Search() for every query, fanned across the thread pool; results[q] is
-  /// exactly Search(queries[q], k) (queries are independent, so the batch is
-  /// deterministic at any thread count).
+  /// Search() for every query, fanned across the thread pool in blocks of
+  /// kQueryBlock queries scanned tile-by-tile: a cache-resident tile of
+  /// indexed rows is reused by every query of the block before moving on.
+  /// results[q] is exactly Search(queries[q], k) — each query still visits
+  /// ids in ascending order, so heap decisions are identical (queries are
+  /// independent, so the batch is deterministic at any thread count).
   std::vector<std::vector<std::uint32_t>> SearchBatch(
       const std::vector<Vector>& queries, int k) const;
 
@@ -37,12 +45,23 @@ class FlatIndex {
   /// search for Problem 1; bench_ablation reproduces that comparison.
   std::vector<std::uint32_t> RangeSearch(const Vector& query, float radius) const;
 
-  std::size_t size() const { return vectors_.size(); }
-  const Vector& vector(std::uint32_t id) const { return vectors_[id]; }
+  /// RangeSearch() for every query, tiled and fanned like SearchBatch.
+  std::vector<std::vector<std::uint32_t>> RangeSearchBatch(
+      const std::vector<Vector>& queries, float radius) const;
+
+  std::size_t size() const { return vectors_.rows(); }
+  Vector vector(std::uint32_t id) const { return vectors_.ToVector(id); }
   DenseMetric metric() const { return metric_; }
 
+  /// Queries per parallel work item in the batch entry points.
+  static constexpr std::size_t kQueryBlock = 8;
+
+  /// Indexed rows per tile: sized so one tile of 300-dim rows (stride 304,
+  /// ~1.2 KB) stays in L2 alongside the query block (~256 KB per tile).
+  static constexpr std::size_t kTileRows = 208;
+
  private:
-  std::vector<Vector> vectors_;
+  VectorMatrix vectors_;
   DenseMetric metric_;
 };
 

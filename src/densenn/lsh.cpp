@@ -10,7 +10,9 @@
 #include "common/hash.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "densenn/embedding.hpp"
+#include "densenn/vector_matrix.hpp"
 #include "obs/trace.hpp"
 
 namespace erb::densenn {
@@ -23,29 +25,35 @@ using BucketMap = std::unordered_map<std::uint64_t, std::vector<core::EntityId>>
 // ---------------------------------------------------------------------------
 
 struct HyperplaneTables {
-  // hyperplanes[t][h] is one dim-sized normal vector.
-  std::vector<std::vector<Vector>> hyperplanes;
+  // hyperplanes[t] is a (hashes x dim) matrix; row h is one normal vector.
+  // Contiguous rows keep the per-vector projection loop streaming.
+  std::vector<VectorMatrix> hyperplanes;
 
   HyperplaneTables(int tables, int hashes, int dim, std::uint64_t seed) {
+    simd::RecordDispatch();
     Rng rng(SplitMix64(seed ^ 0x4b1d));
-    hyperplanes.resize(static_cast<std::size_t>(tables));
-    for (auto& table : hyperplanes) {
-      table.resize(static_cast<std::size_t>(hashes));
-      for (auto& normal : table) {
-        normal.resize(static_cast<std::size_t>(dim));
-        for (float& x : normal) x = static_cast<float>(rng.NextGaussian());
+    hyperplanes.reserve(static_cast<std::size_t>(tables));
+    for (int t = 0; t < tables; ++t) {
+      VectorMatrix table(static_cast<std::size_t>(hashes),
+                         static_cast<std::size_t>(dim));
+      for (int h = 0; h < hashes; ++h) {
+        float* normal = table.mutable_row(static_cast<std::size_t>(h));
+        for (int d = 0; d < dim; ++d) {
+          normal[d] = static_cast<float>(rng.NextGaussian());
+        }
       }
+      hyperplanes.push_back(std::move(table));
     }
   }
 
   // Returns the bucket key of `v` in table `t` and fills `margins` with the
   // absolute dot products per bit (the flip order for multiprobing).
   std::uint64_t Key(const Vector& v, int t, std::vector<float>* margins) const {
-    const auto& table = hyperplanes[static_cast<std::size_t>(t)];
+    const VectorMatrix& table = hyperplanes[static_cast<std::size_t>(t)];
     std::uint64_t key = 0;
     margins->clear();
-    for (std::size_t h = 0; h < table.size(); ++h) {
-      const float dot = Dot(table[h], v);
+    for (std::size_t h = 0; h < table.rows(); ++h) {
+      const float dot = simd::Dot(table.row(h), v.data(), table.dim());
       if (dot >= 0.0f) key |= (1ULL << h);
       margins->push_back(std::abs(dot));
     }

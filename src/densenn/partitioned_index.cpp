@@ -5,35 +5,56 @@
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 
 namespace erb::densenn {
 namespace {
 
-float Score(DenseMetric metric, const Vector& a, const Vector& b) {
-  return metric == DenseMetric::kDotProduct ? Dot(a, b) : -SquaredL2(a, b);
+using Entry = std::pair<float, std::uint32_t>;  // (score, id)
+
+// Scoring policies over raw rows (higher is better). The partition scan is
+// instantiated per (metric, scoring mode) combination below, so neither
+// branch is evaluated per id.
+struct DotScore {
+  static float Score(const float* q, const float* v, std::size_t n) {
+    return simd::Dot(q, v, n);
+  }
+};
+struct L2Score {
+  static float Score(const float* q, const float* v, std::size_t n) {
+    return -simd::SquaredL2(q, v, n);
+  }
+};
+
+bool EntryCmp(const Entry& a, const Entry& b) {
+  return a.first != b.first ? a.first > b.first : a.second < b.second;
 }
 
 }  // namespace
 
 PartitionedIndex::PartitionedIndex(std::vector<Vector> vectors,
                                    const PartitionedConfig& config)
-    : vectors_(std::move(vectors)), config_(config) {
+    : vectors_(vectors), config_(config) {
+  simd::RecordDispatch();
   Train(config.seed, config.kmeans_iterations);
   if (config_.asymmetric_hashing) Quantize();
 }
 
 void PartitionedIndex::Train(std::uint64_t seed, int iterations) {
-  const std::size_t n = vectors_.size();
+  const std::size_t n = vectors_.rows();
+  const std::size_t dim = vectors_.dim();
   // SCANN sizes partitions around sqrt(n); at least one.
   const std::size_t k = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::sqrt(static_cast<double>(n))));
   Rng rng(seed);
 
   // Initialize centroids from random distinct vectors.
-  centroids_.clear();
-  centroids_.reserve(k);
+  centroids_ = VectorMatrix(k, dim);
   for (std::size_t c = 0; c < k; ++c) {
-    centroids_.push_back(vectors_[rng.NextBounded(std::max<std::size_t>(1, n))]);
+    const float* src =
+        vectors_.row(rng.NextBounded(std::max<std::size_t>(1, n)));
+    float* dst = centroids_.mutable_row(c);
+    for (std::size_t d = 0; d < dim; ++d) dst[d] = src[d];
   }
 
   std::vector<std::uint32_t> assignment(n, 0);
@@ -42,10 +63,11 @@ void PartitionedIndex::Train(std::uint64_t seed, int iterations) {
     // update below stays sequential so its float accumulation order is fixed.
     ParallelFor(0, n, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {
+        const float* v = vectors_.row(i);
         float best = -1e30f;
         std::uint32_t best_c = 0;
-        for (std::uint32_t c = 0; c < centroids_.size(); ++c) {
-          const float score = -SquaredL2(vectors_[i], centroids_[c]);
+        for (std::uint32_t c = 0; c < centroids_.rows(); ++c) {
+          const float score = -simd::SquaredL2(v, centroids_.row(c), dim);
           if (score > best) {
             best = score;
             best_c = c;
@@ -55,49 +77,55 @@ void PartitionedIndex::Train(std::uint64_t seed, int iterations) {
       }
     });
     // Update.
-    std::vector<Vector> sums(centroids_.size(),
-                             Vector(vectors_.empty() ? 0 : vectors_[0].size(), 0.0f));
-    std::vector<std::size_t> counts(centroids_.size(), 0);
+    std::vector<std::vector<float>> sums(centroids_.rows(),
+                                         std::vector<float>(dim, 0.0f));
+    std::vector<std::size_t> counts(centroids_.rows(), 0);
     for (std::size_t i = 0; i < n; ++i) {
       auto& sum = sums[assignment[i]];
-      for (std::size_t d = 0; d < sum.size(); ++d) sum[d] += vectors_[i][d];
+      const float* v = vectors_.row(i);
+      for (std::size_t d = 0; d < dim; ++d) sum[d] += v[d];
       ++counts[assignment[i]];
     }
-    for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    for (std::size_t c = 0; c < centroids_.rows(); ++c) {
+      float* centroid = centroids_.mutable_row(c);
       if (counts[c] == 0) {
         // Re-seed an empty partition with a random vector.
-        if (n > 0) centroids_[c] = vectors_[rng.NextBounded(n)];
+        if (n > 0) {
+          const float* src = vectors_.row(rng.NextBounded(n));
+          for (std::size_t d = 0; d < dim; ++d) centroid[d] = src[d];
+        }
         continue;
       }
-      for (std::size_t d = 0; d < sums[c].size(); ++d) {
-        centroids_[c][d] = sums[c][d] / static_cast<float>(counts[c]);
+      for (std::size_t d = 0; d < dim; ++d) {
+        centroid[d] = sums[c][d] / static_cast<float>(counts[c]);
       }
     }
   }
 
-  partitions_.assign(centroids_.size(), {});
+  partitions_.assign(centroids_.rows(), {});
   for (std::size_t i = 0; i < n; ++i) {
     partitions_[assignment[i]].push_back(static_cast<std::uint32_t>(i));
   }
 }
 
 void PartitionedIndex::Quantize() {
-  const std::size_t n = vectors_.size();
-  const std::size_t dim = n == 0 ? 0 : vectors_[0].size();
+  const std::size_t n = vectors_.rows();
+  const std::size_t dim = vectors_.dim();
   codes_.resize(n * dim);
   scales_.resize(n);
   offsets_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
+    const float* v = vectors_.row(i);
     float lo = 0.0f, hi = 0.0f;
-    for (float x : vectors_[i]) {
-      lo = std::min(lo, x);
-      hi = std::max(hi, x);
+    for (std::size_t d = 0; d < dim; ++d) {
+      lo = std::min(lo, v[d]);
+      hi = std::max(hi, v[d]);
     }
     const float scale = (hi - lo) > 1e-12f ? (hi - lo) / 254.0f : 1.0f;
     scales_[i] = scale;
     offsets_[i] = lo;
     for (std::size_t d = 0; d < dim; ++d) {
-      const float q = (vectors_[i][d] - lo) / scale - 127.0f;
+      const float q = (v[d] - lo) / scale - 127.0f;
       codes_[i * dim + d] = static_cast<std::int8_t>(
           std::clamp(std::lround(q), -127L, 127L));
     }
@@ -116,59 +144,86 @@ std::vector<std::vector<std::uint32_t>> PartitionedIndex::SearchBatch(
   return results;
 }
 
+namespace {
+
+// Scores one partition, appending (score, id) entries. kAsymmetric selects
+// quantized-against-full-precision scoring: the int8 code is dequantized into
+// `scratch` and scored with the same SIMD kernel as the exact path, so both
+// paths share one reduction order and the dequantize loop is the only extra
+// per-id work.
+template <typename Policy, bool kAsymmetric>
+void ScorePartition(const VectorMatrix& vectors,
+                    const std::vector<std::uint32_t>& partition,
+                    const std::int8_t* codes, const float* scales,
+                    const float* offsets, const float* query, std::size_t dim,
+                    std::vector<float>* scratch, std::vector<Entry>* scored) {
+  for (std::uint32_t id : partition) {
+    float score;
+    if constexpr (kAsymmetric) {
+      const std::int8_t* code = codes + static_cast<std::size_t>(id) * dim;
+      const float scale = scales[id];
+      const float offset = offsets[id];
+      float* deq = scratch->data();
+      for (std::size_t d = 0; d < dim; ++d) {
+        deq[d] = (code[d] + 127.0f) * scale + offset;
+      }
+      score = Policy::Score(query, deq, dim);
+    } else {
+      score = Policy::Score(query, vectors.row(id), dim);
+    }
+    scored->emplace_back(score, id);
+  }
+}
+
+}  // namespace
+
 std::vector<std::uint32_t> PartitionedIndex::Search(const Vector& query,
                                                     int k) const {
   // Rank partitions by centroid proximity and probe a fixed budget of the
   // top ~sqrt(#partitions). The budget is deliberately independent of k so
   // result prefixes are consistent across k (Search(q, k) equals the first k
   // entries of Search(q, k') for k' > k under brute-force scoring).
-  std::vector<std::pair<float, std::uint32_t>> centroid_scores;
-  centroid_scores.reserve(centroids_.size());
-  for (std::uint32_t c = 0; c < centroids_.size(); ++c) {
-    centroid_scores.emplace_back(Score(config_.metric, query, centroids_[c]), c);
+  const std::size_t dim = vectors_.dim();
+  const bool dot = config_.metric == DenseMetric::kDotProduct;
+  std::vector<Entry> centroid_scores;
+  centroid_scores.reserve(centroids_.rows());
+  for (std::uint32_t c = 0; c < centroids_.rows(); ++c) {
+    const float score = dot ? DotScore::Score(query.data(), centroids_.row(c), dim)
+                            : L2Score::Score(query.data(), centroids_.row(c), dim);
+    centroid_scores.emplace_back(score, c);
   }
   std::sort(centroid_scores.begin(), centroid_scores.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
   std::size_t probes = std::max<std::size_t>(
       1, static_cast<std::size_t>(
-             std::sqrt(static_cast<double>(centroids_.size()))) + 1);
+             std::sqrt(static_cast<double>(centroids_.rows()))) + 1);
   probes = std::min(probes, centroid_scores.size());
 
-  const std::size_t dim = vectors_.empty() ? 0 : vectors_[0].size();
-  using Entry = std::pair<float, std::uint32_t>;
   std::vector<Entry> scored;
-
-  std::size_t probed = 0;
-  for (std::size_t p = 0; p < centroid_scores.size(); ++p) {
-    if (probed >= probes) break;
+  std::vector<float> scratch(config_.asymmetric_hashing ? dim : 0);
+  for (std::size_t p = 0; p < probes; ++p) {
     const auto& partition = partitions_[centroid_scores[p].second];
-    for (std::uint32_t id : partition) {
-      float score;
-      if (config_.asymmetric_hashing) {
-        // Asymmetric scoring: full-precision query against quantized vector.
-        const std::int8_t* code = &codes_[id * dim];
-        const float scale = scales_[id];
-        const float offset = offsets_[id];
-        if (config_.metric == DenseMetric::kDotProduct) {
-          float dot = 0.0f;
-          for (std::size_t d = 0; d < dim; ++d) {
-            dot += query[d] * ((code[d] + 127.0f) * scale + offset);
-          }
-          score = dot;
-        } else {
-          float dist = 0.0f;
-          for (std::size_t d = 0; d < dim; ++d) {
-            const float diff = query[d] - ((code[d] + 127.0f) * scale + offset);
-            dist += diff * diff;
-          }
-          score = -dist;
-        }
+    if (config_.asymmetric_hashing) {
+      if (dot) {
+        ScorePartition<DotScore, true>(vectors_, partition, codes_.data(),
+                                       scales_.data(), offsets_.data(),
+                                       query.data(), dim, &scratch, &scored);
       } else {
-        score = Score(config_.metric, query, vectors_[id]);
+        ScorePartition<L2Score, true>(vectors_, partition, codes_.data(),
+                                      scales_.data(), offsets_.data(),
+                                      query.data(), dim, &scratch, &scored);
       }
-      scored.emplace_back(score, id);
+    } else {
+      if (dot) {
+        ScorePartition<DotScore, false>(vectors_, partition, nullptr, nullptr,
+                                        nullptr, query.data(), dim, &scratch,
+                                        &scored);
+      } else {
+        ScorePartition<L2Score, false>(vectors_, partition, nullptr, nullptr,
+                                       nullptr, query.data(), dim, &scratch,
+                                       &scored);
+      }
     }
-    ++probed;
   }
 
   // Short-list selection; with asymmetric hashing, exact re-scoring of the
@@ -182,18 +237,14 @@ std::vector<std::uint32_t> PartitionedIndex::Search(const Vector& query,
                                       4 * static_cast<std::size_t>(k), 100))
           : std::min<std::size_t>(scored.size(), static_cast<std::size_t>(k));
   std::partial_sort(scored.begin(), scored.begin() + shortlist, scored.end(),
-                    [](const Entry& a, const Entry& b) {
-                      return a.first != b.first ? a.first > b.first
-                                                : a.second < b.second;
-                    });
+                    EntryCmp);
   scored.resize(shortlist);
   if (config_.asymmetric_hashing) {
     for (auto& [score, id] : scored) {
-      score = Score(config_.metric, query, vectors_[id]);
+      score = dot ? DotScore::Score(query.data(), vectors_.row(id), dim)
+                  : L2Score::Score(query.data(), vectors_.row(id), dim);
     }
-    std::sort(scored.begin(), scored.end(), [](const Entry& a, const Entry& b) {
-      return a.first != b.first ? a.first > b.first : a.second < b.second;
-    });
+    std::sort(scored.begin(), scored.end(), EntryCmp);
   }
 
   std::vector<std::uint32_t> ids;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "densenn/flat_index.hpp"
+#include "densenn/vector_matrix.hpp"
 
 namespace erb::densenn {
 
@@ -34,16 +35,16 @@ class PartitionedIndex {
   std::vector<std::vector<std::uint32_t>> SearchBatch(
       const std::vector<Vector>& queries, int k) const;
 
-  std::size_t size() const { return vectors_.size(); }
-  std::size_t NumPartitions() const { return centroids_.size(); }
+  std::size_t size() const { return vectors_.rows(); }
+  std::size_t NumPartitions() const { return centroids_.rows(); }
 
  private:
   void Train(std::uint64_t seed, int iterations);
   void Quantize();
 
-  std::vector<Vector> vectors_;
+  VectorMatrix vectors_;
   PartitionedConfig config_;
-  std::vector<Vector> centroids_;
+  VectorMatrix centroids_;
   std::vector<std::vector<std::uint32_t>> partitions_;
   // Asymmetric hashing codebook: per-vector int8 codes + scale/offset.
   std::vector<std::int8_t> codes_;

@@ -1,0 +1,101 @@
+// Contiguous row-major float storage for dense vector collections.
+//
+// The pointer-chasing std::vector<Vector> layout costs the scan kernels one
+// indirection plus an unpredictable heap address per row; VectorMatrix keeps
+// every row in one allocation with the row stride padded to kRowAlign bytes,
+// so a full scan walks memory strictly sequentially and every row start is
+// 32-byte-aligned for the vector loads in common/simd.hpp. Padding floats
+// are zero and sit outside the logical dimension — kernels run over
+// [0, dim), so padding never enters any reduction.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "densenn/embedding.hpp"
+
+namespace erb::densenn {
+
+/// Minimal aligned allocator so matrix storage can live in a std::vector.
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  using value_type = T;
+
+  // Required explicitly: allocator_traits cannot synthesize rebind across a
+  // non-type template parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(std::size_t n) {
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(Alignment));
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const { return true; }
+};
+
+/// Row alignment in bytes (one AVX2 register).
+inline constexpr std::size_t kRowAlign = 32;
+
+/// A dense (rows x dim) float matrix with aligned, padded rows.
+class VectorMatrix {
+ public:
+  VectorMatrix() = default;
+
+  /// Copies `rows` into contiguous storage. Every row must have the same
+  /// dimensionality as the first; shorter storage is a caller bug.
+  explicit VectorMatrix(const std::vector<Vector>& rows)
+      : VectorMatrix(rows.size(),
+                     rows.empty() ? 0 : rows.front().size()) {
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      float* out = mutable_row(r);
+      for (std::size_t d = 0; d < dim_; ++d) out[d] = rows[r][d];
+    }
+  }
+
+  /// An all-zero (rows x dim) matrix.
+  VectorMatrix(std::size_t rows, std::size_t dim)
+      : rows_(rows),
+        dim_(dim),
+        stride_((dim + kFloatsPerAlign - 1) / kFloatsPerAlign *
+                kFloatsPerAlign),
+        data_(rows * stride_, 0.0f) {}
+
+  std::size_t rows() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
+  /// Logical dimensionality (kernels reduce over exactly this many floats).
+  std::size_t dim() const { return dim_; }
+  /// Floats between consecutive row starts (dim rounded up to the alignment).
+  std::size_t stride() const { return stride_; }
+
+  const float* row(std::size_t r) const { return data_.data() + r * stride_; }
+  float* mutable_row(std::size_t r) { return data_.data() + r * stride_; }
+
+  /// Materializes row `r` as a Vector (for callers that still want one).
+  Vector ToVector(std::size_t r) const {
+    const float* p = row(r);
+    return Vector(p, p + dim_);
+  }
+
+ private:
+  static constexpr std::size_t kFloatsPerAlign = kRowAlign / sizeof(float);
+
+  std::size_t rows_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<float, AlignedAllocator<float, kRowAlign>> data_;
+};
+
+}  // namespace erb::densenn

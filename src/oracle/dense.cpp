@@ -10,16 +10,33 @@ namespace erb::oracle {
 using densenn::DenseMetric;
 using densenn::Vector;
 
+// The production kernels (common/simd.hpp) reduce through 8 striped lanes
+// folded as ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)) with a sequential tail —
+// the same expression on every backend, which is what keeps ERB_SIMD
+// settings byte-identical. The references replicate that association order
+// (per §7a: same arithmetic expression, independent control structure) so
+// score comparisons stay exact rather than ULP-bounded.
 float DotOracle(const Vector& a, const Vector& b) {
-  float sum = 0.0f;
-  for (std::size_t d = 0; d < a.size(); ++d) sum += a[d] * b[d];
+  const std::size_t n = a.size();
+  const std::size_t main = n - n % 8;
+  float l[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (std::size_t i = 0; i < main; ++i) l[i % 8] += a[i] * b[i];
+  float sum = ((l[0] + l[4]) + (l[2] + l[6])) + ((l[1] + l[5]) + (l[3] + l[7]));
+  for (std::size_t i = main; i < n; ++i) sum += a[i] * b[i];
   return sum;
 }
 
 float SquaredL2Oracle(const Vector& a, const Vector& b) {
-  float sum = 0.0f;
-  for (std::size_t d = 0; d < a.size(); ++d) {
-    const float diff = a[d] - b[d];
+  const std::size_t n = a.size();
+  const std::size_t main = n - n % 8;
+  float l[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (std::size_t i = 0; i < main; ++i) {
+    const float diff = a[i] - b[i];
+    l[i % 8] += diff * diff;
+  }
+  float sum = ((l[0] + l[4]) + (l[2] + l[6])) + ((l[1] + l[5]) + (l[3] + l[7]));
+  for (std::size_t i = main; i < n; ++i) {
+    const float diff = a[i] - b[i];
     sum += diff * diff;
   }
   return sum;

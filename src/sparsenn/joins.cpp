@@ -1,6 +1,7 @@
 #include "sparsenn/joins.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/parallel.hpp"
@@ -13,14 +14,16 @@ namespace {
 using core::EntityId;
 
 // Probes the index with every query set in parallel and folds the scored
-// matches into one accumulator per chunk: `collect(query_id, matches, acc)`
-// receives (indexed_id, similarity) pairs with overlap >= 1, and `merge`
-// folds the chunk accumulators in ascending chunk order (so the result is
-// deterministic at any thread count). Each chunk owns its probe scratch.
-template <typename Acc, typename Collect, typename Merge>
+// matches into one accumulator per chunk: `probe(index, query, scratch,
+// matches)` fills the (indexed_id, similarity) matches of one query,
+// `collect(query_id, matches, acc)` consumes them, and `merge` folds the
+// chunk accumulators in ascending chunk order (so the result is
+// deterministic at any thread count). Each chunk owns its probe scratch;
+// any pruning counters the probe accumulated are flushed once per chunk.
+template <typename Acc, typename ProbeFn, typename Collect, typename Merge>
 Acc ParallelProbe(const ScanCountIndex& index,
-                  const std::vector<TokenSet>& query_sets,
-                  const SparseConfig& config, Collect&& collect, Merge&& merge) {
+                  const std::vector<TokenSet>& query_sets, ProbeFn&& probe,
+                  Collect&& collect, Merge&& merge) {
   return ParallelMapReduce<Acc>(
       0, query_sets.size(), /*grain=*/0,
       [&](std::size_t chunk_begin, std::size_t chunk_end) {
@@ -29,16 +32,10 @@ Acc ParallelProbe(const ScanCountIndex& index,
         std::vector<std::pair<EntityId, double>> matches;
         for (std::size_t q = chunk_begin; q < chunk_end; ++q) {
           matches.clear();
-          const TokenSet& query = query_sets[q];
-          index.Probe(query, &scratch,
-                      [&](std::uint32_t id, std::uint32_t overlap,
-                          std::uint32_t indexed_size) {
-                        matches.emplace_back(
-                            id, SetSimilarity(config.measure, overlap,
-                                              query.size(), indexed_size));
-                      });
+          probe(index, query_sets[q], &scratch, &matches);
           collect(static_cast<EntityId>(q), matches, acc);
         }
+        ScanCountIndex::FlushCounters(&scratch);
         return acc;
       },
       merge);
@@ -48,11 +45,50 @@ void MergeCandidates(core::CandidateSet& into, core::CandidateSet&& from) {
   into.Merge(std::move(from));
 }
 
+// The unfiltered probe: every indexed set sharing at least one token.
+struct ProbeAll {
+  SimilarityMeasure measure;
+
+  void operator()(const ScanCountIndex& index, const TokenSet& query,
+                  ScanCountIndex::ProbeScratch* scratch,
+                  std::vector<std::pair<EntityId, double>>* matches) const {
+    index.Probe(query, scratch,
+                [&](std::uint32_t id, std::uint32_t overlap,
+                    std::uint32_t indexed_size) {
+                  matches->emplace_back(
+                      id, SetSimilarity(measure, overlap, query.size(),
+                                        indexed_size));
+                });
+  }
+};
+
+// The length-filtered probe for a fixed similarity threshold: skips posting
+// lists and candidate sets that cannot reach it (see LengthBounds).
+struct ProbeWithLengthFilter {
+  SimilarityMeasure measure;
+  double threshold;
+
+  void operator()(const ScanCountIndex& index, const TokenSet& query,
+                  ScanCountIndex::ProbeScratch* scratch,
+                  std::vector<std::pair<EntityId, double>>* matches) const {
+    const ScanCountIndex::LengthFilter filter =
+        LengthBounds(measure, threshold, query.size());
+    index.ProbeFiltered(query, filter, scratch,
+                        [&](std::uint32_t id, std::uint32_t overlap,
+                            std::uint32_t indexed_size) {
+                          matches->emplace_back(
+                              id, SetSimilarity(measure, overlap, query.size(),
+                                                indexed_size));
+                        });
+  }
+};
+
 // Builds both sides' token sets, indexes one and probes with the other,
 // handing each query's scored matches to `collect(query_id, matches, acc)`.
-template <typename Collect>
+template <typename ProbeFn, typename Collect>
 SparseResult RunJoin(const core::Dataset& dataset, core::SchemaMode mode,
-                     const SparseConfig& config, bool reverse, Collect&& collect) {
+                     const SparseConfig& config, bool reverse, ProbeFn&& probe,
+                     Collect&& collect) {
   SparseResult result;
 
   const int indexed_side = reverse ? 1 : 0;
@@ -73,7 +109,7 @@ SparseResult RunJoin(const core::Dataset& dataset, core::SchemaMode mode,
 
   result.timing.Measure(kPhaseQuery, [&] {
     result.candidates = ParallelProbe<core::CandidateSet>(
-        index, query_sets, config, collect, MergeCandidates);
+        index, query_sets, probe, collect, MergeCandidates);
     // Finalize (sort + dedup) is part of emitting candidates, so it belongs
     // inside the timed query phase — RT must cover it.
     result.candidates.Finalize();
@@ -106,26 +142,71 @@ void OfferTopK(std::vector<double>* heap, std::size_t k, double sim) {
 
 }  // namespace
 
+ScanCountIndex::LengthFilter LengthBounds(SimilarityMeasure measure,
+                                          double threshold,
+                                          std::size_t query_size) {
+  ScanCountIndex::LengthFilter filter;
+  const double q = static_cast<double>(query_size);
+  const double t = threshold;
+  double min_size = 0.0, max_size = q, min_overlap = 1.0;
+  switch (measure) {
+    case SimilarityMeasure::kCosine:
+      min_size = t * t * q;
+      max_size = q / (t * t);
+      min_overlap = t * t * q;
+      break;
+    case SimilarityMeasure::kDice:
+      min_size = t * q / (2.0 - t);
+      max_size = q * (2.0 - t) / t;
+      min_overlap = t * q / (2.0 - t);
+      break;
+    case SimilarityMeasure::kJaccard:
+      min_size = t * q;
+      max_size = q / t;
+      min_overlap = t * q;
+      break;
+  }
+  // Widen each bound by one integer unit: rounding slack costs a little
+  // pruning at the boundary but can never drop a qualifying pair.
+  filter.min_size = static_cast<std::uint32_t>(
+      std::max(1.0, std::floor(min_size) - 1.0));
+  filter.max_size = static_cast<std::uint32_t>(
+      std::min(4294967295.0, std::ceil(max_size) + 1.0));
+  filter.min_overlap = static_cast<std::uint32_t>(
+      std::max(1.0, std::ceil(min_overlap) - 1.0));
+  return filter;
+}
+
 SparseResult EpsilonJoin(const core::Dataset& dataset, core::SchemaMode mode,
                          const SparseConfig& config, double threshold) {
   if (threshold <= 0.0) {
     // Similarities are non-negative, so a non-positive threshold admits every
     // pair of E1 x E2 — including pairs with no shared token, which the
-    // inverted index never surfaces.
+    // inverted index never surfaces. Chunks over E1 merge in ascending order,
+    // so the emitted sequence matches the sequential double loop.
     SparseResult result;
+    const std::size_t n2 = dataset.e2().size();
     result.timing.Measure(kPhaseQuery, [&] {
-      result.candidates.Reserve(dataset.CartesianSize());
-      for (EntityId i = 0; i < dataset.e1().size(); ++i) {
-        for (EntityId j = 0; j < dataset.e2().size(); ++j) {
-          result.candidates.Add(i, j);
-        }
-      }
+      result.candidates = ParallelMapReduce<core::CandidateSet>(
+          0, dataset.e1().size(), /*grain=*/0,
+          [&](std::size_t begin, std::size_t end) {
+            core::CandidateSet chunk;
+            chunk.Reserve((end - begin) * n2);
+            for (std::size_t i = begin; i < end; ++i) {
+              for (EntityId j = 0; j < n2; ++j) {
+                chunk.Add(static_cast<EntityId>(i), j);
+              }
+            }
+            return chunk;
+          },
+          MergeCandidates);
       result.candidates.Finalize();
     });
     obs::CounterAdd("sparse.candidates", result.candidates.size());
     return result;
   }
   return RunJoin(dataset, mode, config, /*reverse=*/false,
+                 ProbeWithLengthFilter{config.measure, threshold},
                  [threshold](EntityId q,
                              const std::vector<std::pair<EntityId, double>>& matches,
                              core::CandidateSet& candidates) {
@@ -138,7 +219,7 @@ SparseResult EpsilonJoin(const core::Dataset& dataset, core::SchemaMode mode,
 SparseResult KnnJoin(const core::Dataset& dataset, core::SchemaMode mode,
                      const SparseConfig& config, int k, bool reverse) {
   return RunJoin(
-      dataset, mode, config, reverse,
+      dataset, mode, config, reverse, ProbeAll{config.measure},
       [k, reverse](EntityId q, std::vector<std::pair<EntityId, double>>& matches,
                    core::CandidateSet& candidates) {
         // Retain the entities carrying the k highest distinct similarity
@@ -189,9 +270,10 @@ SparseResult GlobalTopKJoin(const core::Dataset& dataset, core::SchemaMode mode,
       kPhaseIndex, [&] { return ScanCountIndex(indexed_sets); });
   obs::GaugeSet("sparse.index_sets", indexed_sets.size());
 
+  const ProbeAll probe{config.measure};
   const std::vector<double> heap = result.timing.Measure(kPhaseQuery, [&] {
     return ParallelProbe<std::vector<double>>(
-        index, query_sets, config,
+        index, query_sets, probe,
         [global_k](EntityId,
                    const std::vector<std::pair<EntityId, double>>& matches,
                    std::vector<double>& heap) {
@@ -205,7 +287,7 @@ SparseResult GlobalTopKJoin(const core::Dataset& dataset, core::SchemaMode mode,
 
   result.timing.Measure(kPhaseQuery, [&] {
     result.candidates = ParallelProbe<core::CandidateSet>(
-        index, query_sets, config,
+        index, query_sets, probe,
         [threshold](EntityId q,
                     const std::vector<std::pair<EntityId, double>>& matches,
                     core::CandidateSet& candidates) {

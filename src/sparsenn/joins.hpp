@@ -5,6 +5,7 @@
 #include "common/timer.hpp"
 #include "core/candidates.hpp"
 #include "core/entity.hpp"
+#include "sparsenn/scancount.hpp"
 #include "sparsenn/tokenset.hpp"
 
 namespace erb::sparsenn {
@@ -28,8 +29,24 @@ inline constexpr const char* kPhasePreprocess = "preprocess";
 inline constexpr const char* kPhaseIndex = "index";
 inline constexpr const char* kPhaseQuery = "query";
 
+/// The length-filter window for a query of size `query_size` under an ε-Join
+/// at `threshold`: indexed sets outside [min_size, max_size], or sharing
+/// fewer than min_overlap tokens, cannot reach the threshold. Derivations
+/// (o = overlap, q = query size, s = indexed size, max o = min(q, s)):
+///   Cosine  o/sqrt(qs)  >= t  =>  s in [t^2 q, q/t^2],       o >= t^2 q
+///   Dice    2o/(q+s)    >= t  =>  s in [tq/(2-t), q(2-t)/t], o >= tq/(2-t)
+///   Jaccard o/(q+s-o)   >= t  =>  s in [tq, q/t],            o >= tq
+/// Each bound is widened by one integer unit against floating-point rounding;
+/// the exact similarity predicate still decides every surviving pair, so the
+/// filter only has to be sound, never tight.
+ScanCountIndex::LengthFilter LengthBounds(SimilarityMeasure measure,
+                                          double threshold,
+                                          std::size_t query_size);
+
 /// ε-Join: indexes E1 and pairs every query entity of E2 with all indexed
-/// entities of similarity >= `threshold`.
+/// entities of similarity >= `threshold`. Probes are length-filtered through
+/// LengthBounds(); the kNN and global top-K joins below keep unfiltered
+/// probes (their per-query thresholds are not known up front).
 SparseResult EpsilonJoin(const core::Dataset& dataset, core::SchemaMode mode,
                          const SparseConfig& config, double threshold);
 

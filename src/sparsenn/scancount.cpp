@@ -3,35 +3,49 @@
 #include <bit>
 
 #include "common/hash.hpp"
+#include "obs/trace.hpp"
 
 namespace erb::sparsenn {
 
 ScanCountIndex::ScanCountIndex(const std::vector<TokenSet>& sets) {
-  std::size_t total_tokens = 0;
   set_sizes_.reserve(sets.size());
   for (const auto& set : sets) {
     set_sizes_.push_back(static_cast<std::uint32_t>(set.size()));
-    total_tokens += set.size();
   }
 
-  // Size the open-addressed table at >= 2x the (upper bound of) distinct
-  // tokens; power of two for mask addressing.
-  const std::size_t capacity =
-      std::bit_ceil(std::max<std::size_t>(16, total_tokens * 2));
-  slots_.resize(capacity);
-  const std::size_t mask = capacity - 1;
+  // Pass 1: discover distinct tokens and count each list's postings. The
+  // token table grows with the distinct count, so a collection with heavy
+  // token reuse no longer pays for a table sized by total occurrences.
+  Rehash(16);
+  std::vector<std::uint32_t> list_counts;
+  for (const auto& set : sets) {
+    for (std::uint64_t token : set) {
+      const std::uint32_t list = InsertToken(token);
+      if (list == list_counts.size()) list_counts.push_back(0);
+      ++list_counts[list];
+    }
+  }
 
+  // Prefix-sum the counts into CSR offsets.
+  offsets_.resize(list_counts.size() + 1);
+  offsets_[0] = 0;
+  for (std::size_t i = 0; i < list_counts.size(); ++i) {
+    offsets_[i + 1] = offsets_[i] + list_counts[i];
+  }
+  postings_.resize(offsets_.back());
+  list_min_size_.assign(list_counts.size(), 0xffffffffu);
+  list_max_size_.assign(list_counts.size(), 0);
+
+  // Pass 2: fill postings in ascending set id (ids within a list ascend) and
+  // fold each member's size into the list's admissibility range.
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
   for (std::uint32_t id = 0; id < sets.size(); ++id) {
+    const std::uint32_t size = set_sizes_[id];
     for (std::uint64_t token : sets[id]) {
-      std::size_t pos = SplitMix64(token) & mask;
-      while (slots_[pos].used && slots_[pos].token != token) pos = (pos + 1) & mask;
-      if (!slots_[pos].used) {
-        slots_[pos].used = true;
-        slots_[pos].token = token;
-        slots_[pos].list_index = static_cast<std::uint32_t>(posting_lists_.size());
-        posting_lists_.emplace_back();
-      }
-      posting_lists_[slots_[pos].list_index].push_back(id);
+      const std::uint32_t list = FindList(token);
+      postings_[cursor[list]++] = id;
+      if (size < list_min_size_[list]) list_min_size_[list] = size;
+      if (size > list_max_size_[list]) list_max_size_[list] = size;
     }
   }
 
@@ -39,15 +53,52 @@ ScanCountIndex::ScanCountIndex(const std::vector<TokenSet>& sets) {
   scratch_.touched.reserve(sets.size());
 }
 
-const std::vector<std::uint32_t>* ScanCountIndex::PostingList(
-    std::uint64_t token) const {
+void ScanCountIndex::Rehash(std::size_t capacity) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(capacity, Slot{});
+  const std::size_t mask = capacity - 1;
+  for (const Slot& slot : old) {
+    if (!slot.used) continue;
+    std::size_t pos = SplitMix64(slot.token) & mask;
+    while (slots_[pos].used) pos = (pos + 1) & mask;
+    slots_[pos] = slot;
+  }
+}
+
+std::uint32_t ScanCountIndex::InsertToken(std::uint64_t token) {
+  // Keep the load factor at or below 1/2; capacity is a power of two for
+  // mask addressing.
+  if ((distinct_tokens_ + 1) * 2 > slots_.size()) Rehash(slots_.size() * 2);
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t pos = SplitMix64(token) & mask;
+  while (slots_[pos].used && slots_[pos].token != token) pos = (pos + 1) & mask;
+  if (!slots_[pos].used) {
+    slots_[pos].used = true;
+    slots_[pos].token = token;
+    slots_[pos].list = static_cast<std::uint32_t>(distinct_tokens_++);
+  }
+  return slots_[pos].list;
+}
+
+std::uint32_t ScanCountIndex::FindList(std::uint64_t token) const {
   const std::size_t mask = slots_.size() - 1;
   std::size_t pos = SplitMix64(token) & mask;
   while (slots_[pos].used) {
-    if (slots_[pos].token == token) return &posting_lists_[slots_[pos].list_index];
+    if (slots_[pos].token == token) return slots_[pos].list;
     pos = (pos + 1) & mask;
   }
-  return nullptr;
+  return kNoList;
+}
+
+void ScanCountIndex::FlushCounters(ProbeScratch* scratch) {
+  if (scratch->skipped_lists > 0) {
+    obs::CounterAdd("sparse.probe_skipped_lists", scratch->skipped_lists);
+    scratch->skipped_lists = 0;
+  }
+  if (scratch->pruned_sets > 0) {
+    obs::CounterAdd("sparse.probe_pruned_sets", scratch->pruned_sets);
+    scratch->pruned_sets = 0;
+  }
 }
 
 }  // namespace erb::sparsenn

@@ -1,6 +1,12 @@
 // ScanCount (Li, Lu, Lu — ICDE 2008): an inverted index over token sets with
 // merge-count lookups. Chosen by the paper because it stays efficient at the
 // low similarity thresholds ER requires, unlike prefix-filter joins.
+//
+// Posting lists live in CSR form: one contiguous `postings_` array plus an
+// `offsets_` array, so a probe walks flat memory instead of chasing one heap
+// allocation per token. List i holds the ids of the sets containing token i
+// in ascending order (the two-pass build fills them by ascending set id),
+// which pins the first-touch emission order of Probe() to the pre-CSR layout.
 #pragma once
 
 #include <cstdint>
@@ -20,9 +26,26 @@ class ScanCountIndex {
   /// Per-thread probe scratch: the merge-count array plus its dirty list.
   /// Parallel probe loops give each chunk its own scratch so concurrent
   /// Probe() calls against one shared index never touch common state.
+  /// ProbeFiltered() additionally accumulates its pruning counters here (one
+  /// relaxed-atomic flush per chunk instead of two per probe); call
+  /// FlushCounters() when the chunk is done.
   struct ProbeScratch {
     std::vector<std::uint32_t> counts;
     std::vector<std::uint32_t> touched;
+    // ProbeFiltered working state: the query's admissible lists.
+    std::vector<std::uint32_t> lists;
+    std::uint64_t skipped_lists = 0;  ///< whole posting lists skipped
+    std::uint64_t pruned_sets = 0;    ///< candidate sets pruned at first touch
+  };
+
+  /// Similarity-aware admissibility window for ProbeFiltered(), derived from
+  /// the query size and the join threshold (see LengthBounds in joins.hpp):
+  /// only indexed sets with size in [min_size, max_size] can reach the
+  /// threshold, and only with at least min_overlap shared tokens.
+  struct LengthFilter {
+    std::uint32_t min_size = 0;
+    std::uint32_t max_size = 0xffffffffu;
+    std::uint32_t min_overlap = 1;
   };
 
   /// Overlap of `query` with every indexed set that shares at least one
@@ -36,12 +59,10 @@ class ScanCountIndex {
     counts.resize(set_sizes_.size(), 0);
     touched.clear();
     for (std::uint64_t token : query) {
-      const auto* list = PostingList(token);
-      if (list == nullptr) continue;
-      for (std::uint32_t id : *list) {
-        if (counts[id] == 0) touched.push_back(id);
-        ++counts[id];
-      }
+      const std::uint32_t list = FindList(token);
+      if (list == kNoList) continue;
+      CountList(postings_.data() + offsets_[list],
+                postings_.data() + offsets_[list + 1], counts, touched);
     }
     for (std::uint32_t id : touched) {
       fn(id, counts[id], set_sizes_[id]);
@@ -55,20 +76,168 @@ class ScanCountIndex {
     Probe(query, &scratch_, std::forward<Fn>(fn));
   }
 
+  /// Probe() restricted to indexed sets that can reach a join threshold:
+  /// whole lists are skipped when no member's size falls inside the filter
+  /// window (per-list size ranges are precomputed at build time), individual
+  /// sets are dropped at first touch when their size is outside the window
+  /// or too few query tokens remain to reach min_overlap, and `fn` only
+  /// fires for overlap >= min_overlap. The filter must be sound for the
+  /// caller's predicate (it only skips work, the exact similarity test still
+  /// decides), so the surviving calls are exactly the qualifying ones.
+  template <typename Fn>
+  void ProbeFiltered(const TokenSet& query, const LengthFilter& filter,
+                     ProbeScratch* scratch, Fn&& fn) const {
+    auto& counts = scratch->counts;
+    auto& touched = scratch->touched;
+    counts.resize(set_sizes_.size(), 0);
+    touched.clear();
+    std::uint64_t skipped = 0, pruned = 0;
+    bool any_pruned = false;
+
+    // Resolve the query's tokens to admissible lists; a list whose members'
+    // sizes all fall outside the window holds no qualifying candidate (so
+    // dropping it also never perturbs an emitted candidate's exact overlap).
+    auto& lists = scratch->lists;
+    lists.clear();
+    for (std::uint64_t token : query) {
+      const std::uint32_t list = FindList(token);
+      if (list == kNoList) continue;
+      if (list_max_size_[list] < filter.min_size ||
+          list_min_size_[list] > filter.max_size) {
+        ++skipped;
+        continue;
+      }
+      lists.push_back(list);
+    }
+
+    // Walk layout: a set first touched at list position p can overlap at
+    // most the num_lists - p lists from p on, so only the first
+    // num_lists - min_overlap + 1 lists (the prefix) can start a qualifying
+    // candidate. Tail lists merely extend counts of already-tracked sets:
+    // no pushes, no size checks, and sets living only in tail lists are
+    // never tracked, never reset, never scanned at emission. Both loops are
+    // branchless (CountList's deferred-push trick, and an unconditional
+    // add of the comparison bit in the tail): the touched/untouched mix in
+    // a posting list is data-dependent, and on a merge-count whose counts
+    // array lives in L1 the mispredict stalls dominate the walk.
+    const std::size_t num_lists = lists.size();
+    const std::size_t prefix = num_lists >= filter.min_overlap
+                                   ? num_lists - filter.min_overlap + 1
+                                   : 0;
+
+    for (std::size_t i = 0; i < num_lists; ++i) {
+      const std::uint32_t list = lists[i];
+      const std::uint32_t* id = postings_.data() + offsets_[list];
+      const std::uint32_t* end = postings_.data() + offsets_[list + 1];
+      if (i < prefix) {
+        if (filter.min_size <= list_min_size_[list] &&
+            list_max_size_[list] <= filter.max_size) {
+          // Every member admissible: the unfiltered merge-count loop. A set
+          // marked kPruned is never in such a list (its size is outside the
+          // window, every size here is inside), so no sentinel check.
+          CountList(id, end, counts, touched);
+        } else {
+          for (; id != end; ++id) {
+            std::uint32_t& count = counts[*id];
+            if (count == kPruned) continue;
+            if (count == 0) {
+              const std::uint32_t size = set_sizes_[*id];
+              if (size < filter.min_size || size > filter.max_size) {
+                count = kPruned;
+                touched.push_back(*id);  // still needs the reset below
+                ++pruned;
+                any_pruned = true;
+                continue;
+              }
+              touched.push_back(*id);
+            }
+            ++count;
+          }
+        }
+      } else if (!any_pruned) {
+        for (; id != end; ++id) {
+          std::uint32_t& count = counts[*id];
+          count += static_cast<std::uint32_t>(count != 0);
+        }
+      } else {
+        for (; id != end; ++id) {
+          std::uint32_t& count = counts[*id];
+          count += static_cast<std::uint32_t>((count != 0) & (count != kPruned));
+        }
+      }
+    }
+
+    scratch->skipped_lists += skipped;
+    scratch->pruned_sets += pruned;
+    for (std::uint32_t id : touched) {
+      const std::uint32_t count = counts[id];
+      counts[id] = 0;
+      if (count == kPruned || count < filter.min_overlap) continue;
+      fn(id, count, set_sizes_[id]);
+    }
+  }
+
+  /// Publishes and resets the scratch's pruning counters
+  /// (`sparse.probe_skipped_lists`, `sparse.probe_pruned_sets`).
+  static void FlushCounters(ProbeScratch* scratch);
+
   std::size_t NumSets() const { return set_sizes_.size(); }
   std::size_t SetSize(std::uint32_t id) const { return set_sizes_[id]; }
+  std::size_t NumTokens() const { return offsets_.size() - 1; }
 
  private:
-  const std::vector<std::uint32_t>* PostingList(std::uint64_t token) const;
+  /// Sentinel in ProbeScratch::counts marking a set dropped by the filter
+  /// (no real overlap reaches it: overlaps are bounded by the query size).
+  static constexpr std::uint32_t kPruned = 0xffffffffu;
+  static constexpr std::uint32_t kNoList = 0xffffffffu;
 
-  // Open-addressed token -> posting-list map, laid out for probe locality.
+  // Open-addressed token -> list map, laid out for probe locality. The table
+  // grows during the counting pass, so its final capacity is set by the
+  // number of distinct tokens, not total token occurrences.
   struct Slot {
     std::uint64_t token = 0;
-    std::uint32_t list_index = 0;
+    std::uint32_t list = 0;
     bool used = false;
   };
+
+  /// The list of `token`, inserting (and growing the table) if absent.
+  std::uint32_t InsertToken(std::uint64_t token);
+  /// The list of `token`, or kNoList.
+  std::uint32_t FindList(std::uint64_t token) const;
+  void Rehash(std::size_t capacity);
+
+  /// Merge-counts one posting list: increments counts and appends first
+  /// touches to `touched` in first-touch order. The push is branchless —
+  /// every id is written to the next free slot, and the slot is only kept
+  /// (top advanced) when the count was zero — because whether a posting's
+  /// set is already touched is data-dependent: a compare-and-branch here
+  /// mispredicts often enough to dominate an L1-resident merge-count.
+  static void CountList(const std::uint32_t* id, const std::uint32_t* end,
+                        std::vector<std::uint32_t>& counts,
+                        std::vector<std::uint32_t>& touched) {
+    const std::size_t len = static_cast<std::size_t>(end - id);
+    touched.resize(touched.size() + len);
+    std::uint32_t* top = touched.data() + touched.size() - len;
+    const std::uint32_t* base = top;
+    for (; id != end; ++id) {
+      std::uint32_t& count = counts[*id];
+      *top = *id;
+      top += static_cast<std::size_t>(count == 0);
+      ++count;
+    }
+    touched.resize(touched.size() - len + static_cast<std::size_t>(top - base));
+  }
+
   std::vector<Slot> slots_;
-  std::vector<std::vector<std::uint32_t>> posting_lists_;
+  std::size_t distinct_tokens_ = 0;
+
+  // CSR postings: list i is postings_[offsets_[i] .. offsets_[i+1]), ids
+  // ascending. list_{min,max}_size_[i] bound the member sets' sizes, enabling
+  // whole-list skips in ProbeFiltered().
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> postings_;
+  std::vector<std::uint32_t> list_min_size_;
+  std::vector<std::uint32_t> list_max_size_;
   std::vector<std::uint32_t> set_sizes_;
 
   // Scratch for the single-threaded Probe overload; mutable so Probe can

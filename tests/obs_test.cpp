@@ -161,6 +161,37 @@ TEST(TraceCollectorTest, FilteringCountersIdenticalAt1And8Threads) {
   }
 }
 
+// The length-filtered probe accounts its pruning work through the collector:
+// whole-list skips land in sparse.probe_skipped_lists, first-touch prunes in
+// sparse.probe_pruned_sets, and a scratch with nothing to report publishes
+// neither (FlushCounters only adds nonzero totals, keeping zero-pruning runs
+// out of the trace).
+TEST(TraceCollectorTest, ProbeFilterCountersSurfaceSkipsAndPrunes) {
+  ScopedTracing tracing;
+  // Token 7's list holds only size-<4 sets (whole-list skip under
+  // min_size=4); token 9's list mixes sizes (per-set prune of {9}).
+  const std::vector<sparsenn::TokenSet> indexed = {
+      {7, 8}, {7}, {1, 2, 3, 9}, {9}};
+  const sparsenn::ScanCountIndex index(indexed);
+  sparsenn::ScanCountIndex::ProbeScratch scratch;
+
+  sparsenn::ScanCountIndex::LengthFilter filter;
+  filter.min_size = 4;
+  index.ProbeFiltered({1, 7, 9}, filter, &scratch,
+                      [](std::uint32_t, std::uint32_t, std::uint32_t) {});
+  sparsenn::ScanCountIndex::FlushCounters(&scratch);
+  auto counters = obs::CounterSnapshot();
+  EXPECT_EQ(counters.at("sparse.probe_skipped_lists"), 1u);
+  EXPECT_EQ(counters.at("sparse.probe_pruned_sets"), 1u);
+
+  obs::ResetCollected();
+  sparsenn::ScanCountIndex::ProbeScratch idle;
+  sparsenn::ScanCountIndex::FlushCounters(&idle);
+  counters = obs::CounterSnapshot();
+  EXPECT_EQ(counters.count("sparse.probe_skipped_lists"), 0u);
+  EXPECT_EQ(counters.count("sparse.probe_pruned_sets"), 0u);
+}
+
 // Regression: PhaseTimer::Measure used to mutate a shared std::map with no
 // synchronization — a data race the moment it wraps a ParallelFor body. With
 // the collector's thread-local buffers this must be clean under TSan (the

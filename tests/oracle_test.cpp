@@ -5,6 +5,7 @@
 // flushed out of the original implementations.
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -15,6 +16,8 @@
 #include "blocking/cleaning.hpp"
 #include "blocking/comparison.hpp"
 #include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "core/metrics.hpp"
 #include "datagen/csv_loader.hpp"
 #include "densenn/embedding.hpp"
@@ -377,6 +380,72 @@ TEST_P(OracleTest, FaissKnnMatchesOracle) {
   }
 }
 
+// Adversarial input for the ε-Join length filter: nested prefix sets whose
+// sizes span 1..16, so many (query, indexed) pairs land *exactly* on the
+// similarity threshold and exactly on the filter's size-window and
+// min-overlap boundaries (e.g. Jaccard(q=4, s=2, o=2) = 0.5 with s equal to
+// the t=0.5 window's lower edge). Disjoint singletons cover the
+// zero-overlap path, and the equal-size queries cover windows that prune
+// nothing while min_overlap still decides.
+Dataset LengthFilterBoundaryDataset() {
+  const auto profile = [](const std::string& text) {
+    core::EntityProfile p;
+    p.attributes.push_back({"name", text});
+    return p;
+  };
+  const auto prefix = [](std::size_t n) {
+    std::string text;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!text.empty()) text += ' ';
+      text += 't';
+      text += std::to_string(i);
+    }
+    return text;
+  };
+  std::vector<core::EntityProfile> e1;
+  for (std::size_t n : {1, 2, 3, 4, 6, 8, 12, 16}) e1.push_back(profile(prefix(n)));
+  e1.push_back(profile("u0"));  // disjoint singleton
+  std::vector<core::EntityProfile> e2 = {
+      profile(prefix(1)),            // singleton query
+      profile(prefix(4)),            // mid-size, subset/superset boundaries
+      profile("t2 t3 t4 t5"),        // partial overlap at equal size
+      profile(prefix(16)),           // largest: window clips the small side
+      profile("v0"),                 // matches nothing
+  };
+  return Dataset("length-filter-boundary", std::move(e1), std::move(e2),
+                 {{0, 0}, {3, 1}, {7, 3}}, "name");
+}
+
+// ε-Join differential on the boundary dataset, with thresholds chosen so
+// similarities land exactly on the predicate (>= must admit them) and the
+// length-filter window edges are hit exactly. Guards the CSR ProbeFiltered
+// path: a filter that is off by one integer unit, or that drops a set whose
+// size sits on a window edge, diverges from the oracle here.
+TEST_P(OracleTest, EpsilonJoinLengthFilterBoundaries) {
+  ScopedThreadLimit limit(GetParam());
+  const Dataset dataset = LengthFilterBoundaryDataset();
+  for (SimilarityMeasure measure :
+       {SimilarityMeasure::kCosine, SimilarityMeasure::kDice,
+        SimilarityMeasure::kJaccard}) {
+    for (double threshold :
+         {0.25, 1.0 / 3.0, 0.5, 2.0 / 3.0, 0.75, std::sqrt(0.5), 1.0}) {
+      SCOPED_TRACE(std::string(MeasureName(measure)) + "/t=" +
+                   std::to_string(threshold));
+      SparseConfig config;
+      config.model = TokenModel::kT1G;
+      config.measure = measure;
+      const CandidateSet production =
+          sparsenn::EpsilonJoin(dataset, SchemaMode::kAgnostic, config,
+                                threshold)
+              .candidates;
+      const CandidateSet reference = oracle::EpsilonJoinOracle(
+          dataset, SchemaMode::kAgnostic, config, threshold);
+      ExpectSameCandidates(production, reference);
+      ExpectSameEffectiveness(production, dataset);
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Named regression tests for the bugs the differential suite flushed out.
 // ---------------------------------------------------------------------------
@@ -444,6 +513,36 @@ TEST(OracleRegressionTest, DenseTopKBoundaryTiesKeepLowestIds) {
     EXPECT_EQ(index.Search({1.0f, 0.0f}, 2), expected);
     EXPECT_EQ(oracle::ExactKnnOracle(vectors, {1.0f, 0.0f}, metric, 2),
               expected);
+  }
+}
+
+// The score oracles replicate the production kernels' striped reduction
+// tree, so agreement is bitwise — on every SIMD backend this build supports,
+// including sizes off the 8-lane boundary. A reassociated production kernel
+// (e.g. an FMA-contracted AVX2 path) breaks this, and with it the exact
+// score comparisons of the dense differential suite.
+TEST(OracleRegressionTest, ScoreOraclesMatchProductionKernelsBitwise) {
+  std::vector<simd::Kind> kinds = {simd::Kind::kScalar};
+  if (simd::KindSupported(simd::Kind::kAvx2)) kinds.push_back(simd::Kind::kAvx2);
+  if (simd::KindSupported(simd::Kind::kNeon)) kinds.push_back(simd::Kind::kNeon);
+  for (simd::Kind kind : kinds) {
+    simd::ScopedSimdKind scoped(kind);
+    for (std::size_t n : {1u, 7u, 8u, 9u, 300u}) {
+      Rng rng(9000 + n);
+      densenn::Vector a(n), b(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = static_cast<float>(rng.NextDouble(-2.0, 2.0));
+        b[i] = static_cast<float>(rng.NextDouble(-2.0, 2.0));
+      }
+      const float dot_ref = oracle::DotOracle(a, b);
+      const float dot_got = densenn::Dot(a, b);
+      EXPECT_EQ(std::memcmp(&dot_ref, &dot_got, sizeof(float)), 0)
+          << simd::KindName(kind) << " dot n=" << n;
+      const float l2_ref = oracle::SquaredL2Oracle(a, b);
+      const float l2_got = densenn::SquaredL2(a, b);
+      EXPECT_EQ(std::memcmp(&l2_ref, &l2_got, sizeof(float)), 0)
+          << simd::KindName(kind) << " l2 n=" << n;
+    }
   }
 }
 

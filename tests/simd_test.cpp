@@ -1,0 +1,142 @@
+// Parity and dispatch-policy tests for the runtime-dispatched dense kernels
+// (src/common/simd.hpp). The contract under test: every backend computes the
+// same reduction in the same association order, so results are bit-identical
+// across ERB_SIMD settings, and bad requests fall back to auto with a
+// warning instead of failing (the ParseThreadCount policy).
+#include "common/simd.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace erb::simd {
+namespace {
+
+std::vector<float> RandomFloats(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(n);
+  // A mix of magnitudes so association order matters: bitwise equality of
+  // the results is then evidence of an identical reduction tree.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mag = rng.NextDouble(-4.0, 4.0);
+    out[i] = static_cast<float>(rng.NextDouble(-1.0, 1.0) * std::pow(10.0, mag));
+  }
+  return out;
+}
+
+// Sizes straddling the lane boundaries: empty, sub-lane, one short of a
+// lane, exact lanes, one over, a large non-multiple and a large multiple.
+constexpr std::size_t kSizes[] = {0, 1, 7, 8, 9, 300, 304};
+
+std::vector<Kind> SupportedConcreteKinds() {
+  std::vector<Kind> kinds = {Kind::kScalar};
+  if (KindSupported(Kind::kAvx2)) kinds.push_back(Kind::kAvx2);
+  if (KindSupported(Kind::kNeon)) kinds.push_back(Kind::kNeon);
+  return kinds;
+}
+
+TEST(SimdParityTest, DotMatchesScalarBitwiseAcrossBackends) {
+  for (Kind kind : SupportedConcreteKinds()) {
+    ScopedSimdKind scoped(kind);
+    for (std::size_t n : kSizes) {
+      const auto a = RandomFloats(n, 101 + n);
+      const auto b = RandomFloats(n, 202 + n);
+      const float expect = DotScalar(a.data(), b.data(), n);
+      const float got = Dot(a.data(), b.data(), n);
+      EXPECT_EQ(std::memcmp(&expect, &got, sizeof(float)), 0)
+          << "kind=" << KindName(kind) << " n=" << n << " expect=" << expect
+          << " got=" << got;
+    }
+  }
+}
+
+TEST(SimdParityTest, SquaredL2MatchesScalarBitwiseAcrossBackends) {
+  for (Kind kind : SupportedConcreteKinds()) {
+    ScopedSimdKind scoped(kind);
+    for (std::size_t n : kSizes) {
+      const auto a = RandomFloats(n, 303 + n);
+      const auto b = RandomFloats(n, 404 + n);
+      const float expect = SquaredL2Scalar(a.data(), b.data(), n);
+      const float got = SquaredL2(a.data(), b.data(), n);
+      EXPECT_EQ(std::memcmp(&expect, &got, sizeof(float)), 0)
+          << "kind=" << KindName(kind) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdParityTest, AxpyMatchesScalarBitwiseAcrossBackends) {
+  for (Kind kind : SupportedConcreteKinds()) {
+    ScopedSimdKind scoped(kind);
+    for (std::size_t n : kSizes) {
+      const auto x = RandomFloats(n, 505 + n);
+      auto y_expect = RandomFloats(n, 606 + n);
+      auto y_got = y_expect;
+      AxpyScalar(0.37f, x.data(), y_expect.data(), n);
+      Axpy(0.37f, x.data(), y_got.data(), n);
+      if (n > 0) {
+        EXPECT_EQ(std::memcmp(y_expect.data(), y_got.data(), n * sizeof(float)),
+                  0)
+            << "kind=" << KindName(kind) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatchTest, ParseAcceptsKnownNames) {
+  EXPECT_EQ(ParseSimdKind("scalar", Kind::kAuto), Kind::kScalar);
+  EXPECT_EQ(ParseSimdKind("avx2", Kind::kAuto), Kind::kAvx2);
+  EXPECT_EQ(ParseSimdKind("neon", Kind::kAuto), Kind::kNeon);
+  EXPECT_EQ(ParseSimdKind("auto", Kind::kScalar), Kind::kAuto);
+  EXPECT_EQ(ParseSimdKind(nullptr, Kind::kAuto), Kind::kAuto);
+  EXPECT_EQ(ParseSimdKind("", Kind::kAuto), Kind::kAuto);
+}
+
+TEST(SimdDispatchTest, ParseJunkFallsBack) {
+  // Junk input returns the fallback (and warns on stderr) instead of
+  // aborting — mirrors ParseThreadCount's policy for ERB_THREADS, including
+  // the tolerance for surrounding whitespace and letter case.
+  EXPECT_EQ(ParseSimdKind("sse9", Kind::kAuto), Kind::kAuto);
+  EXPECT_EQ(ParseSimdKind("42", Kind::kScalar), Kind::kScalar);
+  EXPECT_EQ(ParseSimdKind(" avx2 \n", Kind::kAuto), Kind::kAvx2);
+  EXPECT_EQ(ParseSimdKind("SCALAR", Kind::kAuto), Kind::kScalar);
+}
+
+TEST(SimdDispatchTest, ActiveKindIsNeverAuto) {
+  EXPECT_NE(ActiveKind(), Kind::kAuto);
+  EXPECT_TRUE(KindSupported(ActiveKind()));
+}
+
+TEST(SimdDispatchTest, ScalarAlwaysSupported) {
+  EXPECT_TRUE(KindSupported(Kind::kScalar));
+  EXPECT_TRUE(KindSupported(Kind::kAuto));  // always satisfiable by scalar
+}
+
+TEST(SimdDispatchTest, ScopedKindForcesAndRestores) {
+  const Kind before = ActiveKind();
+  {
+    ScopedSimdKind scoped(Kind::kScalar);
+    EXPECT_EQ(ActiveKind(), Kind::kScalar);
+  }
+  EXPECT_EQ(ActiveKind(), before);
+}
+
+TEST(SimdDispatchTest, SetKindUnsupportedFallsBackToAuto) {
+  const Kind resolved = ActiveKind();
+  // At most one of AVX2/NEON is supportable in one build; the other must
+  // fall back to the auto resolution with a warning.
+  const Kind unsupported =
+      KindSupported(Kind::kAvx2) ? Kind::kNeon : Kind::kAvx2;
+  ASSERT_FALSE(KindSupported(unsupported));
+  SetKind(unsupported);
+  EXPECT_EQ(ActiveKind(), resolved);
+  SetKind(Kind::kAuto);
+  EXPECT_EQ(ActiveKind(), resolved);
+}
+
+}  // namespace
+}  // namespace erb::simd

@@ -127,6 +127,131 @@ TEST(ScanCountTest, ProbeIsRepeatable) {
   }
 }
 
+// Property: ProbeFiltered emits exactly Probe's output restricted to the
+// filter window, with identical overlap values — for windows that prune
+// nothing, prune everything, and everything in between (including
+// min_overlap values at and beyond the query size).
+TEST(ScanCountTest, ProbeFilteredMatchesProbeUnderManualFilter) {
+  Rng rng(29);
+  std::vector<TokenSet> indexed;
+  for (int i = 0; i < 80; ++i) {
+    TokenSet set;
+    // Sizes spread 1..30 so size windows actually discriminate.
+    const std::size_t n = 1 + rng.NextBounded(30);
+    for (std::size_t t = 0; t < n; ++t) set.push_back(rng.NextBounded(40));
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    indexed.push_back(std::move(set));
+  }
+  ScanCountIndex index(indexed);
+
+  const ScanCountIndex::LengthFilter filters[] = {
+      {0, 0xffffffffu, 1},   // no-op window
+      {5, 20, 1},            // size window only
+      {0, 0xffffffffu, 3},   // overlap floor only
+      {8, 14, 4},            // both
+      {12, 12, 2},           // single admissible size
+      {31, 0xffffffffu, 1},  // empty window: prunes everything
+      {0, 0xffffffffu, 40},  // overlap floor beyond any query size
+  };
+
+  ScanCountIndex::ProbeScratch scratch;
+  for (int q = 0; q < 25; ++q) {
+    TokenSet query;
+    const std::size_t n = 1 + rng.NextBounded(18);
+    for (std::size_t t = 0; t < n; ++t) query.push_back(rng.NextBounded(40));
+    std::sort(query.begin(), query.end());
+    query.erase(std::unique(query.begin(), query.end()), query.end());
+
+    std::map<std::uint32_t, std::uint32_t> unfiltered;
+    index.Probe(query, [&](std::uint32_t id, std::uint32_t overlap,
+                           std::uint32_t) { unfiltered[id] = overlap; });
+
+    for (const auto& filter : filters) {
+      std::map<std::uint32_t, std::uint32_t> expected;
+      for (const auto& [id, overlap] : unfiltered) {
+        const std::uint32_t size =
+            static_cast<std::uint32_t>(indexed[id].size());
+        if (size >= filter.min_size && size <= filter.max_size &&
+            overlap >= filter.min_overlap) {
+          expected[id] = overlap;
+        }
+      }
+      std::map<std::uint32_t, std::uint32_t> got;
+      index.ProbeFiltered(
+          query, filter, &scratch,
+          [&](std::uint32_t id, std::uint32_t overlap, std::uint32_t size) {
+            EXPECT_EQ(size, indexed[id].size());
+            got[id] = overlap;
+          });
+      EXPECT_EQ(got, expected)
+          << "query " << q << " filter [" << filter.min_size << ", "
+          << filter.max_size << "] overlap>=" << filter.min_overlap;
+    }
+  }
+}
+
+// The scratch counters account for the filter's work: whole-list skips when
+// a token's members all fall outside the window, first-touch prunes
+// otherwise, and FlushCounters() zeroes both.
+TEST(ScanCountTest, ProbeFilteredAccountsPruningInScratch) {
+  // Token 7 appears only in small sets (whole-list skip under min_size=4);
+  // token 9's list mixes sizes (per-set prune of the small member).
+  std::vector<TokenSet> indexed = {{7, 8}, {7}, {1, 2, 3, 9}, {9}};
+  ScanCountIndex index(indexed);
+  ScanCountIndex::ProbeScratch scratch;
+
+  ScanCountIndex::LengthFilter filter;
+  filter.min_size = 4;
+  std::size_t hits = 0;
+  index.ProbeFiltered({1, 7, 9}, filter, &scratch,
+                      [&](std::uint32_t id, std::uint32_t overlap,
+                          std::uint32_t size) {
+                        EXPECT_EQ(id, 2u);
+                        EXPECT_EQ(overlap, 2u);  // tokens 1 and 9
+                        EXPECT_EQ(size, 4u);
+                        ++hits;
+                      });
+  EXPECT_EQ(hits, 1u);
+  EXPECT_EQ(scratch.skipped_lists, 1u);  // token 7's list
+  EXPECT_EQ(scratch.pruned_sets, 1u);    // set {9}
+  ScanCountIndex::FlushCounters(&scratch);
+  EXPECT_EQ(scratch.skipped_lists, 0u);
+  EXPECT_EQ(scratch.pruned_sets, 0u);
+}
+
+// Soundness of the ε-Join length filter: any (query size, indexed size,
+// overlap) combination reaching the threshold must fall inside the window
+// LengthBounds returns. This is the property EpsilonJoin relies on when it
+// hands the filter to ProbeFiltered.
+TEST(LengthBoundsTest, AdmitsEveryCombinationReachingThreshold) {
+  const SimilarityMeasure measures[] = {SimilarityMeasure::kCosine,
+                                        SimilarityMeasure::kDice,
+                                        SimilarityMeasure::kJaccard};
+  const double thresholds[] = {0.1, 0.3, 0.5, 0.7, 0.9, 1.0};
+  for (auto measure : measures) {
+    for (double t : thresholds) {
+      for (std::size_t q = 1; q <= 40; ++q) {
+        const auto filter = LengthBounds(measure, t, q);
+        for (std::size_t s = 1; s <= 80; ++s) {
+          for (std::size_t o = 1; o <= std::min(q, s); ++o) {
+            if (SetSimilarity(measure, o, q, s) < t) continue;
+            EXPECT_GE(s, filter.min_size)
+                << MeasureName(measure) << " t=" << t << " q=" << q
+                << " s=" << s << " o=" << o;
+            EXPECT_LE(s, filter.max_size)
+                << MeasureName(measure) << " t=" << t << " q=" << q
+                << " s=" << s << " o=" << o;
+            EXPECT_GE(o, filter.min_overlap)
+                << MeasureName(measure) << " t=" << t << " q=" << q
+                << " s=" << s << " o=" << o;
+          }
+        }
+      }
+    }
+  }
+}
+
 core::Dataset SmallDataset() {
   return datagen::Generate(datagen::PaperSpec(1).Scaled(0.4));
 }
