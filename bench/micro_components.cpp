@@ -2,10 +2,25 @@
 // tokenizers, the Porter stemmer, ScanCount probes, MinHash signatures, the
 // fast Hadamard rotation path (via CP-LSH key computation), flat kNN search
 // and meta-blocking's weighted pass.
+//
+// Usage: micro_components [--threads=N] [google-benchmark flags]
+//        micro_components --json=PATH [--threads=N]
+// The --json mode skips the google-benchmark harness and instead runs the
+// self-timed meta-blocking comparison (the pre-CSR graph-backed path,
+// reproduced below, against the production CSR kernels), writing the
+// measurements and derived speedups as a JSON document (committed as
+// BENCH_PR5.json).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "blocking/builders.hpp"
 #include "common/parallel.hpp"
@@ -146,20 +161,554 @@ void BM_MetaBlocking(benchmark::State& state) {
 }
 BENCHMARK(BM_MetaBlocking);
 
+// --- legacy graph-backed meta-blocking, reproduced as the baseline ---------
+//
+// The pre-CSR implementation, kept verbatim (modulo namespacing): a
+// vector-of-vectors entity->block adjacency that chases a pointer per block
+// and recomputes 1/||b|| per (entity, block) visit, a per-pair switch
+// dispatch of the weighting scheme that re-reads graph statistics and calls
+// log/log10 inside the pair loop, and a sorted emission in both passes. The
+// self-timed section below measures it against the production CSR kernels.
+namespace legacy {
+
+class PairGraph {
+ public:
+  PairGraph(const blocking::BlockCollection& blocks, std::size_t n1,
+            std::size_t n2)
+      : blocks_(&blocks), n2_(n2) {
+    e1_blocks_.resize(n1);
+    e2_block_counts_.assign(n2, 0);
+    for (std::uint32_t b = 0; b < blocks.size(); ++b) {
+      for (core::EntityId id : blocks[b].e1) e1_blocks_[id].push_back(b);
+      for (core::EntityId id : blocks[b].e2) ++e2_block_counts_[id];
+    }
+  }
+
+  template <typename Fn>
+  void ForEachPairInRange(std::size_t i_begin, std::size_t i_end,
+                          Fn&& fn) const {
+    std::vector<std::uint32_t> common(n2_, 0);
+    std::vector<double> arcs(n2_, 0.0);
+    std::vector<core::EntityId> touched;
+    i_end = std::min(i_end, e1_blocks_.size());
+    for (std::size_t i = i_begin; i < i_end; ++i) {
+      touched.clear();
+      for (std::uint32_t b : e1_blocks_[i]) {
+        const blocking::Block& block = (*blocks_)[b];
+        const double inv = 1.0 / static_cast<double>(block.Comparisons());
+        for (core::EntityId j : block.e2) {
+          if (common[j] == 0) touched.push_back(j);
+          ++common[j];
+          arcs[j] += inv;
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      for (core::EntityId j : touched) {
+        fn(static_cast<core::EntityId>(i), j, common[j], arcs[j]);
+        common[j] = 0;
+        arcs[j] = 0.0;
+      }
+    }
+  }
+
+  template <typename Fn>
+  void ForEachPair(Fn&& fn) const {
+    ForEachPairInRange(0, e1_blocks_.size(), std::forward<Fn>(fn));
+  }
+
+  std::size_t n1() const { return e1_blocks_.size(); }
+  std::size_t n2() const { return n2_; }
+  std::size_t NumBlocks() const { return blocks_->size(); }
+  std::size_t BlocksOf1(core::EntityId i) const { return e1_blocks_[i].size(); }
+  std::size_t BlocksOf2(core::EntityId j) const { return e2_block_counts_[j]; }
+
+  void EnsureDegrees() const {
+    if (degrees_ready_) return;
+    degree1_.assign(e1_blocks_.size(), 0);
+    degree2_.assign(n2_, 0);
+    total_pairs_ = 0;
+    ForEachPair(
+        [this](core::EntityId i, core::EntityId j, std::uint32_t, double) {
+          ++degree1_[i];
+          ++degree2_[j];
+          ++total_pairs_;
+        });
+    degrees_ready_ = true;
+  }
+  std::uint64_t TotalPairs() const { return total_pairs_; }
+  std::uint32_t Degree1(core::EntityId i) const { return degree1_[i]; }
+  std::uint32_t Degree2(core::EntityId j) const { return degree2_[j]; }
+
+ private:
+  const blocking::BlockCollection* blocks_;
+  std::size_t n2_;
+  std::vector<std::vector<std::uint32_t>> e1_blocks_;
+  std::vector<std::uint32_t> e2_block_counts_;
+
+  mutable bool degrees_ready_ = false;
+  mutable std::uint64_t total_pairs_ = 0;
+  mutable std::vector<std::uint32_t> degree1_;
+  mutable std::vector<std::uint32_t> degree2_;
+};
+
+double PairWeight(const PairGraph& graph, blocking::WeightingScheme scheme,
+                  core::EntityId i, core::EntityId j, std::uint32_t common,
+                  double arcs) {
+  const double bi = static_cast<double>(graph.BlocksOf1(i));
+  const double bj = static_cast<double>(graph.BlocksOf2(j));
+  const double total_blocks =
+      std::max<double>(1.0, static_cast<double>(graph.NumBlocks()));
+  const double c = static_cast<double>(common);
+  switch (scheme) {
+    case blocking::WeightingScheme::kArcs:
+      return arcs;
+    case blocking::WeightingScheme::kCbs:
+      return c;
+    case blocking::WeightingScheme::kEcbs:
+      return c * std::log(total_blocks / bi) * std::log(total_blocks / bj);
+    case blocking::WeightingScheme::kJs:
+      return c / (bi + bj - c);
+    case blocking::WeightingScheme::kEjs: {
+      const double js = c / (bi + bj - c);
+      const double total_pairs =
+          std::max<double>(1.0, static_cast<double>(graph.TotalPairs()));
+      const double di = std::max<double>(graph.Degree1(i), 1.0);
+      const double dj = std::max<double>(graph.Degree2(j), 1.0);
+      return js * std::log10(total_pairs / di) * std::log10(total_pairs / dj);
+    }
+    case blocking::WeightingScheme::kChiSquared: {
+      const double n = total_blocks;
+      const double o11 = c;
+      const double o12 = bi - c;
+      const double o21 = bj - c;
+      const double o22 = n - bi - bj + c;
+      const double denom = bi * bj * (n - bi) * (n - bj);
+      if (denom <= 0.0) return 0.0;
+      const double diff = o11 * o22 - o12 * o21;
+      return n * diff * diff / denom;
+    }
+  }
+  return 0.0;
+}
+
+class TopKTracker {
+ public:
+  TopKTracker() = default;
+  TopKTracker(std::size_t nodes, std::size_t k) : k_(k), heaps_(nodes) {}
+
+  void Offer(std::size_t node, double weight) {
+    auto& heap = heaps_[node];
+    if (heap.size() < k_) {
+      heap.push_back(weight);
+      std::push_heap(heap.begin(), heap.end(), std::greater<>());
+    } else if (!heap.empty() && weight > heap.front()) {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+      heap.back() = weight;
+      std::push_heap(heap.begin(), heap.end(), std::greater<>());
+    }
+  }
+
+  double Threshold(std::size_t node) const {
+    const auto& heap = heaps_[node];
+    return heap.empty() ? 0.0 : heap.front();
+  }
+
+  void MergeFrom(const TopKTracker& other) {
+    for (std::size_t node = 0; node < other.heaps_.size(); ++node) {
+      for (double weight : other.heaps_[node]) Offer(node, weight);
+    }
+  }
+
+ private:
+  std::size_t k_ = 0;
+  std::vector<std::vector<double>> heaps_;
+};
+
+struct Side2Stats {
+  TopKTracker topk2;
+  std::vector<double> sum2, max2;
+  std::vector<std::uint32_t> cnt2;
+  std::vector<double> all_weights;
+  double global_sum = 0.0;
+  std::uint64_t global_count = 0;
+};
+
+core::CandidateSet ComparisonPropagation(const blocking::BlockCollection& blocks,
+                                         std::size_t n1, std::size_t n2) {
+  PairGraph graph(blocks, n1, n2);
+  core::CandidateSet candidates = ParallelMapReduce<core::CandidateSet>(
+      0, n1, /*grain=*/0,
+      [&graph](std::size_t i_begin, std::size_t i_end) {
+        core::CandidateSet chunk;
+        graph.ForEachPairInRange(
+            i_begin, i_end,
+            [&chunk](core::EntityId i, core::EntityId j, std::uint32_t, double) {
+              chunk.Add(i, j);
+            });
+        return chunk;
+      },
+      [](core::CandidateSet& into, core::CandidateSet&& from) {
+        into.Merge(std::move(from));
+      });
+  candidates.Finalize();
+  return candidates;
+}
+
+core::CandidateSet MetaBlocking(const blocking::BlockCollection& blocks,
+                                std::size_t n1, std::size_t n2,
+                                blocking::WeightingScheme scheme,
+                                blocking::PruningAlgorithm pruning) {
+  using blocking::PruningAlgorithm;
+  PairGraph graph(blocks, n1, n2);
+  if (scheme == blocking::WeightingScheme::kEjs) graph.EnsureDegrees();
+
+  const std::uint64_t assignments = blocking::TotalAssignments(blocks);
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             static_cast<double>(assignments) /
+             std::max<std::size_t>(1, n1 + n2))));
+  const std::uint64_t cep_cap = std::max<std::uint64_t>(1, assignments / 2);
+
+  const bool needs_topk =
+      pruning == PruningAlgorithm::kCnp || pruning == PruningAlgorithm::kRcnp;
+  const bool needs_node_stats = pruning == PruningAlgorithm::kWnp ||
+                                pruning == PruningAlgorithm::kRwnp ||
+                                pruning == PruningAlgorithm::kBlast;
+  const bool needs_global_weights = pruning == PruningAlgorithm::kCep;
+  const bool needs_global_avg = pruning == PruningAlgorithm::kWep;
+
+  TopKTracker topk1(needs_topk ? n1 : 0, k);
+  std::vector<double> sum1, max1;
+  std::vector<std::uint32_t> cnt1;
+  if (needs_node_stats) {
+    sum1.assign(n1, 0.0);
+    max1.assign(n1, 0.0);
+    cnt1.assign(n1, 0);
+  }
+
+  constexpr std::size_t kStatsChunks = 16;
+  const std::size_t stats_grain =
+      std::max<std::size_t>(1, (n1 + kStatsChunks - 1) / kStatsChunks);
+  Side2Stats stats = ParallelMapReduce<Side2Stats>(
+      0, n1, stats_grain,
+      [&](std::size_t i_begin, std::size_t i_end) {
+        Side2Stats chunk;
+        if (needs_topk) chunk.topk2 = TopKTracker(n2, k);
+        if (needs_node_stats) {
+          chunk.sum2.assign(n2, 0.0);
+          chunk.max2.assign(n2, 0.0);
+          chunk.cnt2.assign(n2, 0);
+        }
+        graph.ForEachPairInRange(
+            i_begin, i_end,
+            [&](core::EntityId i, core::EntityId j, std::uint32_t common,
+                double arcs) {
+              const double w = PairWeight(graph, scheme, i, j, common, arcs);
+              if (needs_topk) {
+                topk1.Offer(i, w);
+                chunk.topk2.Offer(j, w);
+              }
+              if (needs_node_stats) {
+                sum1[i] += w;
+                ++cnt1[i];
+                max1[i] = std::max(max1[i], w);
+                chunk.sum2[j] += w;
+                ++chunk.cnt2[j];
+                chunk.max2[j] = std::max(chunk.max2[j], w);
+              }
+              if (needs_global_weights) chunk.all_weights.push_back(w);
+              if (needs_global_avg) {
+                chunk.global_sum += w;
+                ++chunk.global_count;
+              }
+            });
+        return chunk;
+      },
+      [&](Side2Stats& into, Side2Stats&& from) {
+        if (needs_topk) into.topk2.MergeFrom(from.topk2);
+        if (needs_node_stats) {
+          for (std::size_t j = 0; j < n2; ++j) {
+            into.sum2[j] += from.sum2[j];
+            into.cnt2[j] += from.cnt2[j];
+            into.max2[j] = std::max(into.max2[j], from.max2[j]);
+          }
+        }
+        if (needs_global_weights) {
+          into.all_weights.insert(into.all_weights.end(),
+                                  from.all_weights.begin(),
+                                  from.all_weights.end());
+        }
+        into.global_sum += from.global_sum;
+        into.global_count += from.global_count;
+      });
+  const TopKTracker& topk2 = stats.topk2;
+  const std::vector<double>& sum2 = stats.sum2;
+  const std::vector<double>& max2 = stats.max2;
+  const std::vector<std::uint32_t>& cnt2 = stats.cnt2;
+  std::vector<double>& all_weights = stats.all_weights;
+  const double global_sum = stats.global_sum;
+  const std::uint64_t global_count = stats.global_count;
+
+  double cep_threshold = 0.0;
+  if (needs_global_weights) {
+    if (all_weights.size() > cep_cap) {
+      std::nth_element(all_weights.begin(), all_weights.begin() + cep_cap - 1,
+                       all_weights.end(), std::greater<>());
+      cep_threshold = all_weights[cep_cap - 1];
+    }
+    all_weights.clear();
+    all_weights.shrink_to_fit();
+  }
+  const double global_avg =
+      global_count == 0 ? 0.0 : global_sum / static_cast<double>(global_count);
+
+  constexpr double kBlastRatio = 0.35;
+
+  core::CandidateSet candidates = ParallelMapReduce<core::CandidateSet>(
+      0, n1, /*grain=*/0,
+      [&](std::size_t i_begin, std::size_t i_end) {
+        core::CandidateSet chunk;
+        graph.ForEachPairInRange(
+            i_begin, i_end,
+            [&](core::EntityId i, core::EntityId j, std::uint32_t common,
+                double arcs) {
+              const double w = PairWeight(graph, scheme, i, j, common, arcs);
+              bool keep = false;
+              switch (pruning) {
+                case PruningAlgorithm::kBlast:
+                  keep = w >= kBlastRatio * (max1[i] + max2[j]);
+                  break;
+                case PruningAlgorithm::kCep:
+                  keep = w >= cep_threshold;
+                  break;
+                case PruningAlgorithm::kCnp:
+                  keep = w >= topk1.Threshold(i) || w >= topk2.Threshold(j);
+                  break;
+                case PruningAlgorithm::kRcnp:
+                  keep = w >= topk1.Threshold(i) && w >= topk2.Threshold(j);
+                  break;
+                case PruningAlgorithm::kWep:
+                  keep = w >= global_avg;
+                  break;
+                case PruningAlgorithm::kWnp:
+                  keep = (cnt1[i] > 0 && w >= sum1[i] / cnt1[i]) ||
+                         (cnt2[j] > 0 && w >= sum2[j] / cnt2[j]);
+                  break;
+                case PruningAlgorithm::kRwnp:
+                  keep = (cnt1[i] > 0 && w >= sum1[i] / cnt1[i]) &&
+                         (cnt2[j] > 0 && w >= sum2[j] / cnt2[j]);
+                  break;
+              }
+              if (keep) chunk.Add(i, j);
+            });
+        return chunk;
+      },
+      [](core::CandidateSet& into, core::CandidateSet&& from) {
+        into.Merge(std::move(from));
+      });
+  candidates.Finalize();
+  return candidates;
+}
+
+}  // namespace legacy
+
+// --- self-timed comparison (--json mode) -----------------------------------
+
+volatile double g_sink = 0.0;
+
+template <typename Fn>
+double MedianNs(int warmup, int reps, Fn&& fn) {
+  for (int i = 0; i < warmup; ++i) g_sink = g_sink + fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    g_sink = g_sink + fn();
+    const auto stop = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(stop - start).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+struct Measurement {
+  std::string name;
+  double ns_per_op;
+  std::uint64_t ops;
+};
+
+std::vector<Measurement> g_measurements;
+
+void Record(const std::string& name, double total_ns, std::uint64_t ops) {
+  g_measurements.push_back({name, total_ns / static_cast<double>(ops), ops});
+  std::printf("  %-24s %14.2f ns/op   (%llu ops)\n", name.c_str(),
+              total_ns / static_cast<double>(ops),
+              static_cast<unsigned long long>(ops));
+}
+
+double NsPerOp(const std::string& name) {
+  for (const auto& m : g_measurements) {
+    if (m.name == name) return m.ns_per_op;
+  }
+  return 0.0;
+}
+
+struct Speedup {
+  std::string name;
+  double factor;
+};
+
+void WriteJson(const std::string& path, const std::vector<Speedup>& speedups) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "micro_components: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < g_measurements.size(); ++i) {
+    const auto& m = g_measurements[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ns_per_op\": %.2f, \"ops\": %llu}%s\n",
+                 m.name.c_str(), m.ns_per_op,
+                 static_cast<unsigned long long>(m.ops),
+                 i + 1 < g_measurements.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"speedups\": {\n");
+  for (std::size_t i = 0; i < speedups.size(); ++i) {
+    std::fprintf(f, "    \"%s\": %.2f%s\n", speedups[i].name.c_str(),
+                 speedups[i].factor, i + 1 < speedups.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+// Measures legacy (graph-backed) vs production (CSR) meta-blocking over a
+// representative scheme x pruning sample — every weighting scheme appears
+// once, every statistic family of pruning (node average, top-k, global
+// threshold, local max) is exercised — plus Comparison Propagation. Both
+// sides run the identical pass structure and produce byte-identical
+// candidates (asserted), so each ratio isolates the data-layout and
+// dispatch work.
+int RunSelfTimed(const std::string& json_path) {
+  // Full mid-size paper dataset (unlike the scaled-down google-benchmark
+  // fixture): realistic block-per-entity and neighborhood sizes, so the
+  // timings are dominated by the streamed pair loop the PR rewrote.
+  const core::Dataset dataset = datagen::Generate(datagen::PaperSpec(2));
+  const auto blocks = blocking::BuildBlocks(dataset, core::SchemaMode::kAgnostic,
+                                            blocking::BuilderConfig{});
+  const std::size_t n1 = dataset.e1().size();
+  const std::size_t n2 = dataset.e2().size();
+  std::uint64_t total_pairs = 0;
+  {
+    const auto all = blocking::ComparisonPropagation(blocks, n1, n2);
+    total_pairs = all.pairs().size();
+  }
+  std::printf("meta-blocking (%zu blocks, %zu x %zu entities, %llu pairs):\n",
+              blocks.size(), n1, n2,
+              static_cast<unsigned long long>(total_pairs));
+
+  const struct {
+    blocking::WeightingScheme scheme;
+    blocking::PruningAlgorithm pruning;
+  } kCells[] = {
+      {blocking::WeightingScheme::kCbs, blocking::PruningAlgorithm::kWnp},
+      {blocking::WeightingScheme::kArcs, blocking::PruningAlgorithm::kBlast},
+      {blocking::WeightingScheme::kEcbs, blocking::PruningAlgorithm::kCnp},
+      {blocking::WeightingScheme::kJs, blocking::PruningAlgorithm::kWep},
+      {blocking::WeightingScheme::kEjs, blocking::PruningAlgorithm::kRcnp},
+      {blocking::WeightingScheme::kChiSquared, blocking::PruningAlgorithm::kCep},
+  };
+
+  std::vector<Speedup> speedups;
+  char name[64];
+  for (const auto& cell : kCells) {
+    const std::string tag = std::string(blocking::SchemeName(cell.scheme)) +
+                            "_" + std::string(blocking::PruningName(cell.pruning));
+    const auto expect =
+        legacy::MetaBlocking(blocks, n1, n2, cell.scheme, cell.pruning);
+    const auto got =
+        blocking::MetaBlocking(blocks, n1, n2, cell.scheme, cell.pruning);
+    if (expect.pairs() != got.pairs()) {
+      std::fprintf(stderr, "micro_components: %s candidates diverge\n",
+                   tag.c_str());
+      return 1;
+    }
+    std::snprintf(name, sizeof(name), "legacy_%s", tag.c_str());
+    Record(name, MedianNs(1, 5, [&]() {
+             return static_cast<double>(
+                 legacy::MetaBlocking(blocks, n1, n2, cell.scheme, cell.pruning)
+                     .pairs()
+                     .size());
+           }),
+           total_pairs);
+    std::snprintf(name, sizeof(name), "csr_%s", tag.c_str());
+    Record(name, MedianNs(1, 5, [&]() {
+             return static_cast<double>(
+                 blocking::MetaBlocking(blocks, n1, n2, cell.scheme,
+                                        cell.pruning)
+                     .pairs()
+                     .size());
+           }),
+           total_pairs);
+    speedups.push_back({"metablocking_" + tag,
+                        NsPerOp("legacy_" + tag) / NsPerOp("csr_" + tag)});
+  }
+
+  Record("legacy_CP", MedianNs(1, 5, [&]() {
+           return static_cast<double>(
+               legacy::ComparisonPropagation(blocks, n1, n2).pairs().size());
+         }),
+         total_pairs);
+  Record("csr_CP", MedianNs(1, 5, [&]() {
+           return static_cast<double>(
+               blocking::ComparisonPropagation(blocks, n1, n2).pairs().size());
+         }),
+         total_pairs);
+  speedups.push_back({"cp", NsPerOp("legacy_CP") / NsPerOp("csr_CP")});
+
+  double log_sum = 0.0;
+  std::size_t mb_cells = 0;
+  for (const auto& s : speedups) {
+    if (s.name.rfind("metablocking_", 0) == 0) {
+      log_sum += std::log(s.factor);
+      ++mb_cells;
+    }
+  }
+  speedups.push_back({"metablocking_geomean",
+                      std::exp(log_sum / static_cast<double>(mb_cells))});
+
+  std::printf("speedups (legacy / csr):\n");
+  for (const auto& s : speedups) {
+    std::printf("  %-26s %.2fx\n", s.name.c_str(), s.factor);
+  }
+  if (!json_path.empty()) WriteJson(json_path, speedups);
+  return 0;
+}
+
 }  // namespace
 
-// BENCHMARK_MAIN with a --threads=N preamble: the flag sizes the parallel
-// runtime's pool and is stripped before google-benchmark sees the arguments.
+// BENCHMARK_MAIN with a --threads=N preamble (the flag sizes the parallel
+// runtime's pool and is stripped before google-benchmark sees the arguments)
+// and a --json=PATH mode that runs the self-timed legacy-vs-CSR meta-blocking
+// comparison instead of the google-benchmark harness.
 int main(int argc, char** argv) {
+  std::string json_path;
+  bool self_timed = false;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       erb::SetNumThreads(std::strtoull(argv[i] + 10, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+      self_timed = true;
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
+  if (self_timed) return RunSelfTimed(json_path);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

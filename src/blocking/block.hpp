@@ -12,30 +12,35 @@
 
 namespace erb::blocking {
 
-/// One block: the entities of each source sharing a signature.
+/// \brief One block: the entities of each source sharing a signature.
 struct Block {
-  std::vector<core::EntityId> e1;
-  std::vector<core::EntityId> e2;
+  std::vector<core::EntityId> e1;  ///< First-source members (may repeat).
+  std::vector<core::EntityId> e2;  ///< Second-source members (may repeat).
 
-  /// Number of inter-source comparisons this block induces.
+  /// \brief Number of inter-source comparisons this block induces.
   std::uint64_t Comparisons() const {
     return static_cast<std::uint64_t>(e1.size()) * e2.size();
   }
 
-  /// Total entity assignments (block "size" in the block-cleaning sense).
+  /// \brief Total entity assignments (block "size" in the block-cleaning
+  ///        sense).
   std::size_t Assignments() const { return e1.size() + e2.size(); }
 };
 
 using BlockCollection = std::vector<Block>;
 
-/// Total comparisons across a collection (with redundancy, i.e. the same
-/// pair counted once per shared block) — the BC measure of block cleaning.
+/// \brief Total comparisons across a collection (with redundancy, i.e. the
+///        same pair counted once per shared block) — the BC measure of block
+///        cleaning.
+/// \param blocks The collection to measure.
 std::uint64_t TotalComparisons(const BlockCollection& blocks);
 
-/// Total entity assignments across a collection.
+/// \brief Total entity assignments across a collection.
+/// \param blocks The collection to measure.
 std::uint64_t TotalAssignments(const BlockCollection& blocks);
 
-/// Drops blocks that lost one side (no comparisons). Keeps order.
+/// \brief Drops blocks that lost one side (no comparisons). Keeps order.
+/// \param blocks Collection pruned in place.
 void DropUselessBlocks(BlockCollection* blocks);
 
 }  // namespace erb::blocking

@@ -15,7 +15,7 @@
 
 namespace erb::blocking {
 
-/// The five block-building methods of the benchmark.
+/// \brief The five block-building methods of the benchmark.
 enum class BuilderKind {
   kStandard,
   kQGrams,
@@ -24,10 +24,11 @@ enum class BuilderKind {
   kExtendedSuffixArrays,
 };
 
-/// Human-readable name (for reports and Table VIII output).
+/// \brief Human-readable name (for reports and Table VIII output).
+/// \param kind The builder to name.
 std::string_view BuilderName(BuilderKind kind);
 
-/// Parameters of a block builder (Table III domains).
+/// \brief Parameters of a block builder (Table III domains).
 struct BuilderConfig {
   BuilderKind kind = BuilderKind::kStandard;
   int q = 3;           ///< q-gram length, [2, 6]
@@ -36,18 +37,24 @@ struct BuilderConfig {
   int b_max = 50;      ///< maximum entities per (extended) suffix block, [2, 100]
 };
 
-/// Extracts the blocking keys (signatures) of one textual value under the
-/// given configuration. Exposed for testing and for the paper's "Joe Biden"
-/// worked example.
+/// \brief Extracts the blocking keys (signatures) of one textual value under
+///        the given configuration. Exposed for testing and for the paper's
+///        "Joe Biden" worked example.
+/// \param text The textual value to derive signatures from.
+/// \param config Builder kind and its parameters.
 std::vector<std::string> ExtractKeys(std::string_view text,
                                      const BuilderConfig& config);
 
-/// Builds the block collection of `dataset` under `mode`.
+/// \brief Builds the block collection of `dataset` under `mode`.
 ///
 /// For the proactive Suffix-Arrays-based methods the b_max bound is enforced
 /// here: blocks with b_max or more entities are discarded during building, as
 /// the methods define. Lazy builders return every block with both sides
 /// non-empty, relying on block/comparison cleaning downstream.
+///
+/// \param dataset The two entity sources to block.
+/// \param mode Schema-agnostic or schema-aware key derivation.
+/// \param config Builder kind and its parameters.
 BlockCollection BuildBlocks(const core::Dataset& dataset, core::SchemaMode mode,
                             const BuilderConfig& config);
 

@@ -2,30 +2,38 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <numeric>
+#include <utility>
 #include <vector>
+
+#include "common/parallel.hpp"
+#include "obs/trace.hpp"
 
 namespace erb::blocking {
 
 void BlockPurging(BlockCollection* blocks, std::size_t n1, std::size_t n2) {
   if (blocks->empty()) return;
+  const std::size_t before = blocks->size();
 
   // Criterion 1: purge blocks with more than half of all input entities.
   const std::size_t half_entities = (n1 + n2) / 2;
   std::erase_if(*blocks, [half_entities](const Block& b) {
     return b.Assignments() > half_entities;
   });
-  if (blocks->empty()) return;
+  if (blocks->empty()) {
+    obs::CounterAdd("blocking.purged_blocks", before);
+    return;
+  }
 
   // Criterion 2 follows. Aggregate comparisons/assignments per distinct
-  // comparison cardinality.
-  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> levels;
+  // comparison cardinality: one (cardinality, assignments) entry per block,
+  // sorted, then swept grouping equal cardinalities — same ascending-level
+  // aggregation the former std::map produced, without the node allocations.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> levels;
+  levels.reserve(blocks->size());
   for (const auto& block : *blocks) {
-    auto& [comparisons, assignments] = levels[block.Comparisons()];
-    comparisons += block.Comparisons();
-    assignments += block.Assignments();
+    levels.emplace_back(block.Comparisons(), block.Assignments());
   }
+  std::sort(levels.begin(), levels.end());
 
   // Ascending scan over cumulative comparisons-per-assignment. The retained
   // maximum cardinality is the level just below the *last* disproportionate
@@ -39,12 +47,16 @@ void BlockPurging(BlockCollection* blocks, std::size_t n1, std::size_t n2) {
   std::uint64_t cum_assignments = 0;
   double previous_ratio = 0.0;
   std::uint64_t previous_cardinality = 0;
-  std::uint64_t cut = levels.rbegin()->first;  // no jump -> keep everything
-  for (const auto& [cardinality, totals] : levels) {
-    cum_comparisons += totals.first;
-    cum_assignments += totals.second;
-    const double ratio =
-        static_cast<double>(cum_comparisons) / static_cast<double>(cum_assignments);
+  std::uint64_t cut = levels.back().first;  // no jump -> keep everything
+  for (std::size_t idx = 0; idx < levels.size();) {
+    const std::uint64_t cardinality = levels[idx].first;
+    while (idx < levels.size() && levels[idx].first == cardinality) {
+      cum_comparisons += cardinality;
+      cum_assignments += levels[idx].second;
+      ++idx;
+    }
+    const double ratio = static_cast<double>(cum_comparisons) /
+                         static_cast<double>(cum_assignments);
     if (previous_ratio > 0.0 && ratio > kSmoothing * previous_ratio) {
       cut = previous_cardinality;
     }
@@ -52,50 +64,92 @@ void BlockPurging(BlockCollection* blocks, std::size_t n1, std::size_t n2) {
     previous_cardinality = cardinality;
   }
   std::erase_if(*blocks, [cut](const Block& b) { return b.Comparisons() > cut; });
+  obs::CounterAdd("blocking.purged_blocks", before - blocks->size());
 }
 
 void BlockFiltering(BlockCollection* blocks, double ratio, std::size_t n1,
                     std::size_t n2) {
   if (ratio >= 1.0 || blocks->empty()) return;
+  const std::size_t before = blocks->size();
 
-  // Collect each entity's blocks as (cardinality, block index), then keep the
-  // entity in the ceil(ratio * count) smallest ones.
-  std::vector<std::vector<std::pair<std::uint64_t, std::uint32_t>>> per_e1(n1);
-  std::vector<std::vector<std::pair<std::uint64_t, std::uint32_t>>> per_e2(n2);
-  for (std::uint32_t b = 0; b < blocks->size(); ++b) {
-    const std::uint64_t cardinality = (*blocks)[b].Comparisons();
-    for (core::EntityId id : (*blocks)[b].e1) per_e1[id].emplace_back(cardinality, b);
-    for (core::EntityId id : (*blocks)[b].e2) per_e2[id].emplace_back(cardinality, b);
-  }
-
-  BlockCollection filtered(blocks->size());
-  auto retain = [&filtered, ratio](
-                    std::vector<std::vector<std::pair<std::uint64_t, std::uint32_t>>>&
-                        per_entity,
-                    int side) {
-    for (std::size_t id = 0; id < per_entity.size(); ++id) {
-      auto& entity_blocks = per_entity[id];
-      if (entity_blocks.empty()) continue;
-      const std::size_t keep = std::max<std::size_t>(
-          1, static_cast<std::size_t>(
-                 std::ceil(ratio * static_cast<double>(entity_blocks.size()))));
-      if (keep < entity_blocks.size()) {
-        std::nth_element(entity_blocks.begin(), entity_blocks.begin() + keep - 1,
-                         entity_blocks.end());
-        entity_blocks.resize(keep);
+  // Each side's entity -> (cardinality, block index) assignments as one
+  // contiguous CSR array (two counting passes), in place of a
+  // vector-of-vectors: each entity's entries occupy
+  // [offsets[id], offsets[id+1]) and run in ascending block index, so block
+  // index breaks every cardinality tie exactly as before.
+  using Entry = std::pair<std::uint64_t, std::uint32_t>;
+  const auto build_side = [blocks](int side, std::size_t count,
+                                   std::vector<std::uint32_t>* offsets,
+                                   std::vector<Entry>* entries) {
+    offsets->assign(count + 1, 0);
+    for (const Block& block : *blocks) {
+      for (core::EntityId id : side == 0 ? block.e1 : block.e2) {
+        ++(*offsets)[id + 1];
       }
-      for (const auto& [_, b] : entity_blocks) {
+    }
+    for (std::size_t id = 0; id < count; ++id) {
+      (*offsets)[id + 1] += (*offsets)[id];
+    }
+    entries->resize(offsets->back());
+    std::vector<std::uint32_t> cursor(offsets->begin(), offsets->end() - 1);
+    for (std::uint32_t b = 0; b < blocks->size(); ++b) {
+      const std::uint64_t cardinality = (*blocks)[b].Comparisons();
+      for (core::EntityId id : side == 0 ? (*blocks)[b].e1 : (*blocks)[b].e2) {
+        (*entries)[cursor[id]++] = Entry(cardinality, b);
+      }
+    }
+  };
+
+  // Per entity, move the ceil(ratio * count) smallest entries (min one) to
+  // the front of its CSR range. Subranges are disjoint, so the selection
+  // runs in parallel; the retained *set* per entity is order-independent.
+  const auto select = [ratio](const std::vector<std::uint32_t>& offsets,
+                              std::vector<Entry>* entries,
+                              std::vector<std::uint32_t>* kept) {
+    const std::size_t count = offsets.size() - 1;
+    kept->assign(count, 0);
+    ParallelFor(0, count, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t id = begin; id < end; ++id) {
+        const std::size_t size = offsets[id + 1] - offsets[id];
+        if (size == 0) continue;
+        const std::size_t keep = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::ceil(ratio * static_cast<double>(size))));
+        if (keep < size) {
+          Entry* base = entries->data() + offsets[id];
+          std::nth_element(base, base + keep - 1, base + size);
+          (*kept)[id] = static_cast<std::uint32_t>(keep);
+        } else {
+          (*kept)[id] = static_cast<std::uint32_t>(size);
+        }
+      }
+    });
+  };
+
+  std::vector<std::uint32_t> offsets;
+  std::vector<Entry> entries;
+  std::vector<std::uint32_t> kept;
+  BlockCollection filtered(blocks->size());
+  for (int side = 0; side < 2; ++side) {
+    const std::size_t count = side == 0 ? n1 : n2;
+    build_side(side, count, &offsets, &entries);
+    select(offsets, &entries, &kept);
+    // Rebuild iterating entity ids in ascending order, so every surviving
+    // block's member list stays ascending regardless of the selection's
+    // internal ordering.
+    for (std::size_t id = 0; id < count; ++id) {
+      for (std::uint32_t n = 0; n < kept[id]; ++n) {
+        const std::uint32_t b = entries[offsets[id] + n].second;
         auto& block = filtered[b];
         (side == 0 ? block.e1 : block.e2)
             .push_back(static_cast<core::EntityId>(id));
       }
     }
-  };
-  retain(per_e1, 0);
-  retain(per_e2, 1);
+  }
 
   DropUselessBlocks(&filtered);
   *blocks = std::move(filtered);
+  obs::CounterAdd("blocking.filtered_blocks", before - blocks->size());
 }
 
 }  // namespace erb::blocking

@@ -7,8 +7,8 @@
 
 namespace erb::blocking {
 
-/// Block Purging (parameter-free). Removes the oversized blocks that emanate
-/// from stop-word-like signatures.
+/// \brief Block Purging (parameter-free). Removes the oversized blocks that
+///        emanate from stop-word-like signatures.
 ///
 /// Two complementary criteria, both parameter-free:
 ///  1. Size: a block holding more than half of all input entities is purged
@@ -18,11 +18,24 @@ namespace erb::blocking {
 ///     every level above the last disproportionate jump of that ratio is
 ///     purged — those blocks add comparisons much faster than they add
 ///     (potentially matching) entity assignments.
+///
+/// \param blocks Collection to purge in place; block order is preserved.
+/// \param n1 Number of E1 entities of the input dataset.
+/// \param n2 Number of E2 entities of the input dataset.
 void BlockPurging(BlockCollection* blocks, std::size_t n1, std::size_t n2);
 
-/// Block Filtering. For every entity, retains it only in the
-/// ceil(ratio * |blocks of the entity|) smallest of its blocks. ratio = 1
-/// keeps everything. Blocks that lose one side are dropped.
+/// \brief Block Filtering: retains each entity only in the
+///        ceil(ratio * |blocks of the entity|) smallest of its blocks
+///        (minimum one), ties on cardinality broken by ascending block
+///        index.
+///
+/// \param blocks Collection to filter in place. Surviving blocks keep their
+///        relative order with member lists in ascending entity id; blocks
+///        that lose one side are dropped.
+/// \param ratio Fraction of each entity's blocks to keep, in (0, 1];
+///        ratio >= 1 keeps everything (no-op).
+/// \param n1 Number of E1 entities of the input dataset.
+/// \param n2 Number of E2 entities of the input dataset.
 void BlockFiltering(BlockCollection* blocks, double ratio,
                     std::size_t n1, std::size_t n2);
 

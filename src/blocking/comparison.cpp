@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/parallel.hpp"
+#include "obs/trace.hpp"
 
 namespace erb::blocking {
 namespace {
@@ -63,110 +64,21 @@ struct Side2Stats {
   std::vector<double> all_weights;  // CEP's global weight pool
   double global_sum = 0.0;
   std::uint64_t global_count = 0;
+  std::uint64_t pairs = 0;  // distinct pairs weighted (obs counter)
 };
 
-}  // namespace
-
-std::string_view SchemeName(WeightingScheme scheme) {
-  switch (scheme) {
-    case WeightingScheme::kArcs: return "ARCS";
-    case WeightingScheme::kCbs: return "CBS";
-    case WeightingScheme::kEcbs: return "ECBS";
-    case WeightingScheme::kJs: return "JS";
-    case WeightingScheme::kEjs: return "EJS";
-    case WeightingScheme::kChiSquared: return "X2";
-  }
-  return "unknown";
-}
-
-std::string_view PruningName(PruningAlgorithm algorithm) {
-  switch (algorithm) {
-    case PruningAlgorithm::kBlast: return "BLAST";
-    case PruningAlgorithm::kCep: return "CEP";
-    case PruningAlgorithm::kCnp: return "CNP";
-    case PruningAlgorithm::kRcnp: return "RCNP";
-    case PruningAlgorithm::kRwnp: return "RWNP";
-    case PruningAlgorithm::kWep: return "WEP";
-    case PruningAlgorithm::kWnp: return "WNP";
-  }
-  return "unknown";
-}
-
-double PairWeight(const PairGraph& graph, WeightingScheme scheme, EntityId i,
-                  EntityId j, std::uint32_t common, double arcs) {
-  const double bi = static_cast<double>(graph.BlocksOf1(i));
-  const double bj = static_cast<double>(graph.BlocksOf2(j));
-  const double total_blocks =
-      std::max<double>(1.0, static_cast<double>(graph.NumBlocks()));
-  const double c = static_cast<double>(common);
-  switch (scheme) {
-    case WeightingScheme::kArcs:
-      return arcs;
-    case WeightingScheme::kCbs:
-      return c;
-    case WeightingScheme::kEcbs:
-      return c * std::log(total_blocks / bi) * std::log(total_blocks / bj);
-    case WeightingScheme::kJs:
-      return c / (bi + bj - c);
-    case WeightingScheme::kEjs: {
-      const double js = c / (bi + bj - c);
-      const double total_pairs =
-          std::max<double>(1.0, static_cast<double>(graph.TotalPairs()));
-      const double di = std::max<double>(graph.Degree1(i), 1.0);
-      const double dj = std::max<double>(graph.Degree2(j), 1.0);
-      return js * std::log10(total_pairs / di) * std::log10(total_pairs / dj);
-    }
-    case WeightingScheme::kChiSquared: {
-      // Independence test of the entities' block participations.
-      const double n = total_blocks;
-      const double o11 = c;
-      const double o12 = bi - c;
-      const double o21 = bj - c;
-      const double o22 = n - bi - bj + c;
-      const double denom = bi * bj * (n - bi) * (n - bj);
-      if (denom <= 0.0) return 0.0;
-      const double diff = o11 * o22 - o12 * o21;
-      return n * diff * diff / denom;
-    }
-  }
-  return 0.0;
-}
-
-core::CandidateSet ComparisonPropagation(const BlockCollection& blocks,
-                                         std::size_t n1, std::size_t n2) {
-  PairGraph graph(blocks, n1, n2);
-  core::CandidateSet candidates = ParallelMapReduce<core::CandidateSet>(
-      0, n1, /*grain=*/0,
-      [&graph](std::size_t i_begin, std::size_t i_end) {
-        core::CandidateSet chunk;
-        graph.ForEachPairInRange(
-            i_begin, i_end,
-            [&chunk](EntityId i, EntityId j, std::uint32_t, double) {
-              chunk.Add(i, j);
-            });
-        return chunk;
-      },
-      [](core::CandidateSet& into, core::CandidateSet&& from) {
-        into.Merge(std::move(from));
-      });
-  candidates.Finalize();
-  return candidates;
-}
-
-core::CandidateSet MetaBlocking(const BlockCollection& blocks, std::size_t n1,
-                                std::size_t n2, WeightingScheme scheme,
-                                PruningAlgorithm pruning) {
-  PairGraph graph(blocks, n1, n2);
-  if (scheme == WeightingScheme::kEjs) graph.EnsureDegrees();
-
-  // Cardinality parameters, configured from block characteristics as in the
-  // meta-blocking literature: k = assignments per entity, K = assignments / 2.
-  const std::uint64_t assignments = TotalAssignments(blocks);
-  const std::size_t k = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::llround(
-             static_cast<double>(assignments) / std::max<std::size_t>(1, n1 + n2))));
-  const std::uint64_t cep_cap = std::max<std::uint64_t>(1, assignments / 2);
-
+// The weighting + pruning kernel, templated on the weigher policy so scheme
+// dispatch happens once per run instead of once per pair, and so the pair
+// streams skip the ARCS accumulator for the five schemes that ignore it.
+// The structure — pass-1 chunking, merge order, pinned pass-1 emission
+// order — is what keeps the candidate set byte-identical at any thread
+// count; see docs/blocking.md.
+template <typename Weigher>
+core::CandidateSet MetaBlockingImpl(const EntityBlockIndex& index,
+                                    std::size_t n1, std::size_t n2,
+                                    const Weigher& weigh, std::size_t k,
+                                    std::uint64_t cep_cap,
+                                    PruningAlgorithm pruning) {
   const bool needs_topk =
       pruning == PruningAlgorithm::kCnp || pruning == PruningAlgorithm::kRcnp;
   const bool needs_node_stats = pruning == PruningAlgorithm::kWnp ||
@@ -191,61 +103,69 @@ core::CandidateSet MetaBlocking(const BlockCollection& blocks, std::size_t n1,
   // chunk-private and merged in ascending chunk order. The grain bounds the
   // number of n2-sized chunk accumulators alive at once; it depends only on
   // n1, never on the thread count, so the merged statistics are identical
-  // at 1, 2 or 64 threads.
+  // at 1, 2 or 64 threads. The sorted stream pins the per-node weight sums
+  // to ascending-j association order.
   constexpr std::size_t kStatsChunks = 16;
-  const std::size_t stats_grain = std::max<std::size_t>(
-      1, (n1 + kStatsChunks - 1) / kStatsChunks);
-  Side2Stats stats = ParallelMapReduce<Side2Stats>(
-      0, n1, stats_grain,
-      [&](std::size_t i_begin, std::size_t i_end) {
-        Side2Stats chunk;
-        if (needs_topk) chunk.topk2 = TopKTracker(n2, k);
-        if (needs_node_stats) {
-          chunk.sum2.assign(n2, 0.0);
-          chunk.max2.assign(n2, 0.0);
-          chunk.cnt2.assign(n2, 0);
-        }
-        graph.ForEachPairInRange(
-            i_begin, i_end,
-            [&](EntityId i, EntityId j, std::uint32_t common, double arcs) {
-              const double w = PairWeight(graph, scheme, i, j, common, arcs);
-              if (needs_topk) {
-                topk1.Offer(i, w);
-                chunk.topk2.Offer(j, w);
-              }
-              if (needs_node_stats) {
-                sum1[i] += w;
-                ++cnt1[i];
-                max1[i] = std::max(max1[i], w);
-                chunk.sum2[j] += w;
-                ++chunk.cnt2[j];
-                chunk.max2[j] = std::max(chunk.max2[j], w);
-              }
-              if (needs_global_weights) chunk.all_weights.push_back(w);
-              if (needs_global_avg) {
-                chunk.global_sum += w;
-                ++chunk.global_count;
-              }
-            });
-        return chunk;
-      },
-      [&](Side2Stats& into, Side2Stats&& from) {
-        if (needs_topk) into.topk2.MergeFrom(from.topk2);
-        if (needs_node_stats) {
-          for (std::size_t j = 0; j < n2; ++j) {
-            into.sum2[j] += from.sum2[j];
-            into.cnt2[j] += from.cnt2[j];
-            into.max2[j] = std::max(into.max2[j], from.max2[j]);
+  const std::size_t stats_grain =
+      std::max<std::size_t>(1, (n1 + kStatsChunks - 1) / kStatsChunks);
+  Side2Stats stats;
+  {
+    obs::Span span("blocking/metablocking/stats");
+    stats = ParallelMapReduce<Side2Stats>(
+        0, n1, stats_grain,
+        [&](std::size_t i_begin, std::size_t i_end) {
+          Side2Stats chunk;
+          if (needs_topk) chunk.topk2 = TopKTracker(n2, k);
+          if (needs_node_stats) {
+            chunk.sum2.assign(n2, 0.0);
+            chunk.max2.assign(n2, 0.0);
+            chunk.cnt2.assign(n2, 0);
           }
-        }
-        if (needs_global_weights) {
-          into.all_weights.insert(into.all_weights.end(),
-                                  from.all_weights.begin(),
-                                  from.all_weights.end());
-        }
-        into.global_sum += from.global_sum;
-        into.global_count += from.global_count;
-      });
+          index.Stream<Weigher::kNeedsArcs, /*kSorted=*/true>(
+              i_begin, i_end,
+              [&](EntityId i, EntityId j, std::uint32_t common, double arcs) {
+                const double w = weigh(i, j, common, arcs);
+                ++chunk.pairs;
+                if (needs_topk) {
+                  topk1.Offer(i, w);
+                  chunk.topk2.Offer(j, w);
+                }
+                if (needs_node_stats) {
+                  sum1[i] += w;
+                  ++cnt1[i];
+                  max1[i] = std::max(max1[i], w);
+                  chunk.sum2[j] += w;
+                  ++chunk.cnt2[j];
+                  chunk.max2[j] = std::max(chunk.max2[j], w);
+                }
+                if (needs_global_weights) chunk.all_weights.push_back(w);
+                if (needs_global_avg) {
+                  chunk.global_sum += w;
+                  ++chunk.global_count;
+                }
+              });
+          return chunk;
+        },
+        [&](Side2Stats& into, Side2Stats&& from) {
+          if (needs_topk) into.topk2.MergeFrom(from.topk2);
+          if (needs_node_stats) {
+            for (std::size_t j = 0; j < n2; ++j) {
+              into.sum2[j] += from.sum2[j];
+              into.cnt2[j] += from.cnt2[j];
+              into.max2[j] = std::max(into.max2[j], from.max2[j]);
+            }
+          }
+          if (needs_global_weights) {
+            into.all_weights.insert(into.all_weights.end(),
+                                    from.all_weights.begin(),
+                                    from.all_weights.end());
+          }
+          into.global_sum += from.global_sum;
+          into.global_count += from.global_count;
+          into.pairs += from.pairs;
+        });
+  }
+  obs::CounterAdd("blocking.pairs_weighted", stats.pairs);
   const TopKTracker& topk2 = stats.topk2;
   const std::vector<double>& sum2 = stats.sum2;
   const std::vector<double>& max2 = stats.max2;
@@ -274,15 +194,17 @@ core::CandidateSet MetaBlocking(const BlockCollection& blocks, std::size_t n1,
 
   // Pass 2: retention. The pass-1 statistics are read-only now, so chunks
   // only need a private candidate buffer (merged in chunk order; Finalize
-  // sorts, so the emitted set is order-independent anyway).
+  // sorts, so the emitted set is order-independent — which is also why this
+  // pass can use the cheaper unsorted stream).
+  obs::Span span("blocking/metablocking/prune");
   core::CandidateSet candidates = ParallelMapReduce<core::CandidateSet>(
       0, n1, /*grain=*/0,
       [&](std::size_t i_begin, std::size_t i_end) {
         core::CandidateSet chunk;
-        graph.ForEachPairInRange(
+        index.Stream<Weigher::kNeedsArcs, /*kSorted=*/false>(
             i_begin, i_end,
             [&](EntityId i, EntityId j, std::uint32_t common, double arcs) {
-              const double w = PairWeight(graph, scheme, i, j, common, arcs);
+              const double w = weigh(i, j, common, arcs);
               bool keep = false;
               switch (pruning) {
                 case PruningAlgorithm::kBlast:
@@ -318,6 +240,66 @@ core::CandidateSet MetaBlocking(const BlockCollection& blocks, std::size_t n1,
       });
   candidates.Finalize();
   return candidates;
+}
+
+}  // namespace
+
+std::string_view PruningName(PruningAlgorithm algorithm) {
+  switch (algorithm) {
+    case PruningAlgorithm::kBlast: return "BLAST";
+    case PruningAlgorithm::kCep: return "CEP";
+    case PruningAlgorithm::kCnp: return "CNP";
+    case PruningAlgorithm::kRcnp: return "RCNP";
+    case PruningAlgorithm::kRwnp: return "RWNP";
+    case PruningAlgorithm::kWep: return "WEP";
+    case PruningAlgorithm::kWnp: return "WNP";
+  }
+  return "unknown";
+}
+
+core::CandidateSet ComparisonPropagation(const BlockCollection& blocks,
+                                         std::size_t n1, std::size_t n2) {
+  obs::Span span("blocking/cp");
+  EntityBlockIndex index(blocks, n1, n2);
+  core::CandidateSet candidates = ParallelMapReduce<core::CandidateSet>(
+      0, n1, /*grain=*/0,
+      [&index](std::size_t i_begin, std::size_t i_end) {
+        core::CandidateSet chunk;
+        // Emission order is free here (Finalize sorts), so the unsorted
+        // arcs-free stream does the minimum work per pair.
+        index.Stream<false, false>(
+            i_begin, i_end,
+            [&chunk](EntityId i, EntityId j, std::uint32_t, double) {
+              chunk.Add(i, j);
+            });
+        return chunk;
+      },
+      [](core::CandidateSet& into, core::CandidateSet&& from) {
+        into.Merge(std::move(from));
+      });
+  candidates.Finalize();
+  return candidates;
+}
+
+core::CandidateSet MetaBlocking(const BlockCollection& blocks, std::size_t n1,
+                                std::size_t n2, WeightingScheme scheme,
+                                PruningAlgorithm pruning) {
+  EntityBlockIndex index(blocks, n1, n2);
+  if (scheme == WeightingScheme::kEjs) index.EnsureDegrees();
+  const WeightTables tables = BuildWeightTables(index, scheme);
+
+  // Cardinality parameters, configured from block characteristics as in the
+  // meta-blocking literature: k = assignments per entity, K = assignments / 2.
+  const std::uint64_t assignments = TotalAssignments(blocks);
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             static_cast<double>(assignments) /
+             std::max<std::size_t>(1, n1 + n2))));
+  const std::uint64_t cep_cap = std::max<std::uint64_t>(1, assignments / 2);
+
+  return DispatchWeigher(index, scheme, tables, [&](auto weigher) {
+    return MetaBlockingImpl(index, n1, n2, weigher, k, cep_cap, pruning);
+  });
 }
 
 core::CandidateSet CleanComparisons(const BlockCollection& blocks,

@@ -3,24 +3,26 @@
 // Meta-blocking (a weighting scheme scoring each distinct candidate pair by
 // the blocks its entities share, plus a pruning algorithm retaining the
 // best-scored pairs).
+//
+// Both paths stream pairs from the CSR entity-to-block index
+// (blocking/entity_index.hpp); the full weighted graph is never
+// materialized. The weighting schemes live in blocking/weighting.hpp.
 #pragma once
 
 #include <string_view>
 
 #include "blocking/block.hpp"
-#include "blocking/graph.hpp"
+#include "blocking/entity_index.hpp"
+#include "blocking/weighting.hpp"
 #include "core/candidates.hpp"
 
 namespace erb::blocking {
 
-/// Weighting schemes of Meta-blocking. The more and the rarer the blocks two
-/// entities share, the higher the weight.
-enum class WeightingScheme { kArcs, kCbs, kEcbs, kJs, kEjs, kChiSquared };
-
 /// Pruning algorithms deciding which weighted pairs survive.
 enum class PruningAlgorithm { kBlast, kCep, kCnp, kRcnp, kRwnp, kWep, kWnp };
 
-std::string_view SchemeName(WeightingScheme scheme);
+/// \brief Human-readable pruning-algorithm name ("BLAST", "CEP", ...).
+/// \param algorithm The algorithm to name.
 std::string_view PruningName(PruningAlgorithm algorithm);
 
 /// Configuration of the comparison-cleaning step.
@@ -32,27 +34,41 @@ struct ComparisonConfig {
   PruningAlgorithm pruning = PruningAlgorithm::kWep;
 };
 
-/// Comparison Propagation: emits every distinct inter-source pair exactly
-/// once (precision up, recall untouched).
+/// \brief Comparison Propagation: emits every distinct inter-source pair of
+///        `blocks` exactly once (precision up, recall untouched).
+/// \param blocks The block collection to clean.
+/// \param n1 Number of E1 entities (ids in the blocks must be smaller).
+/// \param n2 Number of E2 entities (ids in the blocks must be smaller).
+/// \return The finalized (sorted, deduplicated) candidate set.
 core::CandidateSet ComparisonPropagation(const BlockCollection& blocks,
                                          std::size_t n1, std::size_t n2);
 
-/// Meta-blocking: scores every distinct pair with `scheme` and retains those
-/// selected by `pruning`.
+/// \brief Meta-blocking: scores every distinct pair of `blocks` with
+///        `scheme` and retains those selected by `pruning`.
+///
+/// Deterministic at any thread count: the statistics pass streams pairs in
+/// pinned ascending (i, j) order and merges per-chunk accumulators in
+/// ascending chunk order, so the candidate set is byte-identical at
+/// ERB_THREADS=1 and 8 (enforced by the src/oracle differential suite).
+///
+/// \param blocks The block collection to clean.
+/// \param n1 Number of E1 entities (ids in the blocks must be smaller).
+/// \param n2 Number of E2 entities (ids in the blocks must be smaller).
+/// \param scheme Weighting scheme scoring each distinct pair.
+/// \param pruning Pruning algorithm deciding which pairs survive.
+/// \return The finalized (sorted, deduplicated) candidate set.
 core::CandidateSet MetaBlocking(const BlockCollection& blocks, std::size_t n1,
                                 std::size_t n2, WeightingScheme scheme,
                                 PruningAlgorithm pruning);
 
-/// Dispatches on `config`.
+/// \brief Dispatches on `config` to Comparison Propagation or Meta-blocking.
+/// \param blocks The block collection to clean.
+/// \param n1 Number of E1 entities (ids in the blocks must be smaller).
+/// \param n2 Number of E2 entities (ids in the blocks must be smaller).
+/// \param config Selects the cleaning step and its parameters.
+/// \return The finalized (sorted, deduplicated) candidate set.
 core::CandidateSet CleanComparisons(const BlockCollection& blocks,
                                     std::size_t n1, std::size_t n2,
                                     const ComparisonConfig& config);
-
-/// The weight of pair (i, j) under `scheme`, given the shared-block count and
-/// ARCS accumulator produced by PairGraph::ForEachPair. For EJS the graph's
-/// degrees must have been computed (PairGraph::EnsureDegrees).
-double PairWeight(const PairGraph& graph, WeightingScheme scheme,
-                  core::EntityId i, core::EntityId j, std::uint32_t common,
-                  double arcs);
 
 }  // namespace erb::blocking

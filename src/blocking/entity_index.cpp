@@ -1,0 +1,54 @@
+#include "blocking/entity_index.hpp"
+
+namespace erb::blocking {
+
+EntityBlockIndex::EntityBlockIndex(const BlockCollection& blocks,
+                                   std::size_t n1, std::size_t n2)
+    : blocks_(&blocks), n1_(n1), n2_(n2) {
+  // Pass 1: count E1 assignments per entity and E2 members per block.
+  e1_offsets_.assign(n1 + 1, 0);
+  e2_block_counts_.assign(n2, 0);
+  b2_offsets_.assign(blocks.size() + 1, 0);
+  std::size_t total_members2 = 0;
+  for (std::uint32_t b = 0; b < blocks.size(); ++b) {
+    for (core::EntityId id : blocks[b].e1) ++e1_offsets_[id + 1];
+    for (core::EntityId id : blocks[b].e2) ++e2_block_counts_[id];
+    total_members2 += blocks[b].e2.size();
+    b2_offsets_[b + 1] = static_cast<std::uint32_t>(total_members2);
+  }
+  for (std::size_t i = 0; i < n1; ++i) e1_offsets_[i + 1] += e1_offsets_[i];
+
+  // Pass 2: fill. Iterating blocks in ascending id keeps every entity's
+  // block-id run ascending — the order the ARCS accumulator and the pair
+  // streamer's floating-point sums are pinned to.
+  e1_blocks_.resize(e1_offsets_[n1]);
+  b2_members_.resize(total_members2);
+  inv_comparisons_.resize(blocks.size());
+  std::vector<std::uint32_t> cursor(e1_offsets_.begin(),
+                                    e1_offsets_.end() - 1);
+  for (std::uint32_t b = 0; b < blocks.size(); ++b) {
+    for (core::EntityId id : blocks[b].e1) e1_blocks_[cursor[id]++] = b;
+    std::copy(blocks[b].e2.begin(), blocks[b].e2.end(),
+              b2_members_.begin() + b2_offsets_[b]);
+    inv_comparisons_[b] =
+        1.0 / static_cast<double>(blocks[b].Comparisons());
+  }
+}
+
+void EntityBlockIndex::EnsureDegrees() const {
+  if (degrees_ready_) return;
+  degree1_.assign(n1_, 0);
+  degree2_.assign(n2_, 0);
+  total_pairs_ = 0;
+  // Degrees are integer counts per distinct pair: order-independent, so the
+  // unsorted arcs-free stream suffices.
+  Stream<false, false>(
+      0, n1_, [this](core::EntityId i, core::EntityId j, std::uint32_t, double) {
+        ++degree1_[i];
+        ++degree2_[j];
+        ++total_pairs_;
+      });
+  degrees_ready_ = true;
+}
+
+}  // namespace erb::blocking

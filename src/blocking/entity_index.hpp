@@ -1,0 +1,169 @@
+// The CSR entity-to-block index behind comparison cleaning: streaming access
+// to the distinct candidate pairs of a block collection together with the
+// co-occurrence statistics the meta-blocking weighting schemes consume.
+//
+// Layout (mirrors the ScanCount CSR postings of src/sparsenn): instead of one
+// heap-allocated block-id vector per E1 entity, the index keeps two
+// contiguous arrays per direction —
+//
+//   e1_offsets_[i] .. e1_offsets_[i+1]   block ids of E1 entity i (ascending,
+//                                        duplicates preserved) in e1_blocks_
+//   b2_offsets_[b] .. b2_offsets_[b+1]   E2 members of block b (stored block
+//                                        order) in b2_members_
+//
+// built in two counting passes (count, prefix-sum, fill), so a pair stream
+// walks two flat arrays instead of chasing a vector header per entity and a
+// member vector per block. The reciprocal comparison count of every block
+// (the ARCS term) is precomputed once at build time.
+//
+// Exposed separately from comparison.cpp so the configuration optimizer can
+// evaluate every weighting scheme and pruning algorithm over shared passes
+// instead of re-running meta-blocking 42 times per block collection.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "blocking/block.hpp"
+
+namespace erb::blocking {
+
+/// \brief CSR entity-to-block index for both sides plus the pair streamers.
+///
+/// Replaces the per-pair blocking graph: no edge list is ever materialized.
+/// The index borrows `blocks` (it keeps a pointer) and must not outlive it.
+class EntityBlockIndex {
+ public:
+  /// \brief Builds the index over `blocks` in two counting passes.
+  /// \param blocks Block collection to index; borrowed, not copied.
+  /// \param n1 Number of E1 (first-source) entities; member ids in
+  ///           `Block::e1` must be smaller.
+  /// \param n2 Number of E2 (second-source) entities; member ids in
+  ///           `Block::e2` must be smaller.
+  EntityBlockIndex(const BlockCollection& blocks, std::size_t n1,
+                   std::size_t n2);
+
+  /// \brief Streams the distinct inter-source pairs whose E1 node lies in
+  ///        [i_begin, i_end).
+  ///
+  /// Invokes `fn(i, j, common_blocks, arcs_weight)` exactly once per distinct
+  /// pair. `arcs_weight` is the ARCS accumulator (sum of 1/||b|| over shared
+  /// blocks) when `kNeedArcs`, else 0.0 — callers whose weighting scheme
+  /// ignores it skip one double-array touch per block assignment.
+  ///
+  /// When `kSorted`, pairs stream in ascending (i, j) order: the weighted
+  /// sums the meta-blocking statistics pass accumulates from this stream are
+  /// then associated the same way no matter how the blocks order their
+  /// members, which pins the floating-point results exactly. When `!kSorted`
+  /// the per-node emission order is first-touch (no sort) — valid for
+  /// consumers that are order-independent per node (integer counts, or
+  /// retention passes whose output is sorted afterwards).
+  ///
+  /// The co-occurrence scratch is local to the call, so disjoint ranges can
+  /// be streamed from different threads concurrently (the parallel
+  /// meta-blocking passes do exactly that).
+  template <bool kNeedArcs, bool kSorted, typename Fn>
+  void Stream(std::size_t i_begin, std::size_t i_end, Fn&& fn) const {
+    std::vector<std::uint32_t> common(n2_, 0);
+    std::vector<double> arcs(kNeedArcs ? n2_ : 0, 0.0);
+    std::vector<core::EntityId> touched;
+    i_end = std::min(i_end, n1_);
+    for (std::size_t i = i_begin; i < i_end; ++i) {
+      touched.clear();
+      const std::uint32_t* block_ids = e1_blocks_.data() + e1_offsets_[i];
+      const std::uint32_t num_blocks = e1_offsets_[i + 1] - e1_offsets_[i];
+      for (std::uint32_t n = 0; n < num_blocks; ++n) {
+        const std::uint32_t b = block_ids[n];
+        const double inv = kNeedArcs ? inv_comparisons_[b] : 0.0;
+        const core::EntityId* members = b2_members_.data() + b2_offsets_[b];
+        const std::uint32_t num_members = b2_offsets_[b + 1] - b2_offsets_[b];
+        for (std::uint32_t m = 0; m < num_members; ++m) {
+          const core::EntityId j = members[m];
+          if (common[j] == 0) touched.push_back(j);
+          ++common[j];
+          if constexpr (kNeedArcs) arcs[j] += inv;
+        }
+      }
+      if constexpr (kSorted) std::sort(touched.begin(), touched.end());
+      for (core::EntityId j : touched) {
+        fn(static_cast<core::EntityId>(i), j, common[j],
+           kNeedArcs ? arcs[j] : 0.0);
+        common[j] = 0;
+        if constexpr (kNeedArcs) arcs[j] = 0.0;
+      }
+    }
+  }
+
+  /// \brief Legacy-shaped streamer: sorted emission with the ARCS
+  ///        accumulator, over E1 nodes in [i_begin, i_end).
+  /// \param i_begin First E1 node of the range.
+  /// \param i_end One past the last E1 node (clamped to n1).
+  /// \param fn Callable `fn(i, j, common_blocks, arcs_weight)`.
+  template <typename Fn>
+  void ForEachPairInRange(std::size_t i_begin, std::size_t i_end,
+                          Fn&& fn) const {
+    Stream<true, true>(i_begin, i_end, std::forward<Fn>(fn));
+  }
+
+  /// \brief Streams every distinct inter-source pair (all of E1's nodes) in
+  ///        ascending (i, j) order with the ARCS accumulator.
+  /// \param fn Callable `fn(i, j, common_blocks, arcs_weight)`.
+  template <typename Fn>
+  void ForEachPair(Fn&& fn) const {
+    Stream<true, true>(0, n1_, std::forward<Fn>(fn));
+  }
+
+  /// \brief Number of E1 entities the index was built for.
+  std::size_t n1() const { return n1_; }
+  /// \brief Number of E2 entities the index was built for.
+  std::size_t n2() const { return n2_; }
+  /// \brief Number of blocks in the indexed collection.
+  std::size_t NumBlocks() const { return b2_offsets_.size() - 1; }
+  /// \brief Number of block assignments of E1 entity `i` (|B_i|).
+  std::size_t BlocksOf1(core::EntityId i) const {
+    return e1_offsets_[i + 1] - e1_offsets_[i];
+  }
+  /// \brief Number of block assignments of E2 entity `j` (|B_j|).
+  std::size_t BlocksOf2(core::EntityId j) const { return e2_block_counts_[j]; }
+
+  /// \brief Computes the number of distinct pairs and per-entity degrees
+  ///        (|v_i| of EJS) on first call (one extra streaming pass).
+  void EnsureDegrees() const;
+  /// \brief Number of distinct inter-source pairs (valid after
+  ///        EnsureDegrees).
+  std::uint64_t TotalPairs() const { return total_pairs_; }
+  /// \brief Blocking-graph degree of E1 entity `i` (valid after
+  ///        EnsureDegrees).
+  std::uint32_t Degree1(core::EntityId i) const { return degree1_[i]; }
+  /// \brief Blocking-graph degree of E2 entity `j` (valid after
+  ///        EnsureDegrees).
+  std::uint32_t Degree2(core::EntityId j) const { return degree2_[j]; }
+
+  /// \brief The indexed collection (borrowed).
+  const BlockCollection& blocks() const { return *blocks_; }
+
+ private:
+  const BlockCollection* blocks_;
+  std::size_t n1_;
+  std::size_t n2_;
+
+  // CSR E1 entity -> block ids (ascending per entity, duplicates preserved).
+  std::vector<std::uint32_t> e1_offsets_;
+  std::vector<std::uint32_t> e1_blocks_;
+  // CSR block -> E2 members (stored block order, duplicates preserved).
+  std::vector<std::uint32_t> b2_offsets_;
+  std::vector<core::EntityId> b2_members_;
+  // 1 / Block::Comparisons() per block: the ARCS term, hoisted out of the
+  // pair stream's inner loop.
+  std::vector<double> inv_comparisons_;
+  std::vector<std::uint32_t> e2_block_counts_;
+
+  mutable bool degrees_ready_ = false;
+  mutable std::uint64_t total_pairs_ = 0;
+  mutable std::vector<std::uint32_t> degree1_;
+  mutable std::vector<std::uint32_t> degree2_;
+};
+
+}  // namespace erb::blocking

@@ -13,10 +13,13 @@
 
 namespace erb::blocking {
 
-/// Runs Sorted Neighborhood with the given window size (>= 2). Keys are the
-/// normalized tokens of each entity's text under `mode`; an entity appears in
-/// the sorted sequence once per distinct token, as in the schema-agnostic
-/// adaptations of the method.
+/// \brief Runs Sorted Neighborhood with the given window size. Keys are the
+///        normalized tokens of each entity's text under `mode`; an entity
+///        appears in the sorted sequence once per distinct token, as in the
+///        schema-agnostic adaptations of the method.
+/// \param dataset The two entity sources to pair up.
+/// \param mode Schema-agnostic or schema-aware key derivation.
+/// \param window Sliding window size, at least 2.
 core::CandidateSet SortedNeighborhood(const core::Dataset& dataset,
                                       core::SchemaMode mode, int window);
 

@@ -1,0 +1,98 @@
+#include "blocking/weighting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace erb::blocking {
+
+std::string_view SchemeName(WeightingScheme scheme) {
+  switch (scheme) {
+    case WeightingScheme::kArcs: return "ARCS";
+    case WeightingScheme::kCbs: return "CBS";
+    case WeightingScheme::kEcbs: return "ECBS";
+    case WeightingScheme::kJs: return "JS";
+    case WeightingScheme::kEjs: return "EJS";
+    case WeightingScheme::kChiSquared: return "X2";
+  }
+  return "unknown";
+}
+
+double PairWeight(const EntityBlockIndex& index, WeightingScheme scheme,
+                  core::EntityId i, core::EntityId j, std::uint32_t common,
+                  double arcs) {
+  const double bi = static_cast<double>(index.BlocksOf1(i));
+  const double bj = static_cast<double>(index.BlocksOf2(j));
+  const double total_blocks =
+      std::max<double>(1.0, static_cast<double>(index.NumBlocks()));
+  const double c = static_cast<double>(common);
+  switch (scheme) {
+    case WeightingScheme::kArcs:
+      return arcs;
+    case WeightingScheme::kCbs:
+      return c;
+    case WeightingScheme::kEcbs:
+      return c * std::log(total_blocks / bi) * std::log(total_blocks / bj);
+    case WeightingScheme::kJs:
+      return c / (bi + bj - c);
+    case WeightingScheme::kEjs: {
+      const double js = c / (bi + bj - c);
+      const double total_pairs =
+          std::max<double>(1.0, static_cast<double>(index.TotalPairs()));
+      const double di = std::max<double>(index.Degree1(i), 1.0);
+      const double dj = std::max<double>(index.Degree2(j), 1.0);
+      return js * std::log10(total_pairs / di) * std::log10(total_pairs / dj);
+    }
+    case WeightingScheme::kChiSquared: {
+      // Independence test of the entities' block participations.
+      const double n = total_blocks;
+      const double o11 = c;
+      const double o12 = bi - c;
+      const double o21 = bj - c;
+      const double o22 = n - bi - bj + c;
+      const double denom = bi * bj * (n - bi) * (n - bj);
+      if (denom <= 0.0) return 0.0;
+      const double diff = o11 * o22 - o12 * o21;
+      return n * diff * diff / denom;
+    }
+  }
+  return 0.0;
+}
+
+WeightTables BuildWeightTables(const EntityBlockIndex& index,
+                               WeightingScheme scheme) {
+  WeightTables tables;
+  tables.total_blocks =
+      std::max<double>(1.0, static_cast<double>(index.NumBlocks()));
+  if (scheme == WeightingScheme::kEcbs) {
+    tables.ecbs1.resize(index.n1());
+    tables.ecbs2.resize(index.n2());
+    for (std::size_t i = 0; i < index.n1(); ++i) {
+      const double bi = static_cast<double>(
+          index.BlocksOf1(static_cast<core::EntityId>(i)));
+      tables.ecbs1[i] = std::log(tables.total_blocks / bi);
+    }
+    for (std::size_t j = 0; j < index.n2(); ++j) {
+      const double bj = static_cast<double>(
+          index.BlocksOf2(static_cast<core::EntityId>(j)));
+      tables.ecbs2[j] = std::log(tables.total_blocks / bj);
+    }
+  } else if (scheme == WeightingScheme::kEjs) {
+    const double total_pairs =
+        std::max<double>(1.0, static_cast<double>(index.TotalPairs()));
+    tables.ejs1.resize(index.n1());
+    tables.ejs2.resize(index.n2());
+    for (std::size_t i = 0; i < index.n1(); ++i) {
+      const double di = std::max<double>(
+          index.Degree1(static_cast<core::EntityId>(i)), 1.0);
+      tables.ejs1[i] = std::log10(total_pairs / di);
+    }
+    for (std::size_t j = 0; j < index.n2(); ++j) {
+      const double dj = std::max<double>(
+          index.Degree2(static_cast<core::EntityId>(j)), 1.0);
+      tables.ejs2[j] = std::log10(total_pairs / dj);
+    }
+  }
+  return tables;
+}
+
+}  // namespace erb::blocking

@@ -1,0 +1,179 @@
+// The six meta-blocking weighting schemes (Section IV-B) as streaming
+// kernels over the CSR entity-to-block index.
+//
+// Two forms with bit-identical results:
+//  - PairWeight(): one switch-dispatched evaluation per pair — the reference
+//    form the oracle comments and the configuration optimizer use.
+//  - The weigher policy structs + BuildWeightTables()/DispatchWeigher(): the
+//    hot-path form. Scheme dispatch is hoisted out of the pair loop
+//    (templates, no per-pair switch) and the entity-local factors of ECBS
+//    (log(|B| / |B_i|)) and EJS (log10(|V| / |v_i|)) are precomputed per
+//    entity instead of per pair. Precomputation applies the same operations
+//    to the same operands, so every double matches the reference form bit
+//    for bit — the determinism contract of comparison.cpp rests on that.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "blocking/entity_index.hpp"
+#include "core/entity.hpp"
+
+namespace erb::blocking {
+
+/// Weighting schemes of Meta-blocking. The more and the rarer the blocks two
+/// entities share, the higher the weight.
+enum class WeightingScheme { kArcs, kCbs, kEcbs, kJs, kEjs, kChiSquared };
+
+/// \brief Human-readable scheme name ("ARCS", "CBS", ...).
+/// \param scheme The scheme to name.
+std::string_view SchemeName(WeightingScheme scheme);
+
+/// \brief The weight of pair (i, j) under `scheme`, evaluated per pair.
+///
+/// \param index The entity-to-block index of the collection.
+/// \param scheme Weighting scheme to evaluate.
+/// \param i E1 entity of the pair.
+/// \param j E2 entity of the pair.
+/// \param common Number of blocks the pair shares, as produced by
+///        EntityBlockIndex::ForEachPair.
+/// \param arcs The ARCS accumulator (sum of 1/||b|| over shared blocks), as
+///        produced by EntityBlockIndex::ForEachPair; only read for ARCS.
+/// \return The pair's weight. For EJS the index's degrees must have been
+///         computed (EntityBlockIndex::EnsureDegrees).
+double PairWeight(const EntityBlockIndex& index, WeightingScheme scheme,
+                  core::EntityId i, core::EntityId j, std::uint32_t common,
+                  double arcs);
+
+/// Per-entity factors hoisted out of the pair loop. Only the vectors the
+/// chosen scheme reads are populated (BuildWeightTables).
+struct WeightTables {
+  /// max(1, number of blocks), the |B| of ECBS and the n of X2.
+  double total_blocks = 1.0;
+  std::vector<double> ecbs1;  ///< ECBS: log(|B| / |B_i|) per E1 entity.
+  std::vector<double> ecbs2;  ///< ECBS: log(|B| / |B_j|) per E2 entity.
+  std::vector<double> ejs1;   ///< EJS: log10(|V| / |v_i|) per E1 entity.
+  std::vector<double> ejs2;   ///< EJS: log10(|V| / |v_j|) per E2 entity.
+};
+
+/// \brief Precomputes the per-entity factors `scheme` needs over `index`.
+/// \param index The entity-to-block index; for EJS its degrees must have
+///        been computed (EntityBlockIndex::EnsureDegrees).
+/// \param scheme The scheme the tables will serve.
+/// \return Tables with exactly the vectors `scheme` reads populated.
+WeightTables BuildWeightTables(const EntityBlockIndex& index,
+                               WeightingScheme scheme);
+
+/// ARCS: the precomputed accumulator itself (sum of 1/||b|| over shared
+/// blocks).
+struct ArcsWeigher {
+  static constexpr bool kNeedsArcs = true;
+  double operator()(core::EntityId, core::EntityId, std::uint32_t,
+                    double arcs) const {
+    return arcs;
+  }
+};
+
+/// CBS: the number of shared blocks.
+struct CbsWeigher {
+  static constexpr bool kNeedsArcs = false;
+  double operator()(core::EntityId, core::EntityId, std::uint32_t common,
+                    double) const {
+    return static_cast<double>(common);
+  }
+};
+
+/// ECBS: CBS rescaled by each entity's hoisted log(|B| / |B_i|) factor.
+struct EcbsWeigher {
+  static constexpr bool kNeedsArcs = false;
+  const double* log1;
+  const double* log2;
+  double operator()(core::EntityId i, core::EntityId j, std::uint32_t common,
+                    double) const {
+    return static_cast<double>(common) * log1[i] * log2[j];
+  }
+};
+
+/// JS: Jaccard coefficient of the two entities' block sets.
+struct JsWeigher {
+  static constexpr bool kNeedsArcs = false;
+  const EntityBlockIndex* index;
+  double operator()(core::EntityId i, core::EntityId j, std::uint32_t common,
+                    double) const {
+    const double bi = static_cast<double>(index->BlocksOf1(i));
+    const double bj = static_cast<double>(index->BlocksOf2(j));
+    const double c = static_cast<double>(common);
+    return c / (bi + bj - c);
+  }
+};
+
+/// EJS: JS rescaled by each entity's hoisted log10(|V| / |v_i|) factor.
+struct EjsWeigher {
+  static constexpr bool kNeedsArcs = false;
+  const EntityBlockIndex* index;
+  const double* log1;
+  const double* log2;
+  double operator()(core::EntityId i, core::EntityId j, std::uint32_t common,
+                    double) const {
+    const double bi = static_cast<double>(index->BlocksOf1(i));
+    const double bj = static_cast<double>(index->BlocksOf2(j));
+    const double c = static_cast<double>(common);
+    const double js = c / (bi + bj - c);
+    return js * log1[i] * log2[j];
+  }
+};
+
+/// Pearson chi-squared: independence test of the entities' block
+/// participations.
+struct ChiSquaredWeigher {
+  static constexpr bool kNeedsArcs = false;
+  const EntityBlockIndex* index;
+  double total_blocks;
+  double operator()(core::EntityId i, core::EntityId j, std::uint32_t common,
+                    double) const {
+    const double bi = static_cast<double>(index->BlocksOf1(i));
+    const double bj = static_cast<double>(index->BlocksOf2(j));
+    const double n = total_blocks;
+    const double c = static_cast<double>(common);
+    const double o11 = c;
+    const double o12 = bi - c;
+    const double o21 = bj - c;
+    const double o22 = n - bi - bj + c;
+    const double denom = bi * bj * (n - bi) * (n - bj);
+    if (denom <= 0.0) return 0.0;
+    const double diff = o11 * o22 - o12 * o21;
+    return n * diff * diff / denom;
+  }
+};
+
+/// \brief Invokes `fn` with the weigher policy object for `scheme`.
+///
+/// \param index The entity-to-block index the weighers read.
+/// \param scheme The scheme to dispatch on.
+/// \param tables Hoisted per-entity factors from BuildWeightTables (must
+///        have been built for the same scheme and must outlive the call).
+/// \param fn Generic callable invoked as `fn(weigher)`; its instantiations
+///        carry the scheme dispatch out of the per-pair loop.
+/// \return Whatever `fn` returns.
+template <typename Fn>
+auto DispatchWeigher(const EntityBlockIndex& index, WeightingScheme scheme,
+                     const WeightTables& tables, Fn&& fn) {
+  switch (scheme) {
+    case WeightingScheme::kArcs:
+      return fn(ArcsWeigher{});
+    case WeightingScheme::kCbs:
+      return fn(CbsWeigher{});
+    case WeightingScheme::kEcbs:
+      return fn(EcbsWeigher{tables.ecbs1.data(), tables.ecbs2.data()});
+    case WeightingScheme::kJs:
+      return fn(JsWeigher{&index});
+    case WeightingScheme::kEjs:
+      return fn(EjsWeigher{&index, tables.ejs1.data(), tables.ejs2.data()});
+    case WeightingScheme::kChiSquared:
+      return fn(ChiSquaredWeigher{&index, tables.total_blocks});
+  }
+  return fn(CbsWeigher{});  // unreachable; keeps -Wreturn-type quiet
+}
+
+}  // namespace erb::blocking

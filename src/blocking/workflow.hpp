@@ -13,26 +13,27 @@
 
 namespace erb::blocking {
 
-/// Full configuration of one blocking workflow (the search space of
-/// Table III).
+/// \brief Full configuration of one blocking workflow (the search space of
+///        Table III).
 struct WorkflowConfig {
-  BuilderConfig builder;
-  bool block_purging = false;
+  BuilderConfig builder;       ///< Block-building method and parameters.
+  bool block_purging = false;  ///< Whether Block Purging runs.
   /// Block Filtering ratio in (0, 1]; 1.0 disables the step.
   double filter_ratio = 1.0;
-  ComparisonConfig cleaning;
+  ComparisonConfig cleaning;  ///< Comparison-cleaning step.
 
-  /// Compact description for the configuration tables (Table VIII).
+  /// \brief Compact description for the configuration tables (Table VIII).
   std::string Describe() const;
 };
 
-/// Result of running a workflow: candidates plus the per-phase timings that
-/// feed the run-time breakdown of Figures 7-9 (t_b, t_p, t_f, t_c).
+/// \brief Result of running a workflow: candidates plus the per-phase timings
+///        that feed the run-time breakdown of Figures 7-9 (t_b, t_p, t_f,
+///        t_c).
 struct WorkflowResult {
-  core::CandidateSet candidates;
-  PhaseTimer timing;
-  std::size_t blocks_built = 0;
-  std::size_t blocks_after_cleaning = 0;
+  core::CandidateSet candidates;          ///< Surviving candidate pairs.
+  PhaseTimer timing;                      ///< Per-phase wall times.
+  std::size_t blocks_built = 0;           ///< Blocks before cleaning.
+  std::size_t blocks_after_cleaning = 0;  ///< Blocks after purging/filtering.
 };
 
 /// Phase names used in WorkflowResult::timing.
@@ -41,16 +42,20 @@ inline constexpr const char* kPhasePurge = "purge";
 inline constexpr const char* kPhaseFilter = "filter";
 inline constexpr const char* kPhaseClean = "clean";
 
-/// Runs the workflow on `dataset` under `mode`.
+/// \brief Runs the workflow on `dataset` under `mode`.
+/// \param dataset The two entity sources to block.
+/// \param mode Schema-agnostic or schema-aware key derivation.
+/// \param config The workflow to run.
 WorkflowResult RunWorkflow(const core::Dataset& dataset, core::SchemaMode mode,
                            const WorkflowConfig& config);
 
-/// The Parameter-free Blocking Workflow baseline (PBW): Standard Blocking +
-/// Block Purging + Comparison Propagation.
+/// \brief The Parameter-free Blocking Workflow baseline (PBW): Standard
+///        Blocking + Block Purging + Comparison Propagation.
 WorkflowConfig ParameterFreeWorkflow();
 
-/// The Default Blocking Workflow baseline (DBW): Q-Grams Blocking (q=6) +
-/// Block Filtering (ratio 0.5) + Meta-blocking with WEP + ECBS.
+/// \brief The Default Blocking Workflow baseline (DBW): Q-Grams Blocking
+///        (q=6) + Block Filtering (ratio 0.5) + Meta-blocking with WEP +
+///        ECBS.
 WorkflowConfig DefaultWorkflow();
 
 }  // namespace erb::blocking

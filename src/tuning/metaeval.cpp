@@ -4,13 +4,14 @@
 #include <cmath>
 #include <vector>
 
-#include "blocking/graph.hpp"
+#include "blocking/entity_index.hpp"
+#include "blocking/weighting.hpp"
+#include "obs/trace.hpp"
 
 namespace erb::tuning {
 namespace {
 
-using blocking::PairGraph;
-using blocking::PairWeight;
+using blocking::EntityBlockIndex;
 using blocking::PruningAlgorithm;
 using blocking::WeightingScheme;
 using core::EntityId;
@@ -57,12 +58,15 @@ class TopKTracker {
 
 double RecallCeiling(const blocking::BlockCollection& blocks,
                      const core::Dataset& dataset) {
-  // A duplicate is reachable iff its entities co-occur in >= 1 block.
-  PairGraph graph(blocks, dataset.e1().size(), dataset.e2().size());
+  // A duplicate is reachable iff its entities co-occur in >= 1 block. Only
+  // integer counts are derived from the stream, so the unsorted arcs-free
+  // stream suffices.
+  EntityBlockIndex index(blocks, dataset.e1().size(), dataset.e2().size());
   std::size_t reachable = 0;
-  graph.ForEachPair([&](EntityId i, EntityId j, std::uint32_t, double) {
-    if (dataset.IsDuplicate(core::MakePair(i, j))) ++reachable;
-  });
+  index.Stream<false, false>(
+      0, index.n1(), [&](EntityId i, EntityId j, std::uint32_t, double) {
+        if (dataset.IsDuplicate(core::MakePair(i, j))) ++reachable;
+      });
   const std::size_t total = dataset.NumDuplicates();
   return total == 0 ? 0.0 : static_cast<double>(reachable) / total;
 }
@@ -74,15 +78,16 @@ CleaningSweep EvaluateAllCleaning(const blocking::BlockCollection& blocks,
   const std::size_t total_duplicates = std::max<std::size_t>(1, dataset.NumDuplicates());
 
   CleaningSweep sweep;
-  PairGraph graph(blocks, n1, n2);
+  EntityBlockIndex index(blocks, n1, n2);
 
   // Entry 0: Comparison Propagation = every distinct pair.
   {
     std::uint64_t pairs = 0, detected = 0;
-    graph.ForEachPair([&](EntityId i, EntityId j, std::uint32_t, double) {
-      ++pairs;
-      if (dataset.IsDuplicate(core::MakePair(i, j))) ++detected;
-    });
+    index.Stream<false, false>(
+        0, n1, [&](EntityId i, EntityId j, std::uint32_t, double) {
+          ++pairs;
+          if (dataset.IsDuplicate(core::MakePair(i, j))) ++detected;
+        });
     auto& out = sweep[0];
     out.config.use_metablocking = false;
     out.eff.candidates = pairs;
@@ -101,79 +106,92 @@ CleaningSweep EvaluateAllCleaning(const blocking::BlockCollection& blocks,
 
   for (int s = 0; s < kNumSchemes; ++s) {
     const WeightingScheme scheme = kSchemes[static_cast<std::size_t>(s)];
-    if (scheme == WeightingScheme::kEjs) graph.EnsureDegrees();
+    if (scheme == WeightingScheme::kEjs) index.EnsureDegrees();
+    const blocking::WeightTables tables =
+        blocking::BuildWeightTables(index, scheme);
 
-    // Pass 1: all statistics at once.
-    TopKTracker topk1(n1, k), topk2(n2, k);
-    std::vector<double> sum1(n1, 0.0), sum2(n2, 0.0), max1(n1, 0.0), max2(n2, 0.0);
-    std::vector<std::uint32_t> cnt1(n1, 0), cnt2(n2, 0);
-    std::vector<double> all_weights;
-    double global_sum = 0.0;
-    std::uint64_t global_count = 0;
-    graph.ForEachPair([&](EntityId i, EntityId j, std::uint32_t common, double arcs) {
-      const double w = PairWeight(graph, scheme, i, j, common, arcs);
-      topk1.Offer(i, w);
-      topk2.Offer(j, w);
-      sum1[i] += w;
-      sum2[j] += w;
-      ++cnt1[i];
-      ++cnt2[j];
-      max1[i] = std::max(max1[i], w);
-      max2[j] = std::max(max2[j], w);
-      all_weights.push_back(w);
-      global_sum += w;
-      ++global_count;
-    });
+    blocking::DispatchWeigher(index, scheme, tables, [&](auto weigh) {
+      constexpr bool kNeedsArcs = decltype(weigh)::kNeedsArcs;
 
-    double cep_threshold = 0.0;
-    if (all_weights.size() > cep_cap) {
-      std::nth_element(all_weights.begin(), all_weights.begin() + cep_cap - 1,
-                       all_weights.end(), std::greater<>());
-      cep_threshold = all_weights[cep_cap - 1];
-    }
-    all_weights.clear();
-    all_weights.shrink_to_fit();
-    const double global_avg =
-        global_count == 0 ? 0.0 : global_sum / static_cast<double>(global_count);
+      // Pass 1: all statistics at once. The sorted stream pins the weight
+      // sums to the same ascending (i, j) association order the production
+      // MetaBlocking uses, so the thresholds match it bit for bit.
+      TopKTracker topk1(n1, k), topk2(n2, k);
+      std::vector<double> sum1(n1, 0.0), sum2(n2, 0.0), max1(n1, 0.0), max2(n2, 0.0);
+      std::vector<std::uint32_t> cnt1(n1, 0), cnt2(n2, 0);
+      std::vector<double> all_weights;
+      double global_sum = 0.0;
+      std::uint64_t global_count = 0;
+      index.Stream<kNeedsArcs, true>(
+          0, n1, [&](EntityId i, EntityId j, std::uint32_t common, double arcs) {
+            const double w = weigh(i, j, common, arcs);
+            topk1.Offer(i, w);
+            topk2.Offer(j, w);
+            sum1[i] += w;
+            sum2[j] += w;
+            ++cnt1[i];
+            ++cnt2[j];
+            max1[i] = std::max(max1[i], w);
+            max2[j] = std::max(max2[j], w);
+            all_weights.push_back(w);
+            global_sum += w;
+            ++global_count;
+          });
+      obs::CounterAdd("blocking.pairs_weighted", global_count);
 
-    // Pass 2: count |C| and detected duplicates for all 7 prunings at once.
-    std::array<std::uint64_t, kNumPrunings> pairs{};
-    std::array<std::uint64_t, kNumPrunings> detected{};
-    graph.ForEachPair([&](EntityId i, EntityId j, std::uint32_t common, double arcs) {
-      const double w = PairWeight(graph, scheme, i, j, common, arcs);
-      const bool is_duplicate = dataset.IsDuplicate(core::MakePair(i, j));
-      const bool avg1_ok = cnt1[i] > 0 && w >= sum1[i] / cnt1[i];
-      const bool avg2_ok = cnt2[j] > 0 && w >= sum2[j] / cnt2[j];
-      const bool topk1_ok = w >= topk1.Threshold(i);
-      const bool topk2_ok = w >= topk2.Threshold(j);
-      const std::array<bool, kNumPrunings> keep = {
-          /*BLAST=*/w >= kBlastRatio * (max1[i] + max2[j]),
-          /*CEP=*/w >= cep_threshold,
-          /*CNP=*/topk1_ok || topk2_ok,
-          /*RCNP=*/topk1_ok && topk2_ok,
-          /*RWNP=*/avg1_ok && avg2_ok,
-          /*WEP=*/w >= global_avg,
-          /*WNP=*/avg1_ok || avg2_ok,
-      };
+      double cep_threshold = 0.0;
+      if (all_weights.size() > cep_cap) {
+        std::nth_element(all_weights.begin(), all_weights.begin() + cep_cap - 1,
+                         all_weights.end(), std::greater<>());
+        cep_threshold = all_weights[cep_cap - 1];
+      }
+      all_weights.clear();
+      all_weights.shrink_to_fit();
+      const double global_avg =
+          global_count == 0 ? 0.0 : global_sum / static_cast<double>(global_count);
+
+      // Pass 2: count |C| and detected duplicates for all 7 prunings at
+      // once. Only integer counts are accumulated, so emission order is
+      // free and the unsorted stream does the minimum work per pair.
+      std::array<std::uint64_t, kNumPrunings> pairs{};
+      std::array<std::uint64_t, kNumPrunings> detected{};
+      index.Stream<kNeedsArcs, false>(
+          0, n1, [&](EntityId i, EntityId j, std::uint32_t common, double arcs) {
+            const double w = weigh(i, j, common, arcs);
+            const bool is_duplicate = dataset.IsDuplicate(core::MakePair(i, j));
+            const bool avg1_ok = cnt1[i] > 0 && w >= sum1[i] / cnt1[i];
+            const bool avg2_ok = cnt2[j] > 0 && w >= sum2[j] / cnt2[j];
+            const bool topk1_ok = w >= topk1.Threshold(i);
+            const bool topk2_ok = w >= topk2.Threshold(j);
+            const std::array<bool, kNumPrunings> keep = {
+                /*BLAST=*/w >= kBlastRatio * (max1[i] + max2[j]),
+                /*CEP=*/w >= cep_threshold,
+                /*CNP=*/topk1_ok || topk2_ok,
+                /*RCNP=*/topk1_ok && topk2_ok,
+                /*RWNP=*/avg1_ok && avg2_ok,
+                /*WEP=*/w >= global_avg,
+                /*WNP=*/avg1_ok || avg2_ok,
+            };
+            for (int p = 0; p < kNumPrunings; ++p) {
+              if (!keep[static_cast<std::size_t>(p)]) continue;
+              ++pairs[static_cast<std::size_t>(p)];
+              if (is_duplicate) ++detected[static_cast<std::size_t>(p)];
+            }
+          });
+
       for (int p = 0; p < kNumPrunings; ++p) {
-        if (!keep[static_cast<std::size_t>(p)]) continue;
-        ++pairs[static_cast<std::size_t>(p)];
-        if (is_duplicate) ++detected[static_cast<std::size_t>(p)];
+        auto& out = sweep[static_cast<std::size_t>(1 + s * kNumPrunings + p)];
+        out.config.use_metablocking = true;
+        out.config.scheme = scheme;
+        out.config.pruning = kPrunings[static_cast<std::size_t>(p)];
+        out.eff.candidates = pairs[static_cast<std::size_t>(p)];
+        out.eff.detected = detected[static_cast<std::size_t>(p)];
+        out.eff.pc = static_cast<double>(out.eff.detected) / total_duplicates;
+        out.eff.pq = out.eff.candidates == 0
+                         ? 0.0
+                         : static_cast<double>(out.eff.detected) / out.eff.candidates;
       }
     });
-
-    for (int p = 0; p < kNumPrunings; ++p) {
-      auto& out = sweep[static_cast<std::size_t>(1 + s * kNumPrunings + p)];
-      out.config.use_metablocking = true;
-      out.config.scheme = scheme;
-      out.config.pruning = kPrunings[static_cast<std::size_t>(p)];
-      out.eff.candidates = pairs[static_cast<std::size_t>(p)];
-      out.eff.detected = detected[static_cast<std::size_t>(p)];
-      out.eff.pc = static_cast<double>(out.eff.detected) / total_duplicates;
-      out.eff.pq = out.eff.candidates == 0
-                       ? 0.0
-                       : static_cast<double>(out.eff.detected) / out.eff.candidates;
-    }
   }
   return sweep;
 }

@@ -4,11 +4,12 @@
 
 #include <algorithm>
 #include <set>
+#include <tuple>
 
 #include "blocking/builders.hpp"
 #include "blocking/cleaning.hpp"
 #include "blocking/comparison.hpp"
-#include "blocking/graph.hpp"
+#include "blocking/entity_index.hpp"
 #include "blocking/workflow.hpp"
 #include "core/metrics.hpp"
 #include "datagen/registry.hpp"
@@ -195,15 +196,15 @@ TEST(ComparisonPropagationTest, EmitsDistinctPairsExactlyOnce) {
   EXPECT_TRUE(candidates.Contains(0, 1));
 }
 
-TEST(PairGraphTest, CommonBlockCountsAndArcs) {
+TEST(EntityBlockIndexTest, CommonBlockCountsAndArcs) {
   BlockCollection blocks(2);
   blocks[0].e1 = {0};
   blocks[0].e2 = {0};          // 1 comparison
   blocks[1].e1 = {0, 1};
   blocks[1].e2 = {0, 1};       // 4 comparisons
-  PairGraph graph(blocks, 2, 2);
+  EntityBlockIndex index(blocks, 2, 2);
   bool saw_pair00 = false;
-  graph.ForEachPair([&](core::EntityId i, core::EntityId j, std::uint32_t common,
+  index.ForEachPair([&](core::EntityId i, core::EntityId j, std::uint32_t common,
                         double arcs) {
     if (i == 0 && j == 0) {
       saw_pair00 = true;
@@ -214,11 +215,101 @@ TEST(PairGraphTest, CommonBlockCountsAndArcs) {
     }
   });
   EXPECT_TRUE(saw_pair00);
-  EXPECT_EQ(graph.BlocksOf1(0), 2u);
-  EXPECT_EQ(graph.BlocksOf2(1), 1u);
-  graph.EnsureDegrees();
-  EXPECT_EQ(graph.TotalPairs(), 4u);
-  EXPECT_EQ(graph.Degree1(0), 2u);
+  EXPECT_EQ(index.BlocksOf1(0), 2u);
+  EXPECT_EQ(index.BlocksOf2(1), 1u);
+  index.EnsureDegrees();
+  EXPECT_EQ(index.TotalPairs(), 4u);
+  EXPECT_EQ(index.Degree1(0), 2u);
+}
+
+// The sorted and unsorted streams must emit the same pair multiset; sorted
+// emission must come out in ascending (i, j).
+TEST(EntityBlockIndexTest, SortedAndUnsortedStreamsAgree) {
+  BlockCollection blocks(3);
+  blocks[0].e1 = {2, 0};
+  blocks[0].e2 = {3, 1};
+  blocks[1].e1 = {0};
+  blocks[1].e2 = {1, 0};
+  blocks[2].e1 = {1, 2};
+  blocks[2].e2 = {2};
+  EntityBlockIndex index(blocks, 3, 4);
+  std::vector<std::tuple<core::EntityId, core::EntityId, std::uint32_t>> sorted,
+      unsorted;
+  index.Stream<false, true>(0, 3, [&](core::EntityId i, core::EntityId j,
+                                      std::uint32_t c, double) {
+    sorted.emplace_back(i, j, c);
+  });
+  index.Stream<false, false>(0, 3, [&](core::EntityId i, core::EntityId j,
+                                       std::uint32_t c, double) {
+    unsorted.emplace_back(i, j, c);
+  });
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  std::sort(unsorted.begin(), unsorted.end());
+  EXPECT_EQ(sorted, unsorted);
+}
+
+// CSR boundary case: an entity assigned to no block at all must produce a
+// gap in the offsets array and stream nothing.
+TEST(EntityBlockIndexTest, EntityInZeroBlocks) {
+  BlockCollection blocks(1);
+  blocks[0].e1 = {0, 2};  // entity 1 is in no block
+  blocks[0].e2 = {1};     // entities 0 and 2 of E2 are in no block
+  EntityBlockIndex index(blocks, 3, 3);
+  EXPECT_EQ(index.BlocksOf1(1), 0u);
+  EXPECT_EQ(index.BlocksOf2(0), 0u);
+  EXPECT_EQ(index.BlocksOf2(2), 0u);
+  std::size_t pairs = 0;
+  index.ForEachPair([&](core::EntityId i, core::EntityId j, std::uint32_t,
+                        double) {
+    EXPECT_NE(i, 1u);
+    EXPECT_EQ(j, 1u);
+    ++pairs;
+  });
+  EXPECT_EQ(pairs, 2u);
+  index.EnsureDegrees();
+  EXPECT_EQ(index.Degree1(1), 0u);
+  EXPECT_EQ(index.TotalPairs(), 2u);
+}
+
+// CSR boundary case: duplicate entity-block assignments are preserved (the
+// co-occurrence count rises once per occurrence, matching the brute-force
+// oracle's per-member accumulation).
+TEST(EntityBlockIndexTest, DuplicateAssignmentsCountPerOccurrence) {
+  BlockCollection blocks(1);
+  blocks[0].e1 = {0, 0};
+  blocks[0].e2 = {1, 1, 1};
+  EntityBlockIndex index(blocks, 1, 2);
+  EXPECT_EQ(index.BlocksOf1(0), 2u);
+  EXPECT_EQ(index.BlocksOf2(1), 3u);
+  std::size_t pairs = 0;
+  index.ForEachPair([&](core::EntityId i, core::EntityId j, std::uint32_t common,
+                        double arcs) {
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(j, 1u);
+    EXPECT_EQ(common, 6u);  // 2 occurrences of i x 3 of j
+    EXPECT_DOUBLE_EQ(arcs, 6.0 / static_cast<double>(blocks[0].Comparisons()));
+    ++pairs;
+  });
+  EXPECT_EQ(pairs, 1u);
+}
+
+// CSR boundary case: a collection of singleton 1x1 blocks.
+TEST(EntityBlockIndexTest, SingletonBlocks) {
+  BlockCollection blocks(2);
+  blocks[0].e1 = {0};
+  blocks[0].e2 = {1};
+  blocks[1].e1 = {1};
+  blocks[1].e2 = {0};
+  EntityBlockIndex index(blocks, 2, 2);
+  std::vector<std::pair<core::EntityId, core::EntityId>> pairs;
+  index.ForEachPair([&](core::EntityId i, core::EntityId j, std::uint32_t common,
+                        double arcs) {
+    EXPECT_EQ(common, 1u);
+    EXPECT_DOUBLE_EQ(arcs, 1.0);
+    pairs.emplace_back(i, j);
+  });
+  EXPECT_EQ(pairs, (std::vector<std::pair<core::EntityId, core::EntityId>>{
+                       {0, 1}, {1, 0}}));
 }
 
 TEST(PairWeightTest, SchemesMatchFormulas) {
@@ -229,16 +320,48 @@ TEST(PairWeightTest, SchemesMatchFormulas) {
   blocks[1].e2 = {0};
   blocks[2].e1 = {0};
   blocks[2].e2 = {1};
-  PairGraph graph(blocks, 1, 2);
+  EntityBlockIndex index(blocks, 1, 2);
   // Pair (0,0): common = 2, |B0| = 3, |B_0 of e2| = 2, total blocks = 3.
-  EXPECT_DOUBLE_EQ(PairWeight(graph, WeightingScheme::kCbs, 0, 0, 2, 2.0), 2.0);
-  EXPECT_DOUBLE_EQ(PairWeight(graph, WeightingScheme::kJs, 0, 0, 2, 2.0),
+  EXPECT_DOUBLE_EQ(PairWeight(index, WeightingScheme::kCbs, 0, 0, 2, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(PairWeight(index, WeightingScheme::kJs, 0, 0, 2, 2.0),
                    2.0 / (3 + 2 - 2));
-  EXPECT_DOUBLE_EQ(PairWeight(graph, WeightingScheme::kArcs, 0, 0, 2, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(PairWeight(index, WeightingScheme::kArcs, 0, 0, 2, 2.0), 2.0);
   EXPECT_DOUBLE_EQ(
-      PairWeight(graph, WeightingScheme::kEcbs, 0, 0, 2, 2.0),
+      PairWeight(index, WeightingScheme::kEcbs, 0, 0, 2, 2.0),
       2.0 * std::log(3.0 / 3.0) * std::log(3.0 / 2.0));
-  EXPECT_GE(PairWeight(graph, WeightingScheme::kChiSquared, 0, 0, 2, 2.0), 0.0);
+  EXPECT_GE(PairWeight(index, WeightingScheme::kChiSquared, 0, 0, 2, 2.0), 0.0);
+}
+
+// The hoisted weigher policies must reproduce PairWeight bit for bit on
+// every distinct pair of a small collection — that equality is what lets
+// the production kernel precompute the per-entity log factors.
+TEST(PairWeightTest, WeighersMatchPairWeightBitForBit) {
+  BlockCollection blocks(4);
+  blocks[0].e1 = {0, 1};
+  blocks[0].e2 = {0, 2};
+  blocks[1].e1 = {0};
+  blocks[1].e2 = {1};
+  blocks[2].e1 = {2, 0};
+  blocks[2].e2 = {2, 1, 0};
+  blocks[3].e1 = {1};
+  blocks[3].e2 = {0};
+  EntityBlockIndex index(blocks, 3, 3);
+  index.EnsureDegrees();
+  for (WeightingScheme scheme :
+       {WeightingScheme::kArcs, WeightingScheme::kCbs, WeightingScheme::kEcbs,
+        WeightingScheme::kJs, WeightingScheme::kEjs,
+        WeightingScheme::kChiSquared}) {
+    const WeightTables tables = BuildWeightTables(index, scheme);
+    DispatchWeigher(index, scheme, tables, [&](auto weigh) {
+      index.ForEachPair([&](core::EntityId i, core::EntityId j,
+                            std::uint32_t common, double arcs) {
+        const double reference = PairWeight(index, scheme, i, j, common, arcs);
+        const double hoisted = weigh(i, j, common, arcs);
+        EXPECT_EQ(reference, hoisted)
+            << SchemeName(scheme) << " pair (" << i << "," << j << ")";
+      });
+    });
+  }
 }
 
 class PruningSubsetTest

@@ -304,6 +304,87 @@ TEST_P(OracleTest, MetaBlockingMatchesOracle) {
   }
 }
 
+// Handcrafted boundary collections the CSR entity-to-block index must
+// handle: all-singleton 1x1 blocks, entities absent from every block (gaps
+// in the offsets array), and duplicate entity-block assignments (an entity
+// listed twice in one block's member list). Each collection runs Comparison
+// Propagation and the full 6x7 scheme x pruning grid against the
+// brute-force oracle; n1 stays within the bit-exactness bound
+// (oracle::kMaxCorpusE1).
+TEST_P(OracleTest, MetaBlockingBoundaryCollectionsMatchOracle) {
+  ScopedThreadLimit limit(GetParam());
+  struct BoundaryCase {
+    const char* name;
+    BlockCollection blocks;
+    std::size_t n1, n2;
+  };
+  std::vector<BoundaryCase> cases;
+  {
+    // All-singleton blocks: every node's neighborhood is exactly one pair,
+    // so every per-node average, top-k and maximum collapses onto it.
+    BlockCollection blocks(3);
+    blocks[0].e1 = {0};
+    blocks[0].e2 = {2};
+    blocks[1].e1 = {1};
+    blocks[1].e2 = {1};
+    blocks[2].e1 = {2};
+    blocks[2].e2 = {0};
+    cases.push_back({"singleton_blocks", blocks, 3, 3});
+  }
+  {
+    // Entities in zero blocks on both sides: ids 1, 2, 4 of E1 and 0, 1, 3,
+    // 5 of E2 never appear, leaving empty CSR ranges that must stream
+    // nothing (and contribute nothing to EJS degrees).
+    BlockCollection blocks(2);
+    blocks[0].e1 = {0};
+    blocks[0].e2 = {4};
+    blocks[1].e1 = {3, 0};
+    blocks[1].e2 = {4, 2};
+    cases.push_back({"zero_block_entities", blocks, 5, 6});
+  }
+  {
+    // Duplicate entity-block assignments: the co-occurrence count rises
+    // once per occurrence and |B_i| counts assignments, not distinct
+    // blocks — the CSR build must preserve the duplicates.
+    BlockCollection blocks(3);
+    blocks[0].e1 = {0, 0, 1};
+    blocks[0].e2 = {1, 1};
+    blocks[1].e1 = {1};
+    blocks[1].e2 = {0, 0, 0};
+    blocks[2].e1 = {2, 2};
+    blocks[2].e2 = {2};
+    cases.push_back({"duplicate_assignments", blocks, 3, 3});
+  }
+
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    ASSERT_LE(c.n1, oracle::kMaxCorpusE1);
+    const CandidateSet cp_production =
+        blocking::ComparisonPropagation(c.blocks, c.n1, c.n2);
+    const CandidateSet cp_reference =
+        oracle::ComparisonPropagationOracle(c.blocks, c.n1, c.n2);
+    ExpectSameCandidates(cp_production, cp_reference);
+    for (WeightingScheme scheme :
+         {WeightingScheme::kArcs, WeightingScheme::kCbs, WeightingScheme::kEcbs,
+          WeightingScheme::kJs, WeightingScheme::kEjs,
+          WeightingScheme::kChiSquared}) {
+      for (PruningAlgorithm pruning :
+           {PruningAlgorithm::kBlast, PruningAlgorithm::kCep,
+            PruningAlgorithm::kCnp, PruningAlgorithm::kRcnp,
+            PruningAlgorithm::kRwnp, PruningAlgorithm::kWep,
+            PruningAlgorithm::kWnp}) {
+        SCOPED_TRACE(std::string(blocking::SchemeName(scheme)) + "/" +
+                     std::string(blocking::PruningName(pruning)));
+        const CandidateSet production =
+            blocking::MetaBlocking(c.blocks, c.n1, c.n2, scheme, pruning);
+        const CandidateSet reference =
+            oracle::MetaBlockingOracle(c.blocks, c.n1, c.n2, scheme, pruning);
+        ExpectSameCandidates(production, reference);
+      }
+    }
+  }
+}
+
 TEST_P(OracleTest, DenseKnnSearchMatchesOracle) {
   ScopedThreadLimit limit(GetParam());
   for (const auto& c : Corpus()) {

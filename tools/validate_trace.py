@@ -5,8 +5,12 @@ Usage: validate_trace.py SCHEMA_JSON TRACE_JSON
 
 Implements the subset of JSON Schema the checked-in schema uses — type,
 required, properties, items, enum, minimum — with only the standard library,
-so CI needs no third-party packages. Exits 0 on success, 1 with a list of
-violations otherwise.
+so CI needs no third-party packages. If the schema carries an
+"x-counterPrefixes" list, every counter sample (ph == "C") must additionally
+carry a name starting with one of those prefixes: a new counter namespace has
+to be registered (and documented) in docs/trace_schema.json before CI accepts
+traces that emit it. Exits 0 on success, 1 with a list of violations
+otherwise.
 """
 import json
 import sys
@@ -59,6 +63,16 @@ def main(argv):
         trace = json.load(f)
     errors = []
     validate(trace, schema, "$", errors)
+    prefixes = tuple(schema.get("x-counterPrefixes", []))
+    if prefixes:
+        for i, event in enumerate(trace.get("traceEvents", [])):
+            if not isinstance(event, dict) or event.get("ph") != "C":
+                continue
+            name = event.get("name", "")
+            if not isinstance(name, str) or not name.startswith(prefixes):
+                errors.append(
+                    f"$.traceEvents[{i}]: counter {name!r} matches none of the "
+                    f"registered prefixes {list(prefixes)}")
     if errors:
         for error in errors[:50]:
             print(f"FAIL {error}", file=sys.stderr)
