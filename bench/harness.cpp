@@ -14,6 +14,7 @@
 #include "datagen/registry.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
+#include "sparsenn/joins.hpp"
 
 namespace erb::bench {
 namespace {
@@ -25,7 +26,7 @@ namespace {
 // Bump whenever the serialized TunedResult layout or the semantics of any
 // field change. Entries with a different (or missing) version are ignored
 // with a stderr note instead of being deserialized into garbage.
-constexpr int kCacheFormatVersion = 2;
+constexpr int kCacheFormatVersion = 3;
 
 std::string CacheDir() {
   const char* dir = std::getenv("ERBENCH_CACHE_DIR");
@@ -40,6 +41,11 @@ std::string CachePath(tuning::MethodId id, const Setting& setting) {
                       datagen::BenchScale(setting.dataset_index) * 1000)
        << "_g" << (options.full_grid ? 1 : 0) << "_r" << options.repetitions
        << "_t" << NumThreads()  // RT depends on the pool size
+       // RT (not the results) also depends on the sparse probe filter mode.
+       << (sparsenn::ResolveFilterMode(sparsenn::FilterMode::kAuto) ==
+                   sparsenn::FilterMode::kPrefix
+               ? "_fp"
+               : "_fl")
        << ".result";
   return path.str();
 }

@@ -3,7 +3,7 @@
 //
 // Environment knobs (all optional):
 //   ERBENCH_DATASETS="2,3,4"  subset of datasets (default: all 10)
-//   ERBENCH_METHODS="SBW,kNNJ" subset of methods (default: all 17)
+//   ERBENCH_METHODS="SBW,kNNJ" subset of methods (default: all 18)
 //   ERBENCH_FAST=1             tiny datasets + 1 repetition (CI smoke)
 //   ERBENCH_FULL=1             paper-scale dataset sizes
 //   ERBENCH_FULL_GRID=1        the exact parameter grids of Tables III-V

@@ -1,14 +1,19 @@
-// Self-timed micro-benchmarks of the PR's hot-path kernels, proving the
-// data-layout work: SIMD dot / squared-L2 / axpy against the pinned scalar
-// backend, the length-filtered ScanCount probe against the unfiltered one
-// (both running the full ε-Join scoring pipeline), and the CSR index build.
+// Self-timed micro-benchmarks of the repo's hot-path kernels: SIMD dot /
+// squared-L2 / axpy against the pinned scalar backend, the length-filtered
+// ScanCount probe against the unfiltered and legacy nested-list ones, the
+// prefix/positional-filtered probe against the length-filtered baseline
+// (all running the full ε-Join scoring pipeline on identical inputs), a
+// kNN-style decreasing-threshold probe pair, and the CSR index builds.
 //
 // Usage: micro_kernels [--json=PATH] [--threads=N]
 // Prints a table to stdout; --json additionally writes the measurements and
-// derived speedups as a JSON document (committed as BENCH_PR4.json).
+// derived speedups as a JSON document (committed as BENCH_PR4.json for the
+// layout/length-filter work, BENCH_PR6.json for the prefix-filter work; the
+// `probe_prefix_geomean` key is the PR 6 headline).
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -268,31 +273,118 @@ double EpsilonPassUnfiltered(const sparsenn::ScanCountIndex& index,
 
 double EpsilonPassFiltered(const sparsenn::ScanCountIndex& index,
                            const std::vector<sparsenn::TokenSet>& queries,
+                           sparsenn::SimilarityMeasure measure,
                            double threshold,
                            sparsenn::ScanCountIndex::ProbeScratch* scratch) {
   std::uint64_t kept = 0;
   for (const auto& query : queries) {
-    const auto filter = sparsenn::LengthBounds(
-        sparsenn::SimilarityMeasure::kCosine, threshold, query.size());
+    const auto filter =
+        sparsenn::LengthBounds(measure, threshold, query.size());
     index.ProbeFiltered(
         query, filter, scratch,
         [&](std::uint32_t, std::uint32_t overlap, std::uint32_t size) {
-          const double sim = sparsenn::SetSimilarity(
-              sparsenn::SimilarityMeasure::kCosine, overlap, query.size(),
-              size);
+          const double sim = sparsenn::SetSimilarity(measure, overlap,
+                                                     query.size(), size);
           if (sim >= threshold) ++kept;
         });
   }
   return static_cast<double>(kept);
 }
 
+// The prefix-filtered ε-Join pass: same queries, same scoring pipeline, same
+// surviving candidates as the length-filtered pass — only the probe changes.
+// Queries are pre-remapped into rank space, mirroring the production join
+// (RunPrefixJoin remaps once during the index phase, not per probe).
+double EpsilonPassPrefix(
+    const sparsenn::PrefixScanCountIndex& index,
+    const std::vector<sparsenn::RankedTokenSet>& queries,
+    sparsenn::SimilarityMeasure measure, double threshold,
+    sparsenn::PrefixScanCountIndex::ProbeScratch* scratch) {
+  std::uint64_t kept = 0;
+  for (const auto& query : queries) {
+    index.Probe(query, threshold, scratch,
+                [&](std::uint32_t, std::uint32_t overlap, std::uint32_t size) {
+                  const double sim = sparsenn::SetSimilarity(
+                      measure, overlap, query.size(), size);
+                  if (sim >= threshold) ++kept;
+                });
+  }
+  return static_cast<double>(kept);
+}
+
+// Per-query tracker of the k highest distinct similarity values (the kNN
+// collector's threshold state, without the id bookkeeping).
+struct TopValues {
+  std::vector<double> values;
+  std::size_t k;
+  double tau() const { return values.size() == k ? values.back() : 0.0; }
+  void Offer(double sim) {
+    auto it = std::lower_bound(values.begin(), values.end(), sim,
+                               std::greater<double>());
+    if (it != values.end() && *it == sim) return;
+    if (values.size() == k) {
+      if (sim <= values.back()) return;
+      values.pop_back();
+      it = std::lower_bound(values.begin(), values.end(), sim,
+                            std::greater<double>());
+    }
+    values.insert(it, sim);
+  }
+};
+
+// kNN-style pass over the unfiltered merge-count: probe everything, offer
+// every similarity. Returns the sum of the final top values — identical for
+// both probe variants, so the comparison is self-checking on the sink.
+double KnnPassUnfiltered(const sparsenn::ScanCountIndex& index,
+                         const std::vector<sparsenn::TokenSet>& queries,
+                         std::size_t k,
+                         sparsenn::ScanCountIndex::ProbeScratch* scratch) {
+  double acc = 0.0;
+  for (const auto& query : queries) {
+    TopValues top{{}, k};
+    index.Probe(query, scratch,
+                [&](std::uint32_t, std::uint32_t overlap, std::uint32_t size) {
+                  top.Offer(sparsenn::SetSimilarity(
+                      sparsenn::SimilarityMeasure::kCosine, overlap,
+                      query.size(), size));
+                });
+    for (double v : top.values) acc += v;
+  }
+  return acc;
+}
+
+// The same pass through the prefix index's decreasing-threshold probe: the
+// admissible prefix and filter bounds tighten as the running k-th value rises.
+double KnnPassPrefix(const sparsenn::PrefixScanCountIndex& index,
+                     const std::vector<sparsenn::RankedTokenSet>& queries,
+                     std::size_t k,
+                     sparsenn::PrefixScanCountIndex::ProbeScratch* scratch) {
+  double acc = 0.0;
+  for (const auto& query : queries) {
+    TopValues top{{}, k};
+    index.ProbeDecreasing(
+        query, [&top] { return top.tau(); }, scratch,
+        [&](std::uint32_t, std::uint32_t overlap, std::uint32_t size) {
+          const double sim = sparsenn::SetSimilarity(
+              sparsenn::SimilarityMeasure::kCosine, overlap, query.size(),
+              size);
+          if (sim < top.tau()) return;
+          top.Offer(sim);
+        });
+    for (double v : top.values) acc += v;
+  }
+  return acc;
+}
+
 void BenchSparseProbes(const SparseFixture& fixture) {
   const LegacyScanCountIndex legacy(fixture.indexed);
   const sparsenn::ScanCountIndex index(fixture.indexed);
   sparsenn::ScanCountIndex::ProbeScratch scratch;
+  sparsenn::PrefixScanCountIndex::ProbeScratch prefix_scratch;
   std::printf("scancount probes (%zu indexed, %zu queries, %zu tokens):\n",
               fixture.indexed.size(), fixture.queries.size(),
               index.NumTokens());
+  // Legacy/unfiltered reference cells (PR 4 parity), Cosine only.
   for (double threshold : {0.5, 0.7}) {
     char name[64];
     std::snprintf(name, sizeof(name), "probe_legacy_t%.1f", threshold);
@@ -307,13 +399,61 @@ void BenchSparseProbes(const SparseFixture& fixture) {
                                           &scratch);
            }),
            fixture.queries.size());
-    std::snprintf(name, sizeof(name), "probe_filtered_t%.1f", threshold);
-    Record(name, MedianNs(2, 7, [&]() {
-             return EpsilonPassFiltered(index, fixture.queries, threshold,
-                                        &scratch);
-           }),
-           fixture.queries.size());
   }
+
+  // Length-filtered vs prefix-filtered ε-Join cells over both measures and
+  // the full threshold spread. Both sides of each cell see identical inputs
+  // and an identical scoring pipeline; the spread deliberately includes the
+  // low thresholds where the paper expects prefix filtering to degrade
+  // (Cosine's t² bound keeps three quarters of each set in the prefix at
+  // t = 0.5) as well as the high-threshold regime it is built for.
+  for (auto measure : {sparsenn::SimilarityMeasure::kCosine,
+                       sparsenn::SimilarityMeasure::kJaccard}) {
+    const bool cosine = measure == sparsenn::SimilarityMeasure::kCosine;
+    for (double threshold : {0.5, 0.7, 0.9}) {
+      const sparsenn::PrefixScanCountIndex prefix_index(fixture.indexed,
+                                                        measure, threshold);
+      std::vector<sparsenn::RankedTokenSet> ranked;
+      ranked.reserve(fixture.queries.size());
+      for (const auto& query : fixture.queries) {
+        ranked.push_back(prefix_index.ranks().Remap(query));
+      }
+      char name[64];
+      std::snprintf(name, sizeof(name), "probe_filtered%s_t%.1f",
+                    cosine ? "" : "_jac", threshold);
+      Record(name, MedianNs(2, 7, [&]() {
+               return EpsilonPassFiltered(index, fixture.queries, measure,
+                                          threshold, &scratch);
+             }),
+             fixture.queries.size());
+      std::snprintf(name, sizeof(name), "probe_prefix%s_t%.1f",
+                    cosine ? "" : "_jac", threshold);
+      Record(name, MedianNs(2, 7, [&]() {
+               return EpsilonPassPrefix(prefix_index, ranked, measure,
+                                        threshold, &prefix_scratch);
+             }),
+             fixture.queries.size());
+    }
+  }
+
+  // kNN-style decreasing-threshold pair: both track the k = 10 highest
+  // distinct values per query; the prefix index is built at 0 (full
+  // positional postings), exactly as KnnJoin builds it.
+  const sparsenn::PrefixScanCountIndex knn_index(
+      fixture.indexed, sparsenn::SimilarityMeasure::kCosine, 0.0);
+  std::vector<sparsenn::RankedTokenSet> ranked;
+  ranked.reserve(fixture.queries.size());
+  for (const auto& query : fixture.queries) {
+    ranked.push_back(knn_index.ranks().Remap(query));
+  }
+  Record("knn_probe_unfiltered_k10", MedianNs(2, 7, [&]() {
+           return KnnPassUnfiltered(index, fixture.queries, 10, &scratch);
+         }),
+         fixture.queries.size());
+  Record("knn_probe_prefix_k10", MedianNs(2, 7, [&]() {
+           return KnnPassPrefix(knn_index, ranked, 10, &prefix_scratch);
+         }),
+         fixture.queries.size());
 }
 
 void BenchCsrBuild(const SparseFixture& fixture) {
@@ -343,7 +483,7 @@ std::vector<Speedup> ComputeSpeedups() {
   auto ratio = [](double base, double opt) {
     return opt > 0.0 ? base / opt : 0.0;
   };
-  return {
+  std::vector<Speedup> speedups = {
       {"dot", ratio(NsPerOp("dot_scalar"), NsPerOp("dot_dispatch"))},
       {"l2", ratio(NsPerOp("l2_scalar"), NsPerOp("l2_dispatch"))},
       {"axpy", ratio(NsPerOp("axpy_scalar"), NsPerOp("axpy_dispatch"))},
@@ -361,6 +501,36 @@ std::vector<Speedup> ComputeSpeedups() {
       {"probe_filter_t0.7", ratio(NsPerOp("probe_unfiltered_t0.7"),
                                   NsPerOp("probe_filtered_t0.7"))},
   };
+  // PR 6 headline: prefix/positional-filtered probes against the length-
+  // filter-only baseline, identical inputs and surviving candidates per
+  // cell. `probe_prefix_geomean` aggregates every ε-Join cell — including
+  // the low-threshold ones where the prefix filter is expected to lose.
+  double product = 1.0;
+  std::size_t cells = 0;
+  for (const char* suffix : {"", "_jac"}) {
+    for (double threshold : {0.5, 0.7, 0.9}) {
+      char base[64], opt[64];
+      std::snprintf(base, sizeof(base), "probe_filtered%s_t%.1f", suffix,
+                    threshold);
+      std::snprintf(opt, sizeof(opt), "probe_prefix%s_t%.1f", suffix,
+                    threshold);
+      const double factor = ratio(NsPerOp(base), NsPerOp(opt));
+      speedups.push_back({std::string("probe_prefix") + suffix + "_t" +
+                              (threshold == 0.5   ? "0.5"
+                               : threshold == 0.7 ? "0.7"
+                                                  : "0.9"),
+                          factor});
+      product *= factor;
+      ++cells;
+    }
+  }
+  speedups.push_back(
+      {"probe_prefix_geomean",
+       cells > 0 ? std::pow(product, 1.0 / static_cast<double>(cells)) : 0.0});
+  speedups.push_back({"knn_probe_prefix_k10",
+                      ratio(NsPerOp("knn_probe_unfiltered_k10"),
+                            NsPerOp("knn_probe_prefix_k10"))});
+  return speedups;
 }
 
 void WriteJson(const std::string& path, const std::vector<Speedup>& speedups) {

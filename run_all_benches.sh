@@ -14,4 +14,8 @@ for b in bench_table6_datasets bench_fig3_profiles bench_table7_main \
 done
 echo "##### micro_components #####" >> "$OUT"
 ./build/bench/micro_components --benchmark_min_time=0.05s >> "$OUT" 2>> "$OUT.err"
+echo "##### micro_components (meta-blocking comparison) #####" >> "$OUT"
+./build/bench/micro_components --json=micro_components.json >> "$OUT" 2>> "$OUT.err"
+echo "##### micro_kernels #####" >> "$OUT"
+./build/bench/micro_kernels --json=micro_kernels.json >> "$OUT" 2>> "$OUT.err"
 echo "ALL_BENCHES_DONE" >> "$OUT"

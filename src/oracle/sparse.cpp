@@ -153,4 +153,44 @@ CandidateSet GlobalTopKJoinOracle(const core::Dataset& dataset,
   return out;
 }
 
+CandidateSet HybridJoinOracle(const core::Dataset& dataset,
+                              core::SchemaMode mode,
+                              const sparsenn::SparseConfig& config,
+                              double threshold, int k) {
+  const Sides sides = BuildSides(dataset, mode, config);
+  CandidateSet out;
+  const std::size_t min_matches = k > 0 ? static_cast<std::size_t>(k) : 0;
+  std::vector<std::pair<double, EntityId>> scored;
+  for (EntityId q = 0; q < sides.e2.size(); ++q) {
+    scored.clear();
+    for (EntityId id = 0; id < sides.e1.size(); ++id) {
+      const double sim =
+          TokenSetSimilarity(config.measure, sides.e1[id], sides.e2[q]);
+      if (sim > 0.0) scored.emplace_back(sim, id);
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first > b.first
+                                          : a.second < b.second;
+              });
+    std::size_t above = 0;
+    while (above < scored.size() && scored[above].first >= threshold) ++above;
+    if (above >= min_matches) {
+      for (std::size_t i = 0; i < above; ++i) out.Add(scored[i].second, q);
+      continue;
+    }
+    int distinct = 0;
+    double previous = -1.0;
+    for (const auto& [sim, id] : scored) {
+      if (sim != previous) {
+        if (++distinct > k) break;
+        previous = sim;
+      }
+      out.Add(id, q);
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
 }  // namespace erb::oracle

@@ -47,4 +47,13 @@ core::CandidateSet GlobalTopKJoinOracle(const core::Dataset& dataset,
                                         const sparsenn::SparseConfig& config,
                                         std::size_t global_k);
 
+/// HB-join reference: for each query entity of E2, every indexed entity of
+/// E1 with similarity >= `threshold` when at least `k` such entities exist,
+/// otherwise the kNN reference's top-k-distinct-values set. Candidates come
+/// from the overlap graph (similarity > 0), matching sparsenn::HybridJoin.
+core::CandidateSet HybridJoinOracle(const core::Dataset& dataset,
+                                    core::SchemaMode mode,
+                                    const sparsenn::SparseConfig& config,
+                                    double threshold, int k);
+
 }  // namespace erb::oracle

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <string_view>
 #include <utility>
 
 #include "common/parallel.hpp"
@@ -20,22 +22,26 @@ using core::EntityId;
 // chunk accumulators in ascending chunk order (so the result is
 // deterministic at any thread count). Each chunk owns its probe scratch;
 // any pruning counters the probe accumulated are flushed once per chunk.
-template <typename Acc, typename ProbeFn, typename Collect, typename Merge>
-Acc ParallelProbe(const ScanCountIndex& index,
-                  const std::vector<TokenSet>& query_sets, ProbeFn&& probe,
-                  Collect&& collect, Merge&& merge) {
+// Works against either index flavour: `Index` only has to provide
+// ProbeScratch and a static FlushCounters, and `QuerySet` has to match what
+// the probe functor expects (TokenSet, or RankedTokenSet for the prefix
+// index).
+template <typename Acc, typename Index, typename QuerySet, typename ProbeFn,
+          typename Collect, typename Merge>
+Acc ParallelProbe(const Index& index, const std::vector<QuerySet>& query_sets,
+                  ProbeFn&& probe, Collect&& collect, Merge&& merge) {
   return ParallelMapReduce<Acc>(
       0, query_sets.size(), /*grain=*/0,
       [&](std::size_t chunk_begin, std::size_t chunk_end) {
         Acc acc;
-        ScanCountIndex::ProbeScratch scratch;
+        typename Index::ProbeScratch scratch;
         std::vector<std::pair<EntityId, double>> matches;
         for (std::size_t q = chunk_begin; q < chunk_end; ++q) {
           matches.clear();
           probe(index, query_sets[q], &scratch, &matches);
           collect(static_cast<EntityId>(q), matches, acc);
         }
-        ScanCountIndex::FlushCounters(&scratch);
+        Index::FlushCounters(&scratch);
         return acc;
       },
       merge);
@@ -83,6 +89,108 @@ struct ProbeWithLengthFilter {
   }
 };
 
+// The prefix-filtered probe for a fixed similarity threshold: prefix,
+// positional and length filters over the global-frequency order, bitmap
+// suffix verification for survivors (see PrefixScanCountIndex).
+struct ProbePrefixEpsilon {
+  SimilarityMeasure measure;
+  double threshold;
+
+  void operator()(const PrefixScanCountIndex& index,
+                  const RankedTokenSet& query,
+                  PrefixScanCountIndex::ProbeScratch* scratch,
+                  std::vector<std::pair<EntityId, double>>* matches) const {
+    index.Probe(query, threshold, scratch,
+                [&](std::uint32_t id, std::uint32_t overlap,
+                    std::uint32_t indexed_size) {
+                  matches->emplace_back(
+                      id, SetSimilarity(measure, overlap, query.size(),
+                                        indexed_size));
+                });
+  }
+};
+
+// Tracker for the running k-th *distinct* similarity of one query: `values`
+// holds at most k distinct similarities, descending. tau() is the threshold
+// the k-th of them sets — 0 until k distinct values exist, after which any
+// pair below it can no longer enter the kNN result.
+struct DistinctTopK {
+  std::vector<double> values;
+  std::size_t k = 0;
+
+  explicit DistinctTopK(std::size_t k_) : k(k_) { values.reserve(k_); }
+
+  double tau() const { return values.size() == k ? values.back() : 0.0; }
+
+  void Offer(double sim) {
+    auto it = std::lower_bound(values.begin(), values.end(), sim,
+                               std::greater<double>());
+    if (it != values.end() && *it == sim) return;
+    if (values.size() < k) {
+      values.insert(it, sim);
+    } else if (it != values.end()) {
+      values.insert(it, sim);
+      values.pop_back();
+    }
+  }
+};
+
+// The decreasing-threshold kNN probe: the running k-th distinct similarity
+// bounds the admissible prefix, length window and positional filter, all of
+// which tighten as matches accumulate. Emits every pair whose similarity was
+// at or above the bound when it was verified — a superset of the final kNN
+// selection that provably contains every pair the unfiltered probe's
+// selection would keep, so the shared collector yields identical candidates.
+struct ProbePrefixKnn {
+  SimilarityMeasure measure;
+  std::size_t k;
+
+  void operator()(const PrefixScanCountIndex& index,
+                  const RankedTokenSet& query,
+                  PrefixScanCountIndex::ProbeScratch* scratch,
+                  std::vector<std::pair<EntityId, double>>* matches) const {
+    DistinctTopK top(k);
+    index.ProbeDecreasing(
+        query, [&] { return top.tau(); }, scratch,
+        [&](std::uint32_t id, std::uint32_t overlap,
+            std::uint32_t indexed_size) {
+          const double sim = SetSimilarity(measure, overlap, query.size(),
+                                           indexed_size);
+          if (sim < top.tau()) return;
+          top.Offer(sim);
+          matches->emplace_back(id, sim);
+        });
+  }
+};
+
+// The hybrid probe: pairs matter if they beat the join threshold *or* could
+// sit among the query's k nearest, so the admissible bound is the smaller of
+// the two — min(threshold, running k-th distinct similarity).
+struct ProbePrefixHybrid {
+  SimilarityMeasure measure;
+  double threshold;
+  std::size_t k;
+
+  void operator()(const PrefixScanCountIndex& index,
+                  const RankedTokenSet& query,
+                  PrefixScanCountIndex::ProbeScratch* scratch,
+                  std::vector<std::pair<EntityId, double>>* matches) const {
+    DistinctTopK top(k);
+    const double cap = std::max(threshold, 0.0);
+    const auto tau = [&] { return std::min(cap, top.tau()); };
+    index.ProbeDecreasing(
+        query, tau, scratch,
+        [&](std::uint32_t id, std::uint32_t overlap,
+            std::uint32_t indexed_size) {
+          const double sim = SetSimilarity(measure, overlap, query.size(),
+                                           indexed_size);
+          if (sim < tau()) return;
+          top.Offer(sim);
+          matches->emplace_back(id, sim);
+        });
+  }
+};
+
 // Builds both sides' token sets, indexes one and probes with the other,
 // handing each query's scored matches to `collect(query_id, matches, acc)`.
 template <typename ProbeFn, typename Collect>
@@ -118,6 +226,49 @@ SparseResult RunJoin(const core::Dataset& dataset, core::SchemaMode mode,
   return result;
 }
 
+// RunJoin's prefix-index twin: additionally remaps the query sets into the
+// index's global-frequency rank space (an index-phase cost, like building
+// the postings) before the parallel probe.
+template <typename ProbeFn, typename Collect>
+SparseResult RunPrefixJoin(const core::Dataset& dataset, core::SchemaMode mode,
+                           const SparseConfig& config, bool reverse,
+                           double index_threshold, ProbeFn&& probe,
+                           Collect&& collect) {
+  SparseResult result;
+
+  const int indexed_side = reverse ? 1 : 0;
+  const int query_side = reverse ? 0 : 1;
+  auto indexed_sets = result.timing.Measure(kPhasePreprocess, [&] {
+    return BuildSideTokenSets(dataset, indexed_side, mode, config.model,
+                              config.clean);
+  });
+  std::vector<TokenSet> query_sets;
+  result.timing.Measure(kPhasePreprocess, [&] {
+    query_sets = BuildSideTokenSets(dataset, query_side, mode, config.model,
+                                    config.clean);
+  });
+
+  auto index = result.timing.Measure(kPhaseIndex, [&] {
+    return PrefixScanCountIndex(indexed_sets, config.measure, index_threshold);
+  });
+  obs::GaugeSet("sparse.index_sets", indexed_sets.size());
+  std::vector<RankedTokenSet> ranked_queries;
+  result.timing.Measure(kPhaseIndex, [&] {
+    ranked_queries.reserve(query_sets.size());
+    for (const auto& set : query_sets) {
+      ranked_queries.push_back(index.ranks().Remap(set));
+    }
+  });
+
+  result.timing.Measure(kPhaseQuery, [&] {
+    result.candidates = ParallelProbe<core::CandidateSet>(
+        index, ranked_queries, probe, collect, MergeCandidates);
+    result.candidates.Finalize();
+  });
+  obs::CounterAdd("sparse.candidates", result.candidates.size());
+  return result;
+}
+
 // Adds the pair in canonical (E1, E2) order given the join direction.
 void EmitPair(core::CandidateSet* candidates, bool reverse, EntityId query,
               EntityId indexed) {
@@ -142,39 +293,22 @@ void OfferTopK(std::vector<double>* heap, std::size_t k, double sim) {
 
 }  // namespace
 
-ScanCountIndex::LengthFilter LengthBounds(SimilarityMeasure measure,
-                                          double threshold,
-                                          std::size_t query_size) {
-  ScanCountIndex::LengthFilter filter;
-  const double q = static_cast<double>(query_size);
-  const double t = threshold;
-  double min_size = 0.0, max_size = q, min_overlap = 1.0;
-  switch (measure) {
-    case SimilarityMeasure::kCosine:
-      min_size = t * t * q;
-      max_size = q / (t * t);
-      min_overlap = t * t * q;
-      break;
-    case SimilarityMeasure::kDice:
-      min_size = t * q / (2.0 - t);
-      max_size = q * (2.0 - t) / t;
-      min_overlap = t * q / (2.0 - t);
-      break;
-    case SimilarityMeasure::kJaccard:
-      min_size = t * q;
-      max_size = q / t;
-      min_overlap = t * q;
-      break;
-  }
-  // Widen each bound by one integer unit: rounding slack costs a little
-  // pruning at the boundary but can never drop a qualifying pair.
-  filter.min_size = static_cast<std::uint32_t>(
-      std::max(1.0, std::floor(min_size) - 1.0));
-  filter.max_size = static_cast<std::uint32_t>(
-      std::min(4294967295.0, std::ceil(max_size) + 1.0));
-  filter.min_overlap = static_cast<std::uint32_t>(
-      std::max(1.0, std::ceil(min_overlap) - 1.0));
-  return filter;
+FilterMode ResolveFilterMode(FilterMode requested, ProbeShape shape) {
+  if (requested != FilterMode::kAuto) return requested;
+  // Read the environment exactly once: resolving per call would race with
+  // setenv in multi-threaded tests, and the knob is a process-level choice.
+  static const bool length_only = [] {
+    const char* value = std::getenv("ERB_PREFIX_FILTER");
+    return value != nullptr && (std::string_view(value) == "0" ||
+                                std::string_view(value) == "off");
+  }();
+  if (length_only) return FilterMode::kLength;
+  // Fixed-threshold probes run against build-time-truncated prefixes and
+  // win from the first posting; decreasing-threshold probes spend their
+  // opening at τ = 0 verifying every overlapping candidate, where the
+  // unfiltered merge-count is measurably faster (micro_kernels kNN cell).
+  return shape == ProbeShape::kThreshold ? FilterMode::kPrefix
+                                         : FilterMode::kLength;
 }
 
 SparseResult EpsilonJoin(const core::Dataset& dataset, core::SchemaMode mode,
@@ -205,42 +339,157 @@ SparseResult EpsilonJoin(const core::Dataset& dataset, core::SchemaMode mode,
     obs::CounterAdd("sparse.candidates", result.candidates.size());
     return result;
   }
+  const auto collect = [threshold](
+                           EntityId q,
+                           const std::vector<std::pair<EntityId, double>>& matches,
+                           core::CandidateSet& candidates) {
+    for (const auto& [id, sim] : matches) {
+      if (sim >= threshold) candidates.Add(id, q);
+    }
+  };
+  if (ResolveFilterMode(config.filter) == FilterMode::kPrefix) {
+    return RunPrefixJoin(dataset, mode, config, /*reverse=*/false,
+                         /*index_threshold=*/threshold,
+                         ProbePrefixEpsilon{config.measure, threshold}, collect);
+  }
   return RunJoin(dataset, mode, config, /*reverse=*/false,
-                 ProbeWithLengthFilter{config.measure, threshold},
-                 [threshold](EntityId q,
-                             const std::vector<std::pair<EntityId, double>>& matches,
-                             core::CandidateSet& candidates) {
-                   for (const auto& [id, sim] : matches) {
-                     if (sim >= threshold) candidates.Add(id, q);
-                   }
-                 });
+                 ProbeWithLengthFilter{config.measure, threshold}, collect);
 }
 
 SparseResult KnnJoin(const core::Dataset& dataset, core::SchemaMode mode,
                      const SparseConfig& config, int k, bool reverse) {
-  return RunJoin(
-      dataset, mode, config, reverse, ProbeAll{config.measure},
-      [k, reverse](EntityId q, std::vector<std::pair<EntityId, double>>& matches,
-                   core::CandidateSet& candidates) {
-        // Retain the entities carrying the k highest distinct similarity
-        // values; equidistant entities beyond position k are all kept. Ties
-        // sort by ascending entity id so the pre-Finalize emission order is
-        // pinned, not left to the sort implementation.
-        std::sort(matches.begin(), matches.end(),
-                  [](const auto& a, const auto& b) {
-                    return a.second != b.second ? a.second > b.second
-                                                : a.first < b.first;
-                  });
-        int distinct_values = 0;
-        double previous = -1.0;
-        for (const auto& [id, sim] : matches) {
-          if (sim != previous) {
-            if (++distinct_values > k) break;
-            previous = sim;
-          }
-          EmitPair(&candidates, reverse, q, id);
-        }
-      });
+  const auto collect = [k, reverse](
+                           EntityId q,
+                           std::vector<std::pair<EntityId, double>>& matches,
+                           core::CandidateSet& candidates) {
+    // Retain the entities carrying the k highest distinct similarity
+    // values; equidistant entities beyond position k are all kept. Ties
+    // sort by ascending entity id so the pre-Finalize emission order is
+    // pinned, not left to the sort implementation.
+    std::sort(matches.begin(), matches.end(),
+              [](const auto& a, const auto& b) {
+                return a.second != b.second ? a.second > b.second
+                                            : a.first < b.first;
+              });
+    int distinct_values = 0;
+    double previous = -1.0;
+    for (const auto& [id, sim] : matches) {
+      if (sim != previous) {
+        if (++distinct_values > k) break;
+        previous = sim;
+      }
+      EmitPair(&candidates, reverse, q, id);
+    }
+  };
+  if (k > 0 && ResolveFilterMode(config.filter, ProbeShape::kDecreasing) == FilterMode::kPrefix) {
+    // The probe's match list is a provable superset of the final selection
+    // (every pair kept had similarity >= the bound at its verification), so
+    // the same collector emits identical candidates.
+    return RunPrefixJoin(dataset, mode, config, reverse,
+                         /*index_threshold=*/0.0,
+                         ProbePrefixKnn{config.measure,
+                                        static_cast<std::size_t>(k)},
+                         collect);
+  }
+  return RunJoin(dataset, mode, config, reverse, ProbeAll{config.measure},
+                 collect);
+}
+
+SparseResult HybridJoin(const core::Dataset& dataset, core::SchemaMode mode,
+                        const SparseConfig& config, double threshold, int k) {
+  SparseResult result;
+  // Per-chunk accumulator: candidates plus the number of queries that fell
+  // back to kNN, folded in chunk order like the candidates themselves.
+  struct HybridAcc {
+    core::CandidateSet candidates;
+    std::uint64_t fallbacks = 0;
+  };
+  const auto merge = [](HybridAcc& into, HybridAcc&& from) {
+    into.candidates.Merge(std::move(from.candidates));
+    into.fallbacks += from.fallbacks;
+  };
+  const std::size_t min_matches = k > 0 ? static_cast<std::size_t>(k) : 0;
+  const auto collect = [threshold, k, min_matches](
+                           EntityId q,
+                           std::vector<std::pair<EntityId, double>>& matches,
+                           HybridAcc& acc) {
+    std::sort(matches.begin(), matches.end(),
+              [](const auto& a, const auto& b) {
+                return a.second != b.second ? a.second > b.second
+                                            : a.first < b.first;
+              });
+    std::size_t above = 0;
+    while (above < matches.size() && matches[above].second >= threshold) {
+      ++above;
+    }
+    if (above >= min_matches) {
+      // Threshold pass: the query found enough close entities.
+      for (std::size_t i = 0; i < above; ++i) {
+        acc.candidates.Add(matches[i].first, q);
+      }
+      return;
+    }
+    // Under-filled: fall back to the k nearest distinct similarity values
+    // (ties retained) — a superset of the threshold matches.
+    ++acc.fallbacks;
+    int distinct_values = 0;
+    double previous = -1.0;
+    for (const auto& [id, sim] : matches) {
+      if (sim != previous) {
+        if (++distinct_values > k) break;
+        previous = sim;
+      }
+      acc.candidates.Add(id, q);
+    }
+  };
+
+  auto indexed_sets = result.timing.Measure(kPhasePreprocess, [&] {
+    return BuildSideTokenSets(dataset, 0, mode, config.model, config.clean);
+  });
+  std::vector<TokenSet> query_sets;
+  result.timing.Measure(kPhasePreprocess, [&] {
+    query_sets = BuildSideTokenSets(dataset, 1, mode, config.model, config.clean);
+  });
+
+  HybridAcc acc;
+  if (k > 0 && ResolveFilterMode(config.filter, ProbeShape::kDecreasing) == FilterMode::kPrefix) {
+    auto index = result.timing.Measure(kPhaseIndex, [&] {
+      // Build threshold 0: the hybrid bound min(threshold, running k-th)
+      // starts at 0, so the index must hold full positional prefixes.
+      return PrefixScanCountIndex(indexed_sets, config.measure, 0.0);
+    });
+    obs::GaugeSet("sparse.index_sets", indexed_sets.size());
+    std::vector<RankedTokenSet> ranked_queries;
+    result.timing.Measure(kPhaseIndex, [&] {
+      ranked_queries.reserve(query_sets.size());
+      for (const auto& set : query_sets) {
+        ranked_queries.push_back(index.ranks().Remap(set));
+      }
+    });
+    result.timing.Measure(kPhaseQuery, [&] {
+      acc = ParallelProbe<HybridAcc>(
+          index, ranked_queries,
+          ProbePrefixHybrid{config.measure, threshold,
+                            static_cast<std::size_t>(k)},
+          collect, merge);
+      acc.candidates.Finalize();
+    });
+  } else {
+    auto index = result.timing.Measure(
+        kPhaseIndex, [&] { return ScanCountIndex(indexed_sets); });
+    obs::GaugeSet("sparse.index_sets", indexed_sets.size());
+    result.timing.Measure(kPhaseQuery, [&] {
+      acc = ParallelProbe<HybridAcc>(index, query_sets,
+                                     ProbeAll{config.measure}, collect, merge);
+      acc.candidates.Finalize();
+    });
+  }
+  result.candidates = std::move(acc.candidates);
+  if (acc.fallbacks > 0) {
+    obs::CounterAdd("sparse.hybrid_fallbacks", acc.fallbacks);
+  }
+  obs::CounterAdd("sparse.candidates", result.candidates.size());
+  return result;
 }
 
 SparseResult GlobalTopKJoin(const core::Dataset& dataset, core::SchemaMode mode,
@@ -266,6 +515,82 @@ SparseResult GlobalTopKJoin(const core::Dataset& dataset, core::SchemaMode mode,
   result.timing.Measure(kPhasePreprocess, [&] {
     query_sets = BuildSideTokenSets(dataset, 1, mode, config.model, config.clean);
   });
+
+  const auto heap_merge = [global_k](std::vector<double>& into,
+                                     std::vector<double>&& from) {
+    for (double sim : from) OfferTopK(&into, global_k, sim);
+  };
+  const auto emit_at = [](double threshold) {
+    return [threshold](EntityId q,
+                       const std::vector<std::pair<EntityId, double>>& matches,
+                       core::CandidateSet& candidates) {
+      for (const auto& [id, sim] : matches) {
+        if (sim >= threshold) candidates.Add(id, q);
+      }
+    };
+  };
+
+  if (ResolveFilterMode(config.filter, ProbeShape::kDecreasing) == FilterMode::kPrefix) {
+    auto index = result.timing.Measure(kPhaseIndex, [&] {
+      // Build threshold 0: pass 1 starts with an empty heap (bound 0) and
+      // pass 2's threshold is unknown until the heaps merge.
+      return PrefixScanCountIndex(indexed_sets, config.measure, 0.0);
+    });
+    obs::GaugeSet("sparse.index_sets", indexed_sets.size());
+    std::vector<RankedTokenSet> ranked_queries;
+    result.timing.Measure(kPhaseIndex, [&] {
+      ranked_queries.reserve(query_sets.size());
+      for (const auto& set : query_sets) {
+        ranked_queries.push_back(index.ranks().Remap(set));
+      }
+    });
+
+    // Pass 1 under the decreasing-threshold trick with the *chunk's* heap:
+    // a pair dropped because it fell below the chunk's running K-th value
+    // could never displace that heap's contents, and the merged K-th value
+    // is at least every chunk's, so the final threshold is unaffected — at
+    // any thread count, since each chunk's heap is exactly the top-K
+    // multiset of its own similarities.
+    const std::vector<double> heap = result.timing.Measure(kPhaseQuery, [&] {
+      return ParallelMapReduce<std::vector<double>>(
+          0, ranked_queries.size(), /*grain=*/0,
+          [&](std::size_t chunk_begin, std::size_t chunk_end) {
+            std::vector<double> chunk_heap;
+            PrefixScanCountIndex::ProbeScratch scratch;
+            for (std::size_t q = chunk_begin; q < chunk_end; ++q) {
+              const auto& query = ranked_queries[q];
+              index.ProbeDecreasing(
+                  query,
+                  [&] {
+                    return chunk_heap.size() == global_k ? chunk_heap.front()
+                                                         : 0.0;
+                  },
+                  &scratch,
+                  [&](std::uint32_t id, std::uint32_t overlap,
+                      std::uint32_t indexed_size) {
+                    (void)id;
+                    OfferTopK(&chunk_heap, global_k,
+                              SetSimilarity(config.measure, overlap,
+                                            query.size(), indexed_size));
+                  });
+            }
+            PrefixScanCountIndex::FlushCounters(&scratch);
+            return chunk_heap;
+          },
+          heap_merge);
+    });
+    const double threshold = heap.empty() ? 1.0 : heap.front();
+
+    result.timing.Measure(kPhaseQuery, [&] {
+      result.candidates = ParallelProbe<core::CandidateSet>(
+          index, ranked_queries, ProbePrefixEpsilon{config.measure, threshold},
+          emit_at(threshold), MergeCandidates);
+      result.candidates.Finalize();
+    });
+    obs::CounterAdd("sparse.candidates", result.candidates.size());
+    return result;
+  }
+
   auto index = result.timing.Measure(
       kPhaseIndex, [&] { return ScanCountIndex(indexed_sets); });
   obs::GaugeSet("sparse.index_sets", indexed_sets.size());
@@ -279,23 +604,13 @@ SparseResult GlobalTopKJoin(const core::Dataset& dataset, core::SchemaMode mode,
                    std::vector<double>& heap) {
           for (const auto& match : matches) OfferTopK(&heap, global_k, match.second);
         },
-        [global_k](std::vector<double>& into, std::vector<double>&& from) {
-          for (double sim : from) OfferTopK(&into, global_k, sim);
-        });
+        heap_merge);
   });
   const double threshold = heap.empty() ? 1.0 : heap.front();
 
   result.timing.Measure(kPhaseQuery, [&] {
     result.candidates = ParallelProbe<core::CandidateSet>(
-        index, query_sets, probe,
-        [threshold](EntityId q,
-                    const std::vector<std::pair<EntityId, double>>& matches,
-                    core::CandidateSet& candidates) {
-          for (const auto& [id, sim] : matches) {
-            if (sim >= threshold) candidates.Add(id, q);
-          }
-        },
-        MergeCandidates);
+        index, query_sets, probe, emit_at(threshold), MergeCandidates);
     result.candidates.Finalize();
   });
   obs::CounterAdd("sparse.candidates", result.candidates.size());

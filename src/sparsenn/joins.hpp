@@ -10,11 +10,41 @@
 
 namespace erb::sparsenn {
 
-/// Parameters shared by both joins (Table IV, common block).
+/// Probe filtering strategy for the sparse joins. kLength is the PR 4
+/// behaviour (ScanCount merge-count behind the length window); kPrefix adds
+/// the PPJoin-family prefix + positional filters over a global-frequency
+/// token order, with bitmap suffix verification. Both emit byte-identical
+/// candidates — the filters are sound, the exact similarity still decides.
+/// kAuto resolves through the ERB_PREFIX_FILTER environment knob and the
+/// probe shape (see ResolveFilterMode).
+enum class FilterMode { kAuto, kLength, kPrefix };
+
+/// What a probe knows about its threshold, which decides where the prefix
+/// stack pays off. kThreshold probes (ε-Join, the hybrid's ε side) know the
+/// final threshold up front, so the index prefixes are truncated at build
+/// time and the filters bite from the first posting. kDecreasing probes
+/// (kNN, global top-K, the hybrid fallback) start at τ = 0 — every
+/// overlapping candidate is verified before the running k-th value lifts
+/// the bound — and micro_kernels shows the length-only merge-count winning
+/// that regime on every benchmarked corpus.
+enum class ProbeShape { kThreshold, kDecreasing };
+
+/// Resolves kAuto: ERB_PREFIX_FILTER "0"/"off" selects kLength everywhere;
+/// otherwise — including unset — kThreshold probes get kPrefix and
+/// kDecreasing probes keep kLength (the measured-faster default per shape).
+/// Explicit kLength/kPrefix requests pass through untouched for either
+/// shape. The environment is read once per process, so toggling the
+/// variable after the first sparse join has no effect (and no data race
+/// under TSan).
+FilterMode ResolveFilterMode(FilterMode requested,
+                             ProbeShape shape = ProbeShape::kThreshold);
+
+/// Parameters shared by the sparse joins (Table IV, common block).
 struct SparseConfig {
   bool clean = false;                    ///< CL: stop-words + stemming
   TokenModel model = TokenModel::kT1G;   ///< RM
   SimilarityMeasure measure = SimilarityMeasure::kCosine;  ///< SM
+  FilterMode filter = FilterMode::kAuto;  ///< probe filtering strategy
 };
 
 /// Result of a sparse join: candidates plus the preprocess/index/query
@@ -29,32 +59,31 @@ inline constexpr const char* kPhasePreprocess = "preprocess";
 inline constexpr const char* kPhaseIndex = "index";
 inline constexpr const char* kPhaseQuery = "query";
 
-/// The length-filter window for a query of size `query_size` under an ε-Join
-/// at `threshold`: indexed sets outside [min_size, max_size], or sharing
-/// fewer than min_overlap tokens, cannot reach the threshold. Derivations
-/// (o = overlap, q = query size, s = indexed size, max o = min(q, s)):
-///   Cosine  o/sqrt(qs)  >= t  =>  s in [t^2 q, q/t^2],       o >= t^2 q
-///   Dice    2o/(q+s)    >= t  =>  s in [tq/(2-t), q(2-t)/t], o >= tq/(2-t)
-///   Jaccard o/(q+s-o)   >= t  =>  s in [tq, q/t],            o >= tq
-/// Each bound is widened by one integer unit against floating-point rounding;
-/// the exact similarity predicate still decides every surviving pair, so the
-/// filter only has to be sound, never tight.
-ScanCountIndex::LengthFilter LengthBounds(SimilarityMeasure measure,
-                                          double threshold,
-                                          std::size_t query_size);
-
 /// ε-Join: indexes E1 and pairs every query entity of E2 with all indexed
-/// entities of similarity >= `threshold`. Probes are length-filtered through
-/// LengthBounds(); the kNN and global top-K joins below keep unfiltered
-/// probes (their per-query thresholds are not known up front).
+/// entities of similarity >= `threshold`. Probes are filtered per the
+/// config's FilterMode: through LengthBounds() (see scancount.hpp), or the
+/// full prefix/positional stack of PrefixScanCountIndex.
 SparseResult EpsilonJoin(const core::Dataset& dataset, core::SchemaMode mode,
                          const SparseConfig& config, double threshold);
 
 /// kNN-Join: pairs each query entity with the indexed entities holding the k
 /// highest *distinct* similarity values (ties beyond k are all retained, per
 /// the paper's definition). `reverse` (RVS) indexes E2 and queries with E1.
+/// Under kPrefix the probe tightens as the running k-th similarity rises
+/// (the decreasing-threshold trick); under kLength it stays unfiltered, as
+/// the per-query threshold is not known up front.
 SparseResult KnnJoin(const core::Dataset& dataset, core::SchemaMode mode,
                      const SparseConfig& config, int k, bool reverse);
+
+/// HB-join (ShallowBlocker's hybrid): per query entity, emit every indexed
+/// entity with similarity >= `threshold` if at least `k` such entities
+/// exist; otherwise fall back to the kNN-Join's top-k-distinct-values set,
+/// which is a superset of the threshold matches. Candidates are drawn from
+/// the overlap graph (similarity > 0), so a non-positive threshold behaves
+/// as the smallest positive one rather than going Cartesian. Indexes E1,
+/// queries with E2.
+SparseResult HybridJoin(const core::Dataset& dataset, core::SchemaMode mode,
+                        const SparseConfig& config, double threshold, int k);
 
 /// The Default kNN-Join baseline (DkNN): cosine similarity, cleaning on,
 /// C5GM, K=5, smaller side as query set.

@@ -1,6 +1,7 @@
 #include "sparsenn/scancount.hpp"
 
 #include <bit>
+#include <cmath>
 
 #include "common/hash.hpp"
 #include "obs/trace.hpp"
@@ -98,6 +99,133 @@ void ScanCountIndex::FlushCounters(ProbeScratch* scratch) {
   if (scratch->pruned_sets > 0) {
     obs::CounterAdd("sparse.probe_pruned_sets", scratch->pruned_sets);
     scratch->pruned_sets = 0;
+  }
+}
+
+ScanCountIndex::LengthFilter LengthBounds(SimilarityMeasure measure,
+                                          double threshold,
+                                          std::size_t query_size) {
+  ScanCountIndex::LengthFilter filter;
+  const double q = static_cast<double>(query_size);
+  const double t = threshold;
+  double min_size = 0.0, max_size = q, min_overlap = 1.0;
+  switch (measure) {
+    case SimilarityMeasure::kCosine:
+      min_size = t * t * q;
+      max_size = q / (t * t);
+      min_overlap = t * t * q;
+      break;
+    case SimilarityMeasure::kDice:
+      min_size = t * q / (2.0 - t);
+      max_size = q * (2.0 - t) / t;
+      min_overlap = t * q / (2.0 - t);
+      break;
+    case SimilarityMeasure::kJaccard:
+      min_size = t * q;
+      max_size = q / t;
+      min_overlap = t * q;
+      break;
+  }
+  // Widen each bound by one integer unit: rounding slack costs a little
+  // pruning at the boundary but can never drop a qualifying pair.
+  filter.min_size = static_cast<std::uint32_t>(
+      std::max(1.0, std::floor(min_size) - 1.0));
+  filter.max_size = static_cast<std::uint32_t>(
+      std::min(4294967295.0, std::ceil(max_size) + 1.0));
+  filter.min_overlap = static_cast<std::uint32_t>(
+      std::max(1.0, std::ceil(min_overlap) - 1.0));
+  return filter;
+}
+
+std::uint32_t PairMinOverlap(SimilarityMeasure measure, double threshold,
+                             std::size_t size_a, std::size_t size_b) {
+  const double q = static_cast<double>(size_a);
+  const double s = static_cast<double>(size_b);
+  const double t = threshold;
+  double bound = 1.0;
+  switch (measure) {
+    case SimilarityMeasure::kCosine:
+      bound = t * std::sqrt(q * s);
+      break;
+    case SimilarityMeasure::kDice:
+      bound = t * (q + s) / 2.0;
+      break;
+    case SimilarityMeasure::kJaccard:
+      bound = t * (q + s) / (1.0 + t);
+      break;
+  }
+  return static_cast<std::uint32_t>(std::max(1.0, std::ceil(bound) - 1.0));
+}
+
+PrefixScanCountIndex::PrefixScanCountIndex(const std::vector<TokenSet>& sets,
+                                           SimilarityMeasure measure,
+                                           double threshold)
+    : measure_(measure), threshold_(threshold), ranks_(sets) {
+  const std::size_t n = sets.size();
+  set_sizes_.reserve(n);
+  set_offsets_.reserve(n + 1);
+  set_offsets_.push_back(0);
+  std::size_t total_tokens = 0;
+  for (const auto& set : sets) total_tokens += set.size();
+  set_tokens_.reserve(total_tokens);
+
+  // Pass 1: remap every set into rank space (every token is known — the rank
+  // order was just built over these sets), record its pigeonhole prefix
+  // length, and count each rank's prefix postings.
+  std::vector<std::uint32_t> prefix_len(n, 0);
+  std::vector<std::uint32_t> list_counts(ranks_.NumRanked(), 0);
+  for (std::size_t id = 0; id < n; ++id) {
+    const RankedTokenSet ranked = ranks_.Remap(sets[id]);
+    const std::uint32_t size = static_cast<std::uint32_t>(ranked.size());
+    set_sizes_.push_back(size);
+    min_set_size_ = std::min(min_set_size_, size);
+    max_set_size_ = std::max(max_set_size_, size);
+    set_tokens_.insert(set_tokens_.end(), ranked.begin(), ranked.end());
+    set_offsets_.push_back(static_cast<std::uint32_t>(set_tokens_.size()));
+    const auto filter = LengthBounds(measure, threshold, size);
+    const std::uint32_t plen =
+        size >= filter.min_overlap ? size - filter.min_overlap + 1 : 0;
+    prefix_len[id] = plen;
+    for (std::uint32_t j = 0; j < plen; ++j) {
+      ++list_counts[set_tokens_[set_offsets_[id] + j]];
+    }
+  }
+
+  // Prefix-sum into CSR offsets, then fill postings by ascending set id so
+  // ids within a list ascend (matching ScanCountIndex's layout guarantee).
+  post_offsets_.resize(list_counts.size() + 1);
+  post_offsets_[0] = 0;
+  for (std::size_t i = 0; i < list_counts.size(); ++i) {
+    post_offsets_[i + 1] = post_offsets_[i] + list_counts[i];
+  }
+  postings_.resize(post_offsets_.back());
+  std::vector<std::uint32_t> cursor(post_offsets_.begin(),
+                                    post_offsets_.end() - 1);
+  for (std::size_t id = 0; id < n; ++id) {
+    for (std::uint32_t j = 0; j < prefix_len[id]; ++j) {
+      const std::uint32_t rank = set_tokens_[set_offsets_[id] + j];
+      postings_[cursor[rank]++] =
+          Posting{static_cast<std::uint32_t>(id), j};
+    }
+  }
+}
+
+void PrefixScanCountIndex::FlushCounters(ProbeScratch* scratch) {
+  if (scratch->prefix_skipped > 0) {
+    obs::CounterAdd("sparse.prefix_skipped", scratch->prefix_skipped);
+    scratch->prefix_skipped = 0;
+  }
+  if (scratch->positional_pruned > 0) {
+    obs::CounterAdd("sparse.positional_pruned", scratch->positional_pruned);
+    scratch->positional_pruned = 0;
+  }
+  if (scratch->pruned_sets > 0) {
+    obs::CounterAdd("sparse.probe_pruned_sets", scratch->pruned_sets);
+    scratch->pruned_sets = 0;
+  }
+  if (scratch->verify_calls > 0) {
+    obs::CounterAdd("sparse.verify_calls", scratch->verify_calls);
+    scratch->verify_calls = 0;
   }
 }
 

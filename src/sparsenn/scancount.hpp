@@ -7,8 +7,15 @@
 // allocation per token. List i holds the ids of the sets containing token i
 // in ascending order (the two-pass build fills them by ascending set id),
 // which pins the first-touch emission order of Probe() to the pre-CSR layout.
+//
+// PrefixScanCountIndex below is the PPJoin-family alternative (ShallowBlocker,
+// arXiv:2312.15835): sets rewritten into global-frequency rank order, only
+// each set's pigeonhole prefix indexed, postings carrying token positions so
+// probes stack the prefix, positional and length filters before any counting,
+// and survivors verified with a branchless merge of the two suffixes.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -243,6 +250,352 @@ class ScanCountIndex {
   // Scratch for the single-threaded Probe overload; mutable so Probe can
   // stay const for callers holding a const index.
   mutable ProbeScratch scratch_;
+};
+
+/// The length-filter window for a query of size `query_size` under a join
+/// at `threshold`: indexed sets outside [min_size, max_size], or sharing
+/// fewer than min_overlap tokens, cannot reach the threshold. Derivations
+/// (o = overlap, q = query size, s = indexed size, max o = min(q, s)):
+///   Cosine  o/sqrt(qs)  >= t  =>  s in [t^2 q, q/t^2],       o >= t^2 q
+///   Dice    2o/(q+s)    >= t  =>  s in [tq/(2-t), q(2-t)/t], o >= tq/(2-t)
+///   Jaccard o/(q+s-o)   >= t  =>  s in [tq, q/t],            o >= tq
+/// Each bound is widened by one integer unit against floating-point rounding;
+/// the exact similarity predicate still decides every surviving pair, so the
+/// filter only has to be sound, never tight.
+ScanCountIndex::LengthFilter LengthBounds(SimilarityMeasure measure,
+                                          double threshold,
+                                          std::size_t query_size);
+
+/// Sound lower bound on the overlap two sets of the given sizes must share to
+/// reach `threshold` — the positional filter's per-pair requirement, tighter
+/// than LengthBounds' query-only min_overlap once the candidate size is known:
+///   Cosine  o >= t sqrt(qs),  Dice  o >= t(q+s)/2,  Jaccard  o >= t(q+s)/(1+t)
+/// Widened by the same one integer unit as LengthBounds.
+std::uint32_t PairMinOverlap(SimilarityMeasure measure, double threshold,
+                             std::size_t size_a, std::size_t size_b);
+
+/// Prefix-filtered inverted index over token sets in global-frequency rank
+/// space. Only the pigeonhole prefix of each set is indexed: a set of size s
+/// can match a qualifying partner only through one of its first
+/// s - min_overlap(threshold, s) + 1 rarest tokens, so tail tokens never
+/// enter a posting list. Postings carry the token's position within the set,
+/// which lets probes run the positional filter (overlap upper bound from the
+/// remaining suffix lengths) before any candidate survives to verification.
+/// Probing at a threshold above the build threshold is sound (prefixes only
+/// need to shrink); probing below it is not.
+class PrefixScanCountIndex {
+ public:
+  /// One prefix posting: the member set and the token's position in it.
+  struct Posting {
+    std::uint32_t id;
+    std::uint32_t pos;
+  };
+
+  /// Per-thread probe scratch (see ScanCountIndex::ProbeScratch): counts is
+  /// the merge-count array doubling as the pruned/done marker, the three
+  /// position arrays cache per-candidate resume state for the suffix
+  /// verification, and the counters accumulate until FlushCounters().
+  struct ProbeScratch {
+    std::vector<std::uint32_t> counts;
+    std::vector<std::uint32_t> touched;
+    // Resume state for the suffix verification, packed (query_pos << 32 |
+    // set_pos) of the candidate's last counted match: one store per posting,
+    // and at emission the tightest positional bound the scan can know.
+    std::vector<std::uint64_t> last_pos;
+    // PairMinOverlap by candidate size, tabulated over the length window —
+    // the hot loop must not pay a sqrt per first touch. The table depends
+    // only on the key below, so probes for same-sized queries reuse it.
+    std::vector<std::uint32_t> needed_by_size;
+    SimilarityMeasure needed_measure = SimilarityMeasure::kCosine;
+    double needed_threshold = -1.0;
+    std::size_t needed_q = 0;
+    std::uint32_t needed_lo = 1;
+    std::uint32_t needed_hi = 0;
+    // One bit per rank, set for the probing query's tokens; verification
+    // tests candidate-suffix tokens against it. Zeroed again before the
+    // probe returns, so consecutive probes can share the allocation.
+    std::vector<std::uint64_t> query_bits;
+    std::uint64_t prefix_skipped = 0;     ///< query tokens beyond the prefix
+    std::uint64_t positional_pruned = 0;  ///< candidates cut by the positional filter
+    std::uint64_t pruned_sets = 0;        ///< candidates cut by the length window
+    std::uint64_t verify_calls = 0;       ///< suffix verifications performed
+  };
+
+  /// Indexes `sets` for probes at or above `threshold` under `measure`.
+  /// Build at threshold 0 to support arbitrary (decreasing-threshold) probes;
+  /// that indexes full sets, still with positional postings.
+  PrefixScanCountIndex(const std::vector<TokenSet>& sets,
+                       SimilarityMeasure measure, double threshold);
+
+  /// The global-frequency order the index lives in; remap queries through it.
+  const TokenRankMap& ranks() const { return ranks_; }
+
+  /// Invokes `fn(indexed_id, overlap, indexed_size)` with the *exact* overlap
+  /// for every indexed set that can reach `threshold` against `query` (which
+  /// must be remapped through ranks()). Candidates failing the length,
+  /// prefix, positional, or verified-overlap bound are never emitted; all of
+  /// them provably fall below the threshold, so a caller applying the exact
+  /// similarity predicate sees the same surviving pairs as an unfiltered
+  /// merge-count probe. `threshold` must be >= the build threshold.
+  template <typename Fn>
+  void Probe(const RankedTokenSet& query, double threshold,
+             ProbeScratch* scratch, Fn&& fn) const {
+    PrepareScratch(scratch);
+    auto& counts = scratch->counts;
+    auto& touched = scratch->touched;
+    const std::size_t q = query.size();
+    const ScanCountIndex::LengthFilter filter =
+        LengthBounds(measure_, threshold, q);
+    const std::size_t known = KnownCount(query);
+    const std::size_t prefix =
+        q >= filter.min_overlap ? q - filter.min_overlap + 1 : 0;
+    const std::size_t scan = std::min(known, prefix);
+    scratch->prefix_skipped += known - scan;
+
+    // Tabulate the positional bound over the admissible size window once:
+    // the scan then reads needed[r - lo] instead of recomputing
+    // PairMinOverlap (a sqrt under Cosine) on every first touch.
+    const std::uint32_t lo = std::max(filter.min_size, min_set_size_);
+    const std::uint32_t hi = std::min(filter.max_size, max_set_size_);
+    auto& needed_by_size = scratch->needed_by_size;
+    if (lo <= hi &&
+        !(scratch->needed_measure == measure_ &&
+          scratch->needed_threshold == threshold && scratch->needed_q == q &&
+          scratch->needed_lo == lo && scratch->needed_hi == hi)) {
+      needed_by_size.resize(hi - lo + 1);
+      for (std::uint32_t r = lo; r <= hi; ++r) {
+        needed_by_size[r - lo] = PairMinOverlap(measure_, threshold, q, r);
+      }
+      scratch->needed_measure = measure_;
+      scratch->needed_threshold = threshold;
+      scratch->needed_q = q;
+      scratch->needed_lo = lo;
+      scratch->needed_hi = hi;
+    }
+    const std::uint32_t* const ntab = needed_by_size.data();
+    std::uint64_t* const last_pos = scratch->last_pos.data();
+    std::uint64_t* const bits = scratch->query_bits.data();
+    for (std::size_t i = 0; i < known; ++i) {
+      bits[query[i] >> 6] |= std::uint64_t{1} << (query[i] & 63);
+    }
+
+    // Branchless merge-count over the scanned prefix lists (the CountList
+    // deferred-push trick, plus one packed resume-point store per posting).
+    // All pruning is deferred to the emission loop: the count at a
+    // candidate's *last* touch plus the suffix room left there bounds its
+    // overlap at least as tightly as any partial count mid-scan — every
+    // extra match consumes one unit of room — so lazy filtering prunes a
+    // superset of what eager per-touch checks would, with a per-posting
+    // body that mispredicts nothing.
+    for (std::size_t i = 0; i < scan; ++i) {
+      const std::uint32_t rank = query[i];
+      const Posting* p = postings_.data() + post_offsets_[rank];
+      const Posting* end = postings_.data() + post_offsets_[rank + 1];
+      const std::size_t len = static_cast<std::size_t>(end - p);
+      touched.resize(touched.size() + len);
+      std::uint32_t* top = touched.data() + touched.size() - len;
+      const std::uint32_t* base = top;
+      const std::uint64_t qpos = static_cast<std::uint64_t>(i) << 32;
+      for (; p != end; ++p) {
+        std::uint32_t& count = counts[p->id];
+        *top = p->id;
+        top += static_cast<std::size_t>(count == 0);
+        ++count;
+        last_pos[p->id] = qpos | p->pos;
+      }
+      touched.resize(touched.size() - len +
+                     static_cast<std::size_t>(top - base));
+    }
+
+    for (std::uint32_t id : touched) {
+      const std::uint32_t count = counts[id];
+      counts[id] = 0;
+      const std::uint32_t r = set_sizes_[id];
+      if (r < filter.min_size || r > filter.max_size) {
+        ++scratch->pruned_sets;
+        continue;
+      }
+      const std::uint32_t needed = ntab[r - lo];
+      const std::uint64_t resume = last_pos[id];
+      const std::uint32_t qi = static_cast<std::uint32_t>(resume >> 32);
+      const std::uint32_t ri = static_cast<std::uint32_t>(resume);
+      if (count + Remaining(q, qi, r, ri) < needed) {
+        ++scratch->positional_pruned;
+        continue;
+      }
+      ++scratch->verify_calls;
+      // Every shared token not counted during the scan ranks above the last
+      // counted match in *both* sets (a rarer shared token would have been
+      // met in the scanned prefix and the candidate's indexed prefix), so
+      // the candidate's uncounted suffix intersected with the *whole* query
+      // is exactly the suffix-vs-suffix overlap: the exact overlap is the
+      // count plus the bitmap hits of the suffix.
+      const std::uint32_t overlap =
+          count + BitmapOverlap(set_tokens_.data() + set_offsets_[id] + ri + 1,
+                                set_tokens_.data() + set_offsets_[id + 1],
+                                bits, count, needed);
+      if (overlap < needed) continue;
+      fn(id, overlap, r);
+    }
+
+    for (std::size_t i = 0; i < known; ++i) {
+      bits[query[i] >> 6] = 0;
+    }
+  }
+
+  /// Probe under a rising threshold (the decreasing-threshold trick for kNN
+  /// and top-K joins): `tau()` is re-read as the scan advances, and the
+  /// admissible prefix, length window and positional bound tighten with it.
+  /// Candidates are verified at first touch — their first shared token is
+  /// provably the rarest one — and `fn(indexed_id, overlap, indexed_size)`
+  /// fires immediately with the exact overlap, so the caller can raise tau
+  /// mid-probe. Sound for any caller that only ever keeps candidates whose
+  /// similarity is at least the value tau() returned at some earlier moment
+  /// (tau must be non-decreasing within one probe).
+  template <typename TauFn, typename Fn>
+  void ProbeDecreasing(const RankedTokenSet& query, TauFn&& tau,
+                       ProbeScratch* scratch, Fn&& fn) const {
+    PrepareScratch(scratch);
+    auto& counts = scratch->counts;
+    auto& touched = scratch->touched;
+    const std::size_t q = query.size();
+    const std::size_t known = KnownCount(query);
+    std::uint64_t* const bits = scratch->query_bits.data();
+    for (std::size_t i = 0; i < known; ++i) {
+      bits[query[i] >> 6] |= std::uint64_t{1} << (query[i] & 63);
+    }
+    double current = -1.0;
+    ScanCountIndex::LengthFilter filter;
+    std::size_t scan = known;
+    for (std::size_t i = 0; i < scan; ++i) {
+      const double t = tau();
+      if (t != current) {
+        current = t;
+        filter = LengthBounds(measure_, current, q);
+        const std::size_t prefix =
+            q >= filter.min_overlap ? q - filter.min_overlap + 1 : 0;
+        scan = std::min(known, prefix);
+        if (i >= scan) break;
+      }
+      const std::uint32_t rank = query[i];
+      const Posting* p = postings_.data() + post_offsets_[rank];
+      const Posting* end = postings_.data() + post_offsets_[rank + 1];
+      for (; p != end; ++p) {
+        std::uint32_t& count = counts[p->id];
+        if (count != 0) continue;  // kDone or kPruned: already decided
+        touched.push_back(p->id);
+        const std::uint32_t r = set_sizes_[p->id];
+        if (r < filter.min_size || r > filter.max_size) {
+          count = kPruned;
+          ++scratch->pruned_sets;
+          continue;
+        }
+        const std::uint32_t needed = PairMinOverlap(measure_, current, q, r);
+        if (1 + Remaining(q, i, r, p->pos) < needed) {
+          count = kPruned;
+          ++scratch->positional_pruned;
+          continue;
+        }
+        count = kDone;
+        ++scratch->verify_calls;
+        const std::uint32_t overlap =
+            1 + BitmapOverlap(set_tokens_.data() + set_offsets_[p->id] +
+                                  p->pos + 1,
+                              set_tokens_.data() + set_offsets_[p->id + 1],
+                              bits, 1, needed);
+        if (overlap < needed) continue;
+        fn(p->id, overlap, r);
+      }
+    }
+    scratch->prefix_skipped += known - std::min(scan, known);
+    for (std::uint32_t id : touched) counts[id] = 0;
+    for (std::size_t i = 0; i < known; ++i) {
+      bits[query[i] >> 6] = 0;
+    }
+  }
+
+  /// Publishes and resets the scratch's counters (`sparse.prefix_skipped`,
+  /// `sparse.positional_pruned`, `sparse.probe_pruned_sets`,
+  /// `sparse.verify_calls`).
+  static void FlushCounters(ProbeScratch* scratch);
+
+  std::size_t NumSets() const { return set_sizes_.size(); }
+  std::size_t SetSize(std::uint32_t id) const { return set_sizes_[id]; }
+  SimilarityMeasure measure() const { return measure_; }
+  double build_threshold() const { return threshold_; }
+
+ private:
+  static constexpr std::uint32_t kPruned = 0xffffffffu;
+  static constexpr std::uint32_t kDone = 0xfffffffeu;
+
+  /// Upper bound on further matches after matching query position qi against
+  /// set position ri: only the shorter remaining suffix can contribute.
+  static std::uint32_t Remaining(std::size_t query_size, std::size_t qi,
+                                 std::uint32_t set_size, std::uint32_t ri) {
+    const std::size_t from_query = query_size - qi - 1;
+    const std::size_t from_set = set_size - ri - 1;
+    return static_cast<std::uint32_t>(std::min(from_query, from_set));
+  }
+
+  /// Tokens of [rp, re) present in the query bitmap — by the both-suffixes
+  /// invariant this equals the suffix-vs-suffix overlap exactly. The scan is
+  /// branchless (one load + bit test per token, batched 32 at a time) with
+  /// an inter-batch abort (an undercount) once `have` matches plus the whole
+  /// remaining run cannot reach `needed` — a merge or galloping search over
+  /// both suffixes walks the same memory with data-dependent branches and
+  /// loses to this on the short interleaved suffixes verification sees.
+  static std::uint32_t BitmapOverlap(const std::uint32_t* rp,
+                                     const std::uint32_t* re,
+                                     const std::uint64_t* bits,
+                                     std::uint32_t have, std::uint32_t needed) {
+    std::uint32_t found = 0;
+    while (rp != re) {
+      if (have + found + static_cast<std::uint32_t>(re - rp) < needed) {
+        return found;
+      }
+      const std::uint32_t* batch = rp + std::min<std::ptrdiff_t>(re - rp, 32);
+      for (; rp != batch; ++rp) {
+        found += static_cast<std::uint32_t>((bits[*rp >> 6] >> (*rp & 63)) & 1u);
+      }
+    }
+    return found;
+  }
+
+  void PrepareScratch(ProbeScratch* scratch) const {
+    const std::size_t n = set_sizes_.size();
+    scratch->counts.resize(n, 0);
+    scratch->last_pos.resize(n);
+    scratch->query_bits.resize((post_offsets_.size() + 62) / 64, 0);
+    scratch->touched.clear();
+  }
+
+  /// Number of leading query tokens known to the rank map; the kUnknownRank
+  /// sentinels sort to the tail and can never match an indexed token.
+  std::size_t KnownCount(const RankedTokenSet& query) const {
+    std::size_t n = query.size();
+    while (n > 0 && query[n - 1] == TokenRankMap::kUnknownRank) --n;
+    return n;
+  }
+
+  SimilarityMeasure measure_;
+  double threshold_;
+  TokenRankMap ranks_;
+  std::vector<std::uint32_t> set_sizes_;
+  // Size range of the indexed sets; Probe() clips the per-size positional
+  // bound table to it (an empty index keeps min > max, so no table).
+  std::uint32_t min_set_size_ = 0xffffffffu;
+  std::uint32_t max_set_size_ = 0;
+
+  // Full ranked sets in CSR form (set i is set_tokens_[set_offsets_[i] ..
+  // set_offsets_[i+1])), read by the suffix verification.
+  std::vector<std::uint32_t> set_offsets_;
+  std::vector<std::uint32_t> set_tokens_;
+
+  // Prefix postings in CSR form, keyed directly by rank (no hash lookup on
+  // the probe path): list r is postings_[post_offsets_[r] ..
+  // post_offsets_[r+1]), ids ascending.
+  std::vector<std::uint32_t> post_offsets_;
+  std::vector<Posting> postings_;
 };
 
 }  // namespace erb::sparsenn

@@ -97,6 +97,54 @@ std::vector<TokenSet> BuildSideTokenSets(const core::Dataset& dataset, int side,
   return sets;
 }
 
+TokenRankMap::TokenRankMap(const std::vector<TokenSet>& sets) {
+  // Document frequency per distinct token. Token sets are deduplicated, so
+  // each set contributes at most one occurrence per token.
+  std::unordered_map<std::uint64_t, std::uint32_t> frequency;
+  for (const auto& set : sets) {
+    for (std::uint64_t token : set) ++frequency[token];
+  }
+
+  // Rank by (df ascending, token ascending): the secondary key makes the
+  // order independent of hash-map iteration order.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> order;
+  order.reserve(frequency.size());
+  for (const auto& [token, df] : frequency) order.emplace_back(df, token);
+  std::sort(order.begin(), order.end());
+
+  num_ranked_ = static_cast<std::uint32_t>(order.size());
+  std::size_t capacity = 16;
+  while (capacity < order.size() * 2) capacity *= 2;
+  slots_.assign(capacity, Slot{});
+  const std::size_t mask = capacity - 1;
+  for (std::uint32_t rank = 0; rank < num_ranked_; ++rank) {
+    const std::uint64_t token = order[rank].second;
+    std::size_t pos = SplitMix64(token) & mask;
+    while (slots_[pos].used) pos = (pos + 1) & mask;
+    slots_[pos].used = true;
+    slots_[pos].token = token;
+    slots_[pos].rank = rank;
+  }
+}
+
+std::uint32_t TokenRankMap::Rank(std::uint64_t token) const {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t pos = SplitMix64(token) & mask;
+  while (slots_[pos].used) {
+    if (slots_[pos].token == token) return slots_[pos].rank;
+    pos = (pos + 1) & mask;
+  }
+  return kUnknownRank;
+}
+
+RankedTokenSet TokenRankMap::Remap(const TokenSet& set) const {
+  RankedTokenSet ranked;
+  ranked.reserve(set.size());
+  for (std::uint64_t token : set) ranked.push_back(Rank(token));
+  std::sort(ranked.begin(), ranked.end());
+  return ranked;
+}
+
 std::string_view MeasureName(SimilarityMeasure measure) {
   switch (measure) {
     case SimilarityMeasure::kCosine: return "Cosine";

@@ -44,6 +44,48 @@ std::vector<TokenSet> BuildSideTokenSets(const core::Dataset& dataset, int side,
                                          core::SchemaMode mode, TokenModel model,
                                          bool clean);
 
+/// A token set rewritten into global-frequency rank space: each element is
+/// the rank of a token under a TokenRankMap, sorted ascending, so the rarest
+/// tokens lead the set. Tokens unknown to the map all carry
+/// TokenRankMap::kUnknownRank and therefore sit at the tail; duplicates are
+/// possible only among those sentinels (ranks of known tokens are unique),
+/// which keeps the set's cardinality equal to the source TokenSet's.
+using RankedTokenSet = std::vector<std::uint32_t>;
+
+/// Global-frequency token order for prefix filtering (the PPJoin-family
+/// convention): tokens of the indexed collection ranked by ascending document
+/// frequency, ties broken by ascending token id (the 64-bit hash), so the
+/// order is deterministic and rare tokens get the lowest ranks.
+class TokenRankMap {
+ public:
+  /// Rank carried by tokens absent from the collection the map was built on.
+  static constexpr std::uint32_t kUnknownRank = 0xffffffffu;
+
+  /// Builds the rank order over the distinct tokens of `sets`.
+  explicit TokenRankMap(const std::vector<TokenSet>& sets);
+
+  /// Number of distinct ranked tokens; every known rank is < NumRanked().
+  std::uint32_t NumRanked() const { return num_ranked_; }
+
+  /// The rank of `token`, or kUnknownRank.
+  std::uint32_t Rank(std::uint64_t token) const;
+
+  /// Rewrites `set` into rank space (sorted ascending, rarest first).
+  RankedTokenSet Remap(const TokenSet& set) const;
+
+ private:
+  // Open-addressed token -> rank map (power-of-two capacity, load <= 1/2),
+  // the same layout ScanCountIndex uses for its token table.
+  struct Slot {
+    std::uint64_t token = 0;
+    std::uint32_t rank = 0;
+    bool used = false;
+  };
+
+  std::uint32_t num_ranked_ = 0;
+  std::vector<Slot> slots_;
+};
+
 /// Set-similarity measures of Section IV-C.
 enum class SimilarityMeasure { kCosine, kDice, kJaccard };
 

@@ -86,6 +86,9 @@ std::uint64_t MaxConfigurations(MethodId id) {
       return sparse_common * sparse.thresholds.size();  // 6,000
     case MethodId::kKnnJoin:
       return sparse_common * sparse.k.size() * sparse.reverse_options;  // 12,000
+    case MethodId::kHybridJoin:
+      return sparse_common * sparse.thresholds.size() *
+             sparse.k.size();  // 600,000
     case MethodId::kMhLsh:
       return static_cast<std::uint64_t>(dense.cleaning_options) *
              dense.minhash_bands_rows.size() *

@@ -4,7 +4,8 @@
 //   Standard BW 3,440 - QGrams BW 17,200 - Ext. QGrams BW 68,800 -
 //   (Ex.)Suffix Arrays BW 21,285 - eps-Join 6,000 - kNN-Join 12,000 -
 //   MH-LSH 168 - HP-LSH 400 - CP-LSH 2,000 - FAISS 2,720 - SCANN 10,880 -
-//   DeepBlocker 2,720.
+//   DeepBlocker 2,720 - HybridJoin 600,000 (the sparse common block times the
+//   full (threshold, k) plane; not a paper row).
 //
 // The run-time tuners (blocking_tuner, sparse_tuner, dense_tuner) use
 // coarsened versions of these domains by default and these exact domains

@@ -277,6 +277,176 @@ TunedResult TuneKnnJoin(const core::Dataset& dataset, core::SchemaMode mode,
   return result;
 }
 
+TunedResult TuneHybridJoin(const core::Dataset& dataset, core::SchemaMode mode,
+                           const GridOptions& options) {
+  TunedResult result;
+  result.method = "HybridJoin";
+  const std::size_t total_duplicates = dataset.NumDuplicates();
+  constexpr int kBins = 101;
+
+  // The k sweep: every k for the full grid, a coarse ladder otherwise.
+  std::vector<int> k_grid;
+  if (options.full_grid) {
+    for (int k = 1; k <= 100; ++k) k_grid.push_back(k);
+  } else {
+    k_grid = {1, 2, 3, 5, 10, 20};
+  }
+
+  SparseConfig best_config;
+  double best_threshold = 1.0;
+  int best_k = 1;
+  core::Effectiveness best_eff;
+  bool have_best = false;
+
+  // One unfiltered probe pass per (clean, model) combo scores every
+  // (measure, k, threshold) cell: per query, pair/duplicate counts at or
+  // above each threshold bin come from suffix-cumulated similarity bins and
+  // the kNN fallback contribution from cumulated distinct-similarity rank
+  // groups. The per-query hybrid decision — threshold pass when at least k
+  // pairs reach the bin, kNN fallback otherwise — is then a per-cell pick
+  // between the two, exactly reproducing HybridJoin on that query (up to
+  // the ε-tuner's established bin granularity).
+  struct ComboCells {
+    // [m][k][bin] accumulated pairs/duplicates of the hybrid result.
+    std::vector<std::uint64_t> pairs, dups;
+  };
+  const auto grid = RepresentationGrid(options.full_grid);
+  const std::size_t cells = kMeasures.size() * k_grid.size() * kBins;
+  std::vector<ComboCells> combos(grid.size());
+  for (auto& combo : combos) {
+    combo.pairs.assign(cells, 0);
+    combo.dups.assign(cells, 0);
+  }
+  const auto cell = [&](std::size_t m, std::size_t kk, std::size_t bin) {
+    return (m * k_grid.size() + kk) * kBins + bin;
+  };
+
+  ParallelFor(0, grid.size(), /*grain=*/1,
+              [&](std::size_t g_begin, std::size_t g_end) {
+    for (std::size_t g = g_begin; g < g_end; ++g) {
+      const auto& [clean, model] = grid[g];
+      const auto indexed =
+          sparsenn::BuildSideTokenSets(dataset, 0, mode, model, clean);
+      const auto queries =
+          sparsenn::BuildSideTokenSets(dataset, 1, mode, model, clean);
+      sparsenn::ScanCountIndex index(indexed);
+      ComboCells& acc = combos[g];
+
+      std::vector<std::pair<EntityId, std::uint32_t>> matches;
+      std::vector<std::pair<double, bool>> scored;  // (sim, is_dup) descending
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> knn_cum;
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        matches.clear();
+        index.Probe(queries[q], [&matches](std::uint32_t id,
+                                           std::uint32_t overlap,
+                                           std::uint32_t) {
+          matches.emplace_back(id, overlap);
+        });
+        for (std::size_t m = 0; m < kMeasures.size(); ++m) {
+          scored.clear();
+          for (const auto& [id, overlap] : matches) {
+            const core::PairKey key =
+                core::MakePair(id, static_cast<EntityId>(q));
+            scored.emplace_back(
+                sparsenn::SetSimilarity(kMeasures[m], overlap,
+                                        queries[q].size(), index.SetSize(id)),
+                dataset.IsDuplicate(key));
+          }
+          std::sort(scored.begin(), scored.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+
+          // Suffix-cumulated bins: entry b counts pairs with sim >= b/100.
+          std::array<std::uint64_t, kBins> bin_pairs{}, bin_dups{};
+          for (const auto& [sim, dup] : scored) {
+            const auto b = static_cast<std::size_t>(
+                std::clamp(static_cast<int>(sim * 100.0), 0, kBins - 1));
+            ++bin_pairs[b];
+            if (dup) bin_dups[b] += 1;
+          }
+          for (int b = kBins - 2; b >= 0; --b) {
+            bin_pairs[static_cast<std::size_t>(b)] +=
+                bin_pairs[static_cast<std::size_t>(b) + 1];
+            bin_dups[static_cast<std::size_t>(b)] +=
+                bin_dups[static_cast<std::size_t>(b) + 1];
+          }
+
+          // Cumulated rank groups: knn_cum[g] is the kNN result for k=g+1.
+          knn_cum.clear();
+          double previous = -1.0;
+          for (const auto& [sim, dup] : scored) {
+            if (sim != previous) {
+              previous = sim;
+              knn_cum.emplace_back(knn_cum.empty() ? 0 : knn_cum.back().first,
+                                   knn_cum.empty() ? 0 : knn_cum.back().second);
+            }
+            ++knn_cum.back().first;
+            knn_cum.back().second += dup ? 1 : 0;
+          }
+
+          for (std::size_t kk = 0; kk < k_grid.size(); ++kk) {
+            const auto k = static_cast<std::uint64_t>(k_grid[kk]);
+            std::uint64_t knn_pairs = 0, knn_dups = 0;
+            if (!knn_cum.empty()) {
+              const std::size_t idx =
+                  std::min<std::size_t>(k_grid[kk], knn_cum.size()) - 1;
+              knn_pairs = knn_cum[idx].first;
+              knn_dups = knn_cum[idx].second;
+            }
+            for (std::size_t b = 0; b < kBins; ++b) {
+              if (bin_pairs[b] >= k) {
+                acc.pairs[cell(m, kk, b)] += bin_pairs[b];
+                acc.dups[cell(m, kk, b)] += bin_dups[b];
+              } else {
+                acc.pairs[cell(m, kk, b)] += knn_pairs;
+                acc.dups[cell(m, kk, b)] += knn_dups;
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+
+  // Sequential selection in grid order: ascending k, then descending
+  // threshold with the paper's early-termination at the recall target.
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    const auto& [clean, model] = grid[g];
+    const ComboCells& acc = combos[g];
+    for (std::size_t m = 0; m < kMeasures.size(); ++m) {
+      for (std::size_t kk = 0; kk < k_grid.size(); ++kk) {
+        for (int b = kBins - 1; b >= 0; --b) {
+          ++result.configurations_tried;
+          const auto idx = cell(m, kk, static_cast<std::size_t>(b));
+          const auto eff =
+              MakeEff(acc.pairs[idx], acc.dups[idx], total_duplicates);
+          if (!have_best || IsBetter(eff, best_eff, options.target_recall)) {
+            have_best = true;
+            best_eff = eff;
+            best_config.clean = clean;
+            best_config.model = model;
+            best_config.measure = kMeasures[m];
+            best_threshold = b / 100.0;
+            best_k = k_grid[kk];
+          }
+          if (eff.pc >= options.target_recall) break;
+        }
+      }
+    }
+  }
+
+  auto run =
+      sparsenn::HybridJoin(dataset, mode, best_config, best_threshold, best_k);
+  result.eff = core::Evaluate(run.candidates, dataset);
+  result.runtime_ms = run.timing.TotalMs();
+  result.phases = run.timing.phases();
+  std::ostringstream desc;
+  desc << DescribeSparse(best_config) << " t=" << best_threshold
+       << " K=" << best_k;
+  result.config = desc.str();
+  result.reached_target = result.eff.pc >= options.target_recall;
+  return result;
+}
+
 TunedResult RunDknnBaseline(const core::Dataset& dataset, core::SchemaMode mode) {
   TunedResult result;
   result.method = "DkNN";

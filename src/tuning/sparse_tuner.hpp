@@ -20,6 +20,15 @@ TunedResult TuneEpsilonJoin(const core::Dataset& dataset, core::SchemaMode mode,
 TunedResult TuneKnnJoin(const core::Dataset& dataset, core::SchemaMode mode,
                         const GridOptions& options);
 
+/// Fine-tunes the hybrid ε+kNN join (HB-join) over the shared sparse block
+/// plus its (threshold, k) plane. One probe pass per (cleaning, model) combo
+/// feeds every (measure, threshold, k) cell: per query the threshold-pass
+/// counts come from similarity bins and the kNN fallback from rank groups,
+/// with the per-query fallback decision (fewer than k matches at or above
+/// the threshold) applied cell by cell.
+TunedResult TuneHybridJoin(const core::Dataset& dataset, core::SchemaMode mode,
+                           const GridOptions& options);
+
 /// Runs the DkNN baseline (no tuning).
 TunedResult RunDknnBaseline(const core::Dataset& dataset, core::SchemaMode mode);
 

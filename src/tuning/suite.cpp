@@ -29,6 +29,7 @@ std::string_view MethodName(MethodId id) {
     case MethodId::kScann: return "SCANN";
     case MethodId::kDeepBlocker: return "DeepBlocker";
     case MethodId::kDdb: return "DDB";
+    case MethodId::kHybridJoin: return "HybridJoin";
   }
   return "unknown";
 }
@@ -39,7 +40,7 @@ std::vector<MethodId> AllMethods() {
           MethodId::kDbw,   MethodId::kEpsilonJoin, MethodId::kKnnJoin,
           MethodId::kDknn,  MethodId::kMhLsh,       MethodId::kCpLsh,
           MethodId::kHpLsh, MethodId::kFaiss,       MethodId::kScann,
-          MethodId::kDeepBlocker, MethodId::kDdb};
+          MethodId::kDeepBlocker, MethodId::kDdb, MethodId::kHybridJoin};
 }
 
 bool IsBlockingMethod(MethodId id) {
@@ -55,7 +56,7 @@ bool IsBlockingMethod(MethodId id) {
 
 bool IsSparseMethod(MethodId id) {
   return id == MethodId::kEpsilonJoin || id == MethodId::kKnnJoin ||
-         id == MethodId::kDknn;
+         id == MethodId::kDknn || id == MethodId::kHybridJoin;
 }
 
 bool IsDenseMethod(MethodId id) {
@@ -117,6 +118,8 @@ TunedResult DispatchMethod(MethodId id, const core::Dataset& dataset,
       return TuneDeepBlocker(dataset, mode, options);
     case MethodId::kDdb:
       return RunDdbBaseline(dataset, mode, options);
+    case MethodId::kHybridJoin:
+      return TuneHybridJoin(dataset, mode, options);
   }
   throw std::invalid_argument("unknown method id");
 }

@@ -1,5 +1,6 @@
 // The full method roster of Table VII: 15 fine-tuned filters plus 4 baseline
-// methods, with a uniform run interface for the benchmark harness.
+// methods — extended with the hybrid ε+kNN join (HB-join) — with a uniform
+// run interface for the benchmark harness.
 #pragma once
 
 #include <string_view>
@@ -17,6 +18,7 @@ enum class MethodId {
   kEpsilonJoin, kKnnJoin, kDknn,       // sparse NN (+ baseline)
   kMhLsh, kCpLsh, kHpLsh,              // similarity-based dense NN
   kFaiss, kScann, kDeepBlocker, kDdb,  // cardinality-based dense NN (+ baseline)
+  kHybridJoin,                         // sparse NN extension (HB-join)
 };
 
 std::string_view MethodName(MethodId id);

@@ -18,6 +18,8 @@ TEST(GridSpecTest, TableIIIBlockingCounts) {
 TEST(GridSpecTest, TableIVSparseCounts) {
   EXPECT_EQ(MaxConfigurations(MethodId::kEpsilonJoin), 6000u);
   EXPECT_EQ(MaxConfigurations(MethodId::kKnnJoin), 12000u);
+  // HB-join extension: sparse common block x thresholds x k.
+  EXPECT_EQ(MaxConfigurations(MethodId::kHybridJoin), 600000u);
 }
 
 TEST(GridSpecTest, TableVDenseCounts) {

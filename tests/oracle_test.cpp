@@ -195,6 +195,88 @@ TEST_P(OracleTest, GlobalTopKJoinMatchesOracle) {
   }
 }
 
+TEST_P(OracleTest, HybridJoinMatchesOracle) {
+  ScopedThreadLimit limit(GetParam());
+  for (const auto& c : Corpus()) {
+    SCOPED_TRACE(c.name);
+    for (SimilarityMeasure measure :
+         {SimilarityMeasure::kCosine, SimilarityMeasure::kJaccard}) {
+      for (TokenModel model : {TokenModel::kT1G, TokenModel::kC3GM}) {
+        for (double threshold : {0.3, 0.7}) {
+          for (int k : {0, 1, 3}) {
+            for (sparsenn::FilterMode filter :
+                 {sparsenn::FilterMode::kLength,
+                  sparsenn::FilterMode::kPrefix}) {
+              SCOPED_TRACE(
+                  std::string(MeasureName(measure)) + "/" +
+                  std::string(ModelName(model)) + "/t=" +
+                  std::to_string(threshold) + "/k=" + std::to_string(k) +
+                  (filter == sparsenn::FilterMode::kPrefix ? "/prefix"
+                                                           : "/length"));
+              SparseConfig config;
+              config.measure = measure;
+              config.model = model;
+              config.filter = filter;
+              const CandidateSet production =
+                  sparsenn::HybridJoin(c.dataset, SchemaMode::kAgnostic,
+                                       config, threshold, k)
+                      .candidates;
+              const CandidateSet reference = oracle::HybridJoinOracle(
+                  c.dataset, SchemaMode::kAgnostic, config, threshold, k);
+              ExpectSameCandidates(production, reference);
+              ExpectSameEffectiveness(production, c.dataset);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// The prefix/positional filter must be a pure optimization: for every join
+// principle, forcing it on or off yields byte-identical candidate sets.
+TEST_P(OracleTest, FilterModesProduceByteIdenticalCandidates) {
+  ScopedThreadLimit limit(GetParam());
+  for (const auto& c : Corpus()) {
+    SCOPED_TRACE(c.name);
+    for (SimilarityMeasure measure :
+         {SimilarityMeasure::kCosine, SimilarityMeasure::kDice,
+          SimilarityMeasure::kJaccard}) {
+      SCOPED_TRACE(MeasureName(measure));
+      SparseConfig length_config;
+      length_config.measure = measure;
+      length_config.filter = sparsenn::FilterMode::kLength;
+      SparseConfig prefix_config = length_config;
+      prefix_config.filter = sparsenn::FilterMode::kPrefix;
+      for (double threshold : {0.2, 0.6, 1.0}) {
+        ExpectSameCandidates(
+            sparsenn::EpsilonJoin(c.dataset, SchemaMode::kAgnostic,
+                                  prefix_config, threshold)
+                .candidates,
+            sparsenn::EpsilonJoin(c.dataset, SchemaMode::kAgnostic,
+                                  length_config, threshold)
+                .candidates);
+      }
+      for (int k : {1, 3}) {
+        ExpectSameCandidates(
+            sparsenn::KnnJoin(c.dataset, SchemaMode::kAgnostic, prefix_config,
+                              k, false)
+                .candidates,
+            sparsenn::KnnJoin(c.dataset, SchemaMode::kAgnostic, length_config,
+                              k, false)
+                .candidates);
+      }
+      ExpectSameCandidates(
+          sparsenn::GlobalTopKJoin(c.dataset, SchemaMode::kAgnostic,
+                                   prefix_config, 25)
+              .candidates,
+          sparsenn::GlobalTopKJoin(c.dataset, SchemaMode::kAgnostic,
+                                   length_config, 25)
+              .candidates);
+    }
+  }
+}
+
 TEST_P(OracleTest, BlockBuildersMatchOracle) {
   ScopedThreadLimit limit(GetParam());
   for (const auto& c : Corpus()) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
 #include <string>
 
 #include "blocking/builders.hpp"
@@ -11,6 +13,7 @@
 #include "core/candidates.hpp"
 #include "datagen/registry.hpp"
 #include "densenn/embedding.hpp"
+#include "sparsenn/scancount.hpp"
 #include "sparsenn/tokenset.hpp"
 #include "text/clean.hpp"
 #include "text/porter.hpp"
@@ -143,6 +146,79 @@ TEST(PropertyTest, TokenSetOverlapIsSymmetricInModel) {
       for (auto t : a) ab += std::binary_search(b.begin(), b.end(), t);
       for (auto t : b) ba += std::binary_search(a.begin(), a.end(), t);
       EXPECT_EQ(ab, ba);
+    }
+  }
+}
+
+// The prefix/positional-filtered probe is a drop-in replacement for the
+// unfiltered merge-count: over arbitrary corpora, every measure and low /
+// mid / exact thresholds, the candidates surviving the exact similarity
+// predicate are identical, and every emitted overlap is exact. (Everything
+// the filters drop provably falls below the threshold.)
+TEST(PropertyTest, PrefixProbeEquivalentToUnfilteredScanCount) {
+  using sparsenn::PrefixScanCountIndex;
+  using sparsenn::SetSimilarity;
+  using sparsenn::SimilarityMeasure;
+  using sparsenn::TokenSet;
+  Rng rng(77);
+  for (int corpus = 0; corpus < 3; ++corpus) {
+    std::vector<TokenSet> indexed;
+    for (int i = 0; i < 50; ++i) {
+      TokenSet set;
+      const std::size_t n = 1 + rng.NextBounded(24);
+      for (std::size_t t = 0; t < n; ++t) set.push_back(rng.NextBounded(60));
+      std::sort(set.begin(), set.end());
+      set.erase(std::unique(set.begin(), set.end()), set.end());
+      indexed.push_back(std::move(set));
+    }
+    std::vector<TokenSet> queries;
+    for (int i = 0; i < 15; ++i) {
+      TokenSet query;
+      const std::size_t n = 1 + rng.NextBounded(18);
+      // Universe 80 > 60: some query tokens are unknown to the index.
+      for (std::size_t t = 0; t < n; ++t) query.push_back(rng.NextBounded(80));
+      std::sort(query.begin(), query.end());
+      query.erase(std::unique(query.begin(), query.end()), query.end());
+      queries.push_back(std::move(query));
+    }
+    for (SimilarityMeasure measure :
+         {SimilarityMeasure::kCosine, SimilarityMeasure::kDice,
+          SimilarityMeasure::kJaccard}) {
+      for (double threshold : {0.0, 0.5, 1.0}) {
+        const PrefixScanCountIndex index(indexed, measure, threshold);
+        PrefixScanCountIndex::ProbeScratch scratch;
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+          const TokenSet& query = queries[q];
+          std::map<std::uint32_t, std::uint32_t> overlaps;  // brute force
+          std::map<std::uint32_t, std::uint32_t> expected;  // ... >= threshold
+          for (std::uint32_t id = 0; id < indexed.size(); ++id) {
+            std::uint32_t o = 0;
+            for (auto t : query) {
+              o += std::binary_search(indexed[id].begin(), indexed[id].end(), t);
+            }
+            if (o == 0) continue;
+            overlaps[id] = o;
+            if (SetSimilarity(measure, o, query.size(), indexed[id].size()) >=
+                threshold) {
+              expected[id] = o;
+            }
+          }
+          std::map<std::uint32_t, std::uint32_t> survivors;
+          index.Probe(
+              index.ranks().Remap(query), threshold, &scratch,
+              [&](std::uint32_t id, std::uint32_t overlap, std::uint32_t size) {
+                EXPECT_EQ(size, indexed[id].size());
+                EXPECT_EQ(overlap, overlaps[id]) << "inexact overlap";
+                if (SetSimilarity(measure, overlap, query.size(), size) >=
+                    threshold) {
+                  survivors[id] = overlap;
+                }
+              });
+          EXPECT_EQ(survivors, expected)
+              << "corpus " << corpus << " " << MeasureName(measure)
+              << " t=" << threshold << " query " << q;
+        }
+      }
     }
   }
 }

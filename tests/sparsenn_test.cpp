@@ -252,6 +252,113 @@ TEST(LengthBoundsTest, AdmitsEveryCombinationReachingThreshold) {
   }
 }
 
+TEST(TokenRankMapTest, RanksAscendByFrequencyThenToken) {
+  // df: token 5 appears 3x, token 9 2x, tokens 1 and 2 once each — so the
+  // global-frequency order is 1, 2 (df tie broken by token id), 9, 5.
+  const std::vector<TokenSet> sets = {{1, 5, 9}, {2, 5, 9}, {5}};
+  TokenRankMap ranks(sets);
+  EXPECT_EQ(ranks.NumRanked(), 4u);
+  EXPECT_EQ(ranks.Rank(1), 0u);
+  EXPECT_EQ(ranks.Rank(2), 1u);
+  EXPECT_EQ(ranks.Rank(9), 2u);
+  EXPECT_EQ(ranks.Rank(5), 3u);
+  EXPECT_EQ(ranks.Rank(1234), TokenRankMap::kUnknownRank);
+}
+
+TEST(TokenRankMapTest, RemapSortsRanksWithUnknownsLast) {
+  const std::vector<TokenSet> sets = {{1, 5, 9}, {2, 5, 9}, {5}};
+  TokenRankMap ranks(sets);
+  const RankedTokenSet remapped = ranks.Remap({5, 9, 77});
+  const RankedTokenSet expected = {2, 3, TokenRankMap::kUnknownRank};
+  EXPECT_EQ(remapped, expected);
+}
+
+TEST(PrefixScanCountTest, CountersAccountPrefixSkipsAndVerifies) {
+  const std::vector<TokenSet> indexed = {{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}};
+  PrefixScanCountIndex index(indexed, SimilarityMeasure::kJaccard, 0.9);
+  PrefixScanCountIndex::ProbeScratch scratch;
+  const RankedTokenSet query = index.ranks().Remap(indexed[0]);
+  std::size_t hits = 0;
+  index.Probe(query, 0.9, &scratch,
+              [&](std::uint32_t id, std::uint32_t overlap, std::uint32_t size) {
+                EXPECT_EQ(id, 0u);
+                EXPECT_EQ(overlap, 10u);
+                EXPECT_EQ(size, 10u);
+                ++hits;
+              });
+  EXPECT_EQ(hits, 1u);
+  // Jaccard at t=0.9 over a size-10 query needs overlap >= 8 (widened), so
+  // only the 3-token pigeonhole prefix is scanned: 7 query tokens skipped.
+  EXPECT_EQ(scratch.prefix_skipped, 7u);
+  EXPECT_EQ(scratch.verify_calls, 1u);
+  PrefixScanCountIndex::FlushCounters(&scratch);
+  EXPECT_EQ(scratch.prefix_skipped, 0u);
+  EXPECT_EQ(scratch.verify_calls, 0u);
+}
+
+TEST(PrefixScanCountTest, PositionalAndLengthPrunesAreCounted) {
+  // Token 100 is the only one shared with the query: in set 0 it sits at the
+  // last position (suffix can add nothing, positional prune), and set 1 is
+  // far below the Jaccard length window at t=0.5 (length prune).
+  const std::vector<TokenSet> indexed = {{1, 2, 3, 4, 5, 6, 7, 8, 100}, {100}};
+  PrefixScanCountIndex index(indexed, SimilarityMeasure::kJaccard, 0.0);
+  PrefixScanCountIndex::ProbeScratch scratch;
+  const RankedTokenSet query =
+      index.ranks().Remap({100, 200, 201, 202, 203, 204, 205, 206, 207});
+  std::size_t hits = 0;
+  index.Probe(query, 0.5, &scratch,
+              [&](std::uint32_t, std::uint32_t, std::uint32_t) { ++hits; });
+  EXPECT_EQ(hits, 0u);
+  EXPECT_EQ(scratch.positional_pruned, 1u);
+  EXPECT_EQ(scratch.pruned_sets, 1u);
+  EXPECT_EQ(scratch.verify_calls, 0u);
+}
+
+// ProbeDecreasing under a constant tau is interchangeable with Probe: both
+// emit exactly the candidates first touched in the admissible prefix whose
+// exact overlap reaches the pair bound, with identical overlap values.
+TEST(PrefixScanCountTest, ProbeDecreasingMatchesProbeUnderConstantTau) {
+  Rng rng(31);
+  std::vector<TokenSet> indexed;
+  for (int i = 0; i < 40; ++i) {
+    TokenSet set;
+    const std::size_t n = 1 + rng.NextBounded(20);
+    for (std::size_t t = 0; t < n; ++t) set.push_back(rng.NextBounded(40));
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    indexed.push_back(std::move(set));
+  }
+  for (SimilarityMeasure measure :
+       {SimilarityMeasure::kCosine, SimilarityMeasure::kDice,
+        SimilarityMeasure::kJaccard}) {
+    const PrefixScanCountIndex index(indexed, measure, 0.0);
+    PrefixScanCountIndex::ProbeScratch scratch;
+    for (double tau : {0.0, 0.4}) {
+      for (int q = 0; q < 12; ++q) {
+        TokenSet raw;
+        const std::size_t n = 1 + rng.NextBounded(16);
+        for (std::size_t t = 0; t < n; ++t) raw.push_back(rng.NextBounded(50));
+        std::sort(raw.begin(), raw.end());
+        raw.erase(std::unique(raw.begin(), raw.end()), raw.end());
+        const RankedTokenSet query = index.ranks().Remap(raw);
+
+        std::map<std::uint32_t, std::uint32_t> fixed, decreasing;
+        index.Probe(query, tau, &scratch,
+                    [&](std::uint32_t id, std::uint32_t overlap,
+                        std::uint32_t) { fixed[id] = overlap; });
+        index.ProbeDecreasing(query, [tau] { return tau; }, &scratch,
+                              [&](std::uint32_t id, std::uint32_t overlap,
+                                  std::uint32_t) {
+                                EXPECT_EQ(decreasing.count(id), 0u);
+                                decreasing[id] = overlap;
+                              });
+        EXPECT_EQ(decreasing, fixed)
+            << MeasureName(measure) << " tau=" << tau << " query " << q;
+      }
+    }
+  }
+}
+
 core::Dataset SmallDataset() {
   return datagen::Generate(datagen::PaperSpec(1).Scaled(0.4));
 }
@@ -334,6 +441,68 @@ TEST(KnnJoinTest, PairsAlwaysInCanonicalOrder) {
       EXPECT_LT(core::PairFirst(key), dataset.e1().size());
       EXPECT_LT(core::PairSecond(key), dataset.e2().size());
     }
+  }
+}
+
+TEST(HybridJoinTest, KZeroIsPureThresholdPass) {
+  const auto dataset = SmallDataset();
+  SparseConfig config;
+  const auto epsilon =
+      EpsilonJoin(dataset, core::SchemaMode::kAgnostic, config, 0.5);
+  const auto hybrid =
+      HybridJoin(dataset, core::SchemaMode::kAgnostic, config, 0.5, 0);
+  EXPECT_EQ(hybrid.candidates.pairs(), epsilon.candidates.pairs());
+}
+
+TEST(HybridJoinTest, FallsBackToKnnForUnderFilledQueries) {
+  // The query shares one token with e1[0] only: Jaccard 1/3, below the 0.9
+  // threshold, so with k = 1 the hybrid must fall back to the kNN set
+  // instead of returning nothing.
+  using core::EntityProfile;
+  auto p = [](const char* v) {
+    EntityProfile e;
+    e.attributes.push_back({"t", v});
+    return e;
+  };
+  std::vector<EntityProfile> e1 = {p("alpha beta"), p("gamma delta")};
+  std::vector<EntityProfile> e2 = {p("alpha epsilon")};
+  core::Dataset d("t", std::move(e1), std::move(e2), {{0, 0}}, "t");
+  SparseConfig config;
+  config.measure = SimilarityMeasure::kJaccard;
+  const auto run = HybridJoin(d, core::SchemaMode::kAgnostic, config, 0.9, 1);
+  ASSERT_EQ(run.candidates.size(), 1u);  // kNN fallback keeps (e1[0], e2[0])
+  const auto above = HybridJoin(d, core::SchemaMode::kAgnostic, config, 0.2, 1);
+  EXPECT_EQ(above.candidates.pairs(), run.candidates.pairs());  // threshold pass
+}
+
+TEST(HybridJoinTest, SandwichedBetweenEpsilonAndEpsilonPlusKnn) {
+  // Per query the hybrid emits either its full threshold pass or (only when
+  // that pass holds fewer than k pairs, which are then all within the top k
+  // distinct values) its kNN set — so globally ε(t) ⊆ HB(t,k) ⊆ ε(t) ∪ kNN(k).
+  const auto dataset = SmallDataset();
+  SparseConfig config;
+  config.model = TokenModel::kC3G;
+  for (double t : {0.2, 0.5, 0.8}) {
+    const auto epsilon =
+        EpsilonJoin(dataset, core::SchemaMode::kAgnostic, config, t);
+    const auto knn =
+        KnnJoin(dataset, core::SchemaMode::kAgnostic, config, 3, false);
+    const auto hybrid =
+        HybridJoin(dataset, core::SchemaMode::kAgnostic, config, t, 3);
+    EXPECT_TRUE(std::includes(hybrid.candidates.pairs().begin(),
+                              hybrid.candidates.pairs().end(),
+                              epsilon.candidates.pairs().begin(),
+                              epsilon.candidates.pairs().end()))
+        << "t=" << t;
+    std::vector<core::PairKey> cover(epsilon.candidates.pairs());
+    cover.insert(cover.end(), knn.candidates.pairs().begin(),
+                 knn.candidates.pairs().end());
+    std::sort(cover.begin(), cover.end());
+    cover.erase(std::unique(cover.begin(), cover.end()), cover.end());
+    EXPECT_TRUE(std::includes(cover.begin(), cover.end(),
+                              hybrid.candidates.pairs().begin(),
+                              hybrid.candidates.pairs().end()))
+        << "t=" << t;
   }
 }
 

@@ -135,6 +135,18 @@ TEST(SparseTunerTest, EpsilonJoinReportsThreshold) {
   EXPECT_NE(result.config.find("t="), std::string::npos);
 }
 
+TEST(SparseTunerTest, HybridJoinReportsThresholdAndK) {
+  const auto dataset = datagen::Generate(datagen::PaperSpec(4).Scaled(0.15));
+  const auto result =
+      TuneHybridJoin(dataset, core::SchemaMode::kAgnostic, FastOptions());
+  EXPECT_EQ(result.method, "HybridJoin");
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_NE(result.config.find("t="), std::string::npos);
+  EXPECT_NE(result.config.find("K="), std::string::npos);
+  EXPECT_GT(result.configurations_tried, 100u);
+  EXPECT_GT(result.runtime_ms, 0.0);
+}
+
 TEST(DenseTunerTest, FaissReachesTargetOnEasyDataset) {
   const auto dataset = datagen::Generate(datagen::PaperSpec(4).Scaled(0.1));
   const auto result = TuneFaiss(dataset, core::SchemaMode::kAgnostic, FastOptions());
@@ -146,7 +158,7 @@ TEST(SuiteTest, MethodNamesRoundTrip) {
   for (MethodId id : AllMethods()) {
     EXPECT_FALSE(MethodName(id).empty());
   }
-  EXPECT_EQ(AllMethods().size(), 17u);
+  EXPECT_EQ(AllMethods().size(), 18u);
 }
 
 TEST(SuiteTest, TaxonomyPartitionsAllMethods) {
