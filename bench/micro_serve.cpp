@@ -1,0 +1,224 @@
+// Self-timed micro-benchmarks of the online resolve path (src/serve):
+// insert throughput, single-query resolve latency against a fully sealed
+// epoch vs. against a sealed epoch plus a ~1% delta tail, batch resolve,
+// and the epoch merge (seal) cost.
+//
+// Usage: micro_serve [--json=PATH] [--threads=N]
+// Prints a table to stdout; --json additionally writes the measurements and
+// derived ratios as a JSON document (committed as BENCH_PR7.json). The PR 7
+// acceptance headline is `resolve_delta_over_sealed`: delta-tail resolve
+// latency divided by sealed-epoch resolve latency at a delta of ~1% of the
+// corpus — required to stay within 2.0.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/entity.hpp"
+#include "datagen/registry.hpp"
+#include "serve/resolver.hpp"
+
+namespace {
+
+using namespace erb;
+
+// Median wall time of `reps` timed runs of fn() after `warmup` untimed ones,
+// in nanoseconds (micro_kernels' harness: the returned values feed a
+// volatile sink to keep the optimizer honest).
+volatile double g_sink = 0.0;
+
+template <typename Fn>
+double MedianNs(int warmup, int reps, Fn&& fn) {
+  for (int i = 0; i < warmup; ++i) g_sink = g_sink + fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    g_sink = g_sink + fn();
+    const auto stop = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(stop - start).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+struct Measurement {
+  std::string name;
+  double ns_per_op;
+  std::uint64_t ops;
+};
+
+std::vector<Measurement> g_measurements;
+
+void Record(const std::string& name, double total_ns, std::uint64_t ops) {
+  g_measurements.push_back({name, total_ns / static_cast<double>(ops), ops});
+  std::printf("  %-28s %12.2f ns/op   (%llu ops)\n", name.c_str(),
+              total_ns / static_cast<double>(ops),
+              static_cast<unsigned long long>(ops));
+}
+
+double NsPerOp(const std::string& name) {
+  for (const auto& m : g_measurements) {
+    if (m.name == name) return m.ns_per_op;
+  }
+  return 0.0;
+}
+
+// D4 (DBLP/ACM) at a bench-friendly scale: realistic titles/authors with a
+// heavy duplicate share, so resolves actually find matches.
+struct ServeFixture {
+  std::vector<core::EntityProfile> corpus;
+  std::vector<core::EntityProfile> queries;
+};
+
+ServeFixture BuildFixture() {
+  const core::Dataset dataset = datagen::Generate(datagen::PaperSpec(4));
+  ServeFixture fixture;
+  fixture.corpus = dataset.e1();
+  // 256 queries keeps a timed resolve pass ~milliseconds.
+  const std::size_t num_queries = std::min<std::size_t>(256, dataset.e2().size());
+  fixture.queries.assign(dataset.e2().begin(),
+                         dataset.e2().begin() + num_queries);
+  return fixture;
+}
+
+serve::Resolver BuildResolver(const ServeFixture& fixture, std::size_t count) {
+  serve::ServeConfig config;
+  config.threshold = 0.5;
+  serve::Resolver resolver(config);
+  for (std::size_t i = 0; i < count; ++i) {
+    resolver.Insert(std::to_string(i), fixture.corpus[i]);
+  }
+  return resolver;
+}
+
+double ResolvePass(const serve::Resolver& resolver,
+                   const std::vector<core::EntityProfile>& queries) {
+  double acc = 0.0;
+  for (const auto& query : queries) {
+    acc += static_cast<double>(resolver.Resolve(query).matches.size());
+  }
+  return acc;
+}
+
+void BenchServe(const ServeFixture& fixture) {
+  const std::size_t n = fixture.corpus.size();
+  const std::size_t delta = std::max<std::size_t>(1, n / 100);  // ~1%
+  const std::size_t sealed_part = n - delta;
+  std::printf("serve (corpus=%zu, queries=%zu, delta=%zu):\n", n,
+              fixture.queries.size(), delta);
+
+  Record("insert_all", MedianNs(1, 5, [&]() {
+           serve::Resolver resolver = BuildResolver(fixture, n);
+           return static_cast<double>(resolver.NumEntities());
+         }),
+         n);
+
+  // Seal cost from the all-delta state: one full compaction over n sets.
+  Record("seal_merge", MedianNs(1, 5, [&]() {
+           serve::Resolver resolver = BuildResolver(fixture, n);
+           return static_cast<double>(resolver.SealEpoch());
+         }),
+         n);
+
+  // Sealed-epoch resolve: every probe answered by the compacted index.
+  serve::Resolver sealed = BuildResolver(fixture, n);
+  sealed.SealEpoch();
+  Record("resolve_sealed",
+         MedianNs(2, 9, [&]() { return ResolvePass(sealed, fixture.queries); }),
+         fixture.queries.size());
+
+  // Delta-tail resolve: same corpus, but the last ~1% never sealed — each
+  // probe pays the index walk plus the linear delta scan.
+  serve::Resolver with_delta = BuildResolver(fixture, sealed_part);
+  with_delta.SealEpoch();
+  for (std::size_t i = sealed_part; i < n; ++i) {
+    with_delta.Insert(std::to_string(i), fixture.corpus[i]);
+  }
+  Record("resolve_delta1pct",
+         MedianNs(2, 9,
+                  [&]() { return ResolvePass(with_delta, fixture.queries); }),
+         fixture.queries.size());
+
+  Record("resolve_batch", MedianNs(2, 9, [&]() {
+           double acc = 0.0;
+           for (const auto& result : sealed.ResolveBatch(fixture.queries)) {
+             acc += static_cast<double>(result.matches.size());
+           }
+           return acc;
+         }),
+         fixture.queries.size());
+}
+
+struct Ratio {
+  std::string name;
+  double value;
+};
+
+std::vector<Ratio> ComputeRatios() {
+  auto ratio = [](double num, double den) { return den > 0.0 ? num / den : 0.0; };
+  return {
+      // The acceptance headline: must stay <= 2.0.
+      {"resolve_delta_over_sealed",
+       ratio(NsPerOp("resolve_delta1pct"), NsPerOp("resolve_sealed"))},
+      {"batch_speedup_over_single",
+       ratio(NsPerOp("resolve_sealed"), NsPerOp("resolve_batch"))},
+  };
+}
+
+void WriteJson(const std::string& path, const std::vector<Ratio>& ratios) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "micro_serve: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < g_measurements.size(); ++i) {
+    const auto& m = g_measurements[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ns_per_op\": %.2f, \"ops\": %llu}%s\n",
+                 m.name.c_str(), m.ns_per_op,
+                 static_cast<unsigned long long>(m.ops),
+                 i + 1 < g_measurements.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"ratios\": {\n");
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    std::fprintf(f, "    \"%s\": %.2f%s\n", ratios[i].name.c_str(),
+                 ratios[i].value, i + 1 < ratios.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      erb::SetNumThreads(std::strtoull(argv[i] + 10, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: micro_serve [--json=PATH] [--threads=N]\n");
+      return 1;
+    }
+  }
+
+  const ServeFixture fixture = BuildFixture();
+  BenchServe(fixture);
+
+  const auto ratios = ComputeRatios();
+  std::printf("ratios:\n");
+  for (const auto& r : ratios) {
+    std::printf("  %-28s %.2f\n", r.name.c_str(), r.value);
+  }
+  if (!json_path.empty()) WriteJson(json_path, ratios);
+  return 0;
+}

@@ -18,4 +18,6 @@ echo "##### micro_components (meta-blocking comparison) #####" >> "$OUT"
 ./build/bench/micro_components --json=micro_components.json >> "$OUT" 2>> "$OUT.err"
 echo "##### micro_kernels #####" >> "$OUT"
 ./build/bench/micro_kernels --json=micro_kernels.json >> "$OUT" 2>> "$OUT.err"
+echo "##### micro_serve #####" >> "$OUT"
+./build/bench/micro_serve --json=micro_serve.json >> "$OUT" 2>> "$OUT.err"
 echo "ALL_BENCHES_DONE" >> "$OUT"

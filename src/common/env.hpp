@@ -1,0 +1,102 @@
+// Shared parsing for environment knobs, mirroring ParseThreadCount
+// (common/parallel.hpp): strict recognition of the documented value set, a
+// stderr warning naming the variable on anything malformed, and a
+// caller-supplied fallback instead of a silent guess. Before these helpers,
+// each getenv site hand-rolled its own rules — ERB_PREFIX_FILTER accepted
+// only the exact strings "0"/"off" (so "OFF", "false" or junk silently
+// *enabled* prefix filtering) and ERBENCH_REPS went through atoi (junk
+// silently became "keep the default"). A long-running serve process turns
+// such quirks into real defects, because nobody is watching the first run's
+// output for a typo.
+//
+// Header-only on purpose: erb_common links erb_obs (timer.hpp builds on
+// obs/phase.hpp), so obs/trace.cpp cannot call into a function compiled into
+// erb_common without a static-library cycle. Inline definitions keep the
+// dependency arrow one-way.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace erb {
+
+namespace env_internal {
+
+/// Lower-cased copy of `text` with ASCII whitespace removed — the
+/// normalization both helpers share (ERB_SIMD's ParseSimdKind applies the
+/// same one).
+inline std::string NormalizeEnvValue(const char* text) {
+  std::string value;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (!std::isspace(static_cast<unsigned char>(*p))) {
+      value.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+    }
+  }
+  return value;
+}
+
+}  // namespace env_internal
+
+/// Parses an on/off environment knob. Recognized after trimming and
+/// lower-casing: "1"/"on"/"true"/"yes" -> true, "0"/"off"/"false"/"no" ->
+/// false. Null or empty input (the knob is unset) returns `fallback`
+/// silently; any other value returns `fallback` with a stderr warning naming
+/// the variable, so a typo is reported instead of silently picking a side.
+inline bool ParseOnOff(const char* name, const char* text, bool fallback) {
+  if (text == nullptr) return fallback;
+  const std::string value = env_internal::NormalizeEnvValue(text);
+  if (value.empty()) return fallback;
+  if (value == "1" || value == "on" || value == "true" || value == "yes") {
+    return true;
+  }
+  if (value == "0" || value == "off" || value == "false" || value == "no") {
+    return false;
+  }
+  std::fprintf(stderr,
+               "erbench: ignoring invalid %s value '%s' (expected 1/on/true/"
+               "yes or 0/off/false/no); keeping %s\n",
+               name, text, fallback ? "on" : "off");
+  return fallback;
+}
+
+/// Parses a positive-count knob (the ERBENCH_REPS shape): a decimal integer
+/// in [min_value, max_value], optionally surrounded by ASCII whitespace.
+/// Null or empty input returns `fallback` silently; non-numeric,
+/// trailing-junk ("3abc") and out-of-range input all return `fallback` with
+/// a stderr warning naming the variable.
+inline std::size_t ParseEnvCount(const char* name, const char* text,
+                                 std::size_t min_value, std::size_t max_value,
+                                 std::size_t fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(text, &end, 10);
+  bool valid = end != text;  // at least one digit consumed
+  if (valid) {
+    while (*end != '\0' &&
+           std::isspace(static_cast<unsigned char>(*end))) {
+      ++end;
+    }
+    valid = *end == '\0';  // nothing but whitespace left
+  }
+  if (valid &&
+      (errno == ERANGE || parsed < 0 ||
+       static_cast<unsigned long>(parsed) < min_value ||
+       static_cast<unsigned long>(parsed) > max_value)) {
+    valid = false;
+  }
+  if (!valid) {
+    std::fprintf(stderr,
+                 "erbench: ignoring invalid %s value '%s' (expected an "
+                 "integer in [%zu, %zu]); using %zu\n",
+                 name, text, min_value, max_value, fallback);
+    return fallback;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace erb

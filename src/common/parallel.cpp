@@ -1,13 +1,13 @@
 #include "common/parallel.hpp"
 
 #include <atomic>
-#include <cerrno>
 #include <condition_variable>
-#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
+
+#include "common/env.hpp"
 
 namespace erb {
 namespace {
@@ -134,27 +134,10 @@ void SetNumThreads(std::size_t n) {
 }
 
 std::size_t ParseThreadCount(const char* text, std::size_t fallback) {
-  if (text == nullptr) return fallback;
-  errno = 0;
-  char* end = nullptr;
-  const long parsed = std::strtol(text, &end, 10);
-  bool valid = end != text;                      // at least one digit consumed
-  if (valid) {
-    while (*end == ' ' || *end == '\t' || *end == '\n' || *end == '\r') ++end;
-    valid = *end == '\0';                        // nothing but whitespace left
-  }
-  if (valid && (errno == ERANGE || parsed < 1 ||
-                static_cast<unsigned long>(parsed) > kMaxThreadOverride)) {
-    valid = false;
-  }
-  if (!valid) {
-    std::fprintf(stderr,
-                 "erbench: ignoring invalid ERB_THREADS value '%s' (expected "
-                 "an integer in [1, %zu]); using %zu thread(s)\n",
-                 text, kMaxThreadOverride, fallback);
-    return fallback;
-  }
-  return static_cast<std::size_t>(parsed);
+  // Empty input ("ERB_THREADS=") is treated as unset, like the other knobs;
+  // everything else follows the shared ParseEnvCount contract (stderr
+  // warning on malformed or out-of-range values).
+  return ParseEnvCount("ERB_THREADS", text, 1, kMaxThreadOverride, fallback);
 }
 
 ScopedThreadLimit::ScopedThreadLimit(std::size_t n)

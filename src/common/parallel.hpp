@@ -43,7 +43,8 @@ inline constexpr std::size_t kMaxThreadOverride = 4096;
 /// decimal integer in [1, kMaxThreadOverride], optionally surrounded by
 /// ASCII whitespace. Null, empty, non-numeric, trailing-junk ("3abc"), zero,
 /// negative and out-of-range inputs all return `fallback` (warning on stderr
-/// for non-null invalid input).
+/// for non-empty invalid input). A thin wrapper over the shared ParseEnvCount
+/// helper (common/env.hpp), which the other counted knobs use directly.
 std::size_t ParseThreadCount(const char* text, std::size_t fallback);
 
 /// RAII thread-count override for tests: forces every parallel region inside

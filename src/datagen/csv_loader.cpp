@@ -1,6 +1,7 @@
 #include "datagen/csv_loader.hpp"
 
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -89,6 +90,13 @@ std::vector<core::EntityProfile> LoadSide(
 }
 
 }  // namespace
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> fields;
+  ReadCsvRecord(in, &fields);  // false (no fields) on a blank line
+  return fields;
+}
 
 core::Dataset LoadCsvDataset(const std::string& name, const std::string& e1_path,
                              const std::string& e2_path,

@@ -6,10 +6,17 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/entity.hpp"
 
 namespace erb::datagen {
+
+/// Splits one CSV record into fields under the same quoting rules as
+/// LoadCsvDataset (fields may be quoted with `"`, embedded quotes doubled).
+/// A blank or whitespace-only line yields no fields. Exposed for the
+/// `erbench serve` line protocol, which receives one CSV record per command.
+std::vector<std::string> SplitCsvLine(const std::string& line);
 
 /// Loads a Clean-Clean ER dataset from three CSV files.
 ///

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "common/env.hpp"
+
 namespace erb::datagen {
 namespace {
 
@@ -266,8 +268,16 @@ bool HasSchemaBasedSettings(int index) {
 }
 
 double BenchScale(int index) {
-  if (std::getenv("ERBENCH_FAST") != nullptr) return index <= 4 ? 0.25 : 0.02;
-  if (std::getenv("ERBENCH_FULL") != nullptr) return 1.0;
+  // Both knobs go through the shared on/off parser (common/env.hpp):
+  // ERBENCH_FAST=0 no longer silently selects the fast scales, and junk
+  // values warn on stderr. Read per call, not latched, so a long-running
+  // process that clears the variable gets the default scales back.
+  if (ParseOnOff("ERBENCH_FAST", std::getenv("ERBENCH_FAST"), false)) {
+    return index <= 4 ? 0.25 : 0.02;
+  }
+  if (ParseOnOff("ERBENCH_FULL", std::getenv("ERBENCH_FULL"), false)) {
+    return 1.0;
+  }
   // Default: paper size for the small clean datasets, reduced for the large
   // or candidate-heavy ones so the whole suite stays interactive on one core.
   switch (index) {

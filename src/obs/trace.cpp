@@ -9,6 +9,7 @@
 #include <sys/resource.h>
 #endif
 
+#include "common/env.hpp"
 #include "obs/internal.hpp"
 
 namespace erb::obs {
@@ -75,10 +76,14 @@ std::uint64_t NextAccumulatorId() {
 bool TraceEnabled() {
   int enabled = g_enabled.load(std::memory_order_relaxed);
   if (enabled < 0) {
+    // ERB_TRACE goes through the shared on/off parser: "OFF"/"false"/"no"
+    // now disable like "0" does, and junk warns on stderr instead of
+    // silently enabling the collector. The parsed value is cached (this
+    // check sits on the hot path of every Span/CounterAdd); long-running
+    // processes flip recording at runtime through SetTraceEnabled, not the
+    // environment.
     const char* env = std::getenv("ERB_TRACE");
-    enabled = (env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0)
-                  ? 1
-                  : 0;
+    enabled = ParseOnOff("ERB_TRACE", env, /*fallback=*/false) ? 1 : 0;
     g_enabled.store(enabled, std::memory_order_relaxed);
   }
   return enabled == 1;

@@ -1,0 +1,70 @@
+#include "oracle/serve.hpp"
+
+#include "oracle/sparse.hpp"
+#include "sparsenn/joins.hpp"
+#include "sparsenn/tokenset.hpp"
+
+namespace erb::oracle {
+namespace {
+
+// The serve corpus is schema-agnostic by contract (Resolver tokenizes
+// profile.AllValues()), and the reference dataset needs no ground truth or
+// best attribute — only the profiles matter to an ε-join.
+core::Dataset MakeReferenceDataset(
+    const std::vector<core::EntityProfile>& corpus,
+    const std::vector<core::EntityProfile>& queries) {
+  return core::Dataset("serve-reference", corpus, queries, {}, "");
+}
+
+}  // namespace
+
+core::CandidateSet ServeBatchReference(
+    const std::vector<core::EntityProfile>& corpus,
+    const std::vector<core::EntityProfile>& queries,
+    const serve::ServeConfig& config) {
+  const core::Dataset dataset = MakeReferenceDataset(corpus, queries);
+  return sparsenn::EpsilonJoin(dataset, core::SchemaMode::kAgnostic,
+                               config.sparse, config.threshold)
+      .candidates;
+}
+
+core::CandidateSet ServeBruteForce(
+    const std::vector<core::EntityProfile>& corpus,
+    const std::vector<core::EntityProfile>& queries,
+    const serve::ServeConfig& config) {
+  std::vector<sparsenn::TokenSet> corpus_sets;
+  corpus_sets.reserve(corpus.size());
+  for (const auto& profile : corpus) {
+    corpus_sets.push_back(sparsenn::BuildTokenSet(
+        profile.AllValues(), config.sparse.model, config.sparse.clean));
+  }
+  core::CandidateSet candidates;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const sparsenn::TokenSet query_set = sparsenn::BuildTokenSet(
+        queries[q].AllValues(), config.sparse.model, config.sparse.clean);
+    for (std::size_t i = 0; i < corpus_sets.size(); ++i) {
+      const double sim = TokenSetSimilarity(config.sparse.measure,
+                                            corpus_sets[i], query_set);
+      if (sim >= config.threshold) {
+        candidates.Add(static_cast<core::EntityId>(i),
+                       static_cast<core::EntityId>(q));
+      }
+    }
+  }
+  candidates.Finalize();
+  return candidates;
+}
+
+core::CandidateSet ServeResultsToCandidates(
+    const std::vector<serve::ResolveResult>& results) {
+  core::CandidateSet candidates;
+  for (std::size_t q = 0; q < results.size(); ++q) {
+    for (const serve::Match& match : results[q].matches) {
+      candidates.Add(match.id, static_cast<core::EntityId>(q));
+    }
+  }
+  candidates.Finalize();
+  return candidates;
+}
+
+}  // namespace erb::oracle

@@ -1,0 +1,38 @@
+// References for the online resolve path (src/serve): the from-scratch batch
+// rebuild the incremental indexes must stay byte-identical to, plus a
+// brute-force pairwise reference that bypasses every index. The differential
+// in tests/serve_test.cpp compares all three representations of the same
+// resolution at several epoch shapes and thread counts.
+#pragma once
+
+#include <vector>
+
+#include "core/candidates.hpp"
+#include "core/entity.hpp"
+#include "serve/resolver.hpp"
+
+namespace erb::oracle {
+
+/// Batch-rebuild reference: materializes (corpus as E1, queries as E2) into a
+/// Dataset and runs the batch sparsenn::EpsilonJoin with the resolver's
+/// config — exactly the computation Resolver::Resolve claims to match.
+/// Finalized candidate set over (corpus id, query index) pairs.
+core::CandidateSet ServeBatchReference(
+    const std::vector<core::EntityProfile>& corpus,
+    const std::vector<core::EntityProfile>& queries,
+    const serve::ServeConfig& config);
+
+/// Brute-force reference: pairwise TokenSetSimilarity (oracle/sparse.hpp)
+/// over all corpus x query profiles, no index of any kind. Same pair
+/// convention as ServeBatchReference.
+core::CandidateSet ServeBruteForce(
+    const std::vector<core::EntityProfile>& corpus,
+    const std::vector<core::EntityProfile>& queries,
+    const serve::ServeConfig& config);
+
+/// Folds resolver results into the references' pair convention: one
+/// (match id, query index) pair per match, finalized.
+core::CandidateSet ServeResultsToCandidates(
+    const std::vector<serve::ResolveResult>& results);
+
+}  // namespace erb::oracle

@@ -1,0 +1,143 @@
+#include "serve/incremental.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+
+namespace erb::serve {
+
+IncrementalSparseIndex::IncrementalSparseIndex(
+    sparsenn::SimilarityMeasure measure, double threshold,
+    sparsenn::FilterMode filter)
+    : measure_(measure), threshold_(threshold), filter_(filter) {
+  if (threshold <= 0.0) {
+    throw std::invalid_argument(
+        "IncrementalSparseIndex: threshold must be positive");
+  }
+  if (filter == sparsenn::FilterMode::kAuto) {
+    throw std::invalid_argument(
+        "IncrementalSparseIndex: filter must be resolved (kLength or kPrefix)");
+  }
+}
+
+core::EntityId IncrementalSparseIndex::Insert(sparsenn::TokenSet set) {
+  const auto id = static_cast<core::EntityId>(sets_.size());
+  sets_.push_back(std::move(set));
+  return id;
+}
+
+std::uint64_t IncrementalSparseIndex::Seal() {
+  if (sealed_count_ == sets_.size()) return epoch_;  // nothing new
+  // Fresh contiguous build over all sets — never an in-place splice, so the
+  // sealed structure is bit-for-bit what a batch build over the same sets
+  // produces and the old index stays valid until the swap.
+  if (filter_ == sparsenn::FilterMode::kPrefix) {
+    prefix_index_ = std::make_unique<sparsenn::PrefixScanCountIndex>(
+        sets_, measure_, threshold_);
+    length_index_.reset();
+  } else {
+    length_index_ = std::make_unique<sparsenn::ScanCountIndex>(sets_);
+    prefix_index_.reset();
+  }
+  sealed_count_ = sets_.size();
+  ++epoch_;
+  obs::CounterAdd("serve.epoch_merges", 1);
+  return epoch_;
+}
+
+void IncrementalSparseIndex::FlushCounters(ProbeScratch* scratch) {
+  sparsenn::ScanCountIndex::FlushCounters(&scratch->length);
+  sparsenn::PrefixScanCountIndex::FlushCounters(&scratch->prefix);
+  if (scratch->delta_probed > 0) {
+    obs::CounterAdd("serve.delta_probed", scratch->delta_probed);
+    scratch->delta_probed = 0;
+  }
+}
+
+std::uint32_t IncrementalSparseIndex::Overlap(const sparsenn::TokenSet& a,
+                                              const sparsenn::TokenSet& b) {
+  std::uint32_t overlap = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++overlap;
+      ++ia;
+      ++ib;
+    }
+  }
+  return overlap;
+}
+
+IncrementalBlockIndex::IncrementalBlockIndex(blocking::BuilderConfig config)
+    : config_(config) {}
+
+std::vector<std::string> IncrementalBlockIndex::Keys(
+    std::string_view text) const {
+  // ExtractKeys returns the keys sorted and deduplicated already, so each
+  // distinct key indexes an entity exactly once.
+  return blocking::ExtractKeys(text, config_);
+}
+
+core::EntityId IncrementalBlockIndex::Insert(std::string_view text) {
+  const auto id = static_cast<core::EntityId>(num_entities_++);
+  for (std::string& key : Keys(text)) {
+    const auto [it, inserted] =
+        key_ids_.emplace(std::move(key), static_cast<std::uint32_t>(delta_.size()));
+    if (inserted) delta_.emplace_back();
+    delta_[it->second].push_back(id);
+    dirty_ = true;
+  }
+  return id;
+}
+
+std::uint64_t IncrementalBlockIndex::Seal() {
+  if (!dirty_) return epoch_;
+  const std::size_t num_keys = delta_.size();
+  std::vector<std::uint32_t> offsets(num_keys + 1, 0);
+  for (std::size_t k = 0; k < num_keys; ++k) {
+    const std::size_t sealed =
+        k + 1 < offsets_.size() ? offsets_[k + 1] - offsets_[k] : 0;
+    offsets[k + 1] =
+        offsets[k] + static_cast<std::uint32_t>(sealed + delta_[k].size());
+  }
+  std::vector<core::EntityId> postings(offsets.back());
+  for (std::size_t k = 0; k < num_keys; ++k) {
+    core::EntityId* out = postings.data() + offsets[k];
+    if (k + 1 < offsets_.size()) {
+      out = std::copy(postings_.begin() + offsets_[k],
+                      postings_.begin() + offsets_[k + 1], out);
+    }
+    std::copy(delta_[k].begin(), delta_[k].end(), out);
+    delta_[k].clear();
+  }
+  offsets_ = std::move(offsets);
+  postings_ = std::move(postings);
+  dirty_ = false;
+  ++epoch_;
+  return epoch_;
+}
+
+void IncrementalBlockIndex::Probe(std::string_view text,
+                                  std::vector<core::EntityId>* out) const {
+  out->clear();
+  for (const std::string& key : Keys(text)) {
+    const auto it = key_ids_.find(key);
+    if (it == key_ids_.end()) continue;
+    const std::uint32_t k = it->second;
+    if (k + 1 < offsets_.size()) {
+      out->insert(out->end(), postings_.begin() + offsets_[k],
+                  postings_.begin() + offsets_[k + 1]);
+    }
+    out->insert(out->end(), delta_[k].begin(), delta_[k].end());
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+}  // namespace erb::serve

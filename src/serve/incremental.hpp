@@ -1,0 +1,179 @@
+// Incremental, epoch-based wrappers over the batch indexes, for the online
+// resolve path (`erbench serve`). Both indexes follow the same delta + epoch
+// scheme: inserts land in an append-only delta tail, probes consult the
+// sealed (immutable) structure built at the last epoch boundary plus the
+// delta, and Seal() compacts everything into a fresh contiguous structure —
+// no in-place mutation of a probed index, ever, which is what keeps probes
+// oracle-checkable: at every epoch boundary the sealed structure is exactly
+// what a from-scratch batch build over the same inputs produces, and between
+// boundaries the delta scan computes the same exact overlaps the batch probe
+// would, so resolve results are byte-identical to a batch rebuild + join at
+// any point in the insert stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "blocking/builders.hpp"
+#include "core/entity.hpp"
+#include "sparsenn/joins.hpp"
+#include "sparsenn/scancount.hpp"
+#include "sparsenn/tokenset.hpp"
+
+namespace erb::serve {
+
+/// Incremental ε-probe index over token sets: a sealed ScanCount (or prefix)
+/// index over the first SealedCount() sets plus a linearly-scanned delta
+/// tail. Sound for probes at exactly the construction threshold (the sealed
+/// prefix index is built truncated at it).
+class IncrementalSparseIndex {
+ public:
+  /// `filter` must be resolved (kLength or kPrefix, never kAuto) — the
+  /// caller decides policy once, the index only executes it. `threshold`
+  /// must be positive: the inverted index never surfaces zero-overlap pairs,
+  /// so a non-positive threshold has no sound incremental evaluation here
+  /// (the batch ε-join falls back to the Cartesian product for it).
+  IncrementalSparseIndex(sparsenn::SimilarityMeasure measure, double threshold,
+                         sparsenn::FilterMode filter);
+
+  /// Composite per-thread probe scratch: one sub-scratch per sealed index
+  /// flavour plus the delta-scan counter, flushed by FlushCounters().
+  struct ProbeScratch {
+    sparsenn::ScanCountIndex::ProbeScratch length;
+    sparsenn::PrefixScanCountIndex::ProbeScratch prefix;
+    std::uint64_t delta_probed = 0;  ///< delta sets whose overlap was computed
+  };
+
+  /// Appends `set` to the delta tail and returns its id (insertion order).
+  core::EntityId Insert(sparsenn::TokenSet set);
+
+  /// Compacts: rebuilds the sealed index over *all* sets as one fresh
+  /// contiguous CSR structure (identical to a from-scratch batch build over
+  /// the same sets, in the same order) and empties the delta. No-op when
+  /// nothing was inserted since the last seal. Returns the epoch number.
+  std::uint64_t Seal();
+
+  /// Invokes `fn(id, similarity)` for every indexed set that shares at least
+  /// the filter's minimum overlap with `query` and lies inside the length
+  /// window of the construction threshold — a superset of the sets at or
+  /// above the threshold, each with its *exact* similarity, so the caller's
+  /// `similarity >= threshold` check selects exactly the batch join's
+  /// matches. Sealed sets are probed through the index; delta sets get a
+  /// two-pointer overlap behind the same length window. Thread-safe against
+  /// concurrent Probe calls (each with its own scratch), not against
+  /// Insert/Seal.
+  template <typename Fn>
+  void Probe(const sparsenn::TokenSet& query, ProbeScratch* scratch,
+             Fn&& fn) const {
+    const sparsenn::ScanCountIndex::LengthFilter filter =
+        sparsenn::LengthBounds(measure_, threshold_, query.size());
+    if (length_index_ != nullptr) {
+      length_index_->ProbeFiltered(
+          query, filter, &scratch->length,
+          [&](std::uint32_t id, std::uint32_t overlap, std::uint32_t size) {
+            fn(static_cast<core::EntityId>(id),
+               sparsenn::SetSimilarity(measure_, overlap, query.size(), size));
+          });
+    } else if (prefix_index_ != nullptr) {
+      const sparsenn::RankedTokenSet ranked = prefix_index_->ranks().Remap(query);
+      prefix_index_->Probe(
+          ranked, threshold_, &scratch->prefix,
+          [&](std::uint32_t id, std::uint32_t overlap, std::uint32_t size) {
+            fn(static_cast<core::EntityId>(id),
+               sparsenn::SetSimilarity(measure_, overlap, query.size(), size));
+          });
+    }
+    const std::uint32_t min_overlap = filter.min_overlap > 0 ? filter.min_overlap : 1;
+    for (std::size_t i = sealed_count_; i < sets_.size(); ++i) {
+      const sparsenn::TokenSet& set = sets_[i];
+      if (set.size() < filter.min_size || set.size() > filter.max_size) continue;
+      ++scratch->delta_probed;
+      const std::uint32_t overlap = Overlap(query, set);
+      if (overlap < min_overlap) continue;
+      fn(static_cast<core::EntityId>(i),
+         sparsenn::SetSimilarity(measure_, overlap, query.size(), set.size()));
+    }
+  }
+
+  /// Publishes and resets the scratch's counters: the sealed sub-scratches'
+  /// (sparse.*) plus `serve.delta_probed`.
+  static void FlushCounters(ProbeScratch* scratch);
+
+  std::size_t NumSets() const { return sets_.size(); }
+  std::size_t SealedCount() const { return sealed_count_; }
+  std::size_t DeltaCount() const { return sets_.size() - sealed_count_; }
+  std::uint64_t epoch() const { return epoch_; }
+  sparsenn::SimilarityMeasure measure() const { return measure_; }
+  double threshold() const { return threshold_; }
+  sparsenn::FilterMode filter() const { return filter_; }
+
+ private:
+  /// Exact overlap of two sorted token sets by two-pointer merge — the same
+  /// integer the batch probes count, so the similarities agree bit-for-bit.
+  static std::uint32_t Overlap(const sparsenn::TokenSet& a,
+                               const sparsenn::TokenSet& b);
+
+  sparsenn::SimilarityMeasure measure_;
+  double threshold_;
+  sparsenn::FilterMode filter_;
+
+  // All sets in insertion order; [0, sealed_count_) are covered by the
+  // sealed index, the rest are the delta tail.
+  std::vector<sparsenn::TokenSet> sets_;
+  std::size_t sealed_count_ = 0;
+  std::uint64_t epoch_ = 0;
+
+  // Exactly one is non-null once Seal() has run over a non-empty corpus,
+  // per the resolved filter mode.
+  std::unique_ptr<sparsenn::ScanCountIndex> length_index_;
+  std::unique_ptr<sparsenn::PrefixScanCountIndex> prefix_index_;
+};
+
+/// Incremental entity-to-block index: blocking keys (blocking::ExtractKeys)
+/// map to posting lists of entity ids, stored as a sealed CSR plus per-key
+/// delta vectors. Probes return every entity sharing at least one key with
+/// the probe text, sorted ascending and deduplicated. Key strings are exact
+/// dictionary entries, so two distinct keys never alias.
+class IncrementalBlockIndex {
+ public:
+  explicit IncrementalBlockIndex(blocking::BuilderConfig config = {});
+
+  /// Registers the next entity (ids are assigned in insertion order) under
+  /// the keys of `text`. Returns the entity id.
+  core::EntityId Insert(std::string_view text);
+
+  /// Compacts sealed CSR + deltas into a fresh contiguous CSR. Posting lists
+  /// stay ascending because entity ids only grow. No-op when no key gained a
+  /// posting since the last seal. Returns the epoch number.
+  std::uint64_t Seal();
+
+  /// Entities sharing at least one blocking key with `text`, ascending and
+  /// unique. Thread-safe against concurrent Probe calls, not Insert/Seal.
+  void Probe(std::string_view text, std::vector<core::EntityId>* out) const;
+
+  std::size_t NumEntities() const { return num_entities_; }
+  std::size_t NumKeys() const { return key_ids_.size(); }
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  /// Deduplicated keys of `text` under config_.
+  std::vector<std::string> Keys(std::string_view text) const;
+
+  blocking::BuilderConfig config_;
+  std::unordered_map<std::string, std::uint32_t> key_ids_;
+
+  // Sealed CSR over keys [0, offsets_.size() - 1); keys first seen after the
+  // last seal have ids beyond it and live only in delta_.
+  std::vector<std::uint32_t> offsets_{0};
+  std::vector<core::EntityId> postings_;
+  std::vector<std::vector<core::EntityId>> delta_;  // indexed by key id
+
+  std::size_t num_entities_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace erb::serve

@@ -1,0 +1,95 @@
+#include "serve/resolver.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/parallel.hpp"
+#include "obs/trace.hpp"
+#include "sparsenn/tokenset.hpp"
+
+namespace erb::serve {
+namespace {
+
+// Phase names (each ScopedPhase also opens a trace span of the same name).
+constexpr const char* kPhaseInsert = "serve/insert";
+constexpr const char* kPhaseResolve = "serve/resolve";
+constexpr const char* kPhaseSeal = "serve/seal";
+
+}  // namespace
+
+Resolver::Resolver(ServeConfig config)
+    : config_(std::move(config)),
+      sparse_(config_.sparse.measure, config_.threshold,
+              sparsenn::ResolveFilterMode(config_.sparse.filter,
+                                          sparsenn::ProbeShape::kThreshold)),
+      blocks_(config_.blocking) {}
+
+InsertResult Resolver::Insert(std::string external_id,
+                              const core::EntityProfile& profile) {
+  obs::ScopedPhase phase(&timing_, kPhaseInsert);
+  const auto [it, inserted] = id_lookup_.emplace(
+      std::move(external_id), static_cast<core::EntityId>(external_ids_.size()));
+  if (!inserted) return {it->second, false};
+  const std::string text = profile.AllValues();
+  const core::EntityId id = sparse_.Insert(sparsenn::BuildTokenSet(
+      text, config_.sparse.model, config_.sparse.clean));
+  if (config_.enable_blocking) blocks_.Insert(text);
+  external_ids_.push_back(it->first);
+  obs::CounterAdd("serve.inserts", 1);
+  return {id, true};
+}
+
+ResolveResult Resolver::ResolveWith(
+    const core::EntityProfile& query,
+    IncrementalSparseIndex::ProbeScratch* scratch) const {
+  ResolveResult result;
+  const std::string text = query.AllValues();
+  const sparsenn::TokenSet set = sparsenn::BuildTokenSet(
+      text, config_.sparse.model, config_.sparse.clean);
+  sparse_.Probe(set, scratch, [&](core::EntityId id, double sim) {
+    if (sim >= config_.threshold) result.matches.push_back({id, sim});
+  });
+  // Each corpus id is emitted at most once (the sealed probe emits per
+  // indexed set, delta ids are disjoint from sealed ids), so sorting by id
+  // fully determines the order — no tiebreak needed.
+  std::sort(result.matches.begin(), result.matches.end(),
+            [](const Match& a, const Match& b) { return a.id < b.id; });
+  if (config_.enable_blocking) blocks_.Probe(text, &result.block_candidates);
+  return result;
+}
+
+ResolveResult Resolver::Resolve(const core::EntityProfile& query) const {
+  obs::ScopedPhase phase(&timing_, kPhaseResolve);
+  IncrementalSparseIndex::ProbeScratch scratch;
+  ResolveResult result = ResolveWith(query, &scratch);
+  IncrementalSparseIndex::FlushCounters(&scratch);
+  obs::CounterAdd("serve.resolves", 1);
+  return result;
+}
+
+std::vector<ResolveResult> Resolver::ResolveBatch(
+    const std::vector<core::EntityProfile>& queries) const {
+  obs::ScopedPhase phase(&timing_, kPhaseResolve);
+  std::vector<ResolveResult> results(queries.size());
+  // Deterministic chunking (boundaries independent of the thread count);
+  // each slot is one query's independent resolution, so the result vector
+  // is identical however the chunks were scheduled.
+  ParallelFor(0, queries.size(), /*grain=*/0,
+              [&](std::size_t begin, std::size_t end) {
+                IncrementalSparseIndex::ProbeScratch scratch;
+                for (std::size_t q = begin; q < end; ++q) {
+                  results[q] = ResolveWith(queries[q], &scratch);
+                }
+                IncrementalSparseIndex::FlushCounters(&scratch);
+              });
+  obs::CounterAdd("serve.resolves", queries.size());
+  return results;
+}
+
+std::uint64_t Resolver::SealEpoch() {
+  obs::ScopedPhase phase(&timing_, kPhaseSeal);
+  if (config_.enable_blocking) blocks_.Seal();
+  return sparse_.Seal();
+}
+
+}  // namespace erb::serve

@@ -1,0 +1,104 @@
+// The online resolve API behind `erbench serve`: a growing corpus of entity
+// profiles with ε-join resolution against it, built on the incremental
+// epoch-based indexes of serve/incremental.hpp.
+//
+// Contract: Resolve() returns exactly the matches a from-scratch batch
+// rebuild + sparsenn::EpsilonJoin over (corpus as E1, query as E2) would
+// produce, at any point in the insert stream — the oracle differential in
+// tests/serve_test.cpp enforces this byte-for-byte at several epoch shapes
+// and thread counts. Insert/SealEpoch are single-writer; Resolve and
+// ResolveBatch may run concurrently with each other (never with a writer).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "blocking/builders.hpp"
+#include "core/entity.hpp"
+#include "obs/phase.hpp"
+#include "serve/incremental.hpp"
+#include "sparsenn/joins.hpp"
+
+namespace erb::serve {
+
+/// Resolver parameters. The sparse config's kAuto filter is resolved once at
+/// construction (through ERB_PREFIX_FILTER, like the batch joins); an
+/// explicit kLength/kPrefix pins the mode for the resolver's lifetime.
+struct ServeConfig {
+  sparsenn::SparseConfig sparse;  ///< tokenization + measure + filter
+  double threshold = 0.5;         ///< ε-join threshold, must be > 0
+  bool enable_blocking = false;   ///< also maintain the block index
+  blocking::BuilderConfig blocking;  ///< block builder when enabled
+};
+
+/// One resolved match: corpus entity and its exact similarity to the query.
+struct Match {
+  core::EntityId id;
+  double similarity;
+};
+
+/// Outcome of one Resolve(): ε-matches ascending by corpus id, plus (when
+/// blocking is enabled) the entities sharing a blocking key with the query.
+struct ResolveResult {
+  std::vector<Match> matches;
+  std::vector<core::EntityId> block_candidates;
+};
+
+/// Outcome of one Insert(): the entity's corpus id, and whether the profile
+/// was actually inserted (false = the external id already exists; the
+/// original profile is kept and `id` names it).
+struct InsertResult {
+  core::EntityId id;
+  bool inserted;
+};
+
+class Resolver {
+ public:
+  /// Throws std::invalid_argument for a non-positive threshold.
+  explicit Resolver(ServeConfig config = {});
+
+  /// Inserts `profile` under `external_id`. Duplicate external ids are
+  /// rejected (InsertResult::inserted == false), keeping the corpus a set.
+  /// Profiles are tokenized schema-agnostically (all attribute values).
+  InsertResult Insert(std::string external_id,
+                      const core::EntityProfile& profile);
+
+  /// Resolves `query` against the current corpus (sealed epoch + delta).
+  ResolveResult Resolve(const core::EntityProfile& query) const;
+
+  /// Resolve() over a batch, parallelized with deterministic chunking: the
+  /// result vector is byte-identical at any thread count (each slot is one
+  /// query's independent resolution).
+  std::vector<ResolveResult> ResolveBatch(
+      const std::vector<core::EntityProfile>& queries) const;
+
+  /// Seals both indexes: compacts delta into fresh contiguous structures.
+  /// Returns the sparse index's epoch number.
+  std::uint64_t SealEpoch();
+
+  std::size_t NumEntities() const { return external_ids_.size(); }
+  std::size_t DeltaCount() const { return sparse_.DeltaCount(); }
+  std::uint64_t epoch() const { return sparse_.epoch(); }
+  const std::string& ExternalIdOf(core::EntityId id) const {
+    return external_ids_[id];
+  }
+  const ServeConfig& config() const { return config_; }
+
+  /// Accumulated serve/insert, serve/resolve and serve/seal phase times (ms).
+  const obs::PhaseAccumulator& timing() const { return timing_; }
+
+ private:
+  ResolveResult ResolveWith(const core::EntityProfile& query,
+                            IncrementalSparseIndex::ProbeScratch* scratch) const;
+
+  ServeConfig config_;
+  IncrementalSparseIndex sparse_;
+  IncrementalBlockIndex blocks_;
+  std::vector<std::string> external_ids_;  // corpus id -> external id
+  std::unordered_map<std::string, core::EntityId> id_lookup_;
+  mutable obs::PhaseAccumulator timing_;
+};
+
+}  // namespace erb::serve

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
-#include <string_view>
 #include <utility>
 
+#include "common/env.hpp"
 #include "common/parallel.hpp"
 #include "obs/trace.hpp"
 #include "sparsenn/scancount.hpp"
@@ -294,15 +294,17 @@ void OfferTopK(std::vector<double>* heap, std::size_t k, double sim) {
 }  // namespace
 
 FilterMode ResolveFilterMode(FilterMode requested, ProbeShape shape) {
+  // An explicit SparseConfig::filter wins outright; the environment is a
+  // default-only fallback consulted on every kAuto resolution. No
+  // once-per-process latch: a long-running serve process (or a test) can
+  // flip ERB_PREFIX_FILTER between joins and the next resolution honours
+  // it. The read happens on the thread that starts the join, before its
+  // parallel region fans out, so there is no concurrent-getenv hazard on
+  // the probe path itself.
   if (requested != FilterMode::kAuto) return requested;
-  // Read the environment exactly once: resolving per call would race with
-  // setenv in multi-threaded tests, and the knob is a process-level choice.
-  static const bool length_only = [] {
-    const char* value = std::getenv("ERB_PREFIX_FILTER");
-    return value != nullptr && (std::string_view(value) == "0" ||
-                                std::string_view(value) == "off");
-  }();
-  if (length_only) return FilterMode::kLength;
+  const bool prefix_enabled =
+      ParseOnOff("ERB_PREFIX_FILTER", std::getenv("ERB_PREFIX_FILTER"), true);
+  if (!prefix_enabled) return FilterMode::kLength;
   // Fixed-threshold probes run against build-time-truncated prefixes and
   // win from the first posting; decreasing-threshold probes spend their
   // opening at τ = 0 verifying every overlapping candidate, where the

@@ -29,13 +29,16 @@ enum class FilterMode { kAuto, kLength, kPrefix };
 /// that regime on every benchmarked corpus.
 enum class ProbeShape { kThreshold, kDecreasing };
 
-/// Resolves kAuto: ERB_PREFIX_FILTER "0"/"off" selects kLength everywhere;
-/// otherwise — including unset — kThreshold probes get kPrefix and
-/// kDecreasing probes keep kLength (the measured-faster default per shape).
-/// Explicit kLength/kPrefix requests pass through untouched for either
-/// shape. The environment is read once per process, so toggling the
-/// variable after the first sparse join has no effect (and no data race
-/// under TSan).
+/// Resolves kAuto: ERB_PREFIX_FILTER off (0/off/false/no, case-insensitive —
+/// see ParseOnOff in common/env.hpp; unrecognized values warn on stderr and
+/// keep the default) selects kLength everywhere; otherwise — including unset
+/// — kThreshold probes get kPrefix and kDecreasing probes keep kLength (the
+/// measured-faster default per shape). Explicit kLength/kPrefix requests on
+/// SparseConfig::filter pass through untouched for either shape and never
+/// consult the environment. The variable is re-read on every kAuto
+/// resolution (no once-per-process latch), so a long-running process can
+/// flip modes between joins; the read happens before the join's parallel
+/// region starts.
 FilterMode ResolveFilterMode(FilterMode requested,
                              ProbeShape shape = ProbeShape::kThreshold);
 

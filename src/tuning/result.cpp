@@ -2,16 +2,25 @@
 
 #include <cstdlib>
 
+#include "common/env.hpp"
+
 namespace erb::tuning {
 
 GridOptions GridOptions::FromEnv() {
+  // All three knobs go through the shared parsers (common/env.hpp):
+  // ERBENCH_FULL_GRID=0 now disables the full grid instead of enabling it by
+  // mere presence, ERBENCH_REPS=junk warns on stderr instead of silently
+  // keeping the default (atoi returned 0 and the guard swallowed it), and
+  // the values are re-read on every call rather than latched.
   GridOptions options;
-  options.full_grid = std::getenv("ERBENCH_FULL_GRID") != nullptr;
-  if (const char* reps = std::getenv("ERBENCH_REPS")) {
-    const int value = std::atoi(reps);
-    if (value > 0) options.repetitions = value;
+  options.full_grid =
+      ParseOnOff("ERBENCH_FULL_GRID", std::getenv("ERBENCH_FULL_GRID"), false);
+  options.repetitions = static_cast<int>(
+      ParseEnvCount("ERBENCH_REPS", std::getenv("ERBENCH_REPS"), 1, 1000,
+                    static_cast<std::size_t>(options.repetitions)));
+  if (ParseOnOff("ERBENCH_FAST", std::getenv("ERBENCH_FAST"), false)) {
+    options.repetitions = 1;
   }
-  if (std::getenv("ERBENCH_FAST") != nullptr) options.repetitions = 1;
   return options;
 }
 

@@ -5,6 +5,7 @@
 #include <set>
 #include <thread>
 
+#include "common/env.hpp"
 #include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
@@ -180,6 +181,47 @@ TEST(StringsTest, IsAlnum) {
 
 TEST(StringsTest, NormalizeTextStripsPunctuationAndCases) {
   EXPECT_EQ(NormalizeText("Hello, World! (v2.0)"), "hello  world   v2 0 ");
+}
+
+TEST(EnvTest, ParseOnOffRecognizesDocumentedSpellings) {
+  for (const char* on : {"1", "on", "ON", "true", "True", "yes", " YES \n"}) {
+    EXPECT_TRUE(ParseOnOff("ERB_TEST", on, false)) << on;
+  }
+  for (const char* off : {"0", "off", "OFF", "false", "No", " no "}) {
+    EXPECT_FALSE(ParseOnOff("ERB_TEST", off, true)) << off;
+  }
+}
+
+TEST(EnvTest, ParseOnOffUnsetOrEmptyKeepsFallbackEitherWay) {
+  EXPECT_TRUE(ParseOnOff("ERB_TEST", nullptr, true));
+  EXPECT_FALSE(ParseOnOff("ERB_TEST", nullptr, false));
+  EXPECT_TRUE(ParseOnOff("ERB_TEST", "", true));
+  EXPECT_FALSE(ParseOnOff("ERB_TEST", "  \t", false));
+}
+
+TEST(EnvTest, ParseOnOffJunkKeepsFallback) {
+  // The historical ERB_PREFIX_FILTER bug: anything but the exact strings
+  // "0"/"off" silently counted as on. Junk must fall back, both directions.
+  EXPECT_TRUE(ParseOnOff("ERB_TEST", "banana", true));
+  EXPECT_FALSE(ParseOnOff("ERB_TEST", "banana", false));
+  EXPECT_FALSE(ParseOnOff("ERB_TEST", "2", false));
+}
+
+TEST(EnvTest, ParseEnvCountAcceptsInRangeIntegers) {
+  EXPECT_EQ(ParseEnvCount("ERB_TEST", "8", 1, 100, 3), 8u);
+  EXPECT_EQ(ParseEnvCount("ERB_TEST", " 42 \n", 1, 100, 3), 42u);
+  EXPECT_EQ(ParseEnvCount("ERB_TEST", "1", 1, 100, 3), 1u);
+  EXPECT_EQ(ParseEnvCount("ERB_TEST", "100", 1, 100, 3), 100u);
+}
+
+TEST(EnvTest, ParseEnvCountRejectsJunkAndOutOfRange) {
+  EXPECT_EQ(ParseEnvCount("ERB_TEST", nullptr, 1, 100, 3), 3u);
+  EXPECT_EQ(ParseEnvCount("ERB_TEST", "", 1, 100, 3), 3u);
+  EXPECT_EQ(ParseEnvCount("ERB_TEST", "abc", 1, 100, 3), 3u);
+  EXPECT_EQ(ParseEnvCount("ERB_TEST", "3abc", 1, 100, 3), 3u);
+  EXPECT_EQ(ParseEnvCount("ERB_TEST", "0", 1, 100, 3), 3u);
+  EXPECT_EQ(ParseEnvCount("ERB_TEST", "-7", 1, 100, 3), 3u);
+  EXPECT_EQ(ParseEnvCount("ERB_TEST", "101", 1, 100, 3), 3u);
 }
 
 }  // namespace

@@ -12,8 +12,11 @@ namespace {
 
 class CsvRoundTripTest : public ::testing::TestWithParam<int> {
  protected:
+  // Filenames carry a per-binary prefix: TempDir() is shared with every other
+  // test binary in a parallel ctest run, and bare "e1.csv" collides with the
+  // loader fixtures in datagen_test.cpp (observed as a rare -j8 flake).
   std::string Path(const std::string& name) const {
-    return ::testing::TempDir() + "/" + name;
+    return ::testing::TempDir() + "/roundtrip_" + name;
   }
 };
 

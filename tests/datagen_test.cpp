@@ -245,11 +245,15 @@ class CsvLoaderTest : public ::testing::Test {
   }
 
   void Write(const std::string& name, const std::string& content) {
-    std::ofstream out(dir_ + "/" + name);
+    std::ofstream out(Path(name));
     out << content;
   }
 
-  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+  // Prefixed: TempDir() is shared across test binaries, and bare "e1.csv"
+  // races with csv_roundtrip_test.cpp under a parallel ctest run.
+  std::string Path(const std::string& name) const {
+    return dir_ + "/loader_" + name;
+  }
 
   std::string dir_;
 };

@@ -1,0 +1,222 @@
+// Differential tests for the online resolve path (src/serve): the resolver
+// must produce byte-identical candidates to a from-scratch batch rebuild +
+// ε-join (and to the brute-force pairwise reference) at every epoch shape —
+// all-delta, freshly sealed, half-sealed, multiply-merged — at 1 and 8
+// threads, under both filter modes. Run alone with `ctest -L serve`.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/entity.hpp"
+#include "oracle/corpus.hpp"
+#include "oracle/serve.hpp"
+#include "serve/incremental.hpp"
+#include "serve/resolver.hpp"
+
+namespace erb {
+namespace {
+
+using core::EntityId;
+using core::EntityProfile;
+
+// Epoch shapes the differential sweeps: where SealEpoch() is called within
+// the insert stream of n entities.
+enum class EpochShape {
+  kDeltaOnly,   // never sealed: the delta scan answers everything
+  kSealedAll,   // sealed after the last insert: pure index probes
+  kHalfSealed,  // sealed midway: index + delta tail both contribute
+  kQuarters,    // sealed every quarter: multiple compactions
+};
+
+const char* ShapeName(EpochShape shape) {
+  switch (shape) {
+    case EpochShape::kDeltaOnly: return "delta-only";
+    case EpochShape::kSealedAll: return "sealed-all";
+    case EpochShape::kHalfSealed: return "half-sealed";
+    case EpochShape::kQuarters: return "quarters";
+  }
+  return "?";
+}
+
+serve::Resolver BuildResolver(const std::vector<EntityProfile>& corpus,
+                              const serve::ServeConfig& config,
+                              EpochShape shape) {
+  serve::Resolver resolver(config);
+  const std::size_t n = corpus.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    resolver.Insert(std::to_string(i), corpus[i]);
+    const std::size_t done = i + 1;
+    if (shape == EpochShape::kHalfSealed && done == n / 2) resolver.SealEpoch();
+    if (shape == EpochShape::kQuarters && n >= 4 && done % (n / 4) == 0) {
+      resolver.SealEpoch();
+    }
+  }
+  if (shape == EpochShape::kSealedAll) resolver.SealEpoch();
+  return resolver;
+}
+
+TEST(ServeDifferential, MatchesBatchRebuildAndBruteForce) {
+  const auto corpus_cases = oracle::BuildCorpus(/*seed=*/777);
+  for (const auto filter :
+       {sparsenn::FilterMode::kLength, sparsenn::FilterMode::kPrefix}) {
+    serve::ServeConfig config;
+    config.sparse.filter = filter;
+    config.threshold = 0.35;
+    for (const auto& c : corpus_cases) {
+      const auto& corpus = c.dataset.e1();
+      const auto& queries = c.dataset.e2();
+      const auto batch = oracle::ServeBatchReference(corpus, queries, config);
+      const auto brute = oracle::ServeBruteForce(corpus, queries, config);
+      ASSERT_EQ(batch.pairs(), brute.pairs())
+          << c.name << ": batch join disagrees with brute force";
+      for (const auto shape :
+           {EpochShape::kDeltaOnly, EpochShape::kSealedAll,
+            EpochShape::kHalfSealed, EpochShape::kQuarters}) {
+        const auto resolver = BuildResolver(corpus, config, shape);
+        for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+          ScopedThreadLimit limit(threads);
+          const auto resolved =
+              oracle::ServeResultsToCandidates(resolver.ResolveBatch(queries));
+          ASSERT_EQ(resolved.pairs(), batch.pairs())
+              << c.name << " shape=" << ShapeName(shape)
+              << " threads=" << threads << " filter="
+              << (filter == sparsenn::FilterMode::kPrefix ? "prefix" : "length");
+        }
+      }
+    }
+  }
+}
+
+TEST(ServeDifferential, MatchesUnderAlternativeTokenization) {
+  // One pass with the heavier config axes (cleaning, n-grams, Jaccard) to
+  // catch a resolver that only tokenizes correctly under the defaults.
+  serve::ServeConfig config;
+  config.sparse.clean = true;
+  config.sparse.model = sparsenn::TokenModel::kC3G;
+  config.sparse.measure = sparsenn::SimilarityMeasure::kJaccard;
+  config.threshold = 0.25;
+  const auto corpus_cases = oracle::BuildCorpus(/*seed=*/12);
+  for (const auto& c : corpus_cases) {
+    const auto& corpus = c.dataset.e1();
+    const auto& queries = c.dataset.e2();
+    const auto batch = oracle::ServeBatchReference(corpus, queries, config);
+    auto resolver = BuildResolver(corpus, config, EpochShape::kHalfSealed);
+    const auto resolved =
+        oracle::ServeResultsToCandidates(resolver.ResolveBatch(queries));
+    ASSERT_EQ(resolved.pairs(), batch.pairs()) << c.name;
+  }
+}
+
+TEST(ServeResolver, SingleResolveEqualsBatchSlot) {
+  const auto corpus_cases = oracle::BuildCorpus(/*seed=*/5);
+  serve::ServeConfig config;
+  config.threshold = 0.3;
+  const auto& c = corpus_cases.back();
+  auto resolver = BuildResolver(c.dataset.e1(), config, EpochShape::kHalfSealed);
+  const auto batch = resolver.ResolveBatch(c.dataset.e2());
+  for (std::size_t q = 0; q < c.dataset.e2().size(); ++q) {
+    const auto single = resolver.Resolve(c.dataset.e2()[q]);
+    ASSERT_EQ(single.matches.size(), batch[q].matches.size());
+    for (std::size_t m = 0; m < single.matches.size(); ++m) {
+      EXPECT_EQ(single.matches[m].id, batch[q].matches[m].id);
+      EXPECT_EQ(single.matches[m].similarity, batch[q].matches[m].similarity);
+    }
+  }
+}
+
+TEST(ServeResolver, RejectsDuplicateExternalIds) {
+  serve::Resolver resolver;
+  EntityProfile a;
+  a.attributes.push_back({"name", "alpha beta"});
+  EntityProfile b;
+  b.attributes.push_back({"name", "gamma delta"});
+  const auto first = resolver.Insert("dup", a);
+  EXPECT_TRUE(first.inserted);
+  const auto second = resolver.Insert("dup", b);
+  EXPECT_FALSE(second.inserted);
+  EXPECT_EQ(second.id, first.id);
+  EXPECT_EQ(resolver.NumEntities(), 1u);
+  // The original profile is kept: "alpha beta" still resolves, b does not.
+  EXPECT_EQ(resolver.Resolve(a).matches.size(), 1u);
+  EXPECT_TRUE(resolver.Resolve(b).matches.empty());
+}
+
+TEST(ServeResolver, EmptyCorpusAndEmptyQueryAreSafe) {
+  serve::Resolver resolver;
+  EntityProfile q;
+  q.attributes.push_back({"name", "anything at all"});
+  EXPECT_TRUE(resolver.Resolve(q).matches.empty());
+  EXPECT_EQ(resolver.SealEpoch(), 0u);  // nothing to merge: epoch unchanged
+  EXPECT_TRUE(resolver.Resolve(q).matches.empty());
+
+  resolver.Insert("e0", q);
+  EXPECT_TRUE(resolver.Resolve(EntityProfile{}).matches.empty());
+}
+
+TEST(ServeResolver, SealEpochAdvancesOnlyOnNewInserts) {
+  serve::Resolver resolver;
+  EntityProfile p;
+  p.attributes.push_back({"name", "x y z"});
+  EXPECT_EQ(resolver.epoch(), 0u);
+  resolver.Insert("a", p);
+  EXPECT_EQ(resolver.SealEpoch(), 1u);
+  EXPECT_EQ(resolver.SealEpoch(), 1u);  // no-op without new inserts
+  resolver.Insert("b", p);
+  EXPECT_EQ(resolver.SealEpoch(), 2u);
+  EXPECT_EQ(resolver.DeltaCount(), 0u);
+}
+
+TEST(ServeResolver, RejectsNonPositiveThreshold) {
+  serve::ServeConfig config;
+  config.threshold = 0.0;
+  EXPECT_THROW(serve::Resolver{config}, std::invalid_argument);
+}
+
+TEST(IncrementalBlockIndex, ProbeIsSealInvariant) {
+  serve::IncrementalBlockIndex delta_index;
+  serve::IncrementalBlockIndex sealed_index;
+  const std::vector<std::string> texts = {
+      "joe biden", "joe cocker", "margaret thatcher", "joe biden jr",
+      "thatcher margaret"};
+  for (const auto& text : texts) {
+    delta_index.Insert(text);
+    sealed_index.Insert(text);
+  }
+  sealed_index.Seal();
+  EXPECT_EQ(sealed_index.epoch(), 1u);
+  std::vector<EntityId> from_delta, from_sealed;
+  for (const auto& probe : {"joe smith", "margaret", "biden", "nobody"}) {
+    delta_index.Probe(probe, &from_delta);
+    sealed_index.Probe(probe, &from_sealed);
+    EXPECT_EQ(from_delta, from_sealed) << probe;
+    EXPECT_TRUE(std::is_sorted(from_delta.begin(), from_delta.end()));
+  }
+  // Standard blocking keys are whitespace tokens: "joe" hits 0, 1 and 3.
+  delta_index.Probe("joe", &from_delta);
+  EXPECT_EQ(from_delta, (std::vector<EntityId>{0, 1, 3}));
+}
+
+TEST(ServeResolver, BlockCandidatesFollowBlockingKeys) {
+  serve::ServeConfig config;
+  config.enable_blocking = true;
+  serve::Resolver resolver(config);
+  EntityProfile a;
+  a.attributes.push_back({"name", "alpha common"});
+  EntityProfile b;
+  b.attributes.push_back({"name", "beta common"});
+  resolver.Insert("a", a);
+  resolver.SealEpoch();
+  resolver.Insert("b", b);  // stays in the block index's delta
+  EntityProfile q;
+  q.attributes.push_back({"name", "common"});
+  const auto result = resolver.Resolve(q);
+  EXPECT_EQ(result.block_candidates, (std::vector<EntityId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace erb

@@ -8,14 +8,20 @@
 //       Fine-tune filtering method(s) on a CSV dataset (Problem 1).
 //   erbench stats <e1.csv> <e2.csv> <gt.csv>
 //       Dataset profile: attribute coverage, vocabulary, corpus size.
+//   erbench serve [--threshold <t>] [--blocking] [--trace <out.json>]
+//       Online resolve loop over a stdin/stdout line protocol (see CmdServe).
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <string>
 
 #include "core/schema.hpp"
 #include "datagen/csv_loader.hpp"
 #include "datagen/csv_writer.hpp"
 #include "datagen/registry.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "serve/resolver.hpp"
 #include "tuning/suite.hpp"
 
 namespace {
@@ -29,7 +35,9 @@ int Usage() {
                "  erbench generate <dataset 1-10> <out_dir> [scale]\n"
                "  erbench tune <method|ALL> <e1.csv> <e2.csv> <gt.csv> "
                "[--schema-based]\n"
-               "  erbench stats <e1.csv> <e2.csv> <gt.csv>\n");
+               "  erbench stats <e1.csv> <e2.csv> <gt.csv>\n"
+               "  erbench serve [--threshold <t>] [--blocking] "
+               "[--trace <out.json>]\n");
   return 1;
 }
 
@@ -123,6 +131,115 @@ int CmdStats(int argc, char** argv) {
   return 0;
 }
 
+// Online resolve loop. Line protocol on stdin (one command per line, CSV
+// payloads under the LoadCsvDataset quoting rules), one response per command
+// on stdout, flushed so the CLI can sit behind a pipe:
+//
+//   SCHEMA <id-column>,<attr>,...   -> OK schema <k> attributes
+//   INSERT <id>,<value>,...         -> OK <corpus id> | DUP <corpus id>
+//   RESOLVE <label>,<value>,...     -> MATCHES <label> <n> [<ext id>:<sim>]...
+//   SEAL                            -> SEALED <epoch> <corpus size>
+//
+// Matches are ascending by corpus id with the exact similarity (%.6f).
+// Blank lines and lines starting with '#' are skipped; unknown or malformed
+// commands answer "ERR <reason>" and the loop continues. With --trace (or
+// ERB_TRACE=1) the obs collector records spans and serve.* counters, written
+// as a Chrome trace at EOF.
+int CmdServe(int argc, char** argv) {
+  serve::ServeConfig config;
+  std::string trace_path;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      config.threshold = std::atof(argv[++i]);
+      if (config.threshold <= 0.0) {
+        std::fprintf(stderr, "serve: --threshold must be positive\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--blocking") == 0) {
+      config.enable_blocking = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+      obs::SetTraceEnabled(true);
+    } else {
+      return Usage();
+    }
+  }
+
+  serve::Resolver resolver(config);
+  std::vector<std::string> attributes;  // set by SCHEMA; first column is the id
+
+  const auto make_profile = [&](const std::vector<std::string>& fields) {
+    core::EntityProfile profile;
+    profile.attributes.reserve(attributes.size());
+    for (std::size_t i = 0; i < attributes.size(); ++i) {
+      profile.attributes.push_back(
+          {attributes[i], i + 1 < fields.size() ? fields[i + 1] : std::string()});
+    }
+    return profile;
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.find(' ');
+    const std::string command = line.substr(0, space);
+    const std::string payload =
+        space == std::string::npos ? std::string() : line.substr(space + 1);
+    if (command == "SEAL") {
+      const std::uint64_t epoch = resolver.SealEpoch();
+      std::printf("SEALED %llu %zu\n", static_cast<unsigned long long>(epoch),
+                  resolver.NumEntities());
+    } else if (command == "SCHEMA") {
+      const auto fields = datagen::SplitCsvLine(payload);
+      if (fields.size() < 2) {
+        std::printf("ERR schema needs an id column and >=1 attribute\n");
+      } else {
+        attributes.assign(fields.begin() + 1, fields.end());
+        std::printf("OK schema %zu attributes\n", attributes.size());
+      }
+    } else if (command == "INSERT" || command == "RESOLVE") {
+      const auto fields = datagen::SplitCsvLine(payload);
+      if (attributes.empty()) {
+        std::printf("ERR no schema (send SCHEMA first)\n");
+      } else if (fields.empty()) {
+        std::printf("ERR empty record\n");
+      } else if (command == "INSERT") {
+        const auto result = resolver.Insert(fields[0], make_profile(fields));
+        std::printf("%s %u\n", result.inserted ? "OK" : "DUP", result.id);
+      } else {
+        const auto result = resolver.Resolve(make_profile(fields));
+        std::printf("MATCHES %s %zu", fields[0].c_str(), result.matches.size());
+        for (const auto& match : result.matches) {
+          std::printf(" %s:%.6f", resolver.ExternalIdOf(match.id).c_str(),
+                      match.similarity);
+        }
+        std::printf("\n");
+      }
+    } else {
+      std::printf("ERR unknown command '%s'\n", command.c_str());
+    }
+    std::fflush(stdout);
+  }
+
+  if (!trace_path.empty()) {
+    if (!obs::WriteChromeTraceFile(obs::Collect(), trace_path)) {
+      std::fprintf(stderr, "serve: cannot write trace to %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "serve: wrote %s\n", trace_path.c_str());
+  }
+  std::fprintf(stderr,
+               "serve: %zu entities, epoch %llu, insert %.1fms resolve %.1fms "
+               "seal %.1fms\n",
+               resolver.NumEntities(),
+               static_cast<unsigned long long>(resolver.epoch()),
+               resolver.timing().Get("serve/insert"),
+               resolver.timing().Get("serve/resolve"),
+               resolver.timing().Get("serve/seal"));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -133,6 +250,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return CmdGenerate(argc, argv);
     if (command == "tune") return CmdTune(argc, argv);
     if (command == "stats") return CmdStats(argc, argv);
+    if (command == "serve") return CmdServe(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
