@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "blocking/builders.hpp"
@@ -510,6 +511,31 @@ core::CandidateSet MetaBlocking(const blocking::BlockCollection& blocks,
   return candidates;
 }
 
+// Pre-flat-dict block building: one std::string per entity text, owned key
+// strings from the allocating ExtractKeys, and a node-based unordered_map
+// from key to block id — the exact shape the flat StringDict build replaced.
+blocking::BlockCollection BuildBlocks(const core::Dataset& dataset,
+                                      core::SchemaMode mode,
+                                      const blocking::BuilderConfig& config) {
+  blocking::BlockCollection blocks;
+  std::unordered_map<std::string, std::uint32_t> key_to_block;
+  for (int side = 0; side < 2; ++side) {
+    const std::size_t count = (side == 0 ? dataset.e1() : dataset.e2()).size();
+    for (core::EntityId id = 0; id < count; ++id) {
+      const std::string text = dataset.EntityText(side, id, mode);
+      for (std::string& key : blocking::ExtractKeys(text, config)) {
+        const auto [it, inserted] = key_to_block.try_emplace(
+            std::move(key), static_cast<std::uint32_t>(blocks.size()));
+        if (inserted) blocks.emplace_back();
+        blocking::Block& block = blocks[it->second];
+        (side == 0 ? block.e1 : block.e2).push_back(id);
+      }
+    }
+  }
+  blocking::DropUselessBlocks(&blocks);
+  return blocks;
+}
+
 }  // namespace legacy
 
 // --- self-timed comparison (--json mode) -----------------------------------
@@ -609,6 +635,38 @@ int RunSelfTimed(const std::string& json_path) {
               blocks.size(), n1, n2,
               static_cast<unsigned long long>(total_pairs));
 
+  // Block building itself: the pre-flat-dict unordered_map build against the
+  // production streamed StringDict build, over the same dataset. Collections
+  // must match block-for-block (same key first-appearance order, same member
+  // order) before the timings mean anything.
+  {
+    const auto old = legacy::BuildBlocks(dataset, core::SchemaMode::kAgnostic,
+                                         blocking::BuilderConfig{});
+    bool same = old.size() == blocks.size();
+    for (std::size_t b = 0; same && b < old.size(); ++b) {
+      same = old[b].e1 == blocks[b].e1 && old[b].e2 == blocks[b].e2;
+    }
+    if (!same) {
+      std::fprintf(stderr, "micro_components: block collections diverge\n");
+      return 1;
+    }
+  }
+  const std::uint64_t num_entities = static_cast<std::uint64_t>(n1 + n2);
+  Record("legacy_block_build", MedianNs(1, 5, [&]() {
+           return static_cast<double>(
+               legacy::BuildBlocks(dataset, core::SchemaMode::kAgnostic,
+                                   blocking::BuilderConfig{})
+                   .size());
+         }),
+         num_entities);
+  Record("flat_block_build", MedianNs(1, 5, [&]() {
+           return static_cast<double>(
+               blocking::BuildBlocks(dataset, core::SchemaMode::kAgnostic,
+                                     blocking::BuilderConfig{})
+                   .size());
+         }),
+         num_entities);
+
   const struct {
     blocking::WeightingScheme scheme;
     blocking::PruningAlgorithm pruning;
@@ -622,6 +680,8 @@ int RunSelfTimed(const std::string& json_path) {
   };
 
   std::vector<Speedup> speedups;
+  speedups.push_back({"block_build", NsPerOp("legacy_block_build") /
+                                         NsPerOp("flat_block_build")});
   char name[64];
   for (const auto& cell : kCells) {
     const std::string tag = std::string(blocking::SchemeName(cell.scheme)) +

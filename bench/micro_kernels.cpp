@@ -8,8 +8,10 @@
 // Usage: micro_kernels [--json=PATH] [--threads=N]
 // Prints a table to stdout; --json additionally writes the measurements and
 // derived speedups as a JSON document (committed as BENCH_PR4.json for the
-// layout/length-filter work, BENCH_PR6.json for the prefix-filter work; the
-// `probe_prefix_geomean` key is the PR 6 headline).
+// layout/length-filter work, BENCH_PR6.json for the prefix-filter work with
+// the `probe_prefix_geomean` headline, and BENCH_PR8.json for the build-path
+// substrate work with the `build_geomean` headline and the forked peak-RSS
+// section).
 #include <algorithm>
 #include <bit>
 #include <chrono>
@@ -18,9 +20,16 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "blocking/builders.hpp"
 #include "common/hash.hpp"
+#include "common/strings.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/simd.hpp"
@@ -29,6 +38,7 @@
 #include "sparsenn/joins.hpp"
 #include "sparsenn/scancount.hpp"
 #include "sparsenn/tokenset.hpp"
+#include "text/clean.hpp"
 
 namespace {
 
@@ -220,11 +230,10 @@ struct SparseFixture {
   std::vector<sparsenn::TokenSet> queries;
 };
 
-SparseFixture BuildSparseFixture() {
+SparseFixture BuildSparseFixture(const core::Dataset& dataset) {
   // A mid-size paper dataset tokenized the way the tuned ε-Join runs it
   // (cleaning on, character 3-gram multisets): realistic list lengths and a
   // wide spread of set sizes for the length filter to cut.
-  const core::Dataset dataset = datagen::Generate(datagen::PaperSpec(2));
   SparseFixture fixture;
   fixture.indexed = sparsenn::BuildSideTokenSets(
       dataset, 0, core::SchemaMode::kAgnostic, sparsenn::TokenModel::kC3GM,
@@ -456,13 +465,473 @@ void BenchSparseProbes(const SparseFixture& fixture) {
          fixture.queries.size());
 }
 
-void BenchCsrBuild(const SparseFixture& fixture) {
-  std::printf("index build:\n");
+// --- build-path baselines (PR 8) -------------------------------------------
+// The pre-PR build substrate, reproduced verbatim as in-bench baselines: one
+// std::string materialized per entity text, std::unordered_map occurrence /
+// frequency / key tables (a heap node per distinct key), and the sequential
+// single-chunk pass structure. The build_* speedups below measure the flat
+// open-addressing dictionaries + columnar ProfileStore against this.
+
+sparsenn::TokenSet LegacyBuildTokenSet(std::string_view text,
+                                       sparsenn::TokenModel model, bool clean) {
+  const std::string cleaned = text::CleanText(text, clean);
+  std::vector<std::uint64_t> raw;
+  const int n = sparsenn::ModelGramLength(model);
+  if (n == 0) {
+    for (const auto& token : text::CleanTokens(cleaned, /*clean=*/false)) {
+      raw.push_back(FnvHash64(token));
+    }
+  } else {
+    if (static_cast<int>(cleaned.size()) < n) {
+      if (!cleaned.empty()) raw.push_back(FnvHash64(cleaned));
+    } else {
+      raw.reserve(cleaned.size());
+      for (std::size_t i = 0; i + n <= cleaned.size(); ++i) {
+        raw.push_back(FnvHash64(std::string_view(cleaned).substr(i, n)));
+      }
+    }
+  }
+  sparsenn::TokenSet set;
+  set.reserve(raw.size());
+  if (sparsenn::IsMultiset(model)) {
+    std::unordered_map<std::uint64_t, std::uint32_t> occurrence;
+    for (std::uint64_t h : raw) {
+      set.push_back(HashCombine(h, ++occurrence[h]));
+    }
+  } else {
+    set = std::move(raw);
+  }
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  return set;
+}
+
+std::vector<sparsenn::TokenSet> LegacyBuildSideTokenSets(
+    const core::Dataset& dataset, int side, core::SchemaMode mode,
+    sparsenn::TokenModel model, bool clean) {
+  const std::size_t count =
+      side == 0 ? dataset.e1().size() : dataset.e2().size();
+  std::vector<sparsenn::TokenSet> sets;
+  sets.reserve(count);
+  for (core::EntityId id = 0; id < count; ++id) {
+    sets.push_back(
+        LegacyBuildTokenSet(dataset.EntityText(side, id, mode), model, clean));
+  }
+  return sets;
+}
+
+// Pre-PR TokenRankMap construction: unordered_map document frequencies, then
+// the sort + flat-table fill (the fill was already flat; the node-based df
+// table is what the TokenDict replaced).
+std::size_t LegacyRankMapBuild(const std::vector<sparsenn::TokenSet>& sets) {
+  std::unordered_map<std::uint64_t, std::uint32_t> frequency;
+  for (const auto& set : sets) {
+    for (std::uint64_t token : set) ++frequency[token];
+  }
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> order;
+  order.reserve(frequency.size());
+  for (const auto& [token, df] : frequency) order.emplace_back(df, token);
+  std::sort(order.begin(), order.end());
+  std::size_t capacity = 16;
+  while (capacity < order.size() * 2) capacity *= 2;
+  struct Slot {
+    std::uint64_t token = 0;
+    std::uint32_t rank = 0;
+    bool used = false;
+  };
+  std::vector<Slot> slots(capacity);
+  const std::size_t mask = capacity - 1;
+  for (std::uint32_t rank = 0; rank < order.size(); ++rank) {
+    std::size_t pos = SplitMix64(order[rank].second) & mask;
+    while (slots[pos].used) pos = (pos + 1) & mask;
+    slots[pos] = {order[rank].second, rank, true};
+  }
+  return slots.size();
+}
+
+// Pre-PR ScanCountIndex build: the same CSR output, built by one sequential
+// two-pass walk over a grow-as-you-go open table (no reserve, no chunking).
+class SeedScanCountIndex {
+ public:
+  explicit SeedScanCountIndex(const std::vector<sparsenn::TokenSet>& sets) {
+    set_sizes_.reserve(sets.size());
+    for (const auto& set : sets) {
+      set_sizes_.push_back(static_cast<std::uint32_t>(set.size()));
+    }
+    Rehash(16);
+    std::vector<std::uint32_t> list_counts;
+    for (const auto& set : sets) {
+      for (std::uint64_t token : set) {
+        const std::uint32_t list = InsertToken(token);
+        if (list == list_counts.size()) list_counts.push_back(0);
+        ++list_counts[list];
+      }
+    }
+    offsets_.resize(list_counts.size() + 1);
+    offsets_[0] = 0;
+    for (std::size_t i = 0; i < list_counts.size(); ++i) {
+      offsets_[i + 1] = offsets_[i] + list_counts[i];
+    }
+    postings_.resize(offsets_.back());
+    list_min_size_.assign(list_counts.size(), 0xffffffffu);
+    list_max_size_.assign(list_counts.size(), 0);
+    std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (std::uint32_t id = 0; id < sets.size(); ++id) {
+      const std::uint32_t size = set_sizes_[id];
+      for (std::uint64_t token : sets[id]) {
+        const std::uint32_t list = FindList(token);
+        postings_[cursor[list]++] = id;
+        if (size < list_min_size_[list]) list_min_size_[list] = size;
+        if (size > list_max_size_[list]) list_max_size_[list] = size;
+      }
+    }
+  }
+  std::size_t NumTokens() const { return offsets_.size() - 1; }
+
+ private:
+  struct Slot {
+    std::uint64_t token = 0;
+    std::uint32_t list = 0;
+    bool used = false;
+  };
+  void Rehash(std::size_t capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(capacity, Slot{});
+    const std::size_t mask = capacity - 1;
+    for (const Slot& slot : old) {
+      if (!slot.used) continue;
+      std::size_t pos = SplitMix64(slot.token) & mask;
+      while (slots_[pos].used) pos = (pos + 1) & mask;
+      slots_[pos] = slot;
+    }
+  }
+  std::uint32_t InsertToken(std::uint64_t token) {
+    if ((distinct_tokens_ + 1) * 2 > slots_.size()) Rehash(slots_.size() * 2);
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t pos = SplitMix64(token) & mask;
+    while (slots_[pos].used && slots_[pos].token != token) {
+      pos = (pos + 1) & mask;
+    }
+    if (!slots_[pos].used) {
+      slots_[pos].used = true;
+      slots_[pos].token = token;
+      slots_[pos].list = static_cast<std::uint32_t>(distinct_tokens_++);
+    }
+    return slots_[pos].list;
+  }
+  std::uint32_t FindList(std::uint64_t token) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t pos = SplitMix64(token) & mask;
+    while (slots_[pos].token != token) pos = (pos + 1) & mask;
+    return slots_[pos].list;
+  }
+  std::vector<Slot> slots_;
+  std::size_t distinct_tokens_ = 0;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> postings_;
+  std::vector<std::uint32_t> list_min_size_;
+  std::vector<std::uint32_t> list_max_size_;
+  std::vector<std::uint32_t> set_sizes_;
+};
+
+// Pre-PR ExtractKeys for the block-build cells (Standard and Q-Grams): a
+// fresh normalized string, a fresh token vector and an owned std::string per
+// key on every call — the allocation profile the scratch-based
+// ExtractKeysInto replaced.
+std::vector<std::string> LegacyExtractKeys(std::string_view text,
+                                           const blocking::BuilderConfig& config) {
+  std::vector<std::string> keys;
+  const std::vector<std::string> tokens = SplitWhitespace(NormalizeText(text));
+  for (const auto& token : tokens) {
+    if (config.kind == blocking::BuilderKind::kStandard) {
+      keys.push_back(token);
+    } else {  // kQGrams; the build cells use no other kinds
+      const int q = config.q;
+      if (static_cast<int>(token.size()) <= q) {
+        keys.emplace_back(token);
+      } else {
+        for (std::size_t i = 0; i + q <= token.size(); ++i) {
+          keys.emplace_back(token.substr(i, q));
+        }
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+// Pre-PR BuildBlocks: per-entity std::string text + node-map key table.
+blocking::BlockCollection LegacyBuildBlocks(const core::Dataset& dataset,
+                                            core::SchemaMode mode,
+                                            const blocking::BuilderConfig& config) {
+  blocking::BlockCollection blocks;
+  std::unordered_map<std::string, std::size_t> key_to_block;
+  auto index_side = [&](int side, std::size_t count) {
+    for (core::EntityId id = 0; id < count; ++id) {
+      const std::string text = dataset.EntityText(side, id, mode);
+      for (auto& key : LegacyExtractKeys(text, config)) {
+        auto [it, inserted] =
+            key_to_block.try_emplace(std::move(key), blocks.size());
+        if (inserted) blocks.emplace_back();
+        blocking::Block& block = blocks[it->second];
+        (side == 0 ? block.e1 : block.e2).push_back(id);
+      }
+    }
+  };
+  index_side(0, dataset.e1().size());
+  index_side(1, dataset.e2().size());
+  const bool proactive =
+      config.kind == blocking::BuilderKind::kSuffixArrays ||
+      config.kind == blocking::BuilderKind::kExtendedSuffixArrays;
+  if (proactive) {
+    std::erase_if(blocks, [&config](const blocking::Block& b) {
+      return b.Assignments() >= static_cast<std::size_t>(config.b_max);
+    });
+  }
+  blocking::DropUselessBlocks(&blocks);
+  return blocks;
+}
+
+// --- forked peak-RSS measurement -------------------------------------------
+
+// VmHWM of the calling process in KB (0 when /proc is unavailable).
+long ReadVmHwmKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  long kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+struct RssMeasurement {
+  std::string name;
+  long kb;
+};
+
+std::vector<RssMeasurement> g_rss;
+
+// Peak-RSS cost of fn() — transient build state plus the finished structure —
+// measured in a forked child: fork resets the child's VmHWM high-water mark
+// to its current RSS, so (VmHWM after fn) - (VmHWM before fn) isolates fn's
+// footprint from whatever the parent already touched. Two subtleties make
+// the warm() step essential: fork does not copy page-table entries for
+// file-backed mappings, so the child re-faults every code page it executes —
+// cells exercising different code (library vs bench-local) would be charged
+// incomparable .text footprints; and the first malloc in a fresh child
+// faults allocator metadata. warm() runs the same build over a tiny input
+// first, so code pages and allocator state are resident before the baseline
+// is read and the delta is (almost) purely fn's own heap. Returns -1 when
+// the measurement is unavailable (no /proc, fork failure).
+template <typename Warm, typename Fn>
+long ForkedPeakRssKb(const std::string& name, Warm&& warm, Fn&& fn) {
+  long kb = -1;
+  int fds[2];
+  if (pipe(fds) == 0) {
+    const pid_t pid = fork();
+    if (pid == 0) {
+      close(fds[0]);
+      warm();
+      const long before = ReadVmHwmKb();
+      fn();
+      const long delta = before > 0 ? ReadVmHwmKb() - before : -1;
+      (void)!write(fds[1], &delta, sizeof(delta));
+      _exit(0);
+    }
+    close(fds[1]);
+    if (pid > 0) {
+      if (read(fds[0], &kb, sizeof(kb)) != sizeof(kb)) kb = -1;
+      waitpid(pid, nullptr, 0);
+    }
+    close(fds[0]);
+  }
+  g_rss.push_back({name, kb});
+  std::printf("  %-28s %9ld KB peak\n", name.c_str(), kb);
+  return kb;
+}
+
+void BenchBuildCells(const core::Dataset& dataset, const SparseFixture& fixture) {
+  std::printf("index builds (legacy substrate vs flat dictionaries):\n");
+
+  // Tokenization: ProfileStore text + TokenDict occurrence counting against
+  // per-entity string materialization + an unordered_map per entity.
+  Record("tokenize_legacy", MedianNs(1, 5, [&]() {
+           const auto sets = LegacyBuildSideTokenSets(
+               dataset, 0, core::SchemaMode::kAgnostic,
+               sparsenn::TokenModel::kC3GM, /*clean=*/true);
+           return static_cast<double>(sets.size());
+         }),
+         dataset.e1().size());
+  Record("tokenize", MedianNs(1, 5, [&]() {
+           const auto sets = sparsenn::BuildSideTokenSets(
+               dataset, 0, core::SchemaMode::kAgnostic,
+               sparsenn::TokenModel::kC3GM, /*clean=*/true);
+           return static_cast<double>(sets.size());
+         }),
+         dataset.e1().size());
+
+  // Global-frequency rank map: TokenDict document frequencies against the
+  // node-based unordered_map.
+  Record("rankmap_build_legacy", MedianNs(1, 5, [&]() {
+           return static_cast<double>(LegacyRankMapBuild(fixture.indexed));
+         }),
+         fixture.indexed.size());
+  Record("rankmap_build", MedianNs(1, 5, [&]() {
+           const sparsenn::TokenRankMap ranks(fixture.indexed);
+           return static_cast<double>(ranks.NumRanked());
+         }),
+         fixture.indexed.size());
+
+  // CSR inverted index: the chunked two-pass parallel build against the
+  // sequential grow-as-you-go one (identical output, oracle-enforced).
+  Record("csr_build_legacy", MedianNs(2, 7, [&]() {
+           const SeedScanCountIndex index(fixture.indexed);
+           return static_cast<double>(index.NumTokens());
+         }),
+         fixture.indexed.size());
   Record("csr_build", MedianNs(2, 7, [&]() {
            const sparsenn::ScanCountIndex index(fixture.indexed);
            return static_cast<double>(index.NumTokens());
          }),
          fixture.indexed.size());
+
+  // Block building: StringDict interning + ProfileStore text against the
+  // std::unordered_map<std::string, ...> key table (a string node per key).
+  const std::size_t entities = dataset.e1().size() + dataset.e2().size();
+  for (auto kind : {blocking::BuilderKind::kStandard,
+                    blocking::BuilderKind::kQGrams}) {
+    blocking::BuilderConfig config;
+    config.kind = kind;
+    const bool standard = kind == blocking::BuilderKind::kStandard;
+    Record(standard ? "block_build_std_legacy" : "block_build_qg_legacy",
+           MedianNs(1, 5, [&]() {
+             const auto blocks = LegacyBuildBlocks(
+                 dataset, core::SchemaMode::kAgnostic, config);
+             return static_cast<double>(blocks.size());
+           }),
+           entities);
+    Record(standard ? "block_build_std" : "block_build_qg",
+           MedianNs(1, 5, [&]() {
+             const auto blocks = blocking::BuildBlocks(
+                 dataset, core::SchemaMode::kAgnostic, config);
+             return static_cast<double>(blocks.size());
+           }),
+           entities);
+  }
+
+}
+
+// Peak RSS of each build (transient + resident), forked per measurement so
+// the high-water marks cannot mask each other. Runs before the timing
+// sections: a fork inherits the parent's heap, so measuring from a
+// still-pristine parent (only the dataset and fixture live) keeps the cells
+// from reusing free chunks the earlier timing loops left behind — inherited
+// pages don't count toward the child's VmHWM delta, fresh ones do.
+void BenchBuildRss(const core::Dataset& dataset, const SparseFixture& fixture) {
+  std::printf("build peak RSS (forked, warm-up then measure):\n");
+  // Tiny warm-up inputs: the same code paths over 8 entities, so the child
+  // faults in its code pages and allocator metadata before the baseline.
+  const std::vector<sparsenn::TokenSet> tiny_sets(
+      fixture.indexed.begin(),
+      fixture.indexed.begin() + std::min<std::size_t>(8, fixture.indexed.size()));
+  const core::Dataset tiny_dataset(
+      "warmup",
+      {dataset.e1().begin(),
+       dataset.e1().begin() + std::min<std::size_t>(8, dataset.e1().size())},
+      {dataset.e2().begin(),
+       dataset.e2().begin() + std::min<std::size_t>(8, dataset.e2().size())},
+      {}, dataset.best_attribute());
+  ForkedPeakRssKb(
+      "rss_csr_build_legacy",
+      [&]() {
+        const SeedScanCountIndex warm(tiny_sets);
+        g_sink = g_sink + static_cast<double>(warm.NumTokens());
+      },
+      [&]() {
+        const SeedScanCountIndex index(fixture.indexed);
+        g_sink = g_sink + static_cast<double>(index.NumTokens());
+      });
+  ForkedPeakRssKb(
+      "rss_csr_build",
+      [&]() {
+        const sparsenn::ScanCountIndex warm(tiny_sets);
+        g_sink = g_sink + static_cast<double>(warm.NumTokens());
+      },
+      [&]() {
+        const sparsenn::ScanCountIndex index(fixture.indexed);
+        g_sink = g_sink + static_cast<double>(index.NumTokens());
+      });
+  ForkedPeakRssKb(
+      "rss_rankmap_build_legacy",
+      [&]() { g_sink = g_sink + static_cast<double>(LegacyRankMapBuild(tiny_sets)); },
+      [&]() {
+        g_sink = g_sink + static_cast<double>(LegacyRankMapBuild(fixture.indexed));
+      });
+  ForkedPeakRssKb(
+      "rss_rankmap_build",
+      [&]() {
+        const sparsenn::TokenRankMap warm(tiny_sets);
+        g_sink = g_sink + static_cast<double>(warm.NumRanked());
+      },
+      [&]() {
+        const sparsenn::TokenRankMap ranks(fixture.indexed);
+        g_sink = g_sink + static_cast<double>(ranks.NumRanked());
+      });
+  blocking::BuilderConfig qgrams;
+  qgrams.kind = blocking::BuilderKind::kQGrams;
+  ForkedPeakRssKb(
+      "rss_block_build_qg_legacy",
+      [&]() {
+        const auto warm =
+            LegacyBuildBlocks(tiny_dataset, core::SchemaMode::kAgnostic, qgrams);
+        g_sink = g_sink + static_cast<double>(warm.size());
+      },
+      [&]() {
+        const auto blocks =
+            LegacyBuildBlocks(dataset, core::SchemaMode::kAgnostic, qgrams);
+        g_sink = g_sink + static_cast<double>(blocks.size());
+      });
+  ForkedPeakRssKb(
+      "rss_block_build_qg",
+      [&]() {
+        const auto warm = blocking::BuildBlocks(
+            tiny_dataset, core::SchemaMode::kAgnostic, qgrams);
+        g_sink = g_sink + static_cast<double>(warm.size());
+      },
+      [&]() {
+        const auto blocks =
+            blocking::BuildBlocks(dataset, core::SchemaMode::kAgnostic, qgrams);
+        g_sink = g_sink + static_cast<double>(blocks.size());
+      });
+  const blocking::BuilderConfig standard_cfg;
+  ForkedPeakRssKb(
+      "rss_block_build_std_legacy",
+      [&]() {
+        const auto warm = LegacyBuildBlocks(
+            tiny_dataset, core::SchemaMode::kAgnostic, standard_cfg);
+        g_sink = g_sink + static_cast<double>(warm.size());
+      },
+      [&]() {
+        const auto blocks = LegacyBuildBlocks(
+            dataset, core::SchemaMode::kAgnostic, standard_cfg);
+        g_sink = g_sink + static_cast<double>(blocks.size());
+      });
+  ForkedPeakRssKb(
+      "rss_block_build_std",
+      [&]() {
+        const auto warm = blocking::BuildBlocks(
+            tiny_dataset, core::SchemaMode::kAgnostic, standard_cfg);
+        g_sink = g_sink + static_cast<double>(warm.size());
+      },
+      [&]() {
+        const auto blocks = blocking::BuildBlocks(
+            dataset, core::SchemaMode::kAgnostic, standard_cfg);
+        g_sink = g_sink + static_cast<double>(blocks.size());
+      });
 }
 
 // --- reporting -------------------------------------------------------------
@@ -530,6 +999,27 @@ std::vector<Speedup> ComputeSpeedups() {
   speedups.push_back({"knn_probe_prefix_k10",
                       ratio(NsPerOp("knn_probe_unfiltered_k10"),
                             NsPerOp("knn_probe_prefix_k10"))});
+
+  // PR 8 headline: the build-path substrate (flat dictionaries + columnar
+  // profile store + chunked two-pass builds) against the reproduced pre-PR
+  // builds, geomeaned over every build cell.
+  double build_log_sum = 0.0;
+  std::size_t build_cells = 0;
+  for (const char* cell : {"tokenize", "rankmap_build", "csr_build",
+                           "block_build_std", "block_build_qg"}) {
+    const double factor =
+        ratio(NsPerOp(std::string(cell) + "_legacy"), NsPerOp(cell));
+    speedups.push_back({std::string("build_") + cell, factor});
+    if (factor > 0.0) {
+      build_log_sum += std::log(factor);
+      ++build_cells;
+    }
+  }
+  speedups.push_back(
+      {"build_geomean",
+       build_cells > 0
+           ? std::exp(build_log_sum / static_cast<double>(build_cells))
+           : 0.0});
   return speedups;
 }
 
@@ -549,7 +1039,12 @@ void WriteJson(const std::string& path, const std::vector<Speedup>& speedups) {
                  static_cast<unsigned long long>(m.ops),
                  i + 1 < g_measurements.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"speedups\": {\n");
+  std::fprintf(f, "  ],\n  \"peak_rss_kb\": {\n");
+  for (std::size_t i = 0; i < g_rss.size(); ++i) {
+    std::fprintf(f, "    \"%s\": %ld%s\n", g_rss[i].name.c_str(), g_rss[i].kb,
+                 i + 1 < g_rss.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n  \"speedups\": {\n");
   for (std::size_t i = 0; i < speedups.size(); ++i) {
     std::fprintf(f, "    \"%s\": %.2f%s\n", speedups[i].name.c_str(),
                  speedups[i].factor, i + 1 < speedups.size() ? "," : "");
@@ -574,10 +1069,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  const core::Dataset dataset = datagen::Generate(datagen::PaperSpec(2));
+  const SparseFixture fixture = BuildSparseFixture(dataset);
+  BenchBuildRss(dataset, fixture);
   BenchDenseKernels();
-  const SparseFixture fixture = BuildSparseFixture();
   BenchSparseProbes(fixture);
-  BenchCsrBuild(fixture);
+  BenchBuildCells(dataset, fixture);
 
   const auto speedups = ComputeSpeedups();
   std::printf("speedups (baseline / optimized):\n");

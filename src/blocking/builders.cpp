@@ -2,22 +2,27 @@
 
 #include <algorithm>
 #include <bit>
-#include <unordered_map>
 
+#include "common/buildpar.hpp"
+#include "common/flat_dict.hpp"
+#include "common/parallel.hpp"
 #include "common/strings.hpp"
+#include "core/profile_store.hpp"
+#include "obs/trace.hpp"
 
 namespace erb::blocking {
 namespace {
 
-// Appends the q-grams of `token`; a token shorter than q is its own q-gram,
-// as in JedAI, so short identifiers are not lost.
-void AppendQGrams(std::string_view token, int q, std::vector<std::string>* out) {
+// Appends the q-grams of `token` as views; a token shorter than q is its own
+// q-gram, as in JedAI, so short identifiers are not lost.
+void AppendQGrams(std::string_view token, int q,
+                  std::vector<std::string_view>* out) {
   if (static_cast<int>(token.size()) <= q) {
-    out->emplace_back(token);
+    out->push_back(token);
     return;
   }
   for (std::size_t i = 0; i + q <= token.size(); ++i) {
-    out->emplace_back(token.substr(i, q));
+    out->push_back(token.substr(i, q));
   }
 }
 
@@ -25,58 +30,166 @@ void AppendQGrams(std::string_view token, int q, std::vector<std::string>* out) 
 // L = max(1, floor(k * t)) of the token's k q-grams, preserving order.
 // k is capped to keep the number of combinations bounded (JedAI applies the
 // same safeguard); with t >= 0.8 the combination count stays small.
+// Keys are appended to the scratch arena with their (offset, length) spans
+// recorded; the arena may reallocate while growing, so views are only cut
+// once every token has been processed.
 void AppendExtendedQGrams(std::string_view token, int q, double t,
-                          std::vector<std::string>* out) {
-  std::vector<std::string> grams;
-  AppendQGrams(token, q, &grams);
+                          KeyScratch* scratch) {
+  scratch->grams.clear();
+  AppendQGrams(token, q, &scratch->grams);
   constexpr std::size_t kMaxGrams = 10;
-  if (grams.size() > kMaxGrams) grams.resize(kMaxGrams);
-  const int k = static_cast<int>(grams.size());
+  if (scratch->grams.size() > kMaxGrams) scratch->grams.resize(kMaxGrams);
+  const int k = static_cast<int>(scratch->grams.size());
   const int l = std::max(1, static_cast<int>(k * t));
+  std::string& arena = scratch->extended;
   if (l >= k) {
     // Only the full concatenation qualifies.
-    std::string key;
-    for (const auto& g : grams) {
-      if (!key.empty()) key += '_';
-      key += g;
+    const std::size_t start = arena.size();
+    for (const auto& g : scratch->grams) {
+      if (arena.size() > start) arena += '_';
+      arena += g;
     }
-    out->push_back(std::move(key));
+    scratch->spans.emplace_back(start, arena.size() - start);
     return;
   }
   // Enumerate subsets of size >= l via bitmask (k <= 10 so at most 1024).
   for (std::uint32_t mask = 1; mask < (1u << k); ++mask) {
     if (static_cast<int>(std::popcount(mask)) < l) continue;
-    std::string key;
+    const std::size_t start = arena.size();
     for (int bit = 0; bit < k; ++bit) {
       if (!(mask & (1u << bit))) continue;
-      if (!key.empty()) key += '_';
-      key += grams[static_cast<std::size_t>(bit)];
+      if (arena.size() > start) arena += '_';
+      arena += scratch->grams[static_cast<std::size_t>(bit)];
     }
-    out->push_back(std::move(key));
+    scratch->spans.emplace_back(start, arena.size() - start);
   }
 }
 
 // Suffix Arrays: every suffix of the token of length >= l_min (including the
 // token itself).
 void AppendSuffixes(std::string_view token, int l_min,
-                    std::vector<std::string>* out) {
+                    std::vector<std::string_view>* out) {
   const int n = static_cast<int>(token.size());
   if (n < l_min) return;
   for (int start = 0; start + l_min <= n; ++start) {
-    out->emplace_back(token.substr(static_cast<std::size_t>(start)));
+    out->push_back(token.substr(static_cast<std::size_t>(start)));
   }
 }
 
 // Extended Suffix Arrays: every substring of length >= l_min.
 void AppendSubstrings(std::string_view token, int l_min,
-                      std::vector<std::string>* out) {
+                      std::vector<std::string_view>* out) {
   const int n = static_cast<int>(token.size());
   for (int len = l_min; len <= n; ++len) {
     for (int start = 0; start + len <= n; ++start) {
-      out->emplace_back(token.substr(static_cast<std::size_t>(start),
-                                     static_cast<std::size_t>(len)));
+      out->push_back(token.substr(static_cast<std::size_t>(start),
+                                  static_cast<std::size_t>(len)));
     }
   }
+}
+
+// Chunked two-pass block build, used when the pool is effectively parallel.
+// The unified entity range [0, n1) ++ [0, n2) is cut into the fixed
+// kBuildChunks chunks; each chunk groups its own entities' keys under a
+// private flat string dict, members in ascending entity order.
+BlockCollection BuildBlocksChunked(const core::ProfileStore& store1,
+                                   const core::ProfileStore& store2,
+                                   std::size_t n1, std::size_t n,
+                                   const BuilderConfig& config) {
+  struct Chunk {
+    StringDict dict;            // key -> local block id
+    std::vector<Block> blocks;  // local first-appearance order
+  };
+  const std::size_t grain = BuildGrain(n);
+  std::vector<Chunk> chunks(NumBuildChunks(n));
+  ParallelFor(0, n, grain, [&](std::size_t begin, std::size_t end) {
+    Chunk& chunk = chunks[begin / grain];
+    KeyScratch scratch;
+    for (std::size_t i = begin; i < end; ++i) {
+      const int side = i < n1 ? 0 : 1;
+      const core::EntityId id =
+          static_cast<core::EntityId>(side == 0 ? i : i - n1);
+      const std::string_view text =
+          side == 0 ? store1.Text(id) : store2.Text(id);
+      ExtractKeysInto(text, config, &scratch);
+      for (const std::string_view key : scratch.keys) {
+        const std::uint32_t next =
+            static_cast<std::uint32_t>(chunk.blocks.size());
+        const std::uint32_t local = chunk.dict.FindOrAssign(key);
+        if (local == next) chunk.blocks.emplace_back();
+        Block& block = chunk.blocks[local];
+        (side == 0 ? block.e1 : block.e2).push_back(id);
+      }
+    }
+  });
+
+  // Merge in ascending chunk order: a key's global block id is its first
+  // appearance in the earliest chunk holding it, and per-block members
+  // concatenate in chunk order — exactly the id assignment and member order
+  // (both sides ascending by entity id) of a sequential scan, at any
+  // ERB_THREADS.
+  std::size_t keys_upper = 0, bytes_upper = 0;
+  std::uint64_t rehashes = 0;
+  for (const Chunk& chunk : chunks) {
+    keys_upper += chunk.dict.NumKeys();
+    bytes_upper += chunk.dict.ArenaBytes();
+    rehashes += chunk.dict.rehashes();
+  }
+  BlockCollection blocks;
+  StringDict key_to_block;
+  key_to_block.Reserve(keys_upper, bytes_upper);
+  for (Chunk& chunk : chunks) {
+    for (std::uint32_t local = 0;
+         local < static_cast<std::uint32_t>(chunk.blocks.size()); ++local) {
+      const std::uint32_t next = static_cast<std::uint32_t>(blocks.size());
+      const std::uint32_t gid = key_to_block.FindOrAssign(chunk.dict.Key(local));
+      if (gid == next) blocks.emplace_back();
+      Block& into = blocks[gid];
+      Block& from = chunk.blocks[local];
+      into.e1.insert(into.e1.end(), from.e1.begin(), from.e1.end());
+      into.e2.insert(into.e2.end(), from.e2.begin(), from.e2.end());
+    }
+    std::vector<Block>().swap(chunk.blocks);  // drop the chunk's copy eagerly
+  }
+  obs::CounterAdd("build.chunks_merged", chunks.size());
+  obs::CounterAdd("build.dict_rehashes", rehashes + key_to_block.rehashes());
+  return blocks;
+}
+
+// Sequential block build, used when the pool is effectively single-threaded:
+// one global string dict, blocks in key first-appearance order, members
+// pushed in ascending entity order — exactly the collection the chunked
+// merge reproduces, without private dictionaries or a merge pass. Text is
+// streamed one entity at a time (EntityText reuses the same allocator chunk
+// every iteration), not materialized into the per-side columnar arenas the
+// chunked path needs for shared read-only access — the sequential build's
+// peak memory is the key dictionary and the blocks, nothing else.
+BlockCollection BuildBlocksSequential(const core::Dataset& dataset,
+                                      core::SchemaMode mode,
+                                      const BuilderConfig& config) {
+  BlockCollection blocks;
+  StringDict key_to_block;
+  KeyScratch scratch;
+  std::size_t n = 0;
+  for (int side = 0; side < 2; ++side) {
+    const std::size_t count =
+        (side == 0 ? dataset.e1() : dataset.e2()).size();
+    n += count;
+    for (core::EntityId id = 0; id < count; ++id) {
+      const std::string text = dataset.EntityText(side, id, mode);
+      ExtractKeysInto(text, config, &scratch);
+      for (const std::string_view key : scratch.keys) {
+        const std::uint32_t next = static_cast<std::uint32_t>(blocks.size());
+        const std::uint32_t gid = key_to_block.FindOrAssign(key);
+        if (gid == next) blocks.emplace_back();
+        Block& block = blocks[gid];
+        (side == 0 ? block.e1 : block.e2).push_back(id);
+      }
+    }
+  }
+  obs::CounterAdd("build.chunks_merged", NumBuildChunks(n));
+  obs::CounterAdd("build.dict_rehashes", key_to_block.rehashes());
+  return blocks;
 }
 
 }  // namespace
@@ -92,53 +205,79 @@ std::string_view BuilderName(BuilderKind kind) {
   return "unknown";
 }
 
-std::vector<std::string> ExtractKeys(std::string_view text,
-                                     const BuilderConfig& config) {
-  std::vector<std::string> keys;
-  const std::vector<std::string> tokens = SplitWhitespace(NormalizeText(text));
-  for (const auto& token : tokens) {
+void ExtractKeysInto(std::string_view text, const BuilderConfig& config,
+                     KeyScratch* scratch) {
+  scratch->keys.clear();
+  scratch->extended.clear();
+  scratch->spans.clear();
+  NormalizeTextInto(text, &scratch->normalized);
+  // Normalization maps every non-alphanumeric byte to ' ', so a space scan
+  // is exactly SplitWhitespace over the normalized text — token views point
+  // into the scratch buffer, no per-token strings.
+  const std::string_view norm = scratch->normalized;
+  std::size_t i = 0;
+  while (i < norm.size()) {
+    while (i < norm.size() && norm[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < norm.size() && norm[j] != ' ') ++j;
+    if (j == i) break;
+    const std::string_view token = norm.substr(i, j - i);
     switch (config.kind) {
       case BuilderKind::kStandard:
-        keys.push_back(token);
+        scratch->keys.push_back(token);
         break;
       case BuilderKind::kQGrams:
-        AppendQGrams(token, config.q, &keys);
+        AppendQGrams(token, config.q, &scratch->keys);
         break;
       case BuilderKind::kExtendedQGrams:
-        AppendExtendedQGrams(token, config.q, config.t, &keys);
+        AppendExtendedQGrams(token, config.q, config.t, scratch);
         break;
       case BuilderKind::kSuffixArrays:
-        AppendSuffixes(token, config.l_min, &keys);
+        AppendSuffixes(token, config.l_min, &scratch->keys);
         break;
       case BuilderKind::kExtendedSuffixArrays:
-        AppendSubstrings(token, config.l_min, &keys);
+        AppendSubstrings(token, config.l_min, &scratch->keys);
         break;
     }
+    i = j;
+  }
+  // Extended Q-Grams keys live in the arena; cut their views only now that
+  // the arena has stopped growing.
+  for (const auto& [offset, length] : scratch->spans) {
+    scratch->keys.push_back(
+        std::string_view(scratch->extended).substr(offset, length));
   }
   // Each distinct key indexes the entity once.
-  std::sort(keys.begin(), keys.end());
-  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-  return keys;
+  std::sort(scratch->keys.begin(), scratch->keys.end());
+  scratch->keys.erase(
+      std::unique(scratch->keys.begin(), scratch->keys.end()),
+      scratch->keys.end());
+}
+
+std::vector<std::string> ExtractKeys(std::string_view text,
+                                     const BuilderConfig& config) {
+  KeyScratch scratch;
+  ExtractKeysInto(text, config, &scratch);
+  return std::vector<std::string>(scratch.keys.begin(), scratch.keys.end());
 }
 
 BlockCollection BuildBlocks(const core::Dataset& dataset, core::SchemaMode mode,
                             const BuilderConfig& config) {
+  // Columnar text per side: key extraction reads views into one arena per
+  // side instead of materializing a std::string per entity. The chunked
+  // build needs both sides resident (chunks straddle the side boundary and
+  // run concurrently); the sequential build scopes one arena at a time.
   BlockCollection blocks;
-  std::unordered_map<std::string, std::size_t> key_to_block;
-
-  auto index_side = [&](int side, std::size_t count) {
-    for (core::EntityId id = 0; id < count; ++id) {
-      const std::string text = dataset.EntityText(side, id, mode);
-      for (auto& key : ExtractKeys(text, config)) {
-        auto [it, inserted] = key_to_block.try_emplace(std::move(key), blocks.size());
-        if (inserted) blocks.emplace_back();
-        Block& block = blocks[it->second];
-        (side == 0 ? block.e1 : block.e2).push_back(id);
-      }
-    }
-  };
-  index_side(0, dataset.e1().size());
-  index_side(1, dataset.e2().size());
+  if (UseChunkedBuild()) {
+    const core::ProfileStore store1 =
+        core::ProfileStore::ForSide(dataset, 0, mode);
+    const core::ProfileStore store2 =
+        core::ProfileStore::ForSide(dataset, 1, mode);
+    const std::size_t n1 = store1.size();
+    blocks = BuildBlocksChunked(store1, store2, n1, n1 + store2.size(), config);
+  } else {
+    blocks = BuildBlocksSequential(dataset, mode, config);
+  }
 
   const bool proactive = config.kind == BuilderKind::kSuffixArrays ||
                          config.kind == BuilderKind::kExtendedSuffixArrays;

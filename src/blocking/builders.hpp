@@ -6,8 +6,10 @@
 // into blocks.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "blocking/block.hpp"
@@ -44,6 +46,24 @@ struct BuilderConfig {
 /// \param config Builder kind and its parameters.
 std::vector<std::string> ExtractKeys(std::string_view text,
                                      const BuilderConfig& config);
+
+/// \brief Reusable buffers for ExtractKeysInto. The normalized text and (for
+///        Extended Q-Grams) the concatenated-key arena back the key views and
+///        keep their capacity across calls, so a per-entity extraction loop
+///        settles into zero allocations per entity.
+struct KeyScratch {
+  std::string normalized;  ///< normalized text the key views point into
+  std::string extended;    ///< arena for concatenated Extended Q-Grams keys
+  std::vector<std::pair<std::size_t, std::size_t>> spans;  ///< arena (off, len)
+  std::vector<std::string_view> grams;  ///< per-token gram scratch
+  std::vector<std::string_view> keys;   ///< result: sorted, deduplicated
+};
+
+/// \brief Allocation-avoiding ExtractKeys: fills scratch->keys with views
+///        into the scratch buffers. The views are invalidated by the next
+///        call (or by destroying the scratch).
+void ExtractKeysInto(std::string_view text, const BuilderConfig& config,
+                     KeyScratch* scratch);
 
 /// \brief Builds the block collection of `dataset` under `mode`.
 ///

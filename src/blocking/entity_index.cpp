@@ -1,38 +1,124 @@
 #include "blocking/entity_index.hpp"
 
+#include "common/buildpar.hpp"
+#include "common/parallel.hpp"
+#include "obs/trace.hpp"
+
 namespace erb::blocking {
 
 EntityBlockIndex::EntityBlockIndex(const BlockCollection& blocks,
                                    std::size_t n1, std::size_t n2)
     : blocks_(&blocks), n1_(n1), n2_(n2) {
-  // Pass 1: count E1 assignments per entity and E2 members per block.
+  const std::size_t nb = blocks.size();
   e1_offsets_.assign(n1 + 1, 0);
   e2_block_counts_.assign(n2, 0);
-  b2_offsets_.assign(blocks.size() + 1, 0);
-  std::size_t total_members2 = 0;
-  for (std::uint32_t b = 0; b < blocks.size(); ++b) {
-    for (core::EntityId id : blocks[b].e1) ++e1_offsets_[id + 1];
-    for (core::EntityId id : blocks[b].e2) ++e2_block_counts_[id];
-    total_members2 += blocks[b].e2.size();
-    b2_offsets_[b + 1] = static_cast<std::uint32_t>(total_members2);
-  }
-  for (std::size_t i = 0; i < n1; ++i) e1_offsets_[i + 1] += e1_offsets_[i];
+  b2_offsets_.assign(nb + 1, 0);
 
-  // Pass 2: fill. Iterating blocks in ascending id keeps every entity's
-  // block-id run ascending — the order the ARCS accumulator and the pair
-  // streamer's floating-point sums are pinned to.
-  e1_blocks_.resize(e1_offsets_[n1]);
-  b2_members_.resize(total_members2);
-  inv_comparisons_.resize(blocks.size());
-  std::vector<std::uint32_t> cursor(e1_offsets_.begin(),
-                                    e1_offsets_.end() - 1);
-  for (std::uint32_t b = 0; b < blocks.size(); ++b) {
-    for (core::EntityId id : blocks[b].e1) e1_blocks_[cursor[id]++] = b;
-    std::copy(blocks[b].e2.begin(), blocks[b].e2.end(),
-              b2_members_.begin() + b2_offsets_[b]);
-    inv_comparisons_[b] =
-        1.0 / static_cast<double>(blocks[b].Comparisons());
+  const std::size_t grain = BuildGrain(nb);
+  const std::size_t num_chunks = NumBuildChunks(nb);
+
+  if (!UseChunkedBuild()) {
+    // Sequential fast path (single-threaded pool): count straight into the
+    // offset arrays — no per-chunk partials, one cursor array for the fill.
+    // The block scan order is the order the chunked segments concatenate in,
+    // so the CSR is byte-identical either way.
+    for (std::size_t b = 0; b < nb; ++b) {
+      for (core::EntityId id : blocks[b].e1) ++e1_offsets_[id + 1];
+      for (core::EntityId id : blocks[b].e2) ++e2_block_counts_[id];
+      b2_offsets_[b + 1] = static_cast<std::uint32_t>(blocks[b].e2.size());
+    }
+    for (std::size_t i = 0; i < n1; ++i) e1_offsets_[i + 1] += e1_offsets_[i];
+    for (std::size_t b = 0; b < nb; ++b) b2_offsets_[b + 1] += b2_offsets_[b];
+
+    e1_blocks_.resize(e1_offsets_[n1]);
+    b2_members_.resize(b2_offsets_[nb]);
+    inv_comparisons_.resize(nb);
+    std::vector<std::uint32_t> cursor(e1_offsets_.begin(),
+                                      e1_offsets_.end() - 1);
+    for (std::size_t b = 0; b < nb; ++b) {
+      for (core::EntityId id : blocks[b].e1) {
+        e1_blocks_[cursor[id]++] = static_cast<std::uint32_t>(b);
+      }
+      std::copy(blocks[b].e2.begin(), blocks[b].e2.end(),
+                b2_members_.begin() + b2_offsets_[b]);
+      inv_comparisons_[b] = 1.0 / static_cast<double>(blocks[b].Comparisons());
+    }
+    obs::CounterAdd("build.chunks_merged", num_chunks);
+    return;
   }
+
+  // Pass 1 (parallel): each chunk of blocks counts E1 assignments and E2
+  // memberships per entity into private arrays; the fixed chunk count
+  // (kBuildChunks) bounds the transient memory and keeps the decomposition
+  // independent of ERB_THREADS.
+  std::vector<std::vector<std::uint32_t>> counts1(num_chunks);
+  std::vector<std::vector<std::uint32_t>> counts2(num_chunks);
+  ParallelFor(0, nb, grain, [&](std::size_t begin, std::size_t end) {
+    const std::size_t c = begin / grain;
+    counts1[c].assign(n1, 0);
+    counts2[c].assign(n2, 0);
+    for (std::size_t b = begin; b < end; ++b) {
+      for (core::EntityId id : blocks[b].e1) ++counts1[c][id];
+      for (core::EntityId id : blocks[b].e2) ++counts2[c][id];
+      b2_offsets_[b + 1] = static_cast<std::uint32_t>(blocks[b].e2.size());
+    }
+  });
+
+  // Fold the chunk partials (each entity's column is independent) and turn
+  // each chunk's E1 count into its pass-2 write cursor: chunk c's block ids
+  // for an entity start where the prior chunks' ids for it end.
+  ParallelFor(0, n1, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t id = begin; id < end; ++id) {
+      std::uint32_t sum = 0;
+      for (std::size_t c = 0; c < num_chunks; ++c) sum += counts1[c][id];
+      e1_offsets_[id + 1] = sum;
+    }
+  });
+  ParallelFor(0, n2, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t id = begin; id < end; ++id) {
+      std::uint32_t sum = 0;
+      for (std::size_t c = 0; c < num_chunks; ++c) sum += counts2[c][id];
+      e2_block_counts_[id] = sum;
+    }
+  });
+  for (std::size_t i = 0; i < n1; ++i) e1_offsets_[i + 1] += e1_offsets_[i];
+  for (std::size_t b = 0; b < nb; ++b) b2_offsets_[b + 1] += b2_offsets_[b];
+  ParallelFor(0, n1, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t id = begin; id < end; ++id) {
+      std::uint32_t cursor = e1_offsets_[id];
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        const std::uint32_t count = counts1[c][id];
+        counts1[c][id] = cursor;
+        cursor += count;
+      }
+    }
+  });
+
+  // Pass 2 (parallel): fill. Each chunk iterates its blocks in ascending id
+  // and the chunks' segments are ordered, so every entity's block-id run
+  // ascends — the order the ARCS accumulator and the pair streamer's
+  // floating-point sums are pinned to. The E2 member copy and the ARCS
+  // reciprocal write into disjoint per-block segments.
+  e1_blocks_.resize(e1_offsets_[n1]);
+  b2_members_.resize(b2_offsets_[nb]);
+  inv_comparisons_.resize(nb);
+  ParallelFor(0, nb, grain, [&](std::size_t begin, std::size_t end) {
+    auto& cursor = counts1[begin / grain];
+    for (std::size_t b = begin; b < end; ++b) {
+      for (core::EntityId id : blocks[b].e1) {
+        e1_blocks_[cursor[id]++] = static_cast<std::uint32_t>(b);
+      }
+    }
+  });
+  ParallelFor(0, nb, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t b = begin; b < end; ++b) {
+      std::copy(blocks[b].e2.begin(), blocks[b].e2.end(),
+                b2_members_.begin() + b2_offsets_[b]);
+      inv_comparisons_[b] = 1.0 / static_cast<double>(blocks[b].Comparisons());
+    }
+  });
+
+  obs::CounterAdd("build.chunks_merged", num_chunks);
 }
 
 void EntityBlockIndex::EnsureDegrees() const {

@@ -18,11 +18,13 @@ core::CandidateSet SortedNeighborhood(const core::Dataset& dataset,
   std::vector<Entry> entries;
 
   BuilderConfig standard;  // token keys, as Standard Blocking extracts them
+  KeyScratch scratch;
   auto add_side = [&](int side, std::size_t count) {
     for (core::EntityId id = 0; id < count; ++id) {
       const std::string text = dataset.EntityText(side, id, mode);
-      for (auto& key : ExtractKeys(text, standard)) {
-        entries.push_back({std::move(key), id, side});
+      ExtractKeysInto(text, standard, &scratch);
+      for (const std::string_view key : scratch.keys) {
+        entries.push_back({std::string(key), id, side});
       }
     }
   };

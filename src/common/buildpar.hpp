@@ -1,0 +1,48 @@
+// Chunking policy shared by the parallel two-pass index builders
+// (ScanCountIndex, PrefixScanCountIndex, EntityBlockIndex, BuildBlocks,
+// BuildSideTokenSets' rank counting): the input range is cut into at most
+// kBuildChunks equal chunks, each chunk accumulates private partial counts
+// (or a private dictionary), and the partials are merged in ascending chunk
+// order. The chunk count is fixed — never derived from the thread count —
+// so the decomposition, the merge order, and therefore the built index are
+// byte-identical at any ERB_THREADS; it is also deliberately small, so the
+// transient per-chunk count arrays cost a few multiples of the final CSR
+// rather than the runtime's default 64-chunk fan-out.
+//
+// When the pool is effectively single-threaded the chunk decomposition only
+// costs (private dictionaries, merge pass) and never pays, so the builders
+// dispatch on UseChunkedBuild(): at one thread they run a direct sequential
+// build instead. The dispatch cannot change any index — the ascending-chunk
+// merge reproduces the sequential scan's first-appearance numbering exactly,
+// so both strategies yield byte-identical structures (the 1-vs-8-thread
+// differential tests compare precisely these two code paths).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/parallel.hpp"
+
+namespace erb {
+
+/// Maximum chunks a two-pass builder fans out to.
+inline constexpr std::size_t kBuildChunks = 8;
+
+/// True when the chunked two-pass decomposition should run: more than one
+/// pool thread is effective. At one thread the builders take their
+/// byte-identical sequential fast path.
+inline bool UseChunkedBuild() { return NumThreads() > 1; }
+
+/// Grain that cuts [0, n) into at most kBuildChunks equal chunks.
+inline std::size_t BuildGrain(std::size_t n) {
+  return std::max<std::size_t>(1, (n + kBuildChunks - 1) / kBuildChunks);
+}
+
+/// Number of chunks BuildGrain(n) yields over [0, n).
+inline std::size_t NumBuildChunks(std::size_t n) {
+  if (n == 0) return 0;
+  const std::size_t g = BuildGrain(n);
+  return (n + g - 1) / g;
+}
+
+}  // namespace erb

@@ -1,0 +1,262 @@
+// Flat open-addressing dictionaries for the build paths: a 64-bit-key
+// TokenDict and an interning StringDict, both robin-hood tables over one
+// contiguous slot array (power-of-two capacity, load <= 1/2 — the same
+// convention the probe-side token tables follow). Replacing the node-based
+// std::unordered_map occurrence/frequency/key maps with these is what keeps
+// index construction allocation-free per insert: a slot is 16 bytes in one
+// flat array, string keys live in one append-only char arena, and growth is
+// a single rehash instead of a bucket-list rebuild.
+//
+// Robin-hood displacement keeps every probe sequence short and, more
+// importantly here, *bounded-variance*: an insert steals the slot of any
+// richer entry (one closer to its home slot), so worst-case probe lengths
+// stay near the mean even for adversarial key sets. Lookups exploit the
+// invariant for early termination: once the resident entry is richer than
+// the probing key would be, the key is provably absent.
+//
+// Neither table supports deletion (build paths only ever insert), and
+// neither exposes iteration: deterministic consumers must track their own
+// first-appearance order, never the hash order (see the two-pass builders in
+// src/sparsenn/scancount.cpp and src/blocking/builders.cpp).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace erb {
+
+/// Flat robin-hood map from 64-bit token hashes to 32-bit values.
+class TokenDict {
+ public:
+  TokenDict() { slots_.assign(16, Slot{}); }
+
+  /// Pre-sizes the table for `expected` distinct keys (no rehash below it).
+  void Reserve(std::size_t expected) {
+    const std::size_t needed = std::bit_ceil(
+        std::max<std::size_t>(16, expected * 2));
+    if (needed > slots_.size()) Rehash(needed);
+  }
+
+  /// Pointer to the value of `key`, inserting it with value `init` if
+  /// absent. Valid until the next FindOrInsert/Reserve (a rehash moves
+  /// slots).
+  std::uint32_t* FindOrInsert(std::uint64_t key, std::uint32_t init) {
+    if ((size_ + 1) * 2 > slots_.size()) Rehash(slots_.size() * 2);
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t pos = SplitMix64(key) & mask;
+    std::uint32_t dist = 1;
+    for (;; pos = (pos + 1) & mask, ++dist) {
+      Slot& slot = slots_[pos];
+      if (slot.dist == 0) {
+        slot = Slot{key, init, dist};
+        ++size_;
+        return &slot.value;
+      }
+      if (slot.key == key) return &slot.value;
+      if (slot.dist < dist) {
+        // Rich resident: the probing key settles here and the displaced
+        // entry continues the walk (its pointer identity is not needed).
+        Slot carry = slot;
+        slot = Slot{key, init, dist};
+        Displace(carry, pos, mask);
+        ++size_;
+        return &slots_[pos].value;
+      }
+    }
+  }
+
+  /// Pointer to the value of `key`, or nullptr when absent.
+  const std::uint32_t* Find(std::uint64_t key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t pos = SplitMix64(key) & mask;
+    std::uint32_t dist = 1;
+    for (;; pos = (pos + 1) & mask, ++dist) {
+      const Slot& slot = slots_[pos];
+      if (slot.dist < dist) return nullptr;  // empty or richer: absent
+      if (slot.key == key) return &slot.value;
+    }
+  }
+
+  /// The value of a key the caller guarantees is present. The robin-hood
+  /// invariant (every slot between a key's home and its resting position is
+  /// occupied) makes a bare key-compare walk sufficient — no distance
+  /// bookkeeping, the same two-instruction probe loop as a classic linear
+  /// table. Calling this with an absent key is undefined (the walk would
+  /// only stop at a matching slot).
+  std::uint32_t FindPresent(std::uint64_t key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t pos = SplitMix64(key) & mask;
+    while (slots_[pos].key != key) pos = (pos + 1) & mask;
+    return slots_[pos].value;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+  /// Table growths performed so far (the build.dict_rehashes counter feed).
+  std::uint64_t rehashes() const { return rehashes_; }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint32_t value = 0;
+    std::uint32_t dist = 0;  // probe distance + 1; 0 marks an empty slot
+  };
+
+  // Continues a robin-hood walk for an already-displaced entry from the slot
+  // after `pos`.
+  void Displace(Slot carry, std::size_t pos, std::size_t mask) {
+    for (;;) {
+      pos = (pos + 1) & mask;
+      ++carry.dist;
+      Slot& slot = slots_[pos];
+      if (slot.dist == 0) {
+        slot = carry;
+        return;
+      }
+      if (slot.dist < carry.dist) std::swap(slot, carry);
+    }
+  }
+
+  void Rehash(std::size_t capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(capacity, Slot{});
+    const std::size_t mask = capacity - 1;
+    for (const Slot& slot : old) {
+      if (slot.dist == 0) continue;
+      Slot carry{slot.key, slot.value, 1};
+      std::size_t pos = SplitMix64(carry.key) & mask;
+      for (;; pos = (pos + 1) & mask, ++carry.dist) {
+        Slot& dest = slots_[pos];
+        if (dest.dist == 0) {
+          dest = carry;
+          break;
+        }
+        if (dest.dist < carry.dist) std::swap(dest, carry);
+      }
+    }
+    ++rehashes_;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::uint64_t rehashes_ = 0;
+};
+
+/// Flat robin-hood dictionary interning string keys: each distinct key gets
+/// a dense 32-bit id in first-appearance order, and the key bytes live in
+/// one shared arena (one allocation amortized over all keys, instead of an
+/// std::string node per unordered_map entry). Two distinct keys never alias:
+/// slots compare the full key bytes behind the 64-bit hash.
+class StringDict {
+ public:
+  static constexpr std::uint32_t kAbsent = 0xffffffffu;
+
+  StringDict() { slots_.assign(16, Slot{}); }
+
+  /// Pre-sizes for `expected` distinct keys of `bytes` total length.
+  void Reserve(std::size_t expected, std::size_t bytes = 0) {
+    const std::size_t needed = std::bit_ceil(
+        std::max<std::size_t>(16, expected * 2));
+    if (needed > slots_.size()) Rehash(needed);
+    key_offsets_.reserve(expected + 1);
+    if (bytes > 0) arena_.reserve(bytes);
+  }
+
+  /// The dense id of `key`, interning it as the next id when absent.
+  /// Strongly exception-safe: every fallible step (table growth, offset
+  /// capacity, arena append — char copies cannot throw mid-append) happens
+  /// before the first visible mutation, so a throw leaves the dict exactly
+  /// as it was.
+  std::uint32_t FindOrAssign(std::string_view key) {
+    if ((NumKeys() + 1) * 2 > slots_.size()) Rehash(slots_.size() * 2);
+    if (key_offsets_.size() == key_offsets_.capacity()) {
+      key_offsets_.reserve(std::max<std::size_t>(16, key_offsets_.size() * 2));
+    }
+    const std::uint64_t hash = FnvHash64(key);
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t pos = SplitMix64(hash) & mask;
+    std::uint32_t dist = 1;
+    for (;; pos = (pos + 1) & mask, ++dist) {
+      Slot& slot = slots_[pos];
+      if (slot.dist == 0 || slot.dist < dist) break;
+      if (slot.hash == hash && Key(slot.id) == key) return slot.id;
+    }
+    const std::uint32_t id = static_cast<std::uint32_t>(NumKeys());
+    arena_.insert(arena_.end(), key.begin(), key.end());
+    key_offsets_.push_back(arena_.size());  // nothrow: capacity ensured above
+    Slot carry{hash, id, dist};
+    for (;; pos = (pos + 1) & mask, ++carry.dist) {
+      Slot& slot = slots_[pos];
+      if (slot.dist == 0) {
+        slot = carry;
+        break;
+      }
+      if (slot.dist < carry.dist) std::swap(slot, carry);
+    }
+    return id;
+  }
+
+  /// The id of `key`, or kAbsent.
+  std::uint32_t Find(std::string_view key) const {
+    const std::uint64_t hash = FnvHash64(key);
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t pos = SplitMix64(hash) & mask;
+    std::uint32_t dist = 1;
+    for (;; pos = (pos + 1) & mask, ++dist) {
+      const Slot& slot = slots_[pos];
+      if (slot.dist < dist) return kAbsent;
+      if (slot.hash == hash && Key(slot.id) == key) return slot.id;
+    }
+  }
+
+  /// The interned key bytes of id `i` (ids are dense, first-appearance
+  /// ordered). Views stay valid across inserts only until the arena grows;
+  /// treat them as transient.
+  std::string_view Key(std::uint32_t i) const {
+    const std::size_t begin = key_offsets_[i];
+    return std::string_view(arena_.data() + begin, key_offsets_[i + 1] - begin);
+  }
+
+  std::size_t NumKeys() const { return key_offsets_.size() - 1; }
+  std::size_t ArenaBytes() const { return arena_.size(); }
+  std::uint64_t rehashes() const { return rehashes_; }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint32_t id = 0;
+    std::uint32_t dist = 0;  // probe distance + 1; 0 marks an empty slot
+  };
+
+  void Rehash(std::size_t capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(capacity, Slot{});
+    const std::size_t mask = capacity - 1;
+    for (const Slot& slot : old) {
+      if (slot.dist == 0) continue;
+      Slot carry{slot.hash, slot.id, 1};
+      std::size_t pos = SplitMix64(carry.hash) & mask;
+      for (;; pos = (pos + 1) & mask, ++carry.dist) {
+        Slot& dest = slots_[pos];
+        if (dest.dist == 0) {
+          dest = carry;
+          break;
+        }
+        if (dest.dist < carry.dist) std::swap(dest, carry);
+      }
+    }
+    ++rehashes_;
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<char> arena_;
+  std::vector<std::size_t> key_offsets_{0};
+  std::uint64_t rehashes_ = 0;
+};
+
+}  // namespace erb

@@ -65,18 +65,23 @@ bool IsAlnum(std::string_view s) {
   return true;
 }
 
-std::string NormalizeText(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
+void NormalizeTextInto(std::string_view s, std::string* out) {
+  out->clear();
+  out->reserve(s.size());
   for (char c : s) {
     unsigned char uc = static_cast<unsigned char>(c);
     if (std::isalnum(uc)) {
-      out.push_back(uc >= 'A' && uc <= 'Z' ? static_cast<char>(uc - 'A' + 'a')
-                                           : c);
+      out->push_back(uc >= 'A' && uc <= 'Z' ? static_cast<char>(uc - 'A' + 'a')
+                                            : c);
     } else {
-      out.push_back(' ');
+      out->push_back(' ');
     }
   }
+}
+
+std::string NormalizeText(std::string_view s) {
+  std::string out;
+  NormalizeTextInto(s, &out);
   return out;
 }
 

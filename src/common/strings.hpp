@@ -35,4 +35,8 @@ bool IsAlnum(std::string_view s);
 /// JedAI's default text preprocessing.
 std::string NormalizeText(std::string_view s);
 
+/// NormalizeText into a caller-owned buffer whose capacity persists across
+/// calls — the allocation-avoiding form for per-entity loops.
+void NormalizeTextInto(std::string_view s, std::string* out);
+
 }  // namespace erb

@@ -1,0 +1,61 @@
+#include "core/profile_store.hpp"
+
+#include <algorithm>
+
+#include "common/parallel.hpp"
+
+namespace erb::core {
+namespace {
+
+// Length of the text EntityText would produce for `profile`: the sum of the
+// contributing values plus one separator between each adjacent pair. A value
+// contributes exactly when AllValues/ValueOf would include it.
+std::size_t TextLength(const EntityProfile& profile, SchemaMode mode,
+                       std::string_view best_attribute) {
+  std::size_t total = 0;
+  std::size_t parts = 0;
+  for (const auto& attr : profile.attributes) {
+    if (attr.value.empty()) continue;
+    if (mode == SchemaMode::kBased && attr.name != best_attribute) continue;
+    total += attr.value.size();
+    ++parts;
+  }
+  return parts == 0 ? 0 : total + parts - 1;
+}
+
+void WriteText(const EntityProfile& profile, SchemaMode mode,
+               std::string_view best_attribute, char* out) {
+  bool first = true;
+  for (const auto& attr : profile.attributes) {
+    if (attr.value.empty()) continue;
+    if (mode == SchemaMode::kBased && attr.name != best_attribute) continue;
+    if (!first) *out++ = ' ';
+    out = std::copy(attr.value.begin(), attr.value.end(), out);
+    first = false;
+  }
+}
+
+}  // namespace
+
+ProfileStore::ProfileStore(const std::vector<EntityProfile>& profiles,
+                           SchemaMode mode, std::string_view best_attribute) {
+  const std::size_t n = profiles.size();
+  offsets_.assign(n + 1, 0);
+  // Pass 1: per-entity lengths (independent slots), then one prefix sum.
+  ParallelFor(0, n, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      offsets_[i + 1] = TextLength(profiles[i], mode, best_attribute);
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) offsets_[i + 1] += offsets_[i];
+
+  // Pass 2: write every entity's bytes into its precomputed segment.
+  arena_.resize(offsets_[n]);
+  ParallelFor(0, n, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      WriteText(profiles[i], mode, best_attribute, arena_.data() + offsets_[i]);
+    }
+  });
+}
+
+}  // namespace erb::core

@@ -1,0 +1,58 @@
+// Columnar text store over entity profiles: the textual representation of
+// every entity under one schema mode, materialized exactly once into a
+// contiguous char arena with an offsets column. Build loops that used to
+// call Dataset::EntityText per entity (allocating and destroying one
+// std::string each) instead walk string_views into the arena — one big
+// allocation per side instead of one per entity, sequential access order,
+// and the text bytes stay resident for every later pass over the same side
+// (tokenization, key extraction, probes).
+//
+// The produced text is byte-identical to EntityText/AllValues/ValueOf for
+// every entity, which is what keeps the candidates emitted by the converted
+// build paths byte-identical to the pre-columnar ones.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/entity.hpp"
+
+namespace erb::core {
+
+/// Columnar (arena + offsets) store of per-entity text under one SchemaMode.
+class ProfileStore {
+ public:
+  ProfileStore() = default;
+
+  /// Builds the text column over `profiles` (parallel over entities; the
+  /// chunk decomposition never affects the bytes — every entity's segment is
+  /// written independently at a precomputed offset).
+  ProfileStore(const std::vector<EntityProfile>& profiles, SchemaMode mode,
+               std::string_view best_attribute);
+
+  /// The text column of one dataset side (0 = E1, 1 = E2).
+  static ProfileStore ForSide(const Dataset& dataset, int side,
+                              SchemaMode mode) {
+    return ProfileStore(side == 0 ? dataset.e1() : dataset.e2(), mode,
+                        dataset.best_attribute());
+  }
+
+  /// Number of entities in the column.
+  std::size_t size() const { return offsets_.size() - 1; }
+
+  /// The text of entity `id`; valid as long as the store lives.
+  std::string_view Text(EntityId id) const {
+    const std::uint64_t begin = offsets_[id];
+    return std::string_view(arena_.data() + begin, offsets_[id + 1] - begin);
+  }
+
+  /// Total text bytes held by the arena.
+  std::size_t ArenaBytes() const { return arena_.size(); }
+
+ private:
+  std::vector<std::uint64_t> offsets_{0};
+  std::vector<char> arena_;
+};
+
+}  // namespace erb::core

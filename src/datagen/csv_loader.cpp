@@ -3,8 +3,8 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_map>
 
+#include "common/flat_dict.hpp"
 #include "core/schema.hpp"
 
 namespace erb::datagen {
@@ -56,10 +56,11 @@ bool ReadCsvRecord(std::istream& in, std::vector<std::string>* fields) {
   return true;
 }
 
-// Loads one side: returns profiles plus a map from external id to EntityId.
-std::vector<core::EntityProfile> LoadSide(
-    const std::string& path,
-    std::unordered_map<std::string, core::EntityId>* id_map) {
+// Loads one side: returns profiles plus an interning dictionary from external
+// id to EntityId (StringDict ids are dense in first-appearance order, which
+// is exactly the record order here).
+std::vector<core::EntityProfile> LoadSide(const std::string& path,
+                                          StringDict* id_map) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open CSV file: " + path);
 
@@ -78,9 +79,8 @@ std::vector<core::EntityProfile> LoadSide(
       profile.attributes.push_back(
           {header[i], i < fields.size() ? fields[i] : std::string()});
     }
-    const auto [it, inserted] = id_map->emplace(
-        fields[0], static_cast<core::EntityId>(profiles.size()));
-    if (!inserted) {
+    const auto next = static_cast<std::uint32_t>(profiles.size());
+    if (id_map->FindOrAssign(fields[0]) != next) {
       throw std::runtime_error("duplicate record id '" + fields[0] + "' in " +
                                path);
     }
@@ -102,8 +102,8 @@ core::Dataset LoadCsvDataset(const std::string& name, const std::string& e1_path
                              const std::string& e2_path,
                              const std::string& groundtruth_path,
                              std::string best_attribute) {
-  std::unordered_map<std::string, core::EntityId> ids1;
-  std::unordered_map<std::string, core::EntityId> ids2;
+  StringDict ids1;
+  StringDict ids2;
   auto e1 = LoadSide(e1_path, &ids1);
   auto e2 = LoadSide(e2_path, &ids2);
 
@@ -114,9 +114,9 @@ core::Dataset LoadCsvDataset(const std::string& name, const std::string& e1_path
   bool first = true;
   while (ReadCsvRecord(gt, &fields)) {
     if (fields.size() < 2) continue;
-    auto it1 = ids1.find(fields[0]);
-    auto it2 = ids2.find(fields[1]);
-    if (it1 == ids1.end() || it2 == ids2.end()) {
+    const std::uint32_t id1 = ids1.Find(fields[0]);
+    const std::uint32_t id2 = ids2.Find(fields[1]);
+    if (id1 == StringDict::kAbsent || id2 == StringDict::kAbsent) {
       // Tolerate a header row; anything else is a data error.
       if (first) {
         first = false;
@@ -126,7 +126,8 @@ core::Dataset LoadCsvDataset(const std::string& name, const std::string& e1_path
                                fields[0] + ", " + fields[1]);
     }
     first = false;
-    duplicates.emplace_back(it1->second, it2->second);
+    duplicates.emplace_back(static_cast<core::EntityId>(id1),
+                            static_cast<core::EntityId>(id2));
   }
 
   core::Dataset dataset(name, std::move(e1), std::move(e2), std::move(duplicates),

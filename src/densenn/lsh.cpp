@@ -195,6 +195,9 @@ DenseResult RunAngularLsh(const core::Dataset& dataset, core::SchemaMode mode,
 
   std::vector<BucketMap> buckets(static_cast<std::size_t>(config.tables));
   result.timing.Measure(kPhaseIndex, [&] {
+    // Each table holds at most one bucket per indexed vector: pre-sizing to
+    // that cardinality makes the build insert-only (no mid-build rehash).
+    for (auto& table : buckets) table.reserve(vectors1.size());
     for (core::EntityId id = 0; id < vectors1.size(); ++id) {
       for (int t = 0; t < config.tables; ++t) {
         buckets[static_cast<std::size_t>(t)][index_keys(vectors1[id], t)]
@@ -291,6 +294,8 @@ std::vector<ProbeSweepPoint> SweepAngularProbes(
   };
 
   std::vector<BucketMap> buckets(static_cast<std::size_t>(config.tables));
+  // At most one bucket per indexed vector per table (see RunAngularLsh).
+  for (auto& table : buckets) table.reserve(indexed.size());
   for (core::EntityId id = 0; id < indexed.size(); ++id) {
     for (int t = 0; t < config.tables; ++t) {
       buckets[static_cast<std::size_t>(t)][index_key(indexed[id], t)].push_back(id);

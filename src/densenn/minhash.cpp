@@ -82,7 +82,9 @@ DenseResult MinHashLsh(const core::Dataset& dataset, core::SchemaMode mode,
   result.timing.Measure(kPhaseIndex, [&] {
     // Signatures (the expensive part) are computed in parallel; the bucket
     // inserts stay sequential in ascending id so every bucket's id list is
-    // identical at any thread count.
+    // identical at any thread count. Each band holds at most one bucket per
+    // indexed entity: pre-sizing makes the insert loop rehash-free.
+    for (auto& buckets : band_buckets) buckets.reserve(shingles1.size());
     std::vector<std::vector<std::uint64_t>> band_keys(shingles1.size());
     ParallelFor(0, shingles1.size(), /*grain=*/0,
                 [&](std::size_t begin, std::size_t end) {

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <unordered_map>
 
+#include "common/flat_dict.hpp"
+#include "common/parallel.hpp"
+#include "core/profile_store.hpp"
 #include "densenn/embedding.hpp"
 #include "obs/trace.hpp"
 #include "text/clean.hpp"
@@ -25,17 +27,25 @@ struct DirtyBlock {
   }
 };
 
+// Columnar text store over a dirty dataset (byte-identical to EntityText).
+core::ProfileStore StoreFor(const DirtyDataset& dataset, core::SchemaMode mode) {
+  return core::ProfileStore(dataset.entities(), mode, dataset.best_attribute());
+}
+
 std::vector<DirtyBlock> BuildDirtyBlocks(const DirtyDataset& dataset,
                                          core::SchemaMode mode,
                                          const blocking::BuilderConfig& builder) {
+  const core::ProfileStore store = StoreFor(dataset, mode);
   std::vector<DirtyBlock> blocks;
-  std::unordered_map<std::string, std::size_t> key_to_block;
+  StringDict key_to_block;  // dense first-appearance ids double as block ids
+  blocking::KeyScratch scratch;
   for (EntityId id = 0; id < dataset.size(); ++id) {
-    const std::string text = dataset.EntityText(id, mode);
-    for (auto& key : blocking::ExtractKeys(text, builder)) {
-      auto [it, inserted] = key_to_block.try_emplace(std::move(key), blocks.size());
-      if (inserted) blocks.emplace_back();
-      blocks[it->second].entities.push_back(id);
+    blocking::ExtractKeysInto(store.Text(id), builder, &scratch);
+    for (const std::string_view key : scratch.keys) {
+      const std::uint32_t next = static_cast<std::uint32_t>(blocks.size());
+      const std::uint32_t block = key_to_block.FindOrAssign(key);
+      if (block == next) blocks.emplace_back();
+      blocks[block].entities.push_back(id);
     }
   }
   // A block needs >= 2 entities to induce any comparison.
@@ -150,13 +160,17 @@ DirtyResult DirtyBlockingWorkflow(const DirtyDataset& dataset,
 DirtyResult DirtyKnnJoin(const DirtyDataset& dataset, core::SchemaMode mode,
                          const sparsenn::SparseConfig& config, int k) {
   DirtyResult result;
-  std::vector<sparsenn::TokenSet> sets;
+  std::vector<sparsenn::TokenSet> sets(dataset.size());
   result.timing.Measure("preprocess", [&] {
-    sets.reserve(dataset.size());
-    for (EntityId id = 0; id < dataset.size(); ++id) {
-      sets.push_back(sparsenn::BuildTokenSet(dataset.EntityText(id, mode),
-                                             config.model, config.clean));
-    }
+    const core::ProfileStore store = StoreFor(dataset, mode);
+    ParallelFor(0, dataset.size(), /*grain=*/0,
+                [&](std::size_t begin, std::size_t end) {
+                  for (std::size_t id = begin; id < end; ++id) {
+                    sets[id] = sparsenn::BuildTokenSet(
+                        store.Text(static_cast<EntityId>(id)), config.model,
+                        config.clean);
+                  }
+                });
   });
   auto index = result.timing.Measure(
       "index", [&] { return sparsenn::ScanCountIndex(sets); });
@@ -192,13 +206,17 @@ DirtyResult DirtyEpsilonJoin(const DirtyDataset& dataset, core::SchemaMode mode,
                              const sparsenn::SparseConfig& config,
                              double threshold) {
   DirtyResult result;
-  std::vector<sparsenn::TokenSet> sets;
+  std::vector<sparsenn::TokenSet> sets(dataset.size());
   result.timing.Measure("preprocess", [&] {
-    sets.reserve(dataset.size());
-    for (EntityId id = 0; id < dataset.size(); ++id) {
-      sets.push_back(sparsenn::BuildTokenSet(dataset.EntityText(id, mode),
-                                             config.model, config.clean));
-    }
+    const core::ProfileStore store = StoreFor(dataset, mode);
+    ParallelFor(0, dataset.size(), /*grain=*/0,
+                [&](std::size_t begin, std::size_t end) {
+                  for (std::size_t id = begin; id < end; ++id) {
+                    sets[id] = sparsenn::BuildTokenSet(
+                        store.Text(static_cast<EntityId>(id)), config.model,
+                        config.clean);
+                  }
+                });
   });
   auto index = result.timing.Measure(
       "index", [&] { return sparsenn::ScanCountIndex(sets); });

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "obs/trace.hpp"
 
 namespace erb::serve {
@@ -85,14 +86,33 @@ std::vector<std::string> IncrementalBlockIndex::Keys(
 }
 
 core::EntityId IncrementalBlockIndex::Insert(std::string_view text) {
-  const auto id = static_cast<core::EntityId>(num_entities_++);
-  for (std::string& key : Keys(text)) {
-    const auto [it, inserted] =
-        key_ids_.emplace(std::move(key), static_cast<std::uint32_t>(delta_.size()));
-    if (inserted) delta_.emplace_back();
-    delta_[it->second].push_back(id);
-    dirty_ = true;
+  const auto id = static_cast<core::EntityId>(num_entities_);
+  // Phase 1 (fallible): extract the keys, intern each under its dense id,
+  // grow delta_ and pre-reserve a posting slot per touched list. Nothing an
+  // observer can see changes if any step throws.
+  const std::vector<std::string> keys = Keys(text);
+  std::vector<std::uint32_t> key_ids;
+  key_ids.reserve(keys.size());
+  for (const std::string& key : keys) {
+    // Capacity ahead of the intern: once a key id exists, its delta_ slot
+    // must exist too (the emplace_back below cannot be allowed to throw).
+    if (delta_.size() == delta_.capacity()) {
+      delta_.reserve(std::max<std::size_t>(16, delta_.capacity() * 2));
+    }
+    const std::uint32_t next = static_cast<std::uint32_t>(delta_.size());
+    const std::uint32_t kid = key_ids_.FindOrAssign(key);
+    if (kid == next) delta_.emplace_back();
+    auto& list = delta_[kid];
+    if (list.size() == list.capacity()) {
+      list.reserve(std::max<std::size_t>(4, list.capacity() * 2));
+    }
+    key_ids.push_back(kid);
   }
+  // Phase 2 (nothrow): publish. Keys are deduplicated, so each touched list
+  // gets exactly the one append its reserve above guaranteed room for.
+  for (std::uint32_t kid : key_ids) delta_[kid].push_back(id);
+  if (!key_ids.empty()) dirty_ = true;
+  ++num_entities_;
   return id;
 }
 
@@ -106,16 +126,20 @@ std::uint64_t IncrementalBlockIndex::Seal() {
     offsets[k + 1] =
         offsets[k] + static_cast<std::uint32_t>(sealed + delta_[k].size());
   }
+  // Per-key compaction writes into disjoint segments of the new postings
+  // array, so the merge parallelizes with no effect on the result bytes.
   std::vector<core::EntityId> postings(offsets.back());
-  for (std::size_t k = 0; k < num_keys; ++k) {
-    core::EntityId* out = postings.data() + offsets[k];
-    if (k + 1 < offsets_.size()) {
-      out = std::copy(postings_.begin() + offsets_[k],
-                      postings_.begin() + offsets_[k + 1], out);
+  ParallelFor(0, num_keys, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      core::EntityId* out = postings.data() + offsets[k];
+      if (k + 1 < offsets_.size()) {
+        out = std::copy(postings_.begin() + offsets_[k],
+                        postings_.begin() + offsets_[k + 1], out);
+      }
+      std::copy(delta_[k].begin(), delta_[k].end(), out);
+      delta_[k].clear();
     }
-    std::copy(delta_[k].begin(), delta_[k].end(), out);
-    delta_[k].clear();
-  }
+  });
   offsets_ = std::move(offsets);
   postings_ = std::move(postings);
   dirty_ = false;
@@ -127,9 +151,8 @@ void IncrementalBlockIndex::Probe(std::string_view text,
                                   std::vector<core::EntityId>* out) const {
   out->clear();
   for (const std::string& key : Keys(text)) {
-    const auto it = key_ids_.find(key);
-    if (it == key_ids_.end()) continue;
-    const std::uint32_t k = it->second;
+    const std::uint32_t k = key_ids_.Find(key);
+    if (k == StringDict::kAbsent) continue;
     if (k + 1 < offsets_.size()) {
       out->insert(out->end(), postings_.begin() + offsets_[k],
                   postings_.begin() + offsets_[k + 1]);

@@ -14,10 +14,10 @@
 #include <cstdint>
 #include <memory>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "blocking/builders.hpp"
+#include "common/flat_dict.hpp"
 #include "core/entity.hpp"
 #include "sparsenn/joins.hpp"
 #include "sparsenn/scancount.hpp"
@@ -49,6 +49,14 @@ class IncrementalSparseIndex {
 
   /// Appends `set` to the delta tail and returns its id (insertion order).
   core::EntityId Insert(sparsenn::TokenSet set);
+
+  /// Removes the most recent unsealed Insert()'s set from the delta tail
+  /// (no-op when the delta is empty). Nothrow — the resolver's insert path
+  /// uses it to unwind a partially-registered entity when a later step of
+  /// the same insert throws.
+  void RollbackLastInsert() noexcept {
+    if (sets_.size() > sealed_count_) sets_.pop_back();
+  }
 
   /// Compacts: rebuilds the sealed index over *all* sets as one fresh
   /// contiguous CSR structure (identical to a from-scratch batch build over
@@ -142,7 +150,11 @@ class IncrementalBlockIndex {
   explicit IncrementalBlockIndex(blocking::BuilderConfig config = {});
 
   /// Registers the next entity (ids are assigned in insertion order) under
-  /// the keys of `text`. Returns the entity id.
+  /// the keys of `text`. Returns the entity id. Strongly exception-safe with
+  /// respect to results: on a throw no posting is appended and the entity id
+  /// is not consumed — at most some of the text's keys stay interned with
+  /// empty posting lists, which Probe() and Seal() cannot observe (only
+  /// NumKeys() can).
   core::EntityId Insert(std::string_view text);
 
   /// Compacts sealed CSR + deltas into a fresh contiguous CSR. Posting lists
@@ -155,7 +167,7 @@ class IncrementalBlockIndex {
   void Probe(std::string_view text, std::vector<core::EntityId>* out) const;
 
   std::size_t NumEntities() const { return num_entities_; }
-  std::size_t NumKeys() const { return key_ids_.size(); }
+  std::size_t NumKeys() const { return key_ids_.NumKeys(); }
   std::uint64_t epoch() const { return epoch_; }
 
  private:
@@ -163,7 +175,10 @@ class IncrementalBlockIndex {
   std::vector<std::string> Keys(std::string_view text) const;
 
   blocking::BuilderConfig config_;
-  std::unordered_map<std::string, std::uint32_t> key_ids_;
+  // Interning key dictionary: dense first-appearance ids, so a key's id
+  // doubles as its delta_ index (exactly the emplace(key, delta_.size())
+  // numbering the node-map version produced).
+  StringDict key_ids_;
 
   // Sealed CSR over keys [0, offsets_.size() - 1); keys first seen after the
   // last seal have ids beyond it and live only in delta_.

@@ -27,14 +27,37 @@ Resolver::Resolver(ServeConfig config)
 InsertResult Resolver::Insert(std::string external_id,
                               const core::EntityProfile& profile) {
   obs::ScopedPhase phase(&timing_, kPhaseInsert);
-  const auto [it, inserted] = id_lookup_.emplace(
-      std::move(external_id), static_cast<core::EntityId>(external_ids_.size()));
-  if (!inserted) return {it->second, false};
+  const auto found = id_lookup_.find(external_id);
+  if (found != id_lookup_.end()) return {found->second, false};
+
+  // Fallible computation first, then one mutation per level, each guarded by
+  // a nothrow rollback: a throw anywhere (including from the block index,
+  // which previously left a half-registered entity behind the duplicate
+  // check) unwinds every structure to its pre-call state.
   const std::string text = profile.AllValues();
-  const core::EntityId id = sparse_.Insert(sparsenn::BuildTokenSet(
-      text, config_.sparse.model, config_.sparse.clean));
-  if (config_.enable_blocking) blocks_.Insert(text);
-  external_ids_.push_back(it->first);
+  sparsenn::TokenSet set = sparsenn::BuildTokenSet(
+      text, config_.sparse.model, config_.sparse.clean);
+
+  const auto id = static_cast<core::EntityId>(external_ids_.size());
+  external_ids_.push_back(external_id);
+  try {
+    id_lookup_.emplace(std::move(external_id), id);
+    try {
+      sparse_.Insert(std::move(set));
+      try {
+        if (config_.enable_blocking) blocks_.Insert(text);
+      } catch (...) {
+        sparse_.RollbackLastInsert();
+        throw;
+      }
+    } catch (...) {
+      id_lookup_.erase(external_ids_.back());
+      throw;
+    }
+  } catch (...) {
+    external_ids_.pop_back();
+    throw;
+  }
   obs::CounterAdd("serve.inserts", 1);
   return {id, true};
 }

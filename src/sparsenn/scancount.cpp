@@ -3,92 +3,172 @@
 #include <bit>
 #include <cmath>
 
+#include "common/buildpar.hpp"
 #include "common/hash.hpp"
+#include "common/parallel.hpp"
 #include "obs/trace.hpp"
 
 namespace erb::sparsenn {
 
 ScanCountIndex::ScanCountIndex(const std::vector<TokenSet>& sets) {
-  set_sizes_.reserve(sets.size());
-  for (const auto& set : sets) {
-    set_sizes_.push_back(static_cast<std::uint32_t>(set.size()));
+  const std::size_t n = sets.size();
+  set_sizes_.resize(n);
+  ParallelFor(0, n, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t id = begin; id < end; ++id) {
+      set_sizes_[id] = static_cast<std::uint32_t>(sets[id].size());
+    }
+  });
+
+  if (!UseChunkedBuild()) {
+    // Sequential fast path (single-threaded pool): one global dict, two
+    // passes, no private chunk state. Pass 2 re-walks the sets with the
+    // bare present-key probe (FindPresent — the robin-hood invariant makes
+    // a key-compare walk sufficient), and the count array is reused as the
+    // fill cursor, so peak memory stays strictly below the classic build
+    // (which copies the offsets into a separate cursor array).
+    // First-appearance numbering is the same scan order the chunked merge
+    // reproduces, so the CSR is byte-identical either way.
+    std::vector<std::uint32_t> list_counts;
+    for (std::size_t id = 0; id < n; ++id) {
+      for (std::uint64_t token : sets[id]) {
+        const std::uint32_t next =
+            static_cast<std::uint32_t>(list_counts.size());
+        const std::uint32_t list = *dict_.FindOrInsert(token, next);
+        if (list == next) list_counts.push_back(0);
+        ++list_counts[list];
+      }
+    }
+    offsets_.resize(list_counts.size() + 1);
+    offsets_[0] = 0;
+    for (std::size_t i = 0; i < list_counts.size(); ++i) {
+      offsets_[i + 1] = offsets_[i] + list_counts[i];
+      list_counts[i] = offsets_[i];  // becomes the pass-2 write cursor
+    }
+    postings_.resize(offsets_.back());
+    list_min_size_.assign(list_counts.size(), 0xffffffffu);
+    list_max_size_.assign(list_counts.size(), 0);
+    for (std::size_t id = 0; id < n; ++id) {
+      const std::uint32_t size = set_sizes_[id];
+      const TokenSet& set = sets[id];
+      for (std::size_t j = 0; j < set.size(); ++j) {
+        const std::uint32_t list = dict_.FindPresent(set[j]);
+        postings_[list_counts[list]++] = static_cast<std::uint32_t>(id);
+        if (size < list_min_size_[list]) list_min_size_[list] = size;
+        if (size > list_max_size_[list]) list_max_size_[list] = size;
+      }
+    }
+    // Counter contract: build.chunks_merged reports the fixed logical
+    // decomposition (identical at any thread count); dict rehashes are an
+    // execution-strategy metric and may differ from the chunked path's.
+    obs::CounterAdd("build.chunks_merged", NumBuildChunks(n));
+    obs::CounterAdd("build.dict_rehashes", dict_.rehashes());
+    scratch_.counts.assign(n, 0);
+    scratch_.touched.reserve(n);
+    return;
   }
 
-  // Pass 1: discover distinct tokens and count each list's postings. The
-  // token table grows with the distinct count, so a collection with heavy
-  // token reuse no longer pays for a table sized by total occurrences.
-  Rehash(16);
+  // Pass 1 (parallel): each chunk discovers its distinct tokens in a private
+  // flat dict and counts its postings plus per-list size ranges. The chunk
+  // decomposition is fixed (kBuildChunks) regardless of the thread count.
+  struct Chunk {
+    TokenDict dict;                     // token -> local list id
+    std::vector<std::uint64_t> tokens;  // local first-appearance order
+    std::vector<std::uint32_t> counts;
+    std::vector<std::uint32_t> min_size;
+    std::vector<std::uint32_t> max_size;
+    std::vector<std::uint32_t> cursor;  // pass-2 write position per local list
+  };
+  const std::size_t grain = BuildGrain(n);
+  std::vector<Chunk> chunks(NumBuildChunks(n));
+  ParallelFor(0, n, grain, [&](std::size_t begin, std::size_t end) {
+    Chunk& chunk = chunks[begin / grain];
+    for (std::size_t id = begin; id < end; ++id) {
+      const std::uint32_t size = set_sizes_[id];
+      for (std::uint64_t token : sets[id]) {
+        const std::uint32_t next =
+            static_cast<std::uint32_t>(chunk.tokens.size());
+        const std::uint32_t local = *chunk.dict.FindOrInsert(token, next);
+        if (local == next) {
+          chunk.tokens.push_back(token);
+          chunk.counts.push_back(0);
+          chunk.min_size.push_back(0xffffffffu);
+          chunk.max_size.push_back(0);
+        }
+        ++chunk.counts[local];
+        if (size < chunk.min_size[local]) chunk.min_size[local] = size;
+        if (size > chunk.max_size[local]) chunk.max_size[local] = size;
+      }
+    }
+  });
+
+  // Merge in ascending chunk order. A token's global first appearance is its
+  // local first appearance in the earliest chunk holding it, so assigning
+  // fresh list ids in this traversal reproduces the sequential scan's
+  // first-appearance numbering exactly — the CSR layout is byte-identical at
+  // any ERB_THREADS.
+  std::size_t distinct_upper = 0;
+  std::uint64_t local_rehashes = 0;
+  for (const Chunk& chunk : chunks) {
+    distinct_upper += chunk.tokens.size();
+    local_rehashes += chunk.dict.rehashes();
+  }
+  dict_.Reserve(distinct_upper);
   std::vector<std::uint32_t> list_counts;
-  for (const auto& set : sets) {
-    for (std::uint64_t token : set) {
-      const std::uint32_t list = InsertToken(token);
-      if (list == list_counts.size()) list_counts.push_back(0);
-      ++list_counts[list];
+  list_counts.reserve(distinct_upper);
+  for (const Chunk& chunk : chunks) {
+    for (std::size_t local = 0; local < chunk.tokens.size(); ++local) {
+      const std::uint32_t next = static_cast<std::uint32_t>(list_counts.size());
+      const std::uint32_t list = *dict_.FindOrInsert(chunk.tokens[local], next);
+      if (list == next) {
+        list_counts.push_back(0);
+        list_min_size_.push_back(0xffffffffu);
+        list_max_size_.push_back(0);
+      }
+      list_counts[list] += chunk.counts[local];
+      list_min_size_[list] = std::min(list_min_size_[list],
+                                      chunk.min_size[local]);
+      list_max_size_[list] = std::max(list_max_size_[list],
+                                      chunk.max_size[local]);
     }
   }
 
-  // Prefix-sum the counts into CSR offsets.
+  // Prefix-sum the counts into CSR offsets, then give each chunk its write
+  // cursor per list: chunk c's postings for a list start where the prior
+  // chunks' postings for it end.
   offsets_.resize(list_counts.size() + 1);
   offsets_[0] = 0;
   for (std::size_t i = 0; i < list_counts.size(); ++i) {
     offsets_[i + 1] = offsets_[i] + list_counts[i];
   }
   postings_.resize(offsets_.back());
-  list_min_size_.assign(list_counts.size(), 0xffffffffu);
-  list_max_size_.assign(list_counts.size(), 0);
-
-  // Pass 2: fill postings in ascending set id (ids within a list ascend) and
-  // fold each member's size into the list's admissibility range.
-  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (std::uint32_t id = 0; id < sets.size(); ++id) {
-    const std::uint32_t size = set_sizes_[id];
-    for (std::uint64_t token : sets[id]) {
-      const std::uint32_t list = FindList(token);
-      postings_[cursor[list]++] = id;
-      if (size < list_min_size_[list]) list_min_size_[list] = size;
-      if (size > list_max_size_[list]) list_max_size_[list] = size;
+  std::vector<std::uint32_t> cum(list_counts.size(), 0);
+  for (Chunk& chunk : chunks) {
+    chunk.cursor.resize(chunk.tokens.size());
+    for (std::size_t local = 0; local < chunk.tokens.size(); ++local) {
+      const std::uint32_t list = *dict_.Find(chunk.tokens[local]);
+      chunk.cursor[local] = offsets_[list] + cum[list];
+      cum[list] += chunk.counts[local];
     }
   }
 
-  scratch_.counts.assign(sets.size(), 0);
-  scratch_.touched.reserve(sets.size());
-}
+  // Pass 2 (parallel): each chunk fills its disjoint posting segments in
+  // ascending set id; segments are ordered by chunk, so ids within every
+  // list ascend globally.
+  ParallelFor(0, n, grain, [&](std::size_t begin, std::size_t end) {
+    Chunk& chunk = chunks[begin / grain];
+    for (std::size_t id = begin; id < end; ++id) {
+      for (std::uint64_t token : sets[id]) {
+        const std::uint32_t local = *chunk.dict.Find(token);
+        postings_[chunk.cursor[local]++] = static_cast<std::uint32_t>(id);
+      }
+    }
+  });
 
-void ScanCountIndex::Rehash(std::size_t capacity) {
-  std::vector<Slot> old = std::move(slots_);
-  slots_.assign(capacity, Slot{});
-  const std::size_t mask = capacity - 1;
-  for (const Slot& slot : old) {
-    if (!slot.used) continue;
-    std::size_t pos = SplitMix64(slot.token) & mask;
-    while (slots_[pos].used) pos = (pos + 1) & mask;
-    slots_[pos] = slot;
-  }
-}
+  obs::CounterAdd("build.chunks_merged", chunks.size());
+  obs::CounterAdd("build.dict_rehashes", local_rehashes + dict_.rehashes());
 
-std::uint32_t ScanCountIndex::InsertToken(std::uint64_t token) {
-  // Keep the load factor at or below 1/2; capacity is a power of two for
-  // mask addressing.
-  if ((distinct_tokens_ + 1) * 2 > slots_.size()) Rehash(slots_.size() * 2);
-  const std::size_t mask = slots_.size() - 1;
-  std::size_t pos = SplitMix64(token) & mask;
-  while (slots_[pos].used && slots_[pos].token != token) pos = (pos + 1) & mask;
-  if (!slots_[pos].used) {
-    slots_[pos].used = true;
-    slots_[pos].token = token;
-    slots_[pos].list = static_cast<std::uint32_t>(distinct_tokens_++);
-  }
-  return slots_[pos].list;
-}
-
-std::uint32_t ScanCountIndex::FindList(std::uint64_t token) const {
-  const std::size_t mask = slots_.size() - 1;
-  std::size_t pos = SplitMix64(token) & mask;
-  while (slots_[pos].used) {
-    if (slots_[pos].token == token) return slots_[pos].list;
-    pos = (pos + 1) & mask;
-  }
-  return kNoList;
+  scratch_.counts.assign(n, 0);
+  scratch_.touched.reserve(n);
 }
 
 void ScanCountIndex::FlushCounters(ProbeScratch* scratch) {
@@ -162,52 +242,123 @@ PrefixScanCountIndex::PrefixScanCountIndex(const std::vector<TokenSet>& sets,
                                            double threshold)
     : measure_(measure), threshold_(threshold), ranks_(sets) {
   const std::size_t n = sets.size();
-  set_sizes_.reserve(n);
-  set_offsets_.reserve(n + 1);
-  set_offsets_.push_back(0);
-  std::size_t total_tokens = 0;
-  for (const auto& set : sets) total_tokens += set.size();
-  set_tokens_.reserve(total_tokens);
 
-  // Pass 1: remap every set into rank space (every token is known — the rank
-  // order was just built over these sets), record its pigeonhole prefix
-  // length, and count each rank's prefix postings.
-  std::vector<std::uint32_t> prefix_len(n, 0);
-  std::vector<std::uint32_t> list_counts(ranks_.NumRanked(), 0);
-  for (std::size_t id = 0; id < n; ++id) {
-    const RankedTokenSet ranked = ranks_.Remap(sets[id]);
-    const std::uint32_t size = static_cast<std::uint32_t>(ranked.size());
-    set_sizes_.push_back(size);
-    min_set_size_ = std::min(min_set_size_, size);
-    max_set_size_ = std::max(max_set_size_, size);
-    set_tokens_.insert(set_tokens_.end(), ranked.begin(), ranked.end());
-    set_offsets_.push_back(static_cast<std::uint32_t>(set_tokens_.size()));
-    const auto filter = LengthBounds(measure, threshold, size);
-    const std::uint32_t plen =
-        size >= filter.min_overlap ? size - filter.min_overlap + 1 : 0;
-    prefix_len[id] = plen;
-    for (std::uint32_t j = 0; j < plen; ++j) {
-      ++list_counts[set_tokens_[set_offsets_[id] + j]];
+  // A ranked set has the cardinality of its source set (every token is known
+  // — the rank order was just built over these sets), so the whole CSR
+  // skeleton is known up front: sizes, one prefix sum, one arena resize.
+  set_sizes_.resize(n);
+  ParallelFor(0, n, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t id = begin; id < end; ++id) {
+      set_sizes_[id] = static_cast<std::uint32_t>(sets[id].size());
     }
+  });
+  set_offsets_.resize(n + 1);
+  set_offsets_[0] = 0;
+  for (std::size_t id = 0; id < n; ++id) {
+    set_offsets_[id + 1] = set_offsets_[id] + set_sizes_[id];
+    min_set_size_ = std::min(min_set_size_, set_sizes_[id]);
+    max_set_size_ = std::max(max_set_size_, set_sizes_[id]);
+  }
+  set_tokens_.resize(set_offsets_[n]);
+
+  const std::size_t grain = BuildGrain(n);
+  const std::size_t num_chunks = NumBuildChunks(n);
+  const std::size_t num_ranks = ranks_.NumRanked();
+  std::vector<std::uint32_t> prefix_len(n, 0);
+
+  if (!UseChunkedBuild()) {
+    // Sequential fast path (single-threaded pool): one count array instead
+    // of kBuildChunks private ones; the remap/count and fill passes are the
+    // same scans the chunked build performs per chunk, so the prefix CSR is
+    // byte-identical either way.
+    std::vector<std::uint32_t> counts(num_ranks, 0);
+    for (std::size_t id = 0; id < n; ++id) {
+      const TokenSet& set = sets[id];
+      std::uint32_t* out = set_tokens_.data() + set_offsets_[id];
+      for (std::size_t j = 0; j < set.size(); ++j) {
+        out[j] = ranks_.Rank(set[j]);
+      }
+      std::sort(out, out + set.size());
+      const std::uint32_t size = set_sizes_[id];
+      const auto filter = LengthBounds(measure_, threshold_, size);
+      const std::uint32_t plen =
+          size >= filter.min_overlap ? size - filter.min_overlap + 1 : 0;
+      prefix_len[id] = plen;
+      for (std::uint32_t j = 0; j < plen; ++j) ++counts[out[j]];
+    }
+    post_offsets_.resize(num_ranks + 1);
+    post_offsets_[0] = 0;
+    for (std::size_t r = 0; r < num_ranks; ++r) {
+      post_offsets_[r + 1] = post_offsets_[r] + counts[r];
+      counts[r] = post_offsets_[r];  // becomes the fill cursor
+    }
+    postings_.resize(post_offsets_.back());
+    for (std::size_t id = 0; id < n; ++id) {
+      for (std::uint32_t j = 0; j < prefix_len[id]; ++j) {
+        const std::uint32_t rank = set_tokens_[set_offsets_[id] + j];
+        postings_[counts[rank]++] = Posting{static_cast<std::uint32_t>(id), j};
+      }
+    }
+    obs::CounterAdd("build.chunks_merged", num_chunks);
+    return;
   }
 
-  // Prefix-sum into CSR offsets, then fill postings by ascending set id so
-  // ids within a list ascend (matching ScanCountIndex's layout guarantee).
-  post_offsets_.resize(list_counts.size() + 1);
+  // Pass 1 (parallel): remap every set into rank space directly inside its
+  // arena segment, record its pigeonhole prefix length, and count each
+  // rank's prefix postings into the chunk's private count array. The chunk
+  // decomposition is fixed (kBuildChunks), so at most kBuildChunks count
+  // arrays of NumRanked() entries exist transiently.
+  std::vector<std::vector<std::uint32_t>> chunk_counts(num_chunks);
+  ParallelFor(0, n, grain, [&](std::size_t begin, std::size_t end) {
+    auto& counts = chunk_counts[begin / grain];
+    counts.assign(num_ranks, 0);
+    for (std::size_t id = begin; id < end; ++id) {
+      const TokenSet& set = sets[id];
+      std::uint32_t* out = set_tokens_.data() + set_offsets_[id];
+      for (std::size_t j = 0; j < set.size(); ++j) {
+        out[j] = ranks_.Rank(set[j]);
+      }
+      std::sort(out, out + set.size());
+      const std::uint32_t size = set_sizes_[id];
+      const auto filter = LengthBounds(measure_, threshold_, size);
+      const std::uint32_t plen =
+          size >= filter.min_overlap ? size - filter.min_overlap + 1 : 0;
+      prefix_len[id] = plen;
+      for (std::uint32_t j = 0; j < plen; ++j) ++counts[out[j]];
+    }
+  });
+
+  // Prefix-sum into CSR offsets while turning each chunk's count for a rank
+  // into its write cursor: chunk c's postings for a list start where the
+  // prior chunks' postings for it end.
+  post_offsets_.resize(num_ranks + 1);
   post_offsets_[0] = 0;
-  for (std::size_t i = 0; i < list_counts.size(); ++i) {
-    post_offsets_[i + 1] = post_offsets_[i] + list_counts[i];
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    std::uint32_t cursor = post_offsets_[r];
+    for (auto& counts : chunk_counts) {
+      const std::uint32_t count = counts[r];
+      counts[r] = cursor;
+      cursor += count;
+    }
+    post_offsets_[r + 1] = cursor;
   }
   postings_.resize(post_offsets_.back());
-  std::vector<std::uint32_t> cursor(post_offsets_.begin(),
-                                    post_offsets_.end() - 1);
-  for (std::size_t id = 0; id < n; ++id) {
-    for (std::uint32_t j = 0; j < prefix_len[id]; ++j) {
-      const std::uint32_t rank = set_tokens_[set_offsets_[id] + j];
-      postings_[cursor[rank]++] =
-          Posting{static_cast<std::uint32_t>(id), j};
+
+  // Pass 2 (parallel): fill postings by ascending set id within each chunk;
+  // chunk segments are ordered, so ids within a list ascend globally
+  // (matching ScanCountIndex's layout guarantee).
+  ParallelFor(0, n, grain, [&](std::size_t begin, std::size_t end) {
+    auto& cursor = chunk_counts[begin / grain];
+    for (std::size_t id = begin; id < end; ++id) {
+      for (std::uint32_t j = 0; j < prefix_len[id]; ++j) {
+        const std::uint32_t rank = set_tokens_[set_offsets_[id] + j];
+        postings_[cursor[rank]++] =
+            Posting{static_cast<std::uint32_t>(id), j};
+      }
     }
-  }
+  });
+
+  obs::CounterAdd("build.chunks_merged", num_chunks);
 }
 
 void PrefixScanCountIndex::FlushCounters(ProbeScratch* scratch) {

@@ -198,20 +198,11 @@ class ScanCountIndex {
   static constexpr std::uint32_t kPruned = 0xffffffffu;
   static constexpr std::uint32_t kNoList = 0xffffffffu;
 
-  // Open-addressed token -> list map, laid out for probe locality. The table
-  // grows during the counting pass, so its final capacity is set by the
-  // number of distinct tokens, not total token occurrences.
-  struct Slot {
-    std::uint64_t token = 0;
-    std::uint32_t list = 0;
-    bool used = false;
-  };
-
-  /// The list of `token`, inserting (and growing the table) if absent.
-  std::uint32_t InsertToken(std::uint64_t token);
   /// The list of `token`, or kNoList.
-  std::uint32_t FindList(std::uint64_t token) const;
-  void Rehash(std::size_t capacity);
+  std::uint32_t FindList(std::uint64_t token) const {
+    const std::uint32_t* list = dict_.Find(token);
+    return list != nullptr ? *list : kNoList;
+  }
 
   /// Merge-counts one posting list: increments counts and appends first
   /// touches to `touched` in first-touch order. The push is branchless —
@@ -235,8 +226,9 @@ class ScanCountIndex {
     touched.resize(touched.size() - len + static_cast<std::size_t>(top - base));
   }
 
-  std::vector<Slot> slots_;
-  std::size_t distinct_tokens_ = 0;
+  // Flat robin-hood token -> list map (power-of-two capacity, load <= 1/2),
+  // sized by the number of distinct tokens, not total token occurrences.
+  TokenDict dict_;
 
   // CSR postings: list i is postings_[offsets_[i] .. offsets_[i+1]), ids
   // ascending. list_{min,max}_size_[i] bound the member sets' sizes, enabling

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <utility>
 
+#include "common/buildpar.hpp"
 #include "common/hash.hpp"
+#include "common/parallel.hpp"
+#include "core/profile_store.hpp"
+#include "obs/trace.hpp"
 #include "text/clean.hpp"
 
 namespace erb::sparsenn {
@@ -48,36 +52,122 @@ int ModelGramLength(TokenModel model) {
   }
 }
 
-TokenSet BuildTokenSet(std::string_view text, TokenModel model, bool clean) {
-  const std::string cleaned = text::CleanText(text, clean);
-  std::vector<std::uint64_t> raw;
-  const int n = ModelGramLength(model);
-  if (n == 0) {
-    for (const auto& token : text::CleanTokens(cleaned, /*clean=*/false)) {
-      raw.push_back(FnvHash64(token));
-    }
-  } else {
-    if (static_cast<int>(cleaned.size()) < n) {
-      if (!cleaned.empty()) raw.push_back(FnvHash64(cleaned));
-    } else {
-      raw.reserve(cleaned.size());
-      for (std::size_t i = 0; i + n <= cleaned.size(); ++i) {
-        raw.push_back(FnvHash64(std::string_view(cleaned).substr(i, n)));
+namespace {
+
+std::uint64_t DefaultTokenHash(std::string_view gram) {
+  return FnvHash64(gram);
+}
+
+/// Salted re-hash assigned to the `index`-th (lexicographically ordered,
+/// index >= 1) gram of a detected base-hash collision group. Depends only on
+/// the gram content, the collided base hash and the gram's content order, so
+/// every text containing the same colliding grams assigns identically.
+std::uint64_t DisambiguatedHash(std::string_view gram, std::uint64_t base,
+                                std::size_t index) {
+  return FnvHash64(gram, SplitMix64(base + index));
+}
+
+/// Slow path, entered only when the single-pass build detected two distinct
+/// grams sharing one base hash: regroups all occurrences by (base hash, gram
+/// content) and assigns final token hashes content-deterministically — the
+/// lexicographically smallest gram of a group keeps the base hash, later
+/// ones get DisambiguatedHash. Emission order is irrelevant (the set is
+/// sorted before return), so the grouping sort fixes the assignment without
+/// any dependence on gram encounter order.
+TokenSet BuildCollidingTokenSet(const std::vector<std::string_view>& grams,
+                                bool multiset, TokenHashFn hash) {
+  std::vector<std::pair<std::uint64_t, std::string_view>> occ;
+  occ.reserve(grams.size());
+  for (std::string_view gram : grams) occ.emplace_back(hash(gram), gram);
+  std::sort(occ.begin(), occ.end());
+
+  TokenSet set;
+  set.reserve(occ.size());
+  std::uint64_t collisions = 0;
+  for (std::size_t i = 0; i < occ.size();) {
+    const std::uint64_t base = occ[i].first;
+    std::size_t distinct = 0;  // grams of this base group seen so far
+    while (i < occ.size() && occ[i].first == base) {
+      const std::string_view gram = occ[i].second;
+      const std::uint64_t token =
+          distinct == 0 ? base : DisambiguatedHash(gram, base, distinct);
+      if (distinct > 0) ++collisions;
+      std::uint32_t occurrence = 0;
+      while (i < occ.size() && occ[i].first == base && occ[i].second == gram) {
+        ++occurrence;
+        if (multiset) set.push_back(HashCombine(token, occurrence));
+        ++i;
       }
+      if (!multiset) set.push_back(token);
+      ++distinct;
+    }
+  }
+  obs::CounterAdd("build.token_hash_collisions", collisions);
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  return set;
+}
+
+}  // namespace
+
+TokenSet BuildTokenSet(std::string_view text, TokenModel model, bool clean) {
+  return BuildTokenSet(text, model, clean, &DefaultTokenHash);
+}
+
+TokenSet BuildTokenSet(std::string_view text, TokenModel model, bool clean,
+                       TokenHashFn hash) {
+  const std::string cleaned = text::CleanText(text, clean);
+  const int n = ModelGramLength(model);
+
+  // Gather the grams as views — into the cleaned text for character n-grams,
+  // into the token strings for the whitespace models — so collision
+  // detection can compare bytes without materializing anything.
+  std::vector<std::string> words;
+  std::vector<std::string_view> grams;
+  if (n == 0) {
+    words = text::CleanTokens(cleaned, /*clean=*/false);
+    grams.reserve(words.size());
+    for (const auto& word : words) grams.emplace_back(word);
+  } else if (static_cast<int>(cleaned.size()) < n) {
+    if (!cleaned.empty()) grams.emplace_back(cleaned);
+  } else {
+    grams.reserve(cleaned.size());
+    for (std::size_t i = 0; i + n <= cleaned.size(); ++i) {
+      grams.push_back(std::string_view(cleaned).substr(i, n));
     }
   }
 
+  // One flat-dict pass: each distinct base hash keeps its first gram's bytes
+  // and occurrence count. {a, a, b} -> {a#1, a#2, b#1} in multiset mode (the
+  // occurrence fold); one token per distinct gram otherwise. A second,
+  // byte-different gram behind an existing hash is an FNV collision — bail
+  // to the content-deterministic slow path.
+  const bool multiset = IsMultiset(model);
+  struct Entry {
+    std::string_view gram;
+    std::uint32_t count;
+  };
+  TokenDict dict;
+  dict.Reserve(grams.size());
+  std::vector<Entry> entries;
+  entries.reserve(grams.size());
   TokenSet set;
-  set.reserve(raw.size());
-  if (IsMultiset(model)) {
-    // {a, a, b} -> {a#1, a#2, b#1}: occurrences become distinct elements, so
-    // set overlap equals multiset intersection cardinality.
-    std::unordered_map<std::uint64_t, std::uint32_t> occurrence;
-    for (std::uint64_t h : raw) {
-      set.push_back(HashCombine(h, ++occurrence[h]));
+  set.reserve(grams.size());
+  for (std::string_view gram : grams) {
+    const std::uint64_t h = hash(gram);
+    const std::uint32_t next = static_cast<std::uint32_t>(entries.size());
+    std::uint32_t* index = dict.FindOrInsert(h, next);
+    if (*index == next) {
+      entries.push_back(Entry{gram, 1});
+      set.push_back(multiset ? HashCombine(h, 1) : h);
+      continue;
     }
-  } else {
-    set = std::move(raw);
+    Entry& entry = entries[*index];
+    if (entry.gram != gram) {
+      return BuildCollidingTokenSet(grams, multiset, hash);
+    }
+    ++entry.count;
+    if (multiset) set.push_back(HashCombine(h, entry.count));
   }
   std::sort(set.begin(), set.end());
   set.erase(std::unique(set.begin(), set.end()), set.end());
@@ -87,54 +177,91 @@ TokenSet BuildTokenSet(std::string_view text, TokenModel model, bool clean) {
 std::vector<TokenSet> BuildSideTokenSets(const core::Dataset& dataset, int side,
                                          core::SchemaMode mode, TokenModel model,
                                          bool clean) {
-  const std::size_t count =
-      side == 0 ? dataset.e1().size() : dataset.e2().size();
-  std::vector<TokenSet> sets;
-  sets.reserve(count);
-  for (core::EntityId id = 0; id < count; ++id) {
-    sets.push_back(BuildTokenSet(dataset.EntityText(side, id, mode), model, clean));
-  }
+  // Columnar text pass first (one arena, no per-entity strings), then the
+  // independent per-entity tokenizations fan out over the pool.
+  const core::ProfileStore store = core::ProfileStore::ForSide(dataset, side, mode);
+  std::vector<TokenSet> sets(store.size());
+  ParallelFor(0, store.size(), /*grain=*/0,
+              [&](std::size_t begin, std::size_t end) {
+                for (std::size_t id = begin; id < end; ++id) {
+                  sets[id] = BuildTokenSet(
+                      store.Text(static_cast<core::EntityId>(id)), model, clean);
+                }
+              });
   return sets;
 }
 
 TokenRankMap::TokenRankMap(const std::vector<TokenSet>& sets) {
-  // Document frequency per distinct token. Token sets are deduplicated, so
-  // each set contributes at most one occurrence per token.
-  std::unordered_map<std::uint64_t, std::uint32_t> frequency;
-  for (const auto& set : sets) {
-    for (std::uint64_t token : set) ++frequency[token];
+  // Document frequency per distinct token, counted in parallel: each chunk
+  // builds a private flat dict plus its tokens in first-appearance order,
+  // and the chunk partials merge by addition in ascending chunk order.
+  // The merge order cannot leak into the result — the rank order below is
+  // (df, token)-sorted, and integer df addition is exact — but keeping the
+  // fixed-chunk decomposition makes the intermediate states reproducible
+  // too. Token sets are deduplicated, so each set contributes at most one
+  // occurrence per token.
+  struct Acc {
+    TokenDict df;
+    std::vector<std::uint64_t> first_seen;
+  };
+  Acc acc;
+  if (!UseChunkedBuild()) {
+    // Sequential fast path (single-threaded pool): count straight into one
+    // dict. The (df, token) sort below erases any trace of accumulation
+    // order, so this is exactly the chunked reduction's result.
+    for (const TokenSet& set : sets) {
+      for (std::uint64_t token : set) {
+        std::uint32_t* count = acc.df.FindOrInsert(token, 0);
+        if (*count == 0) acc.first_seen.push_back(token);
+        ++*count;
+      }
+    }
+  } else {
+    acc = ParallelMapReduce<Acc>(
+        0, sets.size(), BuildGrain(sets.size()),
+        [&](std::size_t begin, std::size_t end) {
+          Acc local;
+          for (std::size_t i = begin; i < end; ++i) {
+            for (std::uint64_t token : sets[i]) {
+              std::uint32_t* count = local.df.FindOrInsert(token, 0);
+              if (*count == 0) local.first_seen.push_back(token);
+              ++*count;
+            }
+          }
+          return local;
+        },
+        [](Acc& into, Acc&& from) {
+          for (std::uint64_t token : from.first_seen) {
+            std::uint32_t* count = into.df.FindOrInsert(token, 0);
+            if (*count == 0) into.first_seen.push_back(token);
+            *count += *from.df.Find(token);
+          }
+        });
   }
 
   // Rank by (df ascending, token ascending): the secondary key makes the
-  // order independent of hash-map iteration order.
+  // order independent of any map traversal order.
   std::vector<std::pair<std::uint32_t, std::uint64_t>> order;
-  order.reserve(frequency.size());
-  for (const auto& [token, df] : frequency) order.emplace_back(df, token);
+  order.reserve(acc.first_seen.size());
+  for (std::uint64_t token : acc.first_seen) {
+    order.emplace_back(*acc.df.Find(token), token);
+  }
+  // The frequency table and first-appearance list are spent; release them
+  // before the rank table below so the two never peak together.
+  acc.df = TokenDict();
+  std::vector<std::uint64_t>().swap(acc.first_seen);
   std::sort(order.begin(), order.end());
 
   num_ranked_ = static_cast<std::uint32_t>(order.size());
-  std::size_t capacity = 16;
-  while (capacity < order.size() * 2) capacity *= 2;
-  slots_.assign(capacity, Slot{});
-  const std::size_t mask = capacity - 1;
+  ranks_.Reserve(order.size());
   for (std::uint32_t rank = 0; rank < num_ranked_; ++rank) {
-    const std::uint64_t token = order[rank].second;
-    std::size_t pos = SplitMix64(token) & mask;
-    while (slots_[pos].used) pos = (pos + 1) & mask;
-    slots_[pos].used = true;
-    slots_[pos].token = token;
-    slots_[pos].rank = rank;
+    *ranks_.FindOrInsert(order[rank].second, rank) = rank;
   }
 }
 
 std::uint32_t TokenRankMap::Rank(std::uint64_t token) const {
-  const std::size_t mask = slots_.size() - 1;
-  std::size_t pos = SplitMix64(token) & mask;
-  while (slots_[pos].used) {
-    if (slots_[pos].token == token) return slots_[pos].rank;
-    pos = (pos + 1) & mask;
-  }
-  return kUnknownRank;
+  const std::uint32_t* rank = ranks_.Find(token);
+  return rank != nullptr ? *rank : kUnknownRank;
 }
 
 RankedTokenSet TokenRankMap::Remap(const TokenSet& set) const {

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/flat_dict.hpp"
 #include "core/entity.hpp"
 
 namespace erb::sparsenn {
@@ -37,7 +38,28 @@ using TokenSet = std::vector<std::uint64_t>;
 /// Builds the token set of `text` under `model`, optionally after cleaning
 /// (stop-word removal + Porter stemming). Character n-grams are taken over
 /// the cleaned, space-joined text so they capture word boundaries.
+///
+/// Token identity is the 64-bit FNV-1a hash of the gram. Two *distinct*
+/// grams of one text that collide on it are detected (the build keeps the
+/// gram bytes behind each hash) and disambiguated content-deterministically:
+/// the colliding grams are ordered lexicographically, the smallest keeps the
+/// base hash and every later one is re-hashed under a salt derived from the
+/// base hash and its position in that order. The assignment depends only on
+/// the text's content, never on gram encounter order, and every detected
+/// collision is counter-tracked (`build.token_hash_collisions`), so a
+/// TokenRankMap built over such sets can no longer merge two grams into one
+/// rank silently. (Grams colliding *across* texts that never co-occur are
+/// inherently undetectable without a global dictionary; the counter is the
+/// audit trail for how often the 2^-64 event fires at all.)
 TokenSet BuildTokenSet(std::string_view text, TokenModel model, bool clean);
+
+/// Hash function over gram bytes; injectable for collision testing.
+using TokenHashFn = std::uint64_t (*)(std::string_view);
+
+/// BuildTokenSet under an explicit gram hash — the seam the collision
+/// unit tests use to force same-hash/distinct-gram inputs deterministically.
+TokenSet BuildTokenSet(std::string_view text, TokenModel model, bool clean,
+                       TokenHashFn hash);
 
 /// Token sets of one dataset side under a schema mode.
 std::vector<TokenSet> BuildSideTokenSets(const core::Dataset& dataset, int side,
@@ -74,16 +96,10 @@ class TokenRankMap {
   RankedTokenSet Remap(const TokenSet& set) const;
 
  private:
-  // Open-addressed token -> rank map (power-of-two capacity, load <= 1/2),
-  // the same layout ScanCountIndex uses for its token table.
-  struct Slot {
-    std::uint64_t token = 0;
-    std::uint32_t rank = 0;
-    bool used = false;
-  };
-
   std::uint32_t num_ranked_ = 0;
-  std::vector<Slot> slots_;
+  // Flat robin-hood token -> rank map (power-of-two capacity, load <= 1/2),
+  // the same table ScanCountIndex uses for its token dictionary.
+  TokenDict ranks_;
 };
 
 /// Set-similarity measures of Section IV-C.

@@ -1,0 +1,509 @@
+// Build-path suite (`ctest -L build`): the flat open-addressing dictionaries
+// (TokenDict / StringDict), the token-hash collision disambiguation, the
+// Resolver::Insert rollback, and 1-vs-8-thread differentials over the
+// build-path boundary corpora (empty corpus, single-token corpus,
+// all-identical entities, the table's max-load-factor boundary). The
+// differential tests pin the determinism contract of the parallel two-pass
+// builders: every index built here must be byte-identical at any thread
+// count.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/builders.hpp"
+#include "common/flat_dict.hpp"
+#include "common/hash.hpp"
+#include "common/parallel.hpp"
+#include "core/entity.hpp"
+#include "core/profile_store.hpp"
+#include "obs/trace.hpp"
+#include "serve/incremental.hpp"
+#include "serve/resolver.hpp"
+#include "sparsenn/joins.hpp"
+#include "sparsenn/scancount.hpp"
+#include "sparsenn/tokenset.hpp"
+
+namespace erb {
+namespace {
+
+using blocking::BlockCollection;
+using blocking::BuilderConfig;
+using blocking::BuilderKind;
+using core::Dataset;
+using core::EntityProfile;
+using core::SchemaMode;
+using sparsenn::SimilarityMeasure;
+using sparsenn::TokenModel;
+using sparsenn::TokenSet;
+
+// ---------------------------------------------------------------------------
+// TokenDict
+
+TEST(TokenDictTest, InsertFindRoundtrip) {
+  TokenDict dict;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const std::uint64_t key = SplitMix64(k);  // scrambled, no structure
+    std::uint32_t* value = dict.FindOrInsert(key, static_cast<std::uint32_t>(k));
+    ASSERT_NE(value, nullptr);
+    EXPECT_EQ(*value, k);
+  }
+  EXPECT_EQ(dict.size(), 1000u);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const std::uint32_t* value = dict.Find(SplitMix64(k));
+    ASSERT_NE(value, nullptr) << "key " << k << " lost";
+    EXPECT_EQ(*value, k);
+  }
+  EXPECT_EQ(dict.Find(SplitMix64(1000)), nullptr);
+  EXPECT_EQ(dict.Find(0), nullptr);
+}
+
+TEST(TokenDictTest, FindOrInsertKeepsExistingValue) {
+  TokenDict dict;
+  *dict.FindOrInsert(42, 7) = 7;
+  std::uint32_t* again = dict.FindOrInsert(42, 99);
+  EXPECT_EQ(*again, 7u);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+// The grow condition is (size + 1) * 2 > capacity: a fresh table (capacity
+// 16) holds exactly 8 keys rehash-free, and the 9th insert doubles it. Every
+// key must survive the rehash with its value intact.
+TEST(TokenDictTest, MaxLoadFactorBoundary) {
+  TokenDict dict;
+  ASSERT_EQ(dict.capacity(), 16u);
+  for (std::uint64_t k = 1; k <= 8; ++k) {
+    dict.FindOrInsert(k, static_cast<std::uint32_t>(k));
+  }
+  EXPECT_EQ(dict.capacity(), 16u);  // exactly at the load bound, no growth
+  EXPECT_EQ(dict.rehashes(), 0u);
+  dict.FindOrInsert(9, 9);
+  EXPECT_EQ(dict.capacity(), 32u);
+  EXPECT_EQ(dict.rehashes(), 1u);
+  for (std::uint64_t k = 1; k <= 9; ++k) {
+    const std::uint32_t* value = dict.Find(k);
+    ASSERT_NE(value, nullptr) << "key " << k << " lost in rehash";
+    EXPECT_EQ(*value, k);
+  }
+}
+
+TEST(TokenDictTest, ReserveMakesInsertsRehashFree) {
+  TokenDict dict;
+  dict.Reserve(5000);
+  const std::uint64_t after_reserve = dict.rehashes();
+  for (std::uint64_t k = 0; k < 5000; ++k) {
+    dict.FindOrInsert(SplitMix64(k), static_cast<std::uint32_t>(k));
+  }
+  EXPECT_EQ(dict.rehashes(), after_reserve);
+  EXPECT_EQ(dict.size(), 5000u);
+}
+
+// ---------------------------------------------------------------------------
+// StringDict
+
+TEST(StringDictTest, DenseFirstAppearanceIds) {
+  StringDict dict;
+  EXPECT_EQ(dict.FindOrAssign("alpha"), 0u);
+  EXPECT_EQ(dict.FindOrAssign("beta"), 1u);
+  EXPECT_EQ(dict.FindOrAssign("alpha"), 0u);  // interned, not re-assigned
+  EXPECT_EQ(dict.FindOrAssign(""), 2u);       // empty key is a valid key
+  EXPECT_EQ(dict.NumKeys(), 3u);
+  EXPECT_EQ(dict.Key(0), "alpha");
+  EXPECT_EQ(dict.Key(1), "beta");
+  EXPECT_EQ(dict.Key(2), "");
+  EXPECT_EQ(dict.Find("beta"), 1u);
+  EXPECT_EQ(dict.Find("gamma"), StringDict::kAbsent);
+}
+
+// Prefix/suffix-related keys share many bytes (and under a weak hash could
+// share hashes): the dict must compare full key bytes, never alias.
+TEST(StringDictTest, RelatedKeysNeverAlias) {
+  StringDict dict;
+  const std::vector<std::string> keys = {"a", "ab", "abc", "bc", "c", "abcabc"};
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(dict.FindOrAssign(keys[i]), i);
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(dict.Find(keys[i]), i);
+    EXPECT_EQ(dict.Key(static_cast<std::uint32_t>(i)), keys[i]);
+  }
+}
+
+TEST(StringDictTest, IdsStableAcrossRehashes) {
+  StringDict dict;
+  std::vector<std::string> keys;
+  keys.reserve(2000);
+  for (int i = 0; i < 2000; ++i) keys.push_back("key_" + std::to_string(i));
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(dict.FindOrAssign(keys[i]), i);
+  }
+  EXPECT_GT(dict.rehashes(), 0u);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(dict.Find(keys[i]), i);
+    ASSERT_EQ(dict.Key(static_cast<std::uint32_t>(i)), keys[i]);
+  }
+  EXPECT_EQ(dict.NumKeys(), keys.size());
+}
+
+// ---------------------------------------------------------------------------
+// Token-hash collision disambiguation (satellite: the TokenRankMap
+// rank-corruption bug). The injectable hash forces same-hash/distinct-gram
+// inputs that the 2^-64 FNV event would otherwise never produce in a test.
+
+std::uint64_t ConstantHash(std::string_view) { return 42; }
+
+std::uint64_t FirstByteHash(std::string_view gram) {
+  return gram.empty() ? 0 : static_cast<std::uint64_t>(gram.front());
+}
+
+TEST(TokenCollisionTest, CollidingGramsStayDistinct) {
+  // All three words collide on the constant hash; the set must still hold
+  // three distinct tokens (the pre-fix behaviour merged them into one).
+  const TokenSet set =
+      sparsenn::BuildTokenSet("ab cd ef", TokenModel::kT1G, false, ConstantHash);
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(TokenCollisionTest, DisambiguationIsContentDeterministic) {
+  // The colliding grams are ordered lexicographically, not by encounter
+  // order: any permutation of the same words must produce the same set.
+  const TokenSet a =
+      sparsenn::BuildTokenSet("ab cd ef", TokenModel::kT1G, false, ConstantHash);
+  const TokenSet b =
+      sparsenn::BuildTokenSet("ef ab cd", TokenModel::kT1G, false, ConstantHash);
+  const TokenSet c =
+      sparsenn::BuildTokenSet("cd ef ab", TokenModel::kT1G, false, ConstantHash);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(TokenCollisionTest, PartialCollisionOnlyRehashesColliders) {
+  // "aa" and "ab" collide on the first byte, "ba" does not: three distinct
+  // tokens, and the non-collider keeps its base hash.
+  const TokenSet set = sparsenn::BuildTokenSet("aa ab ba", TokenModel::kT1G,
+                                               false, FirstByteHash);
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(std::find(set.begin(), set.end(), FirstByteHash("ba")) !=
+              set.end());
+}
+
+TEST(TokenCollisionTest, MultisetOccurrencesSurviveCollisions) {
+  // Multiset semantics: {ab, ab, cd} has three members even when every gram
+  // collides — two occurrence-disambiguated "ab" tokens plus "cd".
+  const TokenSet set = sparsenn::BuildTokenSet("ab ab cd", TokenModel::kT1GM,
+                                               false, ConstantHash);
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(TokenCollisionTest, CollisionsAreCounterTracked) {
+  obs::SetTraceEnabled(true);
+  obs::ResetCollected();
+  sparsenn::BuildTokenSet("ab cd ef", TokenModel::kT1G, false, ConstantHash);
+  const auto counters = obs::CounterSnapshot();
+  obs::SetTraceEnabled(false);
+  obs::ResetCollected();
+  ASSERT_TRUE(counters.count("build.token_hash_collisions"));
+  EXPECT_EQ(counters.at("build.token_hash_collisions"), 2u);  // 3 grams, 1 keeps
+}
+
+TEST(TokenCollisionTest, CollisionFreeHashMatchesDefaultBuild) {
+  // The injectable-hash overload with the production hash is the production
+  // build: no collision machinery may perturb the clean path.
+  const std::string text = "benchmarking filtering techniques for er";
+  for (TokenModel model : {TokenModel::kT1G, TokenModel::kC3G,
+                           TokenModel::kC3GM}) {
+    EXPECT_EQ(sparsenn::BuildTokenSet(text, model, false),
+              sparsenn::BuildTokenSet(text, model, false,
+                                      [](std::string_view gram) {
+                                        return FnvHash64(gram);
+                                      }));
+  }
+}
+
+// A TokenRankMap over sets with disambiguated collisions ranks every distinct
+// token: remapped sets keep their cardinality (the pre-fix corruption was two
+// grams silently sharing one rank).
+TEST(TokenCollisionTest, RankMapRanksDisambiguatedTokens) {
+  std::vector<TokenSet> sets;
+  sets.push_back(
+      sparsenn::BuildTokenSet("ab cd ef", TokenModel::kT1G, false, ConstantHash));
+  sets.push_back(
+      sparsenn::BuildTokenSet("ab gh", TokenModel::kT1G, false, ConstantHash));
+  const sparsenn::TokenRankMap ranks(sets);
+  EXPECT_EQ(ranks.NumRanked(), 4u);  // ab, cd, ef, gh all distinct
+  for (const TokenSet& set : sets) {
+    const sparsenn::RankedTokenSet remapped = ranks.Remap(set);
+    EXPECT_EQ(remapped.size(), set.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Build-path 1-vs-8-thread differentials over the boundary corpora.
+
+EntityProfile MakeProfile(std::string text) {
+  EntityProfile profile;
+  profile.attributes.push_back({"name", std::move(text)});
+  return profile;
+}
+
+Dataset MakeDataset(std::vector<std::string> texts1,
+                    std::vector<std::string> texts2) {
+  std::vector<EntityProfile> e1, e2;
+  for (auto& t : texts1) e1.push_back(MakeProfile(std::move(t)));
+  for (auto& t : texts2) e2.push_back(MakeProfile(std::move(t)));
+  return Dataset("build_test", std::move(e1), std::move(e2), {}, "name");
+}
+
+// The boundary corpora the two-pass builders are most likely to get wrong:
+// nothing to chunk, one global token, every chunk producing identical keys,
+// and a distinct-token count sitting exactly on the TokenDict growth bound.
+std::vector<std::pair<std::string, Dataset>> BuildCorpora() {
+  std::vector<std::pair<std::string, Dataset>> corpora;
+  corpora.emplace_back("empty", MakeDataset({}, {}));
+  corpora.emplace_back("single_token",
+                       MakeDataset({"x", "x", "x", "x", "x", "x", "x", "x", "x"},
+                                   {"x", "x", "x"}));
+  corpora.emplace_back(
+      "all_identical",
+      MakeDataset(std::vector<std::string>(12, "john a smith 42 main st"),
+                  std::vector<std::string>(12, "john a smith 42 main st")));
+  // 8 and 9 distinct word tokens: exactly at and one past the fresh-table
+  // load bound, so the 9-token side rehashes mid-build.
+  corpora.emplace_back(
+      "load_factor_boundary",
+      MakeDataset({"t1 t2 t3 t4 t5 t6 t7 t8", "t1 t2 t3 t4", "t5 t6 t7 t8"},
+                  {"t1 t2 t3 t4 t5 t6 t7 t8 t9", "t9 t1", "t4 t5"}));
+  return corpora;
+}
+
+// Full probe-everything emission log of a ScanCountIndex: every (query,
+// indexed, overlap, size) tuple in emission order. Byte-identical indexes
+// produce identical logs.
+std::vector<std::tuple<std::size_t, std::uint32_t, std::uint32_t, std::uint32_t>>
+ScanCountLog(const std::vector<TokenSet>& indexed,
+             const std::vector<TokenSet>& queries) {
+  const sparsenn::ScanCountIndex index(indexed);
+  std::vector<std::tuple<std::size_t, std::uint32_t, std::uint32_t,
+                         std::uint32_t>>
+      log;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    index.Probe(queries[q], [&](std::uint32_t id, std::uint32_t overlap,
+                                std::uint32_t size) {
+      log.emplace_back(q, id, overlap, size);
+    });
+  }
+  return log;
+}
+
+// Same for the prefix index, probing at the build threshold.
+std::vector<std::tuple<std::size_t, std::uint32_t, std::uint32_t, std::uint32_t>>
+PrefixLog(const std::vector<TokenSet>& indexed,
+          const std::vector<TokenSet>& queries, double threshold) {
+  const sparsenn::PrefixScanCountIndex index(indexed,
+                                             SimilarityMeasure::kJaccard,
+                                             threshold);
+  sparsenn::PrefixScanCountIndex::ProbeScratch scratch;
+  std::vector<std::tuple<std::size_t, std::uint32_t, std::uint32_t,
+                         std::uint32_t>>
+      log;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const sparsenn::RankedTokenSet ranked = index.ranks().Remap(queries[q]);
+    index.Probe(ranked, threshold, &scratch,
+                [&](std::uint32_t id, std::uint32_t overlap,
+                    std::uint32_t size) { log.emplace_back(q, id, overlap, size); });
+  }
+  return log;
+}
+
+void ExpectSameBlocks(const BlockCollection& a, const BlockCollection& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].e1, b[i].e1) << "block " << i;
+    EXPECT_EQ(a[i].e2, b[i].e2) << "block " << i;
+  }
+}
+
+class BuildDifferentialTest : public ::testing::Test {};
+
+TEST(BuildDifferentialTest, TokenSetsIdenticalAt1And8Threads) {
+  for (const auto& [name, dataset] : BuildCorpora()) {
+    SCOPED_TRACE(name);
+    std::vector<TokenSet> reference1, reference2;
+    for (std::size_t threads : {1u, 8u}) {
+      ScopedThreadLimit limit(threads);
+      const auto sets1 = sparsenn::BuildSideTokenSets(
+          dataset, 0, SchemaMode::kAgnostic, TokenModel::kC3G, false);
+      const auto sets2 = sparsenn::BuildSideTokenSets(
+          dataset, 1, SchemaMode::kAgnostic, TokenModel::kT1G, false);
+      if (threads == 1u) {
+        reference1 = sets1;
+        reference2 = sets2;
+      } else {
+        EXPECT_EQ(sets1, reference1);
+        EXPECT_EQ(sets2, reference2);
+      }
+    }
+  }
+}
+
+TEST(BuildDifferentialTest, ScanCountIndexIdenticalAt1And8Threads) {
+  for (const auto& [name, dataset] : BuildCorpora()) {
+    SCOPED_TRACE(name);
+    for (TokenModel model : {TokenModel::kT1G, TokenModel::kC3G}) {
+      std::vector<std::tuple<std::size_t, std::uint32_t, std::uint32_t,
+                             std::uint32_t>>
+          reference;
+      for (std::size_t threads : {1u, 8u}) {
+        ScopedThreadLimit limit(threads);
+        const auto indexed = sparsenn::BuildSideTokenSets(
+            dataset, 0, SchemaMode::kAgnostic, model, false);
+        const auto queries = sparsenn::BuildSideTokenSets(
+            dataset, 1, SchemaMode::kAgnostic, model, false);
+        const auto log = ScanCountLog(indexed, queries);
+        if (threads == 1u) {
+          reference = log;
+        } else {
+          EXPECT_EQ(log, reference);
+        }
+      }
+    }
+  }
+}
+
+TEST(BuildDifferentialTest, PrefixIndexIdenticalAt1And8Threads) {
+  for (const auto& [name, dataset] : BuildCorpora()) {
+    SCOPED_TRACE(name);
+    for (double threshold : {0.1, 0.5}) {
+      std::vector<std::tuple<std::size_t, std::uint32_t, std::uint32_t,
+                             std::uint32_t>>
+          reference;
+      for (std::size_t threads : {1u, 8u}) {
+        ScopedThreadLimit limit(threads);
+        const auto indexed = sparsenn::BuildSideTokenSets(
+            dataset, 0, SchemaMode::kAgnostic, TokenModel::kC3G, false);
+        const auto queries = sparsenn::BuildSideTokenSets(
+            dataset, 1, SchemaMode::kAgnostic, TokenModel::kC3G, false);
+        const auto log = PrefixLog(indexed, queries, threshold);
+        if (threads == 1u) {
+          reference = log;
+        } else {
+          EXPECT_EQ(log, reference);
+        }
+      }
+    }
+  }
+}
+
+TEST(BuildDifferentialTest, BlocksIdenticalAt1And8Threads) {
+  for (const auto& [name, dataset] : BuildCorpora()) {
+    SCOPED_TRACE(name);
+    for (BuilderKind kind : {BuilderKind::kStandard, BuilderKind::kQGrams,
+                             BuilderKind::kSuffixArrays}) {
+      BuilderConfig config;
+      config.kind = kind;
+      BlockCollection reference;
+      for (std::size_t threads : {1u, 8u}) {
+        ScopedThreadLimit limit(threads);
+        const BlockCollection blocks =
+            blocking::BuildBlocks(dataset, SchemaMode::kAgnostic, config);
+        if (threads == 1u) {
+          reference = blocks;
+        } else {
+          ExpectSameBlocks(blocks, reference);
+        }
+      }
+    }
+  }
+}
+
+TEST(BuildDifferentialTest, ProfileStoreMatchesEntityText) {
+  for (const auto& [name, dataset] : BuildCorpora()) {
+    SCOPED_TRACE(name);
+    for (SchemaMode mode : {SchemaMode::kAgnostic, SchemaMode::kBased}) {
+      for (int side : {0, 1}) {
+        const core::ProfileStore store =
+            core::ProfileStore::ForSide(dataset, side, mode);
+        const auto& profiles = side == 0 ? dataset.e1() : dataset.e2();
+        ASSERT_EQ(store.size(), profiles.size());
+        for (std::size_t id = 0; id < profiles.size(); ++id) {
+          EXPECT_EQ(store.Text(static_cast<core::EntityId>(id)),
+                    dataset.EntityText(side, static_cast<core::EntityId>(id),
+                                       mode));
+        }
+      }
+    }
+  }
+}
+
+TEST(BuildDifferentialTest, SealedIncrementalBlockIndexIdenticalAt1And8Threads) {
+  const std::vector<std::string> texts = {
+      "john smith",       "jane doe",   "john smith", "j smith",
+      "doe jane",         "smith john", "",           "x",
+      "john smith extra", "jane d"};
+  std::vector<std::vector<std::vector<core::EntityId>>> results;
+  for (std::size_t threads : {1u, 8u}) {
+    ScopedThreadLimit limit(threads);
+    serve::IncrementalBlockIndex index;
+    for (const auto& text : texts) index.Insert(text);
+    index.Seal();
+    std::vector<std::vector<core::EntityId>> probes;
+    for (const auto& text : texts) {
+      probes.emplace_back();
+      index.Probe(text, &probes.back());
+    }
+    results.push_back(std::move(probes));
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Serve-path rollback (satellite: the half-registered-entity bug).
+
+TEST(ServeRollbackTest, DuplicateExternalIdLeavesNoTrace) {
+  serve::ServeConfig config;
+  config.threshold = 0.3;
+  config.enable_blocking = true;
+  serve::Resolver resolver(config);
+  const auto first = resolver.Insert("id-1", MakeProfile("john smith"));
+  EXPECT_TRUE(first.inserted);
+  const auto duplicate = resolver.Insert("id-1", MakeProfile("jane doe"));
+  EXPECT_FALSE(duplicate.inserted);
+  EXPECT_EQ(duplicate.id, first.id);
+  EXPECT_EQ(resolver.NumEntities(), 1u);
+  // The rejected insert must not have perturbed any index: the original
+  // entity still resolves under its original text.
+  const auto result = resolver.Resolve(MakeProfile("john smith"));
+  ASSERT_EQ(result.matches.size(), 1u);
+  EXPECT_EQ(result.matches[0].id, first.id);
+}
+
+TEST(ServeRollbackTest, SparseRollbackRemovesDeltaTail) {
+  serve::IncrementalSparseIndex index(SimilarityMeasure::kJaccard, 0.5,
+                                      sparsenn::FilterMode::kLength);
+  index.Insert(sparsenn::BuildTokenSet("a b c", TokenModel::kT1G, false));
+  EXPECT_EQ(index.NumSets(), 1u);
+  index.RollbackLastInsert();
+  EXPECT_EQ(index.NumSets(), 0u);
+  serve::IncrementalSparseIndex::ProbeScratch scratch;
+  int emissions = 0;
+  index.Probe(sparsenn::BuildTokenSet("a b c", TokenModel::kT1G, false),
+              &scratch, [&](core::EntityId, double) { ++emissions; });
+  EXPECT_EQ(emissions, 0);
+}
+
+TEST(ServeRollbackTest, RollbackNeverTouchesSealedSets) {
+  serve::IncrementalSparseIndex index(SimilarityMeasure::kJaccard, 0.5,
+                                      sparsenn::FilterMode::kLength);
+  index.Insert(sparsenn::BuildTokenSet("a b c", TokenModel::kT1G, false));
+  index.Seal();
+  index.RollbackLastInsert();  // delta is empty: must be a no-op
+  EXPECT_EQ(index.NumSets(), 1u);
+  EXPECT_EQ(index.SealedCount(), 1u);
+}
+
+}  // namespace
+}  // namespace erb

@@ -151,8 +151,13 @@ TEST(TraceCollectorTest, FilteringCountersIdenticalAt1And8Threads) {
     obs::ResetCollected();
     const auto result = sparsenn::DefaultKnnJoin(
         dataset, core::SchemaMode::kAgnostic);
-    const auto counters = obs::CounterSnapshot();
+    auto counters = obs::CounterSnapshot();
     EXPECT_EQ(counters.at("sparse.candidates"), result.candidates.size());
+    // build.dict_rehashes describes the assembly strategy (a single-threaded
+    // pool builds sequentially, a parallel one merges fixed chunks), so its
+    // value is pool-size-dependent by design; the built indexes themselves
+    // stay byte-identical (enforced by the BuildDifferential suite).
+    counters.erase("build.dict_rehashes");
     if (threads == 1u) {
       reference = counters;
     } else {
