@@ -1,60 +1,251 @@
-// Scalability bench supporting conclusion 3 (Section VII): the number of
-// candidates produced by similarity-threshold methods grows quadratically
-// with the input size, while cardinality-threshold methods grow linearly in
-// the query set. Sweeps dataset scale and reports |C| and RT growth for one
-// representative method per threshold type.
+// Scale-out headline bench (PR 10): the shard-partitioned ε filtering
+// pipeline over D2-style scaled replicas, swept across an entities x shards
+// grid. Each cell streams the corpus shard by shard (src/shard/scale.hpp) —
+// render, tokenize, build, probe — honouring ERB_MEM_BUDGET_MB: when the
+// projected resident set exceeds the budget the run rotates (one shard alive
+// at a time), and the peak-RSS probe verifies the run actually stayed within
+// it.
+//
+// Usage: bench_scalability [--json=PATH] [--threads=N] [--trace[=PATH]]
+//   --json writes the grid (per-shard cells, schedules, peak RSS, shard.*
+//   counters) as a JSON document, committed as BENCH_PR10.json.
+//
+// Grid: ERBENCH_FAST=1 runs a two-target smoke ({20k, 40k} x {1, 4} shards);
+// the default grid climbs to a >= 10M-entity corpus at 8 shards. ERB_SHARDS
+// does not drive this bench (the grid sweeps shard counts explicitly);
+// ERB_MEM_BUDGET_MB overrides the per-cell budget when set.
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
 
-#include "core/metrics.hpp"
+#include "common/parallel.hpp"
 #include "datagen/registry.hpp"
+#include "datagen/scale.hpp"
 #include "harness.hpp"
-#include "sparsenn/joins.hpp"
+#include "obs/trace.hpp"
+#include "shard/plan.hpp"
+#include "shard/scale.hpp"
+
+namespace {
+
+using namespace erb;
+
+struct GridCell {
+  std::uint64_t target = 0;       // requested corpus size
+  std::uint32_t num_shards = 1;   // shard count of this cell
+  std::uint64_t num_queries = 0;  // probing queries
+};
+
+struct CellResult {
+  GridCell cell;
+  shard::ScaleRunResult run;
+  std::uint64_t replicas = 0;
+  std::size_t budget_mb = 0;
+  bool within_budget = true;
+  double total_render_ms = 0.0;
+  double total_build_ms = 0.0;
+  double total_probe_ms = 0.0;
+};
+
+const char* ScheduleName(shard::ShardSchedule schedule) {
+  return schedule == shard::ShardSchedule::kRotate ? "rotate" : "resident";
+}
+
+CellResult RunCell(const datagen::DatasetSpec& base, const GridCell& cell,
+                   std::size_t env_budget_mb) {
+  CellResult out;
+  out.cell = cell;
+  shard::ScaleRunConfig config;
+  config.spec = datagen::ScaleSpec::ForTargetCorpus(base, cell.target);
+  config.threshold = 0.6;
+  config.num_queries = cell.num_queries;
+  config.options.num_shards = cell.num_shards;
+  // Budget: the environment wins when set; otherwise the large cells get a
+  // 2 GiB default so a 10M-entity corpus rotates instead of going resident
+  // at several GB (the small cells stay unlimited = resident).
+  out.budget_mb = env_budget_mb > 0 ? env_budget_mb
+                  : cell.target >= 5'000'000 ? std::size_t{2048}
+                                             : std::size_t{0};
+  config.options.mem_budget_mb = out.budget_mb;
+  out.replicas = config.spec.replicas;
+
+  out.run = shard::RunScaleEpsilon(config);
+  for (const auto& c : out.run.cells) {
+    out.total_render_ms += c.render_ms;
+    out.total_build_ms += c.build_ms;
+    out.total_probe_ms += c.probe_ms;
+  }
+  out.within_budget =
+      out.budget_mb == 0 ||
+      out.run.peak_rss_bytes <= (static_cast<std::uint64_t>(out.budget_mb) << 20);
+  return out;
+}
+
+void PrintCell(const CellResult& r) {
+  std::printf("%10llu %7llu %7u %9s %8zu | %10.0f %10.0f %10.0f | %12llu %8.0f %s\n",
+              static_cast<unsigned long long>(r.run.corpus_size),
+              static_cast<unsigned long long>(r.replicas), r.run.num_shards,
+              ScheduleName(r.run.schedule), r.budget_mb, r.total_render_ms,
+              r.total_build_ms, r.total_probe_ms,
+              static_cast<unsigned long long>(r.run.total_candidates),
+              static_cast<double>(r.run.peak_rss_bytes) / (1 << 20),
+              r.within_budget ? "ok" : "OVER-BUDGET");
+  for (const auto& c : r.run.cells) {
+    std::printf("      shard %3u: %9llu entities %11llu tokens | render %8.0f"
+                " build %8.0f probe %8.0f ms | %10llu cand | rss %6.0f MB\n",
+                c.shard, static_cast<unsigned long long>(c.entities),
+                static_cast<unsigned long long>(c.tokens), c.render_ms,
+                c.build_ms, c.probe_ms,
+                static_cast<unsigned long long>(c.candidates),
+                static_cast<double>(c.peak_rss_bytes) / (1 << 20));
+  }
+}
+
+void WriteJson(const std::string& path, const std::string& base_id, bool fast,
+               const std::vector<CellResult>& results,
+               const std::map<std::string, std::uint64_t>& counters) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_scalability: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"scalability\",\n  \"base\": \"%s\",\n",
+               base_id.c_str());
+  std::fprintf(f, "  \"fast\": %s,\n  \"threads\": %zu,\n",
+               fast ? "true" : "false", NumThreads());
+  std::fprintf(f, "  \"cells\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    std::fprintf(f, "    {\"target_entities\": %llu, \"corpus_size\": %llu, "
+                 "\"replicas\": %llu, \"num_shards\": %u, ",
+                 static_cast<unsigned long long>(r.cell.target),
+                 static_cast<unsigned long long>(r.run.corpus_size),
+                 static_cast<unsigned long long>(r.replicas),
+                 r.run.num_shards);
+    std::fprintf(f, "\"schedule\": \"%s\", \"mem_budget_mb\": %zu, "
+                 "\"projected_mb\": %llu, \"num_queries\": %llu, ",
+                 ScheduleName(r.run.schedule), r.budget_mb,
+                 static_cast<unsigned long long>(r.run.projected_bytes >> 20),
+                 static_cast<unsigned long long>(r.cell.num_queries));
+    std::fprintf(f, "\"render_ms\": %.1f, \"build_ms\": %.1f, "
+                 "\"probe_ms\": %.1f, \"total_candidates\": %llu, "
+                 "\"peak_rss_mb\": %.1f, \"within_budget\": %s,\n",
+                 r.total_render_ms, r.total_build_ms, r.total_probe_ms,
+                 static_cast<unsigned long long>(r.run.total_candidates),
+                 static_cast<double>(r.run.peak_rss_bytes) / (1 << 20),
+                 r.within_budget ? "true" : "false");
+    std::fprintf(f, "     \"shards\": [\n");
+    for (std::size_t s = 0; s < r.run.cells.size(); ++s) {
+      const auto& c = r.run.cells[s];
+      std::fprintf(f, "       {\"shard\": %u, \"entities\": %llu, "
+                   "\"tokens\": %llu, \"render_ms\": %.1f, \"build_ms\": %.1f, "
+                   "\"probe_ms\": %.1f, \"candidates\": %llu, "
+                   "\"peak_rss_mb\": %.1f}%s\n",
+                   c.shard, static_cast<unsigned long long>(c.entities),
+                   static_cast<unsigned long long>(c.tokens), c.render_ms,
+                   c.build_ms, c.probe_ms,
+                   static_cast<unsigned long long>(c.candidates),
+                   static_cast<double>(c.peak_rss_bytes) / (1 << 20),
+                   s + 1 < r.run.cells.size() ? "," : "");
+    }
+    std::fprintf(f, "     ]}%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"counters\": {\n");
+  std::size_t remaining = 0;
+  for (const auto& [name, value] : counters) {
+    if (name.rfind("shard.", 0) == 0) ++remaining;
+  }
+  for (const auto& [name, value] : counters) {
+    if (name.rfind("shard.", 0) != 0) continue;
+    std::fprintf(f, "    \"%s\": %llu%s\n", name.c_str(),
+                 static_cast<unsigned long long>(value),
+                 --remaining > 0 ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  erb::bench::InitBench(argc, argv);
-  using namespace erb;
-
-  std::printf("=== conclusion 3: |C| growth vs input size (D2 replica) ===\n");
-  std::printf("%8s %8s | %12s %10s | %12s %10s\n", "scale", "|E|", "eJoin |C|",
-              "RT", "kNNJ |C|", "RT");
-
-  double previous_e = 0.0, previous_eps = 0.0, previous_knn = 0.0;
-  for (double scale : {0.25, 0.5, 1.0}) {
-    const auto dataset = datagen::Generate(datagen::PaperSpec(2).Scaled(scale));
-    const double entities =
-        static_cast<double>(dataset.e1().size() + dataset.e2().size());
-
-    sparsenn::SparseConfig config;
-    config.model = sparsenn::TokenModel::kC3G;
-    // A low threshold, as ER requires (Section IV-C).
-    const auto eps = sparsenn::EpsilonJoin(dataset, core::SchemaMode::kAgnostic,
-                                           config, 0.18);
-    const auto knn = sparsenn::KnnJoin(dataset, core::SchemaMode::kAgnostic,
-                                       config, 3, false);
-
-    std::printf("%8.2f %8.0f | %12zu %10s | %12zu %10s\n", scale, entities,
-                eps.candidates.size(),
-                bench::FormatMs(eps.timing.TotalMs()).c_str(),
-                knn.candidates.size(),
-                bench::FormatMs(knn.timing.TotalMs()).c_str());
-
-    if (previous_e > 0.0) {
-      const double size_ratio = entities / previous_e;
-      std::printf("%17s input x%.1f -> eJoin |C| x%.1f (quadratic ~x%.1f), "
-                  "kNNJ |C| x%.1f (linear ~x%.1f)\n",
-                  "", size_ratio,
-                  static_cast<double>(eps.candidates.size()) / previous_eps,
-                  size_ratio * size_ratio,
-                  static_cast<double>(knn.candidates.size()) / previous_knn,
-                  size_ratio);
+  // --json is this bench's own (cell-structured) writer, not the harness's
+  // tuning-record array: peel it off before InitBench sees the flags.
+  std::string json_path;
+  std::vector<char*> pass_through;
+  pass_through.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      pass_through.push_back(argv[i]);
     }
-    previous_e = entities;
-    previous_eps = static_cast<double>(eps.candidates.size());
-    previous_knn = static_cast<double>(knn.candidates.size());
+  }
+  bench::InitBench(static_cast<int>(pass_through.size()),
+                   pass_through.data());
+
+  // Counters drive the JSON "counters" block; recording them costs nothing
+  // next to the corpus passes.
+  obs::SetTraceEnabled(true);
+
+  const bool fast = []() {
+    const char* v = std::getenv("ERBENCH_FAST");
+    return v != nullptr && std::string(v) == "1";
+  }();
+  const std::size_t env_budget_mb =
+      shard::ResolveMemBudgetMb(shard::ShardOptions::kBudgetFromEnv);
+
+  // D2-style base (product descriptions): every corpus is this spec
+  // replicated (datagen/scale.hpp), so token-frequency shape is preserved
+  // while the corpus grows to tens of millions of entities.
+  const datagen::DatasetSpec base = datagen::PaperSpec(2);
+
+  std::vector<GridCell> grid;
+  if (fast) {
+    grid = {{20'000, 1, 200}, {20'000, 4, 200}, {40'000, 4, 200}};
+  } else {
+    grid = {{1'000'000, 1, 500},  {1'000'000, 4, 500}, {1'000'000, 8, 500},
+            {10'000'000, 8, 200}};
   }
 
-  std::printf("\nCardinality thresholds bound |C| by K * |queries| regardless "
-              "of the indexed side's size;\nsimilarity thresholds admit every "
-              "pair above the cutoff, which multiplies with both sides.\n");
+  std::printf("=== scale-out: sharded e-join over %s replicas "
+              "(threshold 0.6) ===\n", base.id.c_str());
+  std::printf("%10s %7s %7s %9s %8s | %10s %10s %10s | %12s %8s\n", "|E|",
+              "reps", "shards", "schedule", "budget", "render ms", "build ms",
+              "probe ms", "|C|", "rss MB");
+
+  std::vector<CellResult> results;
+  for (const GridCell& cell : grid) {
+    results.push_back(RunCell(base, cell, env_budget_mb));
+    PrintCell(results.back());
+    if (!results.back().within_budget) {
+      std::fprintf(stderr,
+                   "bench_scalability: peak RSS exceeded ERB_MEM_BUDGET_MB\n");
+      return 1;
+    }
+  }
+
+  // Candidates must agree across the shard counts of one target size — a
+  // cheap standing differential on top of the ctest -L shard suite.
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    if (results[i].cell.target == results[i - 1].cell.target &&
+        results[i].cell.num_queries == results[i - 1].cell.num_queries &&
+        results[i].run.total_candidates != results[i - 1].run.total_candidates) {
+      std::fprintf(stderr,
+                   "bench_scalability: candidate counts diverge across shard "
+                   "counts at |E|=%llu\n",
+                   static_cast<unsigned long long>(results[i].cell.target));
+      return 1;
+    }
+  }
+
+  const auto counters = obs::CounterSnapshot();
+  if (!json_path.empty()) {
+    WriteJson(json_path, base.id, fast, results, counters);
+  }
   return 0;
 }

@@ -1,23 +1,34 @@
 #!/bin/bash
 # Runs the complete benchmark suite (tuned runs come from bench_cache) and
 # archives the outputs the repository documents in EXPERIMENTS.md.
+# Any bench exiting nonzero aborts the sweep immediately — a silent partial
+# bench_output.txt must never look like a finished run.
 set -u
 cd "$(dirname "$0")"
 OUT=${1:-bench_output.txt}
 : > "$OUT"
+
+run() {
+  local label=$1
+  shift
+  echo "##### $label #####" >> "$OUT"
+  if ! "$@" >> "$OUT" 2>> "$OUT.err"; then
+    echo "FAILED: $label (see $OUT.err)" | tee -a "$OUT" >&2
+    exit 1
+  fi
+  echo >> "$OUT"
+}
+
 for b in bench_table6_datasets bench_fig3_profiles bench_table7_main \
          bench_table11_candidates bench_fig456_distances \
-         bench_fig789_breakdown bench_scalability bench_ablation; do
-  echo "##### $b #####" >> "$OUT"
-  ./build/bench/$b >> "$OUT" 2>> "$OUT.err"
-  echo >> "$OUT"
+         bench_fig789_breakdown bench_ablation; do
+  run "$b" ./build/bench/$b
 done
-echo "##### micro_components #####" >> "$OUT"
-./build/bench/micro_components --benchmark_min_time=0.05s >> "$OUT" 2>> "$OUT.err"
-echo "##### micro_components (meta-blocking comparison) #####" >> "$OUT"
-./build/bench/micro_components --json=micro_components.json >> "$OUT" 2>> "$OUT.err"
-echo "##### micro_kernels #####" >> "$OUT"
-./build/bench/micro_kernels --json=micro_kernels.json >> "$OUT" 2>> "$OUT.err"
-echo "##### micro_serve #####" >> "$OUT"
-./build/bench/micro_serve --json=micro_serve.json >> "$OUT" 2>> "$OUT.err"
+# Scale-out headline bench: sharded ε-join grid, committed as BENCH_PR10.json.
+run "bench_scalability" ./build/bench/bench_scalability --json=BENCH_PR10.json
+run "micro_components" ./build/bench/micro_components --benchmark_min_time=0.05s
+run "micro_components (meta-blocking comparison)" \
+    ./build/bench/micro_components --json=micro_components.json
+run "micro_kernels" ./build/bench/micro_kernels --json=micro_kernels.json
+run "micro_serve" ./build/bench/micro_serve --json=micro_serve.json
 echo "ALL_BENCHES_DONE" >> "$OUT"

@@ -152,6 +152,11 @@ EntityProfile RenderProfile(const DatasetSpec& spec, std::uint64_t object_id,
 
 }  // namespace
 
+core::EntityProfile RenderEntity(const DatasetSpec& spec,
+                                 std::uint64_t object_id, int source) {
+  return RenderProfile(spec, object_id, source);
+}
+
 core::Dataset Generate(const DatasetSpec& spec) {
   const std::size_t n_objects = spec.n1 + spec.n2 - spec.n_duplicates;
 

@@ -21,4 +21,17 @@ namespace erb::datagen {
 /// alignment signal.
 core::Dataset Generate(const DatasetSpec& spec);
 
+/// Renders the profile of one pooled object as seen by one source, exactly as
+/// Generate() would: RenderEntity(spec, i, 0) equals Generate(spec).e1()[i]
+/// for i < n1. Exposed so the scaled-replica generator (datagen/scale.hpp)
+/// can stream entities one at a time instead of materializing a corpus.
+///
+/// \param spec The dataset specification (determinism comes from spec.seed).
+/// \param object_id The pooled object to render, in [0, n1 + n2 -
+///        n_duplicates) for Generate()'s pool — larger ids are valid and
+///        render previously unseen objects (the scaled replicas use this).
+/// \param source 0 for the first source's rendering, 1 for the second's.
+core::EntityProfile RenderEntity(const DatasetSpec& spec,
+                                 std::uint64_t object_id, int source);
+
 }  // namespace erb::datagen

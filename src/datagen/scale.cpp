@@ -1,0 +1,40 @@
+#include "datagen/scale.hpp"
+
+#include <algorithm>
+
+namespace erb::datagen {
+
+ScaleSpec ScaleSpec::ForTargetCorpus(DatasetSpec base,
+                                     std::uint64_t target_entities) {
+  ScaleSpec spec;
+  spec.base = std::move(base);
+  const std::uint64_t n1 = std::max<std::uint64_t>(1, spec.base.n1);
+  spec.replicas = std::max<std::uint64_t>(1, (target_entities + n1 - 1) / n1);
+  return spec;
+}
+
+std::string ScaledExternalId(const ScaleSpec& spec, std::uint64_t replica,
+                             std::uint64_t index) {
+  std::string id = spec.base.id;
+  id += ":e1:";
+  id += std::to_string(index);
+  id += "#r";
+  id += std::to_string(replica);
+  return id;
+}
+
+core::EntityProfile RenderScaledEntity(const ScaleSpec& spec,
+                                       std::uint64_t replica,
+                                       std::uint64_t index) {
+  return RenderEntity(spec.base, replica * spec.ObjectStride() + index,
+                      /*source=*/0);
+}
+
+core::EntityProfile RenderScaledQuery(const ScaleSpec& spec,
+                                      std::uint64_t replica,
+                                      std::uint64_t index) {
+  return RenderEntity(spec.base, replica * spec.ObjectStride() + index,
+                      /*source=*/1);
+}
+
+}  // namespace erb::datagen

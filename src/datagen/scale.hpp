@@ -1,0 +1,84 @@
+// Scaled-replica corpora: D1–D10-style datasets replicated to 10–50M
+// entities for the shard-partitioned pipeline (src/shard/).
+//
+// A ScaleSpec stacks `replicas` copies of a base spec's first-source
+// collection. Replica r renders the object ids [r * stride, r * stride + n1)
+// (stride = the base pool size n1 + n2 - n_duplicates), so replica 0 is
+// *exactly* Generate(base).e1() and every later replica consists of
+// previously unseen objects: their distinctive tokens are fresh draws from
+// the same long-tail pool, while the generic Zipf pool is shared across all
+// replicas — head-word document frequencies grow proportionally with the
+// corpus, preserving the base dataset's token-frequency shape (the
+// "frequency-preserving token noise" contract). External ids are the base
+// ids suffix-salted with the replica ("D2:e1:17#r3"), so the FNV shard
+// assignment spreads replicas independently.
+//
+// Entities are rendered one at a time (RenderEntity), never materialized as
+// one Dataset: a 10M-entity corpus exists only shard-by-shard under the
+// memory-budgeted rotation of shard/scale.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/entity.hpp"
+#include "datagen/generator.hpp"
+#include "datagen/spec.hpp"
+
+namespace erb::datagen {
+
+/// \brief A corpus of `replicas` stacked copies of `base`'s first source.
+struct ScaleSpec {
+  DatasetSpec base;            ///< the D1–D10-style spec being replicated
+  std::uint64_t replicas = 1;  ///< number of stacked E1 copies
+
+  /// \brief Total corpus size: replicas * base.n1.
+  std::uint64_t CorpusSize() const { return replicas * base.n1; }
+
+  /// \brief The object-id stride between replicas (the base pool size), so
+  ///        replica r's objects never collide with any other replica's.
+  std::uint64_t ObjectStride() const {
+    return base.n1 + base.n2 - base.n_duplicates;
+  }
+
+  /// \brief The smallest replica count whose corpus reaches
+  ///        `target_entities` (at least 1).
+  /// \param base The spec to replicate.
+  /// \param target_entities Desired minimum corpus size.
+  static ScaleSpec ForTargetCorpus(DatasetSpec base,
+                                   std::uint64_t target_entities);
+};
+
+/// \brief The external id of corpus entity (replica, index):
+///        "<base.id>:e1:<index>#r<replica>". The replica suffix salts the
+///        FNV shard assignment so stacked copies of one base entity land on
+///        independent shards.
+/// \param spec The scaled corpus.
+/// \param replica Replica number, in [0, spec.replicas).
+/// \param index Entity index within the replica, in [0, spec.base.n1).
+std::string ScaledExternalId(const ScaleSpec& spec, std::uint64_t replica,
+                             std::uint64_t index);
+
+/// \brief Renders corpus entity (replica, index) — the first source's view of
+///        object replica * stride + index. Deterministic in spec.base.seed;
+///        replica 0 reproduces Generate(spec.base).e1() entity-for-entity.
+/// \param spec The scaled corpus.
+/// \param replica Replica number, in [0, spec.replicas).
+/// \param index Entity index within the replica, in [0, spec.base.n1).
+core::EntityProfile RenderScaledEntity(const ScaleSpec& spec,
+                                       std::uint64_t replica,
+                                       std::uint64_t index);
+
+/// \brief Renders the second source's view of the same object — the
+///        near-duplicate query for corpus entity (replica, index), carrying
+///        the base spec's e2 noise (typos, drops, paraphrased generic
+///        tokens). Probing the corpus with these queries reproduces the base
+///        dataset's match/non-match similarity structure at scale.
+/// \param spec The scaled corpus.
+/// \param replica Replica number, in [0, spec.replicas).
+/// \param index Entity index within the replica, in [0, spec.base.n1).
+core::EntityProfile RenderScaledQuery(const ScaleSpec& spec,
+                                      std::uint64_t replica,
+                                      std::uint64_t index);
+
+}  // namespace erb::datagen

@@ -1,0 +1,103 @@
+#include "shard/blocks.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "blocking/entity_index.hpp"
+#include "common/parallel.hpp"
+#include "obs/trace.hpp"
+
+namespace erb::shard {
+namespace {
+
+using core::EntityId;
+
+// Rough token-occurrence stand-in for the schedule projection: blocking keys
+// are derived from the entity texts, so text bytes scale with key volume.
+std::uint64_t ProjectedTextTokens(const core::Dataset& dataset,
+                                  core::SchemaMode mode) {
+  std::uint64_t chars = 0;
+  for (EntityId i = 0; i < dataset.e1().size(); ++i) {
+    chars += dataset.EntityText(0, i, mode).size();
+  }
+  return chars / 4 + 1;
+}
+
+}  // namespace
+
+bool BuilderIsShardable(blocking::BuilderKind kind) {
+  return kind == blocking::BuilderKind::kStandard ||
+         kind == blocking::BuilderKind::kQGrams ||
+         kind == blocking::BuilderKind::kExtendedQGrams;
+}
+
+core::CandidateSet ShardedBlockCandidates(const core::Dataset& dataset,
+                                          core::SchemaMode mode,
+                                          const blocking::BuilderConfig& config,
+                                          const ShardOptions& options) {
+  if (!BuilderIsShardable(config.kind)) {
+    throw std::invalid_argument(
+        "ShardedBlockCandidates: the Suffix-Arrays builders enforce b_max "
+        "against whole-collection block sizes and cannot be sharded "
+        "byte-identically");
+  }
+  const std::uint32_t shards = ResolveShardCount(options.num_shards);
+  const std::size_t n1 = dataset.e1().size();
+  if (!options.assignment.empty() && options.assignment.size() != n1) {
+    throw std::invalid_argument(
+        "ShardOptions::assignment must cover E1 exactly");
+  }
+  const ShardPlan plan =
+      options.assignment.empty()
+          ? ShardPlan::ForDatasetSide(dataset, 0, shards)
+          : ShardPlan::FromAssignments(options.assignment, shards);
+  obs::GaugeSet("shard.shards", shards);
+  obs::CounterAdd("shard.assigned", plan.assignment.size());
+  const ShardSchedule schedule = ChooseSchedule(
+      ProjectResidentBytes(ProjectedTextTokens(dataset, mode),
+                           n1 + dataset.e2().size()),
+      ResolveMemBudgetMb(options.mem_budget_mb), shards);
+
+  // Block candidate generation is single-pass, so both schedules walk the
+  // shards the same way; rotation just means what it always means here —
+  // each shard's block collection is freed before the next is built.
+  core::CandidateSet candidates;
+  for (std::uint32_t s = 0; s < plan.num_shards; ++s) {
+    const auto& members = plan.members[s];
+    if (members.empty()) continue;
+    std::vector<core::EntityProfile> e1_subset;
+    e1_subset.reserve(members.size());
+    for (EntityId id : members) e1_subset.push_back(dataset.e1()[id]);
+    const core::Dataset subset(dataset.name(), std::move(e1_subset),
+                               dataset.e2(), {}, dataset.best_attribute());
+    const blocking::BlockCollection blocks =
+        blocking::BuildBlocks(subset, mode, config);
+    obs::CounterAdd("shard.builds", 1);
+    const blocking::EntityBlockIndex index(blocks, members.size(),
+                                           dataset.e2().size());
+    candidates.Merge(ParallelMapReduce<core::CandidateSet>(
+        0, members.size(), /*grain=*/0,
+        [&](std::size_t begin, std::size_t end) {
+          core::CandidateSet chunk;
+          index.Stream<false, false>(
+              begin, end,
+              [&](EntityId local, EntityId j, std::uint32_t, double) {
+                chunk.Add(members[local], j);
+              });
+          return chunk;
+        },
+        [](core::CandidateSet& into, core::CandidateSet&& from) {
+          into.Merge(std::move(from));
+        }));
+    obs::CounterAdd("shard.probe_passes", 1);
+    if (schedule == ShardSchedule::kRotate) {
+      obs::CounterAdd("shard.rotations", 1);
+    }
+  }
+  candidates.Finalize();
+  obs::CounterAdd("shard.candidates", candidates.size());
+  return candidates;
+}
+
+}  // namespace erb::shard

@@ -1,0 +1,47 @@
+// Shard-partitioned block-based candidate generation.
+//
+// The lazy block builders (Standard, Q-Grams, Extended Q-Grams) derive an
+// entity's blocking keys from that entity's text alone, so a pair is a
+// candidate iff the two entities share a key — a property that survives any
+// partition of E1. Sharding therefore builds each shard's blocks over (shard
+// subset of E1, full E2) and unions the per-shard pair streams; the finalized
+// candidate set is byte-identical to the unsharded BuildBlocks +
+// EntityBlockIndex stream.
+//
+// The proactive Suffix-Arrays-based builders are *not* shardable this way:
+// their b_max bound discards blocks by size during building, and a block's
+// size depends on how many E1 entities share the suffix — i.e. on the whole
+// collection, not the shard. Requesting them here throws.
+#pragma once
+
+#include "blocking/builders.hpp"
+#include "core/candidates.hpp"
+#include "core/entity.hpp"
+#include "shard/plan.hpp"
+
+namespace erb::shard {
+
+/// \brief True when `kind` is a lazy builder whose sharded candidates are
+///        byte-identical to the unsharded ones (Standard, Q-Grams, Extended
+///        Q-Grams); false for the proactive Suffix-Arrays family, whose
+///        b_max bound is block-size-dependent and thus partition-sensitive.
+/// \param kind The block builder.
+bool BuilderIsShardable(blocking::BuilderKind kind);
+
+/// \brief Sharded block-based candidate generation: builds each E1 shard's
+///        blocks against the full E2, streams the distinct pairs of every
+///        shard with global E1 ids, and finalizes the union. Byte-identical
+///        to the unsharded pipeline for every lazy builder; throws
+///        std::invalid_argument for the Suffix-Arrays family (see
+///        BuilderIsShardable). Under the rotation schedule at most one
+///        shard's block collection is alive at a time.
+/// \param dataset The dataset to block.
+/// \param mode Schema-agnostic or schema-based key derivation.
+/// \param config Builder kind and parameters.
+/// \param options Shard count / memory budget / assignment overrides.
+core::CandidateSet ShardedBlockCandidates(const core::Dataset& dataset,
+                                          core::SchemaMode mode,
+                                          const blocking::BuilderConfig& config,
+                                          const ShardOptions& options = {});
+
+}  // namespace erb::shard

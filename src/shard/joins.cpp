@@ -1,0 +1,470 @@
+#include "shard/joins.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "obs/trace.hpp"
+#include "shard/merge.hpp"
+#include "sparsenn/probes.hpp"
+
+namespace erb::shard {
+namespace {
+
+using core::EntityId;
+using sparsenn::kPhaseIndex;
+using sparsenn::kPhasePreprocess;
+using sparsenn::kPhaseQuery;
+using sparsenn::PrefixScanCountIndex;
+using sparsenn::RankedTokenSet;
+using sparsenn::ScanCountIndex;
+using sparsenn::SparseResult;
+using sparsenn::TokenSet;
+
+// The shard subset of the indexed side's token sets, in ascending-member
+// order: shard-local id i is global id members[i], so local ascending maps to
+// global ascending — the property every merge below leans on.
+std::vector<TokenSet> GatherSets(const std::vector<TokenSet>& all,
+                                 const std::vector<EntityId>& members) {
+  std::vector<TokenSet> subset;
+  subset.reserve(members.size());
+  for (EntityId id : members) subset.push_back(all[id]);
+  return subset;
+}
+
+std::uint64_t TotalTokens(const std::vector<TokenSet>& sets) {
+  std::uint64_t total = 0;
+  for (const auto& set : sets) total += set.size();
+  return total;
+}
+
+// Resolves plan + schedule and publishes the shard gauges; shared by the
+// three joins. The plan always covers the *indexed* side.
+struct ShardSetup {
+  ShardPlan plan;
+  ShardSchedule schedule;
+};
+
+ShardSetup MakeSetup(const core::Dataset& dataset, int indexed_side,
+                     const std::vector<TokenSet>& indexed_sets,
+                     const ShardOptions& options) {
+  ShardSetup setup;
+  const std::uint32_t shards = ResolveShardCount(options.num_shards);
+  if (!options.assignment.empty() &&
+      options.assignment.size() != indexed_sets.size()) {
+    throw std::invalid_argument(
+        "ShardOptions::assignment must cover the indexed side exactly");
+  }
+  setup.plan = options.assignment.empty()
+                   ? ShardPlan::ForDatasetSide(dataset, indexed_side, shards)
+                   : ShardPlan::FromAssignments(options.assignment, shards);
+  obs::GaugeSet("shard.shards", shards);
+  obs::CounterAdd("shard.assigned", setup.plan.assignment.size());
+  setup.schedule = ChooseSchedule(
+      ProjectResidentBytes(TotalTokens(indexed_sets), indexed_sets.size()),
+      ResolveMemBudgetMb(options.mem_budget_mb), shards);
+  return setup;
+}
+
+// Drives the per-shard build/probe passes under the chosen schedule.
+// kResident builds every shard's state up front (first Pass) and keeps them
+// alive across passes; kRotate builds, probes and frees one shard at a time,
+// rebuilding on every pass — spill-free, at most one shard resident.
+// Probe results per shard cannot depend on other shards' states, so the two
+// schedules emit identical candidates.
+template <typename State>
+class ShardRunner {
+ public:
+  template <typename MakeState>
+  ShardRunner(ShardSchedule schedule, std::uint32_t num_shards,
+              PhaseTimer* timing, MakeState&& make)
+      : schedule_(schedule),
+        num_shards_(num_shards),
+        timing_(timing),
+        make_(std::forward<MakeState>(make)) {}
+
+  template <typename Probe>
+  void Pass(Probe&& probe) {
+    if (schedule_ == ShardSchedule::kResident) {
+      if (resident_.empty()) {
+        resident_.reserve(num_shards_);
+        for (std::uint32_t s = 0; s < num_shards_; ++s) {
+          resident_.push_back(
+              timing_->Measure(kPhaseIndex, [&] { return make_(s); }));
+          obs::CounterAdd("shard.builds", 1);
+        }
+      }
+      for (std::uint32_t s = 0; s < num_shards_; ++s) {
+        timing_->Measure(kPhaseQuery, [&] { probe(s, resident_[s]); });
+        obs::CounterAdd("shard.probe_passes", 1);
+      }
+      return;
+    }
+    for (std::uint32_t s = 0; s < num_shards_; ++s) {
+      State state = timing_->Measure(kPhaseIndex, [&] { return make_(s); });
+      obs::CounterAdd("shard.builds", 1);
+      timing_->Measure(kPhaseQuery, [&] { probe(s, state); });
+      obs::CounterAdd("shard.probe_passes", 1);
+      obs::CounterAdd("shard.rotations", 1);
+      // `state` goes out of scope here: the rotation's whole point.
+    }
+  }
+
+ private:
+  ShardSchedule schedule_;
+  std::uint32_t num_shards_;
+  PhaseTimer* timing_;
+  std::function<State(std::uint32_t)> make_;
+  std::vector<State> resident_;
+};
+
+// Per-shard state for the length-filtered (merge-count) probes.
+struct LengthState {
+  ScanCountIndex index;
+};
+
+// Per-shard state for the prefix-filtered probes: the shard's index lives in
+// its *own* global-frequency rank space (document frequencies of the shard's
+// sets), so every query is remapped per shard. The remap changes only the
+// scan order inside the probe, never the exact overlaps it verifies, so
+// emitted candidates are unaffected.
+struct PrefixState {
+  PrefixScanCountIndex index;
+  std::vector<RankedTokenSet> ranked_queries;
+};
+
+LengthState MakeLengthState(const std::vector<TokenSet>& indexed_sets,
+                            const std::vector<EntityId>& members) {
+  return LengthState{ScanCountIndex(GatherSets(indexed_sets, members))};
+}
+
+PrefixState MakePrefixState(const std::vector<TokenSet>& indexed_sets,
+                            const std::vector<EntityId>& members,
+                            const std::vector<TokenSet>& query_sets,
+                            sparsenn::SimilarityMeasure measure,
+                            double build_threshold) {
+  PrefixState state{
+      PrefixScanCountIndex(GatherSets(indexed_sets, members), measure,
+                           build_threshold),
+      {}};
+  state.ranked_queries.reserve(query_sets.size());
+  for (const auto& set : query_sets) {
+    state.ranked_queries.push_back(state.index.ranks().Remap(set));
+  }
+  return state;
+}
+
+void MergeCandidates(core::CandidateSet& into, core::CandidateSet&& from) {
+  into.Merge(std::move(from));
+}
+
+// Builds both sides' token sets with the join's timing phases.
+void Preprocess(const core::Dataset& dataset, core::SchemaMode mode,
+                const sparsenn::SparseConfig& config, bool reverse,
+                SparseResult* result, std::vector<TokenSet>* indexed_sets,
+                std::vector<TokenSet>* query_sets) {
+  const int indexed_side = reverse ? 1 : 0;
+  const int query_side = reverse ? 0 : 1;
+  result->timing.Measure(kPhasePreprocess, [&] {
+    *indexed_sets = sparsenn::BuildSideTokenSets(dataset, indexed_side, mode,
+                                                 config.model, config.clean);
+  });
+  result->timing.Measure(kPhasePreprocess, [&] {
+    *query_sets = sparsenn::BuildSideTokenSets(dataset, query_side, mode,
+                                               config.model, config.clean);
+  });
+}
+
+}  // namespace
+
+SparseResult ShardedEpsilonJoin(const core::Dataset& dataset,
+                                core::SchemaMode mode,
+                                const sparsenn::SparseConfig& config,
+                                double threshold,
+                                const ShardOptions& options) {
+  if (threshold <= 0.0) {
+    // The Cartesian fallback never touches an index; per-shard execution
+    // would only re-derive the same full E1 x E2 enumeration.
+    return sparsenn::EpsilonJoin(dataset, mode, config, threshold);
+  }
+  SparseResult result;
+  std::vector<TokenSet> indexed_sets, query_sets;
+  Preprocess(dataset, mode, config, /*reverse=*/false, &result, &indexed_sets,
+             &query_sets);
+  const ShardSetup setup = MakeSetup(dataset, 0, indexed_sets, options);
+  const auto& members = setup.plan.members;
+
+  // Per-shard collector: remap the shard-local match id to its global E1 id
+  // and apply the exact threshold — the unsharded ε collect, relocated.
+  const auto collect_for = [&](std::uint32_t s) {
+    return [&, s](EntityId q, const std::vector<sparsenn::ScoredMatch>& matches,
+                  core::CandidateSet& candidates) {
+      for (const auto& [local, sim] : matches) {
+        if (sim >= threshold) candidates.Add(members[s][local], q);
+      }
+    };
+  };
+
+  if (sparsenn::ResolveFilterMode(config.filter) ==
+      sparsenn::FilterMode::kPrefix) {
+    ShardRunner<PrefixState> runner(
+        setup.schedule, setup.plan.num_shards, &result.timing,
+        [&](std::uint32_t s) {
+          return MakePrefixState(indexed_sets, members[s], query_sets,
+                                 config.measure, threshold);
+        });
+    runner.Pass([&](std::uint32_t s, const PrefixState& state) {
+      result.candidates.Merge(sparsenn::ParallelProbe<core::CandidateSet>(
+          state.index, state.ranked_queries,
+          sparsenn::ProbePrefixEpsilon{config.measure, threshold},
+          collect_for(s), MergeCandidates));
+    });
+  } else {
+    ShardRunner<LengthState> runner(
+        setup.schedule, setup.plan.num_shards, &result.timing,
+        [&](std::uint32_t s) { return MakeLengthState(indexed_sets, members[s]); });
+    runner.Pass([&](std::uint32_t s, const LengthState& state) {
+      result.candidates.Merge(sparsenn::ParallelProbe<core::CandidateSet>(
+          state.index, query_sets,
+          sparsenn::ProbeWithLengthFilter{config.measure, threshold},
+          collect_for(s), MergeCandidates));
+    });
+  }
+
+  result.timing.Measure(kPhaseQuery, [&] { result.candidates.Finalize(); });
+  obs::CounterAdd("shard.candidates", result.candidates.size());
+  return result;
+}
+
+SparseResult ShardedKnnJoin(const core::Dataset& dataset, core::SchemaMode mode,
+                            const sparsenn::SparseConfig& config, int k,
+                            bool reverse, const ShardOptions& options) {
+  SparseResult result;
+  std::vector<TokenSet> indexed_sets, query_sets;
+  Preprocess(dataset, mode, config, reverse, &result, &indexed_sets,
+             &query_sets);
+  const int indexed_side = reverse ? 1 : 0;
+  const ShardSetup setup = MakeSetup(dataset, indexed_side, indexed_sets,
+                                     options);
+  const auto& members = setup.plan.members;
+  const std::size_t nq = query_sets.size();
+
+  // runs[q] holds one sorted (sim desc, id asc) run per shard that matched
+  // anything: the shard's local top-k-distinct selection with ids already
+  // global. Slots are written by the probing chunk that owns query q, so the
+  // parallel fill is race-free and the content thread-count-invariant.
+  std::vector<std::vector<std::vector<ScoredMatch>>> runs(nq);
+  const auto reduce_into_runs = [&](std::uint32_t s, EntityId q,
+                                    std::vector<sparsenn::ScoredMatch>* matches) {
+    std::vector<ScoredMatch> run;
+    sparsenn::SelectKnnMatches(matches, k, [&](EntityId local, double sim) {
+      run.push_back(ScoredMatch{members[s][local], sim});
+    });
+    if (!run.empty()) runs[q].push_back(std::move(run));
+  };
+
+  const auto probe_shard = [&](std::uint32_t s, const auto& state,
+                               const auto& probe, const auto& queries) {
+    using Index = std::decay_t<decltype(state.index)>;
+    ParallelFor(0, nq, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
+      typename Index::ProbeScratch scratch;
+      std::vector<sparsenn::ScoredMatch> matches;
+      for (std::size_t q = begin; q < end; ++q) {
+        matches.clear();
+        probe(state.index, queries[q], &scratch, &matches);
+        reduce_into_runs(s, static_cast<EntityId>(q), &matches);
+      }
+      Index::FlushCounters(&scratch);
+    });
+  };
+
+  if (k > 0 && sparsenn::ResolveFilterMode(
+                   config.filter, sparsenn::ProbeShape::kDecreasing) ==
+                   sparsenn::FilterMode::kPrefix) {
+    ShardRunner<PrefixState> runner(
+        setup.schedule, setup.plan.num_shards, &result.timing,
+        [&](std::uint32_t s) {
+          return MakePrefixState(indexed_sets, members[s], query_sets,
+                                 config.measure, /*build_threshold=*/0.0);
+        });
+    runner.Pass([&](std::uint32_t s, const PrefixState& state) {
+      probe_shard(s, state,
+                  sparsenn::ProbePrefixKnn{config.measure,
+                                           static_cast<std::size_t>(k)},
+                  state.ranked_queries);
+    });
+  } else {
+    ShardRunner<LengthState> runner(
+        setup.schedule, setup.plan.num_shards, &result.timing,
+        [&](std::uint32_t s) { return MakeLengthState(indexed_sets, members[s]); });
+    runner.Pass([&](std::uint32_t s, const LengthState& state) {
+      probe_shard(s, state, sparsenn::ProbeAll{config.measure}, query_sets);
+    });
+  }
+
+  // Merge phase: k-way merge each query's per-shard runs in the established
+  // (sim desc, id asc) order and re-apply the distinct-value cut. Each
+  // shard run is that shard's local selection, which provably contains the
+  // shard's contribution to the global selection (any pair at one of the
+  // global top-k distinct values is at one of its shard's top-k too), so the
+  // cut over the merged stream reproduces the unsharded selection exactly.
+  result.timing.Measure(kPhaseQuery, [&] {
+    result.candidates = ParallelMapReduce<core::CandidateSet>(
+        0, nq, /*grain=*/0,
+        [&](std::size_t begin, std::size_t end) {
+          core::CandidateSet chunk;
+          std::vector<ScoredMatch> merged;
+          for (std::size_t q = begin; q < end; ++q) {
+            MergeScoredRuns(runs[q], &merged);
+            sparsenn::EmitTopKDistinct(
+                merged, k, [&](EntityId id, double) {
+                  sparsenn::EmitPair(&chunk, reverse,
+                                     static_cast<EntityId>(q), id);
+                });
+          }
+          return chunk;
+        },
+        MergeCandidates);
+    obs::CounterAdd("shard.merges", nq);
+    result.candidates.Finalize();
+  });
+  obs::CounterAdd("shard.candidates", result.candidates.size());
+  return result;
+}
+
+SparseResult ShardedGlobalTopKJoin(const core::Dataset& dataset,
+                                   core::SchemaMode mode,
+                                   const sparsenn::SparseConfig& config,
+                                   std::size_t global_k,
+                                   const ShardOptions& options) {
+  SparseResult result;
+  if (global_k == 0) {
+    // K = 0 selects nothing (the unsharded guard, mirrored: an empty merged
+    // heap must not fall through to the exact-match threshold).
+    result.candidates.Finalize();
+    return result;
+  }
+  std::vector<TokenSet> indexed_sets, query_sets;
+  Preprocess(dataset, mode, config, /*reverse=*/false, &result, &indexed_sets,
+             &query_sets);
+  const ShardSetup setup = MakeSetup(dataset, 0, indexed_sets, options);
+  const auto& members = setup.plan.members;
+
+  const auto heap_merge = [global_k](std::vector<double>& into,
+                                     std::vector<double>&& from) {
+    for (double sim : from) sparsenn::OfferTopK(&into, global_k, sim);
+  };
+
+  // Pass 1: each shard's heap is exactly the top-K multiset of the shard's
+  // similarities (chunk heaps merged in chunk order, like unsharded pass 1);
+  // folding the shard heaps in ascending shard order yields the top-K
+  // multiset of the whole corpus, so the K-th threshold equals the
+  // unsharded one at any shard and thread count.
+  std::vector<double> global_heap;
+  const auto fold_shard_heap = [&](std::vector<double>&& shard_heap) {
+    heap_merge(global_heap, std::move(shard_heap));
+  };
+
+  const bool prefix =
+      sparsenn::ResolveFilterMode(config.filter,
+                                  sparsenn::ProbeShape::kDecreasing) ==
+      sparsenn::FilterMode::kPrefix;
+
+  if (prefix) {
+    ShardRunner<PrefixState> runner(
+        setup.schedule, setup.plan.num_shards, &result.timing,
+        [&](std::uint32_t s) {
+          // Build threshold 0: pass 1 starts at bound 0 and pass 2's
+          // threshold is unknown until the shard heaps merge.
+          return MakePrefixState(indexed_sets, members[s], query_sets,
+                                 config.measure, /*build_threshold=*/0.0);
+        });
+    runner.Pass([&](std::uint32_t, const PrefixState& state) {
+      fold_shard_heap(ParallelMapReduce<std::vector<double>>(
+          0, state.ranked_queries.size(), /*grain=*/0,
+          [&](std::size_t chunk_begin, std::size_t chunk_end) {
+            std::vector<double> chunk_heap;
+            PrefixScanCountIndex::ProbeScratch scratch;
+            for (std::size_t q = chunk_begin; q < chunk_end; ++q) {
+              const auto& query = state.ranked_queries[q];
+              state.index.ProbeDecreasing(
+                  query,
+                  [&] {
+                    return chunk_heap.size() == global_k ? chunk_heap.front()
+                                                         : 0.0;
+                  },
+                  &scratch,
+                  [&](std::uint32_t id, std::uint32_t overlap,
+                      std::uint32_t indexed_size) {
+                    (void)id;
+                    sparsenn::OfferTopK(
+                        &chunk_heap, global_k,
+                        sparsenn::SetSimilarity(config.measure, overlap,
+                                                query.size(), indexed_size));
+                  });
+            }
+            PrefixScanCountIndex::FlushCounters(&scratch);
+            return chunk_heap;
+          },
+          heap_merge));
+    });
+    const double threshold = global_heap.empty() ? 1.0 : global_heap.front();
+
+    // Pass 2: the per-shard ε emission at the merged threshold. Every
+    // shard's own K-th value is at most the merged one, so no global winner
+    // was dropped by its shard in pass 1's pruning — the union over shards
+    // is the unsharded pass-2 emission.
+    runner.Pass([&](std::uint32_t s, const PrefixState& state) {
+      result.candidates.Merge(sparsenn::ParallelProbe<core::CandidateSet>(
+          state.index, state.ranked_queries,
+          sparsenn::ProbePrefixEpsilon{config.measure, threshold},
+          [&, s](EntityId q,
+                 const std::vector<sparsenn::ScoredMatch>& matches,
+                 core::CandidateSet& candidates) {
+            for (const auto& [local, sim] : matches) {
+              if (sim >= threshold) candidates.Add(members[s][local], q);
+            }
+          },
+          MergeCandidates));
+    });
+  } else {
+    ShardRunner<LengthState> runner(
+        setup.schedule, setup.plan.num_shards, &result.timing,
+        [&](std::uint32_t s) { return MakeLengthState(indexed_sets, members[s]); });
+    const sparsenn::ProbeAll probe{config.measure};
+    runner.Pass([&](std::uint32_t, const LengthState& state) {
+      fold_shard_heap(sparsenn::ParallelProbe<std::vector<double>>(
+          state.index, query_sets, probe,
+          [global_k](EntityId,
+                     const std::vector<sparsenn::ScoredMatch>& matches,
+                     std::vector<double>& heap) {
+            for (const auto& match : matches) {
+              sparsenn::OfferTopK(&heap, global_k, match.second);
+            }
+          },
+          heap_merge));
+    });
+    const double threshold = global_heap.empty() ? 1.0 : global_heap.front();
+    runner.Pass([&](std::uint32_t s, const LengthState& state) {
+      result.candidates.Merge(sparsenn::ParallelProbe<core::CandidateSet>(
+          state.index, query_sets, probe,
+          [&, s](EntityId q,
+                 const std::vector<sparsenn::ScoredMatch>& matches,
+                 core::CandidateSet& candidates) {
+            for (const auto& [local, sim] : matches) {
+              if (sim >= threshold) candidates.Add(members[s][local], q);
+            }
+          },
+          MergeCandidates));
+    });
+  }
+
+  result.timing.Measure(kPhaseQuery, [&] { result.candidates.Finalize(); });
+  obs::CounterAdd("shard.candidates", result.candidates.size());
+  return result;
+}
+
+}  // namespace erb::shard

@@ -1,0 +1,71 @@
+// Shard-partitioned sparse joins: the batch ε/kNN/global-top-K joins of
+// src/sparsenn/ run against per-shard ScanCount/PrefixScanCount indexes,
+// with per-shard candidate streams merged into global results.
+//
+// Determinism contract (oracle-enforced in tests/shard_test.cpp): for every
+// shard count and thread count, the finalized candidate set is byte-identical
+// to the corresponding unsharded join. The per-shard probes reuse the exact
+// probe functors of sparsenn/probes.hpp, per-shard kNN selections merge
+// through the established (similarity desc, id asc) tie order, and the global
+// top-K threshold is recomputed from the merged per-shard heaps — see
+// docs/sharding.md for the merge-semantics proofs.
+#pragma once
+
+#include <cstddef>
+
+#include "core/entity.hpp"
+#include "shard/plan.hpp"
+#include "sparsenn/joins.hpp"
+
+namespace erb::shard {
+
+/// \brief Sharded ε-Join: indexes each shard of E1 separately, probes every
+///        shard with all of E2, and unions the per-shard candidates.
+///        Byte-identical to sparsenn::EpsilonJoin (a non-positive threshold
+///        delegates to its Cartesian fallback — no index is involved).
+/// \param dataset The dataset to join.
+/// \param mode Schema-agnostic or schema-based text.
+/// \param config Tokenization, measure and filter mode (shared with the
+///        unsharded join).
+/// \param threshold The ε similarity threshold.
+/// \param options Shard count / memory budget / assignment overrides.
+sparsenn::SparseResult ShardedEpsilonJoin(const core::Dataset& dataset,
+                                          core::SchemaMode mode,
+                                          const sparsenn::SparseConfig& config,
+                                          double threshold,
+                                          const ShardOptions& options = {});
+
+/// \brief Sharded kNN-Join: each shard contributes its local top-k-distinct
+///        selection per query; the per-shard runs are k-way merged in the
+///        (similarity desc, id asc) order and the distinct-value cut is
+///        re-applied to the merged stream. Byte-identical to
+///        sparsenn::KnnJoin.
+/// \param dataset The dataset to join.
+/// \param mode Schema-agnostic or schema-based text.
+/// \param config Tokenization, measure and filter mode.
+/// \param k Number of distinct similarity values to keep per query.
+/// \param reverse When true, E2 is sharded/indexed and E1 probes (RVS).
+/// \param options Shard count / memory budget / assignment overrides.
+sparsenn::SparseResult ShardedKnnJoin(const core::Dataset& dataset,
+                                      core::SchemaMode mode,
+                                      const sparsenn::SparseConfig& config,
+                                      int k, bool reverse,
+                                      const ShardOptions& options = {});
+
+/// \brief Sharded global top-K join: pass 1 folds each shard's top-K
+///        similarity heap into the global heap (shard-ascending fold, like
+///        the unsharded chunk fold), pass 2 re-probes every shard at the
+///        merged K-th threshold. Byte-identical to sparsenn::GlobalTopKJoin;
+///        under the rotation schedule each pass rebuilds the shard index.
+/// \param dataset The dataset to join.
+/// \param mode Schema-agnostic or schema-based text.
+/// \param config Tokenization, measure and filter mode.
+/// \param global_k Number of best pairs to keep across E1 x E2 (ties with
+///        the K-th similarity all retained; 0 selects nothing).
+/// \param options Shard count / memory budget / assignment overrides.
+sparsenn::SparseResult ShardedGlobalTopKJoin(
+    const core::Dataset& dataset, core::SchemaMode mode,
+    const sparsenn::SparseConfig& config, std::size_t global_k,
+    const ShardOptions& options = {});
+
+}  // namespace erb::shard

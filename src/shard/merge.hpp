@@ -1,0 +1,118 @@
+// K-way merge of per-shard match streams.
+//
+// Every sharded probe produces, per query, one sorted run of scored matches
+// per shard. Merging them must reproduce the unsharded pipeline's established
+// orders exactly: the kNN order (descending similarity, ties by ascending
+// entity id) for the sparse joins, and ascending entity id for the serve
+// path's resolve results. Both orders are total here because a query's
+// matched entity ids are globally unique (shards partition the corpus), so
+// the merge is deterministic regardless of shard count.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/entity.hpp"
+
+namespace erb::shard {
+
+/// \brief One scored match in a per-shard run: a global entity id and its
+///        exact similarity to the probing query.
+struct ScoredMatch {
+  core::EntityId id;  ///< global (unsharded) entity id
+  double similarity;  ///< exact similarity under the join's measure
+};
+
+/// \brief The kNN emission order: descending similarity, ties by ascending
+///        entity id — the same tie order sparsenn::SortMatchesDesc pins for
+///        the unsharded joins.
+/// \param a Left match.
+/// \param b Right match.
+inline bool ScoredBefore(const ScoredMatch& a, const ScoredMatch& b) {
+  return a.similarity != b.similarity ? a.similarity > b.similarity
+                                      : a.id < b.id;
+}
+
+/// \brief K-way merge of runs each sorted by ScoredBefore into one stream in
+///        the same order. With globally unique ids per query the result is
+///        exactly what sorting the concatenation would give, at O(n log k).
+/// \param runs The per-shard runs (each sorted by ScoredBefore; empty runs
+///        are fine).
+/// \param out Receives the merged stream (cleared first).
+inline void MergeScoredRuns(const std::vector<std::vector<ScoredMatch>>& runs,
+                            std::vector<ScoredMatch>* out) {
+  out->clear();
+  std::size_t total = 0;
+  for (const auto& run : runs) total += run.size();
+  out->reserve(total);
+
+  // Cursor heap over the non-empty runs; the comparator inverts ScoredBefore
+  // because std::push_heap keeps the *largest* element at the front.
+  struct Cursor {
+    const ScoredMatch* next;
+    const ScoredMatch* end;
+  };
+  std::vector<Cursor> heap;
+  heap.reserve(runs.size());
+  for (const auto& run : runs) {
+    if (!run.empty()) heap.push_back({run.data(), run.data() + run.size()});
+  }
+  const auto after = [](const Cursor& a, const Cursor& b) {
+    return ScoredBefore(*b.next, *a.next);
+  };
+  std::make_heap(heap.begin(), heap.end(), after);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), after);
+    Cursor& top = heap.back();
+    out->push_back(*top.next);
+    if (++top.next == top.end) {
+      heap.pop_back();
+    } else {
+      std::push_heap(heap.begin(), heap.end(), after);
+    }
+  }
+}
+
+/// \brief K-way merge of runs sorted by ascending entity id (the serve-path
+///        resolve order) into one ascending stream.
+/// \tparam T Element type of the runs.
+/// \tparam IdOf Callable projecting an element to its entity id.
+/// \param runs The per-shard runs, each ascending by id.
+/// \param id_of Projection from an element to the id the runs are sorted by.
+/// \param out Receives the merged stream (cleared first).
+template <typename T, typename IdOf>
+void MergeAscendingRuns(const std::vector<std::vector<T>>& runs, IdOf&& id_of,
+                        std::vector<T>* out) {
+  out->clear();
+  std::size_t total = 0;
+  for (const auto& run : runs) total += run.size();
+  out->reserve(total);
+
+  struct Cursor {
+    const T* next;
+    const T* end;
+  };
+  std::vector<Cursor> heap;
+  heap.reserve(runs.size());
+  for (const auto& run : runs) {
+    if (!run.empty()) heap.push_back({run.data(), run.data() + run.size()});
+  }
+  const auto after = [&](const Cursor& a, const Cursor& b) {
+    return id_of(*a.next) > id_of(*b.next);
+  };
+  std::make_heap(heap.begin(), heap.end(), after);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), after);
+    Cursor& top = heap.back();
+    out->push_back(*top.next);
+    if (++top.next == top.end) {
+      heap.pop_back();
+    } else {
+      std::push_heap(heap.begin(), heap.end(), after);
+    }
+  }
+}
+
+}  // namespace erb::shard

@@ -1,0 +1,100 @@
+#include "shard/plan.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/env.hpp"
+#include "common/hash.hpp"
+#include "obs/trace.hpp"
+
+namespace erb::shard {
+
+std::uint32_t ShardOf(std::string_view external_id, std::uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  return static_cast<std::uint32_t>(FnvHash64(external_id) % num_shards);
+}
+
+std::string SyntheticExternalId(std::string_view dataset_name, int side,
+                                core::EntityId id) {
+  std::string out;
+  out.reserve(dataset_name.size() + 16);
+  out.append(dataset_name);
+  out += side == 1 ? ":e2:" : ":e1:";
+  out += std::to_string(id);
+  return out;
+}
+
+ShardPlan ShardPlan::FromAssignments(std::vector<std::uint32_t> assignment,
+                                     std::uint32_t num_shards) {
+  if (num_shards == 0 || num_shards > kMaxShards) {
+    throw std::invalid_argument("ShardPlan: num_shards out of [1, kMaxShards]");
+  }
+  ShardPlan plan;
+  plan.num_shards = num_shards;
+  plan.assignment = std::move(assignment);
+  plan.members.resize(num_shards);
+  for (std::size_t i = 0; i < plan.assignment.size(); ++i) {
+    const std::uint32_t s = plan.assignment[i];
+    if (s >= num_shards) {
+      throw std::invalid_argument("ShardPlan: assignment value >= num_shards");
+    }
+    // Ascending entity order per shard falls out of this single forward pass.
+    plan.members[s].push_back(static_cast<core::EntityId>(i));
+  }
+  return plan;
+}
+
+ShardPlan ShardPlan::ForDatasetSide(const core::Dataset& dataset, int side,
+                                    std::uint32_t num_shards) {
+  const std::size_t n =
+      side == 1 ? dataset.e2().size() : dataset.e1().size();
+  std::vector<std::uint32_t> assignment(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    assignment[i] = ShardOf(
+        SyntheticExternalId(dataset.name(), side,
+                            static_cast<core::EntityId>(i)),
+        num_shards);
+  }
+  return FromAssignments(std::move(assignment), num_shards);
+}
+
+std::uint32_t ResolveShardCount(std::uint32_t requested) {
+  if (requested != 0) {
+    if (requested > kMaxShards) {
+      throw std::invalid_argument("shard count exceeds kMaxShards");
+    }
+    return requested;
+  }
+  return static_cast<std::uint32_t>(
+      ParseEnvCount("ERB_SHARDS", std::getenv("ERB_SHARDS"), 1, kMaxShards,
+                    /*fallback=*/1));
+}
+
+std::size_t ResolveMemBudgetMb(std::size_t requested) {
+  if (requested != ShardOptions::kBudgetFromEnv) return requested;
+  // 0 = unlimited; the parse helper needs min <= fallback, so accept the
+  // whole range and treat 0 as the documented "no budget" value.
+  return ParseEnvCount("ERB_MEM_BUDGET_MB", std::getenv("ERB_MEM_BUDGET_MB"),
+                       0, static_cast<std::size_t>(1) << 40, /*fallback=*/0);
+}
+
+std::uint64_t ProjectResidentBytes(std::uint64_t total_tokens,
+                                   std::uint64_t num_sets) {
+  // 8 B/token for the TokenSet hashes, ~16 B/token for CSR postings plus the
+  // robin-hood dictionary at load <= 1/2, ~32 B/set of offsets, sizes and
+  // vector headers. The prefix index's positional postings land in the same
+  // ballpark (4+8 B/token of set_tokens_ + postings_).
+  return total_tokens * 24 + num_sets * 32;
+}
+
+ShardSchedule ChooseSchedule(std::uint64_t projected_bytes,
+                             std::size_t budget_mb, std::uint32_t num_shards) {
+  obs::GaugeSet("shard.projected_mb", projected_bytes >> 20);
+  obs::GaugeSet("shard.mem_budget_mb", budget_mb);
+  const bool rotate = budget_mb > 0 && num_shards > 1 &&
+                      projected_bytes > (static_cast<std::uint64_t>(budget_mb) << 20);
+  obs::GaugeSet("shard.schedule_rotate", rotate ? 1 : 0);
+  return rotate ? ShardSchedule::kRotate : ShardSchedule::kResident;
+}
+
+}  // namespace erb::shard

@@ -1,0 +1,130 @@
+// Shard assignment and scheduling for the shard-partitioned filtering
+// pipeline (docs/sharding.md).
+//
+// Entities are hash-partitioned by ERB_SHARDS via FNV-1a over their external
+// id — deterministic across platforms, runs and insert orders, so a corpus
+// re-ingested elsewhere lands on the same shards. Batch datasets, which
+// carry no external ids, get synthetic ones derived from the dataset name,
+// side and index ("D2:e1:17"), making the batch and serve assignments agree
+// by construction.
+//
+// The memory-budget gauge (ERB_MEM_BUDGET_MB) decides the build/probe
+// schedule: when the projected resident bytes of all per-shard indexes fit,
+// every index is built up front and stays resident (kResident); when they
+// exceed the budget, the pipeline rotates — build one shard's index, probe
+// it, free it, move on (kRotate) — holding at most one shard resident with
+// no spill to disk. Both schedules are byte-identical by construction: a
+// shard's probe results never depend on any other shard's index being alive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/entity.hpp"
+
+namespace erb::shard {
+
+/// \brief Upper bound on ERB_SHARDS (a fat-fingered knob should fail loudly,
+///        not allocate a million empty shards).
+inline constexpr std::uint32_t kMaxShards = 4096;
+
+/// \brief The shard of an external id: FNV-1a 64 of the id, mod `num_shards`.
+///        Deterministic across platforms and runs.
+/// \param external_id The entity's external identifier.
+/// \param num_shards Number of shards (>= 1).
+std::uint32_t ShardOf(std::string_view external_id, std::uint32_t num_shards);
+
+/// \brief The synthetic external id of a batch-dataset entity:
+///        "<dataset>:e<side+1>:<index>". Gives the batch pipeline the same
+///        deterministic FNV assignment the serve path gets from real ids.
+/// \param dataset_name The dataset's name (Dataset::name()).
+/// \param side 0 for E1, 1 for E2.
+/// \param id The entity's index within the side.
+std::string SyntheticExternalId(std::string_view dataset_name, int side,
+                                core::EntityId id);
+
+/// \brief A partition of one entity collection into shards.
+struct ShardPlan {
+  std::uint32_t num_shards = 1;          ///< shard count (>= 1)
+  std::vector<std::uint32_t> assignment; ///< entity index -> shard
+  /// Per-shard member lists, each ascending by entity index. Ascending order
+  /// is what makes per-shard probe emissions mergeable back into the global
+  /// orders (local id ascending <=> global id ascending within a shard).
+  std::vector<std::vector<core::EntityId>> members;
+
+  /// \brief Builds a plan from an explicit assignment vector (tests use this
+  ///        to force empty, singleton and all-in-one shards).
+  /// \param assignment Entity index -> shard, each value < num_shards.
+  /// \param num_shards Number of shards (>= 1).
+  static ShardPlan FromAssignments(std::vector<std::uint32_t> assignment,
+                                   std::uint32_t num_shards);
+
+  /// \brief The production plan: FNV assignment over synthetic external ids
+  ///        of one dataset side.
+  /// \param dataset The dataset being partitioned.
+  /// \param side 0 for E1, 1 for E2.
+  /// \param num_shards Number of shards (>= 1).
+  static ShardPlan ForDatasetSide(const core::Dataset& dataset, int side,
+                                  std::uint32_t num_shards);
+};
+
+/// \brief Overrides for the sharded entry points; zero/empty fields defer to
+///        the environment knobs.
+struct ShardOptions {
+  /// Shard count; 0 reads ERB_SHARDS (default 1 — sharding is opt-in).
+  std::uint32_t num_shards = 0;
+  /// Memory budget in MB; kBudgetFromEnv reads ERB_MEM_BUDGET_MB (default 0
+  /// = unlimited, i.e. always resident).
+  std::size_t mem_budget_mb = kBudgetFromEnv;
+  /// Test hook: explicit per-entity shard assignment for the indexed side
+  /// (empty = FNV over synthetic external ids).
+  std::vector<std::uint32_t> assignment;
+
+  /// \brief Sentinel for mem_budget_mb: consult the environment.
+  static constexpr std::size_t kBudgetFromEnv = static_cast<std::size_t>(-1);
+};
+
+/// \brief Resolves a shard count: `requested` if non-zero, else ERB_SHARDS
+///        (clamped to [1, kMaxShards]; malformed values warn and default
+///        to 1).
+/// \param requested Caller override; 0 defers to the environment.
+std::uint32_t ResolveShardCount(std::uint32_t requested);
+
+/// \brief Resolves the memory budget in MB: `requested` unless it is
+///        ShardOptions::kBudgetFromEnv, else ERB_MEM_BUDGET_MB (0 =
+///        unlimited).
+/// \param requested Caller override; kBudgetFromEnv defers to the
+///        environment.
+std::size_t ResolveMemBudgetMb(std::size_t requested);
+
+/// \brief Build/probe schedule chosen by the memory-budget gauge.
+enum class ShardSchedule {
+  kResident,  ///< all per-shard indexes built up front and kept alive
+  kRotate,    ///< one shard at a time: build, probe, free, next
+};
+
+/// \brief Engineering estimate of the bytes needed to hold every per-shard
+///        index (and its token sets) resident at once. Derived from the
+///        ScanCount CSR layout: ~8 bytes per token for the sets themselves
+///        plus ~16 bytes per token occurrence of postings + dictionary, and
+///        per-set bookkeeping. Deliberately a ceiling-ish estimate — the
+///        budget decides a schedule, it is not an allocator.
+/// \param total_tokens Total token occurrences across all indexed sets.
+/// \param num_sets Number of indexed sets.
+std::uint64_t ProjectResidentBytes(std::uint64_t total_tokens,
+                                   std::uint64_t num_sets);
+
+/// \brief Chooses the schedule: kRotate when a budget is set, more than one
+///        shard exists, and the projected resident bytes exceed it;
+///        kResident otherwise (budget 0 = unlimited). Publishes the
+///        shard.projected_mb / shard.mem_budget_mb / shard.schedule_rotate
+///        gauges as a side effect.
+/// \param projected_bytes ProjectResidentBytes of the indexed side.
+/// \param budget_mb Resolved memory budget in MB (0 = unlimited).
+/// \param num_shards Resolved shard count.
+ShardSchedule ChooseSchedule(std::uint64_t projected_bytes,
+                             std::size_t budget_mb, std::uint32_t num_shards);
+
+}  // namespace erb::shard

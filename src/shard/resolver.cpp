@@ -1,0 +1,98 @@
+#include "shard/resolver.hpp"
+
+#include <algorithm>
+
+#include "common/parallel.hpp"
+#include "obs/trace.hpp"
+#include "shard/merge.hpp"
+
+namespace erb::shard {
+
+ShardedResolver::ShardedResolver(serve::ServeConfig config,
+                                 const ShardOptions& options) {
+  const std::uint32_t shards = ResolveShardCount(options.num_shards);
+  shards_.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<serve::Resolver>(config));
+  }
+  local_to_global_.resize(shards);
+  obs::GaugeSet("shard.shards", shards);
+}
+
+serve::InsertResult ShardedResolver::Insert(
+    std::string external_id, const core::EntityProfile& profile) {
+  // Corpus-wide duplicate rejection must precede shard routing only in
+  // spirit — routing is a pure function of the id, so the duplicate would
+  // land on the same shard anyway; the global map just answers without
+  // touching it.
+  if (const auto it = id_lookup_.find(external_id); it != id_lookup_.end()) {
+    return serve::InsertResult{it->second, false};
+  }
+  const std::uint32_t s =
+      ShardOf(external_id, static_cast<std::uint32_t>(shards_.size()));
+  const core::EntityId global =
+      static_cast<core::EntityId>(global_to_local_.size());
+  id_lookup_.emplace(external_id, global);
+  const serve::InsertResult local =
+      shards_[s]->Insert(std::move(external_id), profile);
+  global_to_local_.emplace_back(s, local.id);
+  local_to_global_[s].push_back(global);
+  obs::CounterAdd("shard.assigned", 1);
+  return serve::InsertResult{global, true};
+}
+
+serve::ResolveResult ShardedResolver::Resolve(
+    const core::EntityProfile& query) const {
+  const std::size_t n = shards_.size();
+  std::vector<std::vector<serve::Match>> match_runs(n);
+  std::vector<std::vector<core::EntityId>> block_runs(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    serve::ResolveResult local = shards_[s]->Resolve(query);
+    // Local ids ascend within the shard's insert order and local_to_global_
+    // is strictly increasing, so the remapped runs stay ascending.
+    match_runs[s].reserve(local.matches.size());
+    for (const serve::Match& m : local.matches) {
+      match_runs[s].push_back(
+          serve::Match{local_to_global_[s][m.id], m.similarity});
+    }
+    block_runs[s].reserve(local.block_candidates.size());
+    for (core::EntityId id : local.block_candidates) {
+      block_runs[s].push_back(local_to_global_[s][id]);
+    }
+  }
+  serve::ResolveResult merged;
+  MergeAscendingRuns(
+      match_runs, [](const serve::Match& m) { return m.id; }, &merged.matches);
+  MergeAscendingRuns(
+      block_runs, [](core::EntityId id) { return id; },
+      &merged.block_candidates);
+  obs::CounterAdd("shard.merges", 1);
+  return merged;
+}
+
+std::vector<serve::ResolveResult> ShardedResolver::ResolveBatch(
+    const std::vector<core::EntityProfile>& queries) const {
+  std::vector<serve::ResolveResult> results(queries.size());
+  ParallelFor(0, queries.size(), /*grain=*/0,
+              [&](std::size_t begin, std::size_t end) {
+                for (std::size_t q = begin; q < end; ++q) {
+                  results[q] = Resolve(queries[q]);
+                }
+              });
+  return results;
+}
+
+std::uint64_t ShardedResolver::SealEpoch() {
+  std::uint64_t epoch = 0;
+  for (const auto& shard : shards_) {
+    epoch = std::max(epoch, shard->SealEpoch());
+  }
+  return epoch;
+}
+
+const std::string& ShardedResolver::ExternalIdOf(core::EntityId id) const {
+  const auto& [s, local] = global_to_local_[id];
+  return shards_[s]->ExternalIdOf(local);
+}
+
+}  // namespace erb::shard

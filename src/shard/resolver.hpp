@@ -1,0 +1,93 @@
+// Shard-partitioned online resolve: ERB_SHARDS serve::Resolver instances,
+// inserts routed by the FNV hash of the external id, resolves fanned out to
+// every shard and k-way merged back into the single-resolver order.
+//
+// Determinism contract: a ShardedResolver over any shard count returns, for
+// every query at every point in the insert stream, exactly the matches and
+// block candidates a single serve::Resolver fed the same insert stream would
+// return — same global ids (assigned in insert order, independent of shard
+// routing), same ascending-id result order (per-shard local ids ascend with
+// insert order, so the per-shard runs are ascending in global id and the
+// k-way merge reproduces the global ascending order).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serve/resolver.hpp"
+#include "shard/plan.hpp"
+
+namespace erb::shard {
+
+/// \brief A corpus partitioned over per-shard serve::Resolver instances.
+///
+/// Single-writer like the underlying resolvers: Insert/SealEpoch must not
+/// run concurrently with anything; Resolve/ResolveBatch may run concurrently
+/// with each other.
+class ShardedResolver {
+ public:
+  /// \brief Constructs the per-shard resolvers.
+  /// \param config Forwarded to every shard's serve::Resolver (throws
+  ///        std::invalid_argument for a non-positive threshold, like the
+  ///        unsharded resolver).
+  /// \param options Shard count override (0 reads ERB_SHARDS); the memory
+  ///        budget and assignment fields are ignored — routing is always the
+  ///        FNV hash of the external id.
+  explicit ShardedResolver(serve::ServeConfig config = {},
+                           const ShardOptions& options = {});
+
+  /// \brief Inserts `profile` under `external_id` into the shard ShardOf()
+  ///        selects. Duplicate external ids are rejected corpus-wide
+  ///        (inserted == false, id names the original), exactly like the
+  ///        single resolver. Global ids are assigned in insert order.
+  /// \param external_id The entity's external identifier (also the routing
+  ///        key).
+  /// \param profile The entity profile to insert.
+  serve::InsertResult Insert(std::string external_id,
+                             const core::EntityProfile& profile);
+
+  /// \brief Resolves `query` against every shard and merges the per-shard
+  ///        matches and block candidates into ascending global-id order.
+  /// \param query The probing entity profile.
+  serve::ResolveResult Resolve(const core::EntityProfile& query) const;
+
+  /// \brief Resolve() over a batch, parallelized with deterministic
+  ///        chunking; slot q is query q's independent resolution.
+  /// \param queries The probing entity profiles.
+  std::vector<serve::ResolveResult> ResolveBatch(
+      const std::vector<core::EntityProfile>& queries) const;
+
+  /// \brief Seals every shard's epoch; returns the maximum shard epoch.
+  std::uint64_t SealEpoch();
+
+  /// \brief Number of entities across all shards.
+  std::size_t NumEntities() const { return global_to_local_.size(); }
+  /// \brief The shard count.
+  std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  /// \brief The external id of global entity `id`.
+  const std::string& ExternalIdOf(core::EntityId id) const;
+  /// \brief The shard holding global entity `id`.
+  std::uint32_t ShardOfEntity(core::EntityId id) const {
+    return global_to_local_[id].first;
+  }
+  /// \brief Number of entities on shard `s` (for balance checks).
+  std::size_t ShardSize(std::uint32_t s) const {
+    return local_to_global_[s].size();
+  }
+
+ private:
+  std::vector<std::unique_ptr<serve::Resolver>> shards_;
+  // Global id <-> (shard, local id). Both directions are insert-ordered, so
+  // each local_to_global_[s] is strictly increasing — the merge invariant.
+  std::vector<std::pair<std::uint32_t, core::EntityId>> global_to_local_;
+  std::vector<std::vector<core::EntityId>> local_to_global_;
+  std::unordered_map<std::string, core::EntityId> id_lookup_;
+};
+
+}  // namespace erb::shard

@@ -1,0 +1,207 @@
+#include "shard/scale.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/parallel.hpp"
+#include "obs/trace.hpp"
+#include "sparsenn/probes.hpp"
+
+namespace erb::shard {
+namespace {
+
+using core::EntityId;
+using sparsenn::ScanCountIndex;
+using sparsenn::TokenSet;
+
+double MsSince(std::uint64_t start_ns) {
+  return static_cast<double>(obs::NowNs() - start_ns) / 1e6;
+}
+
+TokenSet TokenizeProfile(const core::EntityProfile& profile,
+                         const sparsenn::SparseConfig& sparse) {
+  return sparsenn::BuildTokenSet(profile.AllValues(), sparse.model,
+                                 sparse.clean);
+}
+
+// Probe accumulator: the candidate count always, the pairs only for the
+// equivalence tests (a 10M-entity run must not materialize them).
+struct ProbeAcc {
+  std::uint64_t count = 0;
+  core::CandidateSet pairs;
+};
+
+}  // namespace
+
+ScaleRunResult RunScaleEpsilon(const ScaleRunConfig& config) {
+  if (config.threshold <= 0.0) {
+    throw std::invalid_argument("RunScaleEpsilon: threshold must be > 0");
+  }
+  const datagen::ScaleSpec& spec = config.spec;
+  const std::uint64_t corpus = spec.CorpusSize();
+  const std::uint64_t n1 = spec.base.n1;
+  if (corpus == 0) {
+    throw std::invalid_argument("RunScaleEpsilon: empty corpus");
+  }
+
+  ScaleRunResult result;
+  result.corpus_size = corpus;
+  const std::uint32_t shards = ResolveShardCount(config.options.num_shards);
+  result.num_shards = shards;
+  obs::GaugeSet("shard.shards", shards);
+
+  // FNV assignment over the scaled external ids; 2 bytes per entity keeps
+  // the map at 100 MB even for a 50M corpus (kMaxShards fits easily).
+  std::vector<std::uint16_t> assignment(corpus);
+  ParallelFor(0, corpus, /*grain=*/0,
+              [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                  assignment[i] = static_cast<std::uint16_t>(ShardOf(
+                      datagen::ScaledExternalId(spec, i / n1, i % n1), shards));
+                }
+              });
+  obs::CounterAdd("shard.assigned", corpus);
+
+  // The shared query set: second-source renderings spread across replicas.
+  std::vector<TokenSet> queries(config.num_queries);
+  ParallelFor(0, queries.size(), /*grain=*/0,
+              [&](std::size_t begin, std::size_t end) {
+                for (std::size_t q = begin; q < end; ++q) {
+                  const std::uint64_t replica = q % spec.replicas;
+                  const std::uint64_t index = (q / spec.replicas) % n1;
+                  queries[q] = TokenizeProfile(
+                      datagen::RenderScaledQuery(spec, replica, index),
+                      config.sparse);
+                }
+              });
+
+  // Schedule projection from a rendered sample: avg tokens/entity times the
+  // corpus. Deterministic (fixed sample prefix), cheap, and honest enough to
+  // pick a schedule — the rotation equivalence is what keeps it safe.
+  const std::uint64_t sample_n = std::min<std::uint64_t>(corpus, 2048);
+  const std::uint64_t sample_tokens = ParallelMapReduce<std::uint64_t>(
+      0, sample_n, /*grain=*/0,
+      [&](std::size_t begin, std::size_t end) {
+        std::uint64_t tokens = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          tokens += TokenizeProfile(
+                        datagen::RenderScaledEntity(spec, i / n1, i % n1),
+                        config.sparse)
+                        .size();
+        }
+        return tokens;
+      },
+      [](std::uint64_t& into, std::uint64_t&& from) { into += from; });
+  result.projected_bytes =
+      ProjectResidentBytes(sample_tokens * corpus / sample_n, corpus);
+  result.schedule =
+      ChooseSchedule(result.projected_bytes,
+                     ResolveMemBudgetMb(config.options.mem_budget_mb), shards);
+
+  result.cells.resize(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) result.cells[s].shard = s;
+
+  // Renders and tokenizes shard `s`: a serial sweep collects its corpus
+  // slots (ascending, so shard-local ascending order is global ascending),
+  // then the rendering fans out over deterministic chunks.
+  std::vector<std::uint64_t> slots;
+  const auto render_shard = [&](std::uint32_t s, std::vector<TokenSet>* sets,
+                                std::vector<EntityId>* members) {
+    obs::Span span("shard.render");
+    const std::uint64_t t0 = obs::NowNs();
+    slots.clear();
+    for (std::uint64_t i = 0; i < corpus; ++i) {
+      if (assignment[i] == s) slots.push_back(i);
+    }
+    sets->resize(slots.size());
+    ParallelFor(0, slots.size(), /*grain=*/0,
+                [&](std::size_t begin, std::size_t end) {
+                  for (std::size_t j = begin; j < end; ++j) {
+                    (*sets)[j] = TokenizeProfile(
+                        datagen::RenderScaledEntity(spec, slots[j] / n1,
+                                                    slots[j] % n1),
+                        config.sparse);
+                  }
+                });
+    if (members) {
+      members->assign(slots.begin(), slots.end());
+    }
+    ShardCell& cell = result.cells[s];
+    cell.entities = slots.size();
+    for (const TokenSet& set : *sets) cell.tokens += set.size();
+    cell.render_ms = MsSince(t0);
+  };
+
+  const auto build_shard = [&](std::uint32_t s, std::vector<TokenSet>&& sets) {
+    obs::Span span("shard.build");
+    const std::uint64_t t0 = obs::NowNs();
+    ScanCountIndex index(sets);
+    result.cells[s].build_ms = MsSince(t0);
+    obs::CounterAdd("shard.builds", 1);
+    return index;
+  };
+
+  const auto probe_shard = [&](std::uint32_t s, const ScanCountIndex& index,
+                               const std::vector<EntityId>* members) {
+    obs::Span span("shard.probe");
+    const std::uint64_t t0 = obs::NowNs();
+    ProbeAcc acc = sparsenn::ParallelProbe<ProbeAcc>(
+        index, queries,
+        sparsenn::ProbeWithLengthFilter{config.sparse.measure,
+                                        config.threshold},
+        [&](EntityId q, const std::vector<sparsenn::ScoredMatch>& matches,
+            ProbeAcc& acc) {
+          for (const auto& [local, sim] : matches) {
+            if (sim < config.threshold) continue;
+            ++acc.count;
+            if (members) acc.pairs.Add((*members)[local], q);
+          }
+        },
+        [](ProbeAcc& into, ProbeAcc&& from) {
+          into.count += from.count;
+          into.pairs.Merge(std::move(from.pairs));
+        });
+    ShardCell& cell = result.cells[s];
+    cell.probe_ms = MsSince(t0);
+    cell.candidates = acc.count;
+    cell.peak_rss_bytes = obs::PeakRssBytes();
+    result.total_candidates += acc.count;
+    if (members) result.pairs.Merge(std::move(acc.pairs));
+    obs::CounterAdd("shard.probe_passes", 1);
+  };
+
+  std::vector<std::vector<EntityId>> members(
+      config.collect_pairs ? shards : 0);
+  if (result.schedule == ShardSchedule::kResident) {
+    std::vector<ScanCountIndex> indexes;
+    indexes.reserve(shards);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      std::vector<TokenSet> sets;
+      render_shard(s, &sets,
+                   config.collect_pairs ? &members[s] : nullptr);
+      indexes.push_back(build_shard(s, std::move(sets)));
+    }
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      probe_shard(s, indexes[s],
+                  config.collect_pairs ? &members[s] : nullptr);
+    }
+  } else {
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      std::vector<TokenSet> sets;
+      render_shard(s, &sets,
+                   config.collect_pairs ? &members[s] : nullptr);
+      const ScanCountIndex index = build_shard(s, std::move(sets));
+      probe_shard(s, index,
+                  config.collect_pairs ? &members[s] : nullptr);
+      obs::CounterAdd("shard.rotations", 1);
+    }
+  }
+
+  result.pairs.Finalize();
+  result.peak_rss_bytes = obs::PeakRssBytes();
+  obs::CounterAdd("shard.candidates", result.total_candidates);
+  return result;
+}
+
+}  // namespace erb::shard

@@ -1,0 +1,67 @@
+// The scale-out runner behind bench_scalability: streams a scaled-replica
+// corpus (datagen/scale.hpp) shard by shard through the ε filtering pipeline
+// without ever materializing the whole corpus.
+//
+// Per shard: render the shard's entities (FNV assignment over the scaled
+// external ids), tokenize them, build the ScanCount index, probe the shared
+// query set through the exact length-filtered probe of the batch ε-Join, and
+// record the shard's cell (entities, tokens, build/probe time, candidates,
+// running peak RSS). Under the kResident schedule all shard indexes are
+// built before any probe; under kRotate (forced whenever the projected
+// resident bytes exceed ERB_MEM_BUDGET_MB) at most one shard's token sets
+// and index are alive at a time — same candidates either way.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/candidates.hpp"
+#include "datagen/scale.hpp"
+#include "shard/plan.hpp"
+#include "sparsenn/joins.hpp"
+
+namespace erb::shard {
+
+/// \brief One scale-out ε run: corpus spec, join parameters, shard knobs.
+struct ScaleRunConfig {
+  datagen::ScaleSpec spec;           ///< the scaled corpus to build
+  sparsenn::SparseConfig sparse;     ///< tokenization + measure (filter: length)
+  double threshold = 0.5;            ///< ε similarity threshold (> 0)
+  std::uint64_t num_queries = 1000;  ///< queries rendered from the e2 view
+  ShardOptions options;              ///< shard count / memory budget
+  bool collect_pairs = false;        ///< keep the candidate pairs (tests only)
+};
+
+/// \brief Per-shard measurement cell of one scale run.
+struct ShardCell {
+  std::uint32_t shard = 0;           ///< shard number
+  std::uint64_t entities = 0;        ///< entities assigned to the shard
+  std::uint64_t tokens = 0;          ///< token occurrences across its sets
+  double render_ms = 0.0;            ///< entity rendering + tokenization time
+  double build_ms = 0.0;             ///< index build time
+  double probe_ms = 0.0;             ///< query probe time
+  std::uint64_t candidates = 0;      ///< pairs at or above the threshold
+  std::uint64_t peak_rss_bytes = 0;  ///< process high-water RSS after probing
+};
+
+/// \brief Outcome of one scale run.
+struct ScaleRunResult {
+  std::uint32_t num_shards = 0;          ///< resolved shard count
+  ShardSchedule schedule = ShardSchedule::kResident;  ///< chosen schedule
+  std::uint64_t corpus_size = 0;         ///< total entities rendered
+  std::uint64_t projected_bytes = 0;     ///< resident-set projection used
+  std::uint64_t total_candidates = 0;    ///< candidates summed over shards
+  std::uint64_t peak_rss_bytes = 0;      ///< process high-water RSS at the end
+  std::vector<ShardCell> cells;          ///< one cell per shard
+  core::CandidateSet pairs;              ///< finalized, when collect_pairs
+};
+
+/// \brief Runs the sharded ε pipeline over a scaled corpus. The candidate
+///        pairs (and their count) are byte-identical across shard counts,
+///        thread counts and schedules; only the cells change. Throws
+///        std::invalid_argument for a non-positive threshold or an empty
+///        corpus.
+/// \param config The run configuration.
+ScaleRunResult RunScaleEpsilon(const ScaleRunConfig& config);
+
+}  // namespace erb::shard

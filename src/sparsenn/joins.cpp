@@ -8,6 +8,7 @@
 #include "common/env.hpp"
 #include "common/parallel.hpp"
 #include "obs/trace.hpp"
+#include "sparsenn/probes.hpp"
 #include "sparsenn/scancount.hpp"
 
 namespace erb::sparsenn {
@@ -15,181 +16,9 @@ namespace {
 
 using core::EntityId;
 
-// Probes the index with every query set in parallel and folds the scored
-// matches into one accumulator per chunk: `probe(index, query, scratch,
-// matches)` fills the (indexed_id, similarity) matches of one query,
-// `collect(query_id, matches, acc)` consumes them, and `merge` folds the
-// chunk accumulators in ascending chunk order (so the result is
-// deterministic at any thread count). Each chunk owns its probe scratch;
-// any pruning counters the probe accumulated are flushed once per chunk.
-// Works against either index flavour: `Index` only has to provide
-// ProbeScratch and a static FlushCounters, and `QuerySet` has to match what
-// the probe functor expects (TokenSet, or RankedTokenSet for the prefix
-// index).
-template <typename Acc, typename Index, typename QuerySet, typename ProbeFn,
-          typename Collect, typename Merge>
-Acc ParallelProbe(const Index& index, const std::vector<QuerySet>& query_sets,
-                  ProbeFn&& probe, Collect&& collect, Merge&& merge) {
-  return ParallelMapReduce<Acc>(
-      0, query_sets.size(), /*grain=*/0,
-      [&](std::size_t chunk_begin, std::size_t chunk_end) {
-        Acc acc;
-        typename Index::ProbeScratch scratch;
-        std::vector<std::pair<EntityId, double>> matches;
-        for (std::size_t q = chunk_begin; q < chunk_end; ++q) {
-          matches.clear();
-          probe(index, query_sets[q], &scratch, &matches);
-          collect(static_cast<EntityId>(q), matches, acc);
-        }
-        Index::FlushCounters(&scratch);
-        return acc;
-      },
-      merge);
-}
-
 void MergeCandidates(core::CandidateSet& into, core::CandidateSet&& from) {
   into.Merge(std::move(from));
 }
-
-// The unfiltered probe: every indexed set sharing at least one token.
-struct ProbeAll {
-  SimilarityMeasure measure;
-
-  void operator()(const ScanCountIndex& index, const TokenSet& query,
-                  ScanCountIndex::ProbeScratch* scratch,
-                  std::vector<std::pair<EntityId, double>>* matches) const {
-    index.Probe(query, scratch,
-                [&](std::uint32_t id, std::uint32_t overlap,
-                    std::uint32_t indexed_size) {
-                  matches->emplace_back(
-                      id, SetSimilarity(measure, overlap, query.size(),
-                                        indexed_size));
-                });
-  }
-};
-
-// The length-filtered probe for a fixed similarity threshold: skips posting
-// lists and candidate sets that cannot reach it (see LengthBounds).
-struct ProbeWithLengthFilter {
-  SimilarityMeasure measure;
-  double threshold;
-
-  void operator()(const ScanCountIndex& index, const TokenSet& query,
-                  ScanCountIndex::ProbeScratch* scratch,
-                  std::vector<std::pair<EntityId, double>>* matches) const {
-    const ScanCountIndex::LengthFilter filter =
-        LengthBounds(measure, threshold, query.size());
-    index.ProbeFiltered(query, filter, scratch,
-                        [&](std::uint32_t id, std::uint32_t overlap,
-                            std::uint32_t indexed_size) {
-                          matches->emplace_back(
-                              id, SetSimilarity(measure, overlap, query.size(),
-                                                indexed_size));
-                        });
-  }
-};
-
-// The prefix-filtered probe for a fixed similarity threshold: prefix,
-// positional and length filters over the global-frequency order, bitmap
-// suffix verification for survivors (see PrefixScanCountIndex).
-struct ProbePrefixEpsilon {
-  SimilarityMeasure measure;
-  double threshold;
-
-  void operator()(const PrefixScanCountIndex& index,
-                  const RankedTokenSet& query,
-                  PrefixScanCountIndex::ProbeScratch* scratch,
-                  std::vector<std::pair<EntityId, double>>* matches) const {
-    index.Probe(query, threshold, scratch,
-                [&](std::uint32_t id, std::uint32_t overlap,
-                    std::uint32_t indexed_size) {
-                  matches->emplace_back(
-                      id, SetSimilarity(measure, overlap, query.size(),
-                                        indexed_size));
-                });
-  }
-};
-
-// Tracker for the running k-th *distinct* similarity of one query: `values`
-// holds at most k distinct similarities, descending. tau() is the threshold
-// the k-th of them sets — 0 until k distinct values exist, after which any
-// pair below it can no longer enter the kNN result.
-struct DistinctTopK {
-  std::vector<double> values;
-  std::size_t k = 0;
-
-  explicit DistinctTopK(std::size_t k_) : k(k_) { values.reserve(k_); }
-
-  double tau() const { return values.size() == k ? values.back() : 0.0; }
-
-  void Offer(double sim) {
-    auto it = std::lower_bound(values.begin(), values.end(), sim,
-                               std::greater<double>());
-    if (it != values.end() && *it == sim) return;
-    if (values.size() < k) {
-      values.insert(it, sim);
-    } else if (it != values.end()) {
-      values.insert(it, sim);
-      values.pop_back();
-    }
-  }
-};
-
-// The decreasing-threshold kNN probe: the running k-th distinct similarity
-// bounds the admissible prefix, length window and positional filter, all of
-// which tighten as matches accumulate. Emits every pair whose similarity was
-// at or above the bound when it was verified — a superset of the final kNN
-// selection that provably contains every pair the unfiltered probe's
-// selection would keep, so the shared collector yields identical candidates.
-struct ProbePrefixKnn {
-  SimilarityMeasure measure;
-  std::size_t k;
-
-  void operator()(const PrefixScanCountIndex& index,
-                  const RankedTokenSet& query,
-                  PrefixScanCountIndex::ProbeScratch* scratch,
-                  std::vector<std::pair<EntityId, double>>* matches) const {
-    DistinctTopK top(k);
-    index.ProbeDecreasing(
-        query, [&] { return top.tau(); }, scratch,
-        [&](std::uint32_t id, std::uint32_t overlap,
-            std::uint32_t indexed_size) {
-          const double sim = SetSimilarity(measure, overlap, query.size(),
-                                           indexed_size);
-          if (sim < top.tau()) return;
-          top.Offer(sim);
-          matches->emplace_back(id, sim);
-        });
-  }
-};
-
-// The hybrid probe: pairs matter if they beat the join threshold *or* could
-// sit among the query's k nearest, so the admissible bound is the smaller of
-// the two — min(threshold, running k-th distinct similarity).
-struct ProbePrefixHybrid {
-  SimilarityMeasure measure;
-  double threshold;
-  std::size_t k;
-
-  void operator()(const PrefixScanCountIndex& index,
-                  const RankedTokenSet& query,
-                  PrefixScanCountIndex::ProbeScratch* scratch,
-                  std::vector<std::pair<EntityId, double>>* matches) const {
-    DistinctTopK top(k);
-    const double cap = std::max(threshold, 0.0);
-    const auto tau = [&] { return std::min(cap, top.tau()); };
-    index.ProbeDecreasing(
-        query, tau, scratch,
-        [&](std::uint32_t id, std::uint32_t overlap,
-            std::uint32_t indexed_size) {
-          const double sim = SetSimilarity(measure, overlap, query.size(),
-                                           indexed_size);
-          if (sim < tau()) return;
-          top.Offer(sim);
-          matches->emplace_back(id, sim);
-        });
-  }
-};
 
 // Builds both sides' token sets, indexes one and probes with the other,
 // handing each query's scored matches to `collect(query_id, matches, acc)`.
@@ -269,28 +98,6 @@ SparseResult RunPrefixJoin(const core::Dataset& dataset, core::SchemaMode mode,
   return result;
 }
 
-// Adds the pair in canonical (E1, E2) order given the join direction.
-void EmitPair(core::CandidateSet* candidates, bool reverse, EntityId query,
-              EntityId indexed) {
-  if (reverse) {
-    candidates->Add(query, indexed);
-  } else {
-    candidates->Add(indexed, query);
-  }
-}
-
-// Bounded min-heap insert keeping the k largest similarities.
-void OfferTopK(std::vector<double>* heap, std::size_t k, double sim) {
-  if (heap->size() < k) {
-    heap->push_back(sim);
-    std::push_heap(heap->begin(), heap->end(), std::greater<>());
-  } else if (!heap->empty() && sim > heap->front()) {
-    std::pop_heap(heap->begin(), heap->end(), std::greater<>());
-    heap->back() = sim;
-    std::push_heap(heap->begin(), heap->end(), std::greater<>());
-  }
-}
-
 }  // namespace
 
 FilterMode ResolveFilterMode(FilterMode requested, ProbeShape shape) {
@@ -341,10 +148,9 @@ SparseResult EpsilonJoin(const core::Dataset& dataset, core::SchemaMode mode,
     obs::CounterAdd("sparse.candidates", result.candidates.size());
     return result;
   }
-  const auto collect = [threshold](
-                           EntityId q,
-                           const std::vector<std::pair<EntityId, double>>& matches,
-                           core::CandidateSet& candidates) {
+  const auto collect = [threshold](EntityId q,
+                                   const std::vector<ScoredMatch>& matches,
+                                   core::CandidateSet& candidates) {
     for (const auto& [id, sim] : matches) {
       if (sim >= threshold) candidates.Add(id, q);
     }
@@ -360,28 +166,15 @@ SparseResult EpsilonJoin(const core::Dataset& dataset, core::SchemaMode mode,
 
 SparseResult KnnJoin(const core::Dataset& dataset, core::SchemaMode mode,
                      const SparseConfig& config, int k, bool reverse) {
-  const auto collect = [k, reverse](
-                           EntityId q,
-                           std::vector<std::pair<EntityId, double>>& matches,
-                           core::CandidateSet& candidates) {
+  const auto collect = [k, reverse](EntityId q,
+                                    std::vector<ScoredMatch>& matches,
+                                    core::CandidateSet& candidates) {
     // Retain the entities carrying the k highest distinct similarity
-    // values; equidistant entities beyond position k are all kept. Ties
-    // sort by ascending entity id so the pre-Finalize emission order is
-    // pinned, not left to the sort implementation.
-    std::sort(matches.begin(), matches.end(),
-              [](const auto& a, const auto& b) {
-                return a.second != b.second ? a.second > b.second
-                                            : a.first < b.first;
-              });
-    int distinct_values = 0;
-    double previous = -1.0;
-    for (const auto& [id, sim] : matches) {
-      if (sim != previous) {
-        if (++distinct_values > k) break;
-        previous = sim;
-      }
+    // values; equidistant entities beyond position k are all kept (see
+    // SelectKnnMatches in probes.hpp for the tie ordering contract).
+    SelectKnnMatches(&matches, k, [&](EntityId id, double) {
       EmitPair(&candidates, reverse, q, id);
-    }
+    });
   };
   if (k > 0 && ResolveFilterMode(config.filter, ProbeShape::kDecreasing) == FilterMode::kPrefix) {
     // The probe's match list is a provable superset of the final selection
@@ -412,14 +205,9 @@ SparseResult HybridJoin(const core::Dataset& dataset, core::SchemaMode mode,
   };
   const std::size_t min_matches = k > 0 ? static_cast<std::size_t>(k) : 0;
   const auto collect = [threshold, k, min_matches](
-                           EntityId q,
-                           std::vector<std::pair<EntityId, double>>& matches,
+                           EntityId q, std::vector<ScoredMatch>& matches,
                            HybridAcc& acc) {
-    std::sort(matches.begin(), matches.end(),
-              [](const auto& a, const auto& b) {
-                return a.second != b.second ? a.second > b.second
-                                            : a.first < b.first;
-              });
+    SortMatchesDesc(&matches);
     std::size_t above = 0;
     while (above < matches.size() && matches[above].second >= threshold) {
       ++above;
@@ -434,15 +222,9 @@ SparseResult HybridJoin(const core::Dataset& dataset, core::SchemaMode mode,
     // Under-filled: fall back to the k nearest distinct similarity values
     // (ties retained) — a superset of the threshold matches.
     ++acc.fallbacks;
-    int distinct_values = 0;
-    double previous = -1.0;
-    for (const auto& [id, sim] : matches) {
-      if (sim != previous) {
-        if (++distinct_values > k) break;
-        previous = sim;
-      }
+    EmitTopKDistinct(matches, k, [&](EntityId id, double) {
       acc.candidates.Add(id, q);
-    }
+    });
   };
 
   auto indexed_sets = result.timing.Measure(kPhasePreprocess, [&] {
@@ -523,8 +305,7 @@ SparseResult GlobalTopKJoin(const core::Dataset& dataset, core::SchemaMode mode,
     for (double sim : from) OfferTopK(&into, global_k, sim);
   };
   const auto emit_at = [](double threshold) {
-    return [threshold](EntityId q,
-                       const std::vector<std::pair<EntityId, double>>& matches,
+    return [threshold](EntityId q, const std::vector<ScoredMatch>& matches,
                        core::CandidateSet& candidates) {
       for (const auto& [id, sim] : matches) {
         if (sim >= threshold) candidates.Add(id, q);
@@ -601,8 +382,7 @@ SparseResult GlobalTopKJoin(const core::Dataset& dataset, core::SchemaMode mode,
   const std::vector<double> heap = result.timing.Measure(kPhaseQuery, [&] {
     return ParallelProbe<std::vector<double>>(
         index, query_sets, probe,
-        [global_k](EntityId,
-                   const std::vector<std::pair<EntityId, double>>& matches,
+        [global_k](EntityId, const std::vector<ScoredMatch>& matches,
                    std::vector<double>& heap) {
           for (const auto& match : matches) OfferTopK(&heap, global_k, match.second);
         },

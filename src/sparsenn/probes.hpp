@@ -1,0 +1,283 @@
+// Shared probe machinery of the sparse joins: the parallel probe driver, the
+// per-filter-mode probe functors, and the kNN distinct-value selection.
+//
+// Extracted from joins.cpp so the shard-partitioned pipeline (src/shard/) can
+// run the *same* probes against per-shard indexes: byte-identical sharded
+// results depend on every per-pair decision — similarity arguments, filter
+// bounds, tie ordering, the distinct-value cut — being literally the same
+// code, not a re-implementation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/candidates.hpp"
+#include "core/entity.hpp"
+#include "sparsenn/scancount.hpp"
+#include "sparsenn/tokenset.hpp"
+
+namespace erb::sparsenn {
+
+/// \brief One scored probe result: an indexed entity and its exact similarity
+///        to the probing query.
+using ScoredMatch = std::pair<core::EntityId, double>;
+
+/// \brief Probes the index with every query set in parallel and folds the
+///        scored matches into one accumulator per chunk.
+///
+/// `probe(index, query, scratch, matches)` fills the (indexed_id, similarity)
+/// matches of one query, `collect(query_id, matches, acc)` consumes them, and
+/// `merge` folds the chunk accumulators in ascending chunk order (so the
+/// result is deterministic at any thread count). Each chunk owns its probe
+/// scratch; any pruning counters the probe accumulated are flushed once per
+/// chunk. Works against either index flavour: `Index` only has to provide
+/// ProbeScratch and a static FlushCounters, and `QuerySet` has to match what
+/// the probe functor expects (TokenSet, or RankedTokenSet for the prefix
+/// index).
+template <typename Acc, typename Index, typename QuerySet, typename ProbeFn,
+          typename Collect, typename Merge>
+Acc ParallelProbe(const Index& index, const std::vector<QuerySet>& query_sets,
+                  ProbeFn&& probe, Collect&& collect, Merge&& merge) {
+  return ParallelMapReduce<Acc>(
+      0, query_sets.size(), /*grain=*/0,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        Acc acc;
+        typename Index::ProbeScratch scratch;
+        std::vector<ScoredMatch> matches;
+        for (std::size_t q = chunk_begin; q < chunk_end; ++q) {
+          matches.clear();
+          probe(index, query_sets[q], &scratch, &matches);
+          collect(static_cast<core::EntityId>(q), matches, acc);
+        }
+        Index::FlushCounters(&scratch);
+        return acc;
+      },
+      merge);
+}
+
+/// \brief The unfiltered probe: every indexed set sharing at least one token.
+struct ProbeAll {
+  SimilarityMeasure measure;  ///< similarity to score surviving pairs with
+
+  void operator()(const ScanCountIndex& index, const TokenSet& query,
+                  ScanCountIndex::ProbeScratch* scratch,
+                  std::vector<ScoredMatch>* matches) const {
+    index.Probe(query, scratch,
+                [&](std::uint32_t id, std::uint32_t overlap,
+                    std::uint32_t indexed_size) {
+                  matches->emplace_back(
+                      id, SetSimilarity(measure, overlap, query.size(),
+                                        indexed_size));
+                });
+  }
+};
+
+/// \brief The length-filtered probe for a fixed similarity threshold: skips
+///        posting lists and candidate sets that cannot reach it (see
+///        LengthBounds).
+struct ProbeWithLengthFilter {
+  SimilarityMeasure measure;  ///< similarity to score surviving pairs with
+  double threshold;           ///< the join threshold the filter is sound for
+
+  void operator()(const ScanCountIndex& index, const TokenSet& query,
+                  ScanCountIndex::ProbeScratch* scratch,
+                  std::vector<ScoredMatch>* matches) const {
+    const ScanCountIndex::LengthFilter filter =
+        LengthBounds(measure, threshold, query.size());
+    index.ProbeFiltered(query, filter, scratch,
+                        [&](std::uint32_t id, std::uint32_t overlap,
+                            std::uint32_t indexed_size) {
+                          matches->emplace_back(
+                              id, SetSimilarity(measure, overlap, query.size(),
+                                                indexed_size));
+                        });
+  }
+};
+
+/// \brief The prefix-filtered probe for a fixed similarity threshold: prefix,
+///        positional and length filters over the global-frequency order,
+///        bitmap suffix verification for survivors (see PrefixScanCountIndex).
+struct ProbePrefixEpsilon {
+  SimilarityMeasure measure;  ///< similarity to score surviving pairs with
+  double threshold;           ///< probe threshold (>= the index's build threshold)
+
+  void operator()(const PrefixScanCountIndex& index,
+                  const RankedTokenSet& query,
+                  PrefixScanCountIndex::ProbeScratch* scratch,
+                  std::vector<ScoredMatch>* matches) const {
+    index.Probe(query, threshold, scratch,
+                [&](std::uint32_t id, std::uint32_t overlap,
+                    std::uint32_t indexed_size) {
+                  matches->emplace_back(
+                      id, SetSimilarity(measure, overlap, query.size(),
+                                        indexed_size));
+                });
+  }
+};
+
+/// \brief Tracker for the running k-th *distinct* similarity of one query.
+///
+/// `values` holds at most k distinct similarities, descending. tau() is the
+/// threshold the k-th of them sets — 0 until k distinct values exist, after
+/// which any pair below it can no longer enter the kNN result.
+struct DistinctTopK {
+  std::vector<double> values;  ///< at most k distinct similarities, descending
+  std::size_t k = 0;           ///< the kNN parameter
+
+  explicit DistinctTopK(std::size_t k_) : k(k_) { values.reserve(k_); }
+
+  double tau() const { return values.size() == k ? values.back() : 0.0; }
+
+  void Offer(double sim) {
+    auto it = std::lower_bound(values.begin(), values.end(), sim,
+                               std::greater<double>());
+    if (it != values.end() && *it == sim) return;
+    if (values.size() < k) {
+      values.insert(it, sim);
+    } else if (it != values.end()) {
+      values.insert(it, sim);
+      values.pop_back();
+    }
+  }
+};
+
+/// \brief The decreasing-threshold kNN probe: the running k-th distinct
+///        similarity bounds the admissible prefix, length window and
+///        positional filter, all of which tighten as matches accumulate.
+///
+/// Emits every pair whose similarity was at or above the bound when it was
+/// verified — a superset of the final kNN selection that provably contains
+/// every pair the unfiltered probe's selection would keep, so the shared
+/// collector yields identical candidates.
+struct ProbePrefixKnn {
+  SimilarityMeasure measure;  ///< similarity to score surviving pairs with
+  std::size_t k;              ///< the kNN parameter bounding the threshold
+
+  void operator()(const PrefixScanCountIndex& index,
+                  const RankedTokenSet& query,
+                  PrefixScanCountIndex::ProbeScratch* scratch,
+                  std::vector<ScoredMatch>* matches) const {
+    DistinctTopK top(k);
+    index.ProbeDecreasing(
+        query, [&] { return top.tau(); }, scratch,
+        [&](std::uint32_t id, std::uint32_t overlap,
+            std::uint32_t indexed_size) {
+          const double sim = SetSimilarity(measure, overlap, query.size(),
+                                           indexed_size);
+          if (sim < top.tau()) return;
+          top.Offer(sim);
+          matches->emplace_back(id, sim);
+        });
+  }
+};
+
+/// \brief The hybrid probe: pairs matter if they beat the join threshold *or*
+///        could sit among the query's k nearest, so the admissible bound is
+///        the smaller of the two — min(threshold, running k-th distinct
+///        similarity).
+struct ProbePrefixHybrid {
+  SimilarityMeasure measure;  ///< similarity to score surviving pairs with
+  double threshold;           ///< the hybrid's ε threshold
+  std::size_t k;              ///< the hybrid's fallback kNN parameter
+
+  void operator()(const PrefixScanCountIndex& index,
+                  const RankedTokenSet& query,
+                  PrefixScanCountIndex::ProbeScratch* scratch,
+                  std::vector<ScoredMatch>* matches) const {
+    DistinctTopK top(k);
+    const double cap = std::max(threshold, 0.0);
+    const auto tau = [&] { return std::min(cap, top.tau()); };
+    index.ProbeDecreasing(
+        query, tau, scratch,
+        [&](std::uint32_t id, std::uint32_t overlap,
+            std::uint32_t indexed_size) {
+          const double sim = SetSimilarity(measure, overlap, query.size(),
+                                           indexed_size);
+          if (sim < tau()) return;
+          top.Offer(sim);
+          matches->emplace_back(id, sim);
+        });
+  }
+};
+
+/// \brief Sorts a query's scored matches into the kNN emission order:
+///        descending similarity, ties by ascending entity id, so the
+///        pre-Finalize order is pinned, not left to the sort implementation.
+/// \param matches The query's scored matches; sorted in place.
+inline void SortMatchesDesc(std::vector<ScoredMatch>* matches) {
+  std::sort(matches->begin(), matches->end(),
+            [](const ScoredMatch& a, const ScoredMatch& b) {
+              return a.second != b.second ? a.second > b.second
+                                          : a.first < b.first;
+            });
+}
+
+/// \brief The kNN distinct-value cut over matches already in the kNN order
+///        (descending similarity, ascending id within ties): invokes
+///        `emit(id, sim)` for the entities carrying the k highest distinct
+///        similarity values; equidistant entities beyond position k are all
+///        kept, per the paper's definition.
+/// \param matches Scored matches sorted by SortMatchesDesc (or merged from
+///        runs in that order); any range whose elements destructure to
+///        (id, similarity) — ScoredMatch pairs or the shard layer's structs.
+/// \param k The kNN parameter; k <= 0 emits nothing.
+/// \param emit Callable `emit(EntityId, double)`.
+template <typename Matches, typename Emit>
+void EmitTopKDistinct(const Matches& matches, int k, Emit&& emit) {
+  int distinct_values = 0;
+  double previous = -1.0;
+  for (const auto& [id, sim] : matches) {
+    if (sim != previous) {
+      if (++distinct_values > k) break;
+      previous = sim;
+    }
+    emit(id, sim);
+  }
+}
+
+/// \brief SortMatchesDesc + EmitTopKDistinct: the full kNN selection over one
+///        query's scored matches.
+/// \param matches The query's scored matches; sorted in place.
+/// \param k The kNN parameter; k <= 0 emits nothing.
+/// \param emit Callable `emit(EntityId, double)`.
+template <typename Emit>
+void SelectKnnMatches(std::vector<ScoredMatch>* matches, int k, Emit&& emit) {
+  SortMatchesDesc(matches);
+  EmitTopKDistinct(*matches, k, std::forward<Emit>(emit));
+}
+
+/// \brief Bounded min-heap insert keeping the k largest similarities (the
+///        global top-K pass-1 accumulator; front() is the running K-th best).
+/// \param heap The min-heap (std::greater order).
+/// \param k Heap capacity.
+/// \param sim The similarity to offer.
+inline void OfferTopK(std::vector<double>* heap, std::size_t k, double sim) {
+  if (heap->size() < k) {
+    heap->push_back(sim);
+    std::push_heap(heap->begin(), heap->end(), std::greater<>());
+  } else if (!heap->empty() && sim > heap->front()) {
+    std::pop_heap(heap->begin(), heap->end(), std::greater<>());
+    heap->back() = sim;
+    std::push_heap(heap->begin(), heap->end(), std::greater<>());
+  }
+}
+
+/// \brief Adds the pair in canonical (E1, E2) order given the join direction.
+/// \param candidates The candidate set to append to.
+/// \param reverse True when the join indexed E2 and probed with E1.
+/// \param query The probing entity's id.
+/// \param indexed The matched indexed entity's id.
+inline void EmitPair(core::CandidateSet* candidates, bool reverse,
+                     core::EntityId query, core::EntityId indexed) {
+  if (reverse) {
+    candidates->Add(query, indexed);
+  } else {
+    candidates->Add(indexed, query);
+  }
+}
+
+}  // namespace erb::sparsenn

@@ -1,0 +1,436 @@
+// Differential tests for the shard-partitioned pipeline (src/shard): every
+// sharded entry point must produce byte-identical results to its unsharded
+// counterpart at shard counts {1, 4, 8} and thread counts {1, 8}, under both
+// filter modes, over the adversarial oracle corpus — plus the boundary
+// assignments (empty shard, single-entity shard, all-in-one-shard), K = 0,
+// and the rotation schedule against the resident one. Run alone with
+// `ctest -L shard`.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "blocking/builders.hpp"
+#include "blocking/entity_index.hpp"
+#include "common/parallel.hpp"
+#include "core/candidates.hpp"
+#include "core/entity.hpp"
+#include "datagen/generator.hpp"
+#include "datagen/registry.hpp"
+#include "datagen/scale.hpp"
+#include "obs/trace.hpp"
+#include "oracle/corpus.hpp"
+#include "serve/resolver.hpp"
+#include "shard/blocks.hpp"
+#include "shard/joins.hpp"
+#include "shard/merge.hpp"
+#include "shard/plan.hpp"
+#include "shard/resolver.hpp"
+#include "shard/scale.hpp"
+#include "sparsenn/joins.hpp"
+
+namespace erb {
+namespace {
+
+using core::EntityId;
+
+constexpr std::uint32_t kShardCounts[] = {1, 4, 8};
+constexpr std::size_t kThreadCounts[] = {1, 8};
+
+shard::ShardOptions Opts(std::uint32_t shards) {
+  shard::ShardOptions options;
+  options.num_shards = shards;
+  options.mem_budget_mb = 0;  // resident unless a test says otherwise
+  return options;
+}
+
+// The sweep driver: runs `sharded(options)` across the shard x thread grid
+// and asserts its finalized pairs equal `expected` every time.
+template <typename Sharded>
+void ExpectShardedEqual(const std::vector<core::PairKey>& expected,
+                        Sharded&& sharded, const std::string& what) {
+  for (const std::uint32_t shards : kShardCounts) {
+    for (const std::size_t threads : kThreadCounts) {
+      ScopedThreadLimit limit(threads);
+      const core::CandidateSet got = sharded(Opts(shards));
+      ASSERT_EQ(expected, got.pairs())
+          << what << " diverges at " << shards << " shards, " << threads
+          << " threads";
+    }
+  }
+}
+
+TEST(ShardPlan, AssignmentIsDeterministicAndInRange) {
+  EXPECT_EQ(shard::ShardOf("anything", 1), 0u);
+  const std::uint32_t a = shard::ShardOf("D2:e1:17", 8);
+  EXPECT_EQ(a, shard::ShardOf("D2:e1:17", 8));
+  EXPECT_LT(a, 8u);
+  EXPECT_EQ(shard::SyntheticExternalId("D2", 0, 17), "D2:e1:17");
+  EXPECT_EQ(shard::SyntheticExternalId("D2", 1, 3), "D2:e2:3");
+}
+
+TEST(ShardPlan, FromAssignmentsValidatesAndOrdersMembers) {
+  const auto plan = shard::ShardPlan::FromAssignments({1, 0, 1, 1}, 2);
+  EXPECT_EQ(plan.members[0], (std::vector<EntityId>{1}));
+  EXPECT_EQ(plan.members[1], (std::vector<EntityId>{0, 2, 3}));
+  EXPECT_THROW(shard::ShardPlan::FromAssignments({2}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(shard::ShardPlan::FromAssignments({}, 0),
+               std::invalid_argument);
+}
+
+TEST(ShardPlan, ScheduleRespectsBudget) {
+  using shard::ShardSchedule;
+  EXPECT_EQ(shard::ChooseSchedule(10 << 20, 0, 4), ShardSchedule::kResident);
+  EXPECT_EQ(shard::ChooseSchedule(10 << 20, 1, 4), ShardSchedule::kRotate);
+  EXPECT_EQ(shard::ChooseSchedule(10 << 20, 1, 1), ShardSchedule::kResident);
+  EXPECT_EQ(shard::ChooseSchedule(1 << 18, 1, 4), ShardSchedule::kResident);
+}
+
+TEST(ShardMerge, MergesRunsInKnnOrder) {
+  const std::vector<std::vector<shard::ScoredMatch>> runs = {
+      {{2, 0.9}, {5, 0.5}},
+      {},
+      {{1, 0.9}, {3, 0.9}, {4, 0.2}},
+  };
+  std::vector<shard::ScoredMatch> out;
+  shard::MergeScoredRuns(runs, &out);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].id, 1u);
+  EXPECT_EQ(out[1].id, 2u);
+  EXPECT_EQ(out[2].id, 3u);
+  EXPECT_EQ(out[3].id, 5u);
+  EXPECT_EQ(out[4].id, 4u);
+}
+
+TEST(ShardJoinDifferential, EpsilonMatchesUnsharded) {
+  const auto cases = oracle::BuildCorpus(/*seed=*/4242);
+  for (const auto filter :
+       {sparsenn::FilterMode::kLength, sparsenn::FilterMode::kPrefix}) {
+    sparsenn::SparseConfig config;
+    config.filter = filter;
+    for (const auto& c : cases) {
+      const auto expected =
+          sparsenn::EpsilonJoin(c.dataset, core::SchemaMode::kAgnostic, config,
+                                0.35)
+              .candidates.pairs();
+      ExpectShardedEqual(
+          expected,
+          [&](const shard::ShardOptions& options) {
+            return shard::ShardedEpsilonJoin(c.dataset,
+                                             core::SchemaMode::kAgnostic,
+                                             config, 0.35, options)
+                .candidates;
+          },
+          "epsilon/" + c.name);
+    }
+  }
+}
+
+TEST(ShardJoinDifferential, KnnMatchesUnsharded) {
+  const auto cases = oracle::BuildCorpus(/*seed=*/4243);
+  for (const auto filter :
+       {sparsenn::FilterMode::kLength, sparsenn::FilterMode::kPrefix}) {
+    sparsenn::SparseConfig config;
+    config.filter = filter;
+    for (const auto& c : cases) {
+      for (const bool reverse : {false, true}) {
+        for (const int k : {0, 2}) {
+          const auto expected =
+              sparsenn::KnnJoin(c.dataset, core::SchemaMode::kAgnostic, config,
+                                k, reverse)
+                  .candidates.pairs();
+          ExpectShardedEqual(
+              expected,
+              [&](const shard::ShardOptions& options) {
+                return shard::ShardedKnnJoin(c.dataset,
+                                             core::SchemaMode::kAgnostic,
+                                             config, k, reverse, options)
+                    .candidates;
+              },
+              "knn/" + c.name);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardJoinDifferential, GlobalTopKMatchesUnsharded) {
+  const auto cases = oracle::BuildCorpus(/*seed=*/4244);
+  for (const auto filter :
+       {sparsenn::FilterMode::kLength, sparsenn::FilterMode::kPrefix}) {
+    sparsenn::SparseConfig config;
+    config.filter = filter;
+    for (const auto& c : cases) {
+      for (const std::size_t global_k : {std::size_t{0}, std::size_t{7}}) {
+        const auto expected =
+            sparsenn::GlobalTopKJoin(c.dataset, core::SchemaMode::kAgnostic,
+                                     config, global_k)
+                .candidates.pairs();
+        ExpectShardedEqual(
+            expected,
+            [&](const shard::ShardOptions& options) {
+              return shard::ShardedGlobalTopKJoin(
+                         c.dataset, core::SchemaMode::kAgnostic, config,
+                         global_k, options)
+                  .candidates;
+            },
+            "topk/" + c.name);
+      }
+    }
+  }
+}
+
+// Explicit boundary assignments: an empty shard, a single-entity shard, and
+// everything on one shard — all must still match the unsharded join.
+TEST(ShardJoinDifferential, BoundaryAssignmentsMatchUnsharded) {
+  const auto cases = oracle::BuildCorpus(/*seed=*/4245);
+  sparsenn::SparseConfig config;
+  config.filter = sparsenn::FilterMode::kLength;
+  for (const auto& c : cases) {
+    const std::size_t n1 = c.dataset.e1().size();
+    if (n1 < 2) continue;
+    const auto expected = sparsenn::EpsilonJoin(
+                              c.dataset, core::SchemaMode::kAgnostic, config,
+                              0.35)
+                              .candidates.pairs();
+    std::vector<std::vector<std::uint32_t>> assignments;
+    // Shard 1 stays empty; everything lands on shards 0 and 2.
+    std::vector<std::uint32_t> with_empty(n1, 0);
+    with_empty.back() = 2;
+    assignments.push_back(with_empty);
+    // Shard 1 holds exactly one entity.
+    std::vector<std::uint32_t> singleton(n1, 0);
+    singleton[0] = 1;
+    assignments.push_back(singleton);
+    // All-in-one shard (of 3).
+    assignments.push_back(std::vector<std::uint32_t>(n1, 2));
+    for (const auto& assignment : assignments) {
+      shard::ShardOptions options = Opts(3);
+      options.assignment = assignment;
+      const auto got = shard::ShardedEpsilonJoin(
+          c.dataset, core::SchemaMode::kAgnostic, config, 0.35, options);
+      ASSERT_EQ(expected, got.candidates.pairs()) << c.name;
+    }
+    shard::ShardOptions bad = Opts(3);
+    bad.assignment = {0};  // wrong length
+    if (n1 != 1) {
+      EXPECT_THROW(shard::ShardedEpsilonJoin(c.dataset,
+                                             core::SchemaMode::kAgnostic,
+                                             config, 0.35, bad),
+                   std::invalid_argument);
+    }
+  }
+}
+
+// A corpus big enough that ERB_MEM_BUDGET_MB = 1 forces kRotate: the
+// rotation schedule must emit the same bytes as the resident one and must
+// actually rotate (counter-checked).
+TEST(ShardJoinDifferential, RotationMatchesResident) {
+  datagen::DatasetSpec spec = datagen::PaperSpec(2);
+  spec.n1 = 2400;
+  spec.n2 = 120;
+  spec.n_duplicates = 60;
+  const core::Dataset dataset = datagen::Generate(spec);
+  sparsenn::SparseConfig config;
+  config.filter = sparsenn::FilterMode::kLength;
+
+  shard::ShardOptions resident = Opts(4);
+  const auto expected = shard::ShardedEpsilonJoin(
+      dataset, core::SchemaMode::kAgnostic, config, 0.5, resident);
+
+  obs::SetTraceEnabled(true);
+  obs::ResetCollected();
+  shard::ShardOptions rotate = Opts(4);
+  rotate.mem_budget_mb = 1;
+  const auto got = shard::ShardedEpsilonJoin(
+      dataset, core::SchemaMode::kAgnostic, config, 0.5, rotate);
+  const auto counters = obs::CounterSnapshot();
+  const auto snapshot = obs::Collect();
+  obs::SetTraceEnabled(false);
+
+  EXPECT_EQ(expected.candidates.pairs(), got.candidates.pairs());
+  ASSERT_TRUE(counters.contains("shard.rotations"));
+  EXPECT_EQ(counters.at("shard.rotations"), 4u);
+  EXPECT_EQ(snapshot.gauges.at("shard.schedule_rotate"), 1u);
+}
+
+TEST(ShardBlocks, MatchesUnshardedLazyBuilders) {
+  const auto cases = oracle::BuildCorpus(/*seed=*/4246);
+  for (const auto kind :
+       {blocking::BuilderKind::kStandard, blocking::BuilderKind::kQGrams,
+        blocking::BuilderKind::kExtendedQGrams}) {
+    blocking::BuilderConfig config;
+    config.kind = kind;
+    for (const auto& c : cases) {
+      const auto blocks =
+          blocking::BuildBlocks(c.dataset, core::SchemaMode::kAgnostic, config);
+      const blocking::EntityBlockIndex index(blocks, c.dataset.e1().size(),
+                                             c.dataset.e2().size());
+      core::CandidateSet expected;
+      index.Stream<false, false>(
+          0, c.dataset.e1().size(),
+          [&](EntityId i, EntityId j, std::uint32_t, double) {
+            expected.Add(i, j);
+          });
+      expected.Finalize();
+      ExpectShardedEqual(
+          expected.pairs(),
+          [&](const shard::ShardOptions& options) {
+            return shard::ShardedBlockCandidates(
+                c.dataset, core::SchemaMode::kAgnostic, config, options);
+          },
+          "blocks/" + c.name);
+    }
+  }
+}
+
+TEST(ShardBlocks, RejectsSuffixArrayBuilders) {
+  const auto cases = oracle::BuildCorpus(/*seed=*/1);
+  blocking::BuilderConfig config;
+  config.kind = blocking::BuilderKind::kSuffixArrays;
+  EXPECT_FALSE(shard::BuilderIsShardable(config.kind));
+  EXPECT_FALSE(
+      shard::BuilderIsShardable(blocking::BuilderKind::kExtendedSuffixArrays));
+  EXPECT_THROW(shard::ShardedBlockCandidates(cases.front().dataset,
+                                             core::SchemaMode::kAgnostic,
+                                             config, Opts(2)),
+               std::invalid_argument);
+}
+
+// The sharded resolver against a single resolver fed the same insert
+// stream: identical global ids, matches, similarities and block candidates,
+// at every shard count, with and without sealing.
+TEST(ShardResolver, MatchesSingleResolver) {
+  const auto cases = oracle::BuildCorpus(/*seed=*/4247);
+  serve::ServeConfig config;
+  config.threshold = 0.35;
+  config.enable_blocking = true;
+  for (const auto& c : cases) {
+    const auto& corpus = c.dataset.e1();
+    const auto& queries = c.dataset.e2();
+    for (const bool seal : {false, true}) {
+      serve::Resolver single(config);
+      for (std::size_t i = 0; i < corpus.size(); ++i) {
+        single.Insert(std::to_string(i), corpus[i]);
+      }
+      if (seal) single.SealEpoch();
+      for (const std::uint32_t shards : {1u, 3u, 8u}) {
+        shard::ShardedResolver sharded(config, Opts(shards));
+        for (std::size_t i = 0; i < corpus.size(); ++i) {
+          const auto r = sharded.Insert(std::to_string(i), corpus[i]);
+          ASSERT_TRUE(r.inserted);
+          ASSERT_EQ(r.id, i) << "global ids must follow insert order";
+        }
+        if (seal) sharded.SealEpoch();
+        ASSERT_EQ(sharded.NumEntities(), corpus.size());
+        const auto singles = single.ResolveBatch(queries);
+        const auto shardeds = sharded.ResolveBatch(queries);
+        ASSERT_EQ(singles.size(), shardeds.size());
+        for (std::size_t q = 0; q < singles.size(); ++q) {
+          ASSERT_EQ(singles[q].matches.size(), shardeds[q].matches.size())
+              << c.name << " query " << q << " at " << shards << " shards";
+          for (std::size_t m = 0; m < singles[q].matches.size(); ++m) {
+            EXPECT_EQ(singles[q].matches[m].id, shardeds[q].matches[m].id);
+            EXPECT_EQ(singles[q].matches[m].similarity,
+                      shardeds[q].matches[m].similarity);
+          }
+          EXPECT_EQ(singles[q].block_candidates, shardeds[q].block_candidates);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardResolver, RejectsDuplicateExternalIdsAcrossShards) {
+  serve::ServeConfig config;
+  config.threshold = 0.5;
+  shard::ShardedResolver resolver(config, Opts(4));
+  core::EntityProfile p{{{"name", "acme pump"}}};
+  const auto first = resolver.Insert("x1", p);
+  ASSERT_TRUE(first.inserted);
+  const auto again = resolver.Insert("x1", p);
+  EXPECT_FALSE(again.inserted);
+  EXPECT_EQ(again.id, first.id);
+  EXPECT_EQ(resolver.NumEntities(), 1u);
+  EXPECT_EQ(resolver.ExternalIdOf(first.id), "x1");
+}
+
+TEST(ScaleSpec, ReplicaZeroReproducesBaseDataset) {
+  datagen::DatasetSpec base = datagen::PaperSpec(1);
+  base.n1 = 40;
+  base.n2 = 30;
+  base.n_duplicates = 15;
+  const core::Dataset dataset = datagen::Generate(base);
+  datagen::ScaleSpec spec;
+  spec.base = base;
+  spec.replicas = 3;
+  EXPECT_EQ(spec.CorpusSize(), 120u);
+  for (std::size_t i = 0; i < base.n1; ++i) {
+    const auto rendered = datagen::RenderScaledEntity(spec, 0, i);
+    ASSERT_EQ(rendered.attributes.size(),
+              dataset.e1()[i].attributes.size());
+    for (std::size_t a = 0; a < rendered.attributes.size(); ++a) {
+      EXPECT_EQ(rendered.attributes[a].name,
+                dataset.e1()[i].attributes[a].name);
+      EXPECT_EQ(rendered.attributes[a].value,
+                dataset.e1()[i].attributes[a].value);
+    }
+  }
+  // Later replicas render previously unseen objects, not copies.
+  const auto r0 = datagen::RenderScaledEntity(spec, 0, 0);
+  const auto r1 = datagen::RenderScaledEntity(spec, 1, 0);
+  EXPECT_NE(r0.AllValues(), r1.AllValues());
+  EXPECT_EQ(datagen::ScaledExternalId(spec, 3, 17), "D1:e1:17#r3");
+  const auto target = datagen::ScaleSpec::ForTargetCorpus(base, 100);
+  EXPECT_EQ(target.replicas, 3u);
+  EXPECT_GE(target.CorpusSize(), 100u);
+}
+
+// The scale runner: pairs are identical across shard counts, thread counts
+// and schedules; cells add up to the corpus.
+TEST(ScaleRunner, PairsInvariantAcrossShardsThreadsAndSchedules) {
+  datagen::DatasetSpec base = datagen::PaperSpec(2);
+  base.n1 = 500;
+  base.n2 = 100;
+  base.n_duplicates = 50;
+  shard::ScaleRunConfig config;
+  config.spec.base = base;
+  config.spec.replicas = 6;  // 3000-entity corpus (projects past the 1 MB budget)
+  config.threshold = 0.5;
+  config.num_queries = 120;
+  config.collect_pairs = true;
+  config.options.mem_budget_mb = 0;
+
+  config.options.num_shards = 1;
+  const auto reference = shard::RunScaleEpsilon(config);
+  EXPECT_EQ(reference.corpus_size, 3000u);
+  EXPECT_EQ(reference.num_shards, 1u);
+  EXPECT_EQ(reference.schedule, shard::ShardSchedule::kResident);
+
+  for (const std::uint32_t shards : {4u, 8u}) {
+    for (const std::size_t threads : kThreadCounts) {
+      ScopedThreadLimit limit(threads);
+      config.options.num_shards = shards;
+      const auto got = shard::RunScaleEpsilon(config);
+      ASSERT_EQ(reference.pairs.pairs(), got.pairs.pairs())
+          << shards << " shards, " << threads << " threads";
+      EXPECT_EQ(reference.total_candidates, got.total_candidates);
+      std::uint64_t entities = 0;
+      for (const auto& cell : got.cells) entities += cell.entities;
+      EXPECT_EQ(entities, got.corpus_size);
+    }
+  }
+
+  // Budget 1 MB forces rotation on this corpus; same pairs.
+  config.options.num_shards = 4;
+  config.options.mem_budget_mb = 1;
+  const auto rotated = shard::RunScaleEpsilon(config);
+  EXPECT_EQ(rotated.schedule, shard::ShardSchedule::kRotate);
+  EXPECT_EQ(reference.pairs.pairs(), rotated.pairs.pairs());
+}
+
+}  // namespace
+}  // namespace erb
